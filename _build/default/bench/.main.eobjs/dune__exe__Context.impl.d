@@ -1,0 +1,1 @@
+bench/context.ml: Deadlines Dvs_core Dvs_milp Dvs_power Dvs_profile Dvs_workloads Hashtbl Workload

@@ -1,0 +1,1 @@
+bench/exp_analytical.ml: Array Context Continuous Discrete Dvs_analytical Dvs_numeric Dvs_power Dvs_profile Dvs_report Dvs_workloads Float Format List Params Printf Render Savings Sweep Table

@@ -1,0 +1,1 @@
+bench/main.ml: Array Exp_analytical Exp_extensions Exp_milp List Micro Printf Sys Unix

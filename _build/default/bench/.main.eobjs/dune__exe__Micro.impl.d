@@ -1,0 +1,1 @@
+bench/micro.ml: Analyze Array Bechamel Benchmark Dvs_analytical Dvs_core Dvs_ir Dvs_lp Dvs_machine Dvs_power Dvs_profile Dvs_workloads Hashtbl Instance List Measure Printf Staged Test Time Toolkit

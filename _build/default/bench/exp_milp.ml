@@ -1,0 +1,369 @@
+(* Sections 4-6 reproductions: Tables 2-6, Figures 14-19. *)
+
+open Dvs_core
+open Dvs_report
+open Dvs_workloads
+
+let heading id title note =
+  Printf.printf "\n=== %s: %s ===\n%s\n" id title note
+
+let ms t = t *. 1e3
+
+let uj e = e *. 1e6
+
+(* --- Table 2: machine configuration ---------------------------------- *)
+
+let table2 () =
+  heading "Table 2" "simulation configuration"
+    "evaluation machine (capacities scaled with the 1/50-scale workloads)";
+  Format.printf "%a@." Dvs_machine.Config.pp (Workload.eval_config ());
+  Format.printf
+    "full-size Table 2 geometry also available: L1 %a / L2 %a@."
+    (fun ppf (g : Dvs_machine.Config.cache_geometry) ->
+      Format.fprintf ppf "%dKB" (g.size_bytes / 1024))
+    Dvs_machine.Config.table2_l1d
+    (fun ppf (g : Dvs_machine.Config.cache_geometry) ->
+      Format.fprintf ppf "%dKB" (g.size_bytes / 1024))
+    Dvs_machine.Config.table2_l2
+
+(* --- Table 4: execution times and chosen deadlines -------------------- *)
+
+let table4 () =
+  heading "Table 4" "deadline boundaries and chosen deadlines (ms)"
+    "execution time pinned at each mode; D1 stringent .. D5 lax";
+  let t =
+    Table.create
+      [ ("benchmark", Table.Left); ("t@200MHz", Table.Right);
+        ("t@600MHz", Table.Right); ("t@800MHz", Table.Right);
+        ("D1", Table.Right); ("D2", Table.Right); ("D3", Table.Right);
+        ("D4", Table.Right); ("D5", Table.Right) ]
+  in
+  List.iter
+    (fun name ->
+      let p = Context.default_profile name in
+      let ds = Context.deadlines name in
+      let f v = Table.fmt_float ~digits:3 (ms v) in
+      Table.add_row t
+        [ name;
+          f (Dvs_profile.Profile.pinned_time p ~mode:0);
+          f (Dvs_profile.Profile.pinned_time p ~mode:1);
+          f (Dvs_profile.Profile.pinned_time p ~mode:2);
+          f ds.(0); f ds.(1); f ds.(2); f ds.(3); f ds.(4) ])
+    Context.all_names;
+  Table.print t
+
+(* --- Figure 16: deadline positions ------------------------------------ *)
+
+let fig16 () =
+  heading "Figure 16" "positions of deadlines"
+    "all deadlines lie between exec time at 800MHz and at 200MHz:";
+  Printf.printf
+    "  t(800MHz)  <- D1 (1%%) - D2 (3%%) - D3 (12%%) - D4 (57%%) - D5 (98%%) \
+     ->  t(200MHz)\n"
+
+(* --- Table 3 + Figure 14: edge filtering ------------------------------ *)
+
+let table3_fig14 () =
+  heading "Table 3 / Figure 14" "edge filtering: energy and solve time"
+    "deadline D5, c=10uF paper-equivalent; energies in uJ, times in CPU seconds";
+  let t =
+    Table.create
+      [ ("benchmark", Table.Left); ("all edges E", Table.Right);
+        ("filtered E", Table.Right); ("all bins", Table.Right);
+        ("filt bins", Table.Right); ("all time", Table.Right);
+        ("filt time", Table.Right); ("speedup", Table.Right) ]
+  in
+  List.iter
+    (fun name ->
+      let d = (Context.deadlines name).(4) in
+      let full = Context.optimize ~filter:false name ~deadline:d in
+      let filt = Context.optimize ~filter:true name ~deadline:d in
+      let energy (r : Pipeline.result) =
+        match r.Pipeline.predicted_energy with
+        | Some e ->
+          let flag =
+            if r.Pipeline.milp.Dvs_milp.Branch_bound.outcome
+               = Dvs_milp.Branch_bound.Optimal
+            then ""
+            else "*"
+          in
+          Table.fmt_float ~digits:1 (uj e) ^ flag
+        | None -> "-"
+      in
+      let binaries (r : Pipeline.result) =
+        string_of_int r.Pipeline.formulation.Formulation.n_binaries
+      in
+      let speedup =
+        if filt.Pipeline.solve_seconds > 0.0 then
+          full.Pipeline.solve_seconds /. filt.Pipeline.solve_seconds
+        else Float.nan
+      in
+      Table.add_row t
+        [ name; energy full; energy filt; binaries full; binaries filt;
+          Table.fmt_float ~digits:3 full.Pipeline.solve_seconds;
+          Table.fmt_float ~digits:3 filt.Pipeline.solve_seconds;
+          Table.fmt_float ~digits:1 speedup ])
+    Context.all_names;
+  Table.print t
+
+(* --- Figure 15: impact of transition cost ----------------------------- *)
+
+let fig15_capacitances = [ 100e-6; 10e-6; 1e-6; 0.1e-6; 0.01e-6 ]
+
+let fig15 () =
+  heading "Figure 15" "impact of transition cost (regulator capacitance)"
+    "deadline D5; energy normalized to the 600MHz pinned run; cols = \
+     paper-equivalent c (time-scale adjusted, DESIGN.md sec. 5)";
+  let t =
+    Table.create
+      (("benchmark", Table.Left)
+      :: List.map
+           (fun c -> (Printf.sprintf "%guF" (c *. 1e6), Table.Right))
+           fig15_capacitances)
+  in
+  List.iter
+    (fun name ->
+      let p = Context.default_profile name in
+      let base = Dvs_profile.Profile.pinned_energy p ~mode:1 in
+      let d = (Context.deadlines name).(4) in
+      let cells =
+        List.map
+          (fun c ->
+            let regulator = Context.scaled_regulator ~paper_capacitance:c in
+            let r = Context.optimize ~regulator name ~deadline:d in
+            let flag =
+              if r.Pipeline.milp.Dvs_milp.Branch_bound.outcome
+                 = Dvs_milp.Branch_bound.Optimal
+              then ""
+              else "*"
+            in
+            match r.Pipeline.verification with
+            | Some v ->
+              Table.fmt_float ~digits:3
+                (v.Verify.stats.Dvs_machine.Cpu.energy /. base)
+              ^ flag
+            | None -> "-")
+          fig15_capacitances
+      in
+      Table.add_row t (name :: cells))
+    Context.all_names;
+  Table.print t;
+  Printf.printf
+    "lower bound with free transitions: (0.7/1.3)^2 = %.3f of the 600MHz \
+     energy\n"
+    ((0.7 /. 1.3) ** 2.0)
+
+(* --- Figures 17-18 + Table 5: deadline sweep --------------------------- *)
+
+type deadline_cell = {
+  norm_energy : float;
+  solve_s : float;
+  transitions : int;
+}
+
+let deadline_sweep_cache = Hashtbl.create 16
+
+let deadline_sweep name =
+  match Hashtbl.find_opt deadline_sweep_cache name with
+  | Some r -> r
+  | None ->
+    let p = Context.default_profile name in
+    let ds = Context.deadlines name in
+    (* Fixed per-benchmark baseline: the all-fastest-mode run, the only
+       single setting feasible at every deadline. *)
+    let base = Dvs_profile.Profile.pinned_energy p ~mode:2 in
+    let cells =
+      Array.map
+        (fun d ->
+          let r = Context.optimize name ~deadline:d in
+          match r.Pipeline.verification with
+          | Some v ->
+            { norm_energy = v.Verify.stats.Dvs_machine.Cpu.energy /. base;
+              solve_s = r.Pipeline.solve_seconds;
+              transitions = v.Verify.stats.Dvs_machine.Cpu.mode_transitions }
+          | None ->
+            { norm_energy = Float.nan; solve_s = r.Pipeline.solve_seconds;
+              transitions = 0 })
+        ds
+    in
+    Hashtbl.replace deadline_sweep_cache name cells;
+    cells
+
+let deadline_table title note f =
+  let t =
+    Table.create
+      [ ("benchmark", Table.Left); ("D1", Table.Right); ("D2", Table.Right);
+        ("D3", Table.Right); ("D4", Table.Right); ("D5", Table.Right) ]
+  in
+  List.iter
+    (fun name ->
+      let cells = deadline_sweep name in
+      Table.add_row t (name :: Array.to_list (Array.map f cells)))
+    Context.all_names;
+  heading title note "";
+  Table.print t
+
+let fig17 () =
+  deadline_table "Figure 17"
+    "impact of deadline on energy (normalized to the all-800MHz run, the \
+     best single setting feasible at every deadline)"
+    (fun c -> Table.fmt_float ~digits:3 c.norm_energy)
+
+let fig18 () =
+  deadline_table "Figure 18" "MILP solution time (CPU seconds) per deadline"
+    (fun c -> Table.fmt_float ~digits:3 c.solve_s)
+
+let table5 () =
+  deadline_table "Table 5" "dynamic mode-transition counts (c=10uF paper-equivalent)"
+    (fun c -> string_of_int c.transitions)
+
+(* --- Figure 19: multiple profiled data inputs (mpeg) ------------------- *)
+
+let fig19 () =
+  heading "Figure 19" "runtime dependence on the input used for profiling"
+    "mpeg; schedules built from different profiles, run on all inputs (ms)";
+  let inputs = [ "m100b"; "bbc"; "flwr"; "cact" ] in
+  let profiles =
+    List.map (fun i -> (i, Context.profile ~input:i "mpeg")) inputs
+  in
+  let config =
+    Context.config_of ~regulator:Context.default_regulator Context.Xscale3
+  in
+  (* One common absolute deadline for every input — the real-time
+     playback budget of the stream.  Taken at D4 of the heaviest input's
+     range: the no-B-frame inputs can then run all-slow, while the
+     B-frame inputs must mix modes, which is what exposes cross-category
+     profiling errors. *)
+  let common_deadline =
+    (Deadlines.of_profile (List.assoc "cact" profiles)).(3)
+  in
+  let deadline_of _input = common_deadline in
+  (* One schedule per profiling choice, built against the profiling
+     input's own deadline(s); each schedule then runs on every input. *)
+  let optimize_for categories verify_input =
+    let r =
+      Pipeline.optimize_multi ~options:Context.pipeline_options
+        ~regulator:Context.default_regulator
+        ~memory:(Context.memory ~input:verify_input "mpeg")
+        categories
+    in
+    r.Pipeline.schedule
+  in
+  let single p d = [ { Formulation.profile = p; weight = 1.0; deadline = d } ] in
+  let schedule_from profile_input =
+    optimize_for
+      (single (List.assoc profile_input profiles) (deadline_of profile_input))
+      profile_input
+  in
+  let schedule_avg =
+    lazy
+      (optimize_for
+         [ { Formulation.profile = List.assoc "flwr" profiles; weight = 0.5;
+             deadline = deadline_of "flwr" };
+           { Formulation.profile = List.assoc "bbc" profiles; weight = 0.5;
+             deadline = deadline_of "bbc" } ]
+         "flwr")
+  in
+  let run_with schedule input =
+    match schedule with
+    | None -> "-"
+    | Some s ->
+      let cfg = Context.cfg_of "mpeg" in
+      let r =
+        Dvs_machine.Cpu.run ~initial_mode:s.Schedule.entry_mode
+          ~edge_modes:(Schedule.edge_modes s cfg) config cfg
+          ~memory:(Context.memory ~input "mpeg")
+      in
+      let t = r.Dvs_machine.Cpu.time in
+      Table.fmt_float ~digits:3 (ms t)
+      ^ (if t > deadline_of input *. 1.02 then "!" else "")
+  in
+  let t =
+    Table.create
+      [ ("input", Table.Left); ("deadline", Table.Right);
+        ("self-profile", Table.Right); ("flwr-profile", Table.Right);
+        ("bbc-profile", Table.Right); ("avg(flwr,bbc)", Table.Right) ]
+  in
+  let flwr_schedule = schedule_from "flwr" in
+  let bbc_schedule = schedule_from "bbc" in
+  List.iter
+    (fun input ->
+      Table.add_row t
+        [ input;
+          Table.fmt_float ~digits:3 (ms (deadline_of input));
+          run_with (schedule_from input) input;
+          run_with flwr_schedule input;
+          run_with bbc_schedule input;
+          run_with (Lazy.force schedule_avg) input ])
+    inputs;
+  Table.print t;
+  print_endline
+    "('!' = misses that input's deadline; m100b/bbc carry no B-frame \
+     work while flwr/cact do — cross-category profiles misestimate, \
+     averaging recovers)"
+
+(* --- Table 6: MILP savings per level count ----------------------------- *)
+
+let table6 () =
+  heading "Table 6"
+    "MILP energy savings vs best single mode, per voltage-level count"
+    "values are 1 - E_milp/E_single; '(a x.xx)' = analytical bound (Table 1)";
+  let t =
+    Table.create
+      [ ("benchmark", Table.Left); ("levels", Table.Right);
+        ("D1", Table.Right); ("D2", Table.Right); ("D3", Table.Right);
+        ("D4", Table.Right); ("D5", Table.Right) ]
+  in
+  let violations = ref 0 and cells = ref 0 in
+  List.iter
+    (fun name ->
+      let analytical = Exp_analytical.table1_savings name in
+      List.iter
+        (fun n ->
+          let kind = Context.Levels n in
+          let p = Context.profile ~kind
+                    ~input:(Workload.default_input (Workload.find name)) name
+          in
+          let ds = Context.deadlines name in
+          let row =
+            Array.map
+              (fun d ->
+                let r = Context.optimize ~kind name ~deadline:d in
+                match
+                  ( r.Pipeline.predicted_energy,
+                    Baselines.best_single_mode p ~deadline:d )
+                with
+                | Some e, Some (_, base) ->
+                  Float.max 0.0 (1.0 -. (e /. base))
+                | _ -> Float.nan)
+              ds
+          in
+          let arow = List.assoc n analytical in
+          Array.iteri
+            (fun i v ->
+              if Float.is_finite v && Float.is_finite arow.(i) then begin
+                incr cells;
+                if v > arow.(i) +. 0.02 then incr violations
+              end)
+            row;
+          Table.add_row t
+            (name :: string_of_int n
+            :: List.map2
+                 (fun v a ->
+                   Printf.sprintf "%s (a %s)" (Table.fmt_float ~digits:2 v)
+                     (Table.fmt_float ~digits:2 a))
+                 (Array.to_list row) (Array.to_list arow)))
+        [ 3; 7; 13 ];
+      Table.add_rule t)
+    Context.analytical_names;
+  Table.print t;
+  Printf.printf
+    "analytical bound exceeded by >2%% in %d of %d cells (paper: 1 cell, \
+     attributed to rounding)\n"
+    !violations !cells
+
+let all =
+  [ ("table2", table2); ("table4", table4); ("fig16", fig16);
+    ("table3", table3_fig14); ("fig14", table3_fig14); ("fig15", fig15);
+    ("fig17", fig17); ("fig18", fig18); ("table5", table5);
+    ("fig19", fig19); ("table6", table6) ]

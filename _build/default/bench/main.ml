@@ -1,0 +1,51 @@
+(* Experiment harness: regenerates every table and figure of the paper's
+   evaluation (see DESIGN.md section 4 for the index), plus bechamel
+   micro-benchmarks of the core engines.
+
+   Usage:
+     dune exec bench/main.exe            -- everything
+     dune exec bench/main.exe -- list    -- experiment ids
+     dune exec bench/main.exe -- fig15 table6 ...  -- a subset *)
+
+let registry =
+  (* Order: analytical model first (Section 3), then the MILP evaluation
+     (Sections 5-6), matching the paper's presentation. *)
+  Exp_analytical.all
+  @ Exp_milp.all
+  @ Exp_extensions.all
+  @ [ ("micro", Micro.run) ]
+
+(* Deduplicate ids that alias the same experiment (table3/fig14). *)
+let unique_registry =
+  let seen = ref [] in
+  List.filter
+    (fun (_, f) ->
+      if List.memq f !seen then false
+      else begin
+        seen := f :: !seen;
+        true
+      end)
+    registry
+
+let run_one (id, f) =
+  let t0 = Unix.gettimeofday () in
+  f ();
+  Printf.printf "[%s done in %.1fs]\n%!" id (Unix.gettimeofday () -. t0)
+
+let () =
+  match Array.to_list Sys.argv with
+  | _ :: "list" :: _ ->
+    List.iter (fun (id, _) -> print_endline id) registry
+  | _ :: (_ :: _ as ids) ->
+    List.iter
+      (fun id ->
+        match List.assoc_opt id registry with
+        | Some f -> run_one (id, f)
+        | None ->
+          Printf.eprintf "unknown experiment %s (try 'list')\n" id;
+          exit 1)
+      ids
+  | _ ->
+    print_endline
+      "Compile-time DVS (PLDI'03) reproduction -- full experiment sweep";
+    List.iter run_one unique_registry

@@ -1,0 +1,463 @@
+(* dvstool: command-line front end for the compile-time DVS toolkit.
+
+   Subcommands:
+     list                          workloads and their inputs
+     simulate  <workload>          pinned simulation at each mode
+     profile   <workload>          profile + measured Table-7 parameters
+     optimize  <workload>          MILP schedule for a deadline
+     analyze                       analytical model on given parameters
+     compile   <file.mc>           compile MiniC; dump the CFG (or DOT) *)
+
+open Cmdliner
+
+let machine ~capacitance ~levels =
+  let mode_table =
+    match levels with
+    | None -> Dvs_power.Mode.xscale3
+    | Some n ->
+      Dvs_power.Mode.levels
+        ~v_lo:(Dvs_power.Alpha_power.voltage Dvs_power.Alpha_power.default 200e6)
+        ~v_hi:1.65 n
+  in
+  Dvs_workloads.Workload.eval_config ~mode_table
+    ~regulator:(Dvs_power.Switch_cost.regulator ~capacitance ())
+    ()
+
+(* ---------------- common args ---------------- *)
+
+let workload_arg =
+  let parse s =
+    match Dvs_workloads.Workload.find s with
+    | w -> Ok w
+    | exception Not_found ->
+      Error
+        (`Msg
+           (Printf.sprintf "unknown workload %s (try `dvstool list')" s))
+  in
+  let print ppf (w : Dvs_workloads.Workload.t) =
+    Format.pp_print_string ppf w.name
+  in
+  Arg.conv (parse, print)
+
+let workload_pos =
+  Arg.(
+    required
+    & pos 0 (some workload_arg) None
+    & info [] ~docv:"WORKLOAD" ~doc:"Benchmark name (see $(b,dvstool list)).")
+
+let input_opt =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "i"; "input" ] ~docv:"INPUT" ~doc:"Input variant.")
+
+let capacitance_opt =
+  Arg.(
+    value
+    & opt float 0.4e-6
+    & info [ "c"; "capacitance" ] ~docv:"FARADS"
+        ~doc:
+          "Voltage-regulator capacitance (default 0.4uF, the\n\
+          \          paper-equivalent of 10uF at this dynamic scale).")
+
+let levels_opt =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "levels" ] ~docv:"N"
+        ~doc:"Use N evenly spaced voltage levels instead of the XScale-3 \
+              table.")
+
+let input_of w = function
+  | Some i -> i
+  | None -> Dvs_workloads.Workload.default_input w
+
+(* ---------------- list ---------------- *)
+
+let list_cmd =
+  let run () =
+    List.iter
+      (fun (w : Dvs_workloads.Workload.t) ->
+        Printf.printf "%-12s %s\n             inputs: %s\n" w.name
+          w.description
+          (String.concat ", " w.inputs))
+      Dvs_workloads.Workload.all
+  in
+  Cmd.v (Cmd.info "list" ~doc:"List benchmarks and input variants")
+    Term.(const run $ const ())
+
+(* ---------------- simulate ---------------- *)
+
+let ooo_opt =
+  Arg.(
+    value & flag
+    & info [ "ooo" ]
+        ~doc:"Use the 4-wide out-of-order core model instead of the \
+              in-order one.")
+
+let simulate_cmd =
+  let run w input capacitance levels ooo =
+    let input = input_of w input in
+    let cfg, _, mem = Dvs_workloads.Workload.load w ~input in
+    let machine = machine ~capacitance ~levels in
+    let n = Dvs_power.Mode.size machine.Dvs_machine.Config.mode_table in
+    for m = 0 to n - 1 do
+      let r =
+        if ooo then
+          Dvs_machine.Cpu_ooo.run ~initial_mode:m machine cfg ~memory:mem
+        else Dvs_machine.Cpu.run ~initial_mode:m machine cfg ~memory:mem
+      in
+      Format.printf
+        "mode %d (%a): %.3f ms, %.1f uJ, %d instrs, L1 miss %.2f%%, L2 \
+         miss %.2f%%@."
+        m Dvs_power.Mode.pp
+        (Dvs_power.Mode.get machine.Dvs_machine.Config.mode_table m)
+        (r.Dvs_machine.Cpu.time *. 1e3)
+        (r.Dvs_machine.Cpu.energy *. 1e6)
+        r.Dvs_machine.Cpu.dyn_instrs
+        (100.0
+        *. float_of_int r.Dvs_machine.Cpu.l1.Dvs_machine.Cache.misses
+        /. float_of_int (Int.max 1 r.Dvs_machine.Cpu.l1.Dvs_machine.Cache.accesses))
+        (100.0
+        *. float_of_int r.Dvs_machine.Cpu.l2.Dvs_machine.Cache.misses
+        /. float_of_int (Int.max 1 r.Dvs_machine.Cpu.l2.Dvs_machine.Cache.accesses))
+    done
+  in
+  Cmd.v
+    (Cmd.info "simulate" ~doc:"Run a workload pinned at each DVS mode")
+    Term.(
+      const run $ workload_pos $ input_opt $ capacitance_opt $ levels_opt
+      $ ooo_opt)
+
+(* ---------------- profile ---------------- *)
+
+let profile_cmd =
+  let run w input capacitance levels =
+    let input = input_of w input in
+    let cfg, _, mem = Dvs_workloads.Workload.load w ~input in
+    let machine = machine ~capacitance ~levels in
+    let p = Dvs_profile.Profile.collect machine cfg ~memory:mem in
+    Format.printf "%a@." Dvs_profile.Profile.pp_summary p;
+    let params =
+      Dvs_profile.Categorize.of_profile p
+        ~deadline:(Dvs_workloads.Deadlines.of_profile p).(2)
+    in
+    Format.printf "measured parameters: %a (%a)@." Dvs_analytical.Params.pp
+      params Dvs_analytical.Params.pp_case
+      (Dvs_analytical.Params.classify params);
+    Format.printf "deadline set (ms):";
+    Array.iter
+      (fun d -> Format.printf " %.3f" (d *. 1e3))
+      (Dvs_workloads.Deadlines.of_profile p);
+    Format.printf "@."
+  in
+  Cmd.v
+    (Cmd.info "profile"
+       ~doc:"Profile a workload and print its Table-7-style parameters")
+    Term.(const run $ workload_pos $ input_opt $ capacitance_opt $ levels_opt)
+
+(* ---------------- optimize ---------------- *)
+
+let deadline_frac_opt =
+  Arg.(
+    value
+    & opt float 0.5
+    & info [ "deadline-frac" ] ~docv:"F"
+        ~doc:
+          "Deadline position in the feasible range: 0 = fastest-mode \
+           time, 1 = slowest-mode time.")
+
+let no_filter_opt =
+  Arg.(
+    value & flag
+    & info [ "no-filter" ] ~doc:"Disable Section 5.2 edge filtering.")
+
+let save_opt =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "save" ] ~docv:"FILE"
+        ~doc:"Write the chosen schedule to FILE (reload with \
+              $(b,dvstool apply)).")
+
+let optimize_cmd =
+  let run w input capacitance levels frac no_filter save =
+    let input = input_of w input in
+    let cfg, _, mem = Dvs_workloads.Workload.load w ~input in
+    let machine = machine ~capacitance ~levels in
+    let p = Dvs_profile.Profile.collect machine cfg ~memory:mem in
+    let n = Dvs_power.Mode.size machine.Dvs_machine.Config.mode_table in
+    let t_fast = Dvs_profile.Profile.pinned_time p ~mode:(n - 1) in
+    let t_slow = Dvs_profile.Profile.pinned_time p ~mode:0 in
+    let deadline = t_fast +. (frac *. (t_slow -. t_fast)) in
+    let options =
+      { Dvs_core.Pipeline.default_options with filter = not no_filter }
+    in
+    let r =
+      Dvs_core.Pipeline.optimize_multi ~options ~verify_config:machine
+        ~regulator:machine.Dvs_machine.Config.regulator ~memory:mem
+        [ { Dvs_core.Formulation.profile = p; weight = 1.0; deadline } ]
+    in
+    Format.printf "deadline: %.3f ms (range %.3f..%.3f)@." (deadline *. 1e3)
+      (t_fast *. 1e3) (t_slow *. 1e3);
+    Format.printf "MILP: %s, %d nodes, %.3fs, %d binaries@."
+      (match r.Dvs_core.Pipeline.milp.Dvs_milp.Branch_bound.outcome with
+      | Dvs_milp.Branch_bound.Optimal -> "optimal"
+      | Feasible -> "feasible (limit hit)"
+      | Infeasible -> "infeasible"
+      | Unbounded -> "unbounded"
+      | No_solution -> "no solution")
+      r.Dvs_core.Pipeline.milp.Dvs_milp.Branch_bound.nodes
+      r.Dvs_core.Pipeline.solve_seconds
+      r.Dvs_core.Pipeline.formulation.Dvs_core.Formulation.n_binaries;
+    (match r.Dvs_core.Pipeline.verification with
+    | Some v ->
+      Format.printf
+        "verified: %.3f ms, %.1f uJ, %d mode transitions, deadline %s, \
+         model error %.1f%%@."
+        (v.Dvs_core.Verify.stats.Dvs_machine.Cpu.time *. 1e3)
+        (v.Dvs_core.Verify.stats.Dvs_machine.Cpu.energy *. 1e6)
+        v.Dvs_core.Verify.stats.Dvs_machine.Cpu.mode_transitions
+        (if v.Dvs_core.Verify.meets_deadline then "met" else "MISSED")
+        (100.0 *. v.Dvs_core.Verify.energy_error)
+    | None -> ());
+    (match Dvs_core.Baselines.best_single_mode p ~deadline with
+    | Some (m, base) ->
+      let saved =
+        match r.Dvs_core.Pipeline.predicted_energy with
+        | Some e -> 100.0 *. (1.0 -. (e /. base))
+        | None -> 0.0
+      in
+      Format.printf "best single mode %d: %.1f uJ -> savings %.1f%%@." m
+        (base *. 1e6) saved
+    | None -> Format.printf "no single mode meets the deadline@.");
+    match (save, r.Dvs_core.Pipeline.schedule) with
+    | Some file, Some schedule ->
+      let oc = open_out file in
+      output_string oc (Dvs_core.Schedule.to_string schedule);
+      close_out oc;
+      Format.printf "schedule saved to %s@." file
+    | Some _, None -> Format.printf "no schedule to save@."
+    | None, _ -> ()
+  in
+  Cmd.v
+    (Cmd.info "optimize"
+       ~doc:"Place DVS mode-set instructions by MILP and verify them")
+    Term.(
+      const run $ workload_pos $ input_opt $ capacitance_opt $ levels_opt
+      $ deadline_frac_opt $ no_filter_opt $ save_opt)
+
+(* ---------------- apply ---------------- *)
+
+let apply_cmd =
+  let schedule_file =
+    Arg.(
+      required
+      & opt (some file) None
+      & info [ "schedule" ] ~docv:"FILE"
+          ~doc:"Schedule file produced by $(b,dvstool optimize --save).")
+  in
+  let run w input capacitance levels file =
+    let input = input_of w input in
+    let cfg, _, mem = Dvs_workloads.Workload.load w ~input in
+    let machine = machine ~capacitance ~levels in
+    let ic = open_in file in
+    let text = really_input_string ic (in_channel_length ic) in
+    close_in ic;
+    match Dvs_core.Schedule.of_string text with
+    | Error msg ->
+      Format.eprintf "bad schedule file: %s@." msg;
+      exit 1
+    | Ok schedule ->
+      if Array.length schedule.Dvs_core.Schedule.edge_mode
+         <> Array.length (Dvs_ir.Cfg.edges cfg)
+      then begin
+        Format.eprintf "schedule has %d edges, workload has %d@."
+          (Array.length schedule.Dvs_core.Schedule.edge_mode)
+          (Array.length (Dvs_ir.Cfg.edges cfg));
+        exit 1
+      end;
+      let r =
+        Dvs_machine.Cpu.run
+          ~initial_mode:schedule.Dvs_core.Schedule.entry_mode
+          ~edge_modes:(Dvs_core.Schedule.edge_modes schedule cfg) machine cfg
+          ~memory:mem
+      in
+      Format.printf
+        "ran with schedule: %.3f ms, %.1f uJ, %d mode transitions@."
+        (r.Dvs_machine.Cpu.time *. 1e3)
+        (r.Dvs_machine.Cpu.energy *. 1e6)
+        r.Dvs_machine.Cpu.mode_transitions
+  in
+  Cmd.v
+    (Cmd.info "apply" ~doc:"Run a workload under a saved DVS schedule")
+    Term.(
+      const run $ workload_pos $ input_opt $ capacitance_opt $ levels_opt
+      $ schedule_file)
+
+(* ---------------- analyze ---------------- *)
+
+let analyze_cmd =
+  let nov =
+    Arg.(value & opt float 1500.0 & info [ "nov" ] ~docv:"KCYC"
+           ~doc:"Overlappable computation cycles (thousands).")
+  in
+  let ndep =
+    Arg.(value & opt float 1200.0 & info [ "ndep" ] ~docv:"KCYC"
+           ~doc:"Dependent computation cycles (thousands).")
+  in
+  let ncache =
+    Arg.(value & opt float 300.0 & info [ "ncache" ] ~docv:"KCYC"
+           ~doc:"Cache-hit memory cycles (thousands).")
+  in
+  let tinv =
+    Arg.(value & opt float 3500.0 & info [ "tinv" ] ~docv:"US"
+           ~doc:"Cache-miss (asynchronous) time, microseconds.")
+  in
+  let tdl =
+    Arg.(value & opt float 6000.0 & info [ "deadline" ] ~docv:"US"
+           ~doc:"Deadline, microseconds.")
+  in
+  let run nov ndep ncache tinv tdl levels =
+    let p =
+      Dvs_analytical.Params.make ~n_overlap:(nov *. 1e3)
+        ~n_dependent:(ndep *. 1e3) ~n_cache:(ncache *. 1e3)
+        ~t_invariant:(tinv *. 1e-6) ~t_deadline:(tdl *. 1e-6)
+    in
+    Format.printf "%a: %a@." Dvs_analytical.Params.pp p
+      Dvs_analytical.Params.pp_case
+      (Dvs_analytical.Params.classify p);
+    (match Dvs_analytical.Savings.continuous p with
+    | Some r -> Format.printf "continuous savings bound: %.1f%%@." (100.0 *. r)
+    | None -> Format.printf "infeasible deadline@.");
+    let n = Option.value ~default:7 levels in
+    let table =
+      Dvs_power.Mode.levels
+        ~v_lo:(Dvs_power.Alpha_power.voltage Dvs_power.Alpha_power.default 200e6)
+        ~v_hi:1.65 n
+    in
+    match Dvs_analytical.Savings.discrete p table with
+    | Some r ->
+      Format.printf "%d-level discrete savings: %.1f%%@." n (100.0 *. r)
+    | None -> Format.printf "%d-level table cannot meet the deadline@." n
+  in
+  Cmd.v
+    (Cmd.info "analyze" ~doc:"Evaluate the Section 3 analytical model")
+    Term.(const run $ nov $ ndep $ ncache $ tinv $ tdl $ levels_opt)
+
+(* ---------------- paths ---------------- *)
+
+let paths_cmd =
+  let top =
+    Arg.(
+      value & opt int 5
+      & info [ "top" ] ~docv:"N" ~doc:"How many hot paths to show.")
+  in
+  let run w input top =
+    let input = input_of w input in
+    let cfg, _, mem = Dvs_workloads.Workload.load w ~input in
+    let bl = Dvs_profile.Ball_larus.compute cfg in
+    let trace =
+      (Dvs_ir.Interp.run ~trace:true cfg ~memory:mem)
+        .Dvs_ir.Interp.block_trace
+    in
+    let counts = Dvs_profile.Ball_larus.count_trace bl trace in
+    let total = List.fold_left (fun a (_, c) -> a + c) 0 counts in
+    Format.printf "%d static paths; %d dynamic segments, %d distinct@."
+      (Dvs_profile.Ball_larus.num_paths bl)
+      total (List.length counts);
+    List.iteri
+      (fun rank (id, c) ->
+        if rank < top then begin
+          let blocks = Dvs_profile.Ball_larus.decode bl id in
+          Format.printf "#%d  path %d: %d times (%.1f%%)  [%s]@." (rank + 1)
+            id c
+            (100.0 *. float_of_int c /. float_of_int (Int.max 1 total))
+            (String.concat " -> "
+               (List.map
+                  (fun l -> (Dvs_ir.Cfg.block cfg l).Dvs_ir.Cfg.name)
+                  blocks))
+        end)
+      counts
+  in
+  Cmd.v
+    (Cmd.info "paths" ~doc:"Ball-Larus hot-path profile of a workload")
+    Term.(const run $ workload_pos $ input_opt $ top)
+
+(* ---------------- loops ---------------- *)
+
+let loops_cmd =
+  let run w input =
+    let input = input_of w input in
+    let cfg, _, mem = Dvs_workloads.Workload.load w ~input in
+    let dom = Dvs_ir.Dominators.compute cfg in
+    let loops = Dvs_ir.Dominators.natural_loops cfg dom in
+    let machine = machine ~capacitance:0.4e-6 ~levels:None in
+    let p = Dvs_profile.Profile.collect machine cfg ~memory:mem in
+    Format.printf "%d natural loops@." (List.length loops);
+    List.iter
+      (fun (l : Dvs_ir.Dominators.loop) ->
+        let trips =
+          List.fold_left
+            (fun acc (e : Dvs_ir.Cfg.edge) ->
+              acc + Dvs_profile.Profile.g_of_edge p e)
+            0 l.back_edges
+        in
+        Format.printf
+          "header %s (L%d): %d blocks, %d back-edge traversals@."
+          (Dvs_ir.Cfg.block cfg l.header).Dvs_ir.Cfg.name l.header
+          (List.length l.body) trips)
+      loops
+  in
+  Cmd.v
+    (Cmd.info "loops" ~doc:"Natural loops of a workload, with trip counts")
+    Term.(const run $ workload_pos $ input_opt)
+
+(* ---------------- compile ---------------- *)
+
+let compile_cmd =
+  let file =
+    Arg.(
+      required
+      & pos 0 (some file) None
+      & info [] ~docv:"FILE" ~doc:"MiniC source file.")
+  in
+  let dot =
+    Arg.(value & flag & info [ "dot" ] ~doc:"Emit Graphviz instead of text.")
+  in
+  let run file dot =
+    let ic = open_in file in
+    let len = in_channel_length ic in
+    let src = really_input_string ic len in
+    close_in ic;
+    match Dvs_lang.Lower.compile_string src with
+    | cfg, layout ->
+      if dot then print_string (Dvs_ir.Cfg.to_dot cfg)
+      else begin
+        Format.printf "%a" Dvs_ir.Cfg.pp cfg;
+        Format.printf "data segment: %d words@."
+          layout.Dvs_lang.Lower.memory_words
+      end
+    | exception Dvs_lang.Parser.Error (msg, pos) ->
+      Format.eprintf "parse error at %a: %s@." Dvs_lang.Token.pp_pos pos msg;
+      exit 1
+    | exception Dvs_lang.Lexer.Error (msg, pos) ->
+      Format.eprintf "lex error at %a: %s@." Dvs_lang.Token.pp_pos pos msg;
+      exit 1
+    | exception Dvs_lang.Typecheck.Error msg ->
+      Format.eprintf "type error: %s@." msg;
+      exit 1
+  in
+  Cmd.v
+    (Cmd.info "compile" ~doc:"Compile a MiniC file and dump its CFG")
+    Term.(const run $ file $ dot)
+
+let () =
+  let default = Term.(ret (const (`Help (`Pager, None)))) in
+  exit
+    (Cmd.eval
+       (Cmd.group ~default
+          (Cmd.info "dvstool" ~version:"1.0"
+             ~doc:"Compile-time DVS toolkit (PLDI'03 reproduction)")
+          [ list_cmd; simulate_cmd; profile_cmd; optimize_cmd; apply_cmd;
+            analyze_cmd; compile_cmd; paths_cmd; loops_cmd ]))

@@ -1,0 +1,1 @@
+examples/analytic_explorer.ml: Array Continuous Dvs_analytical Dvs_power Float Format List Params Printf Savings Sys

@@ -1,0 +1,1 @@
+examples/analytic_explorer.mli:

@@ -1,0 +1,1 @@
+examples/memory_bound.ml: Array Dvs_core Dvs_lang Dvs_machine Dvs_power Dvs_profile Dvs_workloads Printf

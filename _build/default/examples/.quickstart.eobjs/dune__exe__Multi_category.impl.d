@@ -1,0 +1,1 @@
+examples/multi_category.ml: Array Deadlines Dvs_core Dvs_machine Dvs_power Dvs_profile Dvs_workloads Printf Workload

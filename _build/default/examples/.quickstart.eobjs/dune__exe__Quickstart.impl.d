@@ -1,0 +1,1 @@
+examples/quickstart.ml: Array Dvs_core Dvs_ir Dvs_lang Dvs_machine Dvs_power Dvs_profile List Pipeline Printf String

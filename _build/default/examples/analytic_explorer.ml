@@ -1,0 +1,59 @@
+(* Explore the Section 3 analytical model from the command line:
+
+     dune exec examples/analytic_explorer.exe -- \
+       [Noverlap_kcyc] [Ndependent_kcyc] [Ncache_kcyc] [tinv_us] [tdl_us]
+
+   Prints the case classification, the continuous-voltage optimum, and
+   discrete savings for 3/7/13-level tables. *)
+
+open Dvs_analytical
+
+let () =
+  let arg i default =
+    if Array.length Sys.argv > i then float_of_string Sys.argv.(i)
+    else default
+  in
+  (* Defaults: a memory-dominated point inside the 200-800MHz mode range. *)
+  let p =
+    Params.make
+      ~n_overlap:(arg 1 1500.0 *. 1e3)
+      ~n_dependent:(arg 2 1200.0 *. 1e3)
+      ~n_cache:(arg 3 300.0 *. 1e3)
+      ~t_invariant:(arg 4 3500.0 *. 1e-6)
+      ~t_deadline:(arg 5 6000.0 *. 1e-6)
+  in
+  Format.printf "parameters: %a@." Params.pp p;
+  Format.printf "case: %a  (f_ideal=%.0f MHz, f_invariant=%s)@."
+    Params.pp_case (Params.classify p)
+    (Params.f_ideal p /. 1e6)
+    (let fi = Params.f_invariant p in
+     if Float.is_finite fi then Printf.sprintf "%.0f MHz" (fi /. 1e6)
+     else "inf");
+
+  (match Continuous.single_frequency p with
+  | Some s ->
+    Format.printf "best single frequency: %.0f MHz at %.3f V, E=%.4g@."
+      (s.Continuous.f1 /. 1e6) s.Continuous.v1 s.Continuous.energy
+  | None -> Format.printf "deadline infeasible at any frequency@.");
+
+  (match Continuous.optimize p with
+  | Some s ->
+    Format.printf
+      "continuous optimum: overlap %.0f MHz at %.3f V, dependent %.0f MHz at \
+       %.3f V, E=%.4g@."
+      (s.Continuous.f1 /. 1e6) s.Continuous.v1
+      (s.Continuous.f2 /. 1e6) s.Continuous.v2 s.Continuous.energy
+  | None -> ());
+
+  (match Savings.continuous p with
+  | Some r -> Format.printf "continuous savings bound: %.1f%%@." (100.0 *. r)
+  | None -> ());
+
+  List.iter
+    (fun n ->
+      let table = Dvs_power.Mode.levels ~v_lo:0.75 ~v_hi:1.65 n in
+      match Savings.discrete p table with
+      | Some r ->
+        Format.printf "%2d voltage levels: savings %.1f%%@." n (100.0 *. r)
+      | None -> Format.printf "%2d voltage levels: infeasible@." n)
+    [ 3; 7; 13 ]

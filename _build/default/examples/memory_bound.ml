@@ -1,0 +1,81 @@
+(* The scenario that motivates compile-time DVS (Hsu-Kremer's intuition):
+   a memory-bound region can run at a low voltage with almost no time
+   cost.  This example compares three policies on such a program:
+
+   - the best single frequency meeting the deadline,
+   - a Hsu-Kremer-style greedy heuristic (slow down memory-bound blocks),
+   - the exact MILP schedule.
+
+     dune exec examples/memory_bound.exe *)
+
+let source =
+  "int big[32768]; int s; int i; int r;\n\
+   s = 0;\n\
+   // gather pass over a working set far beyond L2: DRAM-bound\n\
+   for (i = 0; i < 16384; i = i + 1) {\n\
+   \  s = s + big[(i * 13) % 32768];\n\
+   }\n\
+   // polynomial evaluation: pure compute\n\
+   r = 1;\n\
+   for (i = 0; i < 6000; i = i + 1) {\n\
+   \  r = (r * 31 + s) % 65537;\n\
+   \  r = r + ((r >> 3) ^ (r << 1));\n\
+   }"
+
+let () =
+  let cfg, layout = Dvs_lang.Lower.compile_string source in
+  (* Regulator scaled to this run length (see DESIGN.md section 5). *)
+  let machine =
+    Dvs_workloads.Workload.eval_config
+      ~regulator:(Dvs_power.Switch_cost.regulator ~capacitance:0.4e-6 ())
+      ()
+  in
+  let memory =
+    Array.init layout.Dvs_lang.Lower.memory_words (fun i -> (i * 7) mod 1000)
+  in
+  let profile = Dvs_profile.Profile.collect machine cfg ~memory in
+  let t_fast = Dvs_profile.Profile.pinned_time profile ~mode:2 in
+  let t_slow = Dvs_profile.Profile.pinned_time profile ~mode:0 in
+  let deadline = t_fast +. (0.55 *. (t_slow -. t_fast)) in
+  Printf.printf "feasible range %.3f..%.3f ms, deadline %.3f ms\n"
+    (t_fast *. 1e3) (t_slow *. 1e3) (deadline *. 1e3);
+
+  let report label time energy =
+    Printf.printf "%-24s %8.3f ms  %8.1f uJ%s\n" label (time *. 1e3)
+      (energy *. 1e6)
+      (if time <= deadline *. 1.005 then "" else "  (missed!)")
+  in
+
+  (* Policy 1: best single mode. *)
+  (match Dvs_core.Baselines.best_single_mode profile ~deadline with
+  | Some (mode, energy) ->
+    report
+      (Printf.sprintf "single mode %d" mode)
+      (Dvs_profile.Profile.pinned_time profile ~mode)
+      energy
+  | None -> print_endline "no feasible single mode");
+
+  (* Policy 2: Hsu-Kremer-style heuristic. *)
+  (match
+     Dvs_core.Baselines.hsu_kremer machine cfg ~memory ~profile ~deadline
+   with
+  | Some schedule ->
+    let r =
+      Dvs_machine.Cpu.run
+        ~initial_mode:schedule.Dvs_core.Schedule.entry_mode
+        ~edge_modes:(Dvs_core.Schedule.edge_modes schedule cfg)
+        machine cfg ~memory
+    in
+    report "hsu-kremer heuristic" r.Dvs_machine.Cpu.time
+      r.Dvs_machine.Cpu.energy
+  | None -> print_endline "heuristic found nothing");
+
+  (* Policy 3: the MILP. *)
+  match
+    (Dvs_core.Pipeline.optimize machine cfg ~memory ~deadline)
+      .Dvs_core.Pipeline.verification
+  with
+  | Some v ->
+    report "MILP optimal" v.Dvs_core.Verify.stats.Dvs_machine.Cpu.time
+      v.Dvs_core.Verify.stats.Dvs_machine.Cpu.energy
+  | None -> print_endline "MILP failed"

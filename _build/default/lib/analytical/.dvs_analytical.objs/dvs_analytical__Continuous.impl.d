@@ -1,0 +1,1 @@
+lib/analytical/continuous.ml: Alpha_power Array Dvs_numeric Dvs_power Float List Option Params

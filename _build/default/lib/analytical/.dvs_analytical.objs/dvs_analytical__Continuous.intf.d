@@ -1,0 +1,1 @@
+lib/analytical/continuous.mli: Dvs_power Params

@@ -1,0 +1,1 @@
+lib/analytical/discrete.ml: Dvs_numeric Dvs_power Float List Mode Option Params

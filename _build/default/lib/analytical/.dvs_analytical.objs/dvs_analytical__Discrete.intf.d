@@ -1,0 +1,1 @@
+lib/analytical/discrete.mli: Dvs_power Params

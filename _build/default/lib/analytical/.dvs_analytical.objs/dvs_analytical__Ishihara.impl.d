@@ -1,0 +1,1 @@
+lib/analytical/ishihara.ml: Alpha_power Discrete Dvs_power Params

@@ -1,0 +1,1 @@
+lib/analytical/ishihara.mli: Dvs_power Params

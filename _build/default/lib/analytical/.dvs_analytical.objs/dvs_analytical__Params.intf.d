@@ -1,0 +1,1 @@
+lib/analytical/params.mli: Format

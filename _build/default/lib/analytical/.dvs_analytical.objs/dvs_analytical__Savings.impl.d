@@ -1,0 +1,1 @@
+lib/analytical/savings.ml: Continuous Discrete Float Params

@@ -1,0 +1,1 @@
+lib/analytical/savings.mli: Dvs_power Params

@@ -1,0 +1,1 @@
+lib/analytical/sweep.ml: Array Float Savings

@@ -1,0 +1,1 @@
+lib/analytical/sweep.mli: Dvs_power Params

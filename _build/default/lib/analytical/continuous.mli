@@ -1,0 +1,47 @@
+(** Section 3.3: minimum-energy DVS schedules with a {e continuously}
+    scalable supply voltage.
+
+    Energy is measured in units of [volt^2 * cycles] (the effective
+    switched capacitance is a common constant that cancels in every ratio
+    the paper reports).
+
+    The optimizer splits the deadline into an overlap-phase budget [t1] and
+    a dependent-phase budget [t_deadline - t1] and minimizes the sum of the
+    two phases' energies over the split point.  This subsumes the paper's
+    three cases: the computation-dominated and slack cases come out with
+    [f1 = f2], the memory-dominated case with [f1 < f2]. *)
+
+type schedule = {
+  energy : float;  (** volt^2 * cycles *)
+  t1 : float;  (** overlap-phase wall time, seconds *)
+  f1 : float;  (** overlap-phase frequency, hertz *)
+  v1 : float;
+  f2 : float;  (** dependent-phase frequency (0 when [n_dependent = 0]) *)
+  v2 : float;
+}
+
+val single_frequency :
+  ?law:Dvs_power.Alpha_power.t -> Params.t -> schedule option
+(** The best {e single} frequency that just meets the deadline — the
+    baseline every savings number is measured against.  [None] when the
+    deadline is unreachable at any frequency (i.e. [t_deadline <
+    t_invariant] with work remaining). *)
+
+val optimize :
+  ?law:Dvs_power.Alpha_power.t -> ?n:int -> Params.t -> schedule option
+(** Minimum-energy schedule using (up to) two voltages.  [n] is the grid
+    resolution of the phase-split search (default 800).  Guaranteed no
+    worse than {!single_frequency}. *)
+
+val energy_at_v1 :
+  ?law:Dvs_power.Alpha_power.t -> Params.t -> float -> float option
+(** [energy_at_v1 p v1] fixes the overlap-phase voltage and derives the
+    dependent-phase voltage that exactly meets the deadline — the quantity
+    plotted in the paper's Figures 2-4.  [None] if [v1] leaves no time for
+    the dependent computation. *)
+
+val curve :
+  ?law:Dvs_power.Alpha_power.t -> ?n:int -> Params.t -> v_lo:float ->
+  v_hi:float -> (float * float) list
+(** Sampled [energy_at_v1] graph over a [v1] range (infeasible points are
+    omitted). *)

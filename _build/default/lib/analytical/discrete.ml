@@ -1,0 +1,184 @@
+open Dvs_power
+
+type assignment = { mode : Mode.t; cycles : float }
+
+type schedule = {
+  energy : float;
+  t1 : float;
+  phase1 : assignment list;
+  phase2 : assignment list;
+}
+
+let tol = 1e-9
+
+let energy_of_assignments assigns =
+  List.fold_left
+    (fun acc { mode; cycles } ->
+      acc +. (cycles *. mode.Mode.voltage *. mode.Mode.voltage))
+    0.0 assigns
+
+(* Split [cycles] across the two neighbor modes of [cycles/time]:
+   xa/fa + xb/fb = time, xa + xb = cycles. *)
+let split tbl ~cycles ~time =
+  if cycles = 0.0 then Some (0.0, [])
+  else if time <= 0.0 then None
+  else begin
+    let f_req = cycles /. time in
+    let fmax = (Mode.max_mode tbl).frequency in
+    if f_req > fmax *. (1.0 +. tol) then None
+    else begin
+      let a, b = Mode.neighbors tbl f_req in
+      let assigns =
+        if a.frequency = b.frequency then [ { mode = a; cycles } ]
+        else begin
+          let fa = a.frequency and fb = b.frequency in
+          let xa = fa *. ((fb *. time) -. cycles) /. (fb -. fa) in
+          let xa = Float.max 0.0 (Float.min cycles xa) in
+          let xb = cycles -. xa in
+          [ { mode = a; cycles = xa }; { mode = b; cycles = xb } ]
+        end
+      in
+      Some (energy_of_assignments assigns, assigns)
+    end
+  end
+
+let single_mode (p : Params.t) tbl =
+  let charged = Params.charged_overlap_cycles p +. p.n_dependent in
+  let feasible (m : Mode.t) =
+    Params.total_time p m.frequency <= p.t_deadline *. (1.0 +. tol)
+  in
+  let best =
+    List.fold_left
+      (fun acc m ->
+        if not (feasible m) then acc
+        else begin
+          let e = charged *. m.Mode.voltage *. m.Mode.voltage in
+          match acc with
+          | Some (_, e') when e' <= e -> acc
+          | _ -> Some (m, e)
+        end)
+      None (Mode.to_list tbl)
+  in
+  best
+
+(* Excess overlap cycles packed into the miss window [t_invariant], low
+   mode first (the paper's rule): as many as possible at [a], the rest at
+   [b]. *)
+let pack_extra ~t_invariant (a : Mode.t) (b : Mode.t) extra =
+  if extra <= 0.0 then Some (0.0, [])
+  else if extra <= t_invariant *. a.frequency *. (1.0 +. tol) then
+    Some (extra *. a.voltage *. a.voltage, [ { mode = a; cycles = extra } ])
+  else if b.frequency > a.frequency
+          && extra <= t_invariant *. b.frequency *. (1.0 +. tol)
+  then begin
+    let fa = a.frequency and fb = b.frequency in
+    let za = fa *. ((fb *. t_invariant) -. extra) /. (fb -. fa) in
+    let za = Float.max 0.0 (Float.min extra za) in
+    let zb = extra -. za in
+    let assigns = [ { mode = a; cycles = za }; { mode = b; cycles = zb } ] in
+    Some (energy_of_assignments assigns, assigns)
+  end
+  else None
+
+(* Overlap phase within wall time [t1].  Same two regimes as the
+   continuous case; the memory-side-bound regime is the paper's
+   four-frequency construction (cache split + extra packing). *)
+let phase1 (p : Params.t) tbl t1 =
+  let charged = Params.charged_overlap_cycles p in
+  if charged = 0.0 then
+    if t1 >= p.t_invariant *. (1.0 -. tol) then Some (0.0, []) else None
+  else begin
+    let mem_bound =
+      if p.n_cache > 0.0 && t1 > p.t_invariant then begin
+        let y = t1 -. p.t_invariant in
+        match split tbl ~cycles:p.n_cache ~time:y with
+        | None -> None
+        | Some (e_cache, cache_assigns) -> (
+          let a, b = Mode.neighbors tbl (p.n_cache /. y) in
+          let extra = Float.max 0.0 (p.n_overlap -. p.n_cache) in
+          match pack_extra ~t_invariant:p.t_invariant a b extra with
+          | None -> None
+          | Some (e_extra, extra_assigns) ->
+            Some (e_cache +. e_extra, cache_assigns @ extra_assigns))
+      end
+      else None
+    in
+    let compute_bound =
+      if p.n_overlap > 0.0 && p.n_overlap >= p.n_cache && t1 > 0.0
+         && p.t_invariant <= t1 *. (1.0 -. (p.n_cache /. p.n_overlap)) +. tol
+      then split tbl ~cycles:p.n_overlap ~time:t1
+      else None
+    in
+    match (mem_bound, compute_bound) with
+    | None, None -> None
+    | Some r, None | None, Some r -> Some r
+    | Some (e1, a1), Some (e2, a2) ->
+      Some (if e1 <= e2 then (e1, a1) else (e2, a2))
+  end
+
+let emin_of_y (p : Params.t) tbl y =
+  if y <= 0.0 then infinity
+  else begin
+    let t1 = p.t_invariant +. y in
+    match phase1 p tbl t1 with
+    | None -> infinity
+    | Some (e1, _) -> (
+      match split tbl ~cycles:p.n_dependent ~time:(p.t_deadline -. t1) with
+      | None -> infinity
+      | Some (e2, _) -> e1 +. e2)
+  end
+
+let optimize ?(n = 1600) (p : Params.t) tbl =
+  let base = single_mode p tbl in
+  let schedule_of_single ((m : Mode.t), e) =
+    let t1 =
+      if Params.charged_overlap_cycles p = 0.0 then p.t_invariant
+      else
+        Float.max
+          (p.t_invariant +. (p.n_cache /. m.frequency))
+          (p.n_overlap /. m.frequency)
+    in
+    { energy = e; t1;
+      phase1 =
+        (let c = Params.charged_overlap_cycles p in
+         if c > 0.0 then [ { mode = m; cycles = c } ] else []);
+      phase2 =
+        (if p.n_dependent > 0.0 then
+           [ { mode = m; cycles = p.n_dependent } ]
+         else []) }
+  in
+  if p.t_deadline <= p.t_invariant then Option.map schedule_of_single base
+  else begin
+    let cost t1 =
+      match phase1 p tbl t1 with
+      | None -> infinity
+      | Some (e1, _) -> (
+        match split tbl ~cycles:p.n_dependent ~time:(p.t_deadline -. t1) with
+        | None -> infinity
+        | Some (e2, _) -> e1 +. e2)
+    in
+    let span = p.t_deadline -. p.t_invariant in
+    let lo = p.t_invariant +. (span *. 1e-6) in
+    let hi =
+      if p.n_dependent > 0.0 then p.t_deadline -. (span *. 1e-6)
+      else p.t_deadline
+    in
+    let t1, e = Dvs_numeric.Optimize.grid_minimize ~n ~lo ~hi cost in
+    let multi =
+      if Float.is_finite e then begin
+        match (phase1 p tbl t1, split tbl ~cycles:p.n_dependent
+                                  ~time:(p.t_deadline -. t1))
+        with
+        | Some (e1, a1), Some (e2, a2) ->
+          Some { energy = e1 +. e2; t1; phase1 = a1; phase2 = a2 }
+        | _ -> None
+      end
+      else None
+    in
+    match (multi, base) with
+    | None, None -> None
+    | Some s, None -> Some s
+    | None, Some b -> Some (schedule_of_single b)
+    | Some s, Some ((_, eb) as b) ->
+      if eb < s.energy then Some (schedule_of_single b) else Some s
+  end

@@ -1,0 +1,48 @@
+(** Section 3.4: minimum-energy DVS schedules when the supply voltage is
+    restricted to a finite mode table.
+
+    Key results implemented here:
+    - executing [N] cycles within time [T] is cheapest using the two table
+      modes whose frequencies bracket [N/T] (Ishihara-Yasuura), implemented
+      by {!split};
+    - the computation-dominated and slack cases therefore need two modes;
+    - the memory-dominated case needs four modes, found by a 1-D search
+      over [y], the time allotted to the cache-hit cycles ({!emin_of_y},
+      the paper's Figure 8 curve).
+
+    Energy unit: [volt^2 * cycles]. *)
+
+type assignment = { mode : Dvs_power.Mode.t; cycles : float }
+
+type schedule = {
+  energy : float;
+  t1 : float;  (** overlap-phase wall time *)
+  phase1 : assignment list;  (** overlap-phase charged cycles per mode *)
+  phase2 : assignment list;  (** dependent-phase cycles per mode *)
+}
+
+val split :
+  Dvs_power.Mode.table -> cycles:float -> time:float ->
+  (float * assignment list) option
+(** [split tbl ~cycles ~time] is the minimum energy (and the mode
+    assignment) to execute [cycles] within [time], or [None] when even the
+    fastest mode is too slow.  When [cycles/time] is below the slowest
+    mode, everything runs there (the clock is gated once done). *)
+
+val single_mode :
+  Params.t -> Dvs_power.Mode.table -> (Dvs_power.Mode.t * float) option
+(** Best single mode meeting the deadline and its energy — the baseline of
+    the paper's discrete-case savings plots. *)
+
+val emin_of_y : Params.t -> Dvs_power.Mode.table -> float -> float
+(** [emin_of_y p tbl y] is the memory-dominated-case energy when the
+    cache-hit cycles are given exactly [y] seconds (Figure 8):
+    two neighbor modes of [n_cache/y] serve the overlap phase (excess
+    overlap cycles pack into the miss window, low mode first), two
+    neighbor modes of [n_dependent/(t_deadline - t_invariant - y)] serve
+    the dependent phase.  [infinity] when infeasible. *)
+
+val optimize : ?n:int -> Params.t -> Dvs_power.Mode.table -> schedule option
+(** Minimum-energy discrete schedule: a grid search over the phase split
+    combining the regime costs, never worse than {!single_mode}.
+    [n] is the grid resolution (default 1600). *)

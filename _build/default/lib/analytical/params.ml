@@ -1,0 +1,62 @@
+type t = {
+  n_overlap : float;
+  n_dependent : float;
+  n_cache : float;
+  t_invariant : float;
+  t_deadline : float;
+}
+
+let make ~n_overlap ~n_dependent ~n_cache ~t_invariant ~t_deadline =
+  let nonneg name v =
+    if not (v >= 0.0) then
+      invalid_arg (Printf.sprintf "Params.make: %s must be >= 0" name)
+  in
+  nonneg "n_overlap" n_overlap;
+  nonneg "n_dependent" n_dependent;
+  nonneg "n_cache" n_cache;
+  nonneg "t_invariant" t_invariant;
+  if not (t_deadline > 0.0) then
+    invalid_arg "Params.make: t_deadline must be positive";
+  { n_overlap; n_dependent; n_cache; t_invariant; t_deadline }
+
+let with_deadline p t_deadline = { p with t_deadline }
+
+type case =
+  | Computation_dominated
+  | Memory_dominated
+  | Memory_dominated_with_slack
+
+let f_ideal p = (p.n_overlap +. p.n_dependent) /. p.t_deadline
+
+let f_invariant p =
+  if p.t_invariant = 0.0 then infinity
+  else (p.n_overlap -. p.n_cache) /. p.t_invariant
+
+let classify p =
+  if p.n_cache >= p.n_overlap then Memory_dominated_with_slack
+  else if f_invariant p >= f_ideal p then Computation_dominated
+  else Memory_dominated
+
+let charged_overlap_cycles p = Float.max p.n_overlap p.n_cache
+
+let total_time p f =
+  let cycles = p.n_overlap +. p.n_dependent +. p.n_cache in
+  if cycles = 0.0 then p.t_invariant
+  else begin
+    if not (f > 0.0) then invalid_arg "Params.total_time: frequency must be > 0";
+    Float.max (p.t_invariant +. (p.n_cache /. f)) (p.n_overlap /. f)
+    +. (p.n_dependent /. f)
+  end
+
+let pp ppf p =
+  Format.fprintf ppf
+    "{Nov=%.4g cyc; Ndep=%.4g cyc; Ncache=%.4g cyc; tinv=%.4gus; tdl=%.4gus}"
+    p.n_overlap p.n_dependent p.n_cache
+    (p.t_invariant *. 1e6)
+    (p.t_deadline *. 1e6)
+
+let pp_case ppf = function
+  | Computation_dominated -> Format.pp_print_string ppf "computation-dominated"
+  | Memory_dominated -> Format.pp_print_string ppf "memory-dominated"
+  | Memory_dominated_with_slack ->
+    Format.pp_print_string ppf "memory-dominated-with-slack"

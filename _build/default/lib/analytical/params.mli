@@ -1,0 +1,71 @@
+(** Program parameters of the Section 3 analytical model.
+
+    A region of code is characterized by four quantities measured by
+    profiling (the paper's Table 7) plus a deadline:
+
+    - [n_overlap]: cycles of computation that can run in parallel with
+      outstanding memory operations;
+    - [n_dependent]: cycles of computation that must wait for memory
+      operations to complete;
+    - [n_cache]: cycles of memory operations that hit in the cache (these
+      consume processor clock cycles);
+    - [t_invariant]: wall-clock time of cache-miss service.  Memory is
+      asynchronous, so this time does not scale with the processor clock;
+    - [t_deadline]: the execution-time budget.
+
+    Cycle counts are floats (they are large and enter continuous
+    optimization).  Times are in seconds. *)
+
+type t = {
+  n_overlap : float;
+  n_dependent : float;
+  n_cache : float;
+  t_invariant : float;
+  t_deadline : float;
+}
+
+val make :
+  n_overlap:float -> n_dependent:float -> n_cache:float ->
+  t_invariant:float -> t_deadline:float -> t
+(** Raises [Invalid_argument] on negative cycle counts or times, or a
+    non-positive deadline. *)
+
+val with_deadline : t -> float -> t
+
+type case =
+  | Computation_dominated
+      (** A single frequency is optimal; memory time is hidden. *)
+  | Memory_dominated
+      (** Two frequencies are optimal (slow during the overlap region, fast
+          for the dependent computation). *)
+  | Memory_dominated_with_slack
+      (** [n_cache >= n_overlap]: slowing the overlap region dilates the
+          memory time itself, so a single frequency is again optimal. *)
+
+val classify : t -> case
+(** The paper's case analysis.  [Memory_dominated] iff
+    [n_cache < n_overlap] and [f_invariant < f_ideal]. *)
+
+val f_ideal : t -> float
+(** [(n_overlap + n_dependent) / t_deadline]: the single frequency that
+    just meets the deadline when memory is fully hidden. *)
+
+val f_invariant : t -> float
+(** [(n_overlap - n_cache) / t_invariant]: the frequency at which the
+    excess overlap computation exactly fills the cache-miss window.
+    [infinity] when [t_invariant = 0]. *)
+
+val charged_overlap_cycles : t -> float
+(** Processor-active cycles charged for the overlap region:
+    [max n_overlap n_cache] (the non-dominant activity runs concurrently;
+    idle cycles are clock-gated and free). *)
+
+val total_time : t -> float -> float
+(** [total_time p f] is the execution time when the whole region runs at
+    clock frequency [f]:
+    [max (t_invariant + n_cache/f) (n_overlap/f) + n_dependent/f].
+    Requires [f > 0] unless all cycle counts are zero. *)
+
+val pp : Format.formatter -> t -> unit
+
+val pp_case : Format.formatter -> case -> unit

@@ -1,0 +1,19 @@
+let ratio ~base ~opt =
+  if base <= 0.0 then 0.0 else Float.max 0.0 (1.0 -. (opt /. base))
+
+let continuous ?law (p : Params.t) =
+  match Continuous.single_frequency ?law p with
+  | None -> None
+  | Some base -> (
+    match Continuous.optimize ?law p with
+    | None -> Some 0.0
+    | Some opt ->
+      Some (ratio ~base:base.Continuous.energy ~opt:opt.Continuous.energy))
+
+let discrete (p : Params.t) tbl =
+  match Discrete.single_mode p tbl with
+  | None -> None
+  | Some (_, base) -> (
+    match Discrete.optimize p tbl with
+    | None -> Some 0.0
+    | Some opt -> Some (ratio ~base ~opt:opt.Discrete.energy))

@@ -1,0 +1,14 @@
+(** Energy-saving ratios: how much better the optimal multi-voltage
+    schedule is than the best single frequency that meets the deadline.
+
+    Ratio = [1 - E_optimal / E_single].  Zero means intra-program DVS buys
+    nothing (a single setting is already optimal); the paper's headline
+    surfaces (Figures 5-7 and 9-11) and Tables 1/6 are all in this unit. *)
+
+val continuous :
+  ?law:Dvs_power.Alpha_power.t -> Params.t -> float option
+(** [None] when the deadline is infeasible.  Clamped at 0 from below. *)
+
+val discrete : Params.t -> Dvs_power.Mode.table -> float option
+(** Savings with a finite mode table.  [None] when even the fastest mode
+    misses the deadline. *)

@@ -1,0 +1,40 @@
+type surface = {
+  x_label : string;
+  y_label : string;
+  xs : float array;
+  ys : float array;
+  z : float array array;
+}
+
+let surface ~x_label ~y_label ~xs ~ys f =
+  let z =
+    Array.map
+      (fun y ->
+        Array.map
+          (fun x -> match f x y with Some v -> v | None -> Float.nan)
+          xs)
+      ys
+  in
+  { x_label; y_label; xs; ys; z }
+
+let max_point s =
+  let best = ref None in
+  Array.iteri
+    (fun iy row ->
+      Array.iteri
+        (fun ix v ->
+          if Float.is_finite v then
+            match !best with
+            | Some (_, _, v') when v' >= v -> ()
+            | _ -> best := Some (s.xs.(ix), s.ys.(iy), v))
+        row)
+    s.z;
+  !best
+
+let continuous_savings ?law ~base ~x_label ~y_label ~xs ~ys set =
+  surface ~x_label ~y_label ~xs ~ys (fun x y ->
+      Savings.continuous ?law (set base x y))
+
+let discrete_savings ~table ~base ~x_label ~y_label ~xs ~ys set =
+  surface ~x_label ~y_label ~xs ~ys (fun x y ->
+      Savings.discrete (set base x y) table)

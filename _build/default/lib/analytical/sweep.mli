@@ -1,0 +1,31 @@
+(** Two-parameter sweeps of the savings ratio — the raw data behind the
+    paper's surface plots (Figures 5-7 continuous, 9-11 discrete). *)
+
+type surface = {
+  x_label : string;
+  y_label : string;
+  xs : float array;
+  ys : float array;
+  z : float array array;  (** [z.(iy).(ix)], NaN where infeasible *)
+}
+
+val surface :
+  x_label:string -> y_label:string -> xs:float array -> ys:float array ->
+  (float -> float -> float option) -> surface
+(** [surface ~xs ~ys f] evaluates [f x y] on the grid; [None] becomes
+    NaN. *)
+
+val max_point : surface -> (float * float * float) option
+(** [(x, y, z)] of the maximum finite cell, if any. *)
+
+val continuous_savings :
+  ?law:Dvs_power.Alpha_power.t -> base:Params.t -> x_label:string ->
+  y_label:string -> xs:float array -> ys:float array ->
+  (Params.t -> float -> float -> Params.t) -> surface
+(** Savings surface for the continuous model: the final argument maps
+    [base x y] to the parameter point of each cell. *)
+
+val discrete_savings :
+  table:Dvs_power.Mode.table -> base:Params.t -> x_label:string ->
+  y_label:string -> xs:float array -> ys:float array ->
+  (Params.t -> float -> float -> Params.t) -> surface

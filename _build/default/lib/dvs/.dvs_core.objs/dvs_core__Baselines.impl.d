@@ -1,0 +1,1 @@
+lib/dvs/baselines.ml: Array Cfg Dvs_ir Dvs_machine Dvs_power Dvs_profile Float Fun List Schedule

@@ -1,0 +1,1 @@
+lib/dvs/baselines.mli: Dvs_ir Dvs_machine Dvs_profile Schedule

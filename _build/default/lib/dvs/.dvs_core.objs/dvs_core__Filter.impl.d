@@ -1,0 +1,1 @@
+lib/dvs/filter.ml: Array Cfg Dvs_ir Dvs_profile Float Fun List

@@ -1,0 +1,1 @@
+lib/dvs/filter.mli: Dvs_ir Dvs_profile

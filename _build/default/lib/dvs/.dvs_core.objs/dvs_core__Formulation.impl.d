@@ -1,0 +1,1 @@
+lib/dvs/formulation.ml: Array Cfg Dvs_ir Dvs_lp Dvs_machine Dvs_power Dvs_profile Expr Fun Hashtbl List Model Printf Simplex

@@ -1,0 +1,1 @@
+lib/dvs/formulation.mli: Dvs_ir Dvs_lp Dvs_power Dvs_profile

@@ -1,0 +1,1 @@
+lib/dvs/instrument.ml: Array Cfg Dvs_ir Hashtbl Instr List Printf Schedule

@@ -1,0 +1,1 @@
+lib/dvs/instrument.mli: Dvs_ir Schedule

@@ -1,0 +1,1 @@
+lib/dvs/pipeline.ml: Array Dvs_lp Dvs_machine Dvs_milp Dvs_power Dvs_profile Filter Formulation List Option Schedule Sys Verify

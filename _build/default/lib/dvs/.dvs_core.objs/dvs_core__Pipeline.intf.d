@@ -1,0 +1,1 @@
+lib/dvs/pipeline.mli: Dvs_ir Dvs_machine Dvs_milp Dvs_power Formulation Schedule Verify

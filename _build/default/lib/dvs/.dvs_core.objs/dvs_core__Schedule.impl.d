@@ -1,0 +1,1 @@
+lib/dvs/schedule.ml: Array Buffer Cfg Dvs_ir Format Formulation List Printf String

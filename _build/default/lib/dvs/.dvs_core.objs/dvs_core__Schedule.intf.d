@@ -1,0 +1,1 @@
+lib/dvs/schedule.mli: Dvs_ir Dvs_lp Format Formulation

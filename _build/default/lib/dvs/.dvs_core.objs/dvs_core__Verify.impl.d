@@ -1,0 +1,1 @@
+lib/dvs/verify.ml: Dvs_machine Float Schedule

@@ -1,0 +1,1 @@
+lib/dvs/verify.mli: Dvs_ir Dvs_machine Schedule

@@ -1,0 +1,111 @@
+open Dvs_ir
+
+let representatives ?(threshold = 0.02) ?weights profiles =
+  (match profiles with
+  | [] -> invalid_arg "Filter.representatives: no profiles"
+  | _ -> ());
+  let p0 = List.hd profiles in
+  let cfg = p0.Dvs_profile.Profile.cfg in
+  let edges = Cfg.edges cfg in
+  let n = Array.length edges in
+  let weights =
+    match weights with
+    | Some ws ->
+      if List.length ws <> List.length profiles then
+        invalid_arg "Filter.representatives: weight count mismatch";
+      ws
+    | None ->
+      let k = List.length profiles in
+      List.init k (fun _ -> 1.0 /. float_of_int k)
+  in
+  (* Weighted destination energy per edge, at the fastest mode. *)
+  let energy_of = Array.make n 0.0 in
+  List.iter2
+    (fun (p : Dvs_profile.Profile.t) w ->
+      let mode = Array.length p.runs - 1 in
+      Array.iteri
+        (fun idx count ->
+          let j = edges.(idx).Cfg.dst in
+          energy_of.(idx) <-
+            energy_of.(idx)
+            +. (w *. float_of_int count
+                *. Dvs_profile.Profile.block_energy p ~mode j))
+        p.edge_count)
+    profiles weights;
+  let total = Array.fold_left ( +. ) 0.0 energy_of in
+  (* Mark the cheap cumulative tail as filtered. *)
+  let order = Array.init n Fun.id in
+  Array.sort (fun a b -> Float.compare energy_of.(a) energy_of.(b)) order;
+  let filtered = Array.make n false in
+  let acc = ref 0.0 in
+  Array.iter
+    (fun idx ->
+      acc := !acc +. energy_of.(idx);
+      if !acc <= threshold *. total then filtered.(idx) <- true)
+    order;
+  (* Dominant incoming edge of each block (by combined count); the
+     virtual entry edge (id = n) can be the dominant predecessor of the
+     entry block. *)
+  let combined_count = Array.make n 0.0 in
+  let entry_count = ref 0.0 in
+  List.iter2
+    (fun (p : Dvs_profile.Profile.t) w ->
+      Array.iteri
+        (fun idx c ->
+          combined_count.(idx) <-
+            combined_count.(idx) +. (w *. float_of_int c))
+        p.edge_count;
+      entry_count := !entry_count +. (w *. float_of_int p.entry_count))
+    profiles weights;
+  let dominant_in = Array.make (Cfg.num_blocks cfg) (-1) in
+  let best_count = Array.make (Cfg.num_blocks cfg) neg_infinity in
+  Array.iteri
+    (fun idx (e : Cfg.edge) ->
+      if combined_count.(idx) > best_count.(e.dst) then begin
+        best_count.(e.dst) <- combined_count.(idx);
+        dominant_in.(e.dst) <- idx
+      end)
+    edges;
+  if !entry_count > best_count.(Cfg.entry cfg) then
+    dominant_in.(Cfg.entry cfg) <- n (* the virtual edge *);
+  (* Tie each filtered edge to the dominant edge entering its source
+     block, following chains; break cycles by keeping independent. *)
+  let repr = Array.init (n + 1) Fun.id in
+  let rec resolve visited idx =
+    if not filtered.(idx) then idx
+    else if List.mem idx visited then idx (* cycle: stay independent *)
+    else begin
+      let src = edges.(idx).Cfg.src in
+      let target = dominant_in.(src) in
+      if target < 0 || target = idx then idx
+      else if target = n then n
+      else resolve (idx :: visited) target
+    end
+  in
+  for idx = 0 to n - 1 do
+    repr.(idx) <- resolve [] idx
+  done;
+  repr
+
+let independent_count repr =
+  let n = Array.length repr in
+  let count = ref 0 in
+  for i = 0 to n - 1 do
+    if repr.(i) = i then incr count
+  done;
+  !count
+
+let block_based cfg =
+  let edges = Cfg.edges cfg in
+  let n = Array.length edges in
+  let repr = Array.init (n + 1) Fun.id in
+  (* First incoming edge of each block represents the rest; the entry
+     block's group is led by the virtual entry edge. *)
+  let leader = Array.make (Cfg.num_blocks cfg) (-1) in
+  leader.(Cfg.entry cfg) <- n;
+  Array.iteri
+    (fun idx (e : Cfg.edge) ->
+      if leader.(e.dst) < 0 then leader.(e.dst) <- idx;
+      repr.(idx) <- leader.(e.dst))
+    edges;
+  repr

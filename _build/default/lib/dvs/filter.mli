@@ -1,0 +1,29 @@
+(** Edge filtering (Section 5.2): shrink the MILP by tying the mode of
+    low-energy edges to the mode of their block's dominant incoming edge.
+
+    Rule: rank edges by total destination energy [G_ij * E_j] (at a
+    reference mode); edges in the cumulative tail below [threshold]
+    (default 2%) of the total give up their independent mode variable and
+    reuse the variable group of the highest-count edge entering their
+    source block.  Ties are followed transitively; cycles (possible
+    around loops) break by keeping the edge independent.  Timing terms
+    are unaffected — only the variable count drops. *)
+
+val representatives :
+  ?threshold:float ->
+  ?weights:float list ->
+  Dvs_profile.Profile.t list ->
+  int array
+(** [representatives profiles] returns the edge-id [->] representative
+    map expected by {!Formulation.build} (length = real edges + 1; the
+    virtual entry edge is always independent).  Multiple profiles are
+    combined with [weights] (default: uniform). *)
+
+val independent_count : int array -> int
+(** Number of independent edges in a representative map. *)
+
+val block_based : Dvs_ir.Cfg.t -> int array
+(** The granularity of prior work (Saputra et al.): one mode per
+    {e block} rather than per edge, expressed as a representative map
+    that ties all of a block's incoming edges together.  Used by the
+    ablation experiment that quantifies what edge-granularity buys. *)

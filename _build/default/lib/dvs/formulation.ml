@@ -1,0 +1,168 @@
+open Dvs_lp
+open Dvs_ir
+
+type category = {
+  profile : Dvs_profile.Profile.t;
+  weight : float;
+  deadline : float;
+}
+
+type t = {
+  model : Model.t;
+  cfg : Cfg.t;
+  n_real_edges : int;
+  virtual_edge : int;
+  repr : int array;
+  kvars : (int * Model.var array) list;
+  modes : Dvs_power.Mode.table;
+  n_binaries : int;
+}
+
+(* Work in microseconds / microjoules to keep the simplex well scaled. *)
+let us = 1e6
+let uj = 1e6
+
+let build ?repr ~regulator categories =
+  (match categories with
+  | [] -> invalid_arg "Formulation.build: no categories"
+  | { profile = p0; _ } :: rest ->
+    List.iter
+      (fun c ->
+        if c.profile.Dvs_profile.Profile.cfg != p0.Dvs_profile.Profile.cfg
+        then
+          invalid_arg "Formulation.build: categories must share one CFG")
+      rest);
+  let p0 = (List.hd categories).profile in
+  let cfg = p0.Dvs_profile.Profile.cfg in
+  let modes = p0.Dvs_profile.Profile.config.Dvs_machine.Config.mode_table in
+  let n_modes = Dvs_power.Mode.size modes in
+  let edges = Cfg.edges cfg in
+  let n_real_edges = Array.length edges in
+  let virtual_edge = n_real_edges in
+  let n_all = n_real_edges + 1 in
+  let repr =
+    match repr with
+    | Some r ->
+      if Array.length r <> n_all then
+        invalid_arg "Formulation.build: repr has wrong length";
+      r
+    | None -> Array.init n_all Fun.id
+  in
+  (* Destination block of an edge id. *)
+  let dst_of id =
+    if id = virtual_edge then Cfg.entry cfg else edges.(id).Cfg.dst
+  in
+  let model = Model.create () in
+  (* Mode variables per representative edge. *)
+  let kvars_tbl = Hashtbl.create 64 in
+  let n_binaries = ref 0 in
+  for id = 0 to n_all - 1 do
+    if repr.(id) = id && not (Hashtbl.mem kvars_tbl id) then begin
+      let vars =
+        Array.init n_modes (fun m ->
+            Model.binary ~name:(Printf.sprintf "k_e%d_m%d" id m) model)
+      in
+      Hashtbl.replace kvars_tbl id vars;
+      n_binaries := !n_binaries + n_modes;
+      Model.add_constraint ~name:(Printf.sprintf "one_mode_e%d" id) model
+        (Expr.of_terms (List.init n_modes (fun m -> (1.0, vars.(m)))))
+        Model.Eq 1.0
+    end
+  done;
+  let kvars_of id = Hashtbl.find kvars_tbl repr.(id) in
+  (* Voltage-combination expressions of an edge: sum_m k_m * f(V_m). *)
+  let vexpr id f =
+    let vars = kvars_of id in
+    Expr.of_terms
+      (List.init n_modes (fun m ->
+           (f (Dvs_power.Mode.get modes m).Dvs_power.Mode.voltage, vars.(m))))
+  in
+  (* Transition variables per (repr in-edge, repr out-edge) pair. *)
+  let trans_tbl = Hashtbl.create 64 in
+  let trans_vars ri ro =
+    match Hashtbl.find_opt trans_tbl (ri, ro) with
+    | Some pair -> pair
+    | None ->
+      let e =
+        Model.add_var ~name:(Printf.sprintf "e_%d_%d" ri ro) model
+      in
+      let tv =
+        Model.add_var ~name:(Printf.sprintf "t_%d_%d" ri ro) model
+      in
+      let dv2 =
+        Expr.sub (vexpr ri (fun v -> v *. v)) (vexpr ro (fun v -> v *. v))
+      in
+      Model.add_constraint model (Expr.sub dv2 (Expr.var e)) Model.Le 0.0;
+      Model.add_constraint model
+        (Expr.sub (Expr.scale (-1.0) dv2) (Expr.var e))
+        Model.Le 0.0;
+      let dv = Expr.sub (vexpr ri (fun v -> v)) (vexpr ro (fun v -> v)) in
+      Model.add_constraint model (Expr.sub dv (Expr.var tv)) Model.Le 0.0;
+      Model.add_constraint model
+        (Expr.sub (Expr.scale (-1.0) dv) (Expr.var tv))
+        Model.Le 0.0;
+      Hashtbl.replace trans_tbl (ri, ro) (e, tv);
+      (e, tv)
+  in
+  let edge_id_of_path_in (p : Dvs_profile.Profile.path) =
+    match p.Dvs_profile.Profile.pred with
+    | None -> virtual_edge
+    | Some h -> Cfg.edge_index cfg { Cfg.src = h; dst = p.Dvs_profile.Profile.node }
+  in
+  let ce = Dvs_power.Switch_cost.energy_coeff regulator *. uj in
+  let ct = Dvs_power.Switch_cost.time_coeff regulator *. us in
+  (* Objective and per-category deadline constraints. *)
+  let objective = ref Expr.zero in
+  List.iter
+    (fun cat ->
+      let p = cat.profile in
+      let w = cat.weight in
+      let time_lhs = ref Expr.zero in
+      let add_edge_terms id count =
+        if count > 0 then begin
+          let j = dst_of id in
+          let vars = kvars_of id in
+          let c = float_of_int count in
+          for m = 0 to n_modes - 1 do
+            let e_jm = Dvs_profile.Profile.block_energy p ~mode:m j *. uj in
+            let t_jm = Dvs_profile.Profile.block_time p ~mode:m j *. us in
+            objective :=
+              Expr.add_term !objective (w *. c *. e_jm) vars.(m);
+            time_lhs := Expr.add_term !time_lhs (c *. t_jm) vars.(m)
+          done
+        end
+      in
+      Array.iteri
+        (fun idx count -> add_edge_terms idx count)
+        p.Dvs_profile.Profile.edge_count;
+      add_edge_terms virtual_edge p.Dvs_profile.Profile.entry_count;
+      List.iter
+        (fun (path, count) ->
+          let ri = repr.(edge_id_of_path_in path) in
+          let ro =
+            repr.(Cfg.edge_index cfg
+                    { Cfg.src = path.Dvs_profile.Profile.node;
+                      dst = path.Dvs_profile.Profile.succ })
+          in
+          if ri <> ro then begin
+            let e, tv = trans_vars ri ro in
+            let c = float_of_int count in
+            objective := Expr.add_term !objective (w *. c *. ce) e;
+            time_lhs := Expr.add_term !time_lhs (c *. ct) tv
+          end)
+        p.Dvs_profile.Profile.paths;
+      Model.add_constraint ~name:"deadline" model !time_lhs Model.Le
+        (cat.deadline *. us))
+    categories;
+  Model.set_objective model Model.Minimize !objective;
+  { model; cfg; n_real_edges; virtual_edge; repr;
+    kvars = Hashtbl.fold (fun k v acc -> (k, v) :: acc) kvars_tbl [];
+    modes; n_binaries = !n_binaries }
+
+let mode_of_edge t (sol : Simplex.solution) id =
+  let vars = List.assoc t.repr.(id) t.kvars in
+  let best = ref 0 in
+  Array.iteri
+    (fun m v -> if sol.values.(v) > sol.values.(vars.(!best)) then best := m)
+    vars;
+  !best

@@ -1,0 +1,51 @@
+(** The paper's MILP formulation (Section 4.2-4.3), built from profiles.
+
+    Decision variables: for every {e independent} edge [(i,j)] (real edges
+    plus one virtual entry edge that charges the entry block and chooses
+    the start mode) and every mode [m], a binary [k_ijm]; exactly one mode
+    per edge.  For every local path [(h,i,j)] a pair of continuous
+    variables [e_hij >= |sum_m k_him Vm^2 - sum_m k_ijm Vm^2|] and
+    [t_hij >= |sum_m k_him Vm - sum_m k_ijm Vm|] linearize the
+    Burd-Brodersen transition costs.
+
+    Objective (minimize, in microjoules):
+    [sum_g w_g (sum_(ij) sum_m G^g_ij k_ijm E^g_jm
+               + sum_(hij) D^g_hij CE e_hij)]
+
+    Deadline constraint per input category [g] (in microseconds):
+    [sum_(ij) sum_m G^g_ij k_ijm T^g_jm + sum_(hij) D^g_hij CT t_hij
+     <= deadline_g]
+
+    Edge filtering (Section 5.2) enters through [repr]: filtered edges
+    reuse the variable group of their representative, shrinking the
+    search space while keeping every energy/time term exact. *)
+
+type category = {
+  profile : Dvs_profile.Profile.t;
+  weight : float;  (** the paper's [p_g]; weights should sum to 1 *)
+  deadline : float;  (** seconds *)
+}
+
+type t = {
+  model : Dvs_lp.Model.t;
+  cfg : Dvs_ir.Cfg.t;
+  n_real_edges : int;
+  virtual_edge : int;  (** id of the virtual entry edge = [n_real_edges] *)
+  repr : int array;  (** edge id -> representative edge id *)
+  kvars : (int * Dvs_lp.Model.var array) list;
+      (** representative edge id -> its mode variables *)
+  modes : Dvs_power.Mode.table;
+  n_binaries : int;  (** independent binary count, for reporting *)
+}
+
+val build :
+  ?repr:int array ->
+  regulator:Dvs_power.Switch_cost.regulator ->
+  category list -> t
+(** All categories must share the CFG and mode table.  [repr] defaults to
+    the identity (no filtering).  Raises [Invalid_argument] on an empty
+    category list or mismatched CFGs. *)
+
+val mode_of_edge :
+  t -> Dvs_lp.Simplex.solution -> int -> int
+(** Chosen mode of an edge id (real or virtual), following [repr]. *)

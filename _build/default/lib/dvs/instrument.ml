@@ -1,0 +1,182 @@
+open Dvs_ir
+
+let mode_of schedule cfg e = Schedule.edge_modes schedule cfg e
+
+let apply (schedule : Schedule.t) cfg =
+  let n = Cfg.num_blocks cfg in
+  (* Decide placement per edge. *)
+  let uniform_in = Array.make n None in
+  (* mode if all in-edges agree *)
+  let has_preds = Array.make n false in
+  Array.iter
+    (fun (e : Cfg.edge) ->
+      let m = mode_of schedule cfg e in
+      if not has_preds.(e.dst) then begin
+        has_preds.(e.dst) <- true;
+        uniform_in.(e.dst) <- m
+      end
+      else if uniform_in.(e.dst) <> m then uniform_in.(e.dst) <- None)
+    (Cfg.edges cfg);
+  let uniform_out = Array.make n None in
+  let has_succs = Array.make n false in
+  Array.iter
+    (fun (e : Cfg.edge) ->
+      let m = mode_of schedule cfg e in
+      if not has_succs.(e.src) then begin
+        has_succs.(e.src) <- true;
+        uniform_out.(e.src) <- m
+      end
+      else if uniform_out.(e.src) <> m then uniform_out.(e.src) <- None)
+    (Cfg.edges cfg);
+  (* An edge needs a split block iff neither endpoint absorbs it. *)
+  let needs_split (e : Cfg.edge) =
+    match mode_of schedule cfg e with
+    | None -> None
+    | Some m ->
+      if has_preds.(e.dst) && uniform_in.(e.dst) = Some m then None
+        (* handled at dst head; note all in-edges carry m *)
+      else if uniform_out.(e.src) = Some m then None (* handled at src tail *)
+      else Some m
+  in
+  let b = Cfg.Builder.create () in
+  (* Recreate original blocks (same labels, bodies filled below). *)
+  let blocks = Cfg.blocks cfg in
+  Array.iter
+    (fun (blk : Cfg.block) ->
+      ignore (Cfg.Builder.add_block ~name:blk.name b))
+    blocks;
+  (* The entry mode-set must execute exactly once.  If the entry block
+     can be re-entered (it is a loop target), give the program a fresh
+     preamble block instead of planting the mode-set inside it. *)
+  let entry_needs_preamble = Cfg.predecessors cfg (Cfg.entry cfg) <> [] in
+  let preamble =
+    if entry_needs_preamble then begin
+      let l = Cfg.Builder.add_block ~name:"modeset.entry" b in
+      Cfg.Builder.push b l (Instr.Modeset schedule.Schedule.entry_mode);
+      Cfg.Builder.set_term b l (Cfg.Jump (Cfg.entry cfg));
+      Some l
+    end
+    else None
+  in
+  (* Allocate split blocks. *)
+  let split_of = Hashtbl.create 16 in
+  Array.iter
+    (fun (e : Cfg.edge) ->
+      match needs_split e with
+      | Some m ->
+        let l =
+          Cfg.Builder.add_block
+            ~name:(Printf.sprintf "modeset.%d.%d" e.src e.dst) b
+        in
+        Cfg.Builder.push b l (Instr.Modeset m);
+        Cfg.Builder.set_term b l (Cfg.Jump e.dst);
+        Hashtbl.replace split_of (e.src, e.dst) l
+      | None -> ())
+    (Cfg.edges cfg);
+  let target src dst =
+    match Hashtbl.find_opt split_of (src, dst) with
+    | Some l -> l
+    | None -> dst
+  in
+  Array.iter
+    (fun (blk : Cfg.block) ->
+      let l = blk.label in
+      (* Entry mode-set, then head mode-set when all in-edges agree. *)
+      if l = Cfg.entry cfg && preamble = None then
+        Cfg.Builder.push b l (Instr.Modeset schedule.Schedule.entry_mode);
+      (match (has_preds.(l), uniform_in.(l)) with
+      | true, Some m -> Cfg.Builder.push b l (Instr.Modeset m)
+      | _ -> ());
+      Array.iter (fun i -> Cfg.Builder.push b l i) blk.body;
+      (* Tail mode-set when out-edges agree but the dst heads don't
+         absorb them. *)
+      (match (has_succs.(l), uniform_out.(l)) with
+      | true, Some m ->
+        let absorbed_by_dsts =
+          List.for_all
+            (fun dst -> has_preds.(dst) && uniform_in.(dst) = Some m)
+            (Cfg.successors cfg l)
+        in
+        if not absorbed_by_dsts then
+          Cfg.Builder.push b l (Instr.Modeset m)
+      | _ -> ());
+      let term =
+        match blk.term with
+        | Cfg.Halt -> Cfg.Halt
+        | Cfg.Jump d -> Cfg.Jump (target l d)
+        | Cfg.Branch (r, t, f) -> Cfg.Branch (r, target l t, target l f)
+      in
+      Cfg.Builder.set_term b l term)
+    blocks;
+  let entry =
+    match preamble with Some l -> l | None -> Cfg.entry cfg
+  in
+  Cfg.Builder.finish b ~entry
+
+(* Forward dataflow: the DVS mode held at each program point.  [None] =
+   unknown. *)
+let simplify cfg =
+  let n = Cfg.num_blocks cfg in
+  let in_mode : int option array = Array.make n None in
+  let out_mode : int option array = Array.make n None in
+  let transfer (blk : Cfg.block) inm =
+    Array.fold_left
+      (fun m i -> match i with Instr.Modeset x -> Some x | _ -> m)
+      inm blk.body
+  in
+  let meet a b = match (a, b) with
+    | Some x, Some y when x = y -> Some x
+    | _ -> None
+  in
+  (* Fixpoint.  [out] starts optimistic at the transfer of Unknown. *)
+  let blocks = Cfg.blocks cfg in
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    Array.iter
+      (fun (blk : Cfg.block) ->
+        let l = blk.label in
+        let preds = Cfg.predecessors cfg l in
+        let inm =
+          if l = Cfg.entry cfg then None
+          else
+            match preds with
+            | [] -> None
+            | p :: rest ->
+              List.fold_left (fun acc q -> meet acc out_mode.(q))
+                out_mode.(p) rest
+        in
+        let outm = transfer blk inm in
+        if inm <> in_mode.(l) || outm <> out_mode.(l) then begin
+          in_mode.(l) <- inm;
+          out_mode.(l) <- outm;
+          changed := true
+        end)
+      blocks
+  done;
+  (* Drop every Modeset whose mode already holds. *)
+  Cfg.map_blocks
+    (fun blk ->
+      let mode = ref in_mode.(blk.label) in
+      let body =
+        Array.to_list blk.body
+        |> List.filter (fun i ->
+               match i with
+               | Instr.Modeset m ->
+                 if !mode = Some m then false
+                 else begin
+                   mode := Some m;
+                   true
+                 end
+               | _ -> true)
+      in
+      { blk with body = Array.of_list body })
+    cfg
+
+let static_modesets cfg =
+  Array.fold_left
+    (fun acc (blk : Cfg.block) ->
+      Array.fold_left
+        (fun acc i -> match i with Instr.Modeset _ -> acc + 1 | _ -> acc)
+        acc blk.body)
+    0 (Cfg.blocks cfg)

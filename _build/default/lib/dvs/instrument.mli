@@ -1,0 +1,29 @@
+(** Materializing a schedule as real [Modeset] instructions.
+
+    The optimizer's output attaches a mode to every CFG {e edge}; the
+    machine model can execute that directly (an idealized "mode-set on
+    the wire").  A real compiler must place instructions (Section 7 of
+    the paper): naively, every edge needs its own split block — an extra
+    jump on every traversal.  This pass places mode-sets frugally and
+    then removes provably redundant ones:
+
+    - if all of a block's incoming edges agree on the mode, the mode-set
+      moves to the block's head (no split);
+    - else if all of the source's outgoing edges agree, it moves before
+      the terminator;
+    - only genuinely conflicting edges get split blocks;
+    - a forward dataflow pass then deletes every mode-set whose mode
+      already holds on entry (this is what hoists the silent back-edge
+      mode-sets of hot loops out of existence).  *)
+
+val apply : Schedule.t -> Dvs_ir.Cfg.t -> Dvs_ir.Cfg.t
+(** Instrumented CFG: the original blocks (same labels) plus split
+    blocks appended at fresh labels.  Includes an entry mode-set. *)
+
+val simplify : Dvs_ir.Cfg.t -> Dvs_ir.Cfg.t
+(** Redundant-mode-set elimination by forward dataflow over the modes
+    (iterated to a fixed point).  Sound for any CFG containing
+    [Modeset] instructions. *)
+
+val static_modesets : Dvs_ir.Cfg.t -> int
+(** Number of [Modeset] instructions in the program text. *)

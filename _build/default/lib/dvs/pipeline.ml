@@ -1,0 +1,101 @@
+type options = {
+  filter : bool;
+  filter_threshold : float;
+  milp : Dvs_milp.Branch_bound.options;
+  verify : bool;
+}
+
+let default_options =
+  { filter = true; filter_threshold = 0.02;
+    milp = Dvs_milp.Branch_bound.default_options; verify = true }
+
+type result = {
+  categories : Formulation.category list;
+  formulation : Formulation.t;
+  milp : Dvs_milp.Branch_bound.result;
+  predicted_energy : float option;
+  schedule : Schedule.t option;
+  verification : Verify.report option;
+  solve_seconds : float;
+  independent_edges : int;
+}
+
+let optimize_multi ?(options = default_options) ?verify_config ~regulator
+    ~memory categories =
+  let profiles =
+    List.map (fun (c : Formulation.category) -> c.Formulation.profile)
+      categories
+  in
+  let weights =
+    List.map (fun (c : Formulation.category) -> c.Formulation.weight)
+      categories
+  in
+  let repr =
+    if options.filter then
+      Some
+        (Filter.representatives ~threshold:options.filter_threshold ~weights
+           profiles)
+    else None
+  in
+  let formulation = Formulation.build ?repr ~regulator categories in
+  let independent_edges =
+    match repr with
+    | Some r -> Filter.independent_count r
+    | None -> Array.length formulation.Formulation.repr
+  in
+  let t0 = Sys.time () in
+  let n_modes =
+    Dvs_power.Mode.size formulation.Formulation.modes
+  in
+  let milp_options =
+    { options.milp with
+      Dvs_milp.Branch_bound.sos1 =
+        List.map
+          (fun (_, vars) -> Array.to_list vars)
+          formulation.Formulation.kvars;
+      (* Every edge at the fastest mode is feasible whenever the instance
+         is: seed the incumbent with it. *)
+      warm_start =
+        List.concat_map
+          (fun (_, vars) ->
+            List.init n_modes (fun m ->
+                (vars.(m), if m = n_modes - 1 then 1.0 else 0.0)))
+          formulation.Formulation.kvars }
+  in
+  let milp =
+    Dvs_milp.Branch_bound.solve ~options:milp_options
+      formulation.Formulation.model
+  in
+  let solve_seconds = Sys.time () -. t0 in
+  let predicted_energy =
+    Option.map
+      (fun (s : Dvs_lp.Simplex.solution) -> s.Dvs_lp.Simplex.objective /. 1e6)
+      milp.Dvs_milp.Branch_bound.solution
+  in
+  let schedule =
+    Option.map
+      (Schedule.of_solution formulation)
+      milp.Dvs_milp.Branch_bound.solution
+  in
+  let verification =
+    match (options.verify, schedule, predicted_energy, categories) with
+    | true, Some schedule, Some predicted_energy, cat0 :: _ ->
+      let profile = cat0.Formulation.profile in
+      let config =
+        match verify_config with
+        | Some c -> c
+        | None -> profile.Dvs_profile.Profile.config
+      in
+      Some
+        (Verify.run config profile.Dvs_profile.Profile.cfg ~memory ~schedule
+           ~deadline:cat0.Formulation.deadline ~predicted_energy)
+    | _ -> None
+  in
+  { categories; formulation; milp; predicted_energy; schedule; verification;
+    solve_seconds; independent_edges }
+
+let optimize ?options config cfg ~memory ~deadline =
+  let profile = Dvs_profile.Profile.collect config cfg ~memory in
+  optimize_multi ?options ~regulator:config.Dvs_machine.Config.regulator
+    ~memory
+    [ { Formulation.profile; weight = 1.0; deadline } ]

@@ -1,0 +1,41 @@
+(** End-to-end compile-time DVS: profile -> (filter) -> MILP -> schedule
+    -> verify.  The driver behind the experiments and the CLI. *)
+
+type options = {
+  filter : bool;  (** apply Section 5.2 edge filtering (default true) *)
+  filter_threshold : float;  (** default 0.02 *)
+  milp : Dvs_milp.Branch_bound.options;
+  verify : bool;  (** re-simulate the chosen schedule (default true) *)
+}
+
+val default_options : options
+
+type result = {
+  categories : Formulation.category list;
+  formulation : Formulation.t;
+  milp : Dvs_milp.Branch_bound.result;
+  predicted_energy : float option;  (** joules (objective / 1e6) *)
+  schedule : Schedule.t option;
+  verification : Verify.report option;  (** against the first category *)
+  solve_seconds : float;  (** CPU time in the MILP solver *)
+  independent_edges : int;  (** after filtering, incl. the virtual edge *)
+}
+
+val optimize_multi :
+  ?options:options ->
+  ?verify_config:Dvs_machine.Config.t ->
+  regulator:Dvs_power.Switch_cost.regulator ->
+  memory:int array ->
+  Formulation.category list -> result
+(** [memory] is the input used for verification (normally the first
+    category's).  [verify_config] overrides the machine used for the
+    verification run (default: the first profile's config); pass a config
+    carrying [regulator] when sweeping transition costs, so the simulator
+    charges the same costs the MILP modeled. *)
+
+val optimize :
+  ?options:options ->
+  Dvs_machine.Config.t -> Dvs_ir.Cfg.t -> memory:int array ->
+  deadline:float -> result
+(** Single input category: profiles, then runs {!optimize_multi} with the
+    config's regulator. *)

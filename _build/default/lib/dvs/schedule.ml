@@ -1,0 +1,73 @@
+open Dvs_ir
+
+type t = { edge_mode : int array; entry_mode : int }
+
+let of_solution (f : Formulation.t) sol =
+  { edge_mode =
+      Array.init f.Formulation.n_real_edges (fun id ->
+          Formulation.mode_of_edge f sol id);
+    entry_mode = Formulation.mode_of_edge f sol f.Formulation.virtual_edge }
+
+let uniform cfg mode =
+  { edge_mode = Array.make (Array.length (Cfg.edges cfg)) mode;
+    entry_mode = mode }
+
+let edge_modes t cfg e =
+  match Cfg.edge_index cfg e with
+  | idx -> Some t.edge_mode.(idx)
+  | exception Not_found -> None
+
+let distinct_modes t =
+  List.sort_uniq compare (t.entry_mode :: Array.to_list t.edge_mode)
+
+let to_string t =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf (Printf.sprintf "entry %d\n" t.entry_mode);
+  Array.iteri
+    (fun i m -> Buffer.add_string buf (Printf.sprintf "edge %d %d\n" i m))
+    t.edge_mode;
+  Buffer.contents buf
+
+let of_string s =
+  let lines =
+    String.split_on_char '\n' s
+    |> List.map String.trim
+    |> List.filter (fun l -> l <> "")
+  in
+  let entry = ref None in
+  let edges = ref [] in
+  let error = ref None in
+  List.iter
+    (fun line ->
+      if !error = None then
+        match String.split_on_char ' ' line with
+        | [ "entry"; m ] -> (
+          match int_of_string_opt m with
+          | Some m -> entry := Some m
+          | None -> error := Some ("bad entry mode: " ^ line))
+        | [ "edge"; i; m ] -> (
+          match (int_of_string_opt i, int_of_string_opt m) with
+          | Some i, Some m -> edges := (i, m) :: !edges
+          | _ -> error := Some ("bad edge line: " ^ line))
+        | _ -> error := Some ("unrecognized line: " ^ line))
+    lines;
+  match (!error, !entry) with
+  | Some e, _ -> Error e
+  | None, None -> Error "missing entry line"
+  | None, Some entry_mode ->
+    let edges = List.rev !edges in
+    let n = List.length edges in
+    let edge_mode = Array.make n 0 in
+    let ok = ref true in
+    List.iter
+      (fun (i, m) ->
+        if i < 0 || i >= n then ok := false else edge_mode.(i) <- m)
+      edges;
+    if !ok then Ok { edge_mode; entry_mode }
+    else Error "edge indices must be dense 0..n-1"
+
+let pp ppf t =
+  Format.fprintf ppf "@[<v>entry mode: %d@," t.entry_mode;
+  Array.iteri (fun i m -> Format.fprintf ppf "edge %d -> mode %d@," i m)
+    t.edge_mode;
+  Format.fprintf ppf "@]"

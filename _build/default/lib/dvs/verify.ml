@@ -1,0 +1,25 @@
+type report = {
+  stats : Dvs_machine.Cpu.run_stats;
+  deadline : float;
+  meets_deadline : bool;
+  predicted_energy : float;
+  energy_error : float;
+}
+
+let run ?fuel config cfg ~memory ~schedule ~deadline ~predicted_energy =
+  let stats =
+    Dvs_machine.Cpu.run ?fuel
+      ~initial_mode:schedule.Schedule.entry_mode
+      ~edge_modes:(Schedule.edge_modes schedule cfg)
+      config cfg ~memory
+  in
+  let meets_deadline =
+    stats.Dvs_machine.Cpu.time <= deadline *. 1.005
+  in
+  let energy_error =
+    if predicted_energy > 0.0 then
+      Float.abs (stats.Dvs_machine.Cpu.energy -. predicted_energy)
+      /. predicted_energy
+    else 0.0
+  in
+  { stats; deadline; meets_deadline; predicted_energy; energy_error }

@@ -1,0 +1,21 @@
+(** Closing the loop: re-simulate a scheduled program and check it
+    against the MILP's predictions.
+
+    The paper's formulation predicts energy/time from per-block profile
+    averages; the simulator replays the real thing with mode-sets applied
+    on edges.  Agreement (within a small tolerance from cross-block cache
+    and overlap interactions) is the evidence that the optimization is
+    sound. *)
+
+type report = {
+  stats : Dvs_machine.Cpu.run_stats;
+  deadline : float;
+  meets_deadline : bool;  (** with 0.5% tolerance *)
+  predicted_energy : float;  (** joules, from the MILP objective *)
+  energy_error : float;  (** |measured - predicted| / predicted *)
+}
+
+val run :
+  ?fuel:int ->
+  Dvs_machine.Config.t -> Dvs_ir.Cfg.t -> memory:int array ->
+  schedule:Schedule.t -> deadline:float -> predicted_energy:float -> report

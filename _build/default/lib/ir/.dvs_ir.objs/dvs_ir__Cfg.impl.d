@@ -1,0 +1,1 @@
+lib/ir/cfg.ml: Array Buffer Format Hashtbl Instr List Printf

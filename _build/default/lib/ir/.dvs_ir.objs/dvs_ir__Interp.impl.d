@@ -1,0 +1,1 @@
+lib/ir/interp.ml: Array Cfg Instr Int List Printf

@@ -1,0 +1,1 @@
+lib/ir/opt.ml: Array Cfg Fun Instr Int List Liveness Map

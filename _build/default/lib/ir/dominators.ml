@@ -1,0 +1,123 @@
+type t = {
+  idom : int array;  (* -1 = entry or unreachable *)
+  rpo_index : int array;  (* -1 = unreachable *)
+  entry : Cfg.label;
+}
+
+(* Reverse postorder of the reachable subgraph. *)
+let reverse_postorder g =
+  let n = Cfg.num_blocks g in
+  let state = Array.make n `White in
+  let order = ref [] in
+  let rec dfs l =
+    if state.(l) = `White then begin
+      state.(l) <- `Grey;
+      List.iter dfs (Cfg.successors g l);
+      state.(l) <- `Black;
+      order := l :: !order
+    end
+  in
+  dfs (Cfg.entry g);
+  !order
+
+let compute g =
+  let n = Cfg.num_blocks g in
+  let rpo = reverse_postorder g in
+  let rpo_index = Array.make n (-1) in
+  List.iteri (fun i l -> rpo_index.(l) <- i) rpo;
+  let idom = Array.make n (-1) in
+  let entry = Cfg.entry g in
+  idom.(entry) <- entry;
+  (* Cooper-Harvey-Kennedy: intersect along the idom chains, iterating
+     in reverse postorder until a fixed point. *)
+  let intersect a b =
+    let a = ref a and b = ref b in
+    while !a <> !b do
+      while rpo_index.(!a) > rpo_index.(!b) do
+        a := idom.(!a)
+      done;
+      while rpo_index.(!b) > rpo_index.(!a) do
+        b := idom.(!b)
+      done
+    done;
+    !a
+  in
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    List.iter
+      (fun b ->
+        if b <> entry then begin
+          let preds =
+            List.filter
+              (fun p -> rpo_index.(p) >= 0 && idom.(p) >= 0)
+              (Cfg.predecessors g b)
+          in
+          match preds with
+          | [] -> ()
+          | first :: rest ->
+            let new_idom = List.fold_left intersect first rest in
+            if idom.(b) <> new_idom then begin
+              idom.(b) <- new_idom;
+              changed := true
+            end
+        end)
+      rpo
+  done;
+  { idom; rpo_index; entry }
+
+let reachable t l = t.rpo_index.(l) >= 0
+
+let idom t l =
+  if l = t.entry || not (reachable t l) then None
+  else Some t.idom.(l)
+
+let dominates t a b =
+  if not (reachable t a && reachable t b) then false
+  else begin
+    let rec walk x = if x = a then true else if x = t.entry then false
+      else walk t.idom.(x)
+    in
+    walk b
+  end
+
+type loop = {
+  header : Cfg.label;
+  back_edges : Cfg.edge list;
+  body : Cfg.label list;
+}
+
+let back_edges g t =
+  Array.to_list (Cfg.edges g)
+  |> List.filter (fun (e : Cfg.edge) ->
+         reachable t e.src && reachable t e.dst && dominates t e.dst e.src)
+
+let natural_loops g t =
+  let by_header = Hashtbl.create 8 in
+  List.iter
+    (fun (e : Cfg.edge) ->
+      let cur =
+        Option.value ~default:[] (Hashtbl.find_opt by_header e.dst)
+      in
+      Hashtbl.replace by_header e.dst (e :: cur))
+    (back_edges g t);
+  Hashtbl.fold
+    (fun header backs acc ->
+      (* Body: header plus every block that reaches a latch without
+         passing through the header (backwards reachability). *)
+      let in_body = Hashtbl.create 16 in
+      Hashtbl.replace in_body header ();
+      let rec pull l =
+        if not (Hashtbl.mem in_body l) then begin
+          Hashtbl.replace in_body l ();
+          List.iter pull (Cfg.predecessors g l)
+        end
+      in
+      List.iter (fun (e : Cfg.edge) -> pull e.src) backs;
+      let body =
+        List.sort compare
+          (Hashtbl.fold (fun l () acc -> l :: acc) in_body [])
+      in
+      { header; back_edges = backs; body } :: acc)
+    by_header []
+  |> List.sort (fun a b -> compare a.header b.header)

@@ -1,0 +1,35 @@
+(** Dominator analysis (Cooper-Harvey-Kennedy "A Simple, Fast Dominance
+    Algorithm") and natural-loop discovery.
+
+    Needed by the mode-set hoisting pass: a mode-set on a loop back edge
+    is silent on every iteration but the first, so it can be hoisted to
+    the loop's preheader region — finding loops is finding back edges,
+    which is a dominance question. *)
+
+type t
+
+val compute : Cfg.t -> t
+(** Immediate dominators of every block reachable from the entry. *)
+
+val idom : t -> Cfg.label -> Cfg.label option
+(** Immediate dominator ([None] for the entry block and for unreachable
+    blocks). *)
+
+val dominates : t -> Cfg.label -> Cfg.label -> bool
+(** [dominates t a b]: every path from the entry to [b] passes through
+    [a].  Reflexive.  False when either block is unreachable. *)
+
+val reachable : t -> Cfg.label -> bool
+
+type loop = {
+  header : Cfg.label;
+  back_edges : Cfg.edge list;  (** edges [latch -> header] *)
+  body : Cfg.label list;  (** includes the header; sorted *)
+}
+
+val natural_loops : Cfg.t -> t -> loop list
+(** One loop per header (multiple back edges to one header merge),
+    innermost-first order not guaranteed. *)
+
+val back_edges : Cfg.t -> t -> Cfg.edge list
+(** All edges [a -> b] where [b] dominates [a]. *)

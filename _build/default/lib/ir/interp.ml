@@ -1,0 +1,60 @@
+type result = {
+  registers : int array;
+  memory : int array;
+  dyn_instrs : int;
+  block_trace : Cfg.label list;
+}
+
+exception Out_of_fuel
+
+let max_reg_of_cfg g =
+  Array.fold_left
+    (fun acc b ->
+      let acc =
+        Array.fold_left (fun a i -> Int.max a (Instr.max_reg i)) acc b.Cfg.body
+      in
+      match b.Cfg.term with
+      | Cfg.Branch (r, _, _) -> Int.max acc r
+      | Cfg.Jump _ | Cfg.Halt -> acc)
+    (-1) (Cfg.blocks g)
+
+let run ?(fuel = 10_000_000) ?(trace = false) g ~memory =
+  let regs = Array.make (max_reg_of_cfg g + 1) 0 in
+  let mem = Array.copy memory in
+  let dyn = ref 0 in
+  let blocks_seen = ref [] in
+  let check_addr a =
+    if a < 0 || a >= Array.length mem then
+      failwith (Printf.sprintf "Interp.run: address %d out of bounds" a)
+  in
+  let exec (i : Instr.t) =
+    incr dyn;
+    match i with
+    | Instr.Li (rd, v) -> regs.(rd) <- v
+    | Instr.Mov (rd, rs) -> regs.(rd) <- regs.(rs)
+    | Instr.Binop (op, rd, rs1, rs2) ->
+      regs.(rd) <- Instr.eval_binop op regs.(rs1) regs.(rs2)
+    | Instr.Load (rd, rs, off) ->
+      let a = regs.(rs) + off in
+      check_addr a;
+      regs.(rd) <- mem.(a)
+    | Instr.Store (rv, rs, off) ->
+      let a = regs.(rs) + off in
+      check_addr a;
+      mem.(a) <- regs.(rv)
+    | Instr.Nop | Instr.Modeset _ -> ()
+  in
+  let rec step label budget =
+    if budget <= 0 then raise Out_of_fuel;
+    if trace then blocks_seen := label :: !blocks_seen;
+    let b = Cfg.block g label in
+    Array.iter exec b.Cfg.body;
+    match b.Cfg.term with
+    | Cfg.Halt -> ()
+    | Cfg.Jump l -> step l (budget - 1)
+    | Cfg.Branch (r, taken, fallthrough) ->
+      step (if regs.(r) <> 0 then taken else fallthrough) (budget - 1)
+  in
+  step (Cfg.entry g) fuel;
+  { registers = regs; memory = mem; dyn_instrs = !dyn;
+    block_trace = List.rev !blocks_seen }

@@ -1,0 +1,21 @@
+(** Functional (untimed) reference interpreter for CFGs.
+
+    Used to test the MiniC compiler independently of the cycle-level
+    machine model, and to cross-validate that model's architectural state:
+    both must compute identical registers and memory. *)
+
+type result = {
+  registers : int array;
+  memory : int array;
+  dyn_instrs : int;  (** dynamic instruction count (incl. Nop/Modeset) *)
+  block_trace : Cfg.label list;  (** executed blocks, in order *)
+}
+
+exception Out_of_fuel
+
+val run :
+  ?fuel:int -> ?trace:bool -> Cfg.t -> memory:int array -> result
+(** Executes from the entry block until [Halt].  [memory] is copied, not
+    mutated.  [fuel] bounds executed blocks (default [10_000_000]) —
+    {!Out_of_fuel} signals a likely non-terminating program.  The block
+    trace is recorded only when [trace] is true (default false). *)

@@ -1,0 +1,1 @@
+lib/lang/inline.ml: Ast Hashtbl List Option Printf

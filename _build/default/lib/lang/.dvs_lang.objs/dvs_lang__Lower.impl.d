@@ -1,0 +1,1 @@
+lib/lang/lower.ml: Ast Cfg Dvs_ir Inline Instr List Option Parser Typecheck

@@ -1,0 +1,99 @@
+type binop =
+  | Add | Sub | Mul | Div | Rem
+  | Lt | Le | Gt | Ge | Eq | Ne
+  | Land | Lor
+  | Band | Bor | Bxor | Shl | Shr
+
+type unop = Neg | Not
+
+type expr =
+  | Int of int
+  | Var of string
+  | Index of string * expr
+  | Binop of binop * expr * expr
+  | Unop of unop * expr
+  | Call of string * expr list
+
+type stmt =
+  | Assign of string * expr option * expr
+  | If of expr * stmt list * stmt list
+  | While of expr * stmt list
+  | For of stmt option * expr option * stmt option * stmt list
+  | Return of expr
+
+type decl = { d_name : string; d_size : int option }
+
+type func = { f_name : string; f_params : string list; f_body : stmt list }
+
+type program = { decls : decl list; funcs : func list; body : stmt list }
+
+let binop_name = function
+  | Add -> "+" | Sub -> "-" | Mul -> "*" | Div -> "/" | Rem -> "%"
+  | Lt -> "<" | Le -> "<=" | Gt -> ">" | Ge -> ">=" | Eq -> "==" | Ne -> "!="
+  | Land -> "&&" | Lor -> "||"
+  | Band -> "&" | Bor -> "|" | Bxor -> "^" | Shl -> "<<" | Shr -> ">>"
+
+let rec pp_expr ppf = function
+  | Int n -> Format.fprintf ppf "%d" n
+  | Var v -> Format.pp_print_string ppf v
+  | Index (v, e) -> Format.fprintf ppf "%s[%a]" v pp_expr e
+  | Binop (op, a, b) ->
+    Format.fprintf ppf "(%a %s %a)" pp_expr a (binop_name op) pp_expr b
+  | Unop (Neg, e) -> Format.fprintf ppf "(-%a)" pp_expr e
+  | Unop (Not, e) -> Format.fprintf ppf "(!%a)" pp_expr e
+  | Call (f, args) ->
+    Format.fprintf ppf "%s(%a)" f
+      (Format.pp_print_list
+         ~pp_sep:(fun ppf () -> Format.fprintf ppf ", ")
+         pp_expr)
+      args
+
+let rec pp_stmt ppf = function
+  | Assign (v, None, e) -> Format.fprintf ppf "%s = %a;" v pp_expr e
+  | Assign (v, Some i, e) ->
+    Format.fprintf ppf "%s[%a] = %a;" v pp_expr i pp_expr e
+  | If (c, t, []) ->
+    Format.fprintf ppf "@[<v 2>if (%a) {%a@]@,}" pp_expr c pp_stmts t
+  | If (c, t, e) ->
+    Format.fprintf ppf "@[<v 2>if (%a) {%a@]@,@[<v 2>} else {%a@]@,}"
+      pp_expr c pp_stmts t pp_stmts e
+  | While (c, b) ->
+    Format.fprintf ppf "@[<v 2>while (%a) {%a@]@,}" pp_expr c pp_stmts b
+  | For (init, cond, step, b) ->
+    let pp_opt_stmt ppf = function
+      | Some (Assign _ as s) -> pp_stmt_inline ppf s
+      | Some _ | None -> ()
+    in
+    let pp_opt_expr ppf = function
+      | Some e -> pp_expr ppf e
+      | None -> ()
+    in
+    Format.fprintf ppf "@[<v 2>for (%a; %a; %a) {%a@]@,}" pp_opt_stmt init
+      pp_opt_expr cond pp_opt_stmt step pp_stmts b
+  | Return e -> Format.fprintf ppf "return %a;" pp_expr e
+
+and pp_stmt_inline ppf = function
+  | Assign (v, None, e) -> Format.fprintf ppf "%s = %a" v pp_expr e
+  | Assign (v, Some i, e) ->
+    Format.fprintf ppf "%s[%a] = %a" v pp_expr i pp_expr e
+  | s -> pp_stmt ppf s
+
+and pp_stmts ppf stmts =
+  List.iter (fun s -> Format.fprintf ppf "@,%a" pp_stmt s) stmts
+
+let pp_program ppf p =
+  Format.fprintf ppf "@[<v>";
+  List.iter
+    (fun d ->
+      match d.d_size with
+      | None -> Format.fprintf ppf "int %s;@," d.d_name
+      | Some n -> Format.fprintf ppf "int %s[%d];@," d.d_name n)
+    p.decls;
+  List.iter
+    (fun f ->
+      Format.fprintf ppf "@[<v 2>int %s(%s) {%a@]@,}@," f.f_name
+        (String.concat ", " f.f_params)
+        pp_stmts f.f_body)
+    p.funcs;
+  List.iter (fun s -> Format.fprintf ppf "%a@," pp_stmt s) p.body;
+  Format.fprintf ppf "@]"

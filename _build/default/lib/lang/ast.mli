@@ -1,0 +1,47 @@
+(** Abstract syntax of MiniC — the small imperative language the synthetic
+    workloads are written in.
+
+    Everything is an [int]; scalars live in registers after lowering,
+    arrays live in simulated memory (which is what gives workloads their
+    cache behavior). *)
+
+type binop =
+  | Add | Sub | Mul | Div | Rem
+  | Lt | Le | Gt | Ge | Eq | Ne
+  | Land | Lor  (** logical; non-short-circuit, operands normalized *)
+  | Band | Bor | Bxor | Shl | Shr
+
+type unop = Neg | Not
+
+type expr =
+  | Int of int
+  | Var of string
+  | Index of string * expr  (** array element *)
+  | Binop of binop * expr * expr
+  | Unop of unop * expr
+  | Call of string * expr list
+      (** function call; eliminated by {!Inline.expand} before lowering *)
+
+type stmt =
+  | Assign of string * expr option * expr
+      (** [Assign (name, Some idx, e)] writes an array slot,
+          [Assign (name, None, e)] a scalar. *)
+  | If of expr * stmt list * stmt list
+  | While of expr * stmt list
+  | For of stmt option * expr option * stmt option * stmt list
+      (** C-style [for (init; cond; step) body]; missing pieces default to
+          no-op / true. *)
+  | Return of expr
+      (** only valid as the final statement of a function body *)
+
+type decl = { d_name : string; d_size : int option }
+(** [d_size = Some n] declares an array of [n] words, [None] a scalar. *)
+
+type func = { f_name : string; f_params : string list; f_body : stmt list }
+(** Functions take and return [int]s; the body sees parameters and
+    globals and must end in [Return].  Calls are expanded by inlining
+    (no recursion). *)
+
+type program = { decls : decl list; funcs : func list; body : stmt list }
+
+val pp_program : Format.formatter -> program -> unit

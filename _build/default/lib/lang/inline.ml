@@ -1,0 +1,173 @@
+type state = {
+  mutable counter : int;
+  mutable new_decls : string list;  (* reversed *)
+  expanded : (string, string list * Ast.stmt list * Ast.expr) Hashtbl.t;
+      (* name -> (params, call-free body prefix, call-free return expr) *)
+}
+
+let fresh st hint =
+  let name = Printf.sprintf "__%s%d" hint st.counter in
+  st.counter <- st.counter + 1;
+  st.new_decls <- name :: st.new_decls;
+  name
+
+(* Rename scalar occurrences per [map] (parameters are scalars; arrays
+   are always globals and never renamed). *)
+let rec rename_expr map (e : Ast.expr) =
+  match e with
+  | Ast.Int _ -> e
+  | Ast.Var v -> (
+    match List.assoc_opt v map with Some v' -> Ast.Var v' | None -> e)
+  | Ast.Index (a, i) -> Ast.Index (a, rename_expr map i)
+  | Ast.Binop (op, x, y) -> Ast.Binop (op, rename_expr map x, rename_expr map y)
+  | Ast.Unop (op, x) -> Ast.Unop (op, rename_expr map x)
+  | Ast.Call (f, args) -> Ast.Call (f, List.map (rename_expr map) args)
+
+let rec rename_stmt map (s : Ast.stmt) =
+  match s with
+  | Ast.Assign (v, idx, rhs) ->
+    let v = match List.assoc_opt v map with Some v' -> v' | None -> v in
+    Ast.Assign (v, Option.map (rename_expr map) idx, rename_expr map rhs)
+  | Ast.If (c, t, e) ->
+    Ast.If (rename_expr map c, List.map (rename_stmt map) t,
+            List.map (rename_stmt map) e)
+  | Ast.While (c, b) ->
+    Ast.While (rename_expr map c, List.map (rename_stmt map) b)
+  | Ast.For (init, cond, step, b) ->
+    Ast.For (Option.map (rename_stmt map) init,
+             Option.map (rename_expr map) cond,
+             Option.map (rename_stmt map) step,
+             List.map (rename_stmt map) b)
+  | Ast.Return e -> Ast.Return (rename_expr map e)
+
+let rec has_call (e : Ast.expr) =
+  match e with
+  | Ast.Int _ | Ast.Var _ -> false
+  | Ast.Index (_, i) -> has_call i
+  | Ast.Binop (_, a, b) -> has_call a || has_call b
+  | Ast.Unop (_, a) -> has_call a
+  | Ast.Call _ -> true
+
+(* Expand calls inside an expression: returns (prelude, pure expr). *)
+let rec expand_expr st (e : Ast.expr) : Ast.stmt list * Ast.expr =
+  match e with
+  | Ast.Int _ | Ast.Var _ -> ([], e)
+  | Ast.Index (a, i) ->
+    let p, i' = expand_expr st i in
+    (p, Ast.Index (a, i'))
+  | Ast.Binop (op, x, y) ->
+    let px, x' = expand_expr st x in
+    let py, y' = expand_expr st y in
+    (px @ py, Ast.Binop (op, x', y'))
+  | Ast.Unop (op, x) ->
+    let p, x' = expand_expr st x in
+    (p, Ast.Unop (op, x'))
+  | Ast.Call (f, args) ->
+    let params, body, ret =
+      match Hashtbl.find_opt st.expanded f with
+      | Some entry -> entry
+      | None -> invalid_arg ("Inline.expand: unknown function " ^ f)
+    in
+    (* Left-to-right argument evaluation into fresh temporaries. *)
+    let arg_parts = List.map (expand_expr st) args in
+    let temps = List.map (fun _ -> fresh st "a") params in
+    let arg_stmts =
+      List.concat
+        (List.map2
+           (fun (p, e') t -> p @ [ Ast.Assign (t, None, e') ])
+           arg_parts temps)
+    in
+    let map = List.combine params temps in
+    let inlined_body = List.map (rename_stmt map) body in
+    let res = fresh st "r" in
+    let result_stmt = Ast.Assign (res, None, rename_expr map ret) in
+    (arg_stmts @ inlined_body @ [ result_stmt ], Ast.Var res)
+
+and expand_stmt st (s : Ast.stmt) : Ast.stmt list =
+  match s with
+  | Ast.Assign (v, idx, rhs) ->
+    let pi, idx' =
+      match idx with
+      | None -> ([], None)
+      | Some i ->
+        let p, i' = expand_expr st i in
+        (p, Some i')
+    in
+    let pr, rhs' = expand_expr st rhs in
+    pi @ pr @ [ Ast.Assign (v, idx', rhs') ]
+  | Ast.If (c, t, e) ->
+    let p, c' = expand_expr st c in
+    p @ [ Ast.If (c', expand_stmts st t, expand_stmts st e) ]
+  | Ast.While (c, b) ->
+    if has_call c then begin
+      (* t = c; while (t) { body; t = c; } — the condition's call
+         prelude re-evaluates every iteration. *)
+      let p, c' = expand_expr st c in
+      let t = fresh st "c" in
+      let body' = expand_stmts st b in
+      p
+      @ [ Ast.Assign (t, None, c');
+          Ast.While (Ast.Var t, body' @ p @ [ Ast.Assign (t, None, c') ]) ]
+    end
+    else [ Ast.While (c, expand_stmts st b) ]
+  | Ast.For (init, cond, step, b) ->
+    let any_call =
+      (match init with Some s -> stmt_has_call s | None -> false)
+      || (match cond with Some c -> has_call c | None -> false)
+      || (match step with Some s -> stmt_has_call s | None -> false)
+    in
+    if any_call then begin
+      (* Desugar to while (the lowering does the same), letting the
+         while case handle per-iteration call preludes. *)
+      let init_stmts =
+        match init with Some s -> expand_stmt st s | None -> []
+      in
+      let cond = Option.value ~default:(Ast.Int 1) cond in
+      init_stmts @ expand_stmt st (Ast.While (cond, b @ stmts_of step))
+    end
+    else [ Ast.For (init, cond, step, expand_stmts st b) ]
+  | Ast.Return e ->
+    (* Only reached while expanding a function body; preserved for the
+       caller to consume. *)
+    let p, e' = expand_expr st e in
+    p @ [ Ast.Return e' ]
+
+and stmts_of = function Some s -> [ s ] | None -> []
+
+and stmt_has_call (s : Ast.stmt) =
+  match s with
+  | Ast.Assign (_, idx, rhs) ->
+    (match idx with Some i -> has_call i | None -> false) || has_call rhs
+  | Ast.If (c, t, e) ->
+    has_call c || List.exists stmt_has_call t || List.exists stmt_has_call e
+  | Ast.While (c, b) -> has_call c || List.exists stmt_has_call b
+  | Ast.For (i, c, st', b) ->
+    (match i with Some s -> stmt_has_call s | None -> false)
+    || (match c with Some c -> has_call c | None -> false)
+    || (match st' with Some s -> stmt_has_call s | None -> false)
+    || List.exists stmt_has_call b
+  | Ast.Return e -> has_call e
+
+and expand_stmts st stmts = List.concat_map (expand_stmt st) stmts
+
+let expand (p : Ast.program) =
+  let st = { counter = 0; new_decls = []; expanded = Hashtbl.create 8 } in
+  List.iter
+    (fun (f : Ast.func) ->
+      (* Bodies expand in definition order, so callees are call-free. *)
+      let expanded_body = expand_stmts st f.f_body in
+      let rec split acc = function
+        | [ Ast.Return e ] -> (List.rev acc, e)
+        | s :: rest -> split (s :: acc) rest
+        | [] -> invalid_arg "Inline.expand: function without return"
+      in
+      let body, ret = split [] expanded_body in
+      Hashtbl.replace st.expanded f.f_name (f.f_params, body, ret))
+    p.funcs;
+  let body = expand_stmts st p.body in
+  let new_decls =
+    List.rev_map
+      (fun name -> { Ast.d_name = name; d_size = None })
+      st.new_decls
+  in
+  { Ast.decls = p.decls @ new_decls; funcs = []; body }

@@ -1,0 +1,17 @@
+(** Function inlining: rewrites a checked program into an equivalent one
+    with no functions, calls, or returns.
+
+    Every call site gets fresh scalar temporaries for its arguments and
+    its result; the callee body (itself already call-free — functions
+    are defined before use, so inlining proceeds in definition order) is
+    spliced in with parameters renamed.  Loop conditions containing
+    calls are rewritten into explicit condition temporaries re-evaluated
+    per iteration ([for] loops desugar to [while] in that case).
+    Argument evaluation order is left to right.
+
+    Fresh names start with ["__"]. *)
+
+val expand : Ast.program -> Ast.program
+(** Requires a program that passed {!Typecheck.check}.  The result has
+    [funcs = []], extra scalar declarations, and no [Call]/[Return]
+    nodes. *)

@@ -1,0 +1,10 @@
+(** Hand-written lexer for MiniC.
+
+    Supports decimal integer literals, C identifiers, [//] line comments
+    and [/* ... */] block comments. *)
+
+exception Error of string * Token.pos
+
+val tokenize : string -> Token.t list
+(** The token stream, always ending with {!Token.EOF}.
+    Raises {!Error} on unexpected characters or unterminated comments. *)

@@ -1,0 +1,187 @@
+open Dvs_ir
+
+type layout = {
+  arrays : (string * int * int) list;
+  memory_words : int;
+  scalars : (string * Instr.reg) list;
+}
+
+let array_base layout name =
+  let _, base, _ =
+    List.find (fun (n, _, _) -> n = name) layout.arrays
+  in
+  base
+
+type state = {
+  builder : Cfg.Builder.t;
+  mutable current : Cfg.label;
+  mutable next_reg : Instr.reg;
+  layout : layout;
+  zero : Instr.reg;
+}
+
+let fresh st =
+  let r = st.next_reg in
+  st.next_reg <- r + 1;
+  r
+
+let emit st i = Cfg.Builder.push st.builder st.current i
+
+let scalar_reg st name = List.assoc name st.layout.scalars
+
+let binop_of_ast : Ast.binop -> Instr.binop option = function
+  | Ast.Add -> Some Instr.Add
+  | Ast.Sub -> Some Instr.Sub
+  | Ast.Mul -> Some Instr.Mul
+  | Ast.Div -> Some Instr.Div
+  | Ast.Rem -> Some Instr.Rem
+  | Ast.Lt -> Some Instr.Slt
+  | Ast.Le -> Some Instr.Sle
+  | Ast.Eq -> Some Instr.Seq
+  | Ast.Ne -> Some Instr.Sne
+  | Ast.Band -> Some Instr.And
+  | Ast.Bor -> Some Instr.Or
+  | Ast.Bxor -> Some Instr.Xor
+  | Ast.Shl -> Some Instr.Shl
+  | Ast.Shr -> Some Instr.Shr
+  | Ast.Gt | Ast.Ge | Ast.Land | Ast.Lor -> None
+
+let rec lower_expr st (e : Ast.expr) : Instr.reg =
+  match e with
+  | Ast.Int n ->
+    let r = fresh st in
+    emit st (Instr.Li (r, n));
+    r
+  | Ast.Var name -> scalar_reg st name
+  | Ast.Index (name, idx) ->
+    let ri = lower_expr st idx in
+    let rd = fresh st in
+    emit st (Instr.Load (rd, ri, array_base st.layout name));
+    rd
+  | Ast.Unop (Ast.Neg, e) ->
+    let re = lower_expr st e in
+    let rd = fresh st in
+    emit st (Instr.Binop (Instr.Sub, rd, st.zero, re));
+    rd
+  | Ast.Unop (Ast.Not, e) ->
+    let re = lower_expr st e in
+    let rd = fresh st in
+    emit st (Instr.Binop (Instr.Seq, rd, re, st.zero));
+    rd
+  | Ast.Binop (Ast.Gt, a, b) -> lower_expr st (Ast.Binop (Ast.Lt, b, a))
+  | Ast.Binop (Ast.Ge, a, b) -> lower_expr st (Ast.Binop (Ast.Le, b, a))
+  | Ast.Binop (Ast.Land, a, b) ->
+    let na = normalized st a and nb = normalized st b in
+    let rd = fresh st in
+    emit st (Instr.Binop (Instr.And, rd, na, nb));
+    rd
+  | Ast.Binop (Ast.Lor, a, b) ->
+    let na = normalized st a and nb = normalized st b in
+    let rd = fresh st in
+    emit st (Instr.Binop (Instr.Or, rd, na, nb));
+    rd
+  | Ast.Binop (op, a, b) -> (
+    let ra = lower_expr st a in
+    let rb = lower_expr st b in
+    let rd = fresh st in
+    match binop_of_ast op with
+    | Some iop ->
+      emit st (Instr.Binop (iop, rd, ra, rb));
+      rd
+    | None -> assert false (* handled above *))
+  | Ast.Call _ -> assert false (* eliminated by Inline.expand *)
+
+(* 0/1 view of an expression (for logical operators). *)
+and normalized st e =
+  let r = lower_expr st e in
+  let rd = fresh st in
+  emit st (Instr.Binop (Instr.Sne, rd, r, st.zero));
+  rd
+
+let rec lower_stmt st (s : Ast.stmt) =
+  match s with
+  | Ast.Assign (name, None, Ast.Index (arr, idx)) ->
+    (* Load straight into the scalar's register: `t = a[i]` then
+       independent computation genuinely overlaps an outstanding miss
+       (a Mov would consume the loaded value immediately and stall). *)
+    let ri = lower_expr st idx in
+    emit st (Instr.Load (scalar_reg st name, ri, array_base st.layout arr))
+  | Ast.Assign (name, None, rhs) ->
+    let r = lower_expr st rhs in
+    emit st (Instr.Mov (scalar_reg st name, r))
+  | Ast.Assign (name, Some idx, rhs) ->
+    let rv = lower_expr st rhs in
+    let ri = lower_expr st idx in
+    emit st (Instr.Store (rv, ri, array_base st.layout name))
+  | Ast.If (cond, then_s, else_s) ->
+    let rc = lower_expr st cond in
+    let then_l = Cfg.Builder.add_block ~name:"then" st.builder in
+    let join_l = Cfg.Builder.add_block ~name:"join" st.builder in
+    let else_l =
+      if else_s = [] then join_l
+      else Cfg.Builder.add_block ~name:"else" st.builder
+    in
+    Cfg.Builder.set_term st.builder st.current (Cfg.Branch (rc, then_l, else_l));
+    st.current <- then_l;
+    List.iter (lower_stmt st) then_s;
+    Cfg.Builder.set_term st.builder st.current (Cfg.Jump join_l);
+    if else_s <> [] then begin
+      st.current <- else_l;
+      List.iter (lower_stmt st) else_s;
+      Cfg.Builder.set_term st.builder st.current (Cfg.Jump join_l)
+    end;
+    st.current <- join_l
+  | Ast.While (cond, body) ->
+    let head_l = Cfg.Builder.add_block ~name:"while.head" st.builder in
+    Cfg.Builder.set_term st.builder st.current (Cfg.Jump head_l);
+    st.current <- head_l;
+    let rc = lower_expr st cond in
+    let body_l = Cfg.Builder.add_block ~name:"while.body" st.builder in
+    let exit_l = Cfg.Builder.add_block ~name:"while.exit" st.builder in
+    Cfg.Builder.set_term st.builder st.current (Cfg.Branch (rc, body_l, exit_l));
+    st.current <- body_l;
+    List.iter (lower_stmt st) body;
+    Cfg.Builder.set_term st.builder st.current (Cfg.Jump head_l);
+    st.current <- exit_l
+  | Ast.For (init, cond, step, body) ->
+    Option.iter (lower_stmt st) init;
+    let cond = match cond with Some c -> c | None -> Ast.Int 1 in
+    let body' = body @ (match step with Some s -> [ s ] | None -> []) in
+    lower_stmt st (Ast.While (cond, body'))
+  | Ast.Return _ -> assert false (* eliminated by Inline.expand *)
+
+let compile (p : Ast.program) =
+  (* User-facing checks (including the function rules) run on the source
+     program; inlining then removes functions, and the expanded program
+     is re-checked as a sanity pass. *)
+  let _ = Typecheck.check p in
+  let p = Inline.expand p in
+  let env = Typecheck.check p in
+  (* Memory layout and scalar registers. *)
+  let arrays = ref [] and scalars = ref [] in
+  let next_addr = ref 0 and next_reg = ref 0 in
+  List.iter
+    (fun (name, shape) ->
+      match shape with
+      | Typecheck.Scalar ->
+        scalars := (name, !next_reg) :: !scalars;
+        incr next_reg
+      | Typecheck.Array n ->
+        arrays := (name, !next_addr, n) :: !arrays;
+        next_addr := !next_addr + n)
+    env;
+  let zero = !next_reg in
+  incr next_reg;
+  let layout =
+    { arrays = List.rev !arrays; memory_words = !next_addr;
+      scalars = List.rev !scalars }
+  in
+  let builder = Cfg.Builder.create () in
+  let entry = Cfg.Builder.add_block ~name:"entry" builder in
+  let st = { builder; current = entry; next_reg = !next_reg; layout; zero } in
+  emit st (Instr.Li (zero, 0));
+  List.iter (lower_stmt st) p.body;
+  Cfg.Builder.set_term st.builder st.current Cfg.Halt;
+  (Cfg.Builder.finish builder ~entry, layout)
+
+let compile_string src = compile (Parser.parse src)

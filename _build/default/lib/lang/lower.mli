@@ -1,0 +1,23 @@
+(** Lowering MiniC to the {!Dvs_ir} control-flow graph.
+
+    Scalars are assigned dedicated virtual registers; arrays are laid out
+    contiguously in simulated memory (word granularity), which is what
+    exposes workloads to the cache hierarchy.  Logical operators are
+    lowered non-short-circuit (both operands evaluate; results are
+    normalized to 0/1). *)
+
+type layout = {
+  arrays : (string * int * int) list;
+      (** (name, base address in words, size in words) *)
+  memory_words : int;  (** total data segment size *)
+  scalars : (string * Dvs_ir.Instr.reg) list;
+}
+
+val array_base : layout -> string -> int
+(** Raises [Not_found] for unknown arrays. *)
+
+val compile : Ast.program -> Dvs_ir.Cfg.t * layout
+(** Runs {!Typecheck.check} first (so it can raise {!Typecheck.Error}). *)
+
+val compile_string : string -> Dvs_ir.Cfg.t * layout
+(** [compile_string src] parses and compiles. *)

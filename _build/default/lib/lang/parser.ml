@@ -1,0 +1,290 @@
+exception Error of string * Token.pos
+
+type state = { mutable toks : Token.t list }
+
+let peek st =
+  match st.toks with
+  | t :: _ -> t
+  | [] -> assert false (* the stream always ends with EOF *)
+
+let advance st =
+  match st.toks with
+  | { kind = Token.EOF; _ } :: _ -> ()
+  | _ :: rest -> st.toks <- rest
+  | [] -> assert false
+
+let expect st kind what =
+  let t = peek st in
+  if t.Token.kind = kind then advance st
+  else
+    raise
+      (Error
+         ( Format.asprintf "expected %s but found %a" what Token.pp_kind
+             t.Token.kind,
+           t.Token.pos ))
+
+(* Binary operator precedence, lowest binds loosest. *)
+let binop_of_token = function
+  | Token.OROR -> Some (1, Ast.Lor)
+  | Token.ANDAND -> Some (2, Ast.Land)
+  | Token.PIPE -> Some (3, Ast.Bor)
+  | Token.CARET -> Some (4, Ast.Bxor)
+  | Token.AMP -> Some (5, Ast.Band)
+  | Token.EQ -> Some (6, Ast.Eq)
+  | Token.NE -> Some (6, Ast.Ne)
+  | Token.LT -> Some (7, Ast.Lt)
+  | Token.LE -> Some (7, Ast.Le)
+  | Token.GT -> Some (7, Ast.Gt)
+  | Token.GE -> Some (7, Ast.Ge)
+  | Token.SHL -> Some (8, Ast.Shl)
+  | Token.SHR -> Some (8, Ast.Shr)
+  | Token.PLUS -> Some (9, Ast.Add)
+  | Token.MINUS -> Some (9, Ast.Sub)
+  | Token.STAR -> Some (10, Ast.Mul)
+  | Token.SLASH -> Some (10, Ast.Div)
+  | Token.PERCENT -> Some (10, Ast.Rem)
+  | _ -> None
+
+let rec parse_expr st = parse_binary st 1
+
+and parse_binary st min_prec =
+  let lhs = ref (parse_unary st) in
+  let continue_loop = ref true in
+  while !continue_loop do
+    match binop_of_token (peek st).Token.kind with
+    | Some (prec, op) when prec >= min_prec ->
+      advance st;
+      let rhs = parse_binary st (prec + 1) in
+      lhs := Ast.Binop (op, !lhs, rhs)
+    | Some _ | None -> continue_loop := false
+  done;
+  !lhs
+
+and parse_unary st =
+  let t = peek st in
+  match t.Token.kind with
+  | Token.MINUS ->
+    advance st;
+    Ast.Unop (Ast.Neg, parse_unary st)
+  | Token.BANG ->
+    advance st;
+    Ast.Unop (Ast.Not, parse_unary st)
+  | _ -> parse_primary st
+
+and parse_primary st =
+  let t = peek st in
+  match t.Token.kind with
+  | Token.INT_LIT n ->
+    advance st;
+    Ast.Int n
+  | Token.IDENT name ->
+    advance st;
+    if (peek st).Token.kind = Token.LBRACKET then begin
+      advance st;
+      let idx = parse_expr st in
+      expect st Token.RBRACKET "']'";
+      Ast.Index (name, idx)
+    end
+    else if (peek st).Token.kind = Token.LPAREN then begin
+      advance st;
+      let rec args acc =
+        if (peek st).Token.kind = Token.RPAREN then begin
+          advance st;
+          List.rev acc
+        end
+        else begin
+          let a = parse_expr st in
+          if (peek st).Token.kind = Token.COMMA then begin
+            advance st;
+            args (a :: acc)
+          end
+          else begin
+            expect st Token.RPAREN "')'";
+            List.rev (a :: acc)
+          end
+        end
+      in
+      Ast.Call (name, args [])
+    end
+    else Ast.Var name
+  | Token.LPAREN ->
+    advance st;
+    let e = parse_expr st in
+    expect st Token.RPAREN "')'";
+    e
+  | k ->
+    raise
+      (Error
+         ( Format.asprintf "expected an expression but found %a" Token.pp_kind
+             k,
+           t.Token.pos ))
+
+(* IDENT ("[" expr "]")? "=" expr  — without the trailing semicolon. *)
+let parse_simple_assign st =
+  let t = peek st in
+  match t.Token.kind with
+  | Token.IDENT name ->
+    advance st;
+    let idx =
+      if (peek st).Token.kind = Token.LBRACKET then begin
+        advance st;
+        let e = parse_expr st in
+        expect st Token.RBRACKET "']'";
+        Some e
+      end
+      else None
+    in
+    expect st Token.ASSIGN "'='";
+    let rhs = parse_expr st in
+    Ast.Assign (name, idx, rhs)
+  | k ->
+    raise
+      (Error
+         ( Format.asprintf "expected an assignment but found %a" Token.pp_kind
+             k,
+           t.Token.pos ))
+
+let rec parse_stmt st =
+  let t = peek st in
+  match t.Token.kind with
+  | Token.IDENT _ ->
+    let s = parse_simple_assign st in
+    expect st Token.SEMI "';'";
+    s
+  | Token.KW_IF ->
+    advance st;
+    expect st Token.LPAREN "'('";
+    let cond = parse_expr st in
+    expect st Token.RPAREN "')'";
+    let then_branch = parse_block st in
+    let else_branch =
+      if (peek st).Token.kind = Token.KW_ELSE then begin
+        advance st;
+        if (peek st).Token.kind = Token.KW_IF then [ parse_stmt st ]
+        else parse_block st
+      end
+      else []
+    in
+    Ast.If (cond, then_branch, else_branch)
+  | Token.KW_WHILE ->
+    advance st;
+    expect st Token.LPAREN "'('";
+    let cond = parse_expr st in
+    expect st Token.RPAREN "')'";
+    Ast.While (cond, parse_block st)
+  | Token.KW_RETURN ->
+    advance st;
+    let e = parse_expr st in
+    expect st Token.SEMI "';'";
+    Ast.Return e
+  | Token.KW_FOR ->
+    advance st;
+    expect st Token.LPAREN "'('";
+    let init =
+      if (peek st).Token.kind = Token.SEMI then None
+      else Some (parse_simple_assign st)
+    in
+    expect st Token.SEMI "';'";
+    let cond =
+      if (peek st).Token.kind = Token.SEMI then None else Some (parse_expr st)
+    in
+    expect st Token.SEMI "';'";
+    let step =
+      if (peek st).Token.kind = Token.RPAREN then None
+      else Some (parse_simple_assign st)
+    in
+    expect st Token.RPAREN "')'";
+    Ast.For (init, cond, step, parse_block st)
+  | k ->
+    raise
+      (Error
+         (Format.asprintf "expected a statement but found %a" Token.pp_kind k,
+          t.Token.pos))
+
+and parse_block st =
+  expect st Token.LBRACE "'{'";
+  let rec loop acc =
+    if (peek st).Token.kind = Token.RBRACE then begin
+      advance st;
+      List.rev acc
+    end
+    else loop (parse_stmt st :: acc)
+  in
+  loop []
+
+(* After 'int IDENT': either a declaration or a function definition. *)
+let parse_decl_or_func st =
+  expect st Token.KW_INT "'int'";
+  let t = peek st in
+  match t.Token.kind with
+  | Token.IDENT name -> (
+    advance st;
+    match (peek st).Token.kind with
+    | Token.LBRACKET -> (
+      advance st;
+      let t = peek st in
+      match t.Token.kind with
+      | Token.INT_LIT n when n > 0 ->
+        advance st;
+        expect st Token.RBRACKET "']'";
+        expect st Token.SEMI "';'";
+        `Decl { Ast.d_name = name; d_size = Some n }
+      | k ->
+        raise
+          (Error
+             ( Format.asprintf
+                 "array size must be a positive literal, found %a"
+                 Token.pp_kind k,
+               t.Token.pos )))
+    | Token.LPAREN ->
+      advance st;
+      let rec params acc =
+        (* Each parameter may carry an optional C-style 'int'. *)
+        if (peek st).Token.kind = Token.KW_INT then advance st;
+        match (peek st).Token.kind with
+        | Token.RPAREN ->
+          advance st;
+          List.rev acc
+        | Token.IDENT p -> (
+          advance st;
+          match (peek st).Token.kind with
+          | Token.COMMA ->
+            advance st;
+            params (p :: acc)
+          | _ ->
+            expect st Token.RPAREN "')'";
+            List.rev (p :: acc))
+        | k ->
+          raise
+            (Error
+               ( Format.asprintf "expected a parameter name, found %a"
+                   Token.pp_kind k,
+                 (peek st).Token.pos ))
+      in
+      let f_params = params [] in
+      let f_body = parse_block st in
+      `Func { Ast.f_name = name; f_params; f_body }
+    | _ ->
+      expect st Token.SEMI "';'";
+      `Decl { Ast.d_name = name; d_size = None })
+  | k ->
+    raise
+      (Error
+         ( Format.asprintf "expected a name after 'int', found %a"
+             Token.pp_kind k,
+           t.Token.pos ))
+
+let parse src =
+  let st = { toks = Lexer.tokenize src } in
+  let rec loop decls funcs stmts =
+    match (peek st).Token.kind with
+    | Token.EOF ->
+      { Ast.decls = List.rev decls; funcs = List.rev funcs;
+        body = List.rev stmts }
+    | Token.KW_INT -> (
+      match parse_decl_or_func st with
+      | `Decl d -> loop (d :: decls) funcs stmts
+      | `Func f -> loop decls (f :: funcs) stmts)
+    | _ -> loop decls funcs (parse_stmt st :: stmts)
+  in
+  loop [] [] []

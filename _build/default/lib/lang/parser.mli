@@ -1,0 +1,25 @@
+(** Recursive-descent parser for MiniC.
+
+    Grammar (C-like precedence, lowest first:
+    [|| && | ^ & ==/!= relational shifts additive multiplicative unary]):
+
+    {v
+    program := { decl | func | stmt }
+    decl    := "int" IDENT ("[" INT "]")? ";"
+    func    := "int" IDENT "(" params? ")" block
+    params  := ["int"] IDENT { "," ["int"] IDENT }
+    stmt    := IDENT ("[" expr "]")? "=" expr ";"
+             | "if" "(" expr ")" block ("else" (block | if-stmt))?
+             | "while" "(" expr ")" block
+             | "for" "(" simple? ";" expr? ";" simple? ")" block
+             | "return" expr ";"        (last statement of a func body)
+    simple  := IDENT ("[" expr "]")? "=" expr
+    block   := "{" { stmt } "}"
+    primary := INT | IDENT | IDENT "[" expr "]"
+             | IDENT "(" [ expr { "," expr } ] ")" | "(" expr ")"
+    v} *)
+
+exception Error of string * Token.pos
+
+val parse : string -> Ast.program
+(** Raises {!Error} or {!Lexer.Error}. *)

@@ -1,0 +1,62 @@
+type pos = { line : int; col : int }
+
+type kind =
+  | INT_LIT of int
+  | IDENT of string
+  | KW_INT
+  | KW_IF
+  | KW_ELSE
+  | KW_WHILE
+  | KW_FOR
+  | KW_RETURN
+  | LPAREN | RPAREN | LBRACE | RBRACE | LBRACKET | RBRACKET
+  | SEMI | COMMA
+  | ASSIGN
+  | PLUS | MINUS | STAR | SLASH | PERCENT
+  | AMP | PIPE | CARET | SHL | SHR
+  | ANDAND | OROR | BANG
+  | EQ | NE | LT | LE | GT | GE
+  | EOF
+
+type t = { kind : kind; pos : pos }
+
+let pp_kind ppf = function
+  | INT_LIT n -> Format.fprintf ppf "%d" n
+  | IDENT s -> Format.fprintf ppf "identifier %s" s
+  | KW_INT -> Format.pp_print_string ppf "'int'"
+  | KW_IF -> Format.pp_print_string ppf "'if'"
+  | KW_ELSE -> Format.pp_print_string ppf "'else'"
+  | KW_WHILE -> Format.pp_print_string ppf "'while'"
+  | KW_FOR -> Format.pp_print_string ppf "'for'"
+  | KW_RETURN -> Format.pp_print_string ppf "'return'"
+  | LPAREN -> Format.pp_print_string ppf "'('"
+  | RPAREN -> Format.pp_print_string ppf "')'"
+  | LBRACE -> Format.pp_print_string ppf "'{'"
+  | RBRACE -> Format.pp_print_string ppf "'}'"
+  | LBRACKET -> Format.pp_print_string ppf "'['"
+  | RBRACKET -> Format.pp_print_string ppf "']'"
+  | SEMI -> Format.pp_print_string ppf "';'"
+  | COMMA -> Format.pp_print_string ppf "','"
+  | ASSIGN -> Format.pp_print_string ppf "'='"
+  | PLUS -> Format.pp_print_string ppf "'+'"
+  | MINUS -> Format.pp_print_string ppf "'-'"
+  | STAR -> Format.pp_print_string ppf "'*'"
+  | SLASH -> Format.pp_print_string ppf "'/'"
+  | PERCENT -> Format.pp_print_string ppf "'%'"
+  | AMP -> Format.pp_print_string ppf "'&'"
+  | PIPE -> Format.pp_print_string ppf "'|'"
+  | CARET -> Format.pp_print_string ppf "'^'"
+  | SHL -> Format.pp_print_string ppf "'<<'"
+  | SHR -> Format.pp_print_string ppf "'>>'"
+  | ANDAND -> Format.pp_print_string ppf "'&&'"
+  | OROR -> Format.pp_print_string ppf "'||'"
+  | BANG -> Format.pp_print_string ppf "'!'"
+  | EQ -> Format.pp_print_string ppf "'=='"
+  | NE -> Format.pp_print_string ppf "'!='"
+  | LT -> Format.pp_print_string ppf "'<'"
+  | LE -> Format.pp_print_string ppf "'<='"
+  | GT -> Format.pp_print_string ppf "'>'"
+  | GE -> Format.pp_print_string ppf "'>='"
+  | EOF -> Format.pp_print_string ppf "end of input"
+
+let pp_pos ppf p = Format.fprintf ppf "line %d, column %d" p.line p.col

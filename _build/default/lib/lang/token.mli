@@ -1,0 +1,27 @@
+(** Lexical tokens of MiniC, with source positions for error reporting. *)
+
+type pos = { line : int; col : int }
+
+type kind =
+  | INT_LIT of int
+  | IDENT of string
+  | KW_INT
+  | KW_IF
+  | KW_ELSE
+  | KW_WHILE
+  | KW_FOR
+  | KW_RETURN
+  | LPAREN | RPAREN | LBRACE | RBRACE | LBRACKET | RBRACKET
+  | SEMI | COMMA
+  | ASSIGN  (** [=] *)
+  | PLUS | MINUS | STAR | SLASH | PERCENT
+  | AMP | PIPE | CARET | SHL | SHR
+  | ANDAND | OROR | BANG
+  | EQ | NE | LT | LE | GT | GE
+  | EOF
+
+type t = { kind : kind; pos : pos }
+
+val pp_kind : Format.formatter -> kind -> unit
+
+val pp_pos : Format.formatter -> pos -> unit

@@ -1,0 +1,123 @@
+type shape = Scalar | Array of int
+
+type env = (string * shape) list
+
+exception Error of string
+
+let fail fmt = Printf.ksprintf (fun s -> raise (Error s)) fmt
+
+let lookup env name =
+  match List.assoc_opt name env with
+  | Some s -> s
+  | None -> fail "undeclared variable %s" name
+
+(* [funcs]: functions callable here (name -> arity); empty inside
+   contexts that forbid calls. *)
+let rec check_expr env funcs = function
+  | Ast.Int _ -> ()
+  | Ast.Var name -> (
+    match lookup env name with
+    | Scalar -> ()
+    | Array _ -> fail "array %s used without an index" name)
+  | Ast.Index (name, idx) -> (
+    check_expr env funcs idx;
+    match lookup env name with
+    | Scalar -> fail "scalar %s used with an index" name
+    | Array n -> (
+      match idx with
+      | Ast.Int i when i < 0 || i >= n ->
+        fail "index %d out of bounds for %s[%d]" i name n
+      | _ -> ()))
+  | Ast.Binop (_, a, b) ->
+    check_expr env funcs a;
+    check_expr env funcs b
+  | Ast.Unop (_, e) -> check_expr env funcs e
+  | Ast.Call (f, args) -> (
+    List.iter (check_expr env funcs) args;
+    match List.assoc_opt f funcs with
+    | None ->
+      fail "call to unknown function %s (functions must be defined before \
+            use; recursion is not supported)" f
+    | Some arity ->
+      if List.length args <> arity then
+        fail "%s expects %d argument(s), got %d" f arity (List.length args))
+
+let rec check_stmt env funcs = function
+  | Ast.Assign (name, idx, rhs) -> (
+    check_expr env funcs rhs;
+    match (lookup env name, idx) with
+    | Scalar, None -> ()
+    | Scalar, Some _ -> fail "scalar %s assigned with an index" name
+    | Array _, None -> fail "array %s assigned without an index" name
+    | Array n, Some ie -> (
+      check_expr env funcs ie;
+      match ie with
+      | Ast.Int i when i < 0 || i >= n ->
+        fail "index %d out of bounds for %s[%d]" i name n
+      | _ -> ()))
+  | Ast.If (c, t, e) ->
+    check_expr env funcs c;
+    List.iter (check_stmt env funcs) t;
+    List.iter (check_stmt env funcs) e
+  | Ast.While (c, b) ->
+    check_expr env funcs c;
+    List.iter (check_stmt env funcs) b
+  | Ast.For (init, cond, step, b) ->
+    Option.iter (check_stmt env funcs) init;
+    Option.iter (check_expr env funcs) cond;
+    Option.iter (check_stmt env funcs) step;
+    List.iter (check_stmt env funcs) b
+  | Ast.Return _ -> fail "return outside a function body"
+
+(* Function bodies: [Return] must be the one final statement. *)
+let check_func_body env funcs (f : Ast.func) =
+  let rec split acc = function
+    | [] -> fail "function %s must end with a return" f.f_name
+    | [ Ast.Return e ] -> (List.rev acc, e)
+    | Ast.Return _ :: _ ->
+      fail "return must be the final statement of %s" f.f_name
+    | s :: rest -> split (s :: acc) rest
+  in
+  let body, ret = split [] f.f_body in
+  List.iter (check_stmt env funcs) body;
+  check_expr env funcs ret
+
+let check (p : Ast.program) =
+  let env =
+    List.fold_left
+      (fun env (d : Ast.decl) ->
+        if List.mem_assoc d.d_name env then
+          fail "duplicate declaration of %s" d.d_name
+        else begin
+          let shape =
+            match d.d_size with
+            | None -> Scalar
+            | Some n when n > 0 -> Array n
+            | Some n -> fail "array %s has non-positive size %d" d.d_name n
+          in
+          (d.d_name, shape) :: env
+        end)
+      [] p.decls
+  in
+  let funcs =
+    List.fold_left
+      (fun funcs (f : Ast.func) ->
+        if List.mem_assoc f.Ast.f_name funcs then
+          fail "duplicate function %s" f.Ast.f_name;
+        if List.mem_assoc f.Ast.f_name env then
+          fail "%s is both a variable and a function" f.Ast.f_name;
+        let param_env =
+          List.fold_left
+            (fun acc pname ->
+              if List.mem_assoc pname acc || List.mem_assoc pname env then
+                fail "parameter %s of %s shadows another name" pname
+                  f.Ast.f_name;
+              (pname, Scalar) :: acc)
+            [] f.Ast.f_params
+        in
+        check_func_body (param_env @ env) funcs f;
+        (f.Ast.f_name, List.length f.Ast.f_params) :: funcs)
+      [] p.funcs
+  in
+  List.iter (check_stmt env funcs) p.body;
+  List.rev env

@@ -1,0 +1,15 @@
+(** Static checks for MiniC programs.
+
+    Everything is an [int], so "type" checking is really shape checking:
+    names must be declared exactly once, scalars must not be indexed,
+    arrays must be indexed, and statically constant indices must be in
+    bounds. *)
+
+type shape = Scalar | Array of int
+
+type env = (string * shape) list
+
+exception Error of string
+
+val check : Ast.program -> env
+(** Returns the symbol table on success; raises {!Error} otherwise. *)

@@ -1,0 +1,1 @@
+lib/lp/expr.ml: Format Int List Map

@@ -1,0 +1,1 @@
+lib/lp/expr.mli: Format

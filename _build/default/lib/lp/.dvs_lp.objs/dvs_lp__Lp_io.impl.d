@@ -1,0 +1,1 @@
+lib/lp/lp_io.ml: Buffer Expr Float List Model Printf String

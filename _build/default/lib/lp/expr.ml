@@ -1,0 +1,68 @@
+module Int_map = Map.Make (Int)
+
+type t = { terms : float Int_map.t; const : float }
+
+let zero = { terms = Int_map.empty; const = 0.0 }
+
+let constant c = { terms = Int_map.empty; const = c }
+
+let put i c terms =
+  if c = 0.0 then Int_map.remove i terms else Int_map.add i c terms
+
+let term c i =
+  if i < 0 then invalid_arg "Expr.term: negative variable index";
+  { terms = put i c Int_map.empty; const = 0.0 }
+
+let var i = term 1.0 i
+
+let add a b =
+  { terms =
+      Int_map.union (fun _ ca cb ->
+          let c = ca +. cb in
+          if c = 0.0 then None else Some c)
+        a.terms b.terms;
+    const = a.const +. b.const }
+
+let scale k e =
+  if k = 0.0 then zero
+  else { terms = Int_map.map (fun c -> k *. c) e.terms; const = k *. e.const }
+
+let sub a b = add a (scale (-1.0) b)
+
+let add_term e c i =
+  if i < 0 then invalid_arg "Expr.add_term: negative variable index";
+  let c' = (try Int_map.find i e.terms with Not_found -> 0.0) +. c in
+  { e with terms = put i c' e.terms }
+
+let of_terms ?(const = 0.0) terms =
+  List.fold_left (fun e (c, i) -> add_term e c i) (constant const) terms
+
+let const e = e.const
+
+let coeff e i = try Int_map.find i e.terms with Not_found -> 0.0
+
+let coeffs e = Int_map.bindings e.terms
+
+let eval value e =
+  Int_map.fold (fun i c acc -> acc +. (c *. value i)) e.terms e.const
+
+let max_var e =
+  match Int_map.max_binding_opt e.terms with
+  | Some (i, _) -> i
+  | None -> -1
+
+let pp ppf e =
+  let first = ref true in
+  Int_map.iter
+    (fun i c ->
+      if !first then begin
+        Format.fprintf ppf "%g*x%d" c i;
+        first := false
+      end
+      else if c >= 0.0 then Format.fprintf ppf " + %g*x%d" c i
+      else Format.fprintf ppf " - %g*x%d" (-.c) i)
+    e.terms;
+  if e.const <> 0.0 || !first then
+    if !first then Format.fprintf ppf "%g" e.const
+    else if e.const >= 0.0 then Format.fprintf ppf " + %g" e.const
+    else Format.fprintf ppf " - %g" (-.e.const)

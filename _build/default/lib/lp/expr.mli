@@ -1,0 +1,42 @@
+(** Immutable linear expressions over integer-indexed variables:
+    [sum_i c_i x_i + const].  The building blocks of LP/MILP models. *)
+
+type t
+
+val zero : t
+
+val constant : float -> t
+
+val term : float -> int -> t
+(** [term c i] is the single-term expression [c * x_i]. *)
+
+val var : int -> t
+(** [var i] is [term 1.0 i]. *)
+
+val add : t -> t -> t
+
+val sub : t -> t -> t
+
+val scale : float -> t -> t
+
+val add_term : t -> float -> int -> t
+(** [add_term e c i] is [e + c * x_i]. *)
+
+val of_terms : ?const:float -> (float * int) list -> t
+(** [of_terms [(c0, i0); ...]] sums the terms; repeated indices
+    accumulate. *)
+
+val const : t -> float
+
+val coeff : t -> int -> float
+(** 0 for absent variables. *)
+
+val coeffs : t -> (int * float) list
+(** Nonzero terms in increasing variable order. *)
+
+val eval : (int -> float) -> t -> float
+
+val max_var : t -> int
+(** Largest variable index mentioned; [-1] for constants. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,86 @@
+let sanitize name =
+  String.map
+    (fun c ->
+      match c with
+      | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' | '.' -> c
+      | _ -> '_')
+    name
+
+let append_term buf first coeff name =
+  if coeff <> 0.0 then begin
+    if coeff >= 0.0 && not first then Buffer.add_string buf " + "
+    else if coeff < 0.0 then Buffer.add_string buf (if first then "- " else " - ");
+    let a = Float.abs coeff in
+    if a = 1.0 then Buffer.add_string buf name
+    else Buffer.add_string buf (Printf.sprintf "%.12g %s" a name)
+  end
+
+let append_expr buf m e =
+  let terms = Expr.coeffs e in
+  if terms = [] then Buffer.add_string buf "0 x0_unused"
+  else
+    List.iteri
+      (fun i (v, c) ->
+        append_term buf (i = 0) c (sanitize (Model.name m v)))
+      terms
+
+let to_lp_string m =
+  let buf = Buffer.create 1024 in
+  let sense, obj = Model.objective m in
+  Buffer.add_string buf
+    (match sense with
+    | Model.Minimize -> "Minimize\n obj: "
+    | Model.Maximize -> "Maximize\n obj: ");
+  append_expr buf m obj;
+  Buffer.add_string buf "\nSubject To\n";
+  List.iter
+    (fun (c : Model.constr) ->
+      Buffer.add_string buf (Printf.sprintf " %s: " (sanitize c.c_name));
+      append_expr buf m c.expr;
+      Buffer.add_string buf
+        (match c.cmp with
+        | Model.Le -> " <= "
+        | Model.Ge -> " >= "
+        | Model.Eq -> " = ");
+      Buffer.add_string buf (Printf.sprintf "%.12g\n" c.rhs))
+    (Model.constraints m);
+  Buffer.add_string buf "Bounds\n";
+  for v = 0 to Model.num_vars m - 1 do
+    let lb, ub = Model.bounds m v in
+    let name = sanitize (Model.name m v) in
+    let fmt_bound b =
+      if b = infinity then "+inf"
+      else if b = neg_infinity then "-inf"
+      else Printf.sprintf "%.12g" b
+    in
+    if not (lb = 0.0 && ub = infinity) then
+      Buffer.add_string buf
+        (Printf.sprintf " %s <= %s <= %s\n" (fmt_bound lb) name (fmt_bound ub))
+  done;
+  let ints = Model.integer_vars m in
+  let binaries, generals =
+    List.partition (fun v -> Model.bounds m v = (0.0, 1.0)) ints
+  in
+  if binaries <> [] then begin
+    Buffer.add_string buf "Binary\n";
+    List.iter
+      (fun v ->
+        Buffer.add_string buf
+          (Printf.sprintf " %s\n" (sanitize (Model.name m v))))
+      binaries
+  end;
+  if generals <> [] then begin
+    Buffer.add_string buf "General\n";
+    List.iter
+      (fun v ->
+        Buffer.add_string buf
+          (Printf.sprintf " %s\n" (sanitize (Model.name m v))))
+      generals
+  end;
+  Buffer.add_string buf "End\n";
+  Buffer.contents buf
+
+let write_file m path =
+  let oc = open_out path in
+  output_string oc (to_lp_string m);
+  close_out oc

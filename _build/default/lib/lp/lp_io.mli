@@ -1,0 +1,11 @@
+(** CPLEX-LP-format export of models.
+
+    The paper's toolchain went through AMPL into CPLEX; this writer lets
+    any model built here be fed to an external solver for cross-checking
+    (and makes solver bug reports self-contained). *)
+
+val to_lp_string : Model.t -> string
+(** The model in LP file format: objective, constraints, bounds, and a
+    [General]/[Binary] integrality section. *)
+
+val write_file : Model.t -> string -> unit

@@ -1,0 +1,128 @@
+type sense = Minimize | Maximize
+
+type cmp = Le | Ge | Eq
+
+type var = int
+
+type constr = { c_name : string; expr : Expr.t; cmp : cmp; rhs : float }
+
+type var_info = {
+  v_name : string;
+  mutable lb : float;
+  mutable ub : float;
+  integer : bool;
+}
+
+type t = {
+  mutable vars : var_info array;
+  mutable n_vars : int;
+  mutable constrs : constr list;  (* reversed *)
+  mutable n_constrs : int;
+  mutable sense : sense;
+  mutable obj : Expr.t;
+}
+
+let create () =
+  { vars = [||]; n_vars = 0; constrs = []; n_constrs = 0; sense = Minimize;
+    obj = Expr.zero }
+
+let grow m =
+  let cap = Array.length m.vars in
+  if m.n_vars >= cap then begin
+    let fresh =
+      Array.make (Int.max 8 (2 * cap))
+        { v_name = ""; lb = 0.0; ub = 0.0; integer = false }
+    in
+    Array.blit m.vars 0 fresh 0 m.n_vars;
+    m.vars <- fresh
+  end
+
+let add_var ?(lb = 0.0) ?(ub = infinity) ?(integer = false) ?name m =
+  if lb > ub then invalid_arg "Model.add_var: lb > ub";
+  if Float.is_nan lb || Float.is_nan ub then
+    invalid_arg "Model.add_var: NaN bound";
+  grow m;
+  let i = m.n_vars in
+  let v_name = match name with Some n -> n | None -> Printf.sprintf "x%d" i in
+  m.vars.(i) <- { v_name; lb; ub; integer };
+  m.n_vars <- i + 1;
+  i
+
+let binary ?name m = add_var ~lb:0.0 ~ub:1.0 ~integer:true ?name m
+
+let num_vars m = m.n_vars
+
+let check m i =
+  if i < 0 || i >= m.n_vars then invalid_arg "Model: variable out of range"
+
+let name m i =
+  check m i;
+  m.vars.(i).v_name
+
+let bounds m i =
+  check m i;
+  (m.vars.(i).lb, m.vars.(i).ub)
+
+let set_bounds m i ~lb ~ub =
+  check m i;
+  if lb > ub then invalid_arg "Model.set_bounds: lb > ub";
+  m.vars.(i).lb <- lb;
+  m.vars.(i).ub <- ub
+
+let is_integer m i =
+  check m i;
+  m.vars.(i).integer
+
+let integer_vars m =
+  let rec collect i acc =
+    if i < 0 then acc
+    else collect (i - 1) (if m.vars.(i).integer then i :: acc else acc)
+  in
+  collect (m.n_vars - 1) []
+
+let add_constraint ?name m e cmp rhs =
+  if Expr.max_var e >= m.n_vars then
+    invalid_arg "Model.add_constraint: expression mentions unknown variable";
+  let c_name =
+    match name with Some n -> n | None -> Printf.sprintf "c%d" m.n_constrs
+  in
+  let rhs = rhs -. Expr.const e in
+  let expr = Expr.sub e (Expr.constant (Expr.const e)) in
+  m.constrs <- { c_name; expr; cmp; rhs } :: m.constrs;
+  m.n_constrs <- m.n_constrs + 1
+
+let constraints m = List.rev m.constrs
+
+let set_objective m sense e =
+  if Expr.max_var e >= m.n_vars then
+    invalid_arg "Model.set_objective: expression mentions unknown variable";
+  m.sense <- sense;
+  m.obj <- e
+
+let objective m = (m.sense, m.obj)
+
+let copy m =
+  { m with
+    vars = Array.init m.n_vars (fun i -> { (m.vars.(i)) with v_name = m.vars.(i).v_name });
+    constrs = m.constrs }
+
+let pp_cmp ppf = function
+  | Le -> Format.pp_print_string ppf "<="
+  | Ge -> Format.pp_print_string ppf ">="
+  | Eq -> Format.pp_print_string ppf "="
+
+let pp ppf m =
+  let sense = match m.sense with Minimize -> "minimize" | Maximize -> "maximize" in
+  Format.fprintf ppf "@[<v>%s: %a@,subject to:@," sense Expr.pp m.obj;
+  List.iter
+    (fun c ->
+      Format.fprintf ppf "  %s: %a %a %g@," c.c_name Expr.pp c.expr pp_cmp
+        c.cmp c.rhs)
+    (constraints m);
+  Format.fprintf ppf "bounds:@,";
+  for i = 0 to m.n_vars - 1 do
+    let v = m.vars.(i) in
+    Format.fprintf ppf "  %g <= %s <= %g%s@," v.lb v.v_name v.ub
+      (if v.integer then " (int)" else "")
+  done;
+  Format.fprintf ppf "@]"

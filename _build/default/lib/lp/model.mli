@@ -1,0 +1,55 @@
+(** Mutable LP/MILP model builder: variables with bounds and integrality,
+    linear constraints, a linear objective.
+
+    Variables are identified by dense indices (also usable in {!Expr}).
+    [copy] is cheap and is what the branch-and-bound search uses to fix
+    variable bounds per node without disturbing siblings. *)
+
+type sense = Minimize | Maximize
+
+type cmp = Le | Ge | Eq
+
+type var = int
+
+type constr = { c_name : string; expr : Expr.t; cmp : cmp; rhs : float }
+
+type t
+
+val create : unit -> t
+
+val add_var :
+  ?lb:float -> ?ub:float -> ?integer:bool -> ?name:string -> t -> var
+(** Defaults: [lb = 0.], [ub = infinity], continuous.  [lb] may be
+    [neg_infinity] (free variables are split internally by the solver).
+    Raises [Invalid_argument] if [lb > ub]. *)
+
+val binary : ?name:string -> t -> var
+(** Integer variable with bounds [0, 1]. *)
+
+val num_vars : t -> int
+
+val name : t -> var -> string
+
+val bounds : t -> var -> float * float
+
+val set_bounds : t -> var -> lb:float -> ub:float -> unit
+
+val is_integer : t -> var -> bool
+
+val integer_vars : t -> var list
+
+val add_constraint : ?name:string -> t -> Expr.t -> cmp -> float -> unit
+(** [add_constraint m e cmp rhs] adds [e cmp rhs].  The expression's
+    constant is folded into the right-hand side. *)
+
+val constraints : t -> constr list
+(** In insertion order. *)
+
+val set_objective : t -> sense -> Expr.t -> unit
+
+val objective : t -> sense * Expr.t
+
+val copy : t -> t
+
+val pp : Format.formatter -> t -> unit
+(** Human-readable dump in an LP-file-like syntax. *)

@@ -1,0 +1,395 @@
+type solution = { objective : float; values : float array }
+
+type status = Optimal of solution | Infeasible | Unbounded
+
+let pp_status ppf = function
+  | Optimal s -> Format.fprintf ppf "optimal(%g)" s.objective
+  | Infeasible -> Format.pp_print_string ppf "infeasible"
+  | Unbounded -> Format.pp_print_string ppf "unbounded"
+
+(* Structural columns.  A model variable becomes:
+   - nothing, when its bounds pin it ([Fixed] handled via substitution);
+   - [Shifted (i, lb)]:  x_i = lb + column,          column >= 0;
+   - [Mirrored (i, ub)]: x_i = ub - column,          column >= 0
+     (used when lb = -oo but ub is finite);
+   - a [Pos i] / [Neg i] pair: x_i = pos - neg, both >= 0 (free vars). *)
+type col_kind =
+  | Shifted of int * float
+  | Mirrored of int * float
+  | Pos of int
+  | Neg of int
+  | Slack
+  | Artificial
+
+type row = { mutable coeffs : (int * float) list; mutable rhs : float;
+             cmp : Model.cmp }
+
+let solve ?(max_iter = 100000) ?(eps = 1e-7) (m : Model.t) =
+  let n_model = Model.num_vars m in
+  let fixed = Array.make n_model None in
+  let cols = ref [] and n_cols = ref 0 in
+  (* Column index of each model var: either one column or a (pos, neg)
+     pair. *)
+  let col_of_var = Array.make n_model `Absent in
+  let push kind =
+    let idx = !n_cols in
+    cols := kind :: !cols;
+    incr n_cols;
+    idx
+  in
+  for i = 0 to n_model - 1 do
+    let lb, ub = Model.bounds m i in
+    if lb > ub then fixed.(i) <- Some nan (* caught below as infeasible *)
+    else if Float.is_finite lb && Float.is_finite ub && ub -. lb <= 1e-12
+    then fixed.(i) <- Some lb
+    else if Float.is_finite lb then
+      col_of_var.(i) <- `One (push (Shifted (i, lb)))
+    else if Float.is_finite ub then
+      col_of_var.(i) <- `One (push (Mirrored (i, ub)))
+    else begin
+      let p = push (Pos i) in
+      let n = push (Neg i) in
+      col_of_var.(i) <- `Pair (p, n)
+    end
+  done;
+  if Array.exists (function Some v -> Float.is_nan v | None -> false) fixed
+  then Infeasible
+  else begin
+    let cols_arr = Array.of_list (List.rev !cols) in
+    (* Translate an expression into structural-column coefficients plus a
+       constant offset coming from shifts and fixed variables. *)
+    let translate expr =
+      let acc = Hashtbl.create 16 in
+      let offset = ref (Expr.const expr) in
+      let bump j c =
+        let cur = try Hashtbl.find acc j with Not_found -> 0.0 in
+        Hashtbl.replace acc j (cur +. c)
+      in
+      List.iter
+        (fun (i, c) ->
+          match fixed.(i) with
+          | Some v -> offset := !offset +. (c *. v)
+          | None -> (
+            match col_of_var.(i) with
+            | `Absent -> assert false
+            | `One j -> (
+              match cols_arr.(j) with
+              | Shifted (_, lb) ->
+                offset := !offset +. (c *. lb);
+                bump j c
+              | Mirrored (_, ub) ->
+                offset := !offset +. (c *. ub);
+                bump j (-.c)
+              | _ -> assert false)
+            | `Pair (p, n) ->
+              bump p c;
+              bump n (-.c)))
+        (Expr.coeffs expr);
+      let coeffs =
+        Hashtbl.fold (fun j c l -> if c = 0.0 then l else (j, c) :: l) acc []
+      in
+      (List.sort (fun (a, _) (b, _) -> compare a b) coeffs, !offset)
+    in
+    (* Upper bounds already implied by a nonnegative equality row (e.g.
+       one-mode-per-edge constraints imply k <= 1) don't need their own
+       row; this prunes one heavily degenerate row per binary in the DVS
+       MILPs. *)
+    let implied_ub = Array.make n_model infinity in
+    List.iter
+      (fun (c : Model.constr) ->
+        if c.cmp = Model.Eq then begin
+          let coeffs = Expr.coeffs c.expr in
+          (* Fold fixed variables into the right-hand side. *)
+          let rhs =
+            List.fold_left
+              (fun rhs (i, k) ->
+                match fixed.(i) with
+                | Some v -> rhs -. (k *. v)
+                | None -> rhs)
+              c.rhs coeffs
+          in
+          let unfixed =
+            List.filter (fun (i, _) -> fixed.(i) = None) coeffs
+          in
+          let sound =
+            rhs >= 0.0
+            && List.for_all
+                 (fun (i, k) -> k >= 0.0 && fst (Model.bounds m i) >= 0.0)
+                 unfixed
+          in
+          if sound then
+            List.iter
+              (fun (i, k) ->
+                if k > 0.0 then
+                  implied_ub.(i) <- Float.min implied_ub.(i) (rhs /. k))
+              unfixed
+        end)
+      (Model.constraints m);
+    (* Rows: model constraints plus upper-bound rows for shifted columns
+       with a finite, non-implied upper bound. *)
+    let rows = ref [] in
+    let add_row coeffs rhs cmp = rows := { coeffs; rhs; cmp } :: !rows in
+    List.iter
+      (fun (c : Model.constr) ->
+        let coeffs, offset = translate c.expr in
+        add_row coeffs (c.rhs -. offset) c.cmp)
+      (Model.constraints m);
+    Array.iteri
+      (fun i kind ->
+        match kind with
+        | Shifted (v, lb) ->
+          let _, ub = Model.bounds m v in
+          if Float.is_finite ub && not (implied_ub.(v) <= ub) then
+            add_row [ (i, 1.0) ] (ub -. lb) Model.Le
+        | Mirrored _ | Pos _ | Neg _ | Slack | Artificial -> ())
+      cols_arr;
+    let rows = Array.of_list (List.rev !rows) in
+    let n_rows = Array.length rows in
+    (* Row equilibration and rhs sign normalization. *)
+    Array.iter
+      (fun r ->
+        let mx =
+          List.fold_left (fun a (_, c) -> Float.max a (Float.abs c)) 0.0
+            r.coeffs
+        in
+        if mx > 0.0 then begin
+          r.coeffs <- List.map (fun (j, c) -> (j, c /. mx)) r.coeffs;
+          r.rhs <- r.rhs /. mx
+        end)
+      rows;
+    let flip cmp =
+      match cmp with Model.Le -> Model.Ge | Model.Ge -> Model.Le | Eq -> Model.Eq
+    in
+    let rows =
+      Array.map
+        (fun r ->
+          if r.rhs < 0.0 then
+            { coeffs = List.map (fun (j, c) -> (j, -.c)) r.coeffs;
+              rhs = -.r.rhs; cmp = flip r.cmp }
+          else r)
+        rows
+    in
+    (* Assign slack/surplus/artificial columns. *)
+    let extra = ref [] in
+    let n_struct = Array.length cols_arr in
+    let next = ref n_struct in
+    let basis = Array.make n_rows (-1) in
+    let slack_of_row = Array.make n_rows None in
+    let art_of_row = Array.make n_rows None in
+    Array.iteri
+      (fun i r ->
+        match r.cmp with
+        | Model.Le ->
+          extra := Slack :: !extra;
+          slack_of_row.(i) <- Some (!next, 1.0);
+          basis.(i) <- !next;
+          incr next
+        | Model.Ge ->
+          extra := Slack :: !extra;
+          slack_of_row.(i) <- Some (!next, -1.0);
+          incr next;
+          extra := Artificial :: !extra;
+          art_of_row.(i) <- Some !next;
+          basis.(i) <- !next;
+          incr next
+        | Model.Eq ->
+          extra := Artificial :: !extra;
+          art_of_row.(i) <- Some !next;
+          basis.(i) <- !next;
+          incr next)
+      rows;
+    let all_cols = Array.append cols_arr (Array.of_list (List.rev !extra)) in
+    let n_total = Array.length all_cols in
+    (* Dense tableau. *)
+    let tab = Array.make_matrix n_rows (n_total + 1) 0.0 in
+    Array.iteri
+      (fun i r ->
+        List.iter (fun (j, c) -> tab.(i).(j) <- c) r.coeffs;
+        (match slack_of_row.(i) with
+        | Some (j, s) -> tab.(i).(j) <- s
+        | None -> ());
+        (match art_of_row.(i) with
+        | Some j -> tab.(i).(j) <- 1.0
+        | None -> ());
+        tab.(i).(n_total) <- r.rhs)
+      rows;
+    let is_artificial j =
+      j < n_total && (match all_cols.(j) with Artificial -> true | _ -> false)
+    in
+    (* Reduced costs for cost vector [c]. *)
+    let reduced_costs c =
+      let r = Array.copy c in
+      let z = ref 0.0 in
+      for i = 0 to n_rows - 1 do
+        let cb = c.(basis.(i)) in
+        if cb <> 0.0 then begin
+          z := !z +. (cb *. tab.(i).(n_total));
+          for j = 0 to n_total - 1 do
+            r.(j) <- r.(j) -. (cb *. tab.(i).(j))
+          done
+        end
+      done;
+      (r, !z)
+    in
+    let pivot ~row ~col =
+      let p = tab.(row).(col) in
+      let trow = tab.(row) in
+      for j = 0 to n_total do
+        trow.(j) <- trow.(j) /. p
+      done;
+      for i = 0 to n_rows - 1 do
+        if i <> row then begin
+          let f = tab.(i).(col) in
+          if f <> 0.0 then begin
+            let ti = tab.(i) in
+            for j = 0 to n_total do
+              ti.(j) <- ti.(j) -. (f *. trow.(j))
+            done;
+            ti.(col) <- 0.0
+          end
+        end
+      done;
+      trow.(col) <- 1.0;
+      basis.(row) <- col
+    in
+    (* One simplex phase on cost vector [c]; [allow j] filters entering
+       candidates.  Returns [`Optimal] or [`Unbounded]. *)
+    let run_phase c ~allow =
+      let iter = ref 0 in
+      let result = ref `Running in
+      (* Dantzig pricing while the objective makes progress; switch to
+         Bland's rule permanently once it stalls (degeneracy), which
+         guarantees termination. *)
+      let bland = ref false in
+      let best_z = ref infinity and stall = ref 0 in
+      while !result = `Running do
+        if !iter > max_iter then
+          failwith "Simplex.solve: iteration limit exceeded";
+        let redcost, z = reduced_costs c in
+        if z < !best_z -. (1e-9 *. Float.max 1.0 (Float.abs !best_z)) then begin
+          best_z := z;
+          stall := 0
+        end
+        else begin
+          incr stall;
+          if !stall > 200 then bland := true
+        end;
+        (* Entering column. *)
+        let entering = ref (-1) in
+        if not !bland then begin
+          let best = ref (-.eps) in
+          for j = 0 to n_total - 1 do
+            if allow j && redcost.(j) < !best then begin
+              best := redcost.(j);
+              entering := j
+            end
+          done
+        end
+        else begin
+          (* Bland: first improving column. *)
+          let j = ref 0 in
+          while !entering < 0 && !j < n_total do
+            if allow !j && redcost.(!j) < -.eps then entering := !j;
+            incr j
+          done
+        end;
+        if !entering < 0 then result := `Optimal
+        else begin
+          let e = !entering in
+          (* Ratio test; ties broken by smallest basis column (Bland). *)
+          let leave = ref (-1) and best_ratio = ref infinity in
+          for i = 0 to n_rows - 1 do
+            let a = tab.(i).(e) in
+            if a > 1e-9 then begin
+              let ratio = tab.(i).(n_total) /. a in
+              if
+                ratio < !best_ratio -. 1e-12
+                || (ratio < !best_ratio +. 1e-12
+                    && !leave >= 0
+                    && basis.(i) < basis.(!leave))
+              then begin
+                best_ratio := ratio;
+                leave := i
+              end
+            end
+          done;
+          if !leave < 0 then result := `Unbounded
+          else begin
+            pivot ~row:!leave ~col:e;
+            incr iter
+          end
+        end
+      done;
+      !result
+    in
+    (* Phase 1: minimize the sum of artificials. *)
+    let c1 = Array.make n_total 0.0 in
+    for j = 0 to n_total - 1 do
+      if is_artificial j then c1.(j) <- 1.0
+    done;
+    let phase1_needed = Array.exists (fun k -> k = Artificial) all_cols in
+    let feasible =
+      if not phase1_needed then true
+      else begin
+        match run_phase c1 ~allow:(fun _ -> true) with
+        | `Unbounded -> assert false (* phase-1 objective is bounded below *)
+        | `Optimal | `Running ->
+          let _, z = reduced_costs c1 in
+          let scale =
+            Array.fold_left
+              (fun a r -> Float.max a (Float.abs r.rhs))
+              1.0 rows
+          in
+          Float.abs z <= eps *. 10.0 *. scale
+      end
+    in
+    if not feasible then Infeasible
+    else begin
+      (* Drive basic artificials (at value 0) out where possible. *)
+      for i = 0 to n_rows - 1 do
+        if is_artificial basis.(i) then begin
+          let j = ref 0 and found = ref false in
+          while (not !found) && !j < n_total do
+            if (not (is_artificial !j)) && Float.abs tab.(i).(!j) > 1e-7
+            then begin
+              pivot ~row:i ~col:!j;
+              found := true
+            end;
+            incr j
+          done
+        end
+      done;
+      (* Phase 2. *)
+      let sense, obj = Model.objective m in
+      let obj_sign = match sense with Model.Minimize -> 1.0 | Maximize -> -1.0 in
+      let c2 = Array.make n_total 0.0 in
+      let obj_coeffs, _obj_offset = translate obj in
+      List.iter (fun (j, c) -> c2.(j) <- obj_sign *. c) obj_coeffs;
+      match run_phase c2 ~allow:(fun j -> not (is_artificial j)) with
+      | `Unbounded -> Unbounded
+      | `Running -> assert false
+      | `Optimal ->
+        (* Recover structural values. *)
+        let col_val = Array.make n_total 0.0 in
+        for i = 0 to n_rows - 1 do
+          col_val.(basis.(i)) <- tab.(i).(n_total)
+        done;
+        let values = Array.make n_model 0.0 in
+        for i = 0 to n_model - 1 do
+          values.(i) <-
+            (match fixed.(i) with
+            | Some v -> v
+            | None -> (
+              match col_of_var.(i) with
+              | `Absent -> 0.0
+              | `One j -> (
+                match all_cols.(j) with
+                | Shifted (_, lb) -> lb +. col_val.(j)
+                | Mirrored (_, ub) -> ub -. col_val.(j)
+                | _ -> assert false)
+              | `Pair (p, n) -> col_val.(p) -. col_val.(n)))
+        done;
+        let objective = Expr.eval (fun i -> values.(i)) obj in
+        Optimal { objective; values }
+    end
+  end

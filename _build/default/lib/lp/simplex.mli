@@ -1,0 +1,25 @@
+(** Dense two-phase primal simplex.
+
+    Handles general bounds (finite lower bounds are shifted away, finite
+    upper bounds become rows, free variables are split), row equilibration
+    for numeric robustness, Dantzig pricing with a Bland's-rule fallback
+    for anti-cycling.  Integrality markers on variables are ignored — this
+    solves the relaxation; {!Dvs_milp} adds branch and bound on top.
+
+    Sized for the paper's instances (hundreds of rows/columns), not for
+    industrial LPs. *)
+
+type solution = {
+  objective : float;
+  values : float array;  (** indexed by {!Model.var} *)
+}
+
+type status = Optimal of solution | Infeasible | Unbounded
+
+val solve : ?max_iter:int -> ?eps:float -> Model.t -> status
+(** [eps] is the master tolerance (default [1e-7]): reduced-cost threshold
+    and (scaled) feasibility threshold.  [max_iter] bounds pivots per phase
+    (default 100000); Bland's rule engages after [2 * (rows + cols)] pivots,
+    so termination failure raises [Failure] rather than silently looping. *)
+
+val pp_status : Format.formatter -> status -> unit

@@ -1,0 +1,1 @@
+lib/machine/cpu.ml: Array Cache Cfg Config Dvs_ir Dvs_power Float Hierarchy Instr Int Printf

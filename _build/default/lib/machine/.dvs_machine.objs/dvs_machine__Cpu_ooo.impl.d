@@ -1,0 +1,1 @@
+lib/machine/cpu_ooo.ml: Array Cfg Config Cpu Dvs_ir Dvs_power Float Hierarchy Instr Int Printf

@@ -1,0 +1,1 @@
+lib/machine/cpu_ooo.mli: Config Cpu Dvs_ir

@@ -1,0 +1,72 @@
+type stats = { accesses : int; hits : int; misses : int }
+
+type t = {
+  sets : int;
+  assoc : int;
+  block_shift : int;
+  tags : int array;  (* sets * assoc; -1 = invalid *)
+  ages : int array;  (* LRU counters, lower = more recent *)
+  mutable clock : int;
+  mutable accesses : int;
+  mutable hits : int;
+}
+
+let is_power_of_two n = n > 0 && n land (n - 1) = 0
+
+let log2 n =
+  let rec go acc n = if n <= 1 then acc else go (acc + 1) (n lsr 1) in
+  go 0 n
+
+let create (g : Config.cache_geometry) =
+  if g.size_bytes <= 0 || g.assoc <= 0 || g.block_bytes <= 0 then
+    invalid_arg "Cache.create: non-positive geometry";
+  if not (is_power_of_two g.block_bytes) then
+    invalid_arg "Cache.create: block size must be a power of two";
+  let blocks = g.size_bytes / g.block_bytes in
+  if blocks mod g.assoc <> 0 then
+    invalid_arg "Cache.create: blocks not divisible by associativity";
+  let sets = blocks / g.assoc in
+  if not (is_power_of_two sets) then
+    invalid_arg "Cache.create: set count must be a power of two";
+  { sets; assoc = g.assoc; block_shift = log2 g.block_bytes;
+    tags = Array.make (sets * g.assoc) (-1);
+    ages = Array.make (sets * g.assoc) 0; clock = 0; accesses = 0; hits = 0 }
+
+let reset c =
+  Array.fill c.tags 0 (Array.length c.tags) (-1);
+  Array.fill c.ages 0 (Array.length c.ages) 0;
+  c.clock <- 0;
+  c.accesses <- 0;
+  c.hits <- 0
+
+let access c byte_addr =
+  let block = byte_addr asr c.block_shift in
+  let set = block land (c.sets - 1) in
+  let tag = block / c.sets in
+  let base = set * c.assoc in
+  c.accesses <- c.accesses + 1;
+  c.clock <- c.clock + 1;
+  let hit_way = ref (-1) in
+  for w = 0 to c.assoc - 1 do
+    if c.tags.(base + w) = tag then hit_way := w
+  done;
+  if !hit_way >= 0 then begin
+    c.ages.(base + !hit_way) <- c.clock;
+    c.hits <- c.hits + 1;
+    true
+  end
+  else begin
+    (* Evict the least recently used way (invalid ways have age 0 and are
+       picked first). *)
+    let victim = ref 0 in
+    for w = 1 to c.assoc - 1 do
+      if c.ages.(base + w) < c.ages.(base + !victim) then victim := w
+    done;
+    c.tags.(base + !victim) <- tag;
+    c.ages.(base + !victim) <- c.clock;
+    false
+  end
+
+let stats c = { accesses = c.accesses; hits = c.hits; misses = c.accesses - c.hits }
+
+let num_sets c = c.sets

@@ -1,0 +1,25 @@
+(** Set-associative cache with true-LRU replacement.
+
+    Tracks tags only (data lives in the flat simulated memory); writes are
+    modeled as write-allocate with no write-back cost (a simplification
+    documented in DESIGN.md — the paper's analysis does not depend on
+    write-back traffic). *)
+
+type t
+
+type stats = { accesses : int; hits : int; misses : int }
+
+val create : Config.cache_geometry -> t
+(** Raises [Invalid_argument] unless sizes are positive, the block count
+    is divisible by the associativity, and sets are a power of two. *)
+
+val access : t -> int -> bool
+(** [access c byte_addr] returns whether the access hits, then updates
+    LRU state and allocates the block on a miss. *)
+
+val reset : t -> unit
+(** Invalidate everything and clear statistics. *)
+
+val stats : t -> stats
+
+val num_sets : t -> int

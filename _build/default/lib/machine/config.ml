@@ -1,0 +1,44 @@
+type cache_geometry = {
+  size_bytes : int;
+  assoc : int;
+  block_bytes : int;
+  latency_cycles : int;
+}
+
+type t = {
+  l1d : cache_geometry;
+  l2 : cache_geometry;
+  dram_latency : float;
+  word_bytes : int;
+  mode_table : Dvs_power.Mode.table;
+  regulator : Dvs_power.Switch_cost.regulator;
+  active_energy_coeff : float;
+}
+
+let table2_l1d =
+  { size_bytes = 64 * 1024; assoc = 4; block_bytes = 32; latency_cycles = 1 }
+
+let table2_l2 =
+  { size_bytes = 512 * 1024; assoc = 4; block_bytes = 32; latency_cycles = 16 }
+
+let default ?(l1d = table2_l1d) ?(l2 = table2_l2) ?(dram_latency = 120e-9)
+    ?(mode_table = Dvs_power.Mode.xscale3)
+    ?(regulator = Dvs_power.Switch_cost.default)
+    ?(active_energy_coeff = 0.5e-9) () =
+  { l1d; l2; dram_latency; word_bytes = 4; mode_table; regulator;
+    active_energy_coeff }
+
+let pp_geometry ppf g =
+  Format.fprintf ppf "%dKB %d-way %dB blocks, %d-cycle"
+    (g.size_bytes / 1024) g.assoc g.block_bytes g.latency_cycles
+
+let pp ppf c =
+  Format.fprintf ppf
+    "@[<v>L1D: %a@,L2: %a@,DRAM: %.0fns@,modes: %a@,%a@,Ceff: %.2gnF@]"
+    pp_geometry c.l1d pp_geometry c.l2
+    (c.dram_latency *. 1e9)
+    (Format.pp_print_list ~pp_sep:(fun ppf () -> Format.fprintf ppf ", ")
+       Dvs_power.Mode.pp)
+    (Dvs_power.Mode.to_list c.mode_table)
+    Dvs_power.Switch_cost.pp c.regulator
+    (c.active_energy_coeff *. 1e9)

@@ -1,0 +1,47 @@
+(** Machine configuration — the stand-in for the paper's Table 2
+    Wattch/SimpleScalar setup.
+
+    The model keeps exactly the properties the paper's analysis depends
+    on:
+    - cache hits are {e synchronous}: their latency is in clock cycles and
+      scales with the DVS frequency;
+    - DRAM is {e asynchronous}: a miss costs wall-clock time independent
+      of the clock ([dram_latency]);
+    - active energy per cycle is proportional to [V^2]
+      ([active_energy_coeff] is the effective switched capacitance);
+    - idle (memory-stall) cycles are clock-gated and free;
+    - mode transitions cost the regulator model's time and energy. *)
+
+type cache_geometry = {
+  size_bytes : int;
+  assoc : int;
+  block_bytes : int;
+  latency_cycles : int;  (** added on a hit in this level *)
+}
+
+type t = {
+  l1d : cache_geometry;
+  l2 : cache_geometry;
+  dram_latency : float;  (** seconds, frequency-invariant *)
+  word_bytes : int;
+  mode_table : Dvs_power.Mode.table;
+  regulator : Dvs_power.Switch_cost.regulator;
+  active_energy_coeff : float;  (** joules per cycle per volt^2 *)
+}
+
+val table2_l1d : cache_geometry
+(** 64 KB, 4-way LRU, 32 B blocks, 1 cycle (the paper's L1). *)
+
+val table2_l2 : cache_geometry
+(** 512 KB, 4-way LRU, 32 B blocks, 16 cycles. *)
+
+val default :
+  ?l1d:cache_geometry -> ?l2:cache_geometry -> ?dram_latency:float ->
+  ?mode_table:Dvs_power.Mode.table ->
+  ?regulator:Dvs_power.Switch_cost.regulator ->
+  ?active_energy_coeff:float -> unit -> t
+(** Paper-flavored defaults: Table 2 caches, 120 ns DRAM, the XScale-like
+    3-mode table, a 10 uF regulator, and 0.5 nF effective capacitance
+    (about 1 W at 800 MHz / 1.65 V, XScale-class). *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,229 @@
+open Dvs_ir
+
+type run_stats = {
+  time : float;
+  energy : float;
+  dyn_instrs : int;
+  mode_transitions : int;
+  transition_time : float;
+  transition_energy : float;
+  l1 : Cache.stats;
+  l2 : Cache.stats;
+  overlap_cycles : int;
+  dependent_cycles : int;
+  cache_hit_cycles : int;
+  miss_busy_time : float;
+  stall_time : float;
+  registers : int array;
+  memory : int array;
+}
+
+exception Out_of_fuel
+
+type governor = {
+  gov_interval : float;
+  gov_decide : busy_fraction:float -> current_mode:int -> int;
+}
+
+let max_reg_of_cfg g =
+  Array.fold_left
+    (fun acc b ->
+      let acc =
+        Array.fold_left (fun a i -> Int.max a (Instr.max_reg i)) acc b.Cfg.body
+      in
+      match b.Cfg.term with
+      | Cfg.Branch (r, _, _) -> Int.max acc r
+      | Cfg.Jump _ | Cfg.Halt -> acc)
+    (-1) (Cfg.blocks g)
+
+let run ?(fuel = 50_000_000) ?initial_mode ?edge_modes ?governor ?observer
+    (cfg : Config.t) g ~memory =
+  let table = cfg.mode_table in
+  let n_modes = Dvs_power.Mode.size table in
+  let initial_mode =
+    match initial_mode with Some m -> m | None -> n_modes - 1
+  in
+  if initial_mode < 0 || initial_mode >= n_modes then
+    invalid_arg "Cpu.run: initial mode out of range";
+  let hier = Hierarchy.create cfg in
+  let regs = Array.make (max_reg_of_cfg g + 1) 0 in
+  let mem = Array.copy memory in
+  let pending = Array.make (Array.length regs) neg_infinity in
+  (* Mutable machine state. *)
+  let time = ref 0.0 and energy = ref 0.0 in
+  let mode = ref initial_mode in
+  let voltage = ref (Dvs_power.Mode.get table initial_mode).voltage in
+  let freq = ref (Dvs_power.Mode.get table initial_mode).frequency in
+  let dyn = ref 0 in
+  let transitions = ref 0 in
+  let t_time = ref 0.0 and t_energy = ref 0.0 in
+  let overlap_cycles = ref 0 and dependent_cycles = ref 0 in
+  let cache_hit_cycles = ref 0 in
+  let busy_end = ref neg_infinity and miss_busy = ref 0.0 in
+  let stall = ref 0.0 in
+  let in_flight () = !busy_end > !time in
+  (* Charge [c] synchronous cycles of kind [`Compute] or [`Mem_hit]. *)
+  let charge kind c =
+    (match kind with
+    | `Mem_hit -> cache_hit_cycles := !cache_hit_cycles + c
+    | `Compute ->
+      if in_flight () then overlap_cycles := !overlap_cycles + c
+      else dependent_cycles := !dependent_cycles + c);
+    time := !time +. (float_of_int c /. !freq);
+    energy := !energy +. (float_of_int c *. cfg.active_energy_coeff *. !voltage *. !voltage)
+  in
+  let wait_for r =
+    if pending.(r) > !time then begin
+      stall := !stall +. (pending.(r) -. !time);
+      time := pending.(r)
+    end
+  in
+  let issue_miss () =
+    let completion = !time +. cfg.dram_latency in
+    if !time >= !busy_end then miss_busy := !miss_busy +. cfg.dram_latency
+    else if completion > !busy_end then
+      miss_busy := !miss_busy +. (completion -. !busy_end);
+    if completion > !busy_end then busy_end := completion;
+    completion
+  in
+  let set_mode m =
+    if m < 0 || m >= n_modes then invalid_arg "Cpu.run: mode out of range";
+    if m <> !mode then begin
+      let cur = Dvs_power.Mode.get table !mode in
+      let nxt = Dvs_power.Mode.get table m in
+      let dt = Dvs_power.Switch_cost.time cfg.regulator cur.voltage nxt.voltage in
+      let de = Dvs_power.Switch_cost.energy cfg.regulator cur.voltage nxt.voltage in
+      time := !time +. dt;
+      energy := !energy +. de;
+      t_time := !t_time +. dt;
+      t_energy := !t_energy +. de;
+      incr transitions;
+      mode := m;
+      voltage := nxt.voltage;
+      freq := nxt.frequency
+    end
+  in
+  let check_addr a =
+    if a < 0 || a >= Array.length mem then
+      failwith (Printf.sprintf "Cpu.run: address %d out of bounds" a)
+  in
+  let exec (i : Instr.t) =
+    incr dyn;
+    match i with
+    | Instr.Li (rd, v) ->
+      charge `Compute (Instr.latency i);
+      regs.(rd) <- v;
+      pending.(rd) <- neg_infinity
+    | Instr.Mov (rd, rs) ->
+      wait_for rs;
+      charge `Compute (Instr.latency i);
+      regs.(rd) <- regs.(rs);
+      pending.(rd) <- neg_infinity
+    | Instr.Binop (op, rd, rs1, rs2) ->
+      wait_for rs1;
+      wait_for rs2;
+      charge `Compute (Instr.latency i);
+      regs.(rd) <- Instr.eval_binop op regs.(rs1) regs.(rs2);
+      pending.(rd) <- neg_infinity
+    | Instr.Load (rd, rs, off) ->
+      wait_for rs;
+      let a = regs.(rs) + off in
+      check_addr a;
+      let outcome = Hierarchy.access hier ~word_addr:a in
+      if outcome.Hierarchy.dram then begin
+        (* One issue cycle; the lookup overlaps the DRAM transaction. *)
+        charge `Mem_hit 1;
+        pending.(rd) <- issue_miss ()
+      end
+      else begin
+        charge `Mem_hit (1 + outcome.Hierarchy.cycles);
+        pending.(rd) <- neg_infinity
+      end;
+      regs.(rd) <- mem.(a)
+    | Instr.Store (rv, rs, off) ->
+      wait_for rv;
+      wait_for rs;
+      let a = regs.(rs) + off in
+      check_addr a;
+      let outcome = Hierarchy.access hier ~word_addr:a in
+      if outcome.Hierarchy.dram then begin
+        charge `Mem_hit 1;
+        ignore (issue_miss ())
+      end
+      else charge `Mem_hit (1 + outcome.Hierarchy.cycles);
+      mem.(a) <- regs.(rv)
+    | Instr.Nop -> charge `Compute 1
+    | Instr.Modeset m -> set_mode m
+  in
+  let notify label via =
+    match observer with
+    | Some f -> f label ~via ~time:!time ~energy:!energy
+    | None -> ()
+  in
+  let edge_mode e =
+    match edge_modes with Some f -> f e | None -> None
+  in
+  (* Interval governor: consulted at block boundaries. *)
+  let gov_next = ref infinity in
+  let gov_window_start = ref 0.0 in
+  let gov_stall_mark = ref 0.0 in
+  (match governor with
+  | Some gv ->
+    if not (gv.gov_interval > 0.0) then
+      invalid_arg "Cpu.run: governor interval must be positive";
+    gov_next := gv.gov_interval
+  | None -> ());
+  let consult_governor () =
+    match governor with
+    | None -> ()
+    | Some gv ->
+      if !time >= !gov_next then begin
+        let elapsed = !time -. !gov_window_start in
+        let stalled = !stall -. !gov_stall_mark in
+        let busy_fraction =
+          if elapsed <= 0.0 then 1.0
+          else Float.max 0.0 (Float.min 1.0 (1.0 -. (stalled /. elapsed)))
+        in
+        let next = gv.gov_decide ~busy_fraction ~current_mode:!mode in
+        set_mode (Int.max 0 (Int.min (n_modes - 1) next));
+        gov_window_start := !time;
+        gov_stall_mark := !stall;
+        gov_next := !time +. gv.gov_interval
+      end
+  in
+  let rec step label via budget =
+    if budget <= 0 then raise Out_of_fuel;
+    consult_governor ();
+    (match via with
+    | Some src -> (
+      match edge_mode { Cfg.src; dst = label } with
+      | Some m -> set_mode m
+      | None -> ())
+    | None -> ());
+    notify label via;
+    let b = Cfg.block g label in
+    Array.iter exec b.Cfg.body;
+    match b.Cfg.term with
+    | Cfg.Halt ->
+      (* Drain outstanding memory traffic. *)
+      if !busy_end > !time then begin
+        stall := !stall +. (!busy_end -. !time);
+        time := !busy_end
+      end
+    | Cfg.Jump l ->
+      charge `Compute 1;
+      step l (Some label) (budget - 1)
+    | Cfg.Branch (r, taken, fallthrough) ->
+      wait_for r;
+      charge `Compute 1;
+      let dst = if regs.(r) <> 0 then taken else fallthrough in
+      step dst (Some label) (budget - 1)
+  in
+  step (Cfg.entry g) None fuel;
+  { time = !time; energy = !energy; dyn_instrs = !dyn;
+    mode_transitions = !transitions; transition_time = !t_time;
+    transition_energy = !t_energy; l1 = Hierarchy.l1_stats hier;
+    l2 = Hierarchy.l2_stats hier; overlap_cycles = !overlap_cycles;
+    dependent_cycles = !dependent_cycles;
+    cache_hit_cycles = !cache_hit_cycles; miss_busy_time = !miss_busy;
+    stall_time = !stall; registers = regs; memory = mem }

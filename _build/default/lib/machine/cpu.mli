@@ -1,0 +1,70 @@
+(** Cycle-level in-order core with non-blocking cache misses, clock
+    gating, DVS modes, and [V^2]-proportional per-cycle energy — the
+    stand-in for the paper's Wattch/SimpleScalar profiling platform.
+
+    Timing model:
+    - every instruction charges its compute latency in cycles at the
+      current clock; cache hits add the hierarchy's synchronous latency;
+    - a load miss charges one issue cycle, then the destination register
+      becomes pending until [time + dram_latency] (wall clock); execution
+      continues until an instruction {e reads} a pending register, at
+      which point the clock gates (time passes, no energy) — this is what
+      makes the paper's overlap/dependent split emerge;
+    - store misses are fire-and-forget (drained at [Halt]);
+    - mode-set events (edge annotations or [Modeset] instructions) charge
+      the regulator's transition time and energy, or nothing when the mode
+      is unchanged ("silent" mode-sets, Section 4.2).
+
+    Architectural state must match {!Dvs_ir.Interp} exactly; tests enforce
+    this. *)
+
+type run_stats = {
+  time : float;  (** seconds *)
+  energy : float;  (** joules *)
+  dyn_instrs : int;
+  mode_transitions : int;  (** non-silent mode-sets executed *)
+  transition_time : float;
+  transition_energy : float;
+  l1 : Cache.stats;
+  l2 : Cache.stats;
+  overlap_cycles : int;
+      (** compute cycles issued while >= 1 miss was in flight *)
+  dependent_cycles : int;  (** compute cycles with no miss in flight *)
+  cache_hit_cycles : int;  (** cycles of cache-hit memory operations *)
+  miss_busy_time : float;
+      (** union of miss-in-flight wall-clock intervals (the measured
+          analog of the paper's t_invariant) *)
+  stall_time : float;  (** clock-gated waiting *)
+  registers : int array;
+  memory : int array;
+}
+
+exception Out_of_fuel
+
+type governor = {
+  gov_interval : float;  (** seconds between decisions *)
+  gov_decide : busy_fraction:float -> current_mode:int -> int;
+      (** next mode, given the fraction of the last interval the core was
+          busy (not clock-gated) *)
+}
+(** Interval-based {e runtime} DVS policy (Weiser-style / the paper's
+    OS-level related work): reconsider the mode every [gov_interval]
+    seconds from observed utilization.  Decisions take effect at basic
+    block boundaries and pay normal transition costs.  Deadline-unaware
+    by construction — which is precisely what the compile-time approach
+    is being compared against. *)
+
+val run :
+  ?fuel:int ->
+  ?initial_mode:int ->
+  ?edge_modes:(Dvs_ir.Cfg.edge -> int option) ->
+  ?governor:governor ->
+  ?observer:
+    (Dvs_ir.Cfg.label -> via:Dvs_ir.Cfg.label option -> time:float ->
+     energy:float -> unit) ->
+  Config.t -> Dvs_ir.Cfg.t -> memory:int array -> run_stats
+(** [fuel] bounds executed blocks (default 50 million).  [initial_mode]
+    defaults to the fastest mode.  [edge_modes] attaches compile-time DVS
+    decisions to edges; [governor] makes decisions at run time instead
+    (don't combine them).  [observer] fires at each block entry (after
+    any edge mode-set cost), with the incoming block in [via]. *)

@@ -1,0 +1,35 @@
+(** Out-of-order (dataflow-limited) core model.
+
+    The paper profiled on a 4-wide out-of-order SimpleScalar (its
+    Table 2: RUU 64, issue width 4); the in-order model in {!Cpu} is the
+    conservative end.  This model is the other end: instructions issue
+    as soon as their operands and a fetch slot are ready, bounded by
+
+    - issue bandwidth ([issue_width] per cycle),
+    - a reorder window (at most [window] newer instructions in flight),
+
+    with perfect branch prediction and no functional-unit contention —
+    an upper bound on the ILP/MLP the real machine could exploit.  DRAM
+    remains asynchronous wall-clock; cache hits are synchronous cycles;
+    energy charges each instruction's cycles at [V^2]; mode-sets drain
+    the pipeline and pay the regulator costs.
+
+    Functional behavior matches {!Dvs_ir.Interp} exactly (tested); the
+    interesting outputs are the timing and the overlap/dependent split,
+    which the profiling-platform ablation compares against {!Cpu}.
+
+    Approximations: the overlap/dependent attribution and the miss-busy
+    union process issue times in program order, which is exact for
+    monotonic issue sequences and a close approximation otherwise;
+    [stall_time] reports the total fetch throttling due to the window
+    being full. *)
+
+val run :
+  ?fuel:int ->
+  ?window:int ->
+  ?issue_width:int ->
+  ?initial_mode:int ->
+  ?edge_modes:(Dvs_ir.Cfg.edge -> int option) ->
+  Config.t -> Dvs_ir.Cfg.t -> memory:int array -> Cpu.run_stats
+(** Defaults follow the paper's Table 2: [window = 64] (RUU size),
+    [issue_width = 4]. *)

@@ -1,0 +1,23 @@
+(** Two-level data-cache hierarchy over asynchronous DRAM. *)
+
+type t
+
+type outcome = {
+  cycles : int;
+      (** synchronous cost in clock cycles (lookup + hit latencies) *)
+  dram : bool;  (** true when the access goes to memory *)
+}
+
+val create : Config.t -> t
+
+val access : t -> word_addr:int -> outcome
+(** L1 hit: L1 latency.  L1 miss, L2 hit: L1 + L2 latencies.  Both miss:
+    the same synchronous lookup cycles plus a DRAM transaction whose
+    wall-clock latency ([Config.dram_latency]) the CPU model accounts for
+    asynchronously. *)
+
+val reset : t -> unit
+
+val l1_stats : t -> Cache.stats
+
+val l2_stats : t -> Cache.stats

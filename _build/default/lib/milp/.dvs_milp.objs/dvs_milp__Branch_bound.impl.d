@@ -1,0 +1,1 @@
+lib/milp/branch_bound.ml: Array Dvs_lp Float Format Hashtbl Heap List Model Option Simplex Sys

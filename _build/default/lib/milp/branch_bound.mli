@@ -1,0 +1,45 @@
+(** Branch and bound over the {!Dvs_lp.Simplex} relaxation.
+
+    Best-bound node selection, most-fractional branching, and a
+    fix-and-complete rounding heuristic that seeds the incumbent early.
+    This is the solver that replaces the paper's CPLEX: the DVS MILPs it
+    targets have a few hundred binaries (after edge filtering) with a
+    one-mode-per-edge SOS1 structure whose LP relaxations are close to
+    integral, so a textbook search suffices. *)
+
+type options = {
+  max_nodes : int;  (** node budget; default 200_000 *)
+  int_tol : float;  (** integrality tolerance; default 1e-6 *)
+  gap_rel : float;  (** relative optimality gap to stop at; default 1e-9 *)
+  time_limit : float option;  (** CPU seconds *)
+  rounding : bool;
+      (** run the rounding heuristic (root and periodically) *)
+  sos1 : Dvs_lp.Model.var list list;
+      (** groups whose binaries sum to 1; guides the rounding heuristic
+          (the one-mode-per-edge structure of the DVS formulation) *)
+  warm_start : (Dvs_lp.Model.var * float) list;
+      (** variable fixings known to admit a feasible completion, solved
+          once to seed the incumbent (e.g. every edge at the fastest
+          mode) *)
+  log : (string -> unit) option;
+}
+
+val default_options : options
+
+type outcome =
+  | Optimal  (** proven within the gap *)
+  | Feasible  (** incumbent found, but a limit stopped the proof *)
+  | Infeasible
+  | Unbounded
+  | No_solution  (** limits hit before any incumbent *)
+
+type result = {
+  outcome : outcome;
+  solution : Dvs_lp.Simplex.solution option;
+  bound : float;  (** best proven bound on the optimum *)
+  nodes : int;  (** nodes explored *)
+}
+
+val solve : ?options:options -> Dvs_lp.Model.t -> result
+(** Integrality markers on the model's variables are enforced; everything
+    else is as in the LP.  Works for both senses. *)

@@ -1,0 +1,18 @@
+(** Minimal binary min-heap with a caller-supplied ordering; the node
+    queue of the branch-and-bound search. *)
+
+type 'a t
+
+val create : cmp:('a -> 'a -> int) -> 'a t
+(** Smallest-first with respect to [cmp]. *)
+
+val size : 'a t -> int
+
+val is_empty : 'a t -> bool
+
+val push : 'a t -> 'a -> unit
+
+val pop : 'a t -> 'a option
+(** Removes and returns the minimum. *)
+
+val peek : 'a t -> 'a option

@@ -1,0 +1,153 @@
+type t = { m : int; n : int; data : float array }
+
+let create m n =
+  if m < 0 || n < 0 then invalid_arg "Matrix.create: negative dimension";
+  { m; n; data = Array.make (m * n) 0.0 }
+
+let init m n f =
+  let a = create m n in
+  for i = 0 to m - 1 do
+    for j = 0 to n - 1 do
+      a.data.((i * n) + j) <- f i j
+    done
+  done;
+  a
+
+let identity n = init n n (fun i j -> if i = j then 1.0 else 0.0)
+
+let rows a = a.m
+
+let cols a = a.n
+
+let check_index a i j =
+  if i < 0 || i >= a.m || j < 0 || j >= a.n then
+    invalid_arg
+      (Printf.sprintf "Matrix: index (%d,%d) out of bounds %dx%d" i j a.m a.n)
+
+let get a i j =
+  check_index a i j;
+  a.data.((i * a.n) + j)
+
+let set a i j v =
+  check_index a i j;
+  a.data.((i * a.n) + j) <- v
+
+let copy a = { a with data = Array.copy a.data }
+
+let row a i =
+  check_index a i 0;
+  Array.sub a.data (i * a.n) a.n
+
+let col a j =
+  check_index a 0 j;
+  Array.init a.m (fun i -> a.data.((i * a.n) + j))
+
+let set_row a i (v : Vec.t) =
+  check_index a i 0;
+  if Array.length v <> a.n then invalid_arg "Matrix.set_row: dimension mismatch";
+  Array.blit v 0 a.data (i * a.n) a.n
+
+let mul_vec a (x : Vec.t) =
+  if Array.length x <> a.n then invalid_arg "Matrix.mul_vec: dimension mismatch";
+  Array.init a.m (fun i ->
+      let acc = ref 0.0 in
+      let base = i * a.n in
+      for j = 0 to a.n - 1 do
+        acc := !acc +. (a.data.(base + j) *. x.(j))
+      done;
+      !acc)
+
+let transpose_mul_vec a (y : Vec.t) =
+  if Array.length y <> a.m then
+    invalid_arg "Matrix.transpose_mul_vec: dimension mismatch";
+  let r = Array.make a.n 0.0 in
+  for i = 0 to a.m - 1 do
+    let base = i * a.n in
+    for j = 0 to a.n - 1 do
+      r.(j) <- r.(j) +. (a.data.(base + j) *. y.(i))
+    done
+  done;
+  r
+
+let mul a b =
+  if a.n <> b.m then invalid_arg "Matrix.mul: dimension mismatch";
+  init a.m b.n (fun i j ->
+      let acc = ref 0.0 in
+      for k = 0 to a.n - 1 do
+        acc := !acc +. (a.data.((i * a.n) + k) *. b.data.((k * b.n) + j))
+      done;
+      !acc)
+
+let swap_rows a i j =
+  check_index a i 0;
+  check_index a j 0;
+  if i <> j then
+    for k = 0 to a.n - 1 do
+      let t = a.data.((i * a.n) + k) in
+      a.data.((i * a.n) + k) <- a.data.((j * a.n) + k);
+      a.data.((j * a.n) + k) <- t
+    done
+
+let scale_row_inplace a i c =
+  check_index a i 0;
+  let base = i * a.n in
+  for k = 0 to a.n - 1 do
+    a.data.(base + k) <- c *. a.data.(base + k)
+  done
+
+let add_scaled_row_inplace a ~src ~dst c =
+  check_index a src 0;
+  check_index a dst 0;
+  let bs = src * a.n and bd = dst * a.n in
+  for k = 0 to a.n - 1 do
+    a.data.(bd + k) <- a.data.(bd + k) +. (c *. a.data.(bs + k))
+  done
+
+let solve a0 (b0 : Vec.t) =
+  if a0.m <> a0.n then invalid_arg "Matrix.solve: matrix must be square";
+  if Array.length b0 <> a0.m then invalid_arg "Matrix.solve: rhs mismatch";
+  let n = a0.n in
+  let a = copy a0 and b = Array.copy b0 in
+  let singular = ref false in
+  (* Forward elimination with partial pivoting. *)
+  let k = ref 0 in
+  while (not !singular) && !k < n do
+    let piv = ref !k in
+    for i = !k + 1 to n - 1 do
+      if Float.abs (get a i !k) > Float.abs (get a !piv !k) then piv := i
+    done;
+    if Float.abs (get a !piv !k) < 1e-12 then singular := true
+    else begin
+      swap_rows a !k !piv;
+      let t = b.(!k) in
+      b.(!k) <- b.(!piv);
+      b.(!piv) <- t;
+      for i = !k + 1 to n - 1 do
+        let factor = -.get a i !k /. get a !k !k in
+        add_scaled_row_inplace a ~src:!k ~dst:i factor;
+        b.(i) <- b.(i) +. (factor *. b.(!k))
+      done;
+      incr k
+    end
+  done;
+  if !singular then None
+  else begin
+    (* Back substitution. *)
+    let x = Array.make n 0.0 in
+    for i = n - 1 downto 0 do
+      let acc = ref b.(i) in
+      for j = i + 1 to n - 1 do
+        acc := !acc -. (get a i j *. x.(j))
+      done;
+      x.(i) <- !acc /. get a i i
+    done;
+    Some x
+  end
+
+let pp ppf a =
+  Format.fprintf ppf "@[<v>";
+  for i = 0 to a.m - 1 do
+    if i > 0 then Format.fprintf ppf "@,";
+    Format.fprintf ppf "%a" Vec.pp (row a i)
+  done;
+  Format.fprintf ppf "@]"

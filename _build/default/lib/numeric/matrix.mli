@@ -1,0 +1,53 @@
+(** Dense row-major float matrices.
+
+    Used by the simplex tableau and for small linear solves in the
+    analytical model.  Rows and columns are 0-indexed. *)
+
+type t
+
+val create : int -> int -> t
+(** [create m n] is the [m] x [n] zero matrix. *)
+
+val init : int -> int -> (int -> int -> float) -> t
+
+val identity : int -> t
+
+val rows : t -> int
+
+val cols : t -> int
+
+val get : t -> int -> int -> float
+
+val set : t -> int -> int -> float -> unit
+
+val copy : t -> t
+
+val row : t -> int -> Vec.t
+(** [row a i] is a fresh copy of row [i]. *)
+
+val col : t -> int -> Vec.t
+
+val set_row : t -> int -> Vec.t -> unit
+
+val mul_vec : t -> Vec.t -> Vec.t
+(** [mul_vec a x] is [a x]. *)
+
+val transpose_mul_vec : t -> Vec.t -> Vec.t
+(** [transpose_mul_vec a y] is [aᵀ y]. *)
+
+val mul : t -> t -> t
+
+val swap_rows : t -> int -> int -> unit
+
+val scale_row_inplace : t -> int -> float -> unit
+
+val add_scaled_row_inplace : t -> src:int -> dst:int -> float -> unit
+(** [add_scaled_row_inplace a ~src ~dst c] performs
+    [row dst <- row dst + c * row src]. *)
+
+val solve : t -> Vec.t -> Vec.t option
+(** [solve a b] solves [a x = b] by Gaussian elimination with partial
+    pivoting; [None] if [a] is (numerically) singular.  [a] and [b] are not
+    modified. *)
+
+val pp : Format.formatter -> t -> unit

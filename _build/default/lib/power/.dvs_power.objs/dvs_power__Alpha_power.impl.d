@@ -1,0 +1,1 @@
+lib/power/alpha_power.ml: Dvs_numeric Format

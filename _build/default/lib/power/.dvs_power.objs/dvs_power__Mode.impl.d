@@ -1,0 +1,1 @@
+lib/power/mode.ml: Alpha_power Array Dvs_numeric Float Format

@@ -1,0 +1,1 @@
+lib/power/mode.mli: Alpha_power Format

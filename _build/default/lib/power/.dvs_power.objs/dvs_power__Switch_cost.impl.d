@@ -1,0 +1,1 @@
+lib/power/switch_cost.ml: Float Format

@@ -1,0 +1,39 @@
+type t = { k : float; vt : float; alpha : float }
+
+let make ~k ~vt ~alpha =
+  if not (k > 0.0) then invalid_arg "Alpha_power.make: k must be positive";
+  if not (vt >= 0.0) then invalid_arg "Alpha_power.make: vt must be >= 0";
+  if not (alpha >= 1.0) then invalid_arg "Alpha_power.make: alpha must be >= 1";
+  { k; vt; alpha }
+
+let frequency t v =
+  if v <= t.vt then 0.0 else t.k *. ((v -. t.vt) ** t.alpha) /. v
+
+let calibrate ~vt ~alpha ~v_anchor ~f_anchor =
+  if not (v_anchor > vt) then
+    invalid_arg "Alpha_power.calibrate: anchor voltage below threshold";
+  if not (f_anchor > 0.0) then
+    invalid_arg "Alpha_power.calibrate: anchor frequency must be positive";
+  let k = f_anchor *. v_anchor /. ((v_anchor -. vt) ** alpha) in
+  make ~k ~vt ~alpha
+
+let default = calibrate ~vt:0.45 ~alpha:1.5 ~v_anchor:1.65 ~f_anchor:800e6
+
+let voltage t f =
+  if f < 0.0 then invalid_arg "Alpha_power.voltage: negative frequency";
+  if f = 0.0 then t.vt
+  else begin
+    (* frequency is strictly increasing above vt; find a bracketing upper
+       voltage by doubling, then invert by bisection. *)
+    let hi = ref (t.vt +. 1.0) in
+    while frequency t !hi < f do
+      hi := t.vt +. ((!hi -. t.vt) *. 2.0)
+    done;
+    Dvs_numeric.Optimize.invert_increasing ~lo:t.vt ~hi:!hi
+      (fun v -> frequency t v)
+      f
+  end
+
+let pp ppf t =
+  Format.fprintf ppf "alpha-power{k=%.4g; vt=%.3gV; alpha=%.3g}" t.k t.vt
+    t.alpha

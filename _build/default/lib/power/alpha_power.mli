@@ -1,0 +1,35 @@
+(** The alpha-power delay model of Sakurai-Newton, as used by the paper
+    (Section 3.1, assumption 4):
+
+    {v f = k (v - vt)^alpha / v }
+
+    where [vt] is the threshold voltage and [alpha] a technology factor
+    (about 1.5 at the paper's time).  [f] is strictly increasing in [v] for
+    [v > vt], so the inverse is well defined.
+
+    Units: volts and hertz. *)
+
+type t = private { k : float; vt : float; alpha : float }
+
+val make : k:float -> vt:float -> alpha:float -> t
+(** Raises [Invalid_argument] unless [k > 0], [vt >= 0], [alpha >= 1]. *)
+
+val calibrate : vt:float -> alpha:float -> v_anchor:float -> f_anchor:float -> t
+(** [calibrate ~vt ~alpha ~v_anchor ~f_anchor] solves for [k] such that the
+    law maps [v_anchor] to [f_anchor].  Requires [v_anchor > vt] and
+    [f_anchor > 0]. *)
+
+val default : t
+(** The paper's settings: [vt = 0.45 V], [alpha = 1.5], calibrated so that
+    1.65 V maps to 800 MHz (which also puts 1.3 V near 600 MHz and 0.7 V near
+    200 MHz, matching the XScale-like pairs of Section 5.1). *)
+
+val frequency : t -> float -> float
+(** [frequency t v] is the maximum clock frequency at supply voltage [v];
+    0 when [v <= vt]. *)
+
+val voltage : t -> float -> float
+(** [voltage t f] inverts {!frequency}: the minimum supply voltage able to
+    sustain clock frequency [f].  Requires [f >= 0]. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,24 @@
+type regulator = { capacitance : float; efficiency : float; i_max : float }
+
+let regulator ?(efficiency = 0.9) ?(i_max = 1.0) ~capacitance () =
+  if not (capacitance > 0.0) then
+    invalid_arg "Switch_cost.regulator: capacitance must be positive";
+  if not (efficiency >= 0.0 && efficiency < 1.0) then
+    invalid_arg "Switch_cost.regulator: efficiency must lie in [0, 1)";
+  if not (i_max > 0.0) then
+    invalid_arg "Switch_cost.regulator: i_max must be positive";
+  { capacitance; efficiency; i_max }
+
+let default = regulator ~capacitance:10e-6 ()
+
+let energy_coeff r = (1.0 -. r.efficiency) *. r.capacitance
+
+let time_coeff r = 2.0 *. r.capacitance /. r.i_max
+
+let energy r v1 v2 = energy_coeff r *. Float.abs ((v1 *. v1) -. (v2 *. v2))
+
+let time r v1 v2 = time_coeff r *. Float.abs (v1 -. v2)
+
+let pp ppf r =
+  Format.fprintf ppf "regulator{c=%.3guF; u=%.2f; Imax=%.2gA}"
+    (r.capacitance *. 1e6) r.efficiency r.i_max

@@ -1,0 +1,41 @@
+(** DVS mode-transition costs, after Burd & Brodersen (ISLPED'00), the model
+    the paper adopts in Section 4.2:
+
+    {v SE(vi, vj) = (1 - u) * c * |vi^2 - vj^2|
+       ST(vi, vj) = (2 * c / Imax) * |vi - vj| v}
+
+    where [c] is the voltage-regulator capacitance, [u] its energy
+    efficiency, and [Imax] the maximum supply current.  Transitions between
+    identical voltages are free, which is what makes redundant mode-set
+    instructions silent at run time. *)
+
+type regulator = {
+  capacitance : float;  (** farads *)
+  efficiency : float;  (** [u] in [0, 1) *)
+  i_max : float;  (** amperes *)
+}
+
+val regulator : ?efficiency:float -> ?i_max:float -> capacitance:float -> unit
+  -> regulator
+(** Defaults [efficiency = 0.9] and [i_max = 1.0 A]: with [capacitance =
+    10e-6 F] these reproduce the paper's quoted costs of 12 us and 1.2 uJ
+    for a 1.3 V -> 0.7 V transition. *)
+
+val default : regulator
+(** [regulator ~capacitance:10e-6 ()] — the paper's "typical" 10 uF. *)
+
+val energy : regulator -> float -> float -> float
+(** [energy reg v1 v2] in joules. *)
+
+val time : regulator -> float -> float -> float
+(** [time reg v1 v2] in seconds. *)
+
+val energy_coeff : regulator -> float
+(** [CE = (1 - u) * c]: the constant multiplying [|vi^2 - vj^2|] in the
+    linearized MILP objective. *)
+
+val time_coeff : regulator -> float
+(** [CT = 2 * c / Imax]: the constant multiplying [|vi - vj|] in the
+    linearized deadline constraint. *)
+
+val pp : Format.formatter -> regulator -> unit

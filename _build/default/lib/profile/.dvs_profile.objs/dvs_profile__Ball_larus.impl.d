@@ -1,0 +1,1 @@
+lib/profile/ball_larus.ml: Array Cfg Dominators Dvs_ir Hashtbl List Option Printf

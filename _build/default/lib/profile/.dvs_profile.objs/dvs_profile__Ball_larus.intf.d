@@ -1,0 +1,1 @@
+lib/profile/ball_larus.mli: Dvs_ir

@@ -1,0 +1,1 @@
+lib/profile/categorize.ml: Array Cpu Dvs_analytical Dvs_machine Profile

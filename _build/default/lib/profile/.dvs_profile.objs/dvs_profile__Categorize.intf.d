@@ -1,0 +1,1 @@
+lib/profile/categorize.mli: Dvs_analytical Dvs_machine Profile

@@ -1,0 +1,1 @@
+lib/profile/profile.ml: Array Cfg Config Cpu Dvs_ir Dvs_machine Dvs_power Format Hashtbl List Option

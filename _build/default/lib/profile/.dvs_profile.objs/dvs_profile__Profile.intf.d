@@ -1,0 +1,1 @@
+lib/profile/profile.mli: Dvs_ir Dvs_machine Format

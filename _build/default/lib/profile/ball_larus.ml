@@ -1,0 +1,151 @@
+open Dvs_ir
+
+(* Virtual nodes get labels [n] (entry) and [n+1] (exit). *)
+
+type t = {
+  cfg : Cfg.t;
+  ventry : int;
+  vexit : int;
+  dag_succs : (int * int) list array;
+      (* per node: (successor, edge value), in decreasing-value order *)
+  num_paths : int;
+  edge_val : (int * int, int) Hashtbl.t;  (* (src, dst) -> value *)
+  is_back_edge : (int * int, unit) Hashtbl.t;
+}
+
+let num_paths t = t.num_paths
+
+let compute cfg =
+  let n = Cfg.num_blocks cfg in
+  let ventry = n and vexit = n + 1 in
+  let dom = Dominators.compute cfg in
+  let is_back_edge = Hashtbl.create 8 in
+  List.iter
+    (fun (e : Cfg.edge) -> Hashtbl.replace is_back_edge (e.src, e.dst) ())
+    (Dominators.back_edges cfg dom);
+  (* DAG adjacency (deduplicated). *)
+  let succs = Array.make (n + 2) [] in
+  let seen = Hashtbl.create 64 in
+  let add_edge src dst =
+    if not (Hashtbl.mem seen (src, dst)) then begin
+      Hashtbl.replace seen (src, dst) ();
+      succs.(src) <- dst :: succs.(src)
+    end
+  in
+  add_edge ventry (Cfg.entry cfg);
+  Array.iter
+    (fun (blk : Cfg.block) ->
+      if Dominators.reachable dom blk.label then begin
+        (match blk.term with Cfg.Halt -> add_edge blk.label vexit | _ -> ());
+        List.iter
+          (fun dst ->
+            if Hashtbl.mem is_back_edge (blk.label, dst) then begin
+              (* Replace the back edge by dummy entry/exit edges. *)
+              add_edge ventry dst;
+              add_edge blk.label vexit
+            end
+            else add_edge blk.label dst)
+          (Cfg.successors cfg blk.label)
+      end)
+    (Cfg.blocks cfg);
+  (* Reverse topological order by DFS. *)
+  let state = Array.make (n + 2) `White in
+  let order = ref [] in
+  let rec dfs v =
+    match state.(v) with
+    | `Black -> ()
+    | `Grey -> invalid_arg "Ball_larus.compute: residual cycle"
+    | `White ->
+      state.(v) <- `Grey;
+      List.iter dfs succs.(v);
+      state.(v) <- `Black;
+      order := v :: !order
+  in
+  dfs ventry;
+  (* NumPaths and edge values, processing in reverse topological order. *)
+  let np = Array.make (n + 2) 0 in
+  let edge_val = Hashtbl.create 64 in
+  np.(vexit) <- 1;
+  List.rev !order
+  |> List.iter (fun v ->
+         if v <> vexit then begin
+           let acc = ref 0 in
+           List.iter
+             (fun w ->
+               Hashtbl.replace edge_val (v, w) !acc;
+               if np.(w) > max_int - !acc then
+                 invalid_arg "Ball_larus.compute: path count overflow";
+               acc := !acc + np.(w))
+             succs.(v);
+           np.(v) <- !acc
+         end);
+  let dag_succs =
+    Array.mapi
+      (fun v ws ->
+        List.map (fun w -> (w, Hashtbl.find edge_val (v, w))) ws
+        |> List.sort (fun (_, a) (_, b) -> compare b a))
+      succs
+  in
+  { cfg; ventry; vexit; dag_succs; num_paths = np.(ventry); edge_val;
+    is_back_edge }
+
+let value t src dst =
+  match Hashtbl.find_opt t.edge_val (src, dst) with
+  | Some v -> v
+  | None ->
+    invalid_arg
+      (Printf.sprintf "Ball_larus: (%d, %d) is not a DAG edge" src dst)
+
+let count_trace t blocks =
+  let counts = Hashtbl.create 64 in
+  let bump id =
+    Hashtbl.replace counts id
+      (1 + Option.value ~default:0 (Hashtbl.find_opt counts id))
+  in
+  (match blocks with
+  | [] -> ()
+  | first :: _ ->
+    let r = ref (value t t.ventry first) in
+    let rec walk = function
+      | a :: (b :: _ as rest) ->
+        if Hashtbl.mem t.is_back_edge (a, b) then begin
+          bump (!r + value t a t.vexit);
+          r := value t t.ventry b
+        end
+        else r := !r + value t a b;
+        walk rest
+      | [ last ] -> bump (!r + value t last t.vexit)
+      | [] -> ()
+    in
+    walk blocks);
+  Hashtbl.fold (fun id c acc -> (id, c) :: acc) counts []
+  |> List.sort (fun (_, a) (_, b) -> compare b a)
+
+let decode t id =
+  if id < 0 || id >= t.num_paths then
+    invalid_arg "Ball_larus.decode: path id out of range";
+  let rec walk v remaining acc =
+    if v = t.vexit then List.rev acc
+    else begin
+      (* Successors are sorted by decreasing value: the first whose value
+         does not exceed [remaining] is the one this path took. *)
+      match
+        List.find_opt (fun (_, value) -> value <= remaining) t.dag_succs.(v)
+      with
+      | Some (w, value) ->
+        walk w (remaining - value) (if w = t.vexit then acc else w :: acc)
+      | None -> assert false (* values include 0 *)
+    end
+  in
+  walk t.ventry id []
+
+let path_of_blocks t blocks =
+  match blocks with
+  | [] -> invalid_arg "Ball_larus.path_of_blocks: empty segment"
+  | first :: _ ->
+    let rec walk acc = function
+      | a :: (b :: _ as rest) -> walk (acc + value t a b) rest
+      | [ last ] -> acc + value t last t.vexit
+      | [] -> assert false
+    in
+    walk (value t t.ventry first) blocks

@@ -1,0 +1,33 @@
+(** Ball-Larus efficient path profiling (MICRO'96), cited by the paper
+    (Section 7) as the way to move the DVS optimization from edges to
+    whole acyclic paths.
+
+    Back edges (found by dominator analysis) are replaced by dummy
+    entry/exit edges in the usual way, so every dynamic execution
+    decomposes into acyclic path segments, each identified by a compact
+    integer in [0, num_paths).  Counting works offline from a block
+    trace; {!decode} maps ids back to block sequences. *)
+
+type t
+
+val compute : Dvs_ir.Cfg.t -> t
+(** Path numbering for the CFG's acyclic skeleton.  Raises
+    [Invalid_argument] if the number of static paths overflows (wildly
+    branchy CFGs); fine for compiler-scale graphs. *)
+
+val num_paths : t -> int
+(** Number of distinct static acyclic paths. *)
+
+val count_trace : t -> Dvs_ir.Cfg.label list -> (int * int) list
+(** [count_trace t blocks] decomposes an executed block sequence (as
+    recorded by {!Dvs_ir.Interp.run} with [~trace:true], or a machine
+    observer) into path segments and returns [(path_id, count)] pairs,
+    most frequent first. *)
+
+val decode : t -> int -> Dvs_ir.Cfg.label list
+(** The block sequence of a path id (without the virtual entry/exit).
+    Raises [Invalid_argument] for out-of-range ids. *)
+
+val path_of_blocks : t -> Dvs_ir.Cfg.label list -> int
+(** Inverse of {!decode} for a valid acyclic segment.  Raises
+    [Invalid_argument] if the sequence is not a countable segment. *)

@@ -1,0 +1,14 @@
+open Dvs_machine
+
+let params (r : Cpu.run_stats) ~deadline =
+  Dvs_analytical.Params.make
+    ~n_overlap:(float_of_int r.Cpu.overlap_cycles)
+    ~n_dependent:(float_of_int r.Cpu.dependent_cycles)
+    ~n_cache:(float_of_int r.Cpu.cache_hit_cycles)
+    ~t_invariant:r.Cpu.miss_busy_time ~t_deadline:deadline
+
+let of_profile ?mode (p : Profile.t) ~deadline =
+  let mode =
+    match mode with Some m -> m | None -> Array.length p.Profile.runs - 1
+  in
+  params p.Profile.runs.(mode) ~deadline

@@ -1,0 +1,16 @@
+(** Deriving the analytical model's program parameters (the paper's
+    Table 7) from a pinned simulation run.
+
+    The mapping is direct because the machine model was built around the
+    same decomposition:
+    - [n_overlap]  <- compute cycles issued while a miss was in flight;
+    - [n_dependent] <- compute cycles with no miss in flight;
+    - [n_cache]    <- cycles of cache-hit memory operations;
+    - [t_invariant] <- union of miss-in-flight wall-clock intervals. *)
+
+val params :
+  Dvs_machine.Cpu.run_stats -> deadline:float -> Dvs_analytical.Params.t
+
+val of_profile :
+  ?mode:int -> Profile.t -> deadline:float -> Dvs_analytical.Params.t
+(** Uses the pinned run at [mode] (default: the fastest). *)

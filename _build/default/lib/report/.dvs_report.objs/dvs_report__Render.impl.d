@@ -1,0 +1,1 @@
+lib/report/render.ml: Array Buffer Dvs_analytical Float Int List Printf String

@@ -1,0 +1,14 @@
+(** Rendering of sweep surfaces and 1-D series as text: the stand-in for
+    the paper's 3-D plots.  Each surface prints as a numeric grid (values
+    in percent for savings surfaces) plus a coarse character shade so the
+    peaks are visible at a glance. *)
+
+val surface :
+  ?scale:float -> ?digits:int -> Dvs_analytical.Sweep.surface -> string
+(** [scale] multiplies values before printing (default 100: fractions as
+    percent). *)
+
+val series :
+  x_label:string -> y_label:string -> ?digits:int ->
+  (float * float) list -> string
+(** Two-column listing plus an inline bar chart. *)

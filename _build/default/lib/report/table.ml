@@ -1,0 +1,70 @@
+type align = Left | Right
+
+type row = Cells of string list | Rule
+
+type t = {
+  headers : (string * align) list;
+  mutable rows : row list;  (* reversed *)
+}
+
+let create headers =
+  if headers = [] then invalid_arg "Table.create: no columns";
+  { headers; rows = [] }
+
+let add_row t cells =
+  if List.length cells <> List.length t.headers then
+    invalid_arg "Table.add_row: arity mismatch";
+  t.rows <- Cells cells :: t.rows
+
+let add_rule t = t.rows <- Rule :: t.rows
+
+let render t =
+  let headers = List.map fst t.headers in
+  let aligns = List.map snd t.headers in
+  let rows = List.rev t.rows in
+  let widths =
+    List.mapi
+      (fun i h ->
+        List.fold_left
+          (fun w row ->
+            match row with
+            | Cells cells -> Int.max w (String.length (List.nth cells i))
+            | Rule -> w)
+          (String.length h) rows)
+      headers
+  in
+  let pad align width s =
+    let n = width - String.length s in
+    if n <= 0 then s
+    else
+      match align with
+      | Left -> s ^ String.make n ' '
+      | Right -> String.make n ' ' ^ s
+  in
+  let buf = Buffer.create 256 in
+  let emit_cells cells =
+    let parts =
+      List.map2
+        (fun (w, a) c -> pad a w c)
+        (List.combine widths aligns)
+        cells
+    in
+    Buffer.add_string buf (String.concat "  " parts);
+    Buffer.add_char buf '\n'
+  in
+  let rule () =
+    Buffer.add_string buf
+      (String.concat "  " (List.map (fun w -> String.make w '-') widths));
+    Buffer.add_char buf '\n'
+  in
+  emit_cells headers;
+  rule ();
+  List.iter
+    (fun row -> match row with Cells c -> emit_cells c | Rule -> rule ())
+    rows;
+  Buffer.contents buf
+
+let print t = print_string (render t)
+
+let fmt_float ?(digits = 2) v =
+  if Float.is_nan v then "-" else Printf.sprintf "%.*f" digits v

@@ -1,0 +1,22 @@
+(** Plain-text tables for the experiment reports. *)
+
+type align = Left | Right
+
+type t
+
+val create : (string * align) list -> t
+(** Column headers with alignment. *)
+
+val add_row : t -> string list -> unit
+(** Raises [Invalid_argument] on arity mismatch. *)
+
+val add_rule : t -> unit
+(** Horizontal separator. *)
+
+val render : t -> string
+
+val print : t -> unit
+(** [render] to stdout with a trailing newline. *)
+
+val fmt_float : ?digits:int -> float -> string
+(** Fixed-point with NaN shown as "-". *)

@@ -1,0 +1,1 @@
+lib/workloads/deadlines.ml: Array Dvs_profile

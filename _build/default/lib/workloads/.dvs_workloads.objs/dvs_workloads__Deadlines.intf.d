@@ -1,0 +1,1 @@
+lib/workloads/deadlines.mli: Dvs_profile

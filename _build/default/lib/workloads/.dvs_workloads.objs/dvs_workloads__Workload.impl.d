@@ -1,0 +1,1 @@
+lib/workloads/workload.ml: Array Dvs_lang Dvs_machine Hashtbl List Rng

@@ -1,0 +1,1 @@
+lib/workloads/workload.mli: Dvs_ir Dvs_lang Dvs_machine Dvs_power

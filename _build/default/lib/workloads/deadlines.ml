@@ -1,0 +1,12 @@
+let fractions = [| 0.01; 0.03; 0.12; 0.57; 0.98 |]
+
+let of_times ~t_fast ~t_slow =
+  if not (t_fast <= t_slow) then
+    invalid_arg "Deadlines.of_times: t_fast must not exceed t_slow";
+  Array.map (fun f -> t_fast +. (f *. (t_slow -. t_fast))) fractions
+
+let of_profile p =
+  let n = Array.length p.Dvs_profile.Profile.runs in
+  of_times
+    ~t_fast:(Dvs_profile.Profile.pinned_time p ~mode:(n - 1))
+    ~t_slow:(Dvs_profile.Profile.pinned_time p ~mode:0)

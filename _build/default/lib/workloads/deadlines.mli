@@ -1,0 +1,19 @@
+(** Deadline construction, Table 4 style: five application-specific
+    points spanning the feasible range from "must run at the fastest
+    mode" to "the slowest mode almost suffices".
+
+    Convention used throughout this repo: deadline 1 is the most
+    stringent, deadline 5 the most lax.  (The paper's Tables 1 and 6
+    label the lax end "Deadline 1" while Table 4 and Figures 15-18 use
+    the opposite order; we normalize to the Table 4 order and note this
+    in EXPERIMENTS.md.) *)
+
+val fractions : float array
+(** [[| 0.01; 0.03; 0.12; 0.57; 0.98 |]] — positions inside
+    [[t_fast, t_slow]], fitted to the paper's Table 4 choices. *)
+
+val of_times : t_fast:float -> t_slow:float -> float array
+(** Five deadlines; requires [t_fast <= t_slow]. *)
+
+val of_profile : Dvs_profile.Profile.t -> float array
+(** From the pinned fastest/slowest run times of a profile. *)

@@ -1,0 +1,24 @@
+type t = { mutable state : int64 }
+
+let create seed =
+  let s = Int64.of_int (if seed = 0 then 0x9E3779B9 else seed) in
+  { state = s }
+
+let next t =
+  (* xorshift64-star *)
+  let x = t.state in
+  let x = Int64.logxor x (Int64.shift_right_logical x 12) in
+  let x = Int64.logxor x (Int64.shift_left x 25) in
+  let x = Int64.logxor x (Int64.shift_right_logical x 27) in
+  t.state <- x;
+  Int64.mul x 0x2545F4914F6CDD1DL
+
+let int t bound =
+  if bound <= 0 then invalid_arg "Rng.int: bound must be positive";
+  let v = Int64.to_int (Int64.shift_right_logical (next t) 2) in
+  v mod bound
+
+let fill t a ~bound =
+  for i = 0 to Array.length a - 1 do
+    a.(i) <- int t bound
+  done

@@ -1,0 +1,13 @@
+(** Small deterministic PRNG (xorshift64-star) for reproducible synthetic
+    input data.  Not [Stdlib.Random]: every workload input must be
+    bit-identical across runs and machines. *)
+
+type t
+
+val create : int -> t
+(** Seeded; the seed fully determines the stream. *)
+
+val int : t -> int -> int
+(** [int t bound] is uniform in [[0, bound)]; [bound > 0]. *)
+
+val fill : t -> int array -> bound:int -> unit

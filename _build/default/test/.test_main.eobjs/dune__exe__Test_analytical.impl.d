@@ -1,0 +1,1 @@
+test/test_analytical.ml: Alcotest Continuous Discrete Dvs_analytical Dvs_power Float Format List Mode Option Params QCheck QCheck_alcotest Savings

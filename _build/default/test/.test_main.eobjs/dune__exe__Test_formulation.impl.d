@@ -1,0 +1,1 @@
+test/test_formulation.ml: Alcotest Array Cfg Dvs_core Dvs_ir Dvs_lp Dvs_machine Dvs_milp Dvs_power Dvs_profile Dvs_workloads Float Formulation Instr List Printf Schedule

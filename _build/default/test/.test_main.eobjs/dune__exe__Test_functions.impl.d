@@ -1,0 +1,1 @@
+test/test_functions.ml: Alcotest Array Ast Dvs_ir Dvs_lang Inline Int Interp List Lower Parser Printf QCheck QCheck_alcotest Typecheck

@@ -1,0 +1,1 @@
+test/test_lang.ml: Alcotest Array Ast Cfg Dvs_ir Dvs_lang Format Int Interp Lexer List Lower Parser QCheck QCheck_alcotest String Token Typecheck

@@ -1,0 +1,1 @@
+test/test_lp.ml: Alcotest Array Dvs_lp Expr Float Fun List Lp_io Model QCheck QCheck_alcotest Simplex Str

@@ -1,0 +1,1 @@
+test/test_machine.ml: Alcotest Array Cache Cfg Config Cpu Cpu_ooo Dvs_ir Dvs_lang Dvs_machine Dvs_power Float Hierarchy Instr Interp List Mode Printf QCheck QCheck_alcotest Switch_cost

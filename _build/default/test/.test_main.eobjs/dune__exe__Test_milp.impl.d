@@ -1,0 +1,1 @@
+test/test_milp.ml: Alcotest Array Branch_bound Dvs_lp Dvs_milp Expr Float Fun List Model QCheck QCheck_alcotest Simplex

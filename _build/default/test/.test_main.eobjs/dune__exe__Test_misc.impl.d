@@ -1,0 +1,1 @@
+test/test_misc.ml: Alcotest Array Dvs_analytical Dvs_core Dvs_lang Dvs_lp Dvs_machine Dvs_milp Dvs_power Dvs_profile Dvs_report Dvs_workloads Expr List Printf QCheck QCheck_alcotest Str String

@@ -1,0 +1,1 @@
+test/test_numeric.ml: Alcotest Array Dvs_numeric Float Gen Matrix Optimize QCheck QCheck_alcotest Vec

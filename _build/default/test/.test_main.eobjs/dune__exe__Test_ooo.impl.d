@@ -1,0 +1,1 @@
+test/test_ooo.ml: Alcotest Array Cfg Config Cpu Cpu_ooo Dvs_ir Dvs_lang Dvs_machine Dvs_power Float Instr Interp Printf QCheck QCheck_alcotest

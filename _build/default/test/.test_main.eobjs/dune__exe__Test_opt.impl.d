@@ -1,0 +1,1 @@
+test/test_opt.ml: Alcotest Array Cfg Dvs_ir Dvs_lang Dvs_workloads Instr Interp List Liveness Opt Printf QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_power.ml: Alcotest Alpha_power Dvs_power Float List Mode QCheck QCheck_alcotest Switch_cost

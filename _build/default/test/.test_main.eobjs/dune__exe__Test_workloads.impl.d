@@ -1,0 +1,1 @@
+test/test_workloads.ml: Alcotest Array Cpu Deadlines Dvs_ir Dvs_machine Dvs_profile Dvs_workloads List Printf Rng Workload

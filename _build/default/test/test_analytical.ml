@@ -1,0 +1,308 @@
+open Dvs_analytical
+open Dvs_power
+
+let us = 1e-6
+
+let mk ?(nov = 0.0) ?(ndep = 0.0) ?(ncache = 0.0) ?(tinv = 0.0) ~tdl () =
+  Params.make ~n_overlap:nov ~n_dependent:ndep ~n_cache:ncache
+    ~t_invariant:tinv ~t_deadline:tdl
+
+(* A memory-dominated configuration (Ncache < Noverlap, finv < fideal). *)
+let mem_dominated =
+  mk ~nov:4e6 ~ndep:5.8e6 ~ncache:3e5 ~tinv:(3000. *. us) ~tdl:(5000. *. us) ()
+
+(* A computation-dominated configuration (tiny miss window). *)
+let comp_dominated =
+  mk ~nov:4e6 ~ndep:5.8e6 ~ncache:3e5 ~tinv:(100. *. us) ~tdl:(5000. *. us) ()
+
+(* Memory dominated with slack: Ncache >= Noverlap. *)
+let slack =
+  mk ~nov:1e6 ~ndep:3e6 ~ncache:2e6 ~tinv:(1000. *. us) ~tdl:(9000. *. us) ()
+
+(* Scaled for the 200-800MHz XScale-like tables. *)
+let mem_dominated_xscale =
+  mk ~nov:1e6 ~ndep:2e6 ~ncache:2e5 ~tinv:(2500. *. us) ~tdl:(6000. *. us) ()
+
+let test_classify () =
+  Alcotest.(check bool) "mem" true
+    (Params.classify mem_dominated = Params.Memory_dominated);
+  Alcotest.(check bool) "comp" true
+    (Params.classify comp_dominated = Params.Computation_dominated);
+  Alcotest.(check bool) "slack" true
+    (Params.classify slack = Params.Memory_dominated_with_slack)
+
+let test_total_time_monotone () =
+  let p = mem_dominated in
+  let t1 = Params.total_time p 200e6 and t2 = Params.total_time p 800e6 in
+  Alcotest.(check bool) "decreasing in f" true (t2 < t1);
+  Alcotest.(check bool) "bounded below by tinv" true (t2 > p.Params.t_invariant)
+
+let test_single_frequency_meets_deadline () =
+  List.iter
+    (fun p ->
+      match Continuous.single_frequency p with
+      | None -> Alcotest.fail "single_frequency: unexpectedly infeasible"
+      | Some s ->
+        let t = Params.total_time p s.Continuous.f1 in
+        if Float.abs (t -. p.Params.t_deadline) > 1e-6 *. p.Params.t_deadline
+        then
+          Alcotest.failf "deadline not tight: t=%.6g tdl=%.6g" t
+            p.Params.t_deadline)
+    [ mem_dominated; comp_dominated; slack ]
+
+let test_single_frequency_infeasible () =
+  let p = mk ~nov:1e6 ~tinv:(2000. *. us) ~tdl:(1000. *. us) () in
+  Alcotest.(check bool) "infeasible" true (Continuous.single_frequency p = None)
+
+let test_memory_dominated_two_voltages () =
+  match Continuous.optimize mem_dominated with
+  | None -> Alcotest.fail "optimize failed"
+  | Some s ->
+    (* Slow overlap phase, fast dependent phase. *)
+    Alcotest.(check bool) "f1 < f2" true (s.Continuous.f1 < s.Continuous.f2);
+    let single = Option.get (Continuous.single_frequency mem_dominated) in
+    Alcotest.(check bool) "beats single frequency" true
+      (s.Continuous.energy < single.Continuous.energy *. 0.999)
+
+let test_comp_dominated_no_savings () =
+  match Savings.continuous comp_dominated with
+  | None -> Alcotest.fail "infeasible"
+  | Some r ->
+    if r > 0.005 then Alcotest.failf "expected ~0 savings, got %.4f" r
+
+let test_slack_no_savings () =
+  match Savings.continuous slack with
+  | None -> Alcotest.fail "infeasible"
+  | Some r ->
+    if r > 0.005 then Alcotest.failf "expected ~0 savings, got %.4f" r
+
+let test_mem_dominated_savings_positive () =
+  match Savings.continuous mem_dominated with
+  | None -> Alcotest.fail "infeasible"
+  | Some r ->
+    if not (r > 0.01) then Alcotest.failf "expected >1%% savings, got %.4f" r
+
+let test_energy_at_v1_envelope () =
+  (* The v1 curve of Figure 3 must be minimized at (or above) the
+     optimizer's energy. *)
+  let opt = Option.get (Continuous.optimize mem_dominated) in
+  let pts = Continuous.curve mem_dominated ~v_lo:0.6 ~v_hi:3.5 ~n:60 in
+  Alcotest.(check bool) "curve nonempty" true (pts <> []);
+  List.iter
+    (fun (_, e) ->
+      if e < opt.Continuous.energy *. (1.0 -. 1e-3) then
+        Alcotest.failf "curve dips below optimum: %.6g < %.6g" e
+          opt.Continuous.energy)
+    pts
+
+(* ------------------------------------------------------------------ *)
+(* Discrete *)
+
+let xscale = Mode.xscale3
+
+let check_split_invariants tbl ~cycles ~time =
+  match Discrete.split tbl ~cycles ~time with
+  | None -> true
+  | Some (e, assigns) ->
+    let total_cycles =
+      List.fold_left (fun a (x : Discrete.assignment) -> a +. x.cycles) 0.0
+        assigns
+    in
+    let total_time =
+      List.fold_left
+        (fun a (x : Discrete.assignment) ->
+          a +. (x.cycles /. x.mode.Mode.frequency))
+        0.0 assigns
+    in
+    let e' =
+      List.fold_left
+        (fun a (x : Discrete.assignment) ->
+          a +. (x.cycles *. x.mode.Mode.voltage *. x.mode.Mode.voltage))
+        0.0 assigns
+    in
+    Float.abs (total_cycles -. cycles) <= 1e-6 *. Float.max 1.0 cycles
+    && total_time <= time *. (1.0 +. 1e-6)
+    && Float.abs (e -. e') <= 1e-9 *. Float.max 1.0 e
+    && List.for_all (fun (x : Discrete.assignment) -> x.cycles >= 0.0) assigns
+
+let test_split_exact_mode () =
+  (* 600MHz worth of work in exactly the right time: single mode. *)
+  match Discrete.split xscale ~cycles:6e5 ~time:1e-3 with
+  | None -> Alcotest.fail "split failed"
+  | Some (e, assigns) ->
+    Alcotest.(check int) "one mode" 1 (List.length assigns);
+    let m = (List.hd assigns).Discrete.mode in
+    Alcotest.(check bool) "600MHz" true (m.Mode.frequency = 600e6);
+    Alcotest.(check bool) "energy" true
+      (Float.abs (e -. (6e5 *. 1.3 *. 1.3)) < 1e-3)
+
+let test_split_infeasible () =
+  Alcotest.(check bool) "too fast" true
+    (Discrete.split xscale ~cycles:1e6 ~time:1e-3 = None)
+
+let test_split_below_min () =
+  (* Slower than the slowest mode: run at the slowest and idle. *)
+  match Discrete.split xscale ~cycles:1e5 ~time:1e-2 with
+  | None -> Alcotest.fail "split failed"
+  | Some (_, assigns) ->
+    Alcotest.(check int) "one mode" 1 (List.length assigns);
+    Alcotest.(check bool) "200MHz" true
+      ((List.hd assigns).Discrete.mode.Mode.frequency = 200e6)
+
+let qcheck_split_invariants =
+  QCheck.Test.make ~name:"discrete split conserves cycles within time"
+    ~count:300
+    QCheck.(pair (float_range 1e4 5e6) (float_range 1e-4 2e-2))
+    (fun (cycles, time) -> check_split_invariants xscale ~cycles ~time)
+
+let qcheck_split_neighbor_optimal =
+  (* The neighbor split never loses to running everything in any single
+     feasible mode. *)
+  QCheck.Test.make ~name:"neighbor split beats any single mode" ~count:300
+    QCheck.(pair (float_range 1e4 5e6) (float_range 1e-4 2e-2))
+    (fun (cycles, time) ->
+      match Discrete.split xscale ~cycles ~time with
+      | None ->
+        (* Infeasible: no single mode can do it either. *)
+        List.for_all
+          (fun (m : Mode.t) -> cycles /. m.frequency > time)
+          (Mode.to_list xscale)
+      | Some (e, _) ->
+        List.for_all
+          (fun (m : Mode.t) ->
+            cycles /. m.frequency > time *. (1.0 +. 1e-9)
+            || e <= (cycles *. m.voltage *. m.voltage) *. (1.0 +. 1e-9))
+          (Mode.to_list xscale))
+
+let test_discrete_optimize_beats_single () =
+  let p = mem_dominated_xscale in
+  let _, base = Option.get (Discrete.single_mode p xscale) in
+  let opt = Option.get (Discrete.optimize p xscale) in
+  Alcotest.(check bool) "opt <= single" true
+    (opt.Discrete.energy <= base *. (1.0 +. 1e-9))
+
+let test_discrete_above_continuous_bound () =
+  let p = mem_dominated_xscale in
+  let tbl = Mode.levels ~v_lo:0.7 ~v_hi:1.65 7 in
+  let cont = Option.get (Continuous.optimize p) in
+  let disc = Option.get (Discrete.optimize p tbl) in
+  Alcotest.(check bool) "discrete >= continuous bound" true
+    (disc.Discrete.energy >= cont.Continuous.energy *. (1.0 -. 1e-6))
+
+let test_more_levels_lower_energy () =
+  (* Finer tables can only help the optimizer (coarser tables are subsets
+     in spirit; we check the trend on a nested pair built by halving the
+     voltage step). *)
+  let p = mem_dominated_xscale in
+  let t3 = Mode.levels ~v_lo:0.7 ~v_hi:1.65 3 in
+  let t13 = Mode.levels ~v_lo:0.7 ~v_hi:1.65 13 in
+  let e3 = (Option.get (Discrete.optimize p t3)).Discrete.energy in
+  let e13 = (Option.get (Discrete.optimize p t13)).Discrete.energy in
+  Alcotest.(check bool) "13 levels <= 3 levels energy" true
+    (e13 <= e3 *. (1.0 +. 1e-6))
+
+let test_more_levels_less_savings () =
+  (* The paper's headline discrete-case message. *)
+  let p = mem_dominated_xscale in
+  let s3 =
+    Option.get (Savings.discrete p (Mode.levels ~v_lo:0.7 ~v_hi:1.65 3))
+  in
+  let s13 =
+    Option.get (Savings.discrete p (Mode.levels ~v_lo:0.7 ~v_hi:1.65 13))
+  in
+  Alcotest.(check bool) "savings shrink with more levels" true (s13 <= s3)
+
+let test_emin_of_y_contains_optimum () =
+  let p = mem_dominated_xscale in
+  let tbl = Mode.levels ~v_lo:0.7 ~v_hi:1.65 7 in
+  let opt = Option.get (Discrete.optimize p tbl) in
+  (* Scan y; the minimum of the Figure 8 curve should not beat the full
+     optimizer by more than numerical slack. *)
+  let best = ref infinity in
+  let n = 400 in
+  let span = p.Params.t_deadline -. p.Params.t_invariant in
+  for i = 1 to n - 1 do
+    let y = span *. float_of_int i /. float_of_int n in
+    let e = Discrete.emin_of_y p tbl y in
+    if e < !best then best := e
+  done;
+  Alcotest.(check bool) "emin(y) >= optimizer" true
+    (!best >= opt.Discrete.energy *. (1.0 -. 1e-3))
+
+let param_gen =
+  QCheck.Gen.(
+    let* nov = float_range 0.0 5e6 in
+    let* ndep = float_range 0.0 5e6 in
+    let* ncache = float_range 0.0 2e6 in
+    let* tinv = float_range 0.0 3e-3 in
+    (* Deadline with enough headroom to be feasible at 800MHz. *)
+    let floor_t =
+      Float.max ((tinv +. (ncache /. 800e6)) +. ((nov +. ndep) /. 800e6)) 1e-5
+    in
+    let* slackf = float_range 1.05 6.0 in
+    return
+      (Params.make ~n_overlap:nov ~n_dependent:ndep ~n_cache:ncache
+         ~t_invariant:tinv ~t_deadline:(floor_t *. slackf)))
+
+let param_arb = QCheck.make ~print:(Format.asprintf "%a" Params.pp) param_gen
+
+let qcheck_savings_in_range =
+  QCheck.Test.make ~name:"savings ratios lie in [0,1]" ~count:60 param_arb
+    (fun p ->
+      let ok_cont =
+        match Savings.continuous p with
+        | None -> true
+        | Some r -> r >= 0.0 && r <= 1.0
+      in
+      let ok_disc =
+        match Savings.discrete p xscale with
+        | None -> true
+        | Some r -> r >= 0.0 && r <= 1.0
+      in
+      ok_cont && ok_disc)
+
+let qcheck_discrete_no_worse_than_continuous_energy =
+  QCheck.Test.make
+    ~name:"discrete optimum energy >= continuous optimum energy" ~count:40
+    param_arb
+    (fun p ->
+      let tbl = Mode.levels ~v_lo:0.7 ~v_hi:1.65 7 in
+      match (Continuous.optimize p, Discrete.optimize p tbl) with
+      | Some c, Some d ->
+        d.Discrete.energy >= c.Continuous.energy *. (1.0 -. 1e-6)
+      | _ -> true)
+
+let suite =
+  [ Alcotest.test_case "classify" `Quick test_classify;
+    Alcotest.test_case "total_time monotone" `Quick test_total_time_monotone;
+    Alcotest.test_case "single frequency tight" `Quick
+      test_single_frequency_meets_deadline;
+    Alcotest.test_case "single frequency infeasible" `Quick
+      test_single_frequency_infeasible;
+    Alcotest.test_case "memory dominated uses two voltages" `Quick
+      test_memory_dominated_two_voltages;
+    Alcotest.test_case "computation dominated: no savings" `Quick
+      test_comp_dominated_no_savings;
+    Alcotest.test_case "slack case: no savings" `Quick test_slack_no_savings;
+    Alcotest.test_case "memory dominated: positive savings" `Quick
+      test_mem_dominated_savings_positive;
+    Alcotest.test_case "v1 curve envelopes optimum" `Quick
+      test_energy_at_v1_envelope;
+    Alcotest.test_case "split exact mode" `Quick test_split_exact_mode;
+    Alcotest.test_case "split infeasible" `Quick test_split_infeasible;
+    Alcotest.test_case "split below min mode" `Quick test_split_below_min;
+    QCheck_alcotest.to_alcotest qcheck_split_invariants;
+    QCheck_alcotest.to_alcotest qcheck_split_neighbor_optimal;
+    Alcotest.test_case "discrete optimize beats single" `Quick
+      test_discrete_optimize_beats_single;
+    Alcotest.test_case "discrete above continuous bound" `Quick
+      test_discrete_above_continuous_bound;
+    Alcotest.test_case "more levels: lower energy" `Quick
+      test_more_levels_lower_energy;
+    Alcotest.test_case "more levels: less savings" `Quick
+      test_more_levels_less_savings;
+    Alcotest.test_case "emin(y) envelopes optimizer" `Quick
+      test_emin_of_y_contains_optimum;
+    QCheck_alcotest.to_alcotest qcheck_savings_in_range;
+    QCheck_alcotest.to_alcotest
+      qcheck_discrete_no_worse_than_continuous_energy ]

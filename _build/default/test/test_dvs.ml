@@ -1,0 +1,352 @@
+open Dvs_core
+open Dvs_machine
+open Dvs_ir
+
+(* A program with a memory-bound streaming phase and a compute-bound
+   phase — the shape compile-time DVS exists for.  Tiny caches make the
+   stream miss; DRAM at 1us so memory time dominates the first phase. *)
+let test_src =
+  "int a[2048]; int s; int i; int j;\n\
+   s = 0;\n\
+   for (i = 0; i < 2048; i = i + 1) { s = s + a[i]; }\n\
+   for (i = 0; i < 200; i = i + 1) {\n\
+   \  for (j = 0; j < 20; j = j + 1) { s = s + i * j; }\n\
+   }"
+
+let tiny_config =
+  Config.default
+    ~l1d:{ Config.size_bytes = 128; assoc = 2; block_bytes = 16;
+           latency_cycles = 1 }
+    ~l2:{ Config.size_bytes = 512; assoc = 2; block_bytes = 16;
+          latency_cycles = 4 }
+    ~dram_latency:1e-6 ()
+
+let compiled = lazy (Dvs_lang.Lower.compile_string test_src)
+
+let memory () =
+  let _, layout = Lazy.force compiled in
+  Array.init layout.Dvs_lang.Lower.memory_words (fun i -> i mod 17)
+
+let profile_cached =
+  lazy
+    (let cfg, _ = Lazy.force compiled in
+     Dvs_profile.Profile.collect tiny_config cfg ~memory:(memory ()))
+
+(* ------------------------------------------------------------------ *)
+(* Profile invariants *)
+
+let test_profile_counts_consistent () =
+  let p = Lazy.force profile_cached in
+  let cfg = p.Dvs_profile.Profile.cfg in
+  (* Entries through edges + virtual entry = executions. *)
+  let incoming = Array.make (Cfg.num_blocks cfg) 0 in
+  Array.iteri
+    (fun idx c ->
+      let e = (Cfg.edges cfg).(idx) in
+      incoming.(e.Cfg.dst) <- incoming.(e.Cfg.dst) + c)
+    p.Dvs_profile.Profile.edge_count;
+  incoming.(Cfg.entry cfg) <-
+    incoming.(Cfg.entry cfg) + p.Dvs_profile.Profile.entry_count;
+  Array.iteri
+    (fun j c ->
+      if c <> p.Dvs_profile.Profile.exec_count.(j) then
+        Alcotest.failf "block %d: %d entries vs %d executions" j incoming.(j)
+          p.Dvs_profile.Profile.exec_count.(j))
+    incoming
+
+let test_profile_path_counts_consistent () =
+  let p = Lazy.force profile_cached in
+  let cfg = p.Dvs_profile.Profile.cfg in
+  (* For each block i, sum of D_hij over h and j = executions of i that
+     exited through some edge (every execution except the final one if i
+     is the halting block). *)
+  let outgoing = Array.make (Cfg.num_blocks cfg) 0 in
+  List.iter
+    (fun ((path : Dvs_profile.Profile.path), c) ->
+      outgoing.(path.Dvs_profile.Profile.node) <-
+        outgoing.(path.Dvs_profile.Profile.node) + c)
+    p.Dvs_profile.Profile.paths;
+  Array.iteri
+    (fun j c ->
+      let execs = p.Dvs_profile.Profile.exec_count.(j) in
+      if not (c = execs || c = execs - 1) then
+        Alcotest.failf "block %d: %d path exits vs %d executions" j c execs)
+    outgoing
+
+let test_profile_block_times_sum_to_total () =
+  let p = Lazy.force profile_cached in
+  Array.iteri
+    (fun m (run : Cpu.run_stats) ->
+      let total = Array.fold_left ( +. ) 0.0 p.Dvs_profile.Profile.total_time.(m) in
+      if Float.abs (total -. run.Cpu.time) > 1e-9 *. run.Cpu.time then
+        Alcotest.failf "mode %d: blocks sum to %.9g, run took %.9g" m total
+          run.Cpu.time)
+    p.Dvs_profile.Profile.runs
+
+let test_profile_modes_ordered () =
+  let p = Lazy.force profile_cached in
+  let t m = Dvs_profile.Profile.pinned_time p ~mode:m in
+  Alcotest.(check bool) "slower modes take longer" true
+    (t 0 > t 1 && t 1 > t 2);
+  let e m = Dvs_profile.Profile.pinned_energy p ~mode:m in
+  Alcotest.(check bool) "slower modes burn less" true (e 0 < e 1 && e 1 < e 2)
+
+(* ------------------------------------------------------------------ *)
+(* Pipeline *)
+
+let mid_deadline () =
+  let p = Lazy.force profile_cached in
+  let t_fast = Dvs_profile.Profile.pinned_time p ~mode:2 in
+  let t_slow = Dvs_profile.Profile.pinned_time p ~mode:0 in
+  t_fast +. (0.5 *. (t_slow -. t_fast))
+
+let run_pipeline ?(filter = true) deadline =
+  let cfg, _ = Lazy.force compiled in
+  let p = Lazy.force profile_cached in
+  let options = { Pipeline.default_options with filter } in
+  Pipeline.optimize_multi ~options
+    ~regulator:tiny_config.Config.regulator ~memory:(memory ())
+    [ { Formulation.profile = p; weight = 1.0; deadline } ]
+  |> fun r ->
+  ignore cfg;
+  r
+
+let test_pipeline_optimal_and_verified () =
+  let r = run_pipeline (mid_deadline ()) in
+  Alcotest.(check bool) "optimal" true
+    (r.Pipeline.milp.Dvs_milp.Branch_bound.outcome
+    = Dvs_milp.Branch_bound.Optimal);
+  match r.Pipeline.verification with
+  | None -> Alcotest.fail "no verification report"
+  | Some v ->
+    Alcotest.(check bool) "meets deadline" true v.Verify.meets_deadline;
+    if v.Verify.energy_error > 0.1 then
+      Alcotest.failf "measured energy off by %.1f%% from prediction"
+        (100.0 *. v.Verify.energy_error)
+
+let test_pipeline_beats_single_mode () =
+  let p = Lazy.force profile_cached in
+  let deadline = mid_deadline () in
+  let r = run_pipeline deadline in
+  match (Baselines.best_single_mode p ~deadline, r.Pipeline.predicted_energy)
+  with
+  | Some (_, base), Some predicted ->
+    Alcotest.(check bool) "MILP <= best single mode" true
+      (predicted <= base *. 1.0001)
+  | _ -> Alcotest.fail "missing baseline or solution"
+
+let test_tight_deadline_all_fast () =
+  let p = Lazy.force profile_cached in
+  let t_fast = Dvs_profile.Profile.pinned_time p ~mode:2 in
+  let r = run_pipeline (t_fast *. 1.0005) in
+  match r.Pipeline.schedule with
+  | None -> Alcotest.fail "no schedule"
+  | Some s ->
+    Alcotest.(check (list int)) "only fastest mode" [ 2 ]
+      (Schedule.distinct_modes s)
+
+let test_lax_deadline_mostly_slow () =
+  let p = Lazy.force profile_cached in
+  let t_slow = Dvs_profile.Profile.pinned_time p ~mode:0 in
+  let r = run_pipeline (t_slow *. 1.01) in
+  match (r.Pipeline.schedule, r.Pipeline.predicted_energy) with
+  | Some s, Some e ->
+    Alcotest.(check bool) "slow mode present" true
+      (List.mem 0 (Schedule.distinct_modes s));
+    let e_slow = Dvs_profile.Profile.pinned_energy p ~mode:0 in
+    Alcotest.(check bool) "close to all-slow energy" true
+      (e <= e_slow *. 1.02)
+  | _ -> Alcotest.fail "no schedule"
+
+let test_energy_monotone_in_deadline () =
+  let p = Lazy.force profile_cached in
+  let t_fast = Dvs_profile.Profile.pinned_time p ~mode:2 in
+  let t_slow = Dvs_profile.Profile.pinned_time p ~mode:0 in
+  let energy_at frac =
+    let d = t_fast +. (frac *. (t_slow -. t_fast)) in
+    Option.get (run_pipeline d).Pipeline.predicted_energy
+  in
+  let e1 = energy_at 0.1 and e2 = energy_at 0.5 and e3 = energy_at 0.95 in
+  Alcotest.(check bool) "monotone" true (e1 >= e2 -. 1e-12 && e2 >= e3 -. 1e-12)
+
+let test_filtering_preserves_energy () =
+  let deadline = mid_deadline () in
+  let full = run_pipeline ~filter:false deadline in
+  let filtered = run_pipeline ~filter:true deadline in
+  match (full.Pipeline.predicted_energy, filtered.Pipeline.predicted_energy)
+  with
+  | Some ef, Some eflt ->
+    (* Filtering restricts the solution space: never better, and per the
+       paper essentially unchanged. *)
+    Alcotest.(check bool) "filtered >= full" true (eflt >= ef *. 0.9999);
+    if eflt > ef *. 1.02 then
+      Alcotest.failf "filtering cost %.2f%% energy"
+        (100.0 *. ((eflt /. ef) -. 1.0));
+    Alcotest.(check bool) "fewer independent edges" true
+      (filtered.Pipeline.independent_edges < full.Pipeline.independent_edges)
+  | _ -> Alcotest.fail "missing solutions"
+
+let test_filter_repr_wellformed () =
+  let p = Lazy.force profile_cached in
+  let repr = Filter.representatives [ p ] in
+  let n = Array.length repr in
+  Array.iteri
+    (fun i r ->
+      Alcotest.(check bool) "in range" true (r >= 0 && r < n);
+      Alcotest.(check int) "representative is its own repr" r repr.(r);
+      ignore i)
+    repr
+
+let test_hsu_kremer_meets_deadline_and_loses_to_milp () =
+  let cfg, _ = Lazy.force compiled in
+  let p = Lazy.force profile_cached in
+  let deadline = mid_deadline () in
+  match Baselines.hsu_kremer tiny_config cfg ~memory:(memory ()) ~profile:p
+          ~deadline
+  with
+  | None -> Alcotest.fail "heuristic found nothing"
+  | Some s ->
+    let r =
+      Cpu.run ~initial_mode:s.Schedule.entry_mode
+        ~edge_modes:(Schedule.edge_modes s cfg) tiny_config cfg
+        ~memory:(memory ())
+    in
+    Alcotest.(check bool) "meets deadline" true (r.Cpu.time <= deadline);
+    let milp = run_pipeline deadline in
+    (match milp.Pipeline.verification with
+    | Some v ->
+      Alcotest.(check bool) "MILP no worse (2% slack)" true
+        (v.Verify.stats.Cpu.energy <= r.Cpu.energy *. 1.02)
+    | None -> Alcotest.fail "no MILP verification")
+
+let test_infeasible_deadline () =
+  let p = Lazy.force profile_cached in
+  let t_fast = Dvs_profile.Profile.pinned_time p ~mode:2 in
+  let r = run_pipeline (t_fast *. 0.5) in
+  Alcotest.(check bool) "infeasible" true
+    (r.Pipeline.milp.Dvs_milp.Branch_bound.outcome
+    = Dvs_milp.Branch_bound.Infeasible)
+
+(* Multi-category: two inputs with different weights; deadlines must hold
+   for both. *)
+let test_multi_category () =
+  let cfg, layout = Lazy.force compiled in
+  let mem2 =
+    Array.init layout.Dvs_lang.Lower.memory_words (fun i -> (i * 3) mod 11)
+  in
+  let p1 = Lazy.force profile_cached in
+  let p2 = Dvs_profile.Profile.collect tiny_config cfg ~memory:mem2 in
+  let d = mid_deadline () in
+  let r =
+    Pipeline.optimize_multi ~regulator:tiny_config.Config.regulator
+      ~memory:(memory ())
+      [ { Formulation.profile = p1; weight = 0.6; deadline = d };
+        { Formulation.profile = p2; weight = 0.4; deadline = d } ]
+  in
+  Alcotest.(check bool) "optimal" true
+    (r.Pipeline.milp.Dvs_milp.Branch_bound.outcome
+    = Dvs_milp.Branch_bound.Optimal);
+  (* The shared schedule must meet the deadline on BOTH inputs. *)
+  match r.Pipeline.schedule with
+  | None -> Alcotest.fail "no schedule"
+  | Some s ->
+    List.iter
+      (fun mem ->
+        let run =
+          Cpu.run ~initial_mode:s.Schedule.entry_mode
+            ~edge_modes:(Schedule.edge_modes s cfg) tiny_config cfg
+            ~memory:mem
+        in
+        Alcotest.(check bool) "deadline on each input" true
+          (run.Cpu.time <= d *. 1.005))
+      [ memory (); mem2 ]
+
+let suite =
+  [ Alcotest.test_case "profile counts consistent" `Quick
+      test_profile_counts_consistent;
+    Alcotest.test_case "profile path counts consistent" `Quick
+      test_profile_path_counts_consistent;
+    Alcotest.test_case "profile block times sum" `Quick
+      test_profile_block_times_sum_to_total;
+    Alcotest.test_case "profile mode ordering" `Quick
+      test_profile_modes_ordered;
+    Alcotest.test_case "pipeline optimal and verified" `Quick
+      test_pipeline_optimal_and_verified;
+    Alcotest.test_case "pipeline beats single mode" `Quick
+      test_pipeline_beats_single_mode;
+    Alcotest.test_case "tight deadline: all fast" `Quick
+      test_tight_deadline_all_fast;
+    Alcotest.test_case "lax deadline: mostly slow" `Quick
+      test_lax_deadline_mostly_slow;
+    Alcotest.test_case "energy monotone in deadline" `Slow
+      test_energy_monotone_in_deadline;
+    Alcotest.test_case "filtering preserves energy" `Quick
+      test_filtering_preserves_energy;
+    Alcotest.test_case "filter repr well-formed" `Quick
+      test_filter_repr_wellformed;
+    Alcotest.test_case "hsu-kremer vs milp" `Slow
+      test_hsu_kremer_meets_deadline_and_loses_to_milp;
+    Alcotest.test_case "infeasible deadline" `Quick test_infeasible_deadline;
+    Alcotest.test_case "multi-category optimization" `Slow
+      test_multi_category ]
+
+(* Randomized end-to-end robustness: generate MiniC programs with loops,
+   arrays, and data-dependent branches; run the whole pipeline at a
+   random feasible deadline; the verified schedule must meet the
+   deadline and track the MILP's energy prediction. *)
+let random_program_gen =
+  QCheck.Gen.(
+    let* arr = int_range 256 2048 in
+    let* outer = int_range 3 12 in
+    let* inner = int_range 10 60 in
+    let* stride = int_range 1 13 in
+    let* branch_mod = int_range 2 5 in
+    let* frac = float_range 0.15 0.95 in
+    return (arr, outer, inner, stride, branch_mod, frac))
+
+let qcheck_pipeline_end_to_end =
+  QCheck.Test.make ~name:"pipeline verifies on random programs" ~count:12
+    (QCheck.make random_program_gen)
+    (fun (arr, outer, inner, stride, branch_mod, frac) ->
+      let src =
+        Printf.sprintf
+          "int a[%d]; int s; int i; int j;\n\
+           for (i = 0; i < %d; i = i + 1) {\n\
+           \  for (j = 0; j < %d; j = j + 1) {\n\
+           \    s = s + a[(j * %d) %% %d];\n\
+           \    if (s %% %d == 0) { s = s + j; } else { s = s - 1; }\n\
+           \  }\n\
+           \  a[i %% %d] = s;\n\
+           }"
+          arr outer inner stride arr branch_mod arr
+      in
+      let cfg, layout = Dvs_lang.Lower.compile_string src in
+      let mem = Array.init layout.Dvs_lang.Lower.memory_words (fun i -> i mod 97) in
+      let machine =
+        Config.default
+          ~l1d:{ Config.size_bytes = 512; assoc = 2; block_bytes = 16;
+                 latency_cycles = 1 }
+          ~l2:{ Config.size_bytes = 2048; assoc = 2; block_bytes = 16;
+                latency_cycles = 4 }
+          ~dram_latency:8e-7
+          ~regulator:(Dvs_power.Switch_cost.regulator ~capacitance:0.05e-6 ())
+          ()
+      in
+      let p = Dvs_profile.Profile.collect machine cfg ~memory:mem in
+      let t_fast = Dvs_profile.Profile.pinned_time p ~mode:2 in
+      let t_slow = Dvs_profile.Profile.pinned_time p ~mode:0 in
+      let deadline = t_fast +. (frac *. (t_slow -. t_fast)) in
+      let r =
+        Pipeline.optimize_multi
+          ~options:{ Pipeline.default_options with
+                     milp = { Dvs_milp.Branch_bound.default_options with
+                              max_nodes = 1500; time_limit = Some 8.0 } }
+          ~regulator:machine.Config.regulator ~memory:mem
+          [ { Formulation.profile = p; weight = 1.0; deadline } ]
+      in
+      match r.Pipeline.verification with
+      | None -> false
+      | Some v -> v.Verify.meets_deadline && v.Verify.energy_error < 0.2)
+
+let suite =
+  suite @ [ QCheck_alcotest.to_alcotest qcheck_pipeline_end_to_end ]

@@ -1,0 +1,178 @@
+(* MiniC functions and the inlining pass. *)
+
+open Dvs_lang
+open Dvs_ir
+
+let run_scalar src name =
+  let cfg, layout = Lower.compile_string src in
+  let mem = Array.make (Int.max 1 layout.Lower.memory_words) 0 in
+  let r = Interp.run cfg ~memory:mem in
+  r.Interp.registers.(List.assoc name layout.Lower.scalars)
+
+let test_simple_function () =
+  let src = "int r;\nint sq(int x) { return x * x; }\nr = sq(7);" in
+  Alcotest.(check int) "sq(7)" 49 (run_scalar src "r")
+
+let test_multi_arg_and_globals () =
+  let src =
+    "int g; int r;\n\
+     g = 10;\n\
+     int addg(int a, int b) { return a + b + g; }\n\
+     r = addg(1, 2);"
+  in
+  Alcotest.(check int) "uses globals" 13 (run_scalar src "r")
+
+let test_function_modifies_global () =
+  let src =
+    "int count; int r;\n\
+     int bump(int by) { count = count + by; return count; }\n\
+     r = bump(5) + bump(3);"
+  in
+  (* Left-to-right evaluation: 5 then 8 -> 13; count ends at 8. *)
+  Alcotest.(check int) "sum of results" 13 (run_scalar src "r");
+  Alcotest.(check int) "global state" 8 (run_scalar src "count")
+
+let test_nested_calls () =
+  let src =
+    "int r;\n\
+     int double(int x) { return x * 2; }\n\
+     int quad(int x) { return double(double(x)); }\n\
+     r = quad(3);"
+  in
+  Alcotest.(check int) "quad" 12 (run_scalar src "r")
+
+let test_call_in_loop_condition () =
+  let src =
+    "int r; int i;\n\
+     int below(int x, int lim) { return x < lim; }\n\
+     i = 0; r = 0;\n\
+     while (below(i, 5)) { r = r + i; i = i + 1; }"
+  in
+  Alcotest.(check int) "loop via call" 10 (run_scalar src "r")
+
+let test_call_in_for_parts () =
+  let src =
+    "int r; int i;\n\
+     int next(int x) { return x + 2; }\n\
+     r = 0;\n\
+     for (i = 0; i < 10; i = next(i)) { r = r + 1; }"
+  in
+  Alcotest.(check int) "for with call step" 5 (run_scalar src "r")
+
+let test_call_with_array_args () =
+  let src =
+    "int a[4]; int r;\n\
+     int pick(int i) { return a[i % 4] * 10; }\n\
+     a[2] = 7;\n\
+     r = pick(6);"
+  in
+  Alcotest.(check int) "array in callee" 70 (run_scalar src "r")
+
+let test_function_in_branches () =
+  let src =
+    "int r; int x;\n\
+     int abs(int v) { if (v < 0) { v = 0 - v; } return v; }\n\
+     x = 0 - 42;\n\
+     if (abs(x) > 40) { r = 1; } else { r = 2; }"
+  in
+  Alcotest.(check int) "call in condition" 1 (run_scalar src "r")
+
+let expect_type_error src =
+  match Lower.compile_string src with
+  | exception Typecheck.Error _ -> ()
+  | _ -> Alcotest.failf "expected a type error for: %s" src
+
+let test_function_errors () =
+  (* Unknown function. *)
+  expect_type_error "int r; r = f(1);";
+  (* Recursion (self-call before definition completes). *)
+  expect_type_error "int r;\nint f(int x) { return f(x - 1); }\nr = f(3);";
+  (* Forward call. *)
+  expect_type_error
+    "int r;\nint g(int x) { return h(x); }\nint h(int x) { return x; }\nr = g(1);";
+  (* Arity mismatch. *)
+  expect_type_error "int r;\nint f(int x) { return x; }\nr = f(1, 2);";
+  (* Missing return. *)
+  expect_type_error "int r;\nint f(int x) { x = x + 1; }\nr = f(1);";
+  (* Return not last. *)
+  expect_type_error
+    "int r;\nint f(int x) { return x; x = 2; }\nr = f(1);";
+  (* Return at top level. *)
+  expect_type_error "int r; return 3;";
+  (* Parameter shadowing a global. *)
+  expect_type_error "int g; int r;\nint f(int g) { return g; }\nr = f(1);"
+
+let test_inline_expand_structure () =
+  let src = "int r;\nint sq(int x) { return x * x; }\nr = sq(4) + sq(5);" in
+  let p = Parser.parse src in
+  let _ = Typecheck.check p in
+  let expanded = Inline.expand p in
+  Alcotest.(check int) "no functions left" 0 (List.length expanded.Ast.funcs);
+  (* Two call sites -> fresh temps were declared. *)
+  Alcotest.(check bool) "fresh decls added" true
+    (List.length expanded.Ast.decls > List.length p.Ast.decls);
+  let rec no_calls (e : Ast.expr) =
+    match e with
+    | Ast.Call _ -> false
+    | Ast.Int _ | Ast.Var _ -> true
+    | Ast.Index (_, i) -> no_calls i
+    | Ast.Binop (_, a, b) -> no_calls a && no_calls b
+    | Ast.Unop (_, a) -> no_calls a
+  in
+  let rec stmt_ok (s : Ast.stmt) =
+    match s with
+    | Ast.Assign (_, i, e) ->
+      (match i with Some i -> no_calls i | None -> true) && no_calls e
+    | Ast.If (c, t, e) ->
+      no_calls c && List.for_all stmt_ok t && List.for_all stmt_ok e
+    | Ast.While (c, b) -> no_calls c && List.for_all stmt_ok b
+    | Ast.For (i, c, st, b) ->
+      (match i with Some s -> stmt_ok s | None -> true)
+      && (match c with Some c -> no_calls c | None -> true)
+      && (match st with Some s -> stmt_ok s | None -> true)
+      && List.for_all stmt_ok b
+    | Ast.Return e -> no_calls e
+  in
+  Alcotest.(check bool) "no calls left" true
+    (List.for_all stmt_ok expanded.Ast.body)
+
+(* Functions against a hand-inlined equivalent on random arguments. *)
+let qcheck_inlining_equivalence =
+  QCheck.Test.make ~name:"inlined functions match manual expansion"
+    ~count:100
+    QCheck.(pair (int_range (-50) 50) (int_range 1 20))
+    (fun (a, b) ->
+      let with_fn =
+        Printf.sprintf
+          "int r;\n\
+           int clamp(int v, int lim) {\n\
+           \  if (v > lim) { v = lim; }\n\
+           \  if (v < 0 - lim) { v = 0 - lim; }\n\
+           \  return v;\n\
+           }\n\
+           r = clamp(%d, %d) * 3 + clamp(%d * 2, %d);"
+          a b a b
+      in
+      let manual =
+        let clamp v lim = max (-lim) (min lim v) in
+        (clamp a b * 3) + clamp (a * 2) b
+      in
+      run_scalar with_fn "r" = manual)
+
+let suite =
+  [ Alcotest.test_case "simple function" `Quick test_simple_function;
+    Alcotest.test_case "args and globals" `Quick test_multi_arg_and_globals;
+    Alcotest.test_case "function modifies global" `Quick
+      test_function_modifies_global;
+    Alcotest.test_case "nested calls" `Quick test_nested_calls;
+    Alcotest.test_case "call in loop condition" `Quick
+      test_call_in_loop_condition;
+    Alcotest.test_case "call in for parts" `Quick test_call_in_for_parts;
+    Alcotest.test_case "array access in callee" `Quick
+      test_call_with_array_args;
+    Alcotest.test_case "call inside branch condition" `Quick
+      test_function_in_branches;
+    Alcotest.test_case "function type errors" `Quick test_function_errors;
+    Alcotest.test_case "inline expansion structure" `Quick
+      test_inline_expand_structure;
+    QCheck_alcotest.to_alcotest qcheck_inlining_equivalence ]

@@ -1,0 +1,396 @@
+open Dvs_machine
+open Dvs_ir
+open Dvs_power
+
+let check_float ?(eps = 1e-9) what expected actual =
+  if Float.abs (expected -. actual) > eps then
+    Alcotest.failf "%s: expected %.12g, got %.12g" what expected actual
+
+(* ------------------------------------------------------------------ *)
+(* Cache *)
+
+let tiny_geometry =
+  (* 4 sets x 2 ways x 16B blocks = 128B. *)
+  { Config.size_bytes = 128; assoc = 2; block_bytes = 16; latency_cycles = 1 }
+
+let test_cache_basic_hit_miss () =
+  let c = Cache.create tiny_geometry in
+  Alcotest.(check bool) "cold miss" false (Cache.access c 0);
+  Alcotest.(check bool) "hit same block" true (Cache.access c 4);
+  Alcotest.(check bool) "hit block edge" true (Cache.access c 15);
+  Alcotest.(check bool) "miss next block" false (Cache.access c 16);
+  let s = Cache.stats c in
+  Alcotest.(check int) "accesses" 4 s.Cache.accesses;
+  Alcotest.(check int) "hits" 2 s.Cache.hits
+
+let test_cache_lru_eviction () =
+  let c = Cache.create tiny_geometry in
+  (* Three blocks mapping to set 0 (stride = sets * block = 64B). *)
+  ignore (Cache.access c 0);
+  ignore (Cache.access c 64);
+  ignore (Cache.access c 128);
+  (* 0 was LRU and must be evicted. *)
+  Alcotest.(check bool) "0 evicted" false (Cache.access c 0);
+  (* 128 was most recent before the re-access of 0; 64 was evicted by 0's
+     refill. *)
+  Alcotest.(check bool) "128 still resident" true (Cache.access c 128)
+
+let test_cache_lru_touch_order () =
+  let c = Cache.create tiny_geometry in
+  ignore (Cache.access c 0);
+  ignore (Cache.access c 64);
+  ignore (Cache.access c 0);
+  (* touch 0: now 64 is LRU *)
+  ignore (Cache.access c 128);
+  (* evicts 64 *)
+  Alcotest.(check bool) "0 resident" true (Cache.access c 0);
+  Alcotest.(check bool) "64 evicted" false (Cache.access c 64)
+
+(* Reference model: per-set list of tags in recency order. *)
+let qcheck_cache_matches_reference =
+  QCheck.Test.make ~name:"cache matches a reference LRU model" ~count:100
+    QCheck.(list_of_size (QCheck.Gen.int_range 1 400) (int_range 0 1023))
+    (fun addrs ->
+      let c = Cache.create tiny_geometry in
+      let sets = Cache.num_sets c in
+      let assoc = tiny_geometry.Config.assoc in
+      let model = Array.make sets [] in
+      List.for_all
+        (fun addr ->
+          let block = addr / tiny_geometry.Config.block_bytes in
+          let set = block mod sets in
+          let expected_hit = List.mem block model.(set) in
+          let without = List.filter (fun b -> b <> block) model.(set) in
+          let updated = block :: without in
+          model.(set) <-
+            (if List.length updated > assoc then
+               List.filteri (fun i _ -> i < assoc) updated
+             else updated);
+          Cache.access c addr = expected_hit)
+        addrs)
+
+(* ------------------------------------------------------------------ *)
+(* CPU timing and energy *)
+
+let small_config ?(dram_latency = 1e-6) ?(mode_table = Mode.xscale3) () =
+  (* Tiny caches so tests can provoke misses cheaply. *)
+  Config.default
+    ~l1d:{ Config.size_bytes = 128; assoc = 2; block_bytes = 16;
+           latency_cycles = 1 }
+    ~l2:{ Config.size_bytes = 512; assoc = 2; block_bytes = 16;
+          latency_cycles = 4 }
+    ~dram_latency ~mode_table ()
+
+(* A straight-line block of [n] 1-cycle ALU instructions. *)
+let alu_cfg n =
+  let b = Cfg.Builder.create () in
+  let l = Cfg.Builder.add_block b in
+  Cfg.Builder.push b l (Instr.Li (0, 1));
+  for _ = 1 to n - 1 do
+    Cfg.Builder.push b l (Instr.Binop (Instr.Add, 0, 0, 0))
+  done;
+  Cfg.Builder.set_term b l Cfg.Halt;
+  Cfg.Builder.finish b ~entry:l
+
+let test_pure_compute_time_scales_with_frequency () =
+  let cfg = small_config () in
+  let g = alu_cfg 1000 in
+  let fast = Cpu.run ~initial_mode:2 cfg g ~memory:[||] in
+  let slow = Cpu.run ~initial_mode:0 cfg g ~memory:[||] in
+  (* 1000 cycles at 800MHz vs 200MHz: exactly 4x. *)
+  check_float ~eps:1e-12 "4x slower" (4.0 *. fast.Cpu.time) slow.Cpu.time;
+  check_float ~eps:1e-15 "fast time" (1000.0 /. 800e6) fast.Cpu.time
+
+let test_energy_scales_with_v_squared () =
+  let cfg = small_config () in
+  let g = alu_cfg 1000 in
+  let fast = Cpu.run ~initial_mode:2 cfg g ~memory:[||] in
+  let slow = Cpu.run ~initial_mode:0 cfg g ~memory:[||] in
+  let ratio = slow.Cpu.energy /. fast.Cpu.energy in
+  check_float ~eps:1e-9 "v^2 ratio" ((0.7 /. 1.65) ** 2.0) ratio
+
+let test_compute_cycles_counted_as_dependent () =
+  let cfg = small_config () in
+  let g = alu_cfg 100 in
+  let r = Cpu.run cfg g ~memory:[||] in
+  Alcotest.(check int) "no overlap" 0 r.Cpu.overlap_cycles;
+  Alcotest.(check int) "dependent" 100 r.Cpu.dependent_cycles;
+  Alcotest.(check int) "no hit cycles" 0 r.Cpu.cache_hit_cycles
+
+(* One load miss followed by dependent use: must gate for the DRAM wall
+   time regardless of frequency. *)
+let miss_then_use_cfg =
+  let b = Cfg.Builder.create () in
+  let l = Cfg.Builder.add_block b in
+  Cfg.Builder.push b l (Instr.Li (1, 0));
+  Cfg.Builder.push b l (Instr.Load (2, 1, 0));
+  Cfg.Builder.push b l (Instr.Binop (Instr.Add, 3, 2, 2));
+  Cfg.Builder.set_term b l Cfg.Halt;
+  Cfg.Builder.finish b ~entry:l
+
+let test_miss_gates_dependent_use () =
+  let dram = 1e-6 in
+  let cfg = small_config ~dram_latency:dram () in
+  let r = Cpu.run ~initial_mode:2 cfg miss_then_use_cfg ~memory:(Array.make 16 7) in
+  (* Cycles: li(1) + issue(1) + add(1) = 3 at 800MHz, plus the gated miss
+     wait (dram minus nothing overlapped after issue). *)
+  Alcotest.(check bool) "stall nearly dram" true
+    (r.Cpu.stall_time > 0.9 *. dram);
+  check_float ~eps:1e-12 "total time" ((3.0 /. 800e6) +. r.Cpu.stall_time)
+    r.Cpu.time;
+  Alcotest.(check int) "value loaded" 14 r.Cpu.registers.(3);
+  check_float ~eps:1e-12 "miss busy time" dram r.Cpu.miss_busy_time
+
+(* Independent compute between a miss and its use overlaps: total time
+   shrinks by the overlapped amount, and those cycles count as overlap. *)
+let test_overlap_hides_compute () =
+  let dram = 1e-6 in
+  let cfg = small_config ~dram_latency:dram () in
+  let b = Cfg.Builder.create () in
+  let l = Cfg.Builder.add_block b in
+  Cfg.Builder.push b l (Instr.Li (1, 0));
+  Cfg.Builder.push b l (Instr.Load (2, 1, 0));
+  for _ = 1 to 100 do
+    Cfg.Builder.push b l (Instr.Binop (Instr.Add, 3, 1, 1))
+  done;
+  Cfg.Builder.push b l (Instr.Binop (Instr.Add, 4, 2, 2));
+  Cfg.Builder.set_term b l Cfg.Halt;
+  let g = Cfg.Builder.finish b ~entry:l in
+  let r = Cpu.run ~initial_mode:2 cfg g ~memory:(Array.make 16 1) in
+  Alcotest.(check int) "overlap cycles" 100 r.Cpu.overlap_cycles;
+  (* The 100 overlapped cycles don't add to the wall time beyond the
+     miss; time = li + issue + dram + final add. *)
+  check_float ~eps:1e-12 "time"
+    ((2.0 /. 800e6) +. dram +. (1.0 /. 800e6))
+    r.Cpu.time
+
+let test_cache_hit_cycles_counted () =
+  let cfg = small_config () in
+  let b = Cfg.Builder.create () in
+  let l = Cfg.Builder.add_block b in
+  Cfg.Builder.push b l (Instr.Li (1, 0));
+  Cfg.Builder.push b l (Instr.Load (2, 1, 0));
+  (* miss *)
+  Cfg.Builder.push b l (Instr.Binop (Instr.Add, 3, 2, 2));
+  (* wait *)
+  Cfg.Builder.push b l (Instr.Load (4, 1, 0));
+  (* hit: 1 issue + 1 L1 *)
+  Cfg.Builder.set_term b l Cfg.Halt;
+  let g = Cfg.Builder.finish b ~entry:l in
+  let r = Cpu.run cfg g ~memory:(Array.make 16 0) in
+  (* 1 (miss issue) + 2 (hit) cycles of memory ops. *)
+  Alcotest.(check int) "hit cycles" 3 r.Cpu.cache_hit_cycles;
+  Alcotest.(check int) "l1 misses" 1 r.Cpu.l1.Cache.misses;
+  Alcotest.(check int) "l1 hits" 1 r.Cpu.l1.Cache.hits
+
+let test_modeset_costs_and_silence () =
+  let cfg = small_config () in
+  let b = Cfg.Builder.create () in
+  let l = Cfg.Builder.add_block b in
+  Cfg.Builder.push b l (Instr.Modeset 2);
+  (* silent: already fastest *)
+  Cfg.Builder.push b l (Instr.Modeset 0);
+  (* real transition *)
+  Cfg.Builder.push b l (Instr.Modeset 0);
+  (* silent *)
+  Cfg.Builder.push b l (Instr.Li (0, 1));
+  Cfg.Builder.set_term b l Cfg.Halt;
+  let g = Cfg.Builder.finish b ~entry:l in
+  let r = Cpu.run cfg g ~memory:[||] in
+  Alcotest.(check int) "one transition" 1 r.Cpu.mode_transitions;
+  let reg = Switch_cost.default in
+  check_float ~eps:1e-15 "transition time" (Switch_cost.time reg 1.65 0.7)
+    r.Cpu.transition_time;
+  check_float ~eps:1e-15 "transition energy"
+    (Switch_cost.energy reg 1.65 0.7) r.Cpu.transition_energy;
+  (* The Li after the switch runs at 200MHz. *)
+  check_float ~eps:1e-15 "post-switch cycle" (1.0 /. 200e6)
+    (r.Cpu.time -. r.Cpu.transition_time)
+
+let test_edge_modes_applied () =
+  (* Two blocks; the edge sets mode 0, so block 2's instruction runs at
+     200MHz. *)
+  let cfg = small_config () in
+  let b = Cfg.Builder.create () in
+  let l1 = Cfg.Builder.add_block b in
+  let l2 = Cfg.Builder.add_block b in
+  Cfg.Builder.push b l1 (Instr.Li (0, 1));
+  Cfg.Builder.set_term b l1 (Cfg.Jump l2);
+  Cfg.Builder.push b l2 (Instr.Li (0, 2));
+  Cfg.Builder.set_term b l2 Cfg.Halt;
+  let g = Cfg.Builder.finish b ~entry:l1 in
+  let edge_modes (e : Cfg.edge) =
+    if e.Cfg.src = l1 && e.Cfg.dst = l2 then Some 0 else None
+  in
+  let r = Cpu.run ~edge_modes cfg g ~memory:[||] in
+  Alcotest.(check int) "one transition" 1 r.Cpu.mode_transitions;
+  (* li at 800 + jump at 800 + transition + li at 200. *)
+  check_float ~eps:1e-15 "time"
+    ((2.0 /. 800e6) +. r.Cpu.transition_time +. (1.0 /. 200e6))
+    r.Cpu.time
+
+let test_observer_sequence () =
+  let cfg = small_config () in
+  let b = Cfg.Builder.create () in
+  let l1 = Cfg.Builder.add_block b in
+  let l2 = Cfg.Builder.add_block b in
+  Cfg.Builder.push b l1 (Instr.Li (0, 1));
+  Cfg.Builder.set_term b l1 (Cfg.Jump l2);
+  Cfg.Builder.set_term b l2 Cfg.Halt;
+  let g = Cfg.Builder.finish b ~entry:l1 in
+  let events = ref [] in
+  let observer label ~via ~time:_ ~energy:_ = events := (label, via) :: !events in
+  ignore (Cpu.run ~observer cfg g ~memory:[||]);
+  Alcotest.(check bool) "events" true
+    (List.rev !events = [ (l1, None); (l2, Some l1) ])
+
+(* Functional agreement with the reference interpreter on real compiled
+   programs. *)
+let qcheck_cpu_matches_interp =
+  let program_gen =
+    QCheck.Gen.(
+      let* n = int_range 1 20 in
+      let* seed = int_range 0 10000 in
+      return (n, seed))
+  in
+  QCheck.Test.make ~name:"cpu matches reference interpreter" ~count:50
+    (QCheck.make program_gen)
+    (fun (n, seed) ->
+      let src =
+        Printf.sprintf
+          "int a[64]; int s; int i;\n\
+           s = %d;\n\
+           for (i = 0; i < %d; i = i + 1) {\n\
+           \  a[i %% 64] = s + i * %d;\n\
+           \  s = s + a[(i * 7) %% 64] %% 13;\n\
+           }"
+          (seed mod 97) n (1 + (seed mod 5))
+      in
+      let g, layout = Dvs_lang.Lower.compile_string src in
+      let mem = Array.make layout.Dvs_lang.Lower.memory_words 0 in
+      let ref_r = Interp.run g ~memory:mem in
+      let cpu_r = Cpu.run (small_config ()) g ~memory:mem in
+      ref_r.Interp.memory = cpu_r.Cpu.memory
+      && ref_r.Interp.registers = cpu_r.Cpu.registers
+      && ref_r.Interp.dyn_instrs = cpu_r.Cpu.dyn_instrs)
+
+(* Frequency invariance of DRAM time: a memory-bound loop's total time
+   changes less than proportionally with frequency. *)
+let test_memory_bound_insensitive_to_frequency () =
+  let src =
+    "int a[4096]; int s; int i;\n\
+     s = 0;\n\
+     for (i = 0; i < 4096; i = i + 1) { s = s + a[i]; }"
+  in
+  let g, layout = Dvs_lang.Lower.compile_string src in
+  let mem = Array.make layout.Dvs_lang.Lower.memory_words 1 in
+  let cfg = small_config ~dram_latency:2e-6 () in
+  let fast = Cpu.run ~initial_mode:2 cfg g ~memory:mem in
+  let slow = Cpu.run ~initial_mode:0 cfg g ~memory:mem in
+  let ratio = slow.Cpu.time /. fast.Cpu.time in
+  Alcotest.(check bool) "ratio < 4" true (ratio < 3.0);
+  Alcotest.(check bool) "misses happened" true (fast.Cpu.l2.Cache.misses > 100)
+
+let suite =
+  [ Alcotest.test_case "cache basic hit/miss" `Quick test_cache_basic_hit_miss;
+    Alcotest.test_case "cache LRU eviction" `Quick test_cache_lru_eviction;
+    Alcotest.test_case "cache LRU touch order" `Quick
+      test_cache_lru_touch_order;
+    QCheck_alcotest.to_alcotest qcheck_cache_matches_reference;
+    Alcotest.test_case "compute time scales with f" `Quick
+      test_pure_compute_time_scales_with_frequency;
+    Alcotest.test_case "energy scales with v^2" `Quick
+      test_energy_scales_with_v_squared;
+    Alcotest.test_case "compute counted as dependent" `Quick
+      test_compute_cycles_counted_as_dependent;
+    Alcotest.test_case "miss gates dependent use" `Quick
+      test_miss_gates_dependent_use;
+    Alcotest.test_case "overlap hides compute" `Quick
+      test_overlap_hides_compute;
+    Alcotest.test_case "cache hit cycles counted" `Quick
+      test_cache_hit_cycles_counted;
+    Alcotest.test_case "modeset costs and silence" `Quick
+      test_modeset_costs_and_silence;
+    Alcotest.test_case "edge modes applied" `Quick test_edge_modes_applied;
+    Alcotest.test_case "observer sequence" `Quick test_observer_sequence;
+    QCheck_alcotest.to_alcotest qcheck_cpu_matches_interp;
+    Alcotest.test_case "memory bound insensitive to f" `Quick
+      test_memory_bound_insensitive_to_frequency ]
+
+(* Hierarchy latency accounting. *)
+let test_hierarchy_levels () =
+  let cfg = small_config () in
+  let h = Hierarchy.create cfg in
+  (* Cold: both miss -> dram. *)
+  let o1 = Hierarchy.access h ~word_addr:0 in
+  Alcotest.(check bool) "cold goes to dram" true o1.Hierarchy.dram;
+  (* Immediately again: L1 hit, 1 cycle. *)
+  let o2 = Hierarchy.access h ~word_addr:0 in
+  Alcotest.(check bool) "l1 hit" true (not o2.Hierarchy.dram);
+  Alcotest.(check int) "l1 latency" 1 o2.Hierarchy.cycles;
+  (* Evict from tiny L1 by touching other sets-conflicting lines, then
+     re-access: should be an L2 hit with l1+l2 latency. *)
+  ignore (Hierarchy.access h ~word_addr:32);
+  ignore (Hierarchy.access h ~word_addr:64);
+  let o3 = Hierarchy.access h ~word_addr:0 in
+  if not o3.Hierarchy.dram then
+    Alcotest.(check int) "l2 hit latency" 5 o3.Hierarchy.cycles
+
+let test_cache_validation () =
+  Alcotest.check_raises "bad block size"
+    (Invalid_argument "Cache.create: block size must be a power of two")
+    (fun () ->
+      ignore
+        (Cache.create
+           { Config.size_bytes = 96; assoc = 2; block_bytes = 24;
+             latency_cycles = 1 }))
+
+let test_cpu_out_of_bounds () =
+  let b = Cfg.Builder.create () in
+  let l = Cfg.Builder.add_block b in
+  Cfg.Builder.push b l (Instr.Li (0, 99));
+  Cfg.Builder.push b l (Instr.Load (1, 0, 0));
+  Cfg.Builder.set_term b l Cfg.Halt;
+  let g = Cfg.Builder.finish b ~entry:l in
+  let cfg = small_config () in
+  (match Cpu.run cfg g ~memory:(Array.make 10 0) with
+  | exception Failure _ -> ()
+  | _ -> Alcotest.fail "expected bounds failure (in-order)");
+  match Cpu_ooo.run cfg g ~memory:(Array.make 10 0) with
+  | exception Failure _ -> ()
+  | _ -> Alcotest.fail "expected bounds failure (ooo)"
+
+(* An edge-mode schedule drives both cores to the same transition count
+   and the same architectural results. *)
+let test_schedule_parity_across_cores () =
+  let src =
+    "int a[256]; int s; int i;\n\
+     for (i = 0; i < 256; i = i + 1) { a[i] = i; }\n\
+     for (i = 0; i < 256; i = i + 1) { s = s + a[i] * 3; }"
+  in
+  let g, layout = Dvs_lang.Lower.compile_string src in
+  let mem = Array.make layout.Dvs_lang.Lower.memory_words 0 in
+  let cfg = small_config () in
+  (* Slow down the second loop's body edges only. *)
+  let edges = Cfg.edges g in
+  let edge_modes (e : Cfg.edge) =
+    let idx = Cfg.edge_index g e in
+    Some (if idx >= Array.length edges / 2 then 0 else 2)
+  in
+  let io = Cpu.run ~initial_mode:2 ~edge_modes cfg g ~memory:mem in
+  let ooo = Cpu_ooo.run ~initial_mode:2 ~edge_modes cfg g ~memory:mem in
+  Alcotest.(check bool) "same memory" true (io.Cpu.memory = ooo.Cpu.memory);
+  Alcotest.(check int) "same transitions" io.Cpu.mode_transitions
+    ooo.Cpu.mode_transitions;
+  Alcotest.(check bool) "both switched" true (io.Cpu.mode_transitions > 0)
+
+let suite =
+  suite
+  @ [ Alcotest.test_case "hierarchy level latencies" `Quick
+        test_hierarchy_levels;
+      Alcotest.test_case "cache geometry validation" `Quick
+        test_cache_validation;
+      Alcotest.test_case "out-of-bounds access fails" `Quick
+        test_cpu_out_of_bounds;
+      Alcotest.test_case "schedule parity across cores" `Quick
+        test_schedule_parity_across_cores ]

@@ -1,0 +1,212 @@
+open Dvs_lp
+open Dvs_milp
+
+let check_float ?(eps = 1e-6) what expected actual =
+  if Float.abs (expected -. actual) > eps then
+    Alcotest.failf "%s: expected %.9g, got %.9g" what expected actual
+
+let solve_opt m =
+  let r = Branch_bound.solve m in
+  match (r.Branch_bound.outcome, r.solution) with
+  | Branch_bound.Optimal, Some s -> s
+  | o, _ ->
+    Alcotest.failf "expected optimal, got %s"
+      (match o with
+      | Branch_bound.Optimal -> "optimal"
+      | Feasible -> "feasible"
+      | Infeasible -> "infeasible"
+      | Unbounded -> "unbounded"
+      | No_solution -> "no_solution")
+
+(* 0/1 knapsack: values 60,100,120; weights 10,20,30; cap 50 -> 220. *)
+let test_knapsack () =
+  let m = Model.create () in
+  let xs = Array.init 3 (fun _ -> Model.binary m) in
+  Model.add_constraint m
+    (Expr.of_terms [ (10.0, xs.(0)); (20.0, xs.(1)); (30.0, xs.(2)) ])
+    Model.Le 50.0;
+  Model.set_objective m Model.Maximize
+    (Expr.of_terms [ (60.0, xs.(0)); (100.0, xs.(1)); (120.0, xs.(2)) ]);
+  let s = solve_opt m in
+  check_float "obj" 220.0 s.objective;
+  check_float "x0" 0.0 s.values.(xs.(0));
+  check_float "x1" 1.0 s.values.(xs.(1));
+  check_float "x2" 1.0 s.values.(xs.(2))
+
+(* Integer (not binary) variables: max x + y, 2x + y <= 7, x + 3y <= 9,
+   integers -> check against enumeration (opt obj 5: e.g. x=3,y=1 ->
+   2*3+1=7 ok, 3+3=6 ok, obj 4... enumerate in the test). *)
+let test_general_integers () =
+  let m = Model.create () in
+  let x = Model.add_var ~integer:true ~ub:10.0 m in
+  let y = Model.add_var ~integer:true ~ub:10.0 m in
+  Model.add_constraint m (Expr.of_terms [ (2.0, x); (1.0, y) ]) Model.Le 7.0;
+  Model.add_constraint m (Expr.of_terms [ (1.0, x); (3.0, y) ]) Model.Le 9.0;
+  Model.set_objective m Model.Maximize (Expr.add (Expr.var x) (Expr.var y));
+  let s = solve_opt m in
+  let best = ref neg_infinity in
+  for xi = 0 to 10 do
+    for yi = 0 to 10 do
+      let xf = float_of_int xi and yf = float_of_int yi in
+      if (2.0 *. xf) +. yf <= 7.0 && xf +. (3.0 *. yf) <= 9.0 then
+        best := Float.max !best (xf +. yf)
+    done
+  done;
+  check_float "matches enumeration" !best s.objective
+
+let test_integer_infeasible () =
+  (* 0.4 <= x <= 0.6 with x integer. *)
+  let m = Model.create () in
+  let x = Model.add_var ~integer:true ~lb:0.4 ~ub:0.6 m in
+  Model.set_objective m Model.Minimize (Expr.var x);
+  let r = Branch_bound.solve m in
+  Alcotest.(check bool) "infeasible" true
+    (r.Branch_bound.outcome = Branch_bound.Infeasible)
+
+let test_unbounded () =
+  let m = Model.create () in
+  let x = Model.add_var ~integer:true m in
+  Model.set_objective m Model.Maximize (Expr.var x);
+  let r = Branch_bound.solve m in
+  Alcotest.(check bool) "unbounded" true
+    (r.Branch_bound.outcome = Branch_bound.Unbounded)
+
+(* SOS1-shaped model mimicking the DVS formulation: per group exactly one
+   mode on, costs differ, a shared budget constraint. *)
+let test_sos1_structure () =
+  let groups = 4 and modes = 3 in
+  let cost = [| [| 9.0; 4.0; 1.0 |]; [| 8.0; 5.0; 2.0 |];
+                [| 7.0; 6.0; 3.0 |]; [| 10.0; 2.0; 1.5 |] |] in
+  let time = [| [| 1.0; 2.0; 4.0 |]; [| 1.0; 2.0; 4.0 |];
+                [| 1.0; 2.0; 4.0 |]; [| 1.0; 2.0; 4.0 |] |] in
+  let budget = 10.0 in
+  let m = Model.create () in
+  let k = Array.init groups (fun _ -> Array.init modes (fun _ -> Model.binary m)) in
+  for g = 0 to groups - 1 do
+    Model.add_constraint m
+      (Expr.of_terms (List.init modes (fun j -> (1.0, k.(g).(j)))))
+      Model.Eq 1.0
+  done;
+  let all ws =
+    Expr.of_terms
+      (List.concat_map
+         (fun g -> List.init modes (fun j -> (ws.(g).(j), k.(g).(j))))
+         (List.init groups Fun.id))
+  in
+  Model.add_constraint m (all time) Model.Le budget;
+  Model.set_objective m Model.Minimize (all cost);
+  let s = solve_opt m in
+  (* Exhaustive check. *)
+  let best = ref infinity in
+  let rec enumerate g acc_cost acc_time =
+    if g = groups then begin
+      if acc_time <= budget then best := Float.min !best acc_cost
+    end
+    else
+      for j = 0 to modes - 1 do
+        enumerate (g + 1) (acc_cost +. cost.(g).(j)) (acc_time +. time.(g).(j))
+      done
+  in
+  enumerate 0 0.0 0.0;
+  check_float "matches enumeration" !best s.objective;
+  (* Every group picks exactly one mode. *)
+  for g = 0 to groups - 1 do
+    let sum = ref 0.0 in
+    for j = 0 to modes - 1 do
+      sum := !sum +. s.values.(k.(g).(j))
+    done;
+    check_float "group convexity" 1.0 !sum
+  done
+
+(* Random mixed problems vs exhaustive enumeration of the binaries (the
+   continuous part is completed by the LP in both cases). *)
+let random_milp_gen =
+  QCheck.Gen.(
+    let* nbin = int_range 1 6 in
+    let* ncont = int_range 0 2 in
+    let* mrows = int_range 1 4 in
+    let n = nbin + ncont in
+    let* c = array_size (return n) (float_range (-5.0) 5.0) in
+    let* a = array_size (return (mrows * n)) (float_range (-3.0) 3.0) in
+    let* b = array_size (return mrows) (float_range 0.5 6.0) in
+    return (nbin, ncont, mrows, c, a, b))
+
+let qcheck_milp_vs_enumeration =
+  QCheck.Test.make ~name:"branch&bound matches binary enumeration" ~count:60
+    (QCheck.make random_milp_gen)
+    (fun (nbin, ncont, mrows, c, a, b) ->
+      let n = nbin + ncont in
+      let build () =
+        let m = Model.create () in
+        let vars =
+          Array.init n (fun i ->
+              if i < nbin then Model.binary m else Model.add_var ~ub:3.0 m)
+        in
+        for i = 0 to mrows - 1 do
+          Model.add_constraint m
+            (Expr.of_terms (List.init n (fun j -> (a.((i * n) + j), vars.(j)))))
+            Model.Le b.(i)
+        done;
+        Model.set_objective m Model.Minimize
+          (Expr.of_terms (List.init n (fun j -> (c.(j), vars.(j)))));
+        (m, vars)
+      in
+      (* Branch and bound answer. *)
+      let m, _ = build () in
+      let r = Branch_bound.solve m in
+      (* Enumeration answer: fix binaries, LP-complete. *)
+      let best = ref None in
+      for mask = 0 to (1 lsl nbin) - 1 do
+        let m', vars' = build () in
+        for j = 0 to nbin - 1 do
+          let v = if mask land (1 lsl j) <> 0 then 1.0 else 0.0 in
+          Model.set_bounds m' vars'.(j) ~lb:v ~ub:v
+        done;
+        match Simplex.solve m' with
+        | Simplex.Optimal s -> (
+          match !best with
+          | Some o when o <= s.objective -> ()
+          | _ -> best := Some s.objective)
+        | _ -> ()
+      done;
+      match (r.Branch_bound.outcome, r.solution, !best) with
+      | Branch_bound.Infeasible, _, None -> true
+      | Branch_bound.Optimal, Some s, Some o ->
+        Float.abs (s.objective -. o) <= 1e-5 *. Float.max 1.0 (Float.abs o)
+      | _ -> false)
+
+(* All-binaries feasibility sanity: the incumbent respects integrality. *)
+let qcheck_solution_is_integral =
+  QCheck.Test.make ~name:"solutions are integral on integer vars" ~count:60
+    (QCheck.make random_milp_gen)
+    (fun (nbin, ncont, mrows, c, a, b) ->
+      let n = nbin + ncont in
+      let m = Model.create () in
+      let vars =
+        Array.init n (fun i ->
+            if i < nbin then Model.binary m else Model.add_var ~ub:3.0 m)
+      in
+      for i = 0 to mrows - 1 do
+        Model.add_constraint m
+          (Expr.of_terms (List.init n (fun j -> (a.((i * n) + j), vars.(j)))))
+          Model.Le b.(i)
+      done;
+      Model.set_objective m Model.Minimize
+        (Expr.of_terms (List.init n (fun j -> (c.(j), vars.(j)))));
+      match (Branch_bound.solve m).Branch_bound.solution with
+      | None -> true
+      | Some s ->
+        List.for_all
+          (fun v ->
+            let x = s.Simplex.values.(v) in
+            Float.abs (x -. Float.round x) <= 1e-6)
+          (Model.integer_vars m))
+
+let suite =
+  [ Alcotest.test_case "knapsack" `Quick test_knapsack;
+    Alcotest.test_case "general integers" `Quick test_general_integers;
+    Alcotest.test_case "integer infeasible" `Quick test_integer_infeasible;
+    Alcotest.test_case "unbounded" `Quick test_unbounded;
+    Alcotest.test_case "sos1 structure" `Quick test_sos1_structure;
+    QCheck_alcotest.to_alcotest qcheck_milp_vs_enumeration;
+    QCheck_alcotest.to_alcotest qcheck_solution_is_integral ]

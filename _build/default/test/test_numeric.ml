@@ -1,0 +1,136 @@
+open Dvs_numeric
+
+let approx ?(eps = 1e-9) a b = Float.abs (a -. b) <= eps
+
+let check_float ?(eps = 1e-9) what expected actual =
+  if not (approx ~eps expected actual) then
+    Alcotest.failf "%s: expected %.12g, got %.12g" what expected actual
+
+(* ------------------------------------------------------------------ *)
+(* Vec *)
+
+let test_vec_dot () =
+  check_float "dot" 32.0 (Vec.dot [| 1.0; 2.0; 3.0 |] [| 4.0; 5.0; 6.0 |]);
+  Alcotest.check_raises "dot dim mismatch"
+    (Invalid_argument "Vec.dot: dimension mismatch (2 vs 3)") (fun () ->
+      ignore (Vec.dot [| 1.0; 2.0 |] [| 1.0; 2.0; 3.0 |]))
+
+let test_vec_axpy () =
+  let y = [| 1.0; 1.0 |] in
+  Vec.axpy_inplace 2.0 [| 3.0; 4.0 |] y;
+  check_float "axpy.0" 7.0 y.(0);
+  check_float "axpy.1" 9.0 y.(1)
+
+let test_vec_linspace () =
+  let v = Vec.linspace 0.0 1.0 5 in
+  Alcotest.(check int) "length" 5 (Vec.dim v);
+  check_float "first" 0.0 v.(0);
+  check_float "mid" 0.5 v.(2);
+  check_float "last" 1.0 v.(4)
+
+let test_vec_extremes () =
+  let v = [| 3.0; -1.0; 7.0; 7.0; 0.0 |] in
+  Alcotest.(check int) "max" 2 (Vec.max_index v);
+  Alcotest.(check int) "min" 1 (Vec.min_index v);
+  check_float "norm_inf" 7.0 (Vec.norm_inf v)
+
+(* ------------------------------------------------------------------ *)
+(* Matrix *)
+
+let test_matrix_mul_vec () =
+  let a = Matrix.init 2 3 (fun i j -> float_of_int ((i * 3) + j + 1)) in
+  let y = Matrix.mul_vec a [| 1.0; 0.0; -1.0 |] in
+  check_float "mul_vec.0" (-2.0) y.(0);
+  check_float "mul_vec.1" (-2.0) y.(1)
+
+let test_matrix_solve () =
+  let a = Matrix.init 3 3 (fun i j ->
+      match (i, j) with
+      | 0, 0 -> 2.0 | 0, 1 -> 1.0 | 0, 2 -> -1.0
+      | 1, 0 -> -3.0 | 1, 1 -> -1.0 | 1, 2 -> 2.0
+      | 2, 0 -> -2.0 | 2, 1 -> 1.0 | _ -> 2.0)
+  in
+  match Matrix.solve a [| 8.0; -11.0; -3.0 |] with
+  | None -> Alcotest.fail "solve: unexpectedly singular"
+  | Some x ->
+    check_float ~eps:1e-9 "x0" 2.0 x.(0);
+    check_float ~eps:1e-9 "x1" 3.0 x.(1);
+    check_float ~eps:1e-9 "x2" (-1.0) x.(2)
+
+let test_matrix_solve_singular () =
+  let a = Matrix.init 2 2 (fun _ _ -> 1.0) in
+  Alcotest.(check bool) "singular" true (Matrix.solve a [| 1.0; 2.0 |] = None)
+
+let qcheck_solve_roundtrip =
+  QCheck.Test.make ~name:"matrix solve round-trips a*x"
+    ~count:200
+    QCheck.(
+      let entry = float_range (-5.0) 5.0 in
+      pair (array_of_size (Gen.return 9) entry)
+        (array_of_size (Gen.return 3) entry))
+    (fun (entries, x) ->
+      let a = Matrix.init 3 3 (fun i j -> entries.((i * 3) + j)) in
+      (* Make it safely diagonally dominant so the solve succeeds. *)
+      for i = 0 to 2 do
+        Matrix.set a i i (Matrix.get a i i +. 20.0)
+      done;
+      let b = Matrix.mul_vec a x in
+      match Matrix.solve a b with
+      | None -> false
+      | Some x' ->
+        Array.for_all2 (fun u v -> Float.abs (u -. v) < 1e-6) x x')
+
+(* ------------------------------------------------------------------ *)
+(* Optimize *)
+
+let test_golden_quadratic () =
+  let x, fx = Optimize.golden_section ~lo:(-10.0) ~hi:10.0
+      (fun x -> ((x -. 3.0) ** 2.0) +. 1.0)
+  in
+  check_float ~eps:1e-6 "argmin" 3.0 x;
+  check_float ~eps:1e-6 "min" 1.0 fx
+
+let test_grid_multimodal () =
+  (* Two local minima; the global one is at x = 4 with value -2. *)
+  let f x = Float.min (((x -. 1.0) ** 2.0) -. 1.0) (((x -. 4.0) ** 2.0) -. 2.0) in
+  let x, fx = Optimize.grid_minimize ~n:200 ~lo:0.0 ~hi:5.0 f in
+  check_float ~eps:1e-4 "argmin" 4.0 x;
+  check_float ~eps:1e-6 "min" (-2.0) fx
+
+let test_bisect () =
+  (match Optimize.bisect ~lo:0.0 ~hi:2.0 (fun x -> (x *. x) -. 2.0) with
+  | None -> Alcotest.fail "bisect: no root found"
+  | Some r -> check_float ~eps:1e-9 "sqrt2" (sqrt 2.0) r);
+  Alcotest.(check bool) "no sign change" true
+    (Optimize.bisect ~lo:0.0 ~hi:1.0 (fun _ -> 1.0) = None)
+
+let test_invert_increasing () =
+  let f x = x ** 3.0 in
+  check_float ~eps:1e-8 "cbrt" 2.0 (Optimize.invert_increasing ~lo:0.0 ~hi:10.0 f 8.0);
+  check_float "clamp low" 0.0 (Optimize.invert_increasing ~lo:0.0 ~hi:10.0 f (-1.0));
+  check_float "clamp high" 10.0 (Optimize.invert_increasing ~lo:0.0 ~hi:10.0 f 1e9)
+
+let qcheck_golden_beats_samples =
+  QCheck.Test.make ~name:"golden section at least as good as endpoints/mid"
+    ~count:200
+    QCheck.(triple (float_range (-3.0) 3.0) (float_range 0.1 5.0)
+              (float_range (-5.0) 5.0))
+    (fun (center, scale, offset) ->
+      let f x = (scale *. ((x -. center) ** 2.0)) +. offset in
+      let _, fx = Optimize.golden_section ~lo:(-4.0) ~hi:4.0 f in
+      fx <= f (-4.0) +. 1e-9 && fx <= f 4.0 +. 1e-9 && fx <= f 0.0 +. 1e-9)
+
+let suite =
+  [ Alcotest.test_case "vec dot" `Quick test_vec_dot;
+    Alcotest.test_case "vec axpy" `Quick test_vec_axpy;
+    Alcotest.test_case "vec linspace" `Quick test_vec_linspace;
+    Alcotest.test_case "vec extremes" `Quick test_vec_extremes;
+    Alcotest.test_case "matrix mul_vec" `Quick test_matrix_mul_vec;
+    Alcotest.test_case "matrix solve 3x3" `Quick test_matrix_solve;
+    Alcotest.test_case "matrix solve singular" `Quick test_matrix_solve_singular;
+    QCheck_alcotest.to_alcotest qcheck_solve_roundtrip;
+    Alcotest.test_case "golden section quadratic" `Quick test_golden_quadratic;
+    Alcotest.test_case "grid minimize multimodal" `Quick test_grid_multimodal;
+    Alcotest.test_case "bisect" `Quick test_bisect;
+    Alcotest.test_case "invert increasing" `Quick test_invert_increasing;
+    QCheck_alcotest.to_alcotest qcheck_golden_beats_samples ]

@@ -1,0 +1,175 @@
+(* The out-of-order core model: functional agreement with the reference
+   interpreter, and the timing properties that distinguish it from the
+   in-order core (ILP, MLP, window limits). *)
+
+open Dvs_machine
+open Dvs_ir
+
+let config =
+  Config.default
+    ~l1d:{ Config.size_bytes = 256; assoc = 2; block_bytes = 16;
+           latency_cycles = 1 }
+    ~l2:{ Config.size_bytes = 1024; assoc = 2; block_bytes = 16;
+          latency_cycles = 4 }
+    ~dram_latency:1e-6 ()
+
+(* A chain of [n] dependent adds vs [n] independent adds. *)
+let dependent_chain n =
+  let b = Cfg.Builder.create () in
+  let l = Cfg.Builder.add_block b in
+  Cfg.Builder.push b l (Instr.Li (0, 1));
+  for _ = 1 to n do
+    Cfg.Builder.push b l (Instr.Binop (Instr.Add, 0, 0, 0))
+  done;
+  Cfg.Builder.set_term b l Cfg.Halt;
+  Cfg.Builder.finish b ~entry:l
+
+let independent_ops n =
+  let b = Cfg.Builder.create () in
+  let l = Cfg.Builder.add_block b in
+  Cfg.Builder.push b l (Instr.Li (0, 1));
+  for i = 1 to n do
+    Cfg.Builder.push b l (Instr.Binop (Instr.Add, i, 0, 0))
+  done;
+  Cfg.Builder.set_term b l Cfg.Halt;
+  Cfg.Builder.finish b ~entry:l
+
+let test_ilp_speedup () =
+  let n = 400 in
+  let dep = Cpu_ooo.run config (dependent_chain n) ~memory:[||] in
+  let ind = Cpu_ooo.run config (independent_ops n) ~memory:[||] in
+  (* Independent ops issue 4 per cycle; the dependent chain serializes. *)
+  Alcotest.(check bool) "ILP speedup" true
+    (ind.Cpu.time < dep.Cpu.time /. 2.5);
+  (* And the in-order core can't tell them apart. *)
+  let dep_io = Cpu.run config (dependent_chain n) ~memory:[||] in
+  let ind_io = Cpu.run config (independent_ops n) ~memory:[||] in
+  Alcotest.(check bool) "in-order is issue-limited" true
+    (Float.abs (dep_io.Cpu.time -. ind_io.Cpu.time)
+    < 0.01 *. dep_io.Cpu.time)
+
+let test_dependent_chain_not_faster_than_inorder_cycles () =
+  (* A fully serial chain runs at one op per latency on both cores. *)
+  let n = 100 in
+  let ooo = Cpu_ooo.run config (dependent_chain n) ~memory:[||] in
+  let io = Cpu.run config (dependent_chain n) ~memory:[||] in
+  Alcotest.(check bool) "chain not magically fast" true
+    (ooo.Cpu.time >= (io.Cpu.time *. 0.9))
+
+(* Memory-level parallelism: k independent miss loads overlap in the OoO
+   core but serialize... in our in-order model they also overlap until a
+   use; the distinguishing case is misses with *dependent uses between
+   them*. *)
+let mlp_with_uses k =
+  let b = Cfg.Builder.create () in
+  let l = Cfg.Builder.add_block b in
+  Cfg.Builder.push b l (Instr.Li (0, 0));
+  for i = 1 to k do
+    (* Each load goes to a distinct 16-byte block (stride 4 words). *)
+    Cfg.Builder.push b l (Instr.Li (1, (i - 1) * 4));
+    Cfg.Builder.push b l (Instr.Load (i + 1, 1, 0));
+    (* Dependent use right after each load. *)
+    Cfg.Builder.push b l (Instr.Binop (Instr.Add, 0, 0, i + 1))
+  done;
+  Cfg.Builder.set_term b l Cfg.Halt;
+  Cfg.Builder.finish b ~entry:l
+
+let test_mlp () =
+  let k = 8 in
+  let mem = Array.make 64 5 in
+  let ooo = Cpu_ooo.run config (mlp_with_uses k) ~memory:mem in
+  let io = Cpu.run config (mlp_with_uses k) ~memory:mem in
+  (* In-order: each use stalls the next load -> ~k serialized misses.
+     OoO: the loads all issue early -> ~1 miss latency total. *)
+  Alcotest.(check bool) "ooo overlaps misses" true
+    (ooo.Cpu.time < 0.45 *. io.Cpu.time);
+  Alcotest.(check int) "same result" io.Cpu.registers.(0)
+    ooo.Cpu.registers.(0)
+
+let test_window_limits_mlp () =
+  let k = 8 in
+  let mem = Array.make 64 5 in
+  let wide = Cpu_ooo.run ~window:64 config (mlp_with_uses k) ~memory:mem in
+  let narrow = Cpu_ooo.run ~window:2 config (mlp_with_uses k) ~memory:mem in
+  Alcotest.(check bool) "narrow window serializes" true
+    (narrow.Cpu.time > 2.0 *. wide.Cpu.time);
+  Alcotest.(check bool) "window stall recorded" true
+    (narrow.Cpu.stall_time > 0.0)
+
+let test_issue_width_matters () =
+  let n = 400 in
+  let w4 = Cpu_ooo.run ~issue_width:4 config (independent_ops n) ~memory:[||] in
+  let w1 = Cpu_ooo.run ~issue_width:1 config (independent_ops n) ~memory:[||] in
+  Alcotest.(check bool) "4-wide faster" true (w1.Cpu.time > 3.0 *. w4.Cpu.time)
+
+let test_modeset_drains_and_charges () =
+  let b = Cfg.Builder.create () in
+  let l = Cfg.Builder.add_block b in
+  Cfg.Builder.push b l (Instr.Li (0, 1));
+  Cfg.Builder.push b l (Instr.Modeset 0);
+  Cfg.Builder.push b l (Instr.Li (1, 2));
+  Cfg.Builder.set_term b l Cfg.Halt;
+  let g = Cfg.Builder.finish b ~entry:l in
+  let r = Cpu_ooo.run config g ~memory:[||] in
+  Alcotest.(check int) "one transition" 1 r.Cpu.mode_transitions;
+  let expected_st = Dvs_power.Switch_cost.time config.Config.regulator 1.65 0.7 in
+  Alcotest.(check bool) "time includes transition" true
+    (r.Cpu.time >= expected_st)
+
+let qcheck_ooo_matches_interp =
+  QCheck.Test.make ~name:"ooo core matches reference interpreter" ~count:40
+    QCheck.(pair (int_range 1 15) (int_range 0 10000))
+    (fun (n, seed) ->
+      let src =
+        Printf.sprintf
+          "int a[64]; int s; int i;\n\
+           s = %d;\n\
+           for (i = 0; i < %d; i = i + 1) {\n\
+           \  a[(i * 5) %% 64] = s + i;\n\
+           \  s = s + a[(i * 11) %% 64] %% 7;\n\
+           \  if (s %% 3 == 0) { s = s + 2; }\n\
+           }"
+          (seed mod 89) n
+      in
+      let g, layout = Dvs_lang.Lower.compile_string src in
+      let mem = Array.make layout.Dvs_lang.Lower.memory_words 0 in
+      let ref_r = Interp.run g ~memory:mem in
+      let ooo_r = Cpu_ooo.run config g ~memory:mem in
+      ref_r.Interp.memory = ooo_r.Cpu.memory
+      && ref_r.Interp.registers = ooo_r.Cpu.registers
+      && ref_r.Interp.dyn_instrs = ooo_r.Cpu.dyn_instrs)
+
+let qcheck_ooo_never_slower_than_inorder =
+  (* With the same machine parameters, the dataflow-limited model is an
+     optimistic bound: it should not be slower than the in-order core
+     (up to a small epsilon for accounting differences). *)
+  QCheck.Test.make ~name:"ooo is not slower than in-order" ~count:30
+    QCheck.(pair (int_range 1 20) (int_range 0 10000))
+    (fun (n, seed) ->
+      let src =
+        Printf.sprintf
+          "int a[128]; int s; int i;\n\
+           for (i = 0; i < %d; i = i + 1) {\n\
+           \  s = s + a[(i * %d) %% 128];\n\
+           \  a[(i * 7) %% 128] = s;\n\
+           }"
+          (5 * n)
+          (1 + (seed mod 13))
+      in
+      let g, layout = Dvs_lang.Lower.compile_string src in
+      let mem = Array.make layout.Dvs_lang.Lower.memory_words 1 in
+      let ooo = Cpu_ooo.run config g ~memory:mem in
+      let io = Cpu.run config g ~memory:mem in
+      ooo.Cpu.time <= io.Cpu.time *. 1.02)
+
+let suite =
+  [ Alcotest.test_case "ILP speedup" `Quick test_ilp_speedup;
+    Alcotest.test_case "dependent chain serializes" `Quick
+      test_dependent_chain_not_faster_than_inorder_cycles;
+    Alcotest.test_case "memory-level parallelism" `Quick test_mlp;
+    Alcotest.test_case "window limits MLP" `Quick test_window_limits_mlp;
+    Alcotest.test_case "issue width matters" `Quick test_issue_width_matters;
+    Alcotest.test_case "modeset drains and charges" `Quick
+      test_modeset_drains_and_charges;
+    QCheck_alcotest.to_alcotest qcheck_ooo_matches_interp;
+    QCheck_alcotest.to_alcotest qcheck_ooo_never_slower_than_inorder ]

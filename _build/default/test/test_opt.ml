@@ -1,0 +1,158 @@
+(* Liveness and the optional IR optimizer: semantics must be preserved
+   exactly; instruction counts should drop on the naive lowering. *)
+
+open Dvs_ir
+
+let compile src = fst (Dvs_lang.Lower.compile_string src)
+
+let test_liveness_straight_line () =
+  let b = Cfg.Builder.create () in
+  let l = Cfg.Builder.add_block b in
+  Cfg.Builder.push b l (Instr.Li (0, 1));
+  Cfg.Builder.push b l (Instr.Li (1, 2));
+  Cfg.Builder.push b l (Instr.Binop (Instr.Add, 2, 0, 1));
+  Cfg.Builder.set_term b l Cfg.Halt;
+  let cfg = Cfg.Builder.finish b ~entry:l in
+  (* Only r2 is observable at exit. *)
+  let lv = Liveness.compute ~exit_live:[ 2 ] cfg in
+  Alcotest.(check (list int)) "nothing live in" [] (Liveness.live_in lv l);
+  Alcotest.(check bool) "r0 live after its def" true
+    (Liveness.live_after lv l 0 0);
+  Alcotest.(check bool) "r0 dead after the add" false
+    (Liveness.live_after lv l 2 0);
+  Alcotest.(check bool) "r2 live after its def (observable)" true
+    (Liveness.live_after lv l 2 2);
+  (* With the default conservative exit set, everything stays live. *)
+  let lv_all = Liveness.compute cfg in
+  Alcotest.(check bool) "r0 live at exit by default" true
+    (Liveness.live_after lv_all l 2 0)
+
+let test_liveness_loop_carried () =
+  let cfg = compile "int s; int i; while (i < 3) { s = s + i; i = i + 1; }" in
+  let lv = Liveness.compute cfg in
+  (* The loop condition block must have the induction register live-in;
+     find the block whose terminator is a branch. *)
+  let cond_block =
+    Array.to_list (Cfg.blocks cfg)
+    |> List.find (fun (b : Cfg.block) ->
+           match b.term with Cfg.Branch _ -> true | _ -> false)
+  in
+  Alcotest.(check bool) "something live into the loop" true
+    (Liveness.live_in lv cond_block.label <> [])
+
+let test_fold_constants () =
+  let cfg, layout = Dvs_lang.Lower.compile_string "int r; r = 2 + 3 * 4;" in
+  let rreg = List.assoc "r" layout.Dvs_lang.Lower.scalars in
+  let folded = Opt.optimize ~exit_live:[ rreg ] cfg in
+  Alcotest.(check bool) "fewer instructions" true
+    (Opt.instruction_count folded < Opt.instruction_count cfg);
+  let a = Interp.run cfg ~memory:[||] in
+  let b = Interp.run folded ~memory:[||] in
+  Alcotest.(check int) "same result" a.Interp.registers.(rreg)
+    b.Interp.registers.(rreg)
+
+let test_constant_branch_folds_to_jump () =
+  let cfg = compile "int r; if (1 < 2) { r = 5; } else { r = 7; }" in
+  let folded = Opt.constant_fold cfg in
+  let branches g =
+    Array.to_list (Cfg.blocks g)
+    |> List.filter (fun (b : Cfg.block) ->
+           match b.term with Cfg.Branch _ -> true | _ -> false)
+    |> List.length
+  in
+  Alcotest.(check bool) "branch removed" true (branches folded < branches cfg);
+  let r = Interp.run folded ~memory:[||] in
+  let _, layout = Dvs_lang.Lower.compile_string "int r; if (1 < 2) { r = 5; } else { r = 7; }" in
+  let reg = List.assoc "r" layout.Dvs_lang.Lower.scalars in
+  Alcotest.(check int) "value" 5 r.Interp.registers.(reg)
+
+let test_dce_keeps_stores_and_loads () =
+  let cfg = compile "int a[4]; int t; a[0] = 9; t = a[0];" in
+  let optimized = Opt.optimize cfg in
+  let count pred =
+    Array.fold_left
+      (fun acc (b : Cfg.block) ->
+        acc + Array.fold_left (fun a i -> if pred i then a + 1 else a) 0 b.body)
+      0 (Cfg.blocks optimized)
+  in
+  Alcotest.(check bool) "store kept" true
+    (count (function Instr.Store _ -> true | _ -> false) >= 1);
+  Alcotest.(check bool) "load kept" true
+    (count (function Instr.Load _ -> true | _ -> false) >= 1)
+
+(* Random-program equivalence: optimize must never change architectural
+   results. *)
+let program_gen =
+  QCheck.Gen.(
+    let* a = int_range (-20) 20 in
+    let* b = int_range 1 10 in
+    let* c = int_range 0 5 in
+    let* n = int_range 1 12 in
+    return
+      (Printf.sprintf
+         "int a[16]; int s; int t; int i;\n\
+          s = %d * 3 + 4;\n\
+          t = s / %d;\n\
+          for (i = 0; i < %d; i = i + 1) {\n\
+          \  a[i %% 16] = s + i * %d;\n\
+          \  if (a[i %% 16] %% 2 == 0) { t = t + a[(i + %d) %% 16]; }\n\
+          \  else { t = t - 1; }\n\
+          }\n\
+          s = t * 2;"
+         a b n b c))
+
+let qcheck_optimize_preserves_semantics =
+  QCheck.Test.make ~name:"optimizer preserves program results" ~count:120
+    (QCheck.make program_gen)
+    (fun src ->
+      let cfg, layout = Dvs_lang.Lower.compile_string src in
+      let exit_live = List.map snd layout.Dvs_lang.Lower.scalars in
+      let optimized = Opt.optimize ~exit_live cfg in
+      (match Cfg.validate optimized with Ok () -> () | Error m -> failwith m);
+      let mem = Array.make layout.Dvs_lang.Lower.memory_words 0 in
+      let a = Interp.run cfg ~memory:mem in
+      let b = Interp.run optimized ~memory:mem in
+      let sreg = List.assoc "s" layout.Dvs_lang.Lower.scalars in
+      let treg = List.assoc "t" layout.Dvs_lang.Lower.scalars in
+      a.Interp.memory = b.Interp.memory
+      && a.Interp.registers.(sreg) = b.Interp.registers.(sreg)
+      && a.Interp.registers.(treg) = b.Interp.registers.(treg))
+
+let qcheck_optimize_never_grows =
+  QCheck.Test.make ~name:"optimizer never grows programs" ~count:120
+    (QCheck.make program_gen)
+    (fun src ->
+      let cfg, layout = Dvs_lang.Lower.compile_string src in
+      let exit_live = List.map snd layout.Dvs_lang.Lower.scalars in
+      Opt.instruction_count (Opt.optimize ~exit_live cfg)
+      <= Opt.instruction_count cfg)
+
+let test_optimizer_shrinks_workloads () =
+  List.iter
+    (fun name ->
+      let w = Dvs_workloads.Workload.find name in
+      let cfg, layout, _ =
+        Dvs_workloads.Workload.load w
+          ~input:(Dvs_workloads.Workload.default_input w)
+      in
+      let exit_live = List.map snd layout.Dvs_lang.Lower.scalars in
+      let before = Opt.instruction_count cfg in
+      let after = Opt.instruction_count (Opt.optimize ~exit_live cfg) in
+      if not (after < before) then
+        Alcotest.failf "%s: %d -> %d static instructions" name before after)
+    [ "adpcm"; "gsm"; "mpg123" ]
+
+let suite =
+  [ Alcotest.test_case "liveness straight line" `Quick
+      test_liveness_straight_line;
+    Alcotest.test_case "liveness loop carried" `Quick
+      test_liveness_loop_carried;
+    Alcotest.test_case "fold constants" `Quick test_fold_constants;
+    Alcotest.test_case "constant branch folds" `Quick
+      test_constant_branch_folds_to_jump;
+    Alcotest.test_case "dce keeps memory ops" `Quick
+      test_dce_keeps_stores_and_loads;
+    QCheck_alcotest.to_alcotest qcheck_optimize_preserves_semantics;
+    QCheck_alcotest.to_alcotest qcheck_optimize_never_grows;
+    Alcotest.test_case "optimizer shrinks workloads" `Quick
+      test_optimizer_shrinks_workloads ]

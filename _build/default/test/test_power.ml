@@ -1,0 +1,121 @@
+open Dvs_power
+
+let check_float ?(eps = 1e-9) what expected actual =
+  if Float.abs (expected -. actual) > eps then
+    Alcotest.failf "%s: expected %.12g, got %.12g" what expected actual
+
+(* The default law is anchored at 1.65 V -> 800 MHz and should land close to
+   the paper's other XScale pairs. *)
+let test_default_law_anchors () =
+  let law = Alpha_power.default in
+  check_float ~eps:1.0 "anchor" 800e6 (Alpha_power.frequency law 1.65);
+  let f13 = Alpha_power.frequency law 1.3 in
+  Alcotest.(check bool) "1.3V near 600MHz" true
+    (Float.abs (f13 -. 600e6) < 20e6);
+  let f07 = Alpha_power.frequency law 0.7 in
+  Alcotest.(check bool) "0.7V near 200MHz" true
+    (Float.abs (f07 -. 200e6) < 30e6)
+
+let test_law_below_threshold () =
+  let law = Alpha_power.default in
+  check_float "below vt" 0.0 (Alpha_power.frequency law 0.3);
+  check_float "at vt" 0.0 (Alpha_power.frequency law 0.45)
+
+let qcheck_voltage_roundtrip =
+  QCheck.Test.make ~name:"alpha-power voltage/frequency round-trip" ~count:200
+    QCheck.(float_range 0.5 3.0)
+    (fun v ->
+      let law = Alpha_power.default in
+      let f = Alpha_power.frequency law v in
+      let v' = Alpha_power.voltage law f in
+      Float.abs (v -. v') < 1e-6)
+
+let qcheck_law_monotone =
+  QCheck.Test.make ~name:"alpha-power law is increasing" ~count:200
+    QCheck.(pair (float_range 0.46 3.0) (float_range 0.001 1.0))
+    (fun (v, dv) ->
+      let law = Alpha_power.default in
+      Alpha_power.frequency law (v +. dv) > Alpha_power.frequency law v)
+
+let test_xscale3 () =
+  let tbl = Mode.xscale3 in
+  Alcotest.(check int) "size" 3 (Mode.size tbl);
+  check_float "min f" 200e6 (Mode.min_mode tbl).frequency;
+  check_float "max f" 800e6 (Mode.max_mode tbl).frequency;
+  check_float "min v" 0.7 (Mode.min_mode tbl).voltage
+
+let test_levels_spacing () =
+  let tbl = Mode.levels ~v_lo:0.7 ~v_hi:1.65 7 in
+  Alcotest.(check int) "size" 7 (Mode.size tbl);
+  check_float "v lo" 0.7 (Mode.get tbl 0).voltage;
+  check_float ~eps:1e-9 "v hi" 1.65 (Mode.get tbl 6).voltage;
+  (* Frequencies strictly increasing is enforced by the table invariant. *)
+  let fs = List.map (fun (m : Mode.t) -> m.frequency) (Mode.to_list tbl) in
+  Alcotest.(check bool) "sorted" true (List.sort Float.compare fs = fs)
+
+let test_neighbors () =
+  let tbl = Mode.xscale3 in
+  let a, b = Mode.neighbors tbl 400e6 in
+  check_float "lo neighbor" 200e6 a.frequency;
+  check_float "hi neighbor" 600e6 b.frequency;
+  let a, b = Mode.neighbors tbl 600e6 in
+  check_float "exact lo" 600e6 a.frequency;
+  check_float "exact hi" 600e6 b.frequency;
+  let a, b = Mode.neighbors tbl 100e6 in
+  check_float "clamp lo" 200e6 a.frequency;
+  check_float "clamp lo hi" 200e6 b.frequency;
+  let a, b = Mode.neighbors tbl 1e9 in
+  check_float "clamp hi" 800e6 a.frequency;
+  check_float "clamp hi hi" 800e6 b.frequency
+
+let test_table_validation () =
+  Alcotest.check_raises "empty"
+    (Invalid_argument "Mode.table_of_list: empty table") (fun () ->
+      ignore (Mode.table_of_list []));
+  Alcotest.check_raises "duplicate f"
+    (Invalid_argument "Mode.table_of_list: duplicate frequencies") (fun () ->
+      ignore
+        (Mode.table_of_list
+           [ Mode.make ~voltage:1.0 ~frequency:1e8;
+             Mode.make ~voltage:1.2 ~frequency:1e8 ]))
+
+(* Paper calibration: c = 10uF gives 12us / 1.2uJ for 1.3V <-> 0.7V. *)
+let test_switch_cost_paper_values () =
+  let r = Switch_cost.default in
+  check_float ~eps:1e-12 "ST" 12e-6 (Switch_cost.time r 1.3 0.7);
+  check_float ~eps:1e-12 "SE" 1.2e-6 (Switch_cost.energy r 1.3 0.7)
+
+let test_switch_cost_symmetry_and_zero () =
+  let r = Switch_cost.regulator ~capacitance:1e-6 () in
+  check_float "zero energy" 0.0 (Switch_cost.energy r 1.1 1.1);
+  check_float "zero time" 0.0 (Switch_cost.time r 1.1 1.1);
+  check_float "sym energy" (Switch_cost.energy r 0.7 1.65)
+    (Switch_cost.energy r 1.65 0.7);
+  check_float "sym time" (Switch_cost.time r 0.7 1.65)
+    (Switch_cost.time r 1.65 0.7)
+
+let qcheck_switch_cost_scales_with_c =
+  QCheck.Test.make ~name:"switch costs scale linearly with capacitance"
+    ~count:100
+    QCheck.(pair (float_range 0.5 2.0) (float_range 0.5 2.0))
+    (fun (v1, v2) ->
+      let r1 = Switch_cost.regulator ~capacitance:1e-6 () in
+      let r10 = Switch_cost.regulator ~capacitance:10e-6 () in
+      let e1 = Switch_cost.energy r1 v1 v2 in
+      let e10 = Switch_cost.energy r10 v1 v2 in
+      Float.abs (e10 -. (10.0 *. e1)) <= 1e-12 +. (1e-9 *. Float.abs e10))
+
+let suite =
+  [ Alcotest.test_case "default law anchors" `Quick test_default_law_anchors;
+    Alcotest.test_case "law below threshold" `Quick test_law_below_threshold;
+    QCheck_alcotest.to_alcotest qcheck_voltage_roundtrip;
+    QCheck_alcotest.to_alcotest qcheck_law_monotone;
+    Alcotest.test_case "xscale3 table" `Quick test_xscale3;
+    Alcotest.test_case "levels spacing" `Quick test_levels_spacing;
+    Alcotest.test_case "mode neighbors" `Quick test_neighbors;
+    Alcotest.test_case "table validation" `Quick test_table_validation;
+    Alcotest.test_case "switch cost paper values" `Quick
+      test_switch_cost_paper_values;
+    Alcotest.test_case "switch cost symmetry" `Quick
+      test_switch_cost_symmetry_and_zero;
+    QCheck_alcotest.to_alcotest qcheck_switch_cost_scales_with_c ]

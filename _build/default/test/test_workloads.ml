@@ -1,0 +1,103 @@
+open Dvs_workloads
+open Dvs_machine
+
+let config = Workload.eval_config ()
+
+let test_all_compile_and_run () =
+  List.iter
+    (fun (w : Workload.t) ->
+      List.iter
+        (fun input ->
+          let cfg, _, mem = Workload.load w ~input in
+          (match Dvs_ir.Cfg.validate cfg with
+          | Ok () -> ()
+          | Error m -> Alcotest.failf "%s: invalid CFG: %s" w.name m);
+          let r = Cpu.run config cfg ~memory:mem in
+          Alcotest.(check bool)
+            (Printf.sprintf "%s/%s runs" w.Workload.name input)
+            true
+            (r.Cpu.dyn_instrs > 1000 || w.Workload.name = "ghostscript");
+          Alcotest.(check bool)
+            (Printf.sprintf "%s/%s takes time" w.Workload.name input)
+            true (r.Cpu.time > 0.0))
+        w.Workload.inputs)
+    Workload.all
+
+let test_inputs_deterministic () =
+  let w = Workload.find "mpeg" in
+  let _, _, m1 = Workload.load w ~input:"flwr" in
+  let _, _, m2 = Workload.load w ~input:"flwr" in
+  Alcotest.(check bool) "same memory" true (m1 = m2)
+
+let test_inputs_differ () =
+  let w = Workload.find "mpeg" in
+  let _, _, m1 = Workload.load w ~input:"flwr" in
+  let _, _, m2 = Workload.load w ~input:"bbc" in
+  Alcotest.(check bool) "different memory" true (m1 <> m2)
+
+let test_mpeg_categories_change_paths () =
+  (* B-frame inputs execute the interpolation loop; edge profiles must
+     differ structurally, which is what makes Figure 19 interesting. *)
+  let w = Workload.find "mpeg" in
+  let cfg, _, mem_b = Workload.load w ~input:"flwr" in
+  let _, _, mem_nob = Workload.load w ~input:"bbc" in
+  let p_b = Dvs_profile.Profile.collect config cfg ~memory:mem_b in
+  let p_nob = Dvs_profile.Profile.collect config cfg ~memory:mem_nob in
+  (* Some edge is taken in the B category and never in the other. *)
+  let exclusive = ref false in
+  Array.iteri
+    (fun i c ->
+      if c > 0 && p_nob.Dvs_profile.Profile.edge_count.(i) = 0 then
+        exclusive := true)
+    p_b.Dvs_profile.Profile.edge_count;
+  Alcotest.(check bool) "B-only edges exist" true !exclusive
+
+let test_memory_dominance_signatures () =
+  (* mpeg must be the most memory-bound, gsm the most hit-dominated —
+     the Table 7 shape. *)
+  let signature name =
+    let w = Workload.find name in
+    let cfg, _, mem = Workload.load w ~input:(Workload.default_input w) in
+    let r = Cpu.run config cfg ~memory:mem in
+    (r.Cpu.miss_busy_time /. r.Cpu.time,
+     float_of_int r.Cpu.overlap_cycles /. float_of_int (r.Cpu.cache_hit_cycles + 1))
+  in
+  let mpeg_mem, _ = signature "mpeg" in
+  let gsm_mem, _ = signature "gsm" in
+  Alcotest.(check bool) "mpeg more memory-bound than gsm" true
+    (mpeg_mem > 2.0 *. gsm_mem);
+  Alcotest.(check bool) "mpeg spends >20% in memory" true (mpeg_mem > 0.2)
+
+let test_deadlines_ordering () =
+  let ds = Deadlines.of_times ~t_fast:1.0 ~t_slow:5.0 in
+  Alcotest.(check int) "five deadlines" 5 (Array.length ds);
+  for i = 1 to 4 do
+    Alcotest.(check bool) "increasing" true (ds.(i) > ds.(i - 1))
+  done;
+  Alcotest.(check bool) "d1 near fast" true (ds.(0) < 1.2);
+  Alcotest.(check bool) "d5 near slow" true (ds.(4) > 4.5)
+
+let test_rng_deterministic_and_bounded () =
+  let r1 = Rng.create 42 and r2 = Rng.create 42 in
+  let a = Array.init 100 (fun _ -> Rng.int r1 1000) in
+  let b = Array.init 100 (fun _ -> Rng.int r2 1000) in
+  Alcotest.(check bool) "same stream" true (a = b);
+  Alcotest.(check bool) "bounded" true
+    (Array.for_all (fun v -> v >= 0 && v < 1000) a);
+  let r3 = Rng.create 43 in
+  let c = Array.init 100 (fun _ -> Rng.int r3 1000) in
+  Alcotest.(check bool) "different seed differs" true (a <> c)
+
+let suite =
+  [ Alcotest.test_case "all workloads compile and run" `Slow
+      test_all_compile_and_run;
+    Alcotest.test_case "inputs deterministic" `Quick
+      test_inputs_deterministic;
+    Alcotest.test_case "inputs differ" `Quick test_inputs_differ;
+    Alcotest.test_case "mpeg categories change paths" `Slow
+      test_mpeg_categories_change_paths;
+    Alcotest.test_case "memory-dominance signatures" `Slow
+      test_memory_dominance_signatures;
+    Alcotest.test_case "deadline ordering" `Quick test_deadlines_ordering;
+    Alcotest.test_case "rng deterministic" `Quick
+      test_rng_deterministic_and_bounded ]
