@@ -74,18 +74,24 @@ let scaled_regulator ~paper_capacitance =
 
 let default_regulator = scaled_regulator ~paper_capacitance:10e-6
 
-(* MILP options used throughout the harness: bounded so no single cell
-   can hang the run. *)
-let milp_options =
-  { Dvs_milp.Branch_bound.default_options with
-    max_nodes = 4000;
-    time_limit = Some 15.0 }
+(* Shared LP-relaxation cache: the sweep experiments re-solve
+   near-identical models (same formulation, repeated warm-start seeds and
+   shallow search prefixes), which this short-circuits. *)
+let lp_cache = Dvs_milp.Lp_cache.create ~max_entries:16384 ()
 
-let pipeline_options =
-  { Dvs_core.Pipeline.default_options with milp = milp_options }
+(* MILP configuration used throughout the harness: bounded so no single
+   cell can hang the run; jobs=1 keeps table cells comparable with the
+   paper's single-core CPLEX times (the `jobs' experiment sweeps it). *)
+let solver_config ?(jobs = 1) () =
+  Dvs_milp.Solver.Config.make ~jobs ~max_nodes:4000 ~time_limit:15.0
+    ~cache:lp_cache ()
 
-(* One MILP run on a workload with caching of nothing but profiles. *)
-let optimize ?(kind = Xscale3) ?(filter = true) ?regulator ?input name
+let pipeline_config =
+  Dvs_core.Pipeline.Config.make ~solver:(solver_config ()) ()
+
+(* One MILP run on a workload with caching of profiles and shallow LP
+   relaxations only. *)
+let optimize ?(kind = Xscale3) ?(filter = true) ?jobs ?regulator ?input name
     ~deadline =
   let input =
     match input with
@@ -96,8 +102,12 @@ let optimize ?(kind = Xscale3) ?(filter = true) ?regulator ?input name
   let regulator =
     match regulator with Some r -> r | None -> default_regulator
   in
-  let options = { pipeline_options with filter } in
-  Dvs_core.Pipeline.optimize_multi ~options
+  let config =
+    { pipeline_config with
+      Dvs_core.Pipeline.Config.filter;
+      solver = solver_config ?jobs () }
+  in
+  Dvs_core.Pipeline.optimize_multi ~config
     ~verify_config:(config_of ~regulator kind)
     ~regulator
     ~memory:(memory ~input name)

@@ -36,16 +36,15 @@ let ablation_granularity () =
           Formulation.build ?repr
             ~regulator:Context.default_regulator [ category ]
         in
-        let milp_options =
-          { Context.milp_options with
-            Dvs_milp.Branch_bound.sos1 =
-              List.map (fun (_, vars) -> Array.to_list vars)
-                f.Formulation.kvars }
+        let config =
+          Context.solver_config ()
+          |> Dvs_milp.Solver.Config.with_sos1
+               (List.map (fun (_, vars) -> Array.to_list vars)
+                  f.Formulation.kvars)
         in
         match
-          (Dvs_milp.Branch_bound.solve ~options:milp_options
-             f.Formulation.model)
-            .Dvs_milp.Branch_bound.solution
+          (Dvs_milp.Solver.solve ~config f.Formulation.model)
+            .Dvs_milp.Solver.solution
         with
         | Some s -> Some (s.Dvs_lp.Simplex.objective /. 1e6)
         | None -> None
@@ -389,16 +388,15 @@ let ablation_filter () =
               | Some r -> Filter.independent_count r
               | None -> Array.length f.Formulation.repr
             in
-            let milp_options =
-              { Context.milp_options with
-                Dvs_milp.Branch_bound.sos1 =
-                  List.map (fun (_, vars) -> Array.to_list vars)
-                    f.Formulation.kvars }
+            let config =
+              Context.solver_config ()
+              |> Dvs_milp.Solver.Config.with_sos1
+                   (List.map (fun (_, vars) -> Array.to_list vars)
+                      f.Formulation.kvars)
             in
             match
-              (Dvs_milp.Branch_bound.solve ~options:milp_options
-                 f.Formulation.model)
-                .Dvs_milp.Branch_bound.solution
+              (Dvs_milp.Solver.solve ~config f.Formulation.model)
+                .Dvs_milp.Solver.solution
             with
             | Some s ->
               Printf.sprintf "%.0f/%d" s.Dvs_lp.Simplex.objective independent

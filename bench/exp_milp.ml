@@ -82,8 +82,8 @@ let table3_fig14 () =
         match r.Pipeline.predicted_energy with
         | Some e ->
           let flag =
-            if r.Pipeline.milp.Dvs_milp.Branch_bound.outcome
-               = Dvs_milp.Branch_bound.Optimal
+            if r.Pipeline.milp.Dvs_milp.Solver.outcome
+               = Dvs_milp.Solver.Optimal
             then ""
             else "*"
           in
@@ -132,8 +132,8 @@ let fig15 () =
             let regulator = Context.scaled_regulator ~paper_capacitance:c in
             let r = Context.optimize ~regulator name ~deadline:d in
             let flag =
-              if r.Pipeline.milp.Dvs_milp.Branch_bound.outcome
-                 = Dvs_milp.Branch_bound.Optimal
+              if r.Pipeline.milp.Dvs_milp.Solver.outcome
+                 = Dvs_milp.Solver.Optimal
               then ""
               else "*"
             in
@@ -242,7 +242,7 @@ let fig19 () =
      input's own deadline(s); each schedule then runs on every input. *)
   let optimize_for categories verify_input =
     let r =
-      Pipeline.optimize_multi ~options:Context.pipeline_options
+      Pipeline.optimize_multi ~config:Context.pipeline_config
         ~regulator:Context.default_regulator
         ~memory:(Context.memory ~input:verify_input "mpeg")
         categories
@@ -362,8 +362,61 @@ let table6 () =
      attributed to rounding)\n"
     !violations !cells
 
+(* --- jobs sweep: parallel solver scaling ------------------------------- *)
+
+let jobs_sweep () =
+  heading "jobs" "parallel MILP solving: jobs=1 vs jobs=4"
+    "deadline D5, no edge filtering (largest models); wall seconds; \
+     'obj=' checks the incumbent objectives are bit-equal; jobs=4 also \
+     benefits from the LP cache warmed by the jobs=1 run";
+  let t =
+    Table.create
+      [ ("benchmark", Table.Left); ("nodes", Table.Right);
+        ("t(j=1)", Table.Right); ("t(j=4)", Table.Right);
+        ("speedup", Table.Right); ("util(j=4)", Table.Right);
+        ("obj=", Table.Right) ]
+  in
+  List.iter
+    (fun name ->
+      let d = (Context.deadlines name).(4) in
+      let r1 = Context.optimize ~filter:false ~jobs:1 name ~deadline:d in
+      let r4 = Context.optimize ~filter:false ~jobs:4 name ~deadline:d in
+      let obj (r : Pipeline.result) =
+        Option.map
+          (fun (s : Dvs_lp.Simplex.solution) -> s.Dvs_lp.Simplex.objective)
+          r.Pipeline.milp.Dvs_milp.Solver.solution
+      in
+      let equal =
+        match (obj r1, obj r4) with
+        | Some a, Some b -> if Int64.bits_of_float a = Int64.bits_of_float b
+                            then "yes" else "NO"
+        | None, None -> "yes"
+        | _ -> "NO"
+      in
+      let speedup =
+        if r4.Pipeline.solve_seconds > 0.0 then
+          r1.Pipeline.solve_seconds /. r4.Pipeline.solve_seconds
+        else Float.nan
+      in
+      Table.add_row t
+        [ name;
+          string_of_int r1.Pipeline.milp.Dvs_milp.Solver.stats.Dvs_milp.Solver.nodes;
+          Table.fmt_float ~digits:3 r1.Pipeline.solve_seconds;
+          Table.fmt_float ~digits:3 r4.Pipeline.solve_seconds;
+          Table.fmt_float ~digits:2 speedup;
+          Table.fmt_float ~digits:2
+            (Dvs_milp.Solver.worker_utilization
+               r4.Pipeline.milp.Dvs_milp.Solver.stats);
+          equal ])
+    Context.all_names;
+  Table.print t;
+  Printf.printf
+    "(host reports %d core(s); wall-clock speedup > 1 needs jobs <= cores \
+     — on fewer cores, parity means low parallel overhead)\n"
+    (Domain.recommended_domain_count ())
+
 let all =
   [ ("table2", table2); ("table4", table4); ("fig16", fig16);
     ("table3", table3_fig14); ("fig14", table3_fig14); ("fig15", fig15);
     ("fig17", fig17); ("fig18", fig18); ("table5", table5);
-    ("fig19", fig19); ("table6", table6) ]
+    ("fig19", fig19); ("table6", table6); ("jobs", jobs_sweep) ]

@@ -25,14 +25,44 @@ let machine ~capacitance ~levels =
 
 (* ---------------- common args ---------------- *)
 
+(* Levenshtein distance, for near-miss suggestions on workload names. *)
+let edit_distance a b =
+  let la = String.length a and lb = String.length b in
+  let prev = Array.init (lb + 1) Fun.id in
+  let cur = Array.make (lb + 1) 0 in
+  for i = 1 to la do
+    cur.(0) <- i;
+    for j = 1 to lb do
+      let cost = if a.[i - 1] = b.[j - 1] then 0 else 1 in
+      cur.(j) <-
+        Int.min (Int.min (cur.(j - 1) + 1) (prev.(j) + 1)) (prev.(j - 1) + cost)
+    done;
+    Array.blit cur 0 prev 0 (lb + 1)
+  done;
+  prev.(lb)
+
+let nearest_workload s =
+  let lower = String.lowercase_ascii s in
+  List.fold_left
+    (fun best (w : Dvs_workloads.Workload.t) ->
+      let d = edit_distance lower w.name in
+      match best with
+      | Some (_, d0) when d0 <= d -> best
+      | _ -> Some (w.name, d))
+    None Dvs_workloads.Workload.all
+
 let workload_arg =
   let parse s =
     match Dvs_workloads.Workload.find s with
     | w -> Ok w
     | exception Not_found ->
-      Error
-        (`Msg
-           (Printf.sprintf "unknown workload %s (try `dvstool list')" s))
+      let suggestion =
+        match nearest_workload s with
+        | Some (name, d) when d <= Int.max 2 (String.length s / 3) ->
+          Printf.sprintf " (did you mean `%s'?)" name
+        | _ -> " (try `dvstool list')"
+      in
+      Error (`Msg (Printf.sprintf "unknown workload %s%s" s suggestion))
   in
   let print ppf (w : Dvs_workloads.Workload.t) =
     Format.pp_print_string ppf w.name
@@ -180,8 +210,26 @@ let save_opt =
         ~doc:"Write the chosen schedule to FILE (reload with \
               $(b,dvstool apply)).")
 
+let jobs_opt =
+  let pos_int =
+    let parse s =
+      match Arg.conv_parser Arg.int s with
+      | Ok n when n >= 1 -> Ok n
+      | Ok n -> Error (`Msg (Printf.sprintf "JOBS must be >= 1, got %d" n))
+      | Error _ as e -> e
+    in
+    Arg.conv (parse, Arg.conv_printer Arg.int)
+  in
+  Arg.(
+    value
+    & opt (some pos_int) None
+    & info [ "j"; "jobs" ] ~docv:"N"
+        ~doc:
+          "Worker domains for the MILP search (default: the recommended \
+           domain count of this machine).")
+
 let optimize_cmd =
-  let run w input capacitance levels frac no_filter save =
+  let run w input capacitance levels frac no_filter save jobs =
     let input = input_of w input in
     let cfg, _, mem = Dvs_workloads.Workload.load w ~input in
     let machine = machine ~capacitance ~levels in
@@ -190,26 +238,42 @@ let optimize_cmd =
     let t_fast = Dvs_profile.Profile.pinned_time p ~mode:(n - 1) in
     let t_slow = Dvs_profile.Profile.pinned_time p ~mode:0 in
     let deadline = t_fast +. (frac *. (t_slow -. t_fast)) in
-    let options =
-      { Dvs_core.Pipeline.default_options with filter = not no_filter }
+    let config =
+      Dvs_core.Pipeline.Config.make ~filter:(not no_filter)
+        ~solver:(Dvs_milp.Solver.Config.make ?jobs ())
+        ()
     in
     let r =
-      Dvs_core.Pipeline.optimize_multi ~options ~verify_config:machine
+      Dvs_core.Pipeline.optimize_multi ~config ~verify_config:machine
         ~regulator:machine.Dvs_machine.Config.regulator ~memory:mem
         [ { Dvs_core.Formulation.profile = p; weight = 1.0; deadline } ]
     in
+    let milp = r.Dvs_core.Pipeline.milp in
     Format.printf "deadline: %.3f ms (range %.3f..%.3f)@." (deadline *. 1e3)
       (t_fast *. 1e3) (t_slow *. 1e3);
-    Format.printf "MILP: %s, %d nodes, %.3fs, %d binaries@."
-      (match r.Dvs_core.Pipeline.milp.Dvs_milp.Branch_bound.outcome with
-      | Dvs_milp.Branch_bound.Optimal -> "optimal"
-      | Feasible -> "feasible (limit hit)"
-      | Infeasible -> "infeasible"
-      | Unbounded -> "unbounded"
-      | No_solution -> "no solution")
-      r.Dvs_core.Pipeline.milp.Dvs_milp.Branch_bound.nodes
-      r.Dvs_core.Pipeline.solve_seconds
+    Format.printf "MILP: %a, %d binaries@." Dvs_milp.Solver.pp_outcome
+      milp.Dvs_milp.Solver.outcome
       r.Dvs_core.Pipeline.formulation.Dvs_core.Formulation.n_binaries;
+    Format.printf "solver: %a@." Dvs_milp.Solver.pp_stats
+      milp.Dvs_milp.Solver.stats;
+    (match milp.Dvs_milp.Solver.outcome with
+    | Dvs_milp.Solver.No_solution reason ->
+      (* A limit stopped the search before any schedule existed: report
+         why and fail, rather than pretending an empty result is fine. *)
+      Format.eprintf
+        "error: the MILP search hit its %a before finding any feasible \
+         schedule; retry with a higher budget (--jobs, larger limits) or \
+         a laxer deadline@."
+        Dvs_milp.Solver.pp_stop_reason reason;
+      exit 2
+    | Dvs_milp.Solver.Infeasible ->
+      Format.eprintf
+        "error: no schedule can meet this deadline on this machine@.";
+      exit 1
+    | Dvs_milp.Solver.Unbounded ->
+      Format.eprintf "error: unbounded formulation (model bug?)@.";
+      exit 1
+    | Dvs_milp.Solver.Optimal | Dvs_milp.Solver.Feasible _ -> ());
     (match r.Dvs_core.Pipeline.verification with
     | Some v ->
       Format.printf
@@ -245,7 +309,7 @@ let optimize_cmd =
        ~doc:"Place DVS mode-set instructions by MILP and verify them")
     Term.(
       const run $ workload_pos $ input_opt $ capacitance_opt $ levels_opt
-      $ deadline_frac_opt $ no_filter_opt $ save_opt)
+      $ deadline_frac_opt $ no_filter_opt $ save_opt $ jobs_opt)
 
 (* ---------------- apply ---------------- *)
 

@@ -1,3 +1,27 @@
+module Config = struct
+  type t = {
+    filter : bool;
+    filter_threshold : float;
+    solver : Dvs_milp.Solver.Config.t;
+    verify : bool;
+  }
+
+  let make ?(filter = true) ?(filter_threshold = 0.02) ?solver
+      ?(verify = true) () =
+    let solver =
+      match solver with
+      | Some s -> s
+      | None -> Dvs_milp.Solver.Config.make ()
+    in
+    { filter; filter_threshold; solver; verify }
+
+  let default = make ()
+
+  let with_solver solver t = { t with solver }
+end
+
+(* Deprecated record API, kept so existing callers compile; converted to
+   a Config.t internally. *)
 type options = {
   filter : bool;
   filter_threshold : float;
@@ -9,10 +33,14 @@ let default_options =
   { filter = true; filter_threshold = 0.02;
     milp = Dvs_milp.Branch_bound.default_options; verify = true }
 
+let config_of_options (o : options) =
+  { Config.filter = o.filter; filter_threshold = o.filter_threshold;
+    solver = Dvs_milp.Branch_bound.to_config o.milp; verify = o.verify }
+
 type result = {
   categories : Formulation.category list;
   formulation : Formulation.t;
-  milp : Dvs_milp.Branch_bound.result;
+  milp : Dvs_milp.Solver.result;
   predicted_energy : float option;
   schedule : Schedule.t option;
   verification : Verify.report option;
@@ -20,8 +48,14 @@ type result = {
   independent_edges : int;
 }
 
-let optimize_multi ?(options = default_options) ?verify_config ~regulator
-    ~memory categories =
+let optimize_multi ?options ?config ?verify_config ~regulator ~memory
+    categories =
+  let config =
+    match (config, options) with
+    | Some c, _ -> c
+    | None, Some o -> config_of_options o
+    | None, None -> Config.default
+  in
   let profiles =
     List.map (fun (c : Formulation.category) -> c.Formulation.profile)
       categories
@@ -31,10 +65,10 @@ let optimize_multi ?(options = default_options) ?verify_config ~regulator
       categories
   in
   let repr =
-    if options.filter then
+    if config.Config.filter then
       Some
-        (Filter.representatives ~threshold:options.filter_threshold ~weights
-           profiles)
+        (Filter.representatives ~threshold:config.Config.filter_threshold
+           ~weights profiles)
     else None
   in
   let formulation = Formulation.build ?repr ~regulator categories in
@@ -43,42 +77,40 @@ let optimize_multi ?(options = default_options) ?verify_config ~regulator
     | Some r -> Filter.independent_count r
     | None -> Array.length formulation.Formulation.repr
   in
-  let t0 = Sys.time () in
   let n_modes =
     Dvs_power.Mode.size formulation.Formulation.modes
   in
-  let milp_options =
-    { options.milp with
-      Dvs_milp.Branch_bound.sos1 =
-        List.map
-          (fun (_, vars) -> Array.to_list vars)
-          formulation.Formulation.kvars;
-      (* Every edge at the fastest mode is feasible whenever the instance
-         is: seed the incumbent with it. *)
-      warm_start =
-        List.concat_map
-          (fun (_, vars) ->
-            List.init n_modes (fun m ->
-                (vars.(m), if m = n_modes - 1 then 1.0 else 0.0)))
-          formulation.Formulation.kvars }
+  let solver_config =
+    config.Config.solver
+    |> Dvs_milp.Solver.Config.with_sos1
+         (List.map
+            (fun (_, vars) -> Array.to_list vars)
+            formulation.Formulation.kvars)
+    (* Every edge at the fastest mode is feasible whenever the instance
+       is: seed the incumbent with it. *)
+    |> Dvs_milp.Solver.Config.with_warm_start
+         (List.concat_map
+            (fun (_, vars) ->
+              List.init n_modes (fun m ->
+                  (vars.(m), if m = n_modes - 1 then 1.0 else 0.0)))
+            formulation.Formulation.kvars)
   in
   let milp =
-    Dvs_milp.Branch_bound.solve ~options:milp_options
-      formulation.Formulation.model
+    Dvs_milp.Solver.solve ~config:solver_config formulation.Formulation.model
   in
-  let solve_seconds = Sys.time () -. t0 in
+  let solve_seconds = milp.Dvs_milp.Solver.stats.Dvs_milp.Solver.wall_seconds in
   let predicted_energy =
     Option.map
       (fun (s : Dvs_lp.Simplex.solution) -> s.Dvs_lp.Simplex.objective /. 1e6)
-      milp.Dvs_milp.Branch_bound.solution
+      milp.Dvs_milp.Solver.solution
   in
   let schedule =
     Option.map
       (Schedule.of_solution formulation)
-      milp.Dvs_milp.Branch_bound.solution
+      milp.Dvs_milp.Solver.solution
   in
   let verification =
-    match (options.verify, schedule, predicted_energy, categories) with
+    match (config.Config.verify, schedule, predicted_energy, categories) with
     | true, Some schedule, Some predicted_energy, cat0 :: _ ->
       let profile = cat0.Formulation.profile in
       let config =
@@ -94,8 +126,8 @@ let optimize_multi ?(options = default_options) ?verify_config ~regulator
   { categories; formulation; milp; predicted_energy; schedule; verification;
     solve_seconds; independent_edges }
 
-let optimize ?options config cfg ~memory ~deadline =
-  let profile = Dvs_profile.Profile.collect config cfg ~memory in
-  optimize_multi ?options ~regulator:config.Dvs_machine.Config.regulator
-    ~memory
+let optimize ?options ?config machine cfg ~memory ~deadline =
+  let profile = Dvs_profile.Profile.collect machine cfg ~memory in
+  optimize_multi ?options ?config
+    ~regulator:machine.Dvs_machine.Config.regulator ~memory
     [ { Formulation.profile; weight = 1.0; deadline } ]

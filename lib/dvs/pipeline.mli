@@ -1,28 +1,58 @@
 (** End-to-end compile-time DVS: profile -> (filter) -> MILP -> schedule
     -> verify.  The driver behind the experiments and the CLI. *)
 
+(** Builder-style pipeline configuration; construct with {!Config.make}.
+    The MILP leg is configured through a nested
+    {!Dvs_milp.Solver.Config.t}, so callers control parallelism, limits
+    and caching in one place. *)
+module Config : sig
+  type t = {
+    filter : bool;  (** apply Section 5.2 edge filtering (default true) *)
+    filter_threshold : float;  (** default 0.02 *)
+    solver : Dvs_milp.Solver.Config.t;
+    verify : bool;  (** re-simulate the chosen schedule (default true) *)
+  }
+
+  val make :
+    ?filter:bool -> ?filter_threshold:float ->
+    ?solver:Dvs_milp.Solver.Config.t -> ?verify:bool -> unit -> t
+  (** [solver] defaults to [Dvs_milp.Solver.Config.make ()]. *)
+
+  val default : t
+
+  val with_solver : Dvs_milp.Solver.Config.t -> t -> t
+end
+
+(** Deprecated record API; use {!Config.make}.  Kept so existing callers
+    compile — converted internally via {!config_of_options}. *)
 type options = {
-  filter : bool;  (** apply Section 5.2 edge filtering (default true) *)
-  filter_threshold : float;  (** default 0.02 *)
+  filter : bool;
+  filter_threshold : float;
   milp : Dvs_milp.Branch_bound.options;
-  verify : bool;  (** re-simulate the chosen schedule (default true) *)
+  verify : bool;
 }
 
 val default_options : options
+(** Deprecated: use {!Config.default}. *)
+
+val config_of_options : options -> Config.t
 
 type result = {
   categories : Formulation.category list;
   formulation : Formulation.t;
-  milp : Dvs_milp.Branch_bound.result;
+  milp : Dvs_milp.Solver.result;
+      (** full solver result: outcome, solution, bound and
+          {!Dvs_milp.Solver.stats} *)
   predicted_energy : float option;  (** joules (objective / 1e6) *)
   schedule : Schedule.t option;
   verification : Verify.report option;  (** against the first category *)
-  solve_seconds : float;  (** CPU time in the MILP solver *)
+  solve_seconds : float;  (** wall-clock time in the MILP solver *)
   independent_edges : int;  (** after filtering, incl. the virtual edge *)
 }
 
 val optimize_multi :
   ?options:options ->
+  ?config:Config.t ->
   ?verify_config:Dvs_machine.Config.t ->
   regulator:Dvs_power.Switch_cost.regulator ->
   memory:int array ->
@@ -31,10 +61,12 @@ val optimize_multi :
     category's).  [verify_config] overrides the machine used for the
     verification run (default: the first profile's config); pass a config
     carrying [regulator] when sweeping transition costs, so the simulator
-    charges the same costs the MILP modeled. *)
+    charges the same costs the MILP modeled.  [config] wins over the
+    deprecated [options] when both are given. *)
 
 val optimize :
   ?options:options ->
+  ?config:Config.t ->
   Dvs_machine.Config.t -> Dvs_ir.Cfg.t -> memory:int array ->
   deadline:float -> result
 (** Single input category: profiles, then runs {!optimize_multi} with the

@@ -1,11 +1,31 @@
 type solution = { objective : float; values : float array }
 
-type status = Optimal of solution | Infeasible | Unbounded
+type partial = { phase : int; iterations : int }
+
+type status =
+  | Optimal of solution
+  | Infeasible
+  | Unbounded
+  | Iter_limit of partial
+
+(* A basis snapshot at the model level: the variables whose structural
+   columns were basic at the last optimum.  Deliberately coarse — column
+   layouts differ between parent and child models (fixing a variable
+   eliminates its column), so we record variables, not column indices,
+   and re-derive columns on the warm solve. *)
+type basis = { basic_vars : int array }
+
+type stats = { pivots : int; phase1_pivots : int }
+
+let no_stats = { pivots = 0; phase1_pivots = 0 }
 
 let pp_status ppf = function
   | Optimal s -> Format.fprintf ppf "optimal(%g)" s.objective
   | Infeasible -> Format.pp_print_string ppf "infeasible"
   | Unbounded -> Format.pp_print_string ppf "unbounded"
+  | Iter_limit p ->
+    Format.fprintf ppf "iteration-limit(phase %d, %d pivots)" p.phase
+      p.iterations
 
 (* Structural columns.  A model variable becomes:
    - nothing, when its bounds pin it ([Fixed] handled via substitution);
@@ -24,7 +44,7 @@ type col_kind =
 type row = { mutable coeffs : (int * float) list; mutable rhs : float;
              cmp : Model.cmp }
 
-let solve ?(max_iter = 100000) ?(eps = 1e-7) (m : Model.t) =
+let solve_ext ?(max_iter = 100000) ?(eps = 1e-7) ?basis:hint (m : Model.t) =
   let n_model = Model.num_vars m in
   let fixed = Array.make n_model None in
   let cols = ref [] and n_cols = ref 0 in
@@ -53,7 +73,7 @@ let solve ?(max_iter = 100000) ?(eps = 1e-7) (m : Model.t) =
     end
   done;
   if Array.exists (function Some v -> Float.is_nan v | None -> false) fixed
-  then Infeasible
+  then (Infeasible, None, no_stats)
   else begin
     let cols_arr = Array.of_list (List.rev !cols) in
     (* Translate an expression into structural-column coefficients plus a
@@ -200,6 +220,28 @@ let solve ?(max_iter = 100000) ?(eps = 1e-7) (m : Model.t) =
       rows;
     let all_cols = Array.append cols_arr (Array.of_list (List.rev !extra)) in
     let n_total = Array.length all_cols in
+    (* Columns preferred by the warm-start hint: the structural columns of
+       the variables basic in the parent solve.  Pricing enters these
+       first, which re-pivots toward the parent basis instead of
+       rediscovering it from the all-slack start. *)
+    let preferred = Array.make (Int.max 1 n_total) false in
+    let have_hint = ref false in
+    (match hint with
+    | None -> ()
+    | Some h ->
+      Array.iter
+        (fun v ->
+          if v >= 0 && v < n_model then
+            match col_of_var.(v) with
+            | `Absent -> ()
+            | `One j ->
+              preferred.(j) <- true;
+              have_hint := true
+            | `Pair (p, n) ->
+              preferred.(p) <- true;
+              preferred.(n) <- true;
+              have_hint := true)
+        h.basic_vars);
     (* Dense tableau. *)
     let tab = Array.make_matrix n_rows (n_total + 1) 0.0 in
     Array.iteri
@@ -252,9 +294,11 @@ let solve ?(max_iter = 100000) ?(eps = 1e-7) (m : Model.t) =
       trow.(col) <- 1.0;
       basis.(row) <- col
     in
+    let total_pivots = ref 0 and phase1_pivots = ref 0 in
+    let stats () = { pivots = !total_pivots; phase1_pivots = !phase1_pivots } in
     (* One simplex phase on cost vector [c]; [allow j] filters entering
-       candidates.  Returns [`Optimal] or [`Unbounded]. *)
-    let run_phase c ~allow =
+       candidates.  Returns [`Optimal], [`Unbounded] or [`Iter_limit]. *)
+    let run_phase ~phase c ~allow =
       let iter = ref 0 in
       let result = ref `Running in
       (* Dantzig pricing while the objective makes progress; switch to
@@ -263,64 +307,94 @@ let solve ?(max_iter = 100000) ?(eps = 1e-7) (m : Model.t) =
       let bland = ref false in
       let best_z = ref infinity and stall = ref 0 in
       while !result = `Running do
-        if !iter > max_iter then
-          failwith "Simplex.solve: iteration limit exceeded";
-        let redcost, z = reduced_costs c in
-        if z < !best_z -. (1e-9 *. Float.max 1.0 (Float.abs !best_z)) then begin
-          best_z := z;
-          stall := 0
-        end
+        if !iter > max_iter then result := `Iter_limit
         else begin
-          incr stall;
-          if !stall > 200 then bland := true
-        end;
-        (* Entering column. *)
-        let entering = ref (-1) in
-        if not !bland then begin
-          let best = ref (-.eps) in
-          for j = 0 to n_total - 1 do
-            if allow j && redcost.(j) < !best then begin
-              best := redcost.(j);
-              entering := j
-            end
-          done
-        end
-        else begin
-          (* Bland: first improving column. *)
-          let j = ref 0 in
-          while !entering < 0 && !j < n_total do
-            if allow !j && redcost.(!j) < -.eps then entering := !j;
-            incr j
-          done
-        end;
-        if !entering < 0 then result := `Optimal
-        else begin
-          let e = !entering in
-          (* Ratio test; ties broken by smallest basis column (Bland). *)
-          let leave = ref (-1) and best_ratio = ref infinity in
-          for i = 0 to n_rows - 1 do
-            let a = tab.(i).(e) in
-            if a > 1e-9 then begin
-              let ratio = tab.(i).(n_total) /. a in
-              if
-                ratio < !best_ratio -. 1e-12
-                || (ratio < !best_ratio +. 1e-12
-                    && !leave >= 0
-                    && basis.(i) < basis.(!leave))
-              then begin
-                best_ratio := ratio;
-                leave := i
-              end
-            end
-          done;
-          if !leave < 0 then result := `Unbounded
+          let redcost, z = reduced_costs c in
+          if z < !best_z -. (1e-9 *. Float.max 1.0 (Float.abs !best_z))
+          then begin
+            best_z := z;
+            stall := 0
+          end
           else begin
-            pivot ~row:!leave ~col:e;
-            incr iter
+            incr stall;
+            if !stall > 200 then bland := true
+          end;
+          (* Entering column. *)
+          let entering = ref (-1) in
+          if not !bland then begin
+            (* Warm start: enter the best improving hinted column when one
+               exists; otherwise full Dantzig pricing. *)
+            if !have_hint then begin
+              let best = ref (-.eps) in
+              for j = 0 to n_total - 1 do
+                if preferred.(j) && allow j && redcost.(j) < !best then begin
+                  best := redcost.(j);
+                  entering := j
+                end
+              done
+            end;
+            if !entering < 0 then begin
+              let best = ref (-.eps) in
+              for j = 0 to n_total - 1 do
+                if allow j && redcost.(j) < !best then begin
+                  best := redcost.(j);
+                  entering := j
+                end
+              done
+            end
+          end
+          else begin
+            (* Bland: first improving column. *)
+            let j = ref 0 in
+            while !entering < 0 && !j < n_total do
+              if allow !j && redcost.(!j) < -.eps then entering := !j;
+              incr j
+            done
+          end;
+          if !entering < 0 then result := `Optimal
+          else begin
+            let e = !entering in
+            (* Ratio test; ties broken by smallest basis column (Bland). *)
+            let leave = ref (-1) and best_ratio = ref infinity in
+            for i = 0 to n_rows - 1 do
+              let a = tab.(i).(e) in
+              if a > 1e-9 then begin
+                let ratio = tab.(i).(n_total) /. a in
+                if
+                  ratio < !best_ratio -. 1e-12
+                  || (ratio < !best_ratio +. 1e-12
+                      && !leave >= 0
+                      && basis.(i) < basis.(!leave))
+                then begin
+                  best_ratio := ratio;
+                  leave := i
+                end
+              end
+            done;
+            if !leave < 0 then result := `Unbounded
+            else begin
+              pivot ~row:!leave ~col:e;
+              incr iter;
+              incr total_pivots;
+              if phase = 1 then incr phase1_pivots
+            end
           end
         end
       done;
       !result
+    in
+    let extract_basis () =
+      let seen = Hashtbl.create 16 in
+      Array.iter
+        (fun col ->
+          if col >= 0 && col < n_total then
+            match all_cols.(col) with
+            | Shifted (v, _) | Mirrored (v, _) | Pos v | Neg v ->
+              Hashtbl.replace seen v ()
+            | Slack | Artificial -> ())
+        basis;
+      let vars = Hashtbl.fold (fun v () acc -> v :: acc) seen [] in
+      { basic_vars = Array.of_list (List.sort compare vars) }
     in
     (* Phase 1: minimize the sum of artificials. *)
     let c1 = Array.make n_total 0.0 in
@@ -328,11 +402,12 @@ let solve ?(max_iter = 100000) ?(eps = 1e-7) (m : Model.t) =
       if is_artificial j then c1.(j) <- 1.0
     done;
     let phase1_needed = Array.exists (fun k -> k = Artificial) all_cols in
-    let feasible =
-      if not phase1_needed then true
+    let phase1 =
+      if not phase1_needed then `Feasible
       else begin
-        match run_phase c1 ~allow:(fun _ -> true) with
+        match run_phase ~phase:1 c1 ~allow:(fun _ -> true) with
         | `Unbounded -> assert false (* phase-1 objective is bounded below *)
+        | `Iter_limit -> `Iter_limit
         | `Optimal | `Running ->
           let _, z = reduced_costs c1 in
           let scale =
@@ -340,11 +415,15 @@ let solve ?(max_iter = 100000) ?(eps = 1e-7) (m : Model.t) =
               (fun a r -> Float.max a (Float.abs r.rhs))
               1.0 rows
           in
-          Float.abs z <= eps *. 10.0 *. scale
+          if Float.abs z <= eps *. 10.0 *. scale then `Feasible
+          else `Infeasible
       end
     in
-    if not feasible then Infeasible
-    else begin
+    match phase1 with
+    | `Iter_limit ->
+      (Iter_limit { phase = 1; iterations = !total_pivots }, None, stats ())
+    | `Infeasible -> (Infeasible, None, stats ())
+    | `Feasible -> begin
       (* Drive basic artificials (at value 0) out where possible. *)
       for i = 0 to n_rows - 1 do
         if is_artificial basis.(i) then begin
@@ -365,8 +444,10 @@ let solve ?(max_iter = 100000) ?(eps = 1e-7) (m : Model.t) =
       let c2 = Array.make n_total 0.0 in
       let obj_coeffs, _obj_offset = translate obj in
       List.iter (fun (j, c) -> c2.(j) <- obj_sign *. c) obj_coeffs;
-      match run_phase c2 ~allow:(fun j -> not (is_artificial j)) with
-      | `Unbounded -> Unbounded
+      match run_phase ~phase:2 c2 ~allow:(fun j -> not (is_artificial j)) with
+      | `Unbounded -> (Unbounded, None, stats ())
+      | `Iter_limit ->
+        (Iter_limit { phase = 2; iterations = !total_pivots }, None, stats ())
       | `Running -> assert false
       | `Optimal ->
         (* Recover structural values. *)
@@ -390,6 +471,14 @@ let solve ?(max_iter = 100000) ?(eps = 1e-7) (m : Model.t) =
               | `Pair (p, n) -> col_val.(p) -. col_val.(n)))
         done;
         let objective = Expr.eval (fun i -> values.(i)) obj in
-        Optimal { objective; values }
+        (Optimal { objective; values }, Some (extract_basis ()), stats ())
     end
   end
+
+let solve ?max_iter ?eps m =
+  let st, _, _ = solve_ext ?max_iter ?eps m in
+  st
+
+let solve_from_basis ?max_iter ?eps basis m =
+  let st, _, _ = solve_ext ?max_iter ?eps ~basis m in
+  st

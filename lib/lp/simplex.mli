@@ -6,6 +6,17 @@
     for anti-cycling.  Integrality markers on variables are ignored — this
     solves the relaxation; {!Dvs_milp} adds branch and bound on top.
 
+    Termination trouble is a value, not an exception: hitting the pivot
+    budget returns {!Iter_limit} instead of raising [Failure], so callers
+    (notably {!Dvs_milp.Solver}) can surface it as a typed outcome.
+
+    Re-solves of nearby models (branch-and-bound children differing from
+    the parent by one variable's bounds) can warm start from the parent's
+    {!basis} via {!solve_ext} or {!solve_from_basis}: pricing then pivots
+    the parent's basic columns in first instead of rediscovering the basis
+    from the all-slack start, which cuts phase-1 work sharply on the DVS
+    instances.
+
     Sized for the paper's instances (hundreds of rows/columns), not for
     industrial LPs. *)
 
@@ -14,12 +25,47 @@ type solution = {
   values : float array;  (** indexed by {!Model.var} *)
 }
 
-type status = Optimal of solution | Infeasible | Unbounded
+type partial = {
+  phase : int;  (** simplex phase that hit the budget (1 or 2) *)
+  iterations : int;  (** pivots performed before stopping *)
+}
+
+type status =
+  | Optimal of solution
+  | Infeasible
+  | Unbounded
+  | Iter_limit of partial
+      (** the per-phase pivot budget ran out before optimality was
+          proven; no solution is available *)
+
+type basis
+(** Opaque snapshot of the optimal basis, expressed at the model level
+    (which variables were basic), so it remains meaningful for child
+    models whose column layout differs (e.g. after fixing a variable). *)
+
+type stats = {
+  pivots : int;  (** total pivots across both phases *)
+  phase1_pivots : int;  (** pivots spent reaching feasibility *)
+}
 
 val solve : ?max_iter:int -> ?eps:float -> Model.t -> status
 (** [eps] is the master tolerance (default [1e-7]): reduced-cost threshold
     and (scaled) feasibility threshold.  [max_iter] bounds pivots per phase
-    (default 100000); Bland's rule engages after [2 * (rows + cols)] pivots,
-    so termination failure raises [Failure] rather than silently looping. *)
+    (default 100000); Bland's rule engages after 200 stalled iterations,
+    so running out of budget yields {!Iter_limit} rather than silently
+    looping. *)
+
+val solve_ext :
+  ?max_iter:int -> ?eps:float -> ?basis:basis -> Model.t ->
+  status * basis option * stats
+(** Like {!solve}, additionally returning the optimal basis (when the
+    status is [Optimal]) and pivot statistics.  [basis] warm starts the
+    search from a previous solve's basis: correctness is unaffected (the
+    hint only reorders pricing), but related re-solves converge in far
+    fewer pivots. *)
+
+val solve_from_basis : ?max_iter:int -> ?eps:float -> basis -> Model.t -> status
+(** [solve_from_basis b m] is [solve m] warm started from basis [b]
+    (typically obtained from {!solve_ext} on a closely related model). *)
 
 val pp_status : Format.formatter -> status -> unit

@@ -1,3 +1,7 @@
+(* Deprecated compatibility shim over Solver: the historical sequential
+   branch-and-bound API, kept so existing callers compile.  New code
+   should use Solver directly. *)
+
 open Dvs_lp
 
 type options = {
@@ -28,289 +32,21 @@ type result = {
   nodes : int;
 }
 
-type node = {
-  overrides : (Model.var * float * float) list;
-  bound : float;  (* objective of the parent relaxation: a valid bound *)
-  depth : int;
-}
-
-let apply_overrides model overrides =
-  let m = Model.copy model in
-  List.iter (fun (v, lb, ub) -> Model.set_bounds m v ~lb ~ub) overrides;
-  m
-
-(* Effective bounds of [v] at a node: innermost override wins (overrides
-   are consed, so the first match is the most recent). *)
-let effective_bounds model overrides v =
-  match List.find_opt (fun (v', _, _) -> v' = v) overrides with
-  | Some (_, lb, ub) -> (lb, ub)
-  | None -> Model.bounds model v
-
-let most_fractional ~int_tol int_vars (sol : Simplex.solution) =
-  let best = ref None in
-  List.iter
-    (fun v ->
-      let x = sol.values.(v) in
-      let frac = x -. Float.of_int (int_of_float (Float.floor x)) in
-      let dist = Float.min frac (1.0 -. frac) in
-      if dist > int_tol then
-        match !best with
-        | Some (_, d) when d >= dist -> ()
-        | _ -> best := Some (v, dist))
-    int_vars;
-  Option.map fst !best
+let to_config (o : options) =
+  Solver.Config.make ~jobs:1 ~max_nodes:o.max_nodes ?time_limit:o.time_limit
+    ~gap_rel:o.gap_rel ~int_tol:o.int_tol ~rounding:o.rounding ?log:o.log ()
+  |> Solver.Config.with_sos1 o.sos1
+  |> Solver.Config.with_warm_start o.warm_start
 
 let solve ?(options = default_options) model =
-  let sense, _ = Model.objective model in
-  (* [better a b]: objective [a] beats [b]. *)
-  let better a b =
-    match sense with Model.Minimize -> a < b | Maximize -> a > b
+  let r = Solver.solve ~config:(to_config options) model in
+  let outcome =
+    match r.Solver.outcome with
+    | Solver.Optimal -> Optimal
+    | Solver.Feasible _ -> Feasible
+    | Solver.Infeasible -> Infeasible
+    | Solver.Unbounded -> Unbounded
+    | Solver.No_solution _ -> No_solution
   in
-  let worst = match sense with Model.Minimize -> infinity | _ -> neg_infinity in
-  let int_vars = Model.integer_vars model in
-  let log fmt =
-    Format.kasprintf
-      (fun s -> match options.log with Some f -> f s | None -> ())
-      fmt
-  in
-  let start = Sys.time () in
-  let out_of_time () =
-    match options.time_limit with
-    | Some l -> Sys.time () -. start > l
-    | None -> false
-  in
-  let incumbent = ref None in
-  let incumbent_obj () =
-    match !incumbent with Some (s : Simplex.solution) -> s.objective | None -> worst
-  in
-  let try_incumbent (s : Simplex.solution) =
-    if better s.objective (incumbent_obj ()) then begin
-      incumbent := Some s;
-      log "incumbent %g" s.objective
-    end
-  in
-  let is_integral (s : Simplex.solution) =
-    List.for_all
-      (fun v ->
-        let x = s.values.(v) in
-        Float.abs (x -. Float.round x) <= options.int_tol)
-      int_vars
-  in
-  (* Rounding heuristic: SOS1 groups round to their largest member (one
-     on, rest off, respecting fixed bounds); remaining integers round to
-     the nearest value.  Complete with an LP. *)
-  let in_sos1 =
-    let tbl = Hashtbl.create 16 in
-    List.iter (fun g -> List.iter (fun v -> Hashtbl.replace tbl v ()) g)
-      options.sos1;
-    fun v -> Hashtbl.mem tbl v
-  in
-  let rounding_pass overrides (s : Simplex.solution) =
-    if options.rounding && int_vars <> [] then begin
-      let m = apply_overrides model overrides in
-      let ok = ref true in
-      List.iter
-        (fun group ->
-          (* Largest-value member whose bounds still allow 1. *)
-          let best = ref None in
-          List.iter
-            (fun v ->
-              let _, ub = Model.bounds m v in
-              if ub >= 1.0 then
-                match !best with
-                | Some (_, x) when x >= s.values.(v) -> ()
-                | _ -> best := Some (v, s.values.(v)))
-            group;
-          match !best with
-          | None -> ok := false
-          | Some (winner, _) ->
-            List.iter
-              (fun v ->
-                let lb, ub = Model.bounds m v in
-                let x = if v = winner then 1.0 else 0.0 in
-                if x < lb || x > ub then ok := false
-                else Model.set_bounds m v ~lb:x ~ub:x)
-              group)
-        options.sos1;
-      List.iter
-        (fun v ->
-          if not (in_sos1 v) then begin
-            let lb, ub = Model.bounds m v in
-            let x = Float.max lb (Float.min ub (Float.round s.values.(v))) in
-            if Float.abs (x -. Float.round x) <= options.int_tol then
-              Model.set_bounds m v ~lb:x ~ub:x
-            else ok := false
-          end)
-        int_vars;
-      if !ok then
-        match Simplex.solve m with
-        | Simplex.Optimal s' -> try_incumbent s'
-        | Simplex.Infeasible | Simplex.Unbounded -> ()
-    end
-  in
-  (* Diving heuristic: walk down from a relaxation by fixing the most
-     fractional integer each step (one flip retry on infeasibility).
-     Produces an early incumbent when plain rounding violates a tight
-     constraint. *)
-  let dive overrides (s0 : Simplex.solution) =
-    let budget = ref (2 * List.length int_vars) in
-    let rec go overrides (s : Simplex.solution) =
-      if !budget <= 0 then ()
-      else begin
-        decr budget;
-        match most_fractional ~int_tol:options.int_tol int_vars s with
-        | None -> try_incumbent s
-        | Some v ->
-          let lb, ub = effective_bounds model overrides v in
-          let x = Float.round s.values.(v) in
-          let x = Float.max lb (Float.min ub x) in
-          let try_fix x =
-            let overrides' = (v, x, x) :: overrides in
-            match Simplex.solve (apply_overrides model overrides') with
-            | Simplex.Optimal s' -> Some (overrides', s')
-            | Simplex.Infeasible | Simplex.Unbounded -> None
-            | exception Failure _ -> None
-          in
-          let alt =
-            (* The other admissible integer next to the relaxation value. *)
-            let x' =
-              if x > s.values.(v) then Float.floor s.values.(v)
-              else Float.ceil s.values.(v)
-            in
-            if x' >= lb && x' <= ub && x' <> x then Some x' else None
-          in
-          (match try_fix x with
-          | Some (o', s') -> go o' s'
-          | None -> (
-            match alt with
-            | Some x' -> (
-              match try_fix x' with
-              | Some (o', s') -> go o' s'
-              | None -> ())
-            | None -> ()))
-      end
-    in
-    go overrides s0
-  in
-  let gap_prune bound =
-    match !incumbent with
-    | None -> false
-    | Some s ->
-      let inc = s.Simplex.objective in
-      let slack = options.gap_rel *. Float.max 1.0 (Float.abs inc) in
-      (match sense with
-      | Model.Minimize -> bound >= inc -. slack
-      | Maximize -> bound <= inc +. slack)
-  in
-  let cmp_nodes a b =
-    let c =
-      match sense with
-      | Model.Minimize -> Float.compare a.bound b.bound
-      | Maximize -> Float.compare b.bound a.bound
-    in
-    if c <> 0 then c else compare b.depth a.depth
-  in
-  let queue = Heap.create ~cmp:cmp_nodes in
-  let nodes = ref 0 in
-  let unbounded = ref false in
-  let stopped_early = ref false in
-  (* Best proven bound = best over open nodes once the root is solved. *)
-  let finish () =
-    let open_bound =
-      match Heap.peek queue with Some n -> n.bound | None -> incumbent_obj ()
-    in
-    let bound =
-      if Heap.is_empty queue then incumbent_obj () else open_bound
-    in
-    match !incumbent with
-    | Some s ->
-      let outcome =
-        if !stopped_early && not (gap_prune bound) then Feasible else Optimal
-      in
-      { outcome; solution = Some s; bound; nodes = !nodes }
-    | None ->
-      if !unbounded then
-        { outcome = Unbounded; solution = None; bound; nodes = !nodes }
-      else if !stopped_early then
-        { outcome = No_solution; solution = None; bound; nodes = !nodes }
-      else { outcome = Infeasible; solution = None; bound; nodes = !nodes }
-  in
-  (* Seed the incumbent from the caller's known-feasible fixing. *)
-  if options.warm_start <> [] then begin
-    let m = Model.copy model in
-    List.iter (fun (v, x) -> Model.set_bounds m v ~lb:x ~ub:x)
-      options.warm_start;
-    match Simplex.solve m with
-    | Simplex.Optimal s when is_integral s ->
-      let values = Array.copy s.values in
-      List.iter (fun v -> values.(v) <- Float.round values.(v)) int_vars;
-      try_incumbent { s with values }
-    | Simplex.Optimal _ | Simplex.Infeasible | Simplex.Unbounded -> ()
-    | exception Failure _ -> ()
-  end;
-  let root_bound =
-    match sense with Model.Minimize -> neg_infinity | _ -> infinity
-  in
-  Heap.push queue { overrides = []; bound = root_bound; depth = 0 };
-  let continue_search = ref true in
-  while !continue_search do
-    if Heap.is_empty queue then continue_search := false
-    else if !nodes >= options.max_nodes || out_of_time () then begin
-      stopped_early := true;
-      continue_search := false
-    end
-    else begin
-      let n = Option.get (Heap.pop queue) in
-      if gap_prune n.bound then ( (* fathomed by a newer incumbent *) )
-      else begin
-        incr nodes;
-        let m = apply_overrides model n.overrides in
-        match
-          try Simplex.solve m
-          with Failure _ ->
-            (* Numerical trouble in this node's relaxation: stop cleanly
-               with the incumbent rather than crash the search. *)
-            stopped_early := true;
-            continue_search := false;
-            Simplex.Infeasible
-        with
-        | _ when not !continue_search -> ()
-        | Simplex.Infeasible -> ()
-        | Simplex.Unbounded ->
-          unbounded := true;
-          continue_search := false
-        | Simplex.Optimal s ->
-          if gap_prune s.objective then ()
-          else if is_integral s then begin
-            (* Snap integer values exactly. *)
-            let values = Array.copy s.values in
-            List.iter
-              (fun v -> values.(v) <- Float.round values.(v))
-              int_vars;
-            try_incumbent { s with values }
-          end
-          else begin
-            if n.depth = 0 || !nodes mod 25 = 0 then
-              rounding_pass n.overrides s;
-            if n.depth = 0 && !incumbent = None then dive n.overrides s;
-            match most_fractional ~int_tol:options.int_tol int_vars s with
-            | None -> try_incumbent s
-            | Some v ->
-              let x = s.values.(v) in
-              let lb, ub = effective_bounds model n.overrides v in
-              let fl = Float.floor x and ce = Float.ceil x in
-              if fl >= lb then
-                Heap.push queue
-                  { overrides = (v, lb, fl) :: n.overrides;
-                    bound = s.objective; depth = n.depth + 1 };
-              if ce <= ub then
-                Heap.push queue
-                  { overrides = (v, ce, ub) :: n.overrides;
-                    bound = s.objective; depth = n.depth + 1 }
-          end
-      end
-    end
-  done;
-  let r = finish () in
-  log "done: %d nodes, bound %g" r.nodes r.bound;
-  r
+  { outcome; solution = r.Solver.solution; bound = r.Solver.bound;
+    nodes = r.Solver.stats.Solver.nodes }

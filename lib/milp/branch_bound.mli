@@ -1,17 +1,21 @@
-(** Branch and bound over the {!Dvs_lp.Simplex} relaxation.
+(** Deprecated sequential facade over {!Solver}.
 
-    Best-bound node selection, most-fractional branching, and a
-    fix-and-complete rounding heuristic that seeds the incumbent early.
-    This is the solver that replaces the paper's CPLEX: the DVS MILPs it
-    targets have a few hundred binaries (after edge filtering) with a
-    one-mode-per-edge SOS1 structure whose LP relaxations are close to
-    integral, so a textbook search suffices. *)
+    This is the historical branch-and-bound API, kept as a thin shim so
+    existing callers keep compiling: [solve] forwards to {!Solver.solve}
+    with [jobs = 1] and collapses the richer {!Solver.outcome} and
+    {!Solver.stats} back into the old shapes.  New code should use
+    {!Solver} directly — it adds parallel search, basis warm starts, the
+    LP-relaxation cache and per-solve statistics.
+
+    Note one semantic refinement inherited from {!Solver}: [time_limit]
+    is wall-clock seconds (previously CPU seconds; identical for the
+    sequential searches this shim runs). *)
 
 type options = {
   max_nodes : int;  (** node budget; default 200_000 *)
   int_tol : float;  (** integrality tolerance; default 1e-6 *)
   gap_rel : float;  (** relative optimality gap to stop at; default 1e-9 *)
-  time_limit : float option;  (** CPU seconds *)
+  time_limit : float option;  (** wall-clock seconds *)
   rounding : bool;
       (** run the rounding heuristic (root and periodically) *)
   sos1 : Dvs_lp.Model.var list list;
@@ -25,6 +29,10 @@ type options = {
 }
 
 val default_options : options
+
+val to_config : options -> Solver.Config.t
+(** The {!Solver} configuration equivalent to these options (with
+    [jobs = 1]); the migration path for callers moving off this shim. *)
 
 type outcome =
   | Optimal  (** proven within the gap *)
@@ -41,5 +49,4 @@ type result = {
 }
 
 val solve : ?options:options -> Dvs_lp.Model.t -> result
-(** Integrality markers on the model's variables are enforced; everything
-    else is as in the LP.  Works for both senses. *)
+(** Deprecated: use {!Solver.solve}. *)

@@ -1,0 +1,109 @@
+(* Memo cache for LP-relaxation solves, keyed by a structural fingerprint
+   of the model plus the canonical set of bound fixings applied on top of
+   it.  The sweep drivers in bench/ solve hundreds of near-identical
+   models (same formulation, repeated warm-start seeds and shallow
+   branch-and-bound prefixes); sharing one cache across those solves
+   short-circuits the repeated work.
+
+   Thread-safe: the table is mutex-protected, and the closure computing a
+   missing entry runs *outside* the lock so concurrent workers never
+   serialize on an LP solve.  Two workers may race to compute the same
+   key; the first store wins and the loser's result is discarded, which
+   keeps cached entries a deterministic function of the key (see
+   {!Solver}'s determinism note). *)
+
+open Dvs_lp
+
+type key = {
+  fp : int;
+  fixings : (Model.var * float * float) list;  (* sorted by var *)
+}
+
+type t = {
+  mutex : Mutex.t;
+  table : (key, Simplex.status * Simplex.basis option) Hashtbl.t;
+  max_entries : int;
+  mutable hits : int;
+  mutable misses : int;
+}
+
+let create ?(max_entries = 4096) () =
+  { mutex = Mutex.create (); table = Hashtbl.create 64; max_entries;
+    hits = 0; misses = 0 }
+
+let hits t =
+  Mutex.lock t.mutex;
+  let h = t.hits in
+  Mutex.unlock t.mutex;
+  h
+
+let misses t =
+  Mutex.lock t.mutex;
+  let m = t.misses in
+  Mutex.unlock t.mutex;
+  m
+
+let length t =
+  Mutex.lock t.mutex;
+  let n = Hashtbl.length t.table in
+  Mutex.unlock t.mutex;
+  n
+
+(* FNV-1a over the model's structure: bounds, integrality, constraint
+   matrix and objective.  Floats are hashed by their bit patterns, so two
+   models fingerprint equal only when they are numerically identical. *)
+let fnv_prime = 0x100000001b3
+
+let combine h x = (h lxor x) * fnv_prime
+
+let combine_float h f = combine h (Int64.to_int (Int64.bits_of_float f))
+
+let combine_expr h e =
+  List.fold_left
+    (fun h (v, c) -> combine_float (combine h v) c)
+    (combine_float h (Expr.const e))
+    (Expr.coeffs e)
+
+let fingerprint m =
+  let h = ref (combine 0x811c9dc5 (Model.num_vars m)) in
+  for v = 0 to Model.num_vars m - 1 do
+    let lb, ub = Model.bounds m v in
+    h := combine_float (combine_float !h lb) ub;
+    h := combine !h (if Model.is_integer m v then 1 else 0)
+  done;
+  List.iter
+    (fun (c : Model.constr) ->
+      let cmp = match c.cmp with Model.Le -> 0 | Ge -> 1 | Eq -> 2 in
+      h := combine_float (combine (combine_expr !h c.expr) cmp) c.rhs)
+    (Model.constraints m);
+  let sense, obj = Model.objective m in
+  h := combine (combine_expr !h obj)
+         (match sense with Model.Minimize -> 0 | Maximize -> 1);
+  !h
+
+(* Cached solutions are shared, so hand each hit its own copy of the
+   mutable value array. *)
+let copy_status = function
+  | Simplex.Optimal s ->
+    Simplex.Optimal { s with Simplex.values = Array.copy s.Simplex.values }
+  | (Simplex.Infeasible | Simplex.Unbounded | Simplex.Iter_limit _) as st ->
+    st
+
+let find_or_add t ~fingerprint ~fixings compute =
+  let key = { fp = fingerprint; fixings } in
+  Mutex.lock t.mutex;
+  match Hashtbl.find_opt t.table key with
+  | Some (st, basis) ->
+    t.hits <- t.hits + 1;
+    Mutex.unlock t.mutex;
+    (copy_status st, basis)
+  | None ->
+    t.misses <- t.misses + 1;
+    Mutex.unlock t.mutex;
+    let ((st, basis) as r) = compute () in
+    Mutex.lock t.mutex;
+    if Hashtbl.length t.table < t.max_entries
+       && not (Hashtbl.mem t.table key)
+    then Hashtbl.add t.table key (copy_status st, basis);
+    Mutex.unlock t.mutex;
+    r

@@ -1,0 +1,37 @@
+(** Thread-safe memo cache for LP-relaxation solves.
+
+    Entries are keyed by a structural {!fingerprint} of the model plus the
+    canonical list of bound fixings layered on top of it, so a cache can
+    be shared across many {!Solver} runs over the same formulation (the
+    bench sweep drivers re-solve near-identical models hundreds of times)
+    as well as within one run.  Capacity is bounded: once [max_entries]
+    distinct keys are stored, further inserts are dropped (lookups still
+    work), so a runaway search cannot exhaust memory. *)
+
+type t
+
+val create : ?max_entries:int -> unit -> t
+(** [max_entries] defaults to 4096. *)
+
+val fingerprint : Dvs_lp.Model.t -> int
+(** Structural hash of bounds, integrality, constraints and objective
+    (FNV-1a over exact float bit patterns).  Two models sharing a
+    fingerprint are treated as identical by the cache. *)
+
+val find_or_add :
+  t ->
+  fingerprint:int ->
+  fixings:(Dvs_lp.Model.var * float * float) list ->
+  (unit -> Dvs_lp.Simplex.status * Dvs_lp.Simplex.basis option) ->
+  Dvs_lp.Simplex.status * Dvs_lp.Simplex.basis option
+(** [find_or_add t ~fingerprint ~fixings compute] returns the cached
+    result for the key, or runs [compute] (outside the cache lock) and
+    stores its result.  [fixings] must be canonical: one entry per
+    variable, sorted by variable index.  Hits return a private copy of
+    the solution's value array. *)
+
+val hits : t -> int
+
+val misses : t -> int
+
+val length : t -> int

@@ -1,0 +1,553 @@
+(* Parallel, warm-started branch and bound over the Dvs_lp.Simplex
+   relaxation — the single MILP entry point for the pipeline, the CLI and
+   the experiment harness.
+
+   Architecture:
+   - one Domain per job; each worker owns a best-bound Work_queue of open
+     nodes, pushes the children it generates locally, and steals the best
+     node of a victim when its own queue runs dry;
+   - child nodes warm start their LP from the parent's optimal basis
+     (Simplex.solve_ext), re-pivoting instead of re-running two-phase
+     from scratch;
+   - shallow relaxations go through a fingerprint-keyed Lp_cache that can
+     be shared across solves, which is what the bench sweep drivers do;
+   - the incumbent is merged deterministically: strictly better objective
+     wins, an exactly equal objective is tie-broken toward the
+     lexicographically smallest node path, so the reported objective is
+     reproducible regardless of worker count.
+
+   Determinism argument (why jobs=1 and jobs=4 report the same
+   objective): a node is fathomed only when its parent-relaxation bound
+   is within gap_rel slack of the current incumbent, and the incumbent
+   only improves over time, so no fathoming can discard a solution more
+   than gap_rel better than the final incumbent — in particular, with the
+   default gap (1e-9 relative) the optimum itself always survives to be
+   found.  Cacheable (shallow) relaxations are additionally solved
+   without the basis hint, so a cached entry is a pure function of its
+   key and never depends on which worker computed it first. *)
+
+open Dvs_lp
+
+module Config = struct
+  type t = {
+    jobs : int;
+    max_nodes : int;
+    int_tol : float;
+    gap_rel : float;
+    time_limit : float option;
+    rounding : bool;
+    sos1 : Model.var list list;
+    warm_start : (Model.var * float) list;
+    log : (string -> unit) option;
+    cache : Lp_cache.t option;
+    cache_depth : int;
+  }
+
+  let make ?jobs ?(max_nodes = 200_000) ?time_limit ?(gap_rel = 1e-9)
+      ?(int_tol = 1e-6) ?(rounding = true) ?log ?cache ?(cache_depth = 4)
+      () =
+    let jobs =
+      match jobs with
+      | Some j when j >= 1 -> j
+      | Some _ -> invalid_arg "Solver.Config.make: jobs must be >= 1"
+      | None -> Domain.recommended_domain_count ()
+    in
+    { jobs; max_nodes; int_tol; gap_rel; time_limit; rounding; sos1 = [];
+      warm_start = []; log; cache; cache_depth }
+
+  let default = make ()
+
+  let with_jobs jobs t =
+    if jobs < 1 then invalid_arg "Solver.Config.with_jobs: jobs must be >= 1";
+    { t with jobs }
+
+  let with_sos1 sos1 t = { t with sos1 }
+
+  let with_warm_start warm_start t = { t with warm_start }
+
+  let with_log log t = { t with log = Some log }
+
+  let with_cache cache t = { t with cache = Some cache }
+end
+
+type stop_reason = Node_limit | Time_limit | Iter_limit
+
+let pp_stop_reason ppf r =
+  Format.pp_print_string ppf
+    (match r with
+    | Node_limit -> "node limit"
+    | Time_limit -> "time limit"
+    | Iter_limit -> "simplex iteration limit")
+
+type outcome =
+  | Optimal
+  | Feasible of stop_reason
+  | Infeasible
+  | Unbounded
+  | No_solution of stop_reason
+
+let pp_outcome ppf = function
+  | Optimal -> Format.pp_print_string ppf "optimal"
+  | Feasible r -> Format.fprintf ppf "feasible (%a hit)" pp_stop_reason r
+  | Infeasible -> Format.pp_print_string ppf "infeasible"
+  | Unbounded -> Format.pp_print_string ppf "unbounded"
+  | No_solution r -> Format.fprintf ppf "no solution (%a hit)" pp_stop_reason r
+
+type stats = {
+  nodes : int;
+  lp_solves : int;
+  lp_pivots : int;
+  cache_hits : int;
+  cache_misses : int;
+  wall_seconds : float;
+  cpu_seconds : float;
+  workers : int;
+  worker_nodes : int array;
+}
+
+let worker_utilization s =
+  let mx = Array.fold_left Int.max 0 s.worker_nodes in
+  if mx = 0 then 1.0
+  else
+    let total = Array.fold_left ( + ) 0 s.worker_nodes in
+    float_of_int total /. (float_of_int mx *. float_of_int s.workers)
+
+let pp_stats ppf s =
+  Format.fprintf ppf
+    "%d nodes, %d LP solves, %d pivots, cache %d/%d, %.3fs wall / %.3fs \
+     cpu, %d worker%s (util %.0f%%)"
+    s.nodes s.lp_solves s.lp_pivots s.cache_hits
+    (s.cache_hits + s.cache_misses) s.wall_seconds s.cpu_seconds s.workers
+    (if s.workers = 1 then "" else "s")
+    (100.0 *. worker_utilization s)
+
+type result = {
+  outcome : outcome;
+  solution : Simplex.solution option;
+  bound : float;
+  stats : stats;
+}
+
+(* An open node: bound overrides relative to the base model, the parent
+   relaxation's objective (a valid bound on the subtree), and the branch
+   path from the root (innermost decision first) — the deterministic node
+   identity used for incumbent tie-breaking. *)
+type node = {
+  overrides : (Model.var * float * float) list;
+  bound : float;
+  depth : int;
+  path : int list;
+  basis : Simplex.basis option;
+}
+
+let apply_overrides model overrides =
+  let m = Model.copy model in
+  List.iter (fun (v, lb, ub) -> Model.set_bounds m v ~lb ~ub) overrides;
+  m
+
+(* Effective bounds of [v] at a node: innermost override wins (overrides
+   are consed, so the first match is the most recent). *)
+let effective_bounds model overrides v =
+  match List.find_opt (fun (v', _, _) -> v' = v) overrides with
+  | Some (_, lb, ub) -> (lb, ub)
+  | None -> Model.bounds model v
+
+(* Canonical fixing list for cache keys: innermost override per variable,
+   sorted by variable index. *)
+let canonical_fixings overrides =
+  let tbl = Hashtbl.create 8 in
+  List.iter
+    (fun (v, lb, ub) -> if not (Hashtbl.mem tbl v) then Hashtbl.add tbl v (lb, ub))
+    overrides;
+  Hashtbl.fold (fun v (lb, ub) acc -> (v, lb, ub) :: acc) tbl []
+  |> List.sort (fun (a, _, _) (b, _, _) -> compare a b)
+
+let most_fractional ~int_tol int_vars (sol : Simplex.solution) =
+  let best = ref None in
+  List.iter
+    (fun v ->
+      let x = sol.values.(v) in
+      let frac = x -. Float.of_int (int_of_float (Float.floor x)) in
+      let dist = Float.min frac (1.0 -. frac) in
+      if dist > int_tol then
+        match !best with
+        | Some (_, d) when d >= dist -> ()
+        | _ -> best := Some (v, dist))
+    int_vars;
+  Option.map fst !best
+
+(* Root-first lexicographic order on branch paths; paths are stored
+   innermost-first, so reverse before comparing. *)
+let path_compare a b = compare (List.rev a) (List.rev b)
+
+let solve ?(config = Config.default) model =
+  let open Config in
+  let sense, _ = Model.objective model in
+  (* [better a b]: objective [a] beats [b]. *)
+  let better a b =
+    match sense with Model.Minimize -> a < b | Maximize -> a > b
+  in
+  let worst = match sense with Model.Minimize -> infinity | _ -> neg_infinity in
+  let int_vars = Model.integer_vars model in
+  let log fmt =
+    Format.kasprintf
+      (fun s -> match config.log with Some f -> f s | None -> ())
+      fmt
+  in
+  let wall_start = Unix.gettimeofday () in
+  let cpu_start = Sys.time () in
+  let out_of_time () =
+    match config.time_limit with
+    | Some l -> Unix.gettimeofday () -. wall_start > l
+    | None -> false
+  in
+  let cache =
+    match config.cache with Some c -> c | None -> Lp_cache.create ()
+  in
+  let cache_hits0 = Lp_cache.hits cache in
+  let cache_misses0 = Lp_cache.misses cache in
+  let fp = Lp_cache.fingerprint model in
+  (* ---- shared search state ---- *)
+  let n_workers = config.jobs in
+  let inc_lock = Mutex.create () in
+  let incumbent : (Simplex.solution * int list) option ref = ref None in
+  let inc_obj = Atomic.make worst in
+  let nodes = Atomic.make 0 in
+  let lp_solves = Atomic.make 0 in
+  let lp_pivots = Atomic.make 0 in
+  let in_flight = Atomic.make 0 in
+  let stop : stop_reason option Atomic.t = Atomic.make None in
+  let unbounded = Atomic.make false in
+  let crashed : exn option Atomic.t = Atomic.make None in
+  let request_stop r = ignore (Atomic.compare_and_set stop None (Some r)) in
+  let stopping () =
+    Atomic.get stop <> None || Atomic.get unbounded
+    || Atomic.get crashed <> None
+  in
+  let try_incumbent path (s : Simplex.solution) =
+    Mutex.lock inc_lock;
+    let take =
+      match !incumbent with
+      | None -> true
+      | Some (_, p0) ->
+        better s.objective (Atomic.get inc_obj)
+        || (s.objective = Atomic.get inc_obj && path_compare path p0 < 0)
+    in
+    if take then begin
+      incumbent := Some (s, path);
+      Atomic.set inc_obj s.objective
+    end;
+    Mutex.unlock inc_lock;
+    if take then log "incumbent %g" s.objective
+  in
+  let gap_prune bound =
+    let inc = Atomic.get inc_obj in
+    Float.is_finite inc
+    &&
+    let slack = config.gap_rel *. Float.max 1.0 (Float.abs inc) in
+    match sense with
+    | Model.Minimize -> bound >= inc -. slack
+    | Maximize -> bound <= inc +. slack
+  in
+  let is_integral (s : Simplex.solution) =
+    List.for_all
+      (fun v ->
+        let x = s.values.(v) in
+        Float.abs (x -. Float.round x) <= config.int_tol)
+      int_vars
+  in
+  (* LP solves, with pivot accounting; shallow node relaxations are
+     memoized.  Cacheable solves deliberately ignore the basis hint so
+     the cached entry is a pure function of the key (determinism). *)
+  let lp_solve ?basis m =
+    Atomic.incr lp_solves;
+    let st, b, (sst : Simplex.stats) = Simplex.solve_ext ?basis m in
+    ignore (Atomic.fetch_and_add lp_pivots sst.Simplex.pivots);
+    (st, b)
+  in
+  let solve_relaxation ~depth ~basis overrides =
+    if depth <= config.cache_depth then
+      Lp_cache.find_or_add cache ~fingerprint:fp
+        ~fixings:(canonical_fixings overrides)
+        (fun () -> lp_solve (apply_overrides model overrides))
+    else lp_solve ?basis (apply_overrides model overrides)
+  in
+  (* Rounding heuristic: SOS1 groups round to their largest member (one
+     on, rest off, respecting fixed bounds); remaining integers round to
+     the nearest value.  Complete with an LP. *)
+  let in_sos1 =
+    let tbl = Hashtbl.create 16 in
+    List.iter (fun g -> List.iter (fun v -> Hashtbl.replace tbl v ()) g)
+      config.sos1;
+    fun v -> Hashtbl.mem tbl v
+  in
+  let rounding_pass path overrides (s : Simplex.solution) =
+    if config.rounding && int_vars <> [] then begin
+      let m = apply_overrides model overrides in
+      let ok = ref true in
+      List.iter
+        (fun group ->
+          (* Largest-value member whose bounds still allow 1. *)
+          let best = ref None in
+          List.iter
+            (fun v ->
+              let _, ub = Model.bounds m v in
+              if ub >= 1.0 then
+                match !best with
+                | Some (_, x) when x >= s.values.(v) -> ()
+                | _ -> best := Some (v, s.values.(v)))
+            group;
+          match !best with
+          | None -> ok := false
+          | Some (winner, _) ->
+            List.iter
+              (fun v ->
+                let lb, ub = Model.bounds m v in
+                let x = if v = winner then 1.0 else 0.0 in
+                if x < lb || x > ub then ok := false
+                else Model.set_bounds m v ~lb:x ~ub:x)
+              group)
+        config.sos1;
+      List.iter
+        (fun v ->
+          if not (in_sos1 v) then begin
+            let lb, ub = Model.bounds m v in
+            let x = Float.max lb (Float.min ub (Float.round s.values.(v))) in
+            if Float.abs (x -. Float.round x) <= config.int_tol then
+              Model.set_bounds m v ~lb:x ~ub:x
+            else ok := false
+          end)
+        int_vars;
+      if !ok then
+        match lp_solve m with
+        | Simplex.Optimal s', _ -> try_incumbent path s'
+        | (Simplex.Infeasible | Simplex.Unbounded | Simplex.Iter_limit _), _
+          -> ()
+    end
+  in
+  (* Diving heuristic: walk down from a relaxation by fixing the most
+     fractional integer each step (one flip retry on infeasibility).
+     Produces an early incumbent when plain rounding violates a tight
+     constraint. *)
+  let dive path overrides basis0 (s0 : Simplex.solution) =
+    let budget = ref (2 * List.length int_vars) in
+    let rec go overrides basis (s : Simplex.solution) =
+      if !budget <= 0 then ()
+      else begin
+        decr budget;
+        match most_fractional ~int_tol:config.int_tol int_vars s with
+        | None -> try_incumbent path s
+        | Some v ->
+          let lb, ub = effective_bounds model overrides v in
+          let x = Float.round s.values.(v) in
+          let x = Float.max lb (Float.min ub x) in
+          let try_fix x =
+            let overrides' = (v, x, x) :: overrides in
+            match lp_solve ?basis (apply_overrides model overrides') with
+            | Simplex.Optimal s', b' -> Some (overrides', b', s')
+            | (Simplex.Infeasible | Simplex.Unbounded
+              | Simplex.Iter_limit _), _ -> None
+          in
+          let alt =
+            (* The other admissible integer next to the relaxation value. *)
+            let x' =
+              if x > s.values.(v) then Float.floor s.values.(v)
+              else Float.ceil s.values.(v)
+            in
+            if x' >= lb && x' <= ub && x' <> x then Some x' else None
+          in
+          (match try_fix x with
+          | Some (o', b', s') -> go o' b' s'
+          | None -> (
+            match alt with
+            | Some x' -> (
+              match try_fix x' with
+              | Some (o', b', s') -> go o' b' s'
+              | None -> ())
+            | None -> ()))
+      end
+    in
+    go overrides basis0 s0
+  in
+  (* Deterministic heuristic trigger: the root, plus the all-down spine
+     of the tree (one node per depth), independent of global counters and
+     hence of worker interleaving. *)
+  let heuristic_node n =
+    n.depth = 0 || List.for_all (fun d -> d = 0) n.path
+  in
+  (* ---- worker pool ---- *)
+  let cmp_nodes a b =
+    let c =
+      match sense with
+      | Model.Minimize -> Float.compare a.bound b.bound
+      | Maximize -> Float.compare b.bound a.bound
+    in
+    if c <> 0 then c
+    else
+      let c = compare b.depth a.depth in
+      if c <> 0 then c else path_compare a.path b.path
+  in
+  let queues = Array.init n_workers (fun _ -> Work_queue.create ~cmp:cmp_nodes) in
+  let worker_nodes = Array.make n_workers 0 in
+  let spawn_child wid n dir bound basis overrides =
+    Atomic.incr in_flight;
+    Work_queue.push queues.(wid)
+      { overrides; bound; depth = n.depth + 1; path = dir :: n.path; basis }
+  in
+  let requeue wid n =
+    Atomic.incr in_flight;
+    Work_queue.push queues.(wid) n
+  in
+  let process wid n =
+    if stopping () then requeue wid n
+    else if out_of_time () then begin
+      request_stop Time_limit;
+      requeue wid n
+    end
+    else if gap_prune n.bound then ( (* fathomed by a newer incumbent *) )
+    else if Atomic.get nodes >= config.max_nodes then begin
+      request_stop Node_limit;
+      requeue wid n
+    end
+    else begin
+      Atomic.incr nodes;
+      worker_nodes.(wid) <- worker_nodes.(wid) + 1;
+      match solve_relaxation ~depth:n.depth ~basis:n.basis n.overrides with
+      | Simplex.Iter_limit _, _ ->
+        (* Numerical trouble in this node's relaxation: stop cleanly with
+           the incumbent rather than crash the search. *)
+        request_stop Iter_limit;
+        requeue wid n
+      | Simplex.Infeasible, _ -> ()
+      | Simplex.Unbounded, _ -> Atomic.set unbounded true
+      | Simplex.Optimal s, basis ->
+        if gap_prune s.objective then ()
+        else if is_integral s then begin
+          (* Snap integer values exactly. *)
+          let values = Array.copy s.values in
+          List.iter (fun v -> values.(v) <- Float.round values.(v)) int_vars;
+          try_incumbent n.path { s with values }
+        end
+        else begin
+          if heuristic_node n then rounding_pass n.path n.overrides s;
+          if n.depth = 0 && not (Float.is_finite (Atomic.get inc_obj)) then
+            dive n.path n.overrides basis s;
+          match most_fractional ~int_tol:config.int_tol int_vars s with
+          | None -> try_incumbent n.path s
+          | Some v ->
+            let x = s.values.(v) in
+            let lb, ub = effective_bounds model n.overrides v in
+            let fl = Float.floor x and ce = Float.ceil x in
+            if fl >= lb then
+              spawn_child wid n 0 s.objective basis ((v, lb, fl) :: n.overrides);
+            if ce <= ub then
+              spawn_child wid n 1 s.objective basis ((v, ce, ub) :: n.overrides)
+        end
+    end
+  in
+  let steal_from wid =
+    let rec go tries =
+      if tries >= n_workers then None
+      else
+        let victim = (wid + tries) mod n_workers in
+        match Work_queue.steal queues.(victim) with
+        | Some n -> Some n
+        | None -> go (tries + 1)
+    in
+    go 0
+  in
+  let worker wid () =
+    let running = ref true in
+    (* Idle backoff: a few spins for low-latency hand-off, then sleep
+       with exponential growth so idle workers stop contending for the
+       CPU on oversubscribed hosts (jobs > cores). *)
+    let idle = ref 0 in
+    while !running do
+      if stopping () then running := false
+      else
+        match steal_from wid with
+        | Some n ->
+          idle := 0;
+          (try process wid n
+           with e -> Atomic.set crashed (Some e));
+          Atomic.decr in_flight
+        | None ->
+          if Atomic.get in_flight = 0 then running := false
+          else begin
+            incr idle;
+            if !idle <= 16 then Domain.cpu_relax ()
+            else
+              let backoff = Int.min (!idle - 16) 6 in
+              Unix.sleepf (5e-5 *. float_of_int (1 lsl backoff))
+          end
+    done
+  in
+  (* Seed the incumbent from the caller's known-feasible fixing (runs
+     sequentially, before the pool starts, so it is deterministic). *)
+  if config.warm_start <> [] then begin
+    let fixings = List.map (fun (v, x) -> (v, x, x)) config.warm_start in
+    match solve_relaxation ~depth:0 ~basis:None fixings with
+    | Simplex.Optimal s, _ when is_integral s ->
+      let values = Array.copy s.values in
+      List.iter (fun v -> values.(v) <- Float.round values.(v)) int_vars;
+      try_incumbent [] { s with values }
+    | (Simplex.Optimal _ | Simplex.Infeasible | Simplex.Unbounded
+      | Simplex.Iter_limit _), _ -> ()
+  end;
+  let root_bound =
+    match sense with Model.Minimize -> neg_infinity | _ -> infinity
+  in
+  Atomic.set in_flight 1;
+  Work_queue.push queues.(0)
+    { overrides = []; bound = root_bound; depth = 0; path = []; basis = None };
+  let domains =
+    Array.init (n_workers - 1) (fun i -> Domain.spawn (worker (i + 1)))
+  in
+  worker 0 ();
+  Array.iter Domain.join domains;
+  (match Atomic.get crashed with Some e -> raise e | None -> ());
+  (* ---- finish: best proven bound and outcome ---- *)
+  let leftovers =
+    Array.to_list queues |> List.concat_map Work_queue.drain
+  in
+  let inc_objective () =
+    match !incumbent with Some (s, _) -> s.Simplex.objective | None -> worst
+  in
+  let bound =
+    match leftovers with
+    | [] -> inc_objective ()
+    | ns ->
+      List.fold_left
+        (fun acc n -> if better n.bound acc then n.bound else acc)
+        (List.hd ns).bound (List.tl ns)
+  in
+  let stopped = Atomic.get stop in
+  let stats =
+    { nodes = Atomic.get nodes; lp_solves = Atomic.get lp_solves;
+      lp_pivots = Atomic.get lp_pivots;
+      cache_hits = Lp_cache.hits cache - cache_hits0;
+      cache_misses = Lp_cache.misses cache - cache_misses0;
+      wall_seconds = Unix.gettimeofday () -. wall_start;
+      cpu_seconds = Sys.time () -. cpu_start; workers = n_workers;
+      worker_nodes }
+  in
+  let r =
+    match !incumbent with
+    | Some (s, _) ->
+      let outcome =
+        match stopped with
+        | Some reason when not (gap_prune bound) -> Feasible reason
+        | Some _ | None -> Optimal
+      in
+      { outcome; solution = Some s; bound; stats }
+    | None ->
+      if Atomic.get unbounded then
+        { outcome = Unbounded; solution = None; bound; stats }
+      else (
+        match stopped with
+        | Some reason ->
+          { outcome = No_solution reason; solution = None; bound; stats }
+        | None -> { outcome = Infeasible; solution = None; bound; stats })
+  in
+  log "done: %a (%a)" pp_outcome r.outcome pp_stats r.stats;
+  r

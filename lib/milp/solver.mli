@@ -1,0 +1,114 @@
+(** Parallel, warm-started branch and bound over the {!Dvs_lp.Simplex}
+    relaxation — the single MILP entry point used by the DVS pipeline,
+    the CLI and the experiment harness.
+
+    The search runs on a pool of OCaml 5 domains ([Config.jobs] of them,
+    defaulting to [Domain.recommended_domain_count ()]).  Each worker
+    owns a best-bound {!Work_queue} of open nodes and steals from its
+    peers when idle; child nodes warm start their LP relaxation from the
+    parent's optimal basis ({!Dvs_lp.Simplex.solve_ext}); and shallow
+    relaxations are memoized in an {!Lp_cache} that callers can share
+    across solves of near-identical models.
+
+    {b Determinism.} The reported objective is reproducible regardless of
+    worker count: fathoming only ever discards subtrees whose bound is
+    within [gap_rel] slack of an incumbent (so nothing meaningfully
+    better than the final incumbent is lost), incumbent merging is
+    tie-broken by the lexicographically smallest branch path, and cached
+    relaxations are solved without the basis hint so cache contents never
+    depend on worker interleaving.
+
+    This replaces the paper's CPLEX: the DVS MILPs it targets have a few
+    hundred binaries (after edge filtering) with a one-mode-per-edge SOS1
+    structure whose LP relaxations are close to integral. *)
+
+(** Builder-style solver configuration; construct with {!Config.make} and
+    refine with the [with_*] combinators. *)
+module Config : sig
+  type t = {
+    jobs : int;  (** worker domains; default [Domain.recommended_domain_count ()] *)
+    max_nodes : int;  (** node budget; default 200_000 *)
+    int_tol : float;  (** integrality tolerance; default 1e-6 *)
+    gap_rel : float;  (** relative optimality gap to stop at; default 1e-9 *)
+    time_limit : float option;  (** wall-clock seconds *)
+    rounding : bool;  (** run the rounding heuristic (root and spine) *)
+    sos1 : Dvs_lp.Model.var list list;
+        (** groups whose binaries sum to 1; guides the rounding heuristic
+            (the one-mode-per-edge structure of the DVS formulation) *)
+    warm_start : (Dvs_lp.Model.var * float) list;
+        (** variable fixings known to admit a feasible completion, solved
+            once to seed the incumbent (e.g. every edge at the fastest
+            mode) *)
+    log : (string -> unit) option;
+    cache : Lp_cache.t option;
+        (** share an LP-relaxation cache across solves; a private one is
+            created per solve when absent *)
+    cache_depth : int;  (** memoize relaxations up to this depth; default 4 *)
+  }
+
+  val make :
+    ?jobs:int -> ?max_nodes:int -> ?time_limit:float -> ?gap_rel:float ->
+    ?int_tol:float -> ?rounding:bool -> ?log:(string -> unit) ->
+    ?cache:Lp_cache.t -> ?cache_depth:int -> unit -> t
+  (** Raises [Invalid_argument] if [jobs < 1]. *)
+
+  val default : t
+  (** [make ()]. *)
+
+  val with_jobs : int -> t -> t
+
+  val with_sos1 : Dvs_lp.Model.var list list -> t -> t
+
+  val with_warm_start : (Dvs_lp.Model.var * float) list -> t -> t
+
+  val with_log : (string -> unit) -> t -> t
+
+  val with_cache : Lp_cache.t -> t -> t
+end
+
+type stop_reason =
+  | Node_limit
+  | Time_limit
+  | Iter_limit  (** the simplex pivot budget ran out inside a relaxation *)
+
+type outcome =
+  | Optimal  (** proven within the gap *)
+  | Feasible of stop_reason
+      (** incumbent found, but a limit stopped the proof *)
+  | Infeasible
+  | Unbounded
+  | No_solution of stop_reason  (** limits hit before any incumbent *)
+
+type stats = {
+  nodes : int;  (** nodes explored *)
+  lp_solves : int;  (** LP relaxations solved (including heuristics) *)
+  lp_pivots : int;  (** total simplex pivots across those solves *)
+  cache_hits : int;  (** relaxations answered from the {!Lp_cache} *)
+  cache_misses : int;
+  wall_seconds : float;
+  cpu_seconds : float;  (** process CPU time, summed over all domains *)
+  workers : int;
+  worker_nodes : int array;  (** nodes processed per worker *)
+}
+
+val worker_utilization : stats -> float
+(** Load balance in [0, 1]: mean worker node count over the maximum
+    (1.0 = perfectly even; 1.0 by convention when no nodes ran). *)
+
+type result = {
+  outcome : outcome;
+  solution : Dvs_lp.Simplex.solution option;
+  bound : float;  (** best proven bound on the optimum *)
+  stats : stats;
+}
+
+val solve : ?config:Config.t -> Dvs_lp.Model.t -> result
+(** Integrality markers on the model's variables are enforced; everything
+    else is as in the LP.  Works for both senses.  The base model is not
+    mutated and may be reused across calls. *)
+
+val pp_stop_reason : Format.formatter -> stop_reason -> unit
+
+val pp_outcome : Format.formatter -> outcome -> unit
+
+val pp_stats : Format.formatter -> stats -> unit

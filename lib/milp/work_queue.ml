@@ -1,0 +1,44 @@
+(* A mutex-protected, steal-able pool of open branch-and-bound nodes.
+
+   Each worker domain owns one pool: it pushes the children it generates
+   into its own pool and pops its own best node first; a worker whose pool
+   runs dry steals the best node of a victim's pool instead.  Keeping the
+   pools bound-ordered (rather than plain LIFO deques) preserves the
+   sequential solver's best-bound node selection when running with one
+   worker, which keeps node counts — and the determinism argument — on
+   par with the old sequential search.
+
+   A plain mutex per pool is plenty here: processing one node costs an LP
+   solve (tens of microseconds at minimum), orders of magnitude above the
+   lock. *)
+
+type 'a t = { mutex : Mutex.t; heap : 'a Heap.t }
+
+let create ~cmp = { mutex = Mutex.create (); heap = Heap.create ~cmp }
+
+let with_lock q f =
+  Mutex.lock q.mutex;
+  match f q.heap with
+  | r ->
+    Mutex.unlock q.mutex;
+    r
+  | exception e ->
+    Mutex.unlock q.mutex;
+    raise e
+
+let push q x = with_lock q (fun h -> Heap.push h x)
+
+let pop q = with_lock q Heap.pop
+
+(* Stealing takes the victim's best node too: near-root, high-value
+   subtrees migrate to idle workers, which is what balances the load. *)
+let steal = pop
+
+let size q = with_lock q Heap.size
+
+let drain q =
+  with_lock q (fun h ->
+      let rec go acc =
+        match Heap.pop h with None -> acc | Some x -> go (x :: acc)
+      in
+      go [])

@@ -1,0 +1,26 @@
+(** Steal-able priority pools of open branch-and-bound nodes.
+
+    One pool per worker domain: owners [push] children and [pop] their own
+    best node; idle workers [steal] the best node of a victim's pool.
+    Pools are ordered by the comparison given at creation (best-bound
+    first in {!Solver}), so a single-worker run reproduces the sequential
+    best-bound search exactly.  All operations are thread-safe. *)
+
+type 'a t
+
+val create : cmp:('a -> 'a -> int) -> 'a t
+
+val push : 'a t -> 'a -> unit
+
+val pop : 'a t -> 'a option
+(** Best element, or [None] when empty. *)
+
+val steal : 'a t -> 'a option
+(** Same as {!pop}; named for call-site clarity when the caller is not
+    the pool's owner. *)
+
+val size : 'a t -> int
+
+val drain : 'a t -> 'a list
+(** Remove and return everything (in no particular order); used to
+    compute the best open bound when a limit stops the search early. *)

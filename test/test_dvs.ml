@@ -114,8 +114,7 @@ let run_pipeline ?(filter = true) deadline =
 let test_pipeline_optimal_and_verified () =
   let r = run_pipeline (mid_deadline ()) in
   Alcotest.(check bool) "optimal" true
-    (r.Pipeline.milp.Dvs_milp.Branch_bound.outcome
-    = Dvs_milp.Branch_bound.Optimal);
+    (r.Pipeline.milp.Dvs_milp.Solver.outcome = Dvs_milp.Solver.Optimal);
   match r.Pipeline.verification with
   | None -> Alcotest.fail "no verification report"
   | Some v ->
@@ -224,8 +223,7 @@ let test_infeasible_deadline () =
   let t_fast = Dvs_profile.Profile.pinned_time p ~mode:2 in
   let r = run_pipeline (t_fast *. 0.5) in
   Alcotest.(check bool) "infeasible" true
-    (r.Pipeline.milp.Dvs_milp.Branch_bound.outcome
-    = Dvs_milp.Branch_bound.Infeasible)
+    (r.Pipeline.milp.Dvs_milp.Solver.outcome = Dvs_milp.Solver.Infeasible)
 
 (* Multi-category: two inputs with different weights; deadlines must hold
    for both. *)
@@ -244,8 +242,7 @@ let test_multi_category () =
         { Formulation.profile = p2; weight = 0.4; deadline = d } ]
   in
   Alcotest.(check bool) "optimal" true
-    (r.Pipeline.milp.Dvs_milp.Branch_bound.outcome
-    = Dvs_milp.Branch_bound.Optimal);
+    (r.Pipeline.milp.Dvs_milp.Solver.outcome = Dvs_milp.Solver.Optimal);
   (* The shared schedule must meet the deadline on BOTH inputs. *)
   match r.Pipeline.schedule with
   | None -> Alcotest.fail "no schedule"

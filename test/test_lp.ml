@@ -132,6 +132,52 @@ let test_degenerate_cycling_guard () =
   let s = solve_opt m in
   check_float ~eps:1e-6 "obj" 1.25 s.objective
 
+let test_iter_limit_status () =
+  (* A Ge constraint forces phase-1 pivots; max_iter:0 must surface the
+     typed Iter_limit status instead of raising. *)
+  let m = Model.create () in
+  let x = Model.add_var m and y = Model.add_var m in
+  Model.add_constraint m (Expr.of_terms [ (1.0, x); (2.0, y) ]) Model.Ge 6.0;
+  Model.set_objective m Model.Minimize (Expr.add (Expr.var x) (Expr.var y));
+  (match Simplex.solve ~max_iter:0 m with
+  | Simplex.Iter_limit p ->
+    Alcotest.(check int) "stalled in phase 1" 1 p.Simplex.phase
+  | st -> Alcotest.failf "expected iter limit, got %a" Simplex.pp_status st);
+  (* The same model solves fine with the default budget. *)
+  match Simplex.solve m with
+  | Simplex.Optimal _ -> ()
+  | st -> Alcotest.failf "expected optimal, got %a" Simplex.pp_status st
+
+let test_warm_start_matches_cold () =
+  (* Solve, keep the basis, perturb a bound, and re-solve warm: the warm
+     run must agree with a cold solve to tight tolerance. *)
+  let build ub =
+    let m = Model.create () in
+    let x = Model.add_var ~name:"x" ~ub m in
+    let y = Model.add_var ~name:"y" ~ub:6.0 m in
+    Model.add_constraint m
+      (Expr.of_terms [ (3.0, x); (2.0, y) ])
+      Model.Le 18.0;
+    Model.set_objective m Model.Maximize
+      (Expr.of_terms [ (3.0, x); (5.0, y) ]);
+    m
+  in
+  let basis =
+    match Simplex.solve_ext (build 4.0) with
+    | Simplex.Optimal _, Some b, _ -> b
+    | _ -> Alcotest.fail "cold solve of the base model failed"
+  in
+  let tightened = build 1.5 in
+  let warm =
+    match Simplex.solve_from_basis basis tightened with
+    | Simplex.Optimal s -> s
+    | st -> Alcotest.failf "warm solve: %a" Simplex.pp_status st
+  in
+  let cold = solve_opt (build 1.5) in
+  check_float ~eps:1e-9 "objective" cold.objective warm.objective;
+  check_float ~eps:1e-9 "x" cold.values.(0) warm.values.(0);
+  check_float ~eps:1e-9 "y" cold.values.(1) warm.values.(1)
+
 (* ------------------------------------------------------------------ *)
 (* Property tests *)
 
@@ -191,7 +237,8 @@ let qcheck_random_lp_feasible_and_no_worse =
         let seed_obj = Expr.eval (fun i -> x0.(i)) obj in
         feasible_within m s && s.objective <= seed_obj +. 1e-5
       | Simplex.Unbounded -> false (* box-bounded: impossible *)
-      | Simplex.Infeasible -> false (* x0 is feasible by construction *))
+      | Simplex.Infeasible -> false (* x0 is feasible by construction *)
+      | Simplex.Iter_limit _ -> false (* tiny instances converge *))
 
 (* Strong duality: min c'x, Ax >= b, x >= 0   vs   max b'y, A'y <= c,
    y >= 0, with c > 0 (bounded) and rows guaranteed satisfiable. *)
@@ -260,6 +307,9 @@ let suite =
       test_constant_in_expressions;
     Alcotest.test_case "beale cycling guard" `Quick
       test_degenerate_cycling_guard;
+    Alcotest.test_case "iter limit status" `Quick test_iter_limit_status;
+    Alcotest.test_case "warm start matches cold" `Quick
+      test_warm_start_matches_cold;
     QCheck_alcotest.to_alcotest qcheck_random_lp_feasible_and_no_worse;
     QCheck_alcotest.to_alcotest qcheck_strong_duality ]
 

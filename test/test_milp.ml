@@ -202,11 +202,118 @@ let qcheck_solution_is_integral =
             Float.abs (x -. Float.round x) <= 1e-6)
           (Model.integer_vars m))
 
+(* --- Solver API: parallelism, determinism, caching -------------------- *)
+
+(* A model big enough that the tree has real depth: SOS1 groups with a
+   tight shared budget, as the DVS formulation produces. *)
+let sos1_model ~groups ~modes ~budget =
+  let m = Model.create () in
+  let k =
+    Array.init groups (fun _ -> Array.init modes (fun _ -> Model.binary m))
+  in
+  let cost g j = float_of_int (((g * 7) + (j * 3)) mod 11) +. 1.0 in
+  let time g j = float_of_int (modes - j) +. (0.25 *. float_of_int (g mod 3)) in
+  for g = 0 to groups - 1 do
+    Model.add_constraint m
+      (Expr.of_terms (List.init modes (fun j -> (1.0, k.(g).(j)))))
+      Model.Eq 1.0
+  done;
+  let all w =
+    Expr.of_terms
+      (List.concat_map
+         (fun g -> List.init modes (fun j -> (w g j, k.(g).(j))))
+         (List.init groups Fun.id))
+  in
+  Model.add_constraint m (all time) Model.Le budget;
+  Model.set_objective m Model.Minimize (all cost);
+  m
+
+let solve_jobs ?cache jobs m =
+  let config = Solver.Config.make ~jobs ?cache () in
+  Solver.solve ~config m
+
+let objective_of (r : Solver.result) =
+  match (r.Solver.outcome, r.Solver.solution) with
+  | Solver.Optimal, Some s -> s.Simplex.objective
+  | _ -> Alcotest.fail "expected an optimal solution"
+
+let test_parallel_determinism () =
+  let m = sos1_model ~groups:8 ~modes:3 ~budget:26.0 in
+  let o1 = objective_of (solve_jobs 1 m) in
+  let o4 = objective_of (solve_jobs 4 m) in
+  Alcotest.(check bool) "bit-equal objective across jobs" true
+    (Int64.bits_of_float o1 = Int64.bits_of_float o4)
+
+let qcheck_parallel_determinism =
+  QCheck.Test.make ~name:"jobs=1 and jobs=4 agree on random MILPs" ~count:25
+    (QCheck.make random_milp_gen)
+    (fun (nbin, ncont, mrows, c, a, b) ->
+      let n = nbin + ncont in
+      let m = Model.create () in
+      let vars =
+        Array.init n (fun i ->
+            if i < nbin then Model.binary m else Model.add_var ~ub:3.0 m)
+      in
+      for i = 0 to mrows - 1 do
+        Model.add_constraint m
+          (Expr.of_terms (List.init n (fun j -> (a.((i * n) + j), vars.(j)))))
+          Model.Le b.(i)
+      done;
+      Model.set_objective m Model.Minimize
+        (Expr.of_terms (List.init n (fun j -> (c.(j), vars.(j)))));
+      let r1 = solve_jobs 1 m and r4 = solve_jobs 4 m in
+      match (r1.Solver.solution, r4.Solver.solution) with
+      | Some s1, Some s4 ->
+        Int64.bits_of_float s1.Simplex.objective
+        = Int64.bits_of_float s4.Simplex.objective
+      | None, None -> true
+      | _ -> false)
+
+let test_cache_hits () =
+  (* Re-solving the same model through a shared cache must answer shallow
+     relaxations from memory. *)
+  let m = sos1_model ~groups:6 ~modes:3 ~budget:20.0 in
+  let cache = Lp_cache.create () in
+  let r1 = solve_jobs ~cache 1 m in
+  let r2 = solve_jobs ~cache 1 m in
+  Alcotest.(check bool) "first solve misses" true
+    (r1.Solver.stats.Solver.cache_misses > 0);
+  Alcotest.(check bool) "second solve hits" true
+    (r2.Solver.stats.Solver.cache_hits > 0);
+  Alcotest.(check bool) "cached objective unchanged" true
+    (Int64.bits_of_float (objective_of r1)
+    = Int64.bits_of_float (objective_of r2))
+
+let test_stats_accounting () =
+  let m = sos1_model ~groups:6 ~modes:3 ~budget:20.0 in
+  let r = solve_jobs 2 m in
+  let st = r.Solver.stats in
+  Alcotest.(check int) "workers" 2 st.Solver.workers;
+  Alcotest.(check int) "worker_nodes length" 2
+    (Array.length st.Solver.worker_nodes);
+  Alcotest.(check int) "worker_nodes sums to nodes" st.Solver.nodes
+    (Array.fold_left ( + ) 0 st.Solver.worker_nodes);
+  Alcotest.(check bool) "lp accounting" true
+    (st.Solver.lp_solves > 0 && st.Solver.lp_pivots > 0);
+  let u = Solver.worker_utilization st in
+  Alcotest.(check bool) "utilization in [0,1]" true (u >= 0.0 && u <= 1.0)
+
+let test_config_validation () =
+  Alcotest.check_raises "jobs must be >= 1"
+    (Invalid_argument "Solver.Config.make: jobs must be >= 1") (fun () ->
+      ignore (Solver.Config.make ~jobs:0 ()))
+
 let suite =
   [ Alcotest.test_case "knapsack" `Quick test_knapsack;
     Alcotest.test_case "general integers" `Quick test_general_integers;
     Alcotest.test_case "integer infeasible" `Quick test_integer_infeasible;
     Alcotest.test_case "unbounded" `Quick test_unbounded;
     Alcotest.test_case "sos1 structure" `Quick test_sos1_structure;
+    Alcotest.test_case "parallel determinism" `Quick
+      test_parallel_determinism;
+    Alcotest.test_case "cache hits on repeat solve" `Quick test_cache_hits;
+    Alcotest.test_case "stats accounting" `Quick test_stats_accounting;
+    Alcotest.test_case "config validation" `Quick test_config_validation;
     QCheck_alcotest.to_alcotest qcheck_milp_vs_enumeration;
-    QCheck_alcotest.to_alcotest qcheck_solution_is_integral ]
+    QCheck_alcotest.to_alcotest qcheck_solution_is_integral;
+    QCheck_alcotest.to_alcotest qcheck_parallel_determinism ]
