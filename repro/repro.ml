@@ -1,0 +1,18 @@
+open Dvs_lp
+open Dvs_milp
+
+let () =
+  (* max x + y  s.t.  2x + 2y <= 7,  x,y integer in [0,10].
+     True optimum: x + y = 3. Forces re-branching on the same variable. *)
+  let m = Model.create () in
+  let x = Model.add_var ~integer:true ~lb:0.0 ~ub:10.0 m in
+  let y = Model.add_var ~integer:true ~lb:0.0 ~ub:10.0 m in
+  Model.add_constr m Expr.(add (scale 2.0 (var x)) (scale 2.0 (var y))) Model.Le 7.0;
+  Model.set_objective m Model.Maximize Expr.(add (var x) (var y));
+  let config = Solver.Config.make ~jobs:1 ~max_nodes:10_000 () in
+  let r = Solver.solve ~config m in
+  Format.printf "outcome: %a@.bound: %g@.nodes: %d@."
+    Solver.pp_outcome r.Solver.outcome r.Solver.bound r.Solver.stats.Solver.nodes;
+  (match r.Solver.solution with
+   | Some s -> Format.printf "obj: %g x=%g y=%g@." s.Simplex.objective s.Simplex.values.(x) s.Simplex.values.(y)
+   | None -> Format.printf "no solution@.")
