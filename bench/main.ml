@@ -13,6 +13,7 @@ let registry =
   Exp_analytical.all
   @ Exp_milp.all
   @ Exp_extensions.all
+  @ Exp_faults.all
   @ [ ("micro", Micro.run) ]
 
 (* Deduplicate ids that alias the same experiment (table3/fig14). *)

@@ -228,8 +228,29 @@ let jobs_opt =
           "Worker domains for the MILP search (default: the recommended \
            domain count of this machine).")
 
+let strict_opt =
+  Arg.(
+    value & flag
+    & info [ "strict" ]
+        ~doc:
+          "Refuse degraded results: exit nonzero unless the schedule is \
+           the verified MILP optimum (exit 3 = time-limit-degraded, 4 = \
+           worker-crash-degraded, 5 = verify-reject-degraded).")
+
+(* Exit codes, one per failure class (see README):
+   0 ok (degraded results still exit 0 unless --strict), 1 infeasible or
+   unbounded, 2 no schedule from any rung, 3/4/5 degraded under --strict. *)
+let exit_code ~strict cls =
+  match (cls : Dvs_core.Pipeline.degradation_class) with
+  | Dvs_core.Pipeline.Full -> 0
+  | Dvs_core.Pipeline.Problem_infeasible -> 1
+  | Dvs_core.Pipeline.No_schedule -> 2
+  | Dvs_core.Pipeline.Time_degraded -> if strict then 3 else 0
+  | Dvs_core.Pipeline.Crash_degraded -> if strict then 4 else 0
+  | Dvs_core.Pipeline.Verify_degraded -> if strict then 5 else 0
+
 let optimize_cmd =
-  let run w input capacitance levels frac no_filter save jobs =
+  let run w input capacitance levels frac no_filter save jobs strict =
     let input = input_of w input in
     let cfg, _, mem = Dvs_workloads.Workload.load w ~input in
     let machine = machine ~capacitance ~levels in
@@ -256,24 +277,30 @@ let optimize_cmd =
       r.Dvs_core.Pipeline.formulation.Dvs_core.Formulation.n_binaries;
     Format.printf "solver: %a@." Dvs_milp.Solver.pp_stats
       milp.Dvs_milp.Solver.stats;
-    (match milp.Dvs_milp.Solver.outcome with
-    | Dvs_milp.Solver.No_solution reason ->
-      (* A limit stopped the search before any schedule existed: report
-         why and fail, rather than pretending an empty result is fine. *)
-      Format.eprintf
-        "error: the MILP search hit its %a before finding any feasible \
-         schedule; retry with a higher budget (--jobs, larger limits) or \
-         a laxer deadline@."
-        Dvs_milp.Solver.pp_stop_reason reason;
-      exit 2
-    | Dvs_milp.Solver.Infeasible ->
+    List.iter
+      (fun d ->
+        Format.printf "ladder: %a@." Dvs_core.Pipeline.pp_descent d)
+      r.Dvs_core.Pipeline.descents;
+    (match r.Dvs_core.Pipeline.rung with
+    | Some rung ->
+      Format.printf "schedule source: %a@." Dvs_core.Pipeline.pp_rung rung
+    | None -> ());
+    let cls = Dvs_core.Pipeline.classify r in
+    (match cls with
+    | Dvs_core.Pipeline.Problem_infeasible ->
       Format.eprintf
         "error: no schedule can meet this deadline on this machine@.";
-      exit 1
-    | Dvs_milp.Solver.Unbounded ->
-      Format.eprintf "error: unbounded formulation (model bug?)@.";
-      exit 1
-    | Dvs_milp.Solver.Optimal | Dvs_milp.Solver.Feasible _ -> ());
+      exit (exit_code ~strict cls)
+    | Dvs_core.Pipeline.No_schedule ->
+      Format.eprintf
+        "error: every rung of the degradation ladder failed (%a); retry \
+         with a higher budget (--jobs, larger limits) or a laxer \
+         deadline@."
+        Dvs_milp.Solver.pp_outcome milp.Dvs_milp.Solver.outcome;
+      exit (exit_code ~strict cls)
+    | Dvs_core.Pipeline.Full | Dvs_core.Pipeline.Time_degraded
+    | Dvs_core.Pipeline.Crash_degraded
+    | Dvs_core.Pipeline.Verify_degraded -> ());
     (match r.Dvs_core.Pipeline.verification with
     | Some v ->
       Format.printf
@@ -295,21 +322,31 @@ let optimize_cmd =
       Format.printf "best single mode %d: %.1f uJ -> savings %.1f%%@." m
         (base *. 1e6) saved
     | None -> Format.printf "no single mode meets the deadline@.");
-    match (save, r.Dvs_core.Pipeline.schedule) with
+    (match (save, r.Dvs_core.Pipeline.schedule) with
     | Some file, Some schedule ->
       let oc = open_out file in
       output_string oc (Dvs_core.Schedule.to_string schedule);
       close_out oc;
       Format.printf "schedule saved to %s@." file
     | Some _, None -> Format.printf "no schedule to save@."
-    | None, _ -> ()
+    | None, _ -> ());
+    (match cls with
+    | Dvs_core.Pipeline.Full -> ()
+    | _ when strict ->
+      Format.eprintf "error: --strict refuses a %a result@."
+        Dvs_core.Pipeline.pp_class cls
+    | _ ->
+      Format.printf "warning: %a result (rerun with --strict to refuse)@."
+        Dvs_core.Pipeline.pp_class cls);
+    exit (exit_code ~strict cls)
   in
   Cmd.v
     (Cmd.info "optimize"
        ~doc:"Place DVS mode-set instructions by MILP and verify them")
     Term.(
       const run $ workload_pos $ input_opt $ capacitance_opt $ levels_opt
-      $ deadline_frac_opt $ no_filter_opt $ save_opt $ jobs_opt)
+      $ deadline_frac_opt $ no_filter_opt $ save_opt $ jobs_opt
+      $ strict_opt)
 
 (* ---------------- apply ---------------- *)
 

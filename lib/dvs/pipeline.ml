@@ -1,23 +1,51 @@
+module Solver = Dvs_milp.Solver
+
+(* Resilience policy for the degradation ladder: how hard to retry the
+   MILP before falling back to cheaper, always-available schedules. *)
+module Resilience = struct
+  type t = {
+    ladder : bool;
+    max_retries : int;
+    retry_budget_factor : float;
+  }
+
+  let make ?(ladder = true) ?(max_retries = 2) ?(retry_budget_factor = 0.5)
+      () =
+    if max_retries < 0 then
+      invalid_arg "Pipeline.Resilience.make: max_retries must be >= 0";
+    if not (retry_budget_factor > 0.0 && retry_budget_factor <= 1.0) then
+      invalid_arg
+        "Pipeline.Resilience.make: retry_budget_factor must be in (0, 1]";
+    { ladder; max_retries; retry_budget_factor }
+
+  let default = make ()
+
+  let off = make ~ladder:false ~max_retries:0 ()
+end
+
 module Config = struct
   type t = {
     filter : bool;
     filter_threshold : float;
-    solver : Dvs_milp.Solver.Config.t;
+    solver : Solver.Config.t;
     verify : bool;
+    resilience : Resilience.t;
   }
 
   let make ?(filter = true) ?(filter_threshold = 0.02) ?solver
-      ?(verify = true) () =
+      ?(verify = true) ?(resilience = Resilience.default) () =
     let solver =
       match solver with
       | Some s -> s
-      | None -> Dvs_milp.Solver.Config.make ()
+      | None -> Solver.Config.make ()
     in
-    { filter; filter_threshold; solver; verify }
+    { filter; filter_threshold; solver; verify; resilience }
 
   let default = make ()
 
   let with_solver solver t = { t with solver }
+
+  let with_resilience resilience t = { t with resilience }
 end
 
 (* Deprecated record API, kept so existing callers compile; converted to
@@ -35,18 +63,82 @@ let default_options =
 
 let config_of_options (o : options) =
   { Config.filter = o.filter; filter_threshold = o.filter_threshold;
-    solver = Dvs_milp.Branch_bound.to_config o.milp; verify = o.verify }
+    solver = Dvs_milp.Branch_bound.to_config o.milp; verify = o.verify;
+    resilience = Resilience.default }
+
+(* ---- degradation ladder ------------------------------------------------ *)
+
+type rung =
+  | Milp
+  | Milp_retry of int
+  | Rounded_lp
+  | Single_mode
+
+let pp_rung ppf = function
+  | Milp -> Format.pp_print_string ppf "full MILP"
+  | Milp_retry n -> Format.fprintf ppf "MILP cold retry %d" n
+  | Rounded_lp -> Format.pp_print_string ppf "rounded LP relaxation"
+  | Single_mode ->
+    Format.pp_print_string ppf "single-best-frequency baseline"
+
+type cause = Limit_hit | Worker_crash | Numeric | Verify_reject
+
+type descent = { rung_failed : rung; cause : cause; detail : string }
+
+let pp_descent ppf d =
+  Format.fprintf ppf "%a rejected: %s" pp_rung d.rung_failed d.detail
+
+type degradation_class =
+  | Full
+  | Time_degraded
+  | Crash_degraded
+  | Verify_degraded
+  | Problem_infeasible
+  | No_schedule
+
+let pp_class ppf c =
+  Format.pp_print_string ppf
+    (match c with
+    | Full -> "full (optimal, verified)"
+    | Time_degraded -> "time-limit-degraded"
+    | Crash_degraded -> "worker-crash-degraded"
+    | Verify_degraded -> "verify-reject-degraded"
+    | Problem_infeasible -> "infeasible"
+    | No_schedule -> "no schedule")
 
 type result = {
   categories : Formulation.category list;
   formulation : Formulation.t;
-  milp : Dvs_milp.Solver.result;
+  milp : Solver.result;
   predicted_energy : float option;
   schedule : Schedule.t option;
   verification : Verify.report option;
   solve_seconds : float;
   independent_edges : int;
+  rung : rung option;
+  descents : descent list;
 }
+
+let classify (r : result) =
+  match r.schedule with
+  | None ->
+    if r.milp.Solver.outcome = Solver.Infeasible then Problem_infeasible
+    else No_schedule
+  | Some _ ->
+    let crash_in_accepted =
+      match r.milp.Solver.outcome with
+      | Solver.Degraded d -> d.Solver.crashes <> []
+      | _ -> false
+    in
+    let has c = List.exists (fun d -> d.cause = c) r.descents in
+    if crash_in_accepted || has Worker_crash then Crash_degraded
+    else if has Verify_reject then Verify_degraded
+    else if has Numeric || has Limit_hit then Time_degraded
+    else (
+      match r.milp.Solver.outcome with
+      | Solver.Optimal -> Full
+      | Solver.Feasible _ | Solver.Degraded _ | Solver.Infeasible
+      | Solver.Unbounded | Solver.No_solution _ -> Time_degraded)
 
 let optimize_multi ?options ?config ?verify_config ~regulator ~memory
     categories =
@@ -77,54 +169,202 @@ let optimize_multi ?options ?config ?verify_config ~regulator ~memory
     | Some r -> Filter.independent_count r
     | None -> Array.length formulation.Formulation.repr
   in
-  let n_modes =
-    Dvs_power.Mode.size formulation.Formulation.modes
-  in
-  let solver_config =
+  let n_modes = Dvs_power.Mode.size formulation.Formulation.modes in
+  let base_solver =
     config.Config.solver
-    |> Dvs_milp.Solver.Config.with_sos1
+    |> Solver.Config.with_sos1
          (List.map
             (fun (_, vars) -> Array.to_list vars)
             formulation.Formulation.kvars)
     (* Every edge at the fastest mode is feasible whenever the instance
        is: seed the incumbent with it. *)
-    |> Dvs_milp.Solver.Config.with_warm_start
+    |> Solver.Config.with_warm_start
          (List.concat_map
             (fun (_, vars) ->
               List.init n_modes (fun m ->
                   (vars.(m), if m = n_modes - 1 then 1.0 else 0.0)))
             formulation.Formulation.kvars)
   in
-  let milp =
-    Dvs_milp.Solver.solve ~config:solver_config formulation.Formulation.model
+  let res = config.Config.resilience in
+  let cat0 = List.hd categories in
+  let profile0 = cat0.Formulation.profile in
+  let cfg0 = profile0.Dvs_profile.Profile.cfg in
+  let deadline0 = cat0.Formulation.deadline in
+  let vconfig =
+    match verify_config with
+    | Some c -> c
+    | None -> profile0.Dvs_profile.Profile.config
   in
-  let solve_seconds = milp.Dvs_milp.Solver.stats.Dvs_milp.Solver.wall_seconds in
-  let predicted_energy =
-    Option.map
-      (fun (s : Dvs_lp.Simplex.solution) -> s.Dvs_lp.Simplex.objective /. 1e6)
-      milp.Dvs_milp.Solver.solution
+  let verify_run schedule predicted =
+    Verify.run vconfig cfg0 ~memory ~schedule ~deadline:deadline0
+      ~predicted_energy:predicted
   in
-  let schedule =
-    Option.map
-      (Schedule.of_solution formulation)
-      milp.Dvs_milp.Solver.solution
+  let descents = ref [] in
+  let note rung_failed cause detail =
+    descents := { rung_failed; cause; detail } :: !descents
   in
-  let verification =
-    match (config.Config.verify, schedule, predicted_energy, categories) with
-    | true, Some schedule, Some predicted_energy, cat0 :: _ ->
-      let profile = cat0.Formulation.profile in
-      let config =
-        match verify_config with
-        | Some c -> c
-        | None -> profile.Dvs_profile.Profile.config
+  let solve_seconds = ref 0.0 in
+  let solve_attempt sc =
+    let r = Solver.solve ~config:sc formulation.Formulation.model in
+    solve_seconds :=
+      !solve_seconds +. r.Solver.stats.Solver.wall_seconds;
+    r
+  in
+  let finish milp rung schedule predicted verification =
+    { categories; formulation; milp; predicted_energy = predicted; schedule;
+      verification; solve_seconds = !solve_seconds; independent_edges; rung;
+      descents = List.rev !descents }
+  in
+  if not res.Resilience.ladder then begin
+    (* Historic single-shot behavior: solve once, optionally verify,
+       report whatever came out. *)
+    let milp = solve_attempt base_solver in
+    let predicted =
+      Option.map
+        (fun (s : Dvs_lp.Simplex.solution) ->
+          s.Dvs_lp.Simplex.objective /. 1e6)
+        milp.Solver.solution
+    in
+    let schedule =
+      Option.map (Schedule.of_solution formulation) milp.Solver.solution
+    in
+    let verification =
+      match (config.Config.verify, schedule, predicted) with
+      | true, Some schedule, Some predicted ->
+        Some (verify_run schedule predicted)
+      | _ -> None
+    in
+    finish milp
+      (Option.map (fun _ -> Milp) schedule)
+      schedule predicted verification
+  end
+  else begin
+    (* The single-best-frequency baseline doubles as the bottom rung and
+       as the energy floor no degraded answer may exceed: an optimizer
+       that returns something worse than "pick the one best frequency"
+       has negative value (the paper's savings are relative to it). *)
+    let baseline =
+      lazy
+        (match Baselines.best_single_mode profile0 ~deadline:deadline0 with
+        | None -> None
+        | Some (mode, e_model) ->
+          let schedule = Schedule.uniform cfg0 mode in
+          Some (e_model, schedule, verify_run schedule e_model))
+    in
+    let floor_exceeded (v : Verify.report) =
+      match Lazy.force baseline with
+      | Some (_, _, bv) when bv.Verify.meets_deadline ->
+        v.Verify.stats.Dvs_machine.Cpu.energy
+        > bv.Verify.stats.Dvs_machine.Cpu.energy *. 1.0000001
+      | Some _ | None -> false
+    in
+    let baseline_rung milp0 =
+      match Lazy.force baseline with
+      | Some (e_model, schedule, v) when v.Verify.meets_deadline ->
+        finish milp0 (Some Single_mode) (Some schedule) (Some e_model)
+          (Some v)
+      | Some _ ->
+        note Single_mode Verify_reject
+          "single-mode baseline missed the deadline in simulation";
+        finish milp0 None None None None
+      | None ->
+        note Single_mode Verify_reject "no single mode meets the deadline";
+        finish milp0 None None None None
+    in
+    let rounded_rung milp0 =
+      match Dvs_lp.Simplex.solve formulation.Formulation.model with
+      | Dvs_lp.Simplex.Optimal s ->
+        (* Argmax rounding of the fractional mode variables, SOS1 group
+           by group — the same move the solver's rounding heuristic
+           makes, available even when branch and bound is unusable.  The
+           LP objective is only a lower bound on this schedule's energy,
+           so acceptance rests on the simulation, not the prediction. *)
+        let predicted = s.Dvs_lp.Simplex.objective /. 1e6 in
+        let schedule = Schedule.of_solution formulation s in
+        let v = verify_run schedule predicted in
+        if not v.Verify.meets_deadline then begin
+          note Rounded_lp Verify_reject
+            "rounded-LP schedule missed the deadline in simulation";
+          baseline_rung milp0
+        end
+        else if floor_exceeded v then begin
+          note Rounded_lp Verify_reject
+            "rounded-LP schedule costs more than the single-mode baseline";
+          baseline_rung milp0
+        end
+        else
+          finish milp0 (Some Rounded_lp) (Some schedule) (Some predicted)
+            (Some v)
+      | Dvs_lp.Simplex.Infeasible | Dvs_lp.Simplex.Unbounded
+      | Dvs_lp.Simplex.Iter_limit _ ->
+        note Rounded_lp Numeric "LP relaxation did not solve";
+        baseline_rung milp0
+    in
+    let milp_cause (m : Solver.result) =
+      match m.Solver.outcome with
+      | Solver.Degraded _ -> Worker_crash
+      | Solver.No_solution Solver.Iter_limit
+      | Solver.Feasible Solver.Iter_limit -> Numeric
+      | Solver.No_solution _ | Solver.Feasible _ | Solver.Optimal
+      | Solver.Infeasible | Solver.Unbounded -> Limit_hit
+    in
+    let retry_budget attempt =
+      Int.max 1
+        (int_of_float
+           (float_of_int base_solver.Solver.Config.max_nodes
+           *. (res.Resilience.retry_budget_factor ** float_of_int attempt)))
+    in
+    let milp0 = ref None in
+    let rec milp_rung attempt m =
+      (match !milp0 with None -> milp0 := Some m | Some _ -> ());
+      let first () = Option.value ~default:m !milp0 in
+      let rung = if attempt = 0 then Milp else Milp_retry attempt in
+      let reject cause detail =
+        note rung cause detail;
+        let retryable =
+          match cause with
+          | Numeric | Worker_crash | Verify_reject -> true
+          | Limit_hit -> false
+        in
+        if retryable && attempt < res.Resilience.max_retries then begin
+          (* Cold restart with a deterministically backed-off node
+             budget: no warm start (it may be implicated in the numeric
+             failure) and no shared cache (so a poisoned or stale entry
+             cannot replay the failure). *)
+          let sc =
+            { base_solver with
+              Solver.Config.warm_start = []; cache = None;
+              max_nodes = retry_budget (attempt + 1) }
+          in
+          milp_rung (attempt + 1) (solve_attempt sc)
+        end
+        else rounded_rung (first ())
       in
-      Some
-        (Verify.run config profile.Dvs_profile.Profile.cfg ~memory ~schedule
-           ~deadline:cat0.Formulation.deadline ~predicted_energy)
-    | _ -> None
-  in
-  { categories; formulation; milp; predicted_energy; schedule; verification;
-    solve_seconds; independent_edges }
+      match (m.Solver.outcome, m.Solver.solution) with
+      | (Solver.Infeasible | Solver.Unbounded), _ ->
+        (* Terminal: no deadline-feasible schedule exists (or the model
+           is broken); no lower rung can manufacture one. *)
+        finish m None None None None
+      | _, Some s ->
+        let predicted = s.Dvs_lp.Simplex.objective /. 1e6 in
+        let schedule = Schedule.of_solution formulation s in
+        let v = verify_run schedule predicted in
+        if not v.Verify.meets_deadline then
+          reject Verify_reject
+            (Format.asprintf
+               "MILP schedule missed the deadline in simulation (solver: \
+                %a)"
+               Solver.pp_outcome m.Solver.outcome)
+        else if m.Solver.outcome <> Solver.Optimal && floor_exceeded v then
+          reject (milp_cause m)
+            "degraded incumbent costs more than the single-mode baseline"
+        else finish m (Some rung) (Some schedule) (Some predicted) (Some v)
+      | _, None ->
+        reject (milp_cause m)
+          (Format.asprintf "%a" Solver.pp_outcome m.Solver.outcome)
+    in
+    milp_rung 0 (solve_attempt base_solver)
+  end
 
 let optimize ?options ?config machine cfg ~memory ~deadline =
   let profile = Dvs_profile.Profile.collect machine cfg ~memory in

@@ -1,5 +1,44 @@
 (** End-to-end compile-time DVS: profile -> (filter) -> MILP -> schedule
-    -> verify.  The driver behind the experiments and the CLI. *)
+    -> verify.  The driver behind the experiments and the CLI.
+
+    {b Degradation ladder.} With {!Resilience.t.ladder} on (the default)
+    the pipeline is {e anytime}: instead of surfacing a failed or
+    suspect MILP solve, it walks a ladder of progressively cheaper
+    strategies until one produces a schedule that passes re-simulation —
+    full MILP, then bounded cold retries without the warm start, then
+    argmax rounding of the bare LP relaxation, then the
+    single-best-frequency baseline.  Every rung is post-checked with
+    {!Verify.run} (deadline met in simulation), degraded rungs are
+    additionally rejected when they cost more energy than the
+    single-mode baseline, and the result names the accepted rung plus
+    every rejection on the way down ({!result.rung},
+    {!result.descents}). *)
+
+(** Retry/fallback policy for the degradation ladder. *)
+module Resilience : sig
+  type t = {
+    ladder : bool;
+        (** walk the degradation ladder (default true); when false the
+            pipeline reproduces the historic single-shot behavior *)
+    max_retries : int;
+        (** cold MILP retries before falling to the LP rung (default 2) *)
+    retry_budget_factor : float;
+        (** node budget multiplier per retry, in (0, 1] (default 0.5):
+            retry [k] runs with [max_nodes *. factor^k] *)
+  }
+
+  val make :
+    ?ladder:bool -> ?max_retries:int -> ?retry_budget_factor:float ->
+    unit -> t
+  (** Raises [Invalid_argument] when [max_retries < 0] or
+      [retry_budget_factor] is outside (0, 1]. *)
+
+  val default : t
+  (** [make ()]: ladder on, 2 retries, factor 0.5. *)
+
+  val off : t
+  (** Ladder disabled — historic single-shot pipeline. *)
+end
 
 (** Builder-style pipeline configuration; construct with {!Config.make}.
     The MILP leg is configured through a nested
@@ -10,17 +49,25 @@ module Config : sig
     filter : bool;  (** apply Section 5.2 edge filtering (default true) *)
     filter_threshold : float;  (** default 0.02 *)
     solver : Dvs_milp.Solver.Config.t;
-    verify : bool;  (** re-simulate the chosen schedule (default true) *)
+    verify : bool;  (** re-simulate the chosen schedule (default true);
+                        with the ladder on, rungs are verified regardless
+                        — this flag only controls whether the historic
+                        single-shot path attaches a report *)
+    resilience : Resilience.t;
   }
 
   val make :
     ?filter:bool -> ?filter_threshold:float ->
-    ?solver:Dvs_milp.Solver.Config.t -> ?verify:bool -> unit -> t
-  (** [solver] defaults to [Dvs_milp.Solver.Config.make ()]. *)
+    ?solver:Dvs_milp.Solver.Config.t -> ?verify:bool ->
+    ?resilience:Resilience.t -> unit -> t
+  (** [solver] defaults to [Dvs_milp.Solver.Config.make ()];
+      [resilience] to {!Resilience.default}. *)
 
   val default : t
 
   val with_solver : Dvs_milp.Solver.Config.t -> t -> t
+
+  val with_resilience : Resilience.t -> t -> t
 end
 
 (** Deprecated record API; use {!Config.make}.  Kept so existing callers
@@ -37,18 +84,64 @@ val default_options : options
 
 val config_of_options : options -> Config.t
 
+(** Which strategy of the degradation ladder produced the schedule. *)
+type rung =
+  | Milp  (** first full MILP solve *)
+  | Milp_retry of int
+      (** [k]-th cold retry: no warm start, no shared cache, node budget
+          scaled by [retry_budget_factor^k] *)
+  | Rounded_lp
+      (** argmax rounding of the bare LP relaxation (the one-binary-per
+          SOS1-group structure makes fractional argmax a valid schedule) *)
+  | Single_mode  (** {!Baselines.best_single_mode} pinned everywhere *)
+
+val pp_rung : Format.formatter -> rung -> unit
+
+(** Why a rung was rejected. *)
+type cause =
+  | Limit_hit  (** node/time budget exhausted without a usable incumbent *)
+  | Worker_crash  (** solver outcome was [Degraded] *)
+  | Numeric  (** simplex pivot exhaustion ([Iter_limit]) or LP failure *)
+  | Verify_reject
+      (** re-simulation missed the deadline, or a degraded answer cost
+          more than the single-mode baseline *)
+
+type descent = { rung_failed : rung; cause : cause; detail : string }
+
+val pp_descent : Format.formatter -> descent -> unit
+
+(** Coarse health of a pipeline result, for exit codes and reporting.
+    Precedence when several apply: crash > verify > time. *)
+type degradation_class =
+  | Full  (** optimal MILP schedule, verified — nothing degraded *)
+  | Time_degraded
+      (** a limit forced a suboptimal (but verified) schedule *)
+  | Crash_degraded  (** worker crashes were contained along the way *)
+  | Verify_degraded  (** at least one rung was rejected by re-simulation *)
+  | Problem_infeasible  (** no deadline-feasible schedule exists *)
+  | No_schedule  (** every rung failed *)
+
+val pp_class : Format.formatter -> degradation_class -> unit
+
 type result = {
   categories : Formulation.category list;
   formulation : Formulation.t;
   milp : Dvs_milp.Solver.result;
-      (** full solver result: outcome, solution, bound and
-          {!Dvs_milp.Solver.stats} *)
-  predicted_energy : float option;  (** joules (objective / 1e6) *)
+      (** the accepted MILP attempt's solver result — or, when a lower
+          rung answered, the {e first} attempt's (its outcome explains
+          why the ladder descended) *)
+  predicted_energy : float option;
+      (** joules (objective / 1e6); for {!rung.Rounded_lp} this is the LP
+          relaxation bound, a lower bound rather than a prediction *)
   schedule : Schedule.t option;
   verification : Verify.report option;  (** against the first category *)
-  solve_seconds : float;  (** wall-clock time in the MILP solver *)
+  solve_seconds : float;  (** wall-clock seconds summed over MILP attempts *)
   independent_edges : int;  (** after filtering, incl. the virtual edge *)
+  rung : rung option;  (** accepted rung; [None] iff [schedule] is [None] *)
+  descents : descent list;  (** rejections on the way down, in order *)
 }
+
+val classify : result -> degradation_class
 
 val optimize_multi :
   ?options:options ->

@@ -47,6 +47,8 @@ let solve ?(options = default_options) model =
     | Solver.Infeasible -> Infeasible
     | Solver.Unbounded -> Unbounded
     | Solver.No_solution _ -> No_solution
+    | Solver.Degraded _ -> (
+      match r.Solver.solution with Some _ -> Feasible | None -> No_solution)
   in
   { outcome; solution = r.Solver.solution; bound = r.Solver.bound;
     nodes = r.Solver.stats.Solver.nodes }

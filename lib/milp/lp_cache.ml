@@ -19,17 +19,31 @@ type key = {
   fixings : (Model.var * float * float) list;  (* sorted by var *)
 }
 
+(* Entries carry a last-use stamp for LRU eviction.  Eviction scans the
+   table for the minimum stamp: O(n), but it only runs once per insert
+   beyond capacity and n <= max_entries, while every miss costs a full
+   LP solve — the scan is noise by comparison. *)
+type entry = {
+  status : Simplex.status;
+  basis : Simplex.basis option;
+  mutable stamp : int;
+}
+
 type t = {
   mutex : Mutex.t;
-  table : (key, Simplex.status * Simplex.basis option) Hashtbl.t;
+  table : (key, entry) Hashtbl.t;
   max_entries : int;
+  mutable tick : int;
   mutable hits : int;
   mutable misses : int;
+  mutable evictions : int;
 }
 
 let create ?(max_entries = 4096) () =
+  if max_entries < 1 then
+    invalid_arg "Lp_cache.create: max_entries must be >= 1";
   { mutex = Mutex.create (); table = Hashtbl.create 64; max_entries;
-    hits = 0; misses = 0 }
+    tick = 0; hits = 0; misses = 0; evictions = 0 }
 
 let hits t =
   Mutex.lock t.mutex;
@@ -42,6 +56,12 @@ let misses t =
   let m = t.misses in
   Mutex.unlock t.mutex;
   m
+
+let evictions t =
+  Mutex.lock t.mutex;
+  let e = t.evictions in
+  Mutex.unlock t.mutex;
+  e
 
 let length t =
   Mutex.lock t.mutex;
@@ -89,21 +109,44 @@ let copy_status = function
   | (Simplex.Infeasible | Simplex.Unbounded | Simplex.Iter_limit _) as st ->
     st
 
+let touch t e =
+  t.tick <- t.tick + 1;
+  e.stamp <- t.tick
+
+let evict_lru t =
+  let victim =
+    Hashtbl.fold
+      (fun k e acc ->
+        match acc with
+        | Some (_, stamp) when stamp <= e.stamp -> acc
+        | _ -> Some (k, e.stamp))
+      t.table None
+  in
+  match victim with
+  | Some (k, _) ->
+    Hashtbl.remove t.table k;
+    t.evictions <- t.evictions + 1
+  | None -> ()
+
 let find_or_add t ~fingerprint ~fixings compute =
   let key = { fp = fingerprint; fixings } in
   Mutex.lock t.mutex;
   match Hashtbl.find_opt t.table key with
-  | Some (st, basis) ->
+  | Some e ->
     t.hits <- t.hits + 1;
+    touch t e;
     Mutex.unlock t.mutex;
-    (copy_status st, basis)
+    (copy_status e.status, e.basis)
   | None ->
     t.misses <- t.misses + 1;
     Mutex.unlock t.mutex;
     let ((st, basis) as r) = compute () in
     Mutex.lock t.mutex;
-    if Hashtbl.length t.table < t.max_entries
-       && not (Hashtbl.mem t.table key)
-    then Hashtbl.add t.table key (copy_status st, basis);
+    if not (Hashtbl.mem t.table key) then begin
+      if Hashtbl.length t.table >= t.max_entries then evict_lru t;
+      let e = { status = copy_status st; basis; stamp = 0 } in
+      touch t e;
+      Hashtbl.add t.table key e
+    end;
     Mutex.unlock t.mutex;
     r

@@ -4,14 +4,17 @@
     canonical list of bound fixings layered on top of it, so a cache can
     be shared across many {!Solver} runs over the same formulation (the
     bench sweep drivers re-solve near-identical models hundreds of times)
-    as well as within one run.  Capacity is bounded: once [max_entries]
-    distinct keys are stored, further inserts are dropped (lookups still
-    work), so a runaway search cannot exhaust memory. *)
+    as well as within one run.  Capacity is bounded with LRU eviction:
+    an insert beyond [max_entries] evicts the least-recently-used entry
+    (and counts it in {!evictions}), so caches shared across whole bench
+    sweeps stay hot on the current formulation instead of growing
+    without limit or freezing on a first-come snapshot. *)
 
 type t
 
 val create : ?max_entries:int -> unit -> t
-(** [max_entries] defaults to 4096. *)
+(** [max_entries] defaults to 4096.  Raises [Invalid_argument] when
+    [max_entries < 1]. *)
 
 val fingerprint : Dvs_lp.Model.t -> int
 (** Structural hash of bounds, integrality, constraints and objective
@@ -33,5 +36,8 @@ val find_or_add :
 val hits : t -> int
 
 val misses : t -> int
+
+val evictions : t -> int
+(** Entries displaced by LRU eviction since creation. *)
 
 val length : t -> int

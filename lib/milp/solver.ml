@@ -41,11 +41,12 @@ module Config = struct
     log : (string -> unit) option;
     cache : Lp_cache.t option;
     cache_depth : int;
+    fault : Fault.t option;
   }
 
   let make ?jobs ?(max_nodes = 200_000) ?time_limit ?(gap_rel = 1e-9)
       ?(int_tol = 1e-6) ?(rounding = true) ?log ?cache ?(cache_depth = 4)
-      () =
+      ?fault () =
     let jobs =
       match jobs with
       | Some j when j >= 1 -> j
@@ -53,7 +54,7 @@ module Config = struct
       | None -> Domain.recommended_domain_count ()
     in
     { jobs; max_nodes; int_tol; gap_rel; time_limit; rounding; sos1 = [];
-      warm_start = []; log; cache; cache_depth }
+      warm_start = []; log; cache; cache_depth; fault }
 
   let default = make ()
 
@@ -68,6 +69,8 @@ module Config = struct
   let with_log log t = { t with log = Some log }
 
   let with_cache cache t = { t with cache = Some cache }
+
+  let with_fault fault t = { t with fault = Some fault }
 end
 
 type stop_reason = Node_limit | Time_limit | Iter_limit
@@ -79,12 +82,25 @@ let pp_stop_reason ppf r =
     | Time_limit -> "time limit"
     | Iter_limit -> "simplex iteration limit")
 
+type crash = {
+  worker : int;
+  depth : int;
+  path : int list;
+  message : string;
+}
+
+type degradation = {
+  crashes : crash list;
+  stopped : stop_reason option;
+}
+
 type outcome =
   | Optimal
   | Feasible of stop_reason
   | Infeasible
   | Unbounded
   | No_solution of stop_reason
+  | Degraded of degradation
 
 let pp_outcome ppf = function
   | Optimal -> Format.pp_print_string ppf "optimal"
@@ -92,6 +108,14 @@ let pp_outcome ppf = function
   | Infeasible -> Format.pp_print_string ppf "infeasible"
   | Unbounded -> Format.pp_print_string ppf "unbounded"
   | No_solution r -> Format.fprintf ppf "no solution (%a hit)" pp_stop_reason r
+  | Degraded { crashes; stopped } ->
+    let n = List.length crashes in
+    Format.fprintf ppf "degraded (%d worker crash%s contained%a)" n
+      (if n = 1 then "" else "es")
+      (fun ppf -> function
+        | Some r -> Format.fprintf ppf ", %a hit" pp_stop_reason r
+        | None -> ())
+      stopped
 
 type stats = {
   nodes : int;
@@ -196,9 +220,15 @@ let solve ?(config = Config.default) model =
   in
   let wall_start = Unix.gettimeofday () in
   let cpu_start = Sys.time () in
+  (* Fault injection (tests and the resilience bench only): [skew] shifts
+     the clock the time-limit check reads, the other hooks fire at their
+     call sites below. *)
+  let skew =
+    match config.fault with Some f -> Fault.clock_skew f | None -> 0.0
+  in
   let out_of_time () =
     match config.time_limit with
-    | Some l -> Unix.gettimeofday () -. wall_start > l
+    | Some l -> Unix.gettimeofday () +. skew -. wall_start > l
     | None -> false
   in
   let cache =
@@ -218,12 +248,17 @@ let solve ?(config = Config.default) model =
   let in_flight = Atomic.make 0 in
   let stop : stop_reason option Atomic.t = Atomic.make None in
   let unbounded = Atomic.make false in
-  let crashed : exn option Atomic.t = Atomic.make None in
-  let request_stop r = ignore (Atomic.compare_and_set stop None (Some r)) in
-  let stopping () =
-    Atomic.get stop <> None || Atomic.get unbounded
-    || Atomic.get crashed <> None
+  (* Contained worker crashes (newest first), with the crashed node's
+     bound so the reported [bound] stays valid for the lost subtree. *)
+  let crash_lock = Mutex.create () in
+  let crash_log : (crash * float) list ref = ref [] in
+  let record_crash c bound =
+    Mutex.lock crash_lock;
+    crash_log := (c, bound) :: !crash_log;
+    Mutex.unlock crash_lock
   in
+  let request_stop r = ignore (Atomic.compare_and_set stop None (Some r)) in
+  let stopping () = Atomic.get stop <> None || Atomic.get unbounded in
   let try_incumbent path (s : Simplex.solution) =
     Mutex.lock inc_lock;
     let take =
@@ -261,15 +296,32 @@ let solve ?(config = Config.default) model =
      the cached entry is a pure function of the key (determinism). *)
   let lp_solve ?basis m =
     Atomic.incr lp_solves;
-    let st, b, (sst : Simplex.stats) = Simplex.solve_ext ?basis m in
+    let max_iter =
+      match config.fault with Some f -> Fault.pivot_budget f | None -> None
+    in
+    let st, b, (sst : Simplex.stats) = Simplex.solve_ext ?max_iter ?basis m in
     ignore (Atomic.fetch_and_add lp_pivots sst.Simplex.pivots);
     (st, b)
   in
   let solve_relaxation ~depth ~basis overrides =
-    if depth <= config.cache_depth then
+    let cacheable = depth <= config.cache_depth in
+    let forced_miss =
+      (* Only consult (and advance) the injector on lookups that would
+         otherwise hit the cache path. *)
+      cacheable
+      &&
+      match config.fault with
+      | Some f -> Fault.force_cache_miss f
+      | None -> false
+    in
+    if cacheable && not forced_miss then
       Lp_cache.find_or_add cache ~fingerprint:fp
         ~fixings:(canonical_fixings overrides)
         (fun () -> lp_solve (apply_overrides model overrides))
+    else if cacheable then
+      (* Forced miss: same basis-free solve the cache closure would run,
+         just never stored. *)
+      lp_solve (apply_overrides model overrides)
     else lp_solve ?basis (apply_overrides model overrides)
   in
   (* Rounding heuristic: SOS1 groups round to their largest member (one
@@ -412,6 +464,9 @@ let solve ?(config = Config.default) model =
     else begin
       Atomic.incr nodes;
       worker_nodes.(wid) <- worker_nodes.(wid) + 1;
+      (match config.fault with
+      | Some f -> Fault.on_node f ~worker:wid
+      | None -> ());
       match solve_relaxation ~depth:n.depth ~basis:n.basis n.overrides with
       | Simplex.Iter_limit _, _ ->
         (* Numerical trouble in this node's relaxation: stop cleanly with
@@ -469,7 +524,17 @@ let solve ?(config = Config.default) model =
         | Some n ->
           idle := 0;
           (try process wid n
-           with e -> Atomic.set crashed (Some e));
+           with e ->
+             (* Containment: only this node's subtree is lost.  The rest
+                of the pool keeps searching, and the crash (plus the
+                node's bound, which covers the lost subtree) degrades
+                the final outcome instead of aborting the solve. *)
+             let c =
+               { worker = wid; depth = n.depth; path = n.path;
+                 message = Printexc.to_string e }
+             in
+             record_crash c n.bound;
+             log "worker %d crashed at depth %d: %s" wid n.depth c.message);
           Atomic.decr in_flight
         | None ->
           if Atomic.get in_flight = 0 then running := false
@@ -505,21 +570,22 @@ let solve ?(config = Config.default) model =
   in
   worker 0 ();
   Array.iter Domain.join domains;
-  (match Atomic.get crashed with Some e -> raise e | None -> ());
   (* ---- finish: best proven bound and outcome ---- *)
+  let crashes = List.rev_map fst !crash_log in
+  let crashed_bounds = List.map snd !crash_log in
   let leftovers =
     Array.to_list queues |> List.concat_map Work_queue.drain
   in
   let inc_objective () =
     match !incumbent with Some (s, _) -> s.Simplex.objective | None -> worst
   in
+  (* Open bounds: undrained nodes plus the bounds of crashed nodes, whose
+     subtrees were lost unexplored. *)
   let bound =
-    match leftovers with
+    match List.map (fun n -> n.bound) leftovers @ crashed_bounds with
     | [] -> inc_objective ()
-    | ns ->
-      List.fold_left
-        (fun acc n -> if better n.bound acc then n.bound else acc)
-        (List.hd ns).bound (List.tl ns)
+    | b :: bs ->
+      List.fold_left (fun acc b -> if better b acc then b else acc) b bs
   in
   let stopped = Atomic.get stop in
   let stats =
@@ -535,14 +601,19 @@ let solve ?(config = Config.default) model =
     match !incumbent with
     | Some (s, _) ->
       let outcome =
-        match stopped with
-        | Some reason when not (gap_prune bound) -> Feasible reason
-        | Some _ | None -> Optimal
+        if crashes <> [] then Degraded { crashes; stopped }
+        else
+          match stopped with
+          | Some reason when not (gap_prune bound) -> Feasible reason
+          | Some _ | None -> Optimal
       in
       { outcome; solution = Some s; bound; stats }
     | None ->
       if Atomic.get unbounded then
         { outcome = Unbounded; solution = None; bound; stats }
+      else if crashes <> [] then
+        { outcome = Degraded { crashes; stopped }; solution = None; bound;
+          stats }
       else (
         match stopped with
         | Some reason ->

@@ -18,6 +18,14 @@
     relaxations are solved without the basis hint so cache contents never
     depend on worker interleaving.
 
+    {b Fault tolerance.} A worker exception never aborts the solve: the
+    crash is contained to the node being processed (only that subtree is
+    lost), the pool drains normally, and the result carries a
+    {!outcome.Degraded} outcome recording every contained crash together
+    with the best incumbent found.  A {!Fault} injector can be attached
+    ([Config.with_fault]) to force crashes, pivot exhaustion, cache
+    misses and clock skew deterministically in tests.
+
     This replaces the paper's CPLEX: the DVS MILPs it targets have a few
     hundred binaries (after edge filtering) with a one-mode-per-edge SOS1
     structure whose LP relaxations are close to integral. *)
@@ -44,12 +52,15 @@ module Config : sig
         (** share an LP-relaxation cache across solves; a private one is
             created per solve when absent *)
     cache_depth : int;  (** memoize relaxations up to this depth; default 4 *)
+    fault : Fault.t option;
+        (** fault injector (tests and the resilience bench); [None] in
+            production solves *)
   }
 
   val make :
     ?jobs:int -> ?max_nodes:int -> ?time_limit:float -> ?gap_rel:float ->
     ?int_tol:float -> ?rounding:bool -> ?log:(string -> unit) ->
-    ?cache:Lp_cache.t -> ?cache_depth:int -> unit -> t
+    ?cache:Lp_cache.t -> ?cache_depth:int -> ?fault:Fault.t -> unit -> t
   (** Raises [Invalid_argument] if [jobs < 1]. *)
 
   val default : t
@@ -64,12 +75,26 @@ module Config : sig
   val with_log : (string -> unit) -> t -> t
 
   val with_cache : Lp_cache.t -> t -> t
+
+  val with_fault : Fault.t -> t -> t
 end
 
 type stop_reason =
   | Node_limit
   | Time_limit
   | Iter_limit  (** the simplex pivot budget ran out inside a relaxation *)
+
+type crash = {
+  worker : int;  (** worker id that contained the exception *)
+  depth : int;  (** depth of the node being processed *)
+  path : int list;  (** its branch path (innermost decision first) *)
+  message : string;  (** [Printexc.to_string] of the exception *)
+}
+
+type degradation = {
+  crashes : crash list;  (** contained worker crashes, oldest first *)
+  stopped : stop_reason option;  (** a limit additionally hit, if any *)
+}
 
 type outcome =
   | Optimal  (** proven within the gap *)
@@ -78,6 +103,12 @@ type outcome =
   | Infeasible
   | Unbounded
   | No_solution of stop_reason  (** limits hit before any incumbent *)
+  | Degraded of degradation
+      (** worker exceptions were contained: only the crashed nodes'
+          subtrees were lost, the rest of the search completed, and the
+          best incumbent (if any) is in {!result.solution}.  Optimality
+          cannot be claimed; {!result.bound} still covers the lost
+          subtrees via the crashed nodes' parent-relaxation bounds. *)
 
 type stats = {
   nodes : int;  (** nodes explored *)

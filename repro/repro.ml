@@ -7,7 +7,9 @@ let () =
   let m = Model.create () in
   let x = Model.add_var ~integer:true ~lb:0.0 ~ub:10.0 m in
   let y = Model.add_var ~integer:true ~lb:0.0 ~ub:10.0 m in
-  Model.add_constr m Expr.(add (scale 2.0 (var x)) (scale 2.0 (var y))) Model.Le 7.0;
+  Model.add_constraint m
+    Expr.(add (scale 2.0 (var x)) (scale 2.0 (var y)))
+    Model.Le 7.0;
   Model.set_objective m Model.Maximize Expr.(add (var x) (var y));
   let config = Solver.Config.make ~jobs:1 ~max_nodes:10_000 () in
   let r = Solver.solve ~config m in
