@@ -79,12 +79,18 @@ let default_regulator = scaled_regulator ~paper_capacitance:10e-6
    shallow search prefixes), which this short-circuits. *)
 let lp_cache = Dvs_milp.Lp_cache.create ~max_entries:16384 ()
 
+(* Shared metrics registry for the whole sweep: every solve the harness
+   runs reports into it, and `--emit-bench' derives BENCH_milp.json from
+   its totals.  Metrics only — a trace log would saturate its capacity
+   over hundreds of solves. *)
+let obs = Dvs_obs.metrics_only ()
+
 (* MILP configuration used throughout the harness: bounded so no single
    cell can hang the run; jobs=1 keeps table cells comparable with the
    paper's single-core CPLEX times (the `jobs' experiment sweeps it). *)
 let solver_config ?(jobs = 1) () =
   Dvs_milp.Solver.Config.make ~jobs ~max_nodes:4000 ~time_limit:15.0
-    ~cache:lp_cache ()
+    ~cache:lp_cache ~obs ()
 
 let pipeline_config =
   Dvs_core.Pipeline.Config.make ~solver:(solver_config ()) ()

@@ -5,7 +5,11 @@
    Usage:
      dune exec bench/main.exe            -- everything
      dune exec bench/main.exe -- list    -- experiment ids
-     dune exec bench/main.exe -- fig15 table6 ...  -- a subset *)
+     dune exec bench/main.exe -- fig15 table6 ...  -- a subset
+
+   --emit-bench FILE additionally writes a dvs-bench/v1 summary
+   (BENCH_milp.json in CI) derived from the shared Context.obs metrics
+   registry every solve reported into. *)
 
 let registry =
   (* Order: analytical model first (Section 3), then the MILP evaluation
@@ -33,20 +37,57 @@ let run_one (id, f) =
   f ();
   Printf.printf "[%s done in %.1fs]\n%!" id (Unix.gettimeofday () -. t0)
 
+let rec split_emit emit acc = function
+  | [] -> (emit, List.rev acc)
+  | [ "--emit-bench" ] ->
+    Printf.eprintf "--emit-bench needs a FILE argument\n";
+    exit 1
+  | "--emit-bench" :: file :: rest -> split_emit (Some file) acc rest
+  | a :: rest -> split_emit emit (a :: acc) rest
+
+let emit_bench file ~experiments ~wall_seconds =
+  let j =
+    Dvs_obs.Schema.bench_summary
+      ~metrics:(Dvs_obs.metrics Context.obs)
+      ~experiments ~wall_seconds ()
+  in
+  (match Dvs_obs.Schema.validate_bench j with
+  | Ok () -> ()
+  | Error e ->
+    Printf.eprintf "internal error: bench summary fails its own schema: %s\n" e;
+    exit 1);
+  let oc = open_out file in
+  Dvs_obs.Json.to_channel oc j;
+  output_char oc '\n';
+  close_out oc;
+  Printf.printf "bench summary written to %s\n%!" file
+
 let () =
-  match Array.to_list Sys.argv with
-  | _ :: "list" :: _ ->
-    List.iter (fun (id, _) -> print_endline id) registry
-  | _ :: (_ :: _ as ids) ->
-    List.iter
-      (fun id ->
-        match List.assoc_opt id registry with
-        | Some f -> run_one (id, f)
-        | None ->
-          Printf.eprintf "unknown experiment %s (try 'list')\n" id;
-          exit 1)
+  let emit, args = split_emit None [] (List.tl (Array.to_list Sys.argv)) in
+  let t0 = Unix.gettimeofday () in
+  let ran =
+    match args with
+    | "list" :: _ ->
+      List.iter (fun (id, _) -> print_endline id) registry;
+      []
+    | _ :: _ as ids ->
+      List.iter
+        (fun id ->
+          match List.assoc_opt id registry with
+          | Some f -> run_one (id, f)
+          | None ->
+            Printf.eprintf "unknown experiment %s (try 'list')\n" id;
+            exit 1)
+        ids;
       ids
-  | _ ->
-    print_endline
-      "Compile-time DVS (PLDI'03) reproduction -- full experiment sweep";
-    List.iter run_one unique_registry
+    | [] ->
+      print_endline
+        "Compile-time DVS (PLDI'03) reproduction -- full experiment sweep";
+      List.iter run_one unique_registry;
+      List.map fst unique_registry
+  in
+  match emit with
+  | Some file ->
+    emit_bench file ~experiments:ran
+      ~wall_seconds:(Unix.gettimeofday () -. t0)
+  | None -> ()

@@ -5,8 +5,14 @@
      simulate  <workload>          pinned simulation at each mode
      profile   <workload>          profile + measured Table-7 parameters
      optimize  <workload>          MILP schedule for a deadline
+     reproduce <workload>          pipeline across the Table-4 deadline set
+     stats                         pretty-print --trace/--metrics files
      analyze                       analytical model on given parameters
-     compile   <file.mc>           compile MiniC; dump the CFG (or DOT) *)
+     compile   <file.mc>           compile MiniC; dump the CFG (or DOT)
+
+   simulate, optimize and reproduce accept --trace FILE (dvs-trace/v1
+   JSONL) and --metrics FILE (dvs-metrics/v1 snapshot); stats reads
+   both back. *)
 
 open Cmdliner
 
@@ -102,6 +108,46 @@ let input_of w = function
   | Some i -> i
   | None -> Dvs_workloads.Workload.default_input w
 
+(* ---------------- observability plumbing ---------------- *)
+
+let trace_out_opt =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace" ] ~docv:"FILE"
+        ~doc:"Write a dvs-trace/v1 JSONL event log to FILE (inspect with \
+              $(b,dvstool stats)).")
+
+let metrics_out_opt =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "metrics" ] ~docv:"FILE"
+        ~doc:"Write a dvs-metrics/v1 snapshot to FILE (inspect with \
+              $(b,dvstool stats)).")
+
+let obs_for ~trace ~metrics =
+  if trace = None && metrics = None then Dvs_obs.disabled
+  else Dvs_obs.create ()
+
+let export_obs obs ~trace ~metrics ~meta =
+  (match trace with
+  | Some file ->
+    let oc = open_out file in
+    Dvs_obs.Trace.write_jsonl (Dvs_obs.trace obs) oc;
+    close_out oc;
+    Format.eprintf "trace written to %s@." file
+  | None -> ());
+  match metrics with
+  | Some file ->
+    let oc = open_out file in
+    Dvs_obs.Json.to_channel oc
+      (Dvs_obs.Metrics.snapshot ~meta (Dvs_obs.metrics obs));
+    output_char oc '\n';
+    close_out oc;
+    Format.eprintf "metrics written to %s@." file
+  | None -> ()
+
 (* ---------------- list ---------------- *)
 
 let list_cmd =
@@ -126,16 +172,18 @@ let ooo_opt =
               in-order one.")
 
 let simulate_cmd =
-  let run w input capacitance levels ooo =
+  let run w input capacitance levels ooo trace metrics =
     let input = input_of w input in
     let cfg, _, mem = Dvs_workloads.Workload.load w ~input in
     let machine = machine ~capacitance ~levels in
+    let obs = obs_for ~trace ~metrics in
     let n = Dvs_power.Mode.size machine.Dvs_machine.Config.mode_table in
     for m = 0 to n - 1 do
       let r =
         if ooo then
           Dvs_machine.Cpu_ooo.run ~initial_mode:m machine cfg ~memory:mem
-        else Dvs_machine.Cpu.run ~initial_mode:m machine cfg ~memory:mem
+        else
+          Dvs_machine.Cpu.run ~initial_mode:m ~obs machine cfg ~memory:mem
       in
       Format.printf
         "mode %d (%a): %.3f ms, %.1f uJ, %d instrs, L1 miss %.2f%%, L2 \
@@ -151,13 +199,20 @@ let simulate_cmd =
         (100.0
         *. float_of_int r.Dvs_machine.Cpu.l2.Dvs_machine.Cache.misses
         /. float_of_int (Int.max 1 r.Dvs_machine.Cpu.l2.Dvs_machine.Cache.accesses))
-    done
+    done;
+    export_obs obs ~trace ~metrics
+      ~meta:
+        [ ("command", Dvs_obs.Json.String "simulate");
+          ("workload", Dvs_obs.Json.String w.Dvs_workloads.Workload.name);
+          ("input", Dvs_obs.Json.String input);
+          ("capacitance", Dvs_obs.Json.Float capacitance);
+          ("modes", Dvs_obs.Json.Int n) ]
   in
   Cmd.v
     (Cmd.info "simulate" ~doc:"Run a workload pinned at each DVS mode")
     Term.(
       const run $ workload_pos $ input_opt $ capacitance_opt $ levels_opt
-      $ ooo_opt)
+      $ ooo_opt $ trace_out_opt $ metrics_out_opt)
 
 (* ---------------- profile ---------------- *)
 
@@ -250,7 +305,8 @@ let exit_code ~strict cls =
   | Dvs_core.Pipeline.Verify_degraded -> if strict then 5 else 0
 
 let optimize_cmd =
-  let run w input capacitance levels frac no_filter save jobs strict =
+  let run w input capacitance levels frac no_filter save jobs strict trace
+      metrics =
     let input = input_of w input in
     let cfg, _, mem = Dvs_workloads.Workload.load w ~input in
     let machine = machine ~capacitance ~levels in
@@ -259,16 +315,27 @@ let optimize_cmd =
     let t_fast = Dvs_profile.Profile.pinned_time p ~mode:(n - 1) in
     let t_slow = Dvs_profile.Profile.pinned_time p ~mode:0 in
     let deadline = t_fast +. (frac *. (t_slow -. t_fast)) in
+    let obs = obs_for ~trace ~metrics in
+    let solver = Dvs_milp.Solver.Config.make ?jobs () in
     let config =
-      Dvs_core.Pipeline.Config.make ~filter:(not no_filter)
-        ~solver:(Dvs_milp.Solver.Config.make ?jobs ())
-        ()
+      Dvs_core.Pipeline.Config.make ~filter:(not no_filter) ~solver ()
+      |> Dvs_core.Pipeline.Config.with_obs obs
     in
     let r =
       Dvs_core.Pipeline.optimize_multi ~config ~verify_config:machine
         ~regulator:machine.Dvs_machine.Config.regulator ~memory:mem
         [ { Dvs_core.Formulation.profile = p; weight = 1.0; deadline } ]
     in
+    (* Export before any of the exit paths below. *)
+    export_obs obs ~trace ~metrics
+      ~meta:
+        [ ("command", Dvs_obs.Json.String "optimize");
+          ("workload", Dvs_obs.Json.String w.Dvs_workloads.Workload.name);
+          ("input", Dvs_obs.Json.String input);
+          ("jobs", Dvs_obs.Json.Int solver.Dvs_milp.Solver.Config.jobs);
+          ("deadline", Dvs_obs.Json.Float deadline);
+          ("deadline_frac", Dvs_obs.Json.Float frac);
+          ("capacitance", Dvs_obs.Json.Float capacitance) ];
     let milp = r.Dvs_core.Pipeline.milp in
     Format.printf "deadline: %.3f ms (range %.3f..%.3f)@." (deadline *. 1e3)
       (t_fast *. 1e3) (t_slow *. 1e3);
@@ -346,7 +413,7 @@ let optimize_cmd =
     Term.(
       const run $ workload_pos $ input_opt $ capacitance_opt $ levels_opt
       $ deadline_frac_opt $ no_filter_opt $ save_opt $ jobs_opt
-      $ strict_opt)
+      $ strict_opt $ trace_out_opt $ metrics_out_opt)
 
 (* ---------------- apply ---------------- *)
 
@@ -395,6 +462,227 @@ let apply_cmd =
     Term.(
       const run $ workload_pos $ input_opt $ capacitance_opt $ levels_opt
       $ schedule_file)
+
+(* ---------------- reproduce ---------------- *)
+
+let reproduce_cmd =
+  let run w input capacitance levels jobs trace metrics =
+    let input = input_of w input in
+    let cfg, _, mem = Dvs_workloads.Workload.load w ~input in
+    let machine = machine ~capacitance ~levels in
+    let p = Dvs_profile.Profile.collect machine cfg ~memory:mem in
+    let deadlines = Dvs_workloads.Deadlines.of_profile p in
+    let obs = obs_for ~trace ~metrics in
+    let solver = Dvs_milp.Solver.Config.make ?jobs () in
+    let config =
+      Dvs_core.Pipeline.Config.make ~solver ()
+      |> Dvs_core.Pipeline.Config.with_obs obs
+    in
+    Format.printf "%-12s %-10s %-28s %10s %10s %8s@." "deadline(ms)"
+      "rung" "class" "pred(uJ)" "sim(uJ)" "save(%)";
+    Array.iter
+      (fun deadline ->
+        let r =
+          Dvs_core.Pipeline.optimize_multi ~config ~verify_config:machine
+            ~regulator:machine.Dvs_machine.Config.regulator ~memory:mem
+            [ { Dvs_core.Formulation.profile = p; weight = 1.0; deadline } ]
+        in
+        let rung =
+          match r.Dvs_core.Pipeline.rung with
+          | Some rg -> Format.asprintf "%a" Dvs_core.Pipeline.pp_rung rg
+          | None -> "-"
+        in
+        let cls =
+          Format.asprintf "%a" Dvs_core.Pipeline.pp_class
+            (Dvs_core.Pipeline.classify r)
+        in
+        let pred =
+          match r.Dvs_core.Pipeline.predicted_energy with
+          | Some e -> Printf.sprintf "%.1f" (e *. 1e6)
+          | None -> "-"
+        in
+        let sim =
+          match r.Dvs_core.Pipeline.verification with
+          | Some v ->
+            Printf.sprintf "%.1f"
+              (v.Dvs_core.Verify.stats.Dvs_machine.Cpu.energy *. 1e6)
+          | None -> "-"
+        in
+        let save =
+          match
+            ( r.Dvs_core.Pipeline.predicted_energy,
+              Dvs_core.Baselines.best_single_mode p ~deadline )
+          with
+          | Some e, Some (_, base) when base > 0.0 ->
+            Printf.sprintf "%.1f" (100.0 *. (1.0 -. (e /. base)))
+          | _ -> "-"
+        in
+        Format.printf "%-12.3f %-10s %-28s %10s %10s %8s@."
+          (deadline *. 1e3) rung cls pred sim save)
+      deadlines;
+    export_obs obs ~trace ~metrics
+      ~meta:
+        [ ("command", Dvs_obs.Json.String "reproduce");
+          ("workload", Dvs_obs.Json.String w.Dvs_workloads.Workload.name);
+          ("input", Dvs_obs.Json.String input);
+          ("jobs", Dvs_obs.Json.Int solver.Dvs_milp.Solver.Config.jobs);
+          ("deadlines", Dvs_obs.Json.Int (Array.length deadlines));
+          ("capacitance", Dvs_obs.Json.Float capacitance) ]
+  in
+  Cmd.v
+    (Cmd.info "reproduce"
+       ~doc:
+         "Run the full pipeline across the paper's Table-4 deadline set \
+          for one workload")
+    Term.(
+      const run $ workload_pos $ input_opt $ capacitance_opt $ levels_opt
+      $ jobs_opt $ trace_out_opt $ metrics_out_opt)
+
+(* ---------------- stats ---------------- *)
+
+let stats_cmd =
+  let metrics_in =
+    Arg.(
+      value
+      & opt (some file) None
+      & info [ "metrics" ] ~docv:"FILE"
+          ~doc:"dvs-metrics/v1 snapshot to pretty-print.")
+  in
+  let trace_in =
+    Arg.(
+      value
+      & opt (some file) None
+      & info [ "trace" ] ~docv:"FILE"
+          ~doc:"dvs-trace/v1 JSONL event log to summarize.")
+  in
+  let check =
+    Arg.(
+      value & flag
+      & info [ "check" ]
+          ~doc:
+            "Validate the files against their documented schemas; exit 1 \
+             on the first violation.")
+  in
+  let read_file file =
+    let ic = open_in file in
+    let s = really_input_string ic (in_channel_length ic) in
+    close_in ic;
+    s
+  in
+  let fail fmt = Format.kasprintf (fun s -> Format.eprintf "%s@." s; exit 1) fmt in
+  let show_metrics file check =
+    let j =
+      match Dvs_obs.Json.of_string (read_file file) with
+      | Ok j -> j
+      | Error e -> fail "%s: not JSON: %s" file e
+    in
+    (match Dvs_obs.Schema.validate_metrics j with
+    | Ok () -> ()
+    | Error e ->
+      if check then fail "%s: schema violation: %s" file e
+      else Format.eprintf "warning: %s: %s@." file e);
+    let open Dvs_obs.Json in
+    (match member "meta" j with
+    | Some (Obj kvs) when kvs <> [] ->
+      Format.printf "meta:@.";
+      List.iter
+        (fun (k, v) -> Format.printf "  %-24s %s@." k (to_string v))
+        kvs
+    | _ -> ());
+    let section name pr =
+      match member name j with
+      | Some (Obj kvs) when kvs <> [] ->
+        Format.printf "%s:@." name;
+        List.iter (fun (k, v) -> pr k v) kvs
+      | _ -> ()
+    in
+    section "counters" (fun k v ->
+        let total = Option.bind (member "total" v) to_int in
+        let stab = Option.bind (member "stability" v) to_string_opt in
+        Format.printf "  %-28s %12d  (%s)@." k
+          (Option.value ~default:0 total)
+          (Option.value ~default:"?" stab));
+    section "gauges" (fun k v ->
+        let value = Option.bind (member "value" v) to_float in
+        Format.printf "  %-28s %12g@." k
+          (Option.value ~default:Float.nan value));
+    section "histograms" (fun k v ->
+        let count = Option.bind (member "count" v) to_int in
+        let sum = Option.bind (member "sum" v) to_float in
+        Format.printf "  %-28s count %-8d sum %g@." k
+          (Option.value ~default:0 count)
+          (Option.value ~default:0.0 sum))
+  in
+  let show_trace file check =
+    let text = read_file file in
+    let lines =
+      String.split_on_char '\n' text
+      |> List.filter (fun l -> String.trim l <> "")
+    in
+    (* name -> (count, span seconds) in first-seen order *)
+    let tbl : (string, int ref * float ref) Hashtbl.t = Hashtbl.create 32 in
+    let order = ref [] in
+    let dropped = ref 0 in
+    List.iteri
+      (fun i line ->
+        match Dvs_obs.Json.of_string line with
+        | Error e -> fail "%s:%d: not JSON: %s" file (i + 1) e
+        | Ok j ->
+          (match Dvs_obs.Schema.validate_trace_line j with
+          | Ok () -> ()
+          | Error e ->
+            if check then fail "%s:%d: schema violation: %s" file (i + 1) e
+            else Format.eprintf "warning: %s:%d: %s@." file (i + 1) e);
+          let open Dvs_obs.Json in
+          let name =
+            Option.value ~default:"?"
+              (Option.bind (member "name" j) to_string_opt)
+          in
+          if name = "trace.summary" then
+            dropped :=
+              Option.value ~default:0
+                (Option.bind (member "attrs" j) (fun a ->
+                     Option.bind (member "dropped" a) to_int))
+          else begin
+            let c, d =
+              match Hashtbl.find_opt tbl name with
+              | Some slot -> slot
+              | None ->
+                let slot = (ref 0, ref 0.0) in
+                Hashtbl.add tbl name slot;
+                order := name :: !order;
+                slot
+            in
+            incr c;
+            match Option.bind (member "dur" j) to_float with
+            | Some s -> d := !d +. s
+            | None -> ()
+          end)
+      lines;
+    Format.printf "trace: %d entries, %d dropped@."
+      (List.length lines - 1) !dropped;
+    List.iter
+      (fun name ->
+        let c, d = Hashtbl.find tbl name in
+        if !d > 0.0 then
+          Format.printf "  %-28s %8d  (%.3fs in spans)@." name !c !d
+        else Format.printf "  %-28s %8d@." name !c)
+      (List.rev !order)
+  in
+  let run metrics trace check =
+    if metrics = None && trace = None then begin
+      Format.eprintf "nothing to do: pass --metrics FILE and/or --trace FILE@.";
+      exit 2
+    end;
+    Option.iter (fun f -> show_metrics f check) metrics;
+    Option.iter (fun f -> show_trace f check) trace
+  in
+  Cmd.v
+    (Cmd.info "stats"
+       ~doc:
+         "Pretty-print (and with $(b,--check) validate) metrics / trace \
+          files written by $(b,--metrics) / $(b,--trace)")
+    Term.(const run $ metrics_in $ trace_in $ check)
 
 (* ---------------- analyze ---------------- *)
 
@@ -561,4 +849,5 @@ let () =
           (Cmd.info "dvstool" ~version:"1.0"
              ~doc:"Compile-time DVS toolkit (PLDI'03 reproduction)")
           [ list_cmd; simulate_cmd; profile_cmd; optimize_cmd; apply_cmd;
-            analyze_cmd; compile_cmd; paths_cmd; loops_cmd ]))
+            reproduce_cmd; stats_cmd; analyze_cmd; compile_cmd; paths_cmd;
+            loops_cmd ]))

@@ -46,6 +46,13 @@ module Config = struct
   let with_solver solver t = { t with solver }
 
   let with_resilience resilience t = { t with resilience }
+
+  (* The obs bundle lives in the nested solver config; setting it here
+     threads one registry through all three layers (solver, pipeline
+     rungs, verification simulator). *)
+  let with_obs obs t = { t with solver = Solver.Config.with_obs obs t.solver }
+
+  let obs t = t.solver.Solver.Config.obs
 end
 
 (* Deprecated record API, kept so existing callers compile; converted to
@@ -82,6 +89,12 @@ let pp_rung ppf = function
     Format.pp_print_string ppf "single-best-frequency baseline"
 
 type cause = Limit_hit | Worker_crash | Numeric | Verify_reject
+
+let cause_name = function
+  | Limit_hit -> "limit_hit"
+  | Worker_crash -> "worker_crash"
+  | Numeric -> "numeric"
+  | Verify_reject -> "verify_reject"
 
 type descent = { rung_failed : rung; cause : cause; detail : string }
 
@@ -148,6 +161,16 @@ let optimize_multi ?options ?config ?verify_config ~regulator ~memory
     | None, Some o -> config_of_options o
     | None, None -> Config.default
   in
+  let obs = Config.obs config in
+  let tr = Dvs_obs.trace obs in
+  let obs_on = Dvs_obs.enabled obs in
+  let module Tr = Dvs_obs.Trace in
+  let pipe_span =
+    if obs_on then
+      Tr.start tr ~stability:Tr.Stable "pipeline.optimize"
+        ~attrs:[ ("categories", Tr.Int (List.length categories)) ]
+    else Tr.start Tr.disabled "pipeline.optimize"
+  in
   let profiles =
     List.map (fun (c : Formulation.category) -> c.Formulation.profile)
       categories
@@ -196,11 +219,29 @@ let optimize_multi ?options ?config ?verify_config ~regulator ~memory
     | None -> profile0.Dvs_profile.Profile.config
   in
   let verify_run schedule predicted =
-    Verify.run vconfig cfg0 ~memory ~schedule ~deadline:deadline0
-      ~predicted_energy:predicted
+    let sp =
+      if obs_on then Tr.start tr ~stability:Tr.Stable "pipeline.verify"
+      else Tr.start Tr.disabled "pipeline.verify"
+    in
+    let v =
+      Verify.run ~obs vconfig cfg0 ~memory ~schedule ~deadline:deadline0
+        ~predicted_energy:predicted
+    in
+    if obs_on then
+      Tr.finish tr sp
+        ~attrs:
+          [ ("meets_deadline", Tr.Bool v.Verify.meets_deadline);
+            ("energy_error", Tr.Float v.Verify.energy_error) ];
+    v
   in
   let descents = ref [] in
   let note rung_failed cause detail =
+    if obs_on then
+      Tr.event tr ~stability:Tr.Stable "pipeline.rung_reject"
+        ~attrs:
+          [ ("rung", Tr.String (Format.asprintf "%a" pp_rung rung_failed));
+            ("cause", Tr.String (cause_name cause));
+            ("detail", Tr.String detail) ];
     descents := { rung_failed; cause; detail } :: !descents
   in
   let solve_seconds = ref 0.0 in
@@ -211,9 +252,27 @@ let optimize_multi ?options ?config ?verify_config ~regulator ~memory
     r
   in
   let finish milp rung schedule predicted verification =
-    { categories; formulation; milp; predicted_energy = predicted; schedule;
-      verification; solve_seconds = !solve_seconds; independent_edges; rung;
-      descents = List.rev !descents }
+    let r =
+      { categories; formulation; milp; predicted_energy = predicted;
+        schedule; verification; solve_seconds = !solve_seconds;
+        independent_edges; rung; descents = List.rev !descents }
+    in
+    if obs_on then begin
+      let rung_name =
+        match rung with
+        | Some rg -> Format.asprintf "%a" pp_rung rg
+        | None -> "none"
+      in
+      let cls = Format.asprintf "%a" pp_class (classify r) in
+      Tr.event tr ~stability:Tr.Stable "pipeline.rung_accept"
+        ~attrs:
+          [ ("rung", Tr.String rung_name); ("class", Tr.String cls) ];
+      Tr.finish tr pipe_span
+        ~attrs:
+          [ ("rung", Tr.String rung_name); ("class", Tr.String cls);
+            ("descents", Tr.Int (List.length r.descents)) ]
+    end;
+    r
   in
   if not res.Resilience.ladder then begin
     (* Historic single-shot behavior: solve once, optionally verify,

@@ -68,6 +68,14 @@ module Config : sig
   val with_solver : Dvs_milp.Solver.Config.t -> t -> t
 
   val with_resilience : Resilience.t -> t -> t
+
+  val with_obs : Dvs_obs.t -> t -> t
+  (** Thread one observability bundle through all three layers: the MILP
+      solver, the pipeline's degradation-ladder events
+      ([pipeline.rung_accept] / [pipeline.rung_reject]) and the
+      verification simulator.  Stored in the nested solver config. *)
+
+  val obs : t -> Dvs_obs.t
 end
 
 (** Deprecated record API; use {!Config.make}.  Kept so existing callers

@@ -6,9 +6,9 @@ type report = {
   energy_error : float;
 }
 
-let run ?fuel config cfg ~memory ~schedule ~deadline ~predicted_energy =
+let run ?fuel ?obs config cfg ~memory ~schedule ~deadline ~predicted_energy =
   let stats =
-    Dvs_machine.Cpu.run ?fuel
+    Dvs_machine.Cpu.run ?fuel ?obs
       ~initial_mode:schedule.Schedule.entry_mode
       ~edge_modes:(Schedule.edge_modes schedule cfg)
       config cfg ~memory

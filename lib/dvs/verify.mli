@@ -17,5 +17,8 @@ type report = {
 
 val run :
   ?fuel:int ->
+  ?obs:Dvs_obs.t ->
   Dvs_machine.Config.t -> Dvs_ir.Cfg.t -> memory:int array ->
   schedule:Schedule.t -> deadline:float -> predicted_energy:float -> report
+(** [obs] is handed to {!Dvs_machine.Cpu.run}, so the verification run's
+    simulator events and counters land in the caller's registry. *)

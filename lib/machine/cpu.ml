@@ -37,7 +37,7 @@ let max_reg_of_cfg g =
     (-1) (Cfg.blocks g)
 
 let run ?(fuel = 50_000_000) ?initial_mode ?edge_modes ?governor ?observer
-    (cfg : Config.t) g ~memory =
+    ?(obs = Dvs_obs.disabled) (cfg : Config.t) g ~memory =
   let table = cfg.mode_table in
   let n_modes = Dvs_power.Mode.size table in
   let initial_mode =
@@ -46,6 +46,17 @@ let run ?(fuel = 50_000_000) ?initial_mode ?edge_modes ?governor ?observer
   if initial_mode < 0 || initial_mode >= n_modes then
     invalid_arg "Cpu.run: initial mode out of range";
   let hier = Hierarchy.create cfg in
+  (* Simulated time is deterministic (single-threaded, no wall clock), so
+     every event the simulator emits is Stable. *)
+  let tr = Dvs_obs.trace obs in
+  let obs_on = Dvs_obs.enabled obs in
+  let module Tr = Dvs_obs.Trace in
+  let run_span =
+    if obs_on then
+      Tr.start tr ~stability:Tr.Stable "sim.run"
+        ~attrs:[ ("blocks", Tr.Int (Array.length (Cfg.blocks g))) ]
+    else Tr.start Tr.disabled "sim.run"
+  in
   let regs = Array.make (max_reg_of_cfg g + 1) 0 in
   let mem = Array.copy memory in
   let pending = Array.make (Array.length regs) neg_infinity in
@@ -80,7 +91,14 @@ let run ?(fuel = 50_000_000) ?initial_mode ?edge_modes ?governor ?observer
   in
   let issue_miss () =
     let completion = !time +. cfg.dram_latency in
-    if !time >= !busy_end then miss_busy := !miss_busy +. cfg.dram_latency
+    if !time >= !busy_end then begin
+      miss_busy := !miss_busy +. cfg.dram_latency;
+      (* A fresh miss-overlap window opens (extensions of a live window
+         are not re-announced, so the event count is the window count). *)
+      if obs_on then
+        Tr.event tr ~stability:Tr.Stable "sim.miss_window"
+          ~attrs:[ ("t", Tr.Float !time) ]
+    end
     else if completion > !busy_end then
       miss_busy := !miss_busy +. (completion -. !busy_end);
     if completion > !busy_end then busy_end := completion;
@@ -98,6 +116,11 @@ let run ?(fuel = 50_000_000) ?initial_mode ?edge_modes ?governor ?observer
       t_time := !t_time +. dt;
       t_energy := !t_energy +. de;
       incr transitions;
+      if obs_on then
+        Tr.event tr ~stability:Tr.Stable "sim.mode_transition"
+          ~attrs:
+            [ ("from", Tr.Int !mode); ("to", Tr.Int m);
+              ("t", Tr.Float !time) ];
       mode := m;
       voltage := nxt.voltage;
       freq := nxt.frequency
@@ -220,6 +243,34 @@ let run ?(fuel = 50_000_000) ?initial_mode ?edge_modes ?governor ?observer
       step dst (Some label) (budget - 1)
   in
   step (Cfg.entry g) None fuel;
+  if obs_on then begin
+    (* Merge-time aggregation: the hot loop above never touched the
+       registry.  The cycle split is the measured Noverlap / Ndependent /
+       Ncache decomposition of Section 2. *)
+    let mxr = Dvs_obs.metrics obs in
+    let module Mc = Dvs_obs.Metrics.Counter in
+    let c kind =
+      Dvs_obs.Metrics.counter mxr ~stability:Dvs_obs.Metrics.Stable kind
+    in
+    Mc.add (c "sim.cycles.overlap") ~slot:0 !overlap_cycles;
+    Mc.add (c "sim.cycles.dependent") ~slot:0 !dependent_cycles;
+    Mc.add (c "sim.cycles.cache_hit") ~slot:0 !cache_hit_cycles;
+    Mc.add (c "sim.mode_transitions") ~slot:0 !transitions;
+    Mc.add (c "sim.dyn_instrs") ~slot:0 !dyn;
+    let g name v =
+      Dvs_obs.Metrics.Gauge.set
+        (Dvs_obs.Metrics.gauge mxr ~stability:Dvs_obs.Metrics.Stable name) v
+    in
+    g "sim.time_seconds" !time;
+    g "sim.energy_joules" !energy;
+    g "sim.stall_seconds" !stall;
+    g "sim.miss_busy_seconds" !miss_busy;
+    Tr.finish tr run_span
+      ~attrs:
+        [ ("time", Tr.Float !time); ("energy", Tr.Float !energy);
+          ("dyn_instrs", Tr.Int !dyn);
+          ("mode_transitions", Tr.Int !transitions) ]
+  end;
   { time = !time; energy = !energy; dyn_instrs = !dyn;
     mode_transitions = !transitions; transition_time = !t_time;
     transition_energy = !t_energy; l1 = Hierarchy.l1_stats hier;

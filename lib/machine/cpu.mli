@@ -62,9 +62,16 @@ val run :
   ?observer:
     (Dvs_ir.Cfg.label -> via:Dvs_ir.Cfg.label option -> time:float ->
      energy:float -> unit) ->
+  ?obs:Dvs_obs.t ->
   Config.t -> Dvs_ir.Cfg.t -> memory:int array -> run_stats
 (** [fuel] bounds executed blocks (default 50 million).  [initial_mode]
     defaults to the fastest mode.  [edge_modes] attaches compile-time DVS
     decisions to edges; [governor] makes decisions at run time instead
     (don't combine them).  [observer] fires at each block entry (after
-    any edge mode-set cost), with the incoming block in [via]. *)
+    any edge mode-set cost), with the incoming block in [via].
+
+    [obs] (default {!Dvs_obs.disabled}) records a [sim.run] span,
+    [sim.mode_transition] and [sim.miss_window] trace events, the
+    overlap / dependent / cache-hit cycle counters and time / energy /
+    stall gauges.  The simulator is single-threaded and reads no wall
+    clock, so everything it emits is marked stable. *)

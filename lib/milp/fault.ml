@@ -97,9 +97,9 @@ let pivot_budget t =
     Atomic.incr t.exhaustions;
     (* A one-pivot budget drives the real Simplex Iter_limit path rather
        than fabricating a status, so the whole error chain is exercised. *)
-    Some 1
+    (ordinal, Some 1)
   end
-  else None
+  else (ordinal, None)
 
 (* Splitmix64 finalizer: a high-quality hash of (seed, ordinal) that
    needs no shared mutable RNG state, so parallel queries stay
@@ -112,16 +112,17 @@ let mix64 x =
   x ^> 33
 
 let force_cache_miss t =
-  t.spec.cache_miss_rate > 0.0
-  &&
-  let ordinal = 1 + Atomic.fetch_and_add t.cache_ordinal 1 in
-  let h = mix64 ((t.spec.seed * 0x9e3779b9) lxor ordinal) in
-  let u =
-    Int64.to_float (Int64.shift_right_logical h 11) /. 9007199254740992.0
-  in
-  let hit = u < t.spec.cache_miss_rate in
-  if hit then Atomic.incr t.forced_misses;
-  hit
+  if t.spec.cache_miss_rate <= 0.0 then (0, false)
+  else begin
+    let ordinal = 1 + Atomic.fetch_and_add t.cache_ordinal 1 in
+    let h = mix64 ((t.spec.seed * 0x9e3779b9) lxor ordinal) in
+    let u =
+      Int64.to_float (Int64.shift_right_logical h 11) /. 9007199254740992.0
+    in
+    let hit = u < t.spec.cache_miss_rate in
+    if hit then Atomic.incr t.forced_misses;
+    (ordinal, hit)
+  end
 
 let clock_skew t = t.spec.clock_skew
 

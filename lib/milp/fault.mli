@@ -61,11 +61,16 @@ val on_node : t -> worker:int -> unit
 (** Raises {!Injected_crash} when the crash trigger fires for this node
     ordinal. *)
 
-val pivot_budget : t -> int option
-(** [Some 1] when the exhaustion trigger fires for this LP-solve
-    ordinal; the solver passes it to [Simplex.solve_ext] as [max_iter]. *)
+val pivot_budget : t -> int * int option
+(** [(ordinal, budget)]: [budget] is [Some 1] when the exhaustion
+    trigger fires for this LP-solve ordinal; the solver passes it to
+    [Simplex.solve_ext] as [max_iter].  The ordinal identifies the
+    firing in exported traces — the {e set} of firing ordinals is a pure
+    function of the spec, independent of worker count. *)
 
-val force_cache_miss : t -> bool
+val force_cache_miss : t -> int * bool
+(** [(ordinal, miss)]; [ordinal] is 0 when the rate is 0 (the injector
+    is not consulted and no ordinal is consumed). *)
 
 val clock_skew : t -> float
 

@@ -69,6 +69,17 @@ let length t =
   Mutex.unlock t.mutex;
   n
 
+type counts = { hits : int; misses : int; evictions : int; entries : int }
+
+let stats t =
+  Mutex.lock t.mutex;
+  let s =
+    { hits = t.hits; misses = t.misses; evictions = t.evictions;
+      entries = Hashtbl.length t.table }
+  in
+  Mutex.unlock t.mutex;
+  s
+
 (* FNV-1a over the model's structure: bounds, integrality, constraint
    matrix and objective.  Floats are hashed by their bit patterns, so two
    models fingerprint equal only when they are numerically identical. *)

@@ -41,3 +41,12 @@ val evictions : t -> int
 (** Entries displaced by LRU eviction since creation. *)
 
 val length : t -> int
+
+type counts = { hits : int; misses : int; evictions : int; entries : int }
+
+val stats : t -> counts
+(** All four numbers under one lock — a mutually consistent snapshot,
+    unlike reading the individual accessors while workers run.  This is
+    what {!Solver} samples around a solve to compute per-solve deltas
+    (including evictions) and to feed the [lp_cache.*] counters of an
+    attached [Dvs_obs] registry. *)

@@ -42,11 +42,12 @@ module Config = struct
     cache : Lp_cache.t option;
     cache_depth : int;
     fault : Fault.t option;
+    obs : Dvs_obs.t;
   }
 
   let make ?jobs ?(max_nodes = 200_000) ?time_limit ?(gap_rel = 1e-9)
       ?(int_tol = 1e-6) ?(rounding = true) ?log ?cache ?(cache_depth = 4)
-      ?fault () =
+      ?fault ?(obs = Dvs_obs.disabled) () =
     let jobs =
       match jobs with
       | Some j when j >= 1 -> j
@@ -54,7 +55,7 @@ module Config = struct
       | None -> Domain.recommended_domain_count ()
     in
     { jobs; max_nodes; int_tol; gap_rel; time_limit; rounding; sos1 = [];
-      warm_start = []; log; cache; cache_depth; fault }
+      warm_start = []; log; cache; cache_depth; fault; obs }
 
   let default = make ()
 
@@ -71,6 +72,8 @@ module Config = struct
   let with_cache cache t = { t with cache = Some cache }
 
   let with_fault fault t = { t with fault = Some fault }
+
+  let with_obs obs t = { t with obs }
 end
 
 type stop_reason = Node_limit | Time_limit | Iter_limit
@@ -123,6 +126,8 @@ type stats = {
   lp_pivots : int;
   cache_hits : int;
   cache_misses : int;
+  cache_evictions : int;
+  steals : int;
   wall_seconds : float;
   cpu_seconds : float;
   workers : int;
@@ -138,10 +143,12 @@ let worker_utilization s =
 
 let pp_stats ppf s =
   Format.fprintf ppf
-    "%d nodes, %d LP solves, %d pivots, cache %d/%d, %.3fs wall / %.3fs \
-     cpu, %d worker%s (util %.0f%%)"
+    "%d nodes, %d LP solves, %d pivots, cache %d/%d (%d evicted), %d \
+     steal%s, %.3fs wall / %.3fs cpu, %d worker%s (util %.0f%%)"
     s.nodes s.lp_solves s.lp_pivots s.cache_hits
-    (s.cache_hits + s.cache_misses) s.wall_seconds s.cpu_seconds s.workers
+    (s.cache_hits + s.cache_misses) s.cache_evictions s.steals
+    (if s.steals = 1 then "" else "s")
+    s.wall_seconds s.cpu_seconds s.workers
     (if s.workers = 1 then "" else "s")
     (100.0 *. worker_utilization s)
 
@@ -220,6 +227,49 @@ let solve ?(config = Config.default) model =
   in
   let wall_start = Unix.gettimeofday () in
   let cpu_start = Sys.time () in
+  (* Observability: counters/histograms are no-ops on the disabled
+     registry; trace emission sites that build attribute lists are
+     additionally guarded by [obs_on] so a production solve allocates
+     nothing for them. *)
+  let tr = Dvs_obs.trace config.obs in
+  let mx = Dvs_obs.metrics config.obs in
+  let obs_on = Dvs_obs.enabled config.obs in
+  let module Mc = Dvs_obs.Metrics.Counter in
+  let module Tr = Dvs_obs.Trace in
+  let c_nodes = Dvs_obs.Metrics.counter mx ~stability:Volatile "solver.nodes" in
+  let c_steals =
+    Dvs_obs.Metrics.counter mx ~stability:Volatile "solver.steals"
+  in
+  let c_lp =
+    Dvs_obs.Metrics.counter mx ~stability:Volatile "solver.lp_solves"
+  in
+  let c_pivots =
+    Dvs_obs.Metrics.counter mx ~stability:Volatile "solver.lp_pivots"
+  in
+  let c_solves =
+    Dvs_obs.Metrics.counter mx ~stability:Volatile "solver.solves"
+  in
+  let c_cache_hits =
+    Dvs_obs.Metrics.counter mx ~stability:Volatile "lp_cache.hits"
+  in
+  let c_cache_misses =
+    Dvs_obs.Metrics.counter mx ~stability:Volatile "lp_cache.misses"
+  in
+  let c_cache_evictions =
+    Dvs_obs.Metrics.counter mx ~stability:Volatile "lp_cache.evictions"
+  in
+  let h_solve =
+    Dvs_obs.Metrics.histogram mx ~stability:Volatile "solver.solve_seconds"
+  in
+  let solve_span =
+    if obs_on then
+      Tr.start tr "solver.solve"
+        ~attrs:
+          [ ("jobs", Tr.Int config.jobs);
+            ("max_nodes", Tr.Int config.max_nodes);
+            ("int_vars", Tr.Int (List.length int_vars)) ]
+    else Tr.start Tr.disabled "solver.solve"
+  in
   (* Fault injection (tests and the resilience bench only): [skew] shifts
      the clock the time-limit check reads, the other hooks fire at their
      call sites below. *)
@@ -234,8 +284,7 @@ let solve ?(config = Config.default) model =
   let cache =
     match config.cache with Some c -> c | None -> Lp_cache.create ()
   in
-  let cache_hits0 = Lp_cache.hits cache in
-  let cache_misses0 = Lp_cache.misses cache in
+  let cache0 = Lp_cache.stats cache in
   let fp = Lp_cache.fingerprint model in
   (* ---- shared search state ---- *)
   let n_workers = config.jobs in
@@ -273,7 +322,12 @@ let solve ?(config = Config.default) model =
       Atomic.set inc_obj s.objective
     end;
     Mutex.unlock inc_lock;
-    if take then log "incumbent %g" s.objective
+    if take then begin
+      if obs_on then
+        Tr.event tr "solver.incumbent"
+          ~attrs:[ ("objective", Tr.Float s.objective) ];
+      log "incumbent %g" s.objective
+    end
   in
   let gap_prune bound =
     let inc = Atomic.get inc_obj in
@@ -297,7 +351,14 @@ let solve ?(config = Config.default) model =
   let lp_solve ?basis m =
     Atomic.incr lp_solves;
     let max_iter =
-      match config.fault with Some f -> Fault.pivot_budget f | None -> None
+      match config.fault with
+      | Some f ->
+        let ordinal, budget = Fault.pivot_budget f in
+        if budget <> None && obs_on then
+          Tr.event tr "fault.pivot_exhaustion" ~stability:Tr.Stable
+            ~attrs:[ ("ordinal", Tr.Int ordinal) ];
+        budget
+      | None -> None
     in
     let st, b, (sst : Simplex.stats) = Simplex.solve_ext ?max_iter ?basis m in
     ignore (Atomic.fetch_and_add lp_pivots sst.Simplex.pivots);
@@ -311,7 +372,12 @@ let solve ?(config = Config.default) model =
       cacheable
       &&
       match config.fault with
-      | Some f -> Fault.force_cache_miss f
+      | Some f ->
+        let ordinal, miss = Fault.force_cache_miss f in
+        if miss && obs_on then
+          Tr.event tr "fault.cache_miss"
+            ~attrs:[ ("ordinal", Tr.Int ordinal) ];
+        miss
       | None -> false
     in
     if cacheable && not forced_miss then
@@ -441,6 +507,10 @@ let solve ?(config = Config.default) model =
   in
   let queues = Array.init n_workers (fun _ -> Work_queue.create ~cmp:cmp_nodes) in
   let worker_nodes = Array.make n_workers 0 in
+  (* Per-domain, unsynchronized (each cell written by its own worker
+     only, read after join): the lock-free buffer pattern the obs
+     registry aggregates at merge time. *)
+  let worker_steals = Array.make n_workers 0 in
   let spawn_child wid n dir bound basis overrides =
     Atomic.incr in_flight;
     Work_queue.push queues.(wid)
@@ -506,7 +576,10 @@ let solve ?(config = Config.default) model =
       else
         let victim = (wid + tries) mod n_workers in
         match Work_queue.steal queues.(victim) with
-        | Some n -> Some n
+        | Some n ->
+          if tries > 0 then
+            worker_steals.(wid) <- worker_steals.(wid) + 1;
+          Some n
         | None -> go (tries + 1)
     in
     go 0
@@ -534,6 +607,18 @@ let solve ?(config = Config.default) model =
                  message = Printexc.to_string e }
              in
              record_crash c n.bound;
+             if obs_on then begin
+               match e with
+               | Fault.Injected_crash { node; _ } ->
+                 (* Injected: the firing-ordinal set is deterministic. *)
+                 Tr.event tr ~slot:wid ~stability:Tr.Stable "fault.crash"
+                   ~attrs:[ ("node", Tr.Int node) ]
+               | _ ->
+                 Tr.event tr ~slot:wid "solver.crash"
+                   ~attrs:
+                     [ ("depth", Tr.Int n.depth);
+                       ("message", Tr.String c.message) ]
+             end;
              log "worker %d crashed at depth %d: %s" wid n.depth c.message);
           Atomic.decr in_flight
         | None ->
@@ -555,7 +640,11 @@ let solve ?(config = Config.default) model =
     | Simplex.Optimal s, _ when is_integral s ->
       let values = Array.copy s.values in
       List.iter (fun v -> values.(v) <- Float.round values.(v)) int_vars;
-      try_incumbent [] { s with values }
+      try_incumbent [] { s with values };
+      (* Runs sequentially before the pool: stable across job counts. *)
+      if obs_on then
+        Tr.event tr ~stability:Tr.Stable "solver.warm_start"
+          ~attrs:[ ("objective", Tr.Float s.objective) ]
     | (Simplex.Optimal _ | Simplex.Infeasible | Simplex.Unbounded
       | Simplex.Iter_limit _), _ -> ()
   end;
@@ -588,15 +677,39 @@ let solve ?(config = Config.default) model =
       List.fold_left (fun acc b -> if better b acc then b else acc) b bs
   in
   let stopped = Atomic.get stop in
+  let cache1 = Lp_cache.stats cache in
   let stats =
     { nodes = Atomic.get nodes; lp_solves = Atomic.get lp_solves;
       lp_pivots = Atomic.get lp_pivots;
-      cache_hits = Lp_cache.hits cache - cache_hits0;
-      cache_misses = Lp_cache.misses cache - cache_misses0;
+      cache_hits = cache1.Lp_cache.hits - cache0.Lp_cache.hits;
+      cache_misses = cache1.Lp_cache.misses - cache0.Lp_cache.misses;
+      cache_evictions = cache1.Lp_cache.evictions - cache0.Lp_cache.evictions;
+      steals = Array.fold_left ( + ) 0 worker_steals;
       wall_seconds = Unix.gettimeofday () -. wall_start;
       cpu_seconds = Sys.time () -. cpu_start; workers = n_workers;
       worker_nodes }
   in
+  (* Merge the per-domain buffers into the registry and close the span.
+     This is the only point where observability touches shared state; the
+     hot path above only bumped unsynchronized per-worker cells. *)
+  if obs_on then begin
+    for i = 0 to n_workers - 1 do
+      Mc.add c_nodes ~slot:i worker_nodes.(i);
+      Mc.add c_steals ~slot:i worker_steals.(i);
+      Tr.event tr ~slot:i "solver.worker"
+        ~attrs:
+          [ ("worker", Tr.Int i);
+            ("nodes", Tr.Int worker_nodes.(i));
+            ("steals", Tr.Int worker_steals.(i)) ]
+    done;
+    Mc.add c_lp ~slot:0 stats.lp_solves;
+    Mc.add c_pivots ~slot:0 stats.lp_pivots;
+    Mc.incr c_solves ~slot:0;
+    Mc.add c_cache_hits ~slot:0 stats.cache_hits;
+    Mc.add c_cache_misses ~slot:0 stats.cache_misses;
+    Mc.add c_cache_evictions ~slot:0 stats.cache_evictions;
+    Dvs_obs.Metrics.Histogram.observe h_solve stats.wall_seconds
+  end;
   let r =
     match !incumbent with
     | Some (s, _) ->
@@ -620,5 +733,11 @@ let solve ?(config = Config.default) model =
           { outcome = No_solution reason; solution = None; bound; stats }
         | None -> { outcome = Infeasible; solution = None; bound; stats })
   in
+  if obs_on then
+    Tr.finish tr solve_span
+      ~attrs:
+        [ ("outcome", Tr.String (Format.asprintf "%a" pp_outcome r.outcome));
+          ("nodes", Tr.Int stats.nodes);
+          ("bound", Tr.Float bound) ];
   log "done: %a (%a)" pp_outcome r.outcome pp_stats r.stats;
   r

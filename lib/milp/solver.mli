@@ -55,12 +55,16 @@ module Config : sig
     fault : Fault.t option;
         (** fault injector (tests and the resilience bench); [None] in
             production solves *)
+    obs : Dvs_obs.t;
+        (** observability bundle the solve reports into; defaults to
+            {!Dvs_obs.disabled}, whose hot-path cost is one boolean test *)
   }
 
   val make :
     ?jobs:int -> ?max_nodes:int -> ?time_limit:float -> ?gap_rel:float ->
     ?int_tol:float -> ?rounding:bool -> ?log:(string -> unit) ->
-    ?cache:Lp_cache.t -> ?cache_depth:int -> ?fault:Fault.t -> unit -> t
+    ?cache:Lp_cache.t -> ?cache_depth:int -> ?fault:Fault.t ->
+    ?obs:Dvs_obs.t -> unit -> t
   (** Raises [Invalid_argument] if [jobs < 1]. *)
 
   val default : t
@@ -77,6 +81,8 @@ module Config : sig
   val with_cache : Lp_cache.t -> t -> t
 
   val with_fault : Fault.t -> t -> t
+
+  val with_obs : Dvs_obs.t -> t -> t
 end
 
 type stop_reason =
@@ -116,6 +122,8 @@ type stats = {
   lp_pivots : int;  (** total simplex pivots across those solves *)
   cache_hits : int;  (** relaxations answered from the {!Lp_cache} *)
   cache_misses : int;
+  cache_evictions : int;  (** LRU evictions during this solve *)
+  steals : int;  (** nodes taken from another worker's queue *)
   wall_seconds : float;
   cpu_seconds : float;  (** process CPU time, summed over all domains *)
   workers : int;

@@ -1,0 +1,189 @@
+let ( let* ) r f = Result.bind r f
+
+let fail fmt = Printf.ksprintf (fun s -> Error s) fmt
+
+let need what j k =
+  match Json.member k j with
+  | Some v -> Ok v
+  | None -> fail "%s: missing key %S" what k
+
+let need_kind what k check v =
+  if check v then Ok () else fail "%s: key %S has the wrong kind" what k
+
+let is_obj = function Json.Obj _ -> true | _ -> false
+
+let is_int = function Json.Int _ -> true | _ -> false
+
+let is_number = function Json.Int _ | Json.Float _ | Json.Null -> true | _ -> false
+
+let is_string = function Json.String _ -> true | _ -> false
+
+let is_stability = function
+  | Json.String ("stable" | "volatile") -> true
+  | _ -> false
+
+let check_schema_tag what expected j =
+  match Json.member "schema" j with
+  | Some (Json.String s) when s = expected -> Ok ()
+  | Some (Json.String s) ->
+    fail "%s: schema is %S, expected %S" what s expected
+  | Some _ | None -> fail "%s: missing schema tag" what
+
+let each what kvs f =
+  List.fold_left
+    (fun acc (name, v) ->
+      let* () = acc in
+      Result.map_error (Printf.sprintf "%s %S: %s" what name) (f v))
+    (Ok ()) kvs
+
+let obj_members what j k =
+  let* v = need what j k in
+  match v with
+  | Json.Obj kvs -> Ok kvs
+  | _ -> fail "%s: key %S must be an object" what k
+
+(* ---- dvs-metrics/v1 -------------------------------------------------- *)
+
+let validate_instrument ~required v =
+  match v with
+  | Json.Obj _ ->
+    let* () =
+      List.fold_left
+        (fun acc (k, check) ->
+          let* () = acc in
+          let* x = need "instrument" v k in
+          need_kind "instrument" k check x)
+        (Ok ()) required
+    in
+    let* st = need "instrument" v "stability" in
+    need_kind "instrument" "stability" is_stability st
+  | _ -> fail "instrument must be an object"
+
+let validate_metrics j =
+  let what = "metrics" in
+  let* () = check_schema_tag what "dvs-metrics/v1" j in
+  let* _ = obj_members what j "meta" in
+  let* _ = obj_members what j "wall" in
+  let* counters = obj_members what j "counters" in
+  let* gauges = obj_members what j "gauges" in
+  let* histograms = obj_members what j "histograms" in
+  let* () =
+    each "counter" counters
+      (validate_instrument
+         ~required:[ ("total", is_int); ("per_slot", is_obj) ])
+  in
+  let* () =
+    each "gauge" gauges
+      (validate_instrument ~required:[ ("value", is_number) ])
+  in
+  each "histogram" histograms
+    (validate_instrument
+       ~required:
+         [ ("count", is_int); ("sum", is_number); ("buckets", is_obj) ])
+
+(* ---- dvs-trace/v1 ---------------------------------------------------- *)
+
+let validate_trace_line j =
+  let what = "trace line" in
+  if not (is_obj j) then fail "%s: not an object" what
+  else
+    let* ts = need what j "ts" in
+    let* () = need_kind what "ts" is_number ts in
+    let* kind = need what j "kind" in
+    let* () =
+      match kind with
+      | Json.String ("span" | "event") -> Ok ()
+      | _ -> fail "%s: kind must be \"span\" or \"event\"" what
+    in
+    let* name = need what j "name" in
+    let* () = need_kind what "name" is_string name in
+    let* slot = need what j "slot" in
+    let* () = need_kind what "slot" is_int slot in
+    let* st = need what j "stability" in
+    let* () = need_kind what "stability" is_stability st in
+    let* attrs = need what j "attrs" in
+    let* () = need_kind what "attrs" is_obj attrs in
+    match (kind, Json.member "dur" j) with
+    | Json.String "span", Some d -> need_kind what "dur" is_number d
+    | Json.String "span", None -> fail "%s: span without dur" what
+    | _, Some _ -> fail "%s: event with dur" what
+    | _, None -> Ok ()
+
+(* ---- dvs-bench/v1 ---------------------------------------------------- *)
+
+let validate_bench j =
+  let what = "bench summary" in
+  let* () = check_schema_tag what "dvs-bench/v1" j in
+  let* exps = need what j "experiments" in
+  let* () =
+    match exps with
+    | Json.List xs when List.for_all is_string xs -> Ok ()
+    | _ -> fail "%s: experiments must be a list of strings" what
+  in
+  let* () =
+    List.fold_left
+      (fun acc k ->
+        let* () = acc in
+        let* v = need what j k in
+        need_kind what k is_int v)
+      (Ok ())
+      [ "solves"; "nodes"; "lp_solves"; "lp_pivots" ]
+  in
+  let* () =
+    List.fold_left
+      (fun acc k ->
+        let* () = acc in
+        let* v = need what j k in
+        need_kind what k is_number v)
+      (Ok ())
+      [ "solve_seconds_total"; "wall_seconds"; "nodes_per_second";
+        "lp_solves_per_second" ]
+  in
+  let* cache = need what j "cache" in
+  let* () = need_kind what "cache" is_obj cache in
+  let* () =
+    List.fold_left
+      (fun acc k ->
+        let* () = acc in
+        let* v = need what cache k in
+        need_kind what ("cache." ^ k) is_int v)
+      (Ok ())
+      [ "hits"; "misses"; "evictions" ]
+  in
+  let* metrics = need what j "metrics" in
+  validate_metrics metrics
+
+let bench_summary ~metrics ~experiments ~wall_seconds () =
+  let total name = Metrics.Counter.value (Metrics.counter metrics name) in
+  let solves = total "solver.solves" in
+  let nodes = total "solver.nodes" in
+  let lp_solves = total "solver.lp_solves" in
+  let lp_pivots = total "solver.lp_pivots" in
+  let solve_seconds =
+    Metrics.Histogram.sum (Metrics.histogram metrics "solver.solve_seconds")
+  in
+  let rate n = if solve_seconds > 0.0 then float_of_int n /. solve_seconds else 0.0 in
+  let hits = total "lp_cache.hits" in
+  let misses = total "lp_cache.misses" in
+  Json.Obj
+    [ ("schema", Json.String "dvs-bench/v1");
+      ("experiments", Json.List (List.map (fun e -> Json.String e) experiments));
+      ("solves", Json.Int solves);
+      ("nodes", Json.Int nodes);
+      ("lp_solves", Json.Int lp_solves);
+      ("lp_pivots", Json.Int lp_pivots);
+      ("solve_seconds_total", Json.Float solve_seconds);
+      ("wall_seconds", Json.Float wall_seconds);
+      ("nodes_per_second", Json.Float (rate nodes));
+      ("lp_solves_per_second", Json.Float (rate lp_solves));
+      ( "cache",
+        Json.Obj
+          [ ("hits", Json.Int hits);
+            ("misses", Json.Int misses);
+            ("evictions", Json.Int (total "lp_cache.evictions"));
+            ( "hit_rate",
+              Json.Float
+                (if hits + misses > 0 then
+                   float_of_int hits /. float_of_int (hits + misses)
+                 else 0.0) ) ] );
+      ("metrics", Metrics.snapshot metrics) ]

@@ -1,0 +1,36 @@
+(** The documented export schemas and their validators.
+
+    Three artifact kinds, all versioned under a ["schema"] tag:
+
+    - {b [dvs-metrics/v1]} — a {!Metrics.snapshot}: top-level keys
+      [schema], [meta], [wall], [counters], [gauges], [histograms];
+      every counter has an integer [total], a [per_slot] object and a
+      [stability] of ["stable"] or ["volatile"]; gauges have [value];
+      histograms have [count], [sum] and [buckets].
+    - {b [dvs-trace/v1]} — one JSONL line per {!Trace.entry}: keys [ts]
+      (number), [kind] (["span"] or ["event"]), [name], [slot] (int),
+      [stability], [dur] (required iff [kind = "span"]), [attrs]
+      (object).
+    - {b [dvs-bench/v1]} — the [BENCH_milp.json] summary written by
+      [bench --emit-bench]: solve/throughput totals derived from the
+      solver's metric names, the experiment ids that ran, and the full
+      metrics snapshot under [metrics].
+
+    Validators check structure, not values: required keys, value kinds,
+    and the enumerated strings. *)
+
+val validate_metrics : Json.t -> (unit, string) result
+
+val validate_trace_line : Json.t -> (unit, string) result
+
+val validate_bench : Json.t -> (unit, string) result
+
+val bench_summary :
+  metrics:Metrics.t -> experiments:string list -> wall_seconds:float ->
+  unit -> Json.t
+(** Builds a [dvs-bench/v1] document from the registry the solver
+    reported into: totals of the [solver.nodes], [solver.lp_solves],
+    [solver.lp_pivots], [solver.solves] and [lp_cache.*] counters, the
+    [solver.solve_seconds] histogram's sum as aggregate solve time, and
+    derived [nodes_per_second] / [lp_solves_per_second] throughput
+    (0 when no solve time was recorded). *)
