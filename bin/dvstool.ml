@@ -7,6 +7,7 @@
      optimize  <workload>          MILP schedule for a deadline
      reproduce <workload>          pipeline across the Table-4 deadline set
      stats                         pretty-print --trace/--metrics files
+     bench-diff                    gate LP work counters vs a baseline
      analyze                       analytical model on given parameters
      compile   <file.mc>           compile MiniC; dump the CFG (or DOT)
 
@@ -684,6 +685,121 @@ let stats_cmd =
           files written by $(b,--metrics) / $(b,--trace)")
     Term.(const run $ metrics_in $ trace_in $ check)
 
+(* ---------------- bench-diff ---------------- *)
+
+let bench_diff_cmd =
+  let baseline_in =
+    Arg.(
+      required
+      & opt (some file) None
+      & info [ "baseline" ] ~docv:"FILE"
+          ~doc:
+            "Committed dvs-bench/v1 summary to compare against \
+             (bench/BENCH_baseline.json in CI).")
+  in
+  let current_in =
+    Arg.(
+      required
+      & opt (some file) None
+      & info [ "current" ] ~docv:"FILE"
+          ~doc:
+            "Freshly generated dvs-bench/v1 summary \
+             ($(b,bench/main.exe --emit-bench)).")
+  in
+  let max_regression_opt =
+    Arg.(
+      value
+      & opt float 0.10
+      & info [ "max-regression" ] ~docv:"FRAC"
+          ~doc:
+            "Allowed fractional growth of each work counter before the \
+             diff fails (default 0.10 = 10%).")
+  in
+  let read_file file =
+    let ic = open_in file in
+    let s = really_input_string ic (in_channel_length ic) in
+    close_in ic;
+    s
+  in
+  let fail fmt =
+    Format.kasprintf (fun s -> Format.eprintf "%s@." s; exit 2) fmt
+  in
+  let load file =
+    let j =
+      match Dvs_obs.Json.of_string (read_file file) with
+      | Ok j -> j
+      | Error e -> fail "%s: not JSON: %s" file e
+    in
+    (match Dvs_obs.Schema.validate_bench j with
+    | Ok () -> ()
+    | Error e -> fail "%s: not a dvs-bench/v1 summary: %s" file e);
+    j
+  in
+  let counter file j k =
+    match Option.bind (Dvs_obs.Json.member k j) Dvs_obs.Json.to_int with
+    | Some n -> n
+    | None -> fail "%s: missing integer field %s" file k
+  in
+  let run baseline current max_regression =
+    let bj = load baseline and cj = load current in
+    (* Deterministic work counters gate the diff; wall-clock numbers are
+       printed for context only (CI machines are too noisy to gate on). *)
+    let gated = [ "lp_pivots"; "lp_solves" ] in
+    let informational = [ "nodes"; "solves" ] in
+    let delta k =
+      let b = counter baseline bj k and c = counter current cj k in
+      let growth =
+        if b > 0 then (float_of_int c -. float_of_int b) /. float_of_int b
+        else if c > 0 then infinity
+        else 0.0
+      in
+      (k, b, c, growth)
+    in
+    let print_row (k, b, c, growth) verdict =
+      Format.printf "%-12s %12d -> %12d  %+7.2f%%%s@." k b c
+        (100.0 *. growth) verdict
+    in
+    let rows = List.map delta gated in
+    let regressed =
+      List.filter (fun (_, _, _, growth) -> growth > max_regression) rows
+    in
+    List.iter
+      (fun ((_, _, _, growth) as row) ->
+        print_row row
+          (if growth > max_regression then "  REGRESSION" else ""))
+      rows;
+    List.iter (fun k -> print_row (delta k) "  (informational)")
+      informational;
+    (match
+       ( Option.bind (Dvs_obs.Json.member "wall_seconds" bj)
+           Dvs_obs.Json.to_float,
+         Option.bind (Dvs_obs.Json.member "wall_seconds" cj)
+           Dvs_obs.Json.to_float )
+     with
+    | Some b, Some c ->
+      Format.printf "%-12s %12.2f -> %12.2f  (informational)@."
+        "wall_seconds" b c
+    | _ -> ());
+    match regressed with
+    | [] ->
+      Format.printf "bench-diff: ok (max allowed regression %.0f%%)@."
+        (100.0 *. max_regression)
+    | _ :: _ ->
+      Format.eprintf
+        "bench-diff: %d counter(s) regressed beyond %.0f%%; if the \
+         growth is intended, regenerate the baseline with `bench/main.exe \
+         -- resilience --emit-bench bench/BENCH_baseline.json'@."
+        (List.length regressed)
+        (100.0 *. max_regression);
+      exit 1
+  in
+  Cmd.v
+    (Cmd.info "bench-diff"
+       ~doc:
+         "Compare two dvs-bench/v1 summaries; fail on LP work-counter \
+          regressions")
+    Term.(const run $ baseline_in $ current_in $ max_regression_opt)
+
 (* ---------------- analyze ---------------- *)
 
 let analyze_cmd =
@@ -849,5 +965,5 @@ let () =
           (Cmd.info "dvstool" ~version:"1.0"
              ~doc:"Compile-time DVS toolkit (PLDI'03 reproduction)")
           [ list_cmd; simulate_cmd; profile_cmd; optimize_cmd; apply_cmd;
-            reproduce_cmd; stats_cmd; analyze_cmd; compile_cmd; paths_cmd;
-            loops_cmd ]))
+            reproduce_cmd; stats_cmd; bench_diff_cmd; analyze_cmd;
+            compile_cmd; paths_cmd; loops_cmd ]))

@@ -159,6 +159,57 @@ let build ?repr ~regulator categories =
     kvars = Hashtbl.fold (fun k v acc -> (k, v) :: acc) kvars_tbl [];
     modes; n_binaries = !n_binaries }
 
+(* A mode binary whose own block-time contribution already overruns a
+   category deadline can never be selected: every other term in the
+   deadline row (other groups' times, transition penalties) is
+   nonnegative.  These fixings seed the MILP presolve, which then
+   propagates them through the one-mode-per-edge groups. *)
+let implied_fixings t categories =
+  let n_modes = Dvs_power.Mode.size t.modes in
+  let edges = Cfg.edges t.cfg in
+  let dst_of id =
+    if id = t.virtual_edge then Cfg.entry t.cfg else edges.(id).Cfg.dst
+  in
+  let fixed = Hashtbl.create 16 in
+  List.iter
+    (fun cat ->
+      let p = cat.profile in
+      (* Per representative group: total block time at each mode, summed
+         over every edge the representative stands for (in seconds, same
+         unit as the deadline). *)
+      let acc = Hashtbl.create 64 in
+      let add id count =
+        if count > 0 then begin
+          let r = t.repr.(id) in
+          let arr =
+            match Hashtbl.find_opt acc r with
+            | Some a -> a
+            | None ->
+              let a = Array.make n_modes 0.0 in
+              Hashtbl.add acc r a;
+              a
+          in
+          let j = dst_of id in
+          let c = float_of_int count in
+          for m = 0 to n_modes - 1 do
+            arr.(m) <-
+              arr.(m) +. (c *. Dvs_profile.Profile.block_time p ~mode:m j)
+          done
+        end
+      in
+      Array.iteri (fun idx count -> add idx count) p.Dvs_profile.Profile.edge_count;
+      add t.virtual_edge p.Dvs_profile.Profile.entry_count;
+      Hashtbl.iter
+        (fun r arr ->
+          let vars = List.assoc r t.kvars in
+          for m = 0 to n_modes - 1 do
+            if arr.(m) > cat.deadline *. (1.0 +. 1e-9) then
+              Hashtbl.replace fixed vars.(m) 0.0
+          done)
+        acc)
+    categories;
+  Hashtbl.fold (fun v x l -> (v, x) :: l) fixed [] |> List.sort compare
+
 let mode_of_edge t (sol : Simplex.solution) id =
   let vars = List.assoc t.repr.(id) t.kvars in
   let best = ref 0 in

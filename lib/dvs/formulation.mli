@@ -46,6 +46,17 @@ val build :
     the identity (no filtering).  Raises [Invalid_argument] on an empty
     category list or mismatched CFGs. *)
 
+val implied_fixings :
+  t -> category list -> (Dvs_lp.Model.var * float) list
+(** Mode binaries that can be fixed to 0 before solving: a variable
+    group's own block-time contribution at that mode already exceeds a
+    category's deadline, and every other term in the deadline row is
+    nonnegative, so the binary can never be 1 in a feasible schedule.
+    Sorted by variable; feed to
+    [Dvs_milp.Solver.Config.with_fixings] so the MILP presolve starts
+    from them (and propagates through the one-mode groups).  Exact —
+    never cuts a feasible schedule. *)
+
 val mode_of_edge :
   t -> Dvs_lp.Simplex.solution -> int -> int
 (** Chosen mode of an edge id (real or virtual), following [repr]. *)

@@ -207,6 +207,9 @@ let optimize_multi ?options ?config ?verify_config ~regulator ~memory
               List.init n_modes (fun m ->
                   (vars.(m), if m = n_modes - 1 then 1.0 else 0.0)))
             formulation.Formulation.kvars)
+    (* Deadline-implied mode exclusions feed the MILP presolve. *)
+    |> Solver.Config.with_fixings
+         (Formulation.implied_fixings formulation categories)
   in
   let res = config.Config.resilience in
   let cat0 = List.hd categories in

@@ -53,7 +53,9 @@ let to_lp_string m =
       else if b = neg_infinity then "-inf"
       else Printf.sprintf "%.12g" b
     in
-    if not (lb = 0.0 && ub = infinity) then
+    if lb = neg_infinity && ub = infinity then
+      Buffer.add_string buf (Printf.sprintf " %s free\n" name)
+    else if not (lb = 0.0 && ub = infinity) then
       Buffer.add_string buf
         (Printf.sprintf " %s <= %s <= %s\n" (fmt_bound lb) name (fmt_bound ub))
   done;
@@ -84,3 +86,300 @@ let write_file m path =
   let oc = open_out path in
   output_string oc (to_lp_string m);
   close_out oc
+
+(* ------------------------------------------------------------------ *)
+(* Parser: the subset of the CPLEX LP format the writer above emits
+   (plus the usual syntactic latitude: case-insensitive keywords,
+   [st]/[s.t.] for [Subject To], one-sided bounds, [free], [\ ]
+   comments).  Round-trips [to_lp_string] exactly. *)
+
+type token = Name of string | Num of float | Sym of string
+
+exception Parse_error of string
+
+let fail fmt = Printf.ksprintf (fun s -> raise (Parse_error s)) fmt
+
+let tokenize s =
+  let n = String.length s in
+  let toks = ref [] in
+  let i = ref 0 in
+  let is_name_char c =
+    match c with
+    | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' | '.' -> true
+    | _ -> false
+  in
+  while !i < n do
+    let c = s.[!i] in
+    if c = ' ' || c = '\t' || c = '\n' || c = '\r' then incr i
+    else if c = '\\' then begin
+      (* comment to end of line *)
+      while !i < n && s.[!i] <> '\n' do incr i done
+    end
+    else if c = '<' || c = '>' then begin
+      incr i;
+      if !i < n && s.[!i] = '=' then incr i;
+      toks := Sym (if c = '<' then "<=" else ">=") :: !toks
+    end
+    else if c = '=' then begin
+      incr i;
+      if !i < n && (s.[!i] = '<' || s.[!i] = '>') then begin
+        toks := Sym (if s.[!i] = '<' then "<=" else ">=") :: !toks;
+        incr i
+      end
+      else toks := Sym "=" :: !toks
+    end
+    else if c = '+' || c = '-' || c = ':' then begin
+      toks := Sym (String.make 1 c) :: !toks;
+      incr i
+    end
+    else if (c >= '0' && c <= '9') || c = '.' then begin
+      let start = !i in
+      while
+        !i < n
+        && (match s.[!i] with
+           | '0' .. '9' | '.' -> true
+           | 'e' | 'E' ->
+             (* exponent: may be followed by a sign *)
+             !i + 1 < n
+             && (match s.[!i + 1] with
+                | '0' .. '9' -> true
+                | '+' | '-' ->
+                  !i + 2 < n && s.[!i + 2] >= '0' && s.[!i + 2] <= '9'
+                | _ -> false)
+           | _ -> false)
+      do
+        if s.[!i] = 'e' || s.[!i] = 'E' then begin
+          incr i;
+          if s.[!i] = '+' || s.[!i] = '-' then incr i
+        end
+        else incr i
+      done;
+      let lit = String.sub s start (!i - start) in
+      match float_of_string_opt lit with
+      | Some f -> toks := Num f :: !toks
+      | None -> fail "bad number %S" lit
+    end
+    else if is_name_char c then begin
+      let start = !i in
+      while !i < n && is_name_char s.[!i] do incr i done;
+      toks := Name (String.sub s start (!i - start)) :: !toks
+    end
+    else fail "unexpected character %C" c
+  done;
+  List.rev !toks
+
+let lower = String.lowercase_ascii
+
+(* Section keywords that terminate an expression or a list. *)
+let is_keyword w =
+  match lower w with
+  | "minimize" | "maximise" | "minimise" | "maximize" | "min" | "max"
+  | "subject" | "st" | "s.t." | "bounds" | "bound" | "binary" | "binaries"
+  | "bin" | "general" | "generals" | "gen" | "free" | "end" -> true
+  | _ -> false
+
+(* Parse a linear expression: [+|-] [num] name ... with bare numbers
+   folded into a constant.  Stops at a keyword, a comparison, or end of
+   input.  Returns (terms, const, rest). *)
+let parse_expr toks =
+  let terms = ref [] and const = ref 0.0 in
+  let rec go sign pending toks =
+    match toks with
+    | Sym "+" :: rest when pending = None -> go sign None rest
+    | Sym "-" :: rest when pending = None -> go (-.sign) None rest
+    | Num f :: rest -> (
+      (match pending with
+      | Some c -> const := !const +. c
+      | None -> ());
+      match rest with
+      | Name w :: _ when not (is_keyword w) -> go sign (Some (sign *. f)) rest
+      | _ ->
+        const := !const +. (sign *. f);
+        go 1.0 None rest)
+    | Name w :: rest when not (is_keyword w) ->
+      let c = match pending with Some c -> c | None -> sign in
+      terms := (w, c) :: !terms;
+      go 1.0 None rest
+    | rest ->
+      (match pending with Some c -> const := !const +. c | None -> ());
+      (List.rev !terms, !const, rest)
+  in
+  go 1.0 None toks
+
+let parse_cmp = function
+  | Sym "<=" :: rest -> (Model.Le, rest)
+  | Sym ">=" :: rest -> (Model.Ge, rest)
+  | Sym "=" :: rest -> (Model.Eq, rest)
+  | _ -> fail "expected <=, >= or ="
+
+let parse_number toks =
+  match toks with
+  | Num f :: rest -> (f, rest)
+  | Sym "+" :: Num f :: rest -> (f, rest)
+  | Sym "-" :: Num f :: rest -> (-.f, rest)
+  | Name w :: rest when lower w = "inf" || lower w = "infinity" ->
+    (infinity, rest)
+  | Sym "+" :: Name w :: rest when lower w = "inf" || lower w = "infinity" ->
+    (infinity, rest)
+  | Sym "-" :: Name w :: rest when lower w = "inf" || lower w = "infinity" ->
+    (neg_infinity, rest)
+  | _ -> fail "expected a number"
+
+let of_lp_string s =
+  let toks = tokenize s in
+  (* Optional label: [name :] *)
+  let strip_label toks =
+    match toks with
+    | Name _ :: Sym ":" :: rest -> rest
+    | _ -> toks
+  in
+  let sense, toks =
+    match toks with
+    | Name w :: rest when List.mem (lower w) [ "minimize"; "minimise"; "min" ]
+      -> (Model.Minimize, rest)
+    | Name w :: rest when List.mem (lower w) [ "maximize"; "maximise"; "max" ]
+      -> (Model.Maximize, rest)
+    | _ -> fail "expected Minimize or Maximize"
+  in
+  let obj_terms, obj_const, toks = parse_expr (strip_label toks) in
+  let toks =
+    match toks with
+    | Name w1 :: Name w2 :: rest
+      when lower w1 = "subject" && lower w2 = "to" -> rest
+    | Name w :: rest when lower w = "st" || lower w = "s.t." -> rest
+    | _ -> fail "expected Subject To"
+  in
+  (* Constraints until a section keyword. *)
+  let constrs = ref [] in
+  let rec parse_constraints toks =
+    match toks with
+    | Name w :: _ when is_keyword w && lower w <> "subject" -> toks
+    | [] -> []
+    | _ ->
+      let cname, toks =
+        match toks with
+        | Name l :: Sym ":" :: rest -> (Some l, rest)
+        | _ -> (None, toks)
+      in
+      let terms, const, toks = parse_expr toks in
+      let cmp, toks = parse_cmp toks in
+      let rhs, toks = parse_number toks in
+      constrs := (cname, terms, cmp, rhs -. const) :: !constrs;
+      parse_constraints toks
+  in
+  let toks = parse_constraints toks in
+  (* Bounds / Binary / General / End sections, any order. *)
+  let bounds_tbl : (string, float * float) Hashtbl.t = Hashtbl.create 16 in
+  let bound_of name = Option.value ~default:(0.0, infinity)
+      (Hashtbl.find_opt bounds_tbl name)
+  in
+  let integers : (string, unit) Hashtbl.t = Hashtbl.create 16 in
+  let binaries : (string, unit) Hashtbl.t = Hashtbl.create 16 in
+  let rec parse_sections toks =
+    match toks with
+    | [] -> ()
+    | Name w :: rest when lower w = "end" ->
+      (match rest with
+      | [] -> ()
+      | _ -> fail "tokens after End")
+    | Name w :: rest when lower w = "bounds" || lower w = "bound" ->
+      parse_sections (parse_bounds rest)
+    | Name w :: rest
+      when List.mem (lower w) [ "binary"; "binaries"; "bin" ] ->
+      parse_sections (parse_list binaries rest)
+    | Name w :: rest
+      when List.mem (lower w) [ "general"; "generals"; "gen" ] ->
+      parse_sections (parse_list integers rest)
+    | _ -> fail "expected a section keyword"
+  and parse_bounds toks =
+    match toks with
+    | Name w :: _ when is_keyword w && lower w <> "free" -> toks
+    | Name x :: Name w :: rest when lower w = "free" ->
+      Hashtbl.replace bounds_tbl x (neg_infinity, infinity);
+      parse_bounds rest
+    | Name x :: Sym "<=" :: rest ->
+      let u, rest = parse_number rest in
+      let lb, _ = bound_of x in
+      Hashtbl.replace bounds_tbl x (lb, u);
+      parse_bounds rest
+    | Name x :: Sym ">=" :: rest ->
+      let l, rest = parse_number rest in
+      let _, ub = bound_of x in
+      Hashtbl.replace bounds_tbl x (l, ub);
+      parse_bounds rest
+    | Name x :: Sym "=" :: rest ->
+      let v, rest = parse_number rest in
+      Hashtbl.replace bounds_tbl x (v, v);
+      parse_bounds rest
+    | [] -> []
+    | _ ->
+      (* number <= name <= number *)
+      let l, rest = parse_number toks in
+      (match rest with
+      | Sym "<=" :: Name x :: Sym "<=" :: rest ->
+        let u, rest = parse_number rest in
+        Hashtbl.replace bounds_tbl x (l, u);
+        parse_bounds rest
+      | Sym "<=" :: Name x :: rest ->
+        let _, ub = bound_of x in
+        Hashtbl.replace bounds_tbl x (l, ub);
+        parse_bounds rest
+      | _ -> fail "malformed bound line")
+  and parse_list tbl toks =
+    match toks with
+    | Name w :: _ when is_keyword w -> toks
+    | Name x :: rest ->
+      Hashtbl.replace tbl x ();
+      parse_list tbl rest
+    | _ -> fail "expected a variable name"
+  in
+  parse_sections toks;
+  (* Build the model: variables in first-appearance order (objective,
+     then constraints, then bounds/integrality sections). *)
+  let m = Model.create () in
+  let vars : (string, Model.var) Hashtbl.t = Hashtbl.create 64 in
+  let order = ref [] in
+  let note name = if not (Hashtbl.mem vars name) then begin
+      Hashtbl.add vars name (-1);
+      order := name :: !order
+    end
+  in
+  List.iter (fun (name, _) -> note name) obj_terms;
+  List.iter (fun (_, terms, _, _) -> List.iter (fun (name, _) -> note name) terms)
+    (List.rev !constrs);
+  Hashtbl.iter (fun name _ -> note name) bounds_tbl;
+  Hashtbl.iter (fun name _ -> note name) binaries;
+  Hashtbl.iter (fun name _ -> note name) integers;
+  List.iter
+    (fun name ->
+      let integer =
+        Hashtbl.mem binaries name || Hashtbl.mem integers name
+      in
+      let lb, ub =
+        match Hashtbl.find_opt bounds_tbl name with
+        | Some b -> b
+        | None -> if Hashtbl.mem binaries name then (0.0, 1.0) else (0.0, infinity)
+      in
+      Hashtbl.replace vars name (Model.add_var ~lb ~ub ~integer ~name m))
+    (List.rev !order);
+  let var_of name =
+    match Hashtbl.find_opt vars name with
+    | Some v when v >= 0 -> v
+    | _ -> fail "unknown variable %S" name
+  in
+  let expr_of terms const =
+    Expr.of_terms ~const (List.map (fun (name, c) -> (c, var_of name)) terms)
+  in
+  List.iter
+    (fun (cname, terms, cmp, rhs) ->
+      Model.add_constraint ?name:cname m (expr_of terms 0.0) cmp rhs)
+    (List.rev !constrs);
+  Model.set_objective m sense (expr_of obj_terms obj_const);
+  m
+
+let read_file path =
+  let ic = open_in path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  of_lp_string s

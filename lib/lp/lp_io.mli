@@ -1,11 +1,30 @@
-(** CPLEX-LP-format export of models.
+(** CPLEX-LP-format export and import of models.
 
-    The paper's toolchain went through AMPL into CPLEX; this writer lets
+    The paper's toolchain went through AMPL into CPLEX; the writer lets
     any model built here be fed to an external solver for cross-checking
-    (and makes solver bug reports self-contained). *)
+    (and makes solver bug reports self-contained), and the reader brings
+    externally prepared or previously exported instances back — the pair
+    round-trips every model this library builds, including the
+    presolved/compiled forms with free variables and negative or fixed
+    bounds. *)
 
 val to_lp_string : Model.t -> string
-(** The model in LP file format: objective, constraints, bounds, and a
-    [General]/[Binary] integrality section. *)
+(** The model in LP file format: objective, constraints, a bounds section
+    covering every non-default bound (free variables emit as [x free]),
+    and a [General]/[Binary] integrality section. *)
 
 val write_file : Model.t -> string -> unit
+
+exception Parse_error of string
+
+val of_lp_string : string -> Model.t
+(** Parse the subset of the LP format {!to_lp_string} emits, with the
+    usual latitude: case-insensitive keywords, [st]/[s.t.] for
+    [Subject To], one-sided and [free] bound lines, [\ ] comments.
+    Variables are created in first-appearance order (objective, then
+    constraints, then the declaration sections), which may differ from
+    the original model's index order — compare round-trips by name, not
+    by index.  Raises {!Parse_error} on malformed input. *)
+
+val read_file : string -> Model.t
+(** {!of_lp_string} on the file's contents. *)

@@ -1,3 +1,19 @@
+(* Sparse revised simplex with bounded variables over Compiled.t.
+
+   Column layout (all indices in one namespace):
+     [0, n)        structural variables, in model order;
+     [n, nt)       one slack per row (coefficient exactly 1);
+     [nt, nt + m)  artificials, one per row, existing only where the
+                   cold start needs them (coefficient [art_sign]).
+
+   The basis inverse is kept as a dense row-major m*m matrix, updated
+   by elementary row operations on each pivot and refactorized (full
+   Gauss-Jordan with partial pivoting) every [refactor_every] pivots
+   and at phase boundaries.  Everything the iteration touches lives in
+   a reusable workspace, so the pivot loop performs no allocation. *)
+
+module C = Compiled
+
 type solution = { objective : float; values : float array }
 
 type partial = { phase : int; iterations : int }
@@ -8,16 +24,34 @@ type status =
   | Unbounded
   | Iter_limit of partial
 
-(* A basis snapshot at the model level: the variables whose structural
-   columns were basic at the last optimum.  Deliberately coarse — column
-   layouts differ between parent and child models (fixing a variable
-   eliminates its column), so we record variables, not column indices,
-   and re-derive columns on the warm solve. *)
-type basis = { basic_vars : int array }
+(* Column status markers (also the wire format inside [basis]). *)
+let st_basic = 0
 
-type stats = { pivots : int; phase1_pivots : int }
+let st_lo = 1
 
-let no_stats = { pivots = 0; phase1_pivots = 0 }
+let st_up = 2
+
+let st_fr = 3
+
+type basis = {
+  b_n : int;
+  b_m : int;
+  b_stat : Bytes.t;  (* nt entries: status of every structural/slack column *)
+  b_rows : int array;  (* basic column per row; nt + i marks a kept artificial *)
+  b_sign : float array;  (* artificial sign per row, 0.0 where none *)
+}
+
+type pricing = Bland | Dantzig | Steepest_edge
+
+type stats = {
+  pivots : int;
+  phase1_pivots : int;
+  dual_pivots : int;
+  bound_flips : int;
+  refactorizations : int;
+  bland_pivots : int;
+  flops : int;
+}
 
 let pp_status ppf = function
   | Optimal s -> Format.fprintf ppf "optimal(%g)" s.objective
@@ -27,453 +61,811 @@ let pp_status ppf = function
     Format.fprintf ppf "iteration-limit(phase %d, %d pivots)" p.phase
       p.iterations
 
-(* Structural columns.  A model variable becomes:
-   - nothing, when its bounds pin it ([Fixed] handled via substitution);
-   - [Shifted (i, lb)]:  x_i = lb + column,          column >= 0;
-   - [Mirrored (i, ub)]: x_i = ub - column,          column >= 0
-     (used when lb = -oo but ub is finite);
-   - a [Pos i] / [Neg i] pair: x_i = pos - neg, both >= 0 (free vars). *)
-type col_kind =
-  | Shifted of int * float
-  | Mirrored of int * float
-  | Pos of int
-  | Neg of int
-  | Slack
-  | Artificial
+type workspace = {
+  mutable cap_m : int;
+  mutable cap_c : int;
+  mutable binv : float array;  (* cap_m^2, row-major *)
+  mutable fact : float array;  (* refactorization scratch, cap_m^2 *)
+  mutable xb : float array;  (* basic values per row *)
+  mutable y : float array;  (* BTRAN result: c_B B^-1 *)
+  mutable w : float array;  (* FTRAN result: B^-1 A_e *)
+  mutable rw : float array;  (* rhs scratch *)
+  mutable basis : int array;  (* basic column per row *)
+  mutable art_sign : float array;  (* per-row artificial sign, 0 = none *)
+  mutable vstat : int array;  (* per-column status *)
+  mutable xval : float array;  (* nonbasic column values *)
+  mutable dj : float array;  (* reduced costs *)
+  mutable alpha : float array;  (* pivot row *)
+  mutable refw : float array;  (* devex reference weights *)
+  mutable cost : float array;  (* current-phase costs *)
+}
 
-type row = { mutable coeffs : (int * float) list; mutable rhs : float;
-             cmp : Model.cmp }
+let workspace () =
+  {
+    cap_m = 0;
+    cap_c = 0;
+    binv = [||];
+    fact = [||];
+    xb = [||];
+    y = [||];
+    w = [||];
+    rw = [||];
+    basis = [||];
+    art_sign = [||];
+    vstat = [||];
+    xval = [||];
+    dj = [||];
+    alpha = [||];
+    refw = [||];
+    cost = [||];
+  }
 
-let solve_ext ?(max_iter = 100000) ?(eps = 1e-7) ?basis:hint (m : Model.t) =
-  let n_model = Model.num_vars m in
-  let fixed = Array.make n_model None in
-  let cols = ref [] and n_cols = ref 0 in
-  (* Column index of each model var: either one column or a (pos, neg)
-     pair. *)
-  let col_of_var = Array.make n_model `Absent in
-  let push kind =
-    let idx = !n_cols in
-    cols := kind :: !cols;
-    incr n_cols;
-    idx
-  in
-  for i = 0 to n_model - 1 do
-    let lb, ub = Model.bounds m i in
-    if lb > ub then fixed.(i) <- Some nan (* caught below as infeasible *)
-    else if Float.is_finite lb && Float.is_finite ub && ub -. lb <= 1e-12
-    then fixed.(i) <- Some lb
-    else if Float.is_finite lb then
-      col_of_var.(i) <- `One (push (Shifted (i, lb)))
-    else if Float.is_finite ub then
-      col_of_var.(i) <- `One (push (Mirrored (i, ub)))
-    else begin
-      let p = push (Pos i) in
-      let n = push (Neg i) in
-      col_of_var.(i) <- `Pair (p, n)
-    end
-  done;
-  if Array.exists (function Some v -> Float.is_nan v | None -> false) fixed
-  then (Infeasible, None, no_stats)
-  else begin
-    let cols_arr = Array.of_list (List.rev !cols) in
-    (* Translate an expression into structural-column coefficients plus a
-       constant offset coming from shifts and fixed variables. *)
-    let translate expr =
-      let acc = Hashtbl.create 16 in
-      let offset = ref (Expr.const expr) in
-      let bump j c =
-        let cur = try Hashtbl.find acc j with Not_found -> 0.0 in
-        Hashtbl.replace acc j (cur +. c)
-      in
-      List.iter
-        (fun (i, c) ->
-          match fixed.(i) with
-          | Some v -> offset := !offset +. (c *. v)
-          | None -> (
-            match col_of_var.(i) with
-            | `Absent -> assert false
-            | `One j -> (
-              match cols_arr.(j) with
-              | Shifted (_, lb) ->
-                offset := !offset +. (c *. lb);
-                bump j c
-              | Mirrored (_, ub) ->
-                offset := !offset +. (c *. ub);
-                bump j (-.c)
-              | _ -> assert false)
-            | `Pair (p, n) ->
-              bump p c;
-              bump n (-.c)))
-        (Expr.coeffs expr);
-      let coeffs =
-        Hashtbl.fold (fun j c l -> if c = 0.0 then l else (j, c) :: l) acc []
-      in
-      (List.sort (fun (a, _) (b, _) -> compare a b) coeffs, !offset)
-    in
-    (* Upper bounds already implied by a nonnegative equality row (e.g.
-       one-mode-per-edge constraints imply k <= 1) don't need their own
-       row; this prunes one heavily degenerate row per binary in the DVS
-       MILPs. *)
-    let implied_ub = Array.make n_model infinity in
-    List.iter
-      (fun (c : Model.constr) ->
-        if c.cmp = Model.Eq then begin
-          let coeffs = Expr.coeffs c.expr in
-          (* Fold fixed variables into the right-hand side. *)
-          let rhs =
-            List.fold_left
-              (fun rhs (i, k) ->
-                match fixed.(i) with
-                | Some v -> rhs -. (k *. v)
-                | None -> rhs)
-              c.rhs coeffs
-          in
-          let unfixed =
-            List.filter (fun (i, _) -> fixed.(i) = None) coeffs
-          in
-          let sound =
-            rhs >= 0.0
-            && List.for_all
-                 (fun (i, k) -> k >= 0.0 && fst (Model.bounds m i) >= 0.0)
-                 unfixed
-          in
-          if sound then
-            List.iter
-              (fun (i, k) ->
-                if k > 0.0 then
-                  implied_ub.(i) <- Float.min implied_ub.(i) (rhs /. k))
-              unfixed
-        end)
-      (Model.constraints m);
-    (* Rows: model constraints plus upper-bound rows for shifted columns
-       with a finite, non-implied upper bound. *)
-    let rows = ref [] in
-    let add_row coeffs rhs cmp = rows := { coeffs; rhs; cmp } :: !rows in
-    List.iter
-      (fun (c : Model.constr) ->
-        let coeffs, offset = translate c.expr in
-        add_row coeffs (c.rhs -. offset) c.cmp)
-      (Model.constraints m);
-    Array.iteri
-      (fun i kind ->
-        match kind with
-        | Shifted (v, lb) ->
-          let _, ub = Model.bounds m v in
-          if Float.is_finite ub && not (implied_ub.(v) <= ub) then
-            add_row [ (i, 1.0) ] (ub -. lb) Model.Le
-        | Mirrored _ | Pos _ | Neg _ | Slack | Artificial -> ())
-      cols_arr;
-    let rows = Array.of_list (List.rev !rows) in
-    let n_rows = Array.length rows in
-    (* Row equilibration and rhs sign normalization. *)
-    Array.iter
-      (fun r ->
-        let mx =
-          List.fold_left (fun a (_, c) -> Float.max a (Float.abs c)) 0.0
-            r.coeffs
-        in
-        if mx > 0.0 then begin
-          r.coeffs <- List.map (fun (j, c) -> (j, c /. mx)) r.coeffs;
-          r.rhs <- r.rhs /. mx
-        end)
-      rows;
-    let flip cmp =
-      match cmp with Model.Le -> Model.Ge | Model.Ge -> Model.Le | Eq -> Model.Eq
-    in
-    let rows =
-      Array.map
-        (fun r ->
-          if r.rhs < 0.0 then
-            { coeffs = List.map (fun (j, c) -> (j, -.c)) r.coeffs;
-              rhs = -.r.rhs; cmp = flip r.cmp }
-          else r)
-        rows
-    in
-    (* Assign slack/surplus/artificial columns. *)
-    let extra = ref [] in
-    let n_struct = Array.length cols_arr in
-    let next = ref n_struct in
-    let basis = Array.make n_rows (-1) in
-    let slack_of_row = Array.make n_rows None in
-    let art_of_row = Array.make n_rows None in
-    Array.iteri
-      (fun i r ->
-        match r.cmp with
-        | Model.Le ->
-          extra := Slack :: !extra;
-          slack_of_row.(i) <- Some (!next, 1.0);
-          basis.(i) <- !next;
-          incr next
-        | Model.Ge ->
-          extra := Slack :: !extra;
-          slack_of_row.(i) <- Some (!next, -1.0);
-          incr next;
-          extra := Artificial :: !extra;
-          art_of_row.(i) <- Some !next;
-          basis.(i) <- !next;
-          incr next
-        | Model.Eq ->
-          extra := Artificial :: !extra;
-          art_of_row.(i) <- Some !next;
-          basis.(i) <- !next;
-          incr next)
-      rows;
-    let all_cols = Array.append cols_arr (Array.of_list (List.rev !extra)) in
-    let n_total = Array.length all_cols in
-    (* Columns preferred by the warm-start hint: the structural columns of
-       the variables basic in the parent solve.  Pricing enters these
-       first, which re-pivots toward the parent basis instead of
-       rediscovering it from the all-slack start. *)
-    let preferred = Array.make (Int.max 1 n_total) false in
-    let have_hint = ref false in
-    (match hint with
-    | None -> ()
-    | Some h ->
-      Array.iter
-        (fun v ->
-          if v >= 0 && v < n_model then
-            match col_of_var.(v) with
-            | `Absent -> ()
-            | `One j ->
-              preferred.(j) <- true;
-              have_hint := true
-            | `Pair (p, n) ->
-              preferred.(p) <- true;
-              preferred.(n) <- true;
-              have_hint := true)
-        h.basic_vars);
-    (* Dense tableau. *)
-    let tab = Array.make_matrix n_rows (n_total + 1) 0.0 in
-    Array.iteri
-      (fun i r ->
-        List.iter (fun (j, c) -> tab.(i).(j) <- c) r.coeffs;
-        (match slack_of_row.(i) with
-        | Some (j, s) -> tab.(i).(j) <- s
-        | None -> ());
-        (match art_of_row.(i) with
-        | Some j -> tab.(i).(j) <- 1.0
-        | None -> ());
-        tab.(i).(n_total) <- r.rhs)
-      rows;
-    let is_artificial j =
-      j < n_total && (match all_cols.(j) with Artificial -> true | _ -> false)
-    in
-    (* Reduced costs for cost vector [c]. *)
-    let reduced_costs c =
-      let r = Array.copy c in
-      let z = ref 0.0 in
-      for i = 0 to n_rows - 1 do
-        let cb = c.(basis.(i)) in
-        if cb <> 0.0 then begin
-          z := !z +. (cb *. tab.(i).(n_total));
-          for j = 0 to n_total - 1 do
-            r.(j) <- r.(j) -. (cb *. tab.(i).(j))
-          done
-        end
-      done;
-      (r, !z)
-    in
-    let pivot ~row ~col =
-      let p = tab.(row).(col) in
-      let trow = tab.(row) in
-      for j = 0 to n_total do
-        trow.(j) <- trow.(j) /. p
-      done;
-      for i = 0 to n_rows - 1 do
-        if i <> row then begin
-          let f = tab.(i).(col) in
-          if f <> 0.0 then begin
-            let ti = tab.(i) in
-            for j = 0 to n_total do
-              ti.(j) <- ti.(j) -. (f *. trow.(j))
-            done;
-            ti.(col) <- 0.0
-          end
-        end
-      done;
-      trow.(col) <- 1.0;
-      basis.(row) <- col
-    in
-    let total_pivots = ref 0 and phase1_pivots = ref 0 in
-    let stats () = { pivots = !total_pivots; phase1_pivots = !phase1_pivots } in
-    (* One simplex phase on cost vector [c]; [allow j] filters entering
-       candidates.  Returns [`Optimal], [`Unbounded] or [`Iter_limit]. *)
-    let run_phase ~phase c ~allow =
-      let iter = ref 0 in
-      let result = ref `Running in
-      (* Dantzig pricing while the objective makes progress; switch to
-         Bland's rule permanently once it stalls (degeneracy), which
-         guarantees termination. *)
-      let bland = ref false in
-      let best_z = ref infinity and stall = ref 0 in
-      while !result = `Running do
-        if !iter > max_iter then result := `Iter_limit
-        else begin
-          let redcost, z = reduced_costs c in
-          if z < !best_z -. (1e-9 *. Float.max 1.0 (Float.abs !best_z))
-          then begin
-            best_z := z;
-            stall := 0
-          end
-          else begin
-            incr stall;
-            if !stall > 200 then bland := true
-          end;
-          (* Entering column. *)
-          let entering = ref (-1) in
-          if not !bland then begin
-            (* Warm start: enter the best improving hinted column when one
-               exists; otherwise full Dantzig pricing. *)
-            if !have_hint then begin
-              let best = ref (-.eps) in
-              for j = 0 to n_total - 1 do
-                if preferred.(j) && allow j && redcost.(j) < !best then begin
-                  best := redcost.(j);
-                  entering := j
-                end
-              done
-            end;
-            if !entering < 0 then begin
-              let best = ref (-.eps) in
-              for j = 0 to n_total - 1 do
-                if allow j && redcost.(j) < !best then begin
-                  best := redcost.(j);
-                  entering := j
-                end
-              done
-            end
-          end
-          else begin
-            (* Bland: first improving column. *)
-            let j = ref 0 in
-            while !entering < 0 && !j < n_total do
-              if allow !j && redcost.(!j) < -.eps then entering := !j;
-              incr j
-            done
-          end;
-          if !entering < 0 then result := `Optimal
-          else begin
-            let e = !entering in
-            (* Ratio test; ties broken by smallest basis column (Bland). *)
-            let leave = ref (-1) and best_ratio = ref infinity in
-            for i = 0 to n_rows - 1 do
-              let a = tab.(i).(e) in
-              if a > 1e-9 then begin
-                let ratio = tab.(i).(n_total) /. a in
-                if
-                  ratio < !best_ratio -. 1e-12
-                  || (ratio < !best_ratio +. 1e-12
-                      && !leave >= 0
-                      && basis.(i) < basis.(!leave))
-                then begin
-                  best_ratio := ratio;
-                  leave := i
-                end
-              end
-            done;
-            if !leave < 0 then result := `Unbounded
-            else begin
-              pivot ~row:!leave ~col:e;
-              incr iter;
-              incr total_pivots;
-              if phase = 1 then incr phase1_pivots
-            end
-          end
-        end
-      done;
-      !result
-    in
-    let extract_basis () =
-      let seen = Hashtbl.create 16 in
-      Array.iter
-        (fun col ->
-          if col >= 0 && col < n_total then
-            match all_cols.(col) with
-            | Shifted (v, _) | Mirrored (v, _) | Pos v | Neg v ->
-              Hashtbl.replace seen v ()
-            | Slack | Artificial -> ())
-        basis;
-      let vars = Hashtbl.fold (fun v () acc -> v :: acc) seen [] in
-      { basic_vars = Array.of_list (List.sort compare vars) }
-    in
-    (* Phase 1: minimize the sum of artificials. *)
-    let c1 = Array.make n_total 0.0 in
-    for j = 0 to n_total - 1 do
-      if is_artificial j then c1.(j) <- 1.0
+let ensure ws m ncols =
+  if ws.cap_m < m then begin
+    ws.cap_m <- m;
+    ws.binv <- Array.make (m * m) 0.0;
+    ws.fact <- Array.make (m * m) 0.0;
+    ws.xb <- Array.make m 0.0;
+    ws.y <- Array.make m 0.0;
+    ws.w <- Array.make m 0.0;
+    ws.rw <- Array.make m 0.0;
+    ws.basis <- Array.make m 0;
+    ws.art_sign <- Array.make m 0.0
+  end;
+  if ws.cap_c < ncols then begin
+    ws.cap_c <- ncols;
+    ws.vstat <- Array.make ncols st_lo;
+    ws.xval <- Array.make ncols 0.0;
+    ws.dj <- Array.make ncols 0.0;
+    ws.alpha <- Array.make ncols 0.0;
+    ws.refw <- Array.make ncols 1.0;
+    ws.cost <- Array.make ncols 0.0
+  end;
+  ws
+
+let refactor_every = 128
+
+exception Stop of status * basis option
+
+exception Fallback (* abandon the warm-start attempt, re-solve cold *)
+
+exception Stuck of int
+(* numerically hopeless state (singular refactorization, or a forced
+   pivot below tolerance on a fresh factorization) in the given phase.
+   Distinct from budget exhaustion: a warm-started solve that gets stuck
+   restarts cold (the hint led to a bad vertex, not the problem); only a
+   cold solve that gets stuck reports {!Iter_limit}. *)
+
+let solve_compiled ?(pricing = Steepest_edge) ?(max_iter = 100000)
+    ?(eps = 1e-7) ?basis:hint ?ws c =
+  let n = c.C.n and m = c.C.m and nt = c.C.nt in
+  let ncols = nt + m in
+  let nnz = C.nnz c in
+  let ws = ensure (match ws with Some w -> w | None -> workspace ()) m ncols in
+  let binv = ws.binv and fact = ws.fact in
+  let feas_tol = eps *. 0.01 in
+  let piv_tol = 1e-9 in
+  let rtol = 1e-9 in
+  let rhs_scale =
+    let s = ref 1.0 in
+    for i = 0 to m - 1 do
+      s := Float.max !s (Float.abs c.C.rhs.(i))
     done;
-    let phase1_needed = Array.exists (fun k -> k = Artificial) all_cols in
-    let phase1 =
-      if not phase1_needed then `Feasible
-      else begin
-        match run_phase ~phase:1 c1 ~allow:(fun _ -> true) with
-        | `Unbounded -> assert false (* phase-1 objective is bounded below *)
-        | `Iter_limit -> `Iter_limit
-        | `Optimal | `Running ->
-          let _, z = reduced_costs c1 in
-          let scale =
-            Array.fold_left
-              (fun a r -> Float.max a (Float.abs r.rhs))
-              1.0 rows
-          in
-          if Float.abs z <= eps *. 10.0 *. scale then `Feasible
-          else `Infeasible
+    !s
+  in
+  (* Artificials share one upper bound: +oo during phase 1, 0 after. *)
+  let art_ub = ref infinity in
+  let lbx j = if j < nt then c.C.lb.(j) else 0.0 in
+  let ubx j = if j < nt then c.C.ub.(j) else !art_ub in
+  let primal_pivots = ref 0
+  and p1_pivots = ref 0
+  and dual_pivots = ref 0
+  and flips = ref 0
+  and refacts = ref 0
+  and blands = ref 0
+  and flops = ref 0
+  and since_refactor = ref 0 in
+  let total_pivots () = !primal_pivots + !dual_pivots in
+  let stats () =
+    {
+      pivots = total_pivots ();
+      phase1_pivots = !p1_pivots;
+      dual_pivots = !dual_pivots;
+      bound_flips = !flips;
+      refactorizations = !refacts;
+      bland_pivots = !blands;
+      flops = !flops;
+    }
+  in
+  let limit phase = Stop (Iter_limit { phase; iterations = total_pivots () }, None) in
+  (* ---- linear-algebra primitives ------------------------------------ *)
+  let refactor () =
+    incr refacts;
+    since_refactor := 0;
+    flops := !flops + (m * m * m);
+    Array.fill fact 0 (m * m) 0.0;
+    for i = 0 to m - 1 do
+      let k = ws.basis.(i) in
+      if k < n then
+        for p = c.C.col_ptr.(k) to c.C.col_ptr.(k + 1) - 1 do
+          fact.((c.C.col_row.(p) * m) + i) <- c.C.col_val.(p)
+        done
+      else if k < nt then fact.(((k - n) * m) + i) <- 1.0
+      else fact.(((k - nt) * m) + i) <- ws.art_sign.(k - nt)
+    done;
+    Array.fill binv 0 (m * m) 0.0;
+    for i = 0 to m - 1 do
+      binv.((i * m) + i) <- 1.0
+    done;
+    let ok = ref true in
+    (try
+       for col = 0 to m - 1 do
+         let best = ref col
+         and bestv = ref (Float.abs fact.((col * m) + col)) in
+         for r = col + 1 to m - 1 do
+           let v = Float.abs fact.((r * m) + col) in
+           if v > !bestv then begin
+             best := r;
+             bestv := v
+           end
+         done;
+         if !bestv < 1e-11 then begin
+           ok := false;
+           raise Exit
+         end;
+         if !best <> col then begin
+           let oa = col * m and ob = !best * m in
+           for q = 0 to m - 1 do
+             let t = fact.(oa + q) in
+             fact.(oa + q) <- fact.(ob + q);
+             fact.(ob + q) <- t;
+             let t = binv.(oa + q) in
+             binv.(oa + q) <- binv.(ob + q);
+             binv.(ob + q) <- t
+           done
+         end;
+         let off = col * m in
+         let ipiv = 1.0 /. fact.(off + col) in
+         for q = 0 to m - 1 do
+           fact.(off + q) <- fact.(off + q) *. ipiv;
+           binv.(off + q) <- binv.(off + q) *. ipiv
+         done;
+         for r = 0 to m - 1 do
+           if r <> col then begin
+             let f = fact.((r * m) + col) in
+             if f <> 0.0 then begin
+               let offr = r * m in
+               for q = 0 to m - 1 do
+                 fact.(offr + q) <- fact.(offr + q) -. (f *. fact.(off + q));
+                 binv.(offr + q) <- binv.(offr + q) -. (f *. binv.(off + q))
+               done
+             end
+           end
+         done
+       done
+     with Exit -> ());
+    !ok
+  in
+  let compute_xb () =
+    flops := !flops + (m * m) + (2 * (nnz + m));
+    Array.blit c.C.rhs 0 ws.rw 0 m;
+    for j = 0 to nt - 1 do
+      if ws.vstat.(j) <> st_basic && ws.xval.(j) <> 0.0 then begin
+        let x = ws.xval.(j) in
+        if j < n then
+          for p = c.C.col_ptr.(j) to c.C.col_ptr.(j + 1) - 1 do
+            let r = c.C.col_row.(p) in
+            ws.rw.(r) <- ws.rw.(r) -. (c.C.col_val.(p) *. x)
+          done
+        else ws.rw.(j - n) <- ws.rw.(j - n) -. x
       end
-    in
-    match phase1 with
-    | `Iter_limit ->
-      (Iter_limit { phase = 1; iterations = !total_pivots }, None, stats ())
-    | `Infeasible -> (Infeasible, None, stats ())
-    | `Feasible -> begin
-      (* Drive basic artificials (at value 0) out where possible. *)
-      for i = 0 to n_rows - 1 do
-        if is_artificial basis.(i) then begin
-          let j = ref 0 and found = ref false in
-          while (not !found) && !j < n_total do
-            if (not (is_artificial !j)) && Float.abs tab.(i).(!j) > 1e-7
-            then begin
-              pivot ~row:i ~col:!j;
-              found := true
-            end;
-            incr j
+    done;
+    for i = 0 to m - 1 do
+      let off = i * m in
+      let s = ref 0.0 in
+      for k = 0 to m - 1 do
+        s := !s +. (binv.(off + k) *. ws.rw.(k))
+      done;
+      ws.xb.(i) <- !s
+    done
+  in
+  let btran () =
+    flops := !flops + (2 * m * m);
+    Array.fill ws.y 0 m 0.0;
+    for i = 0 to m - 1 do
+      let cb = ws.cost.(ws.basis.(i)) in
+      if cb <> 0.0 then begin
+        let off = i * m in
+        for k = 0 to m - 1 do
+          ws.y.(k) <- ws.y.(k) +. (cb *. binv.(off + k))
+        done
+      end
+    done
+  in
+  let reduced_cost j =
+    if j < n then begin
+      let s = ref ws.cost.(j) in
+      for p = c.C.col_ptr.(j) to c.C.col_ptr.(j + 1) - 1 do
+        s := !s -. (c.C.col_val.(p) *. ws.y.(c.C.col_row.(p)))
+      done;
+      !s
+    end
+    else ws.cost.(j) -. ws.y.(j - n)
+  in
+  let ftran e =
+    Array.fill ws.w 0 m 0.0;
+    if e < n then begin
+      flops := !flops + (2 * m * (c.C.col_ptr.(e + 1) - c.C.col_ptr.(e)));
+      for p = c.C.col_ptr.(e) to c.C.col_ptr.(e + 1) - 1 do
+        let r = c.C.col_row.(p) and v = c.C.col_val.(p) in
+        for i = 0 to m - 1 do
+          ws.w.(i) <- ws.w.(i) +. (binv.((i * m) + r) *. v)
+        done
+      done
+    end
+    else begin
+      flops := !flops + (2 * m);
+      let r = e - n in
+      for i = 0 to m - 1 do
+        ws.w.(i) <- ws.w.(i) +. binv.((i * m) + r)
+      done
+    end
+  in
+  (* Pivot row r of B^-1 N into ws.alpha (nonbasic columns only). *)
+  let pivot_row r =
+    flops := !flops + (2 * (nnz + m));
+    let off = r * m in
+    for j = 0 to nt - 1 do
+      if ws.vstat.(j) <> st_basic then
+        ws.alpha.(j) <-
+          (if j < n then begin
+             let s = ref 0.0 in
+             for p = c.C.col_ptr.(j) to c.C.col_ptr.(j + 1) - 1 do
+               s := !s +. (binv.(off + c.C.col_row.(p)) *. c.C.col_val.(p))
+             done;
+             !s
+           end
+           else binv.(off + (j - n)))
+      else ws.alpha.(j) <- 0.0
+    done
+  in
+  (* Replace row r's basic column with e (ws.w must hold B^-1 A_e). *)
+  let apply_pivot r e ~ve ~leave_st ~leave_val =
+    let k = ws.basis.(r) in
+    ws.vstat.(k) <- leave_st;
+    ws.xval.(k) <- leave_val;
+    ws.basis.(r) <- e;
+    ws.vstat.(e) <- st_basic;
+    ws.xb.(r) <- ve;
+    flops := !flops + (2 * m * m);
+    let offr = r * m in
+    let ipiv = 1.0 /. ws.w.(r) in
+    for q = 0 to m - 1 do
+      binv.(offr + q) <- binv.(offr + q) *. ipiv
+    done;
+    for i = 0 to m - 1 do
+      if i <> r then begin
+        let f = ws.w.(i) in
+        if f <> 0.0 then begin
+          let offi = i * m in
+          for q = 0 to m - 1 do
+            binv.(offi + q) <- binv.(offi + q) -. (f *. binv.(offr + q))
           done
         end
-      done;
-      (* Phase 2. *)
-      let sense, obj = Model.objective m in
-      let obj_sign = match sense with Model.Minimize -> 1.0 | Maximize -> -1.0 in
-      let c2 = Array.make n_total 0.0 in
-      let obj_coeffs, _obj_offset = translate obj in
-      List.iter (fun (j, c) -> c2.(j) <- obj_sign *. c) obj_coeffs;
-      match run_phase ~phase:2 c2 ~allow:(fun j -> not (is_artificial j)) with
-      | `Unbounded -> (Unbounded, None, stats ())
-      | `Iter_limit ->
-        (Iter_limit { phase = 2; iterations = !total_pivots }, None, stats ())
-      | `Running -> assert false
-      | `Optimal ->
-        (* Recover structural values. *)
-        let col_val = Array.make n_total 0.0 in
-        for i = 0 to n_rows - 1 do
-          col_val.(basis.(i)) <- tab.(i).(n_total)
+      end
+    done;
+    incr since_refactor
+  in
+  let devex_update r e =
+    if pricing = Steepest_edge then begin
+      pivot_row r;
+      let ae = ws.w.(r) in
+      if Float.abs ae > 1e-12 then begin
+        let ge = ws.refw.(e) in
+        for j = 0 to nt - 1 do
+          if ws.vstat.(j) <> st_basic && j <> e then begin
+            let aj = ws.alpha.(j) in
+            if aj <> 0.0 then begin
+              let q = aj /. ae in
+              let cand = q *. q *. ge in
+              if cand > ws.refw.(j) then ws.refw.(j) <- cand
+            end
+          end
         done;
-        let values = Array.make n_model 0.0 in
-        for i = 0 to n_model - 1 do
-          values.(i) <-
-            (match fixed.(i) with
-            | Some v -> v
-            | None -> (
-              match col_of_var.(i) with
-              | `Absent -> 0.0
-              | `One j -> (
-                match all_cols.(j) with
-                | Shifted (_, lb) -> lb +. col_val.(j)
-                | Mirrored (_, ub) -> ub -. col_val.(j)
-                | _ -> assert false)
-              | `Pair (p, n) -> col_val.(p) -. col_val.(n)))
-        done;
-        let objective = Expr.eval (fun i -> values.(i)) obj in
-        (Optimal { objective; values }, Some (extract_basis ()), stats ())
+        ws.refw.(ws.basis.(r)) <- Float.max (ge /. (ae *. ae)) 1.0
+      end
     end
-  end
+  in
+  let current_z () =
+    let s = ref 0.0 in
+    for i = 0 to m - 1 do
+      let cb = ws.cost.(ws.basis.(i)) in
+      if cb <> 0.0 then s := !s +. (cb *. ws.xb.(i))
+    done;
+    for j = 0 to nt - 1 do
+      if ws.vstat.(j) <> st_basic && ws.cost.(j) <> 0.0 && ws.xval.(j) <> 0.0
+      then s := !s +. (ws.cost.(j) *. ws.xval.(j))
+    done;
+    !s
+  in
+  let choose_entering ~bland =
+    flops := !flops + (2 * nnz) + nt;
+    let best = ref (-1) and best_score = ref 0.0 in
+    (try
+       for j = 0 to nt - 1 do
+         let st = ws.vstat.(j) in
+         if st <> st_basic && lbx j < ubx j then begin
+           let d = reduced_cost j in
+           ws.dj.(j) <- d;
+           let elig =
+             (d < -.eps && (st = st_lo || st = st_fr))
+             || (d > eps && (st = st_up || st = st_fr))
+           in
+           if elig then
+             if bland then begin
+               best := j;
+               raise Exit
+             end
+             else begin
+               let score =
+                 match pricing with
+                 | Steepest_edge -> d *. d /. ws.refw.(j)
+                 | Dantzig | Bland -> Float.abs d
+               in
+               if score > !best_score then begin
+                 best_score := score;
+                 best := j
+               end
+             end
+         end
+       done
+     with Exit -> ());
+    !best
+  in
+  (* ---- primal iteration --------------------------------------------- *)
+  let primal_phase ~phase =
+    let iters = ref 0 in
+    let stall = ref 0 in
+    let bland = ref (pricing = Bland) in
+    let last_z = ref infinity in
+    let finished = ref None in
+    while !finished = None do
+      if !since_refactor >= refactor_every then begin
+        if not (refactor ()) then raise (Stuck phase);
+        compute_xb ()
+      end;
+      btran ();
+      let e = choose_entering ~bland:!bland in
+      if e < 0 then finished := Some `Optimal
+      else if !iters >= max_iter then finished := Some `Limit
+      else begin
+        let z = current_z () in
+        if z < !last_z -. (1e-12 *. (1.0 +. Float.abs !last_z)) then begin
+          last_z := z;
+          stall := 0
+        end
+        else begin
+          incr stall;
+          if !stall > 200 then bland := true
+        end;
+        let dir = if ws.dj.(e) < 0.0 then 1.0 else -1.0 in
+        ftran e;
+        let span = ubx e -. lbx e in
+        let best_t = ref span and leave_r = ref (-1) and leave_up = ref false in
+        for i = 0 to m - 1 do
+          let a = dir *. ws.w.(i) in
+          if a > piv_tol then begin
+            let l = lbx ws.basis.(i) in
+            if l > neg_infinity then begin
+              let t = Float.max 0.0 ((ws.xb.(i) -. l) /. a) in
+              if
+                t < !best_t -. rtol
+                || (t < !best_t +. rtol
+                   && !leave_r >= 0
+                   &&
+                   if !bland then ws.basis.(i) < ws.basis.(!leave_r)
+                   else Float.abs ws.w.(i) > Float.abs ws.w.(!leave_r))
+              then begin
+                if t < !best_t then best_t := t;
+                leave_r := i;
+                leave_up := false
+              end
+            end
+          end
+          else if a < -.piv_tol then begin
+            let u = ubx ws.basis.(i) in
+            if u < infinity then begin
+              let t = Float.max 0.0 ((u -. ws.xb.(i)) /. -.a) in
+              if
+                t < !best_t -. rtol
+                || (t < !best_t +. rtol
+                   && !leave_r >= 0
+                   &&
+                   if !bland then ws.basis.(i) < ws.basis.(!leave_r)
+                   else Float.abs ws.w.(i) > Float.abs ws.w.(!leave_r))
+              then begin
+                if t < !best_t then best_t := t;
+                leave_r := i;
+                leave_up := true
+              end
+            end
+          end
+        done;
+        if !best_t = infinity then finished := Some `Unbounded
+        else if !leave_r < 0 then begin
+          (* entering variable runs to its opposite bound: no basis change *)
+          let t = !best_t in
+          ws.xval.(e) <- (if dir > 0.0 then ubx e else lbx e);
+          ws.vstat.(e) <- (if dir > 0.0 then st_up else st_lo);
+          flops := !flops + (2 * m);
+          for i = 0 to m - 1 do
+            ws.xb.(i) <- ws.xb.(i) -. (dir *. t *. ws.w.(i))
+          done;
+          incr flips;
+          incr iters
+        end
+        else begin
+          let r = !leave_r in
+          if Float.abs ws.w.(r) < 1e-10 then begin
+            (* numerically hopeless pivot: refresh the factorization and
+               retry; if it is already fresh, give up (cold restart when
+               warm-started, Iter_limit otherwise) *)
+            if !since_refactor > 0 then begin
+              if not (refactor ()) then raise (Stuck phase);
+              compute_xb ()
+            end
+            else raise (Stuck phase)
+          end
+          else begin
+            let t = !best_t in
+            let k = ws.basis.(r) in
+            let leave_st = if !leave_up then st_up else st_lo in
+            let leave_val = if !leave_up then ubx k else lbx k in
+            devex_update r e;
+            flops := !flops + (2 * m);
+            for i = 0 to m - 1 do
+              if i <> r then ws.xb.(i) <- ws.xb.(i) -. (dir *. t *. ws.w.(i))
+            done;
+            let ve = ws.xval.(e) +. (dir *. t) in
+            apply_pivot r e ~ve ~leave_st ~leave_val;
+            incr iters;
+            incr primal_pivots;
+            if phase = 1 then incr p1_pivots;
+            if !bland then incr blands
+          end
+        end
+      end
+    done;
+    match !finished with Some r -> r | None -> assert false
+  in
+  (* ---- phase transitions -------------------------------------------- *)
+  let set_phase2_cost () =
+    Array.fill ws.cost 0 ncols 0.0;
+    let sgn = match c.C.sense with Model.Minimize -> 1.0 | Maximize -> -1.0 in
+    for j = 0 to n - 1 do
+      ws.cost.(j) <- sgn *. c.C.obj.(j)
+    done
+  in
+  let drive_out_artificials () =
+    for i = 0 to m - 1 do
+      if ws.basis.(i) >= nt then begin
+        pivot_row i;
+        let best = ref (-1) and bestv = ref 1e-7 in
+        for j = 0 to nt - 1 do
+          if ws.vstat.(j) <> st_basic then begin
+            let a = Float.abs ws.alpha.(j) in
+            if a > !bestv then begin
+              bestv := a;
+              best := j
+            end
+          end
+        done;
+        if !best >= 0 then begin
+          (* degenerate pivot: swap the artificial out without moving x *)
+          let e = !best in
+          ftran e;
+          apply_pivot i e ~ve:ws.xval.(e) ~leave_st:st_lo ~leave_val:0.0;
+          incr primal_pivots;
+          incr p1_pivots
+        end
+        (* else: redundant row; the artificial stays basic, pinned at 0
+           once art_ub drops to 0 *)
+      end
+    done
+  in
+  let finish () =
+    if m > 0 then begin
+      if not (refactor ()) then raise (Stuck 2);
+      compute_xb ()
+    end;
+    let values = Array.make n 0.0 in
+    for j = 0 to n - 1 do
+      if ws.vstat.(j) <> st_basic then values.(j) <- ws.xval.(j)
+    done;
+    for i = 0 to m - 1 do
+      let k = ws.basis.(i) in
+      if k < n then values.(k) <- ws.xb.(i)
+    done;
+    let obj = ref c.C.obj_const in
+    for j = 0 to n - 1 do
+      obj := !obj +. (c.C.obj.(j) *. values.(j))
+    done;
+    let b_stat = Bytes.create nt in
+    for j = 0 to nt - 1 do
+      Bytes.unsafe_set b_stat j (Char.unsafe_chr ws.vstat.(j))
+    done;
+    let b =
+      {
+        b_n = n;
+        b_m = m;
+        b_stat;
+        b_rows = Array.sub ws.basis 0 m;
+        b_sign = Array.sub ws.art_sign 0 m;
+      }
+    in
+    raise (Stop (Optimal { objective = !obj; values }, Some b))
+  in
+  let phase2_and_finish () =
+    set_phase2_cost ();
+    Array.fill ws.refw 0 ncols 1.0;
+    match primal_phase ~phase:2 with
+    | `Optimal -> finish ()
+    | `Unbounded -> raise (Stop (Unbounded, None))
+    | `Limit -> raise (limit 2)
+  in
+  (* ---- cold start ---------------------------------------------------- *)
+  let cold () =
+    art_ub := infinity;
+    Array.fill ws.art_sign 0 m 0.0;
+    Array.fill ws.vstat 0 ncols st_lo;
+    Array.fill ws.xval 0 ncols 0.0;
+    for j = 0 to nt - 1 do
+      if c.C.lb.(j) > c.C.ub.(j) then raise (Stop (Infeasible, None))
+    done;
+    for j = 0 to n - 1 do
+      let l = c.C.lb.(j) and u = c.C.ub.(j) in
+      if l > neg_infinity then begin
+        ws.vstat.(j) <- st_lo;
+        ws.xval.(j) <- l
+      end
+      else if u < infinity then begin
+        ws.vstat.(j) <- st_up;
+        ws.xval.(j) <- u
+      end
+      else begin
+        ws.vstat.(j) <- st_fr;
+        ws.xval.(j) <- 0.0
+      end
+    done;
+    (* residual of each row at the nonbasic point decides slack vs
+       artificial start *)
+    Array.blit c.C.rhs 0 ws.rw 0 m;
+    for j = 0 to n - 1 do
+      let x = ws.xval.(j) in
+      if x <> 0.0 then
+        for p = c.C.col_ptr.(j) to c.C.col_ptr.(j + 1) - 1 do
+          let r = c.C.col_row.(p) in
+          ws.rw.(r) <- ws.rw.(r) -. (c.C.col_val.(p) *. x)
+        done
+    done;
+    let need_art = ref false in
+    for i = 0 to m - 1 do
+      let sj = n + i in
+      let sl = c.C.lb.(sj) and su = c.C.ub.(sj) in
+      let r = ws.rw.(i) in
+      if r >= sl -. feas_tol && r <= su +. feas_tol then begin
+        ws.vstat.(sj) <- st_basic;
+        ws.basis.(i) <- sj;
+        ws.xb.(i) <- r
+      end
+      else begin
+        let sv = if r < sl then sl else su in
+        ws.vstat.(sj) <- (if r < sl then st_lo else st_up);
+        ws.xval.(sj) <- sv;
+        let resid = r -. sv in
+        ws.art_sign.(i) <- (if resid >= 0.0 then 1.0 else -1.0);
+        ws.basis.(i) <- nt + i;
+        ws.vstat.(nt + i) <- st_basic;
+        ws.xb.(i) <- Float.abs resid;
+        need_art := true
+      end
+    done;
+    Array.fill binv 0 (m * m) 0.0;
+    for i = 0 to m - 1 do
+      binv.((i * m) + i) <-
+        (if ws.basis.(i) >= nt then ws.art_sign.(i) else 1.0)
+    done;
+    since_refactor := 0;
+    if !need_art then begin
+      Array.fill ws.cost 0 ncols 0.0;
+      for i = 0 to m - 1 do
+        if ws.art_sign.(i) <> 0.0 then ws.cost.(nt + i) <- 1.0
+      done;
+      Array.fill ws.refw 0 ncols 1.0;
+      (match primal_phase ~phase:1 with
+      | `Optimal -> ()
+      | `Unbounded ->
+        (* a sum of nonnegative artificials cannot be unbounded below:
+           numerical trouble, reported as a budget stop *)
+        raise (limit 1)
+      | `Limit -> raise (limit 1));
+      let z1 = current_z () in
+      if z1 > eps *. 10.0 *. rhs_scale then raise (Stop (Infeasible, None));
+      drive_out_artificials ()
+    end;
+    art_ub := 0.0;
+    phase2_and_finish ()
+  in
+  (* ---- warm start: dual reoptimization ------------------------------- *)
+  let primal_feasible () =
+    let ok = ref true in
+    for i = 0 to m - 1 do
+      let k = ws.basis.(i) in
+      if ws.xb.(i) < lbx k -. feas_tol || ws.xb.(i) > ubx k +. feas_tol then
+        ok := false
+    done;
+    !ok
+  in
+  let warm b =
+    if b.b_n <> n || b.b_m <> m then raise Fallback;
+    for j = 0 to nt - 1 do
+      if c.C.lb.(j) > c.C.ub.(j) then raise (Stop (Infeasible, None))
+    done;
+    Array.fill ws.vstat 0 ncols st_lo;
+    Array.fill ws.xval 0 ncols 0.0;
+    Array.fill ws.art_sign 0 m 0.0;
+    for j = 0 to nt - 1 do
+      ws.vstat.(j) <- Char.code (Bytes.get b.b_stat j)
+    done;
+    for i = 0 to m - 1 do
+      let k = b.b_rows.(i) in
+      if k < 0 || k >= ncols then raise Fallback;
+      if k >= nt then begin
+        if k <> nt + i || b.b_sign.(i) = 0.0 then raise Fallback;
+        ws.art_sign.(i) <- b.b_sign.(i)
+      end;
+      ws.basis.(i) <- k;
+      ws.vstat.(k) <- st_basic
+    done;
+    art_ub := 0.0;
+    (* snap nonbasics onto the current bounds *)
+    for j = 0 to nt - 1 do
+      let st = ws.vstat.(j) in
+      if st <> st_basic then begin
+        let l = c.C.lb.(j) and u = c.C.ub.(j) in
+        let st =
+          if l = neg_infinity && u = infinity then st_fr
+          else if st = st_lo then if l > neg_infinity then st_lo else st_up
+          else if st = st_up then if u < infinity then st_up else st_lo
+          else if l > neg_infinity then st_lo
+          else st_up
+        in
+        ws.vstat.(j) <- st;
+        ws.xval.(j) <-
+          (if st = st_lo then l else if st = st_up then u else 0.0)
+      end
+    done;
+    if not (refactor ()) then raise Fallback;
+    compute_xb ();
+    set_phase2_cost ();
+    Array.fill ws.refw 0 ncols 1.0;
+    btran ();
+    let dual_ok = ref true in
+    for j = 0 to nt - 1 do
+      let st = ws.vstat.(j) in
+      if st <> st_basic && lbx j < ubx j then begin
+        let d = reduced_cost j in
+        ws.dj.(j) <- d;
+        if
+          (d < -.eps && (st = st_lo || st = st_fr))
+          || (d > eps && (st = st_up || st = st_fr))
+        then dual_ok := false
+      end
+    done;
+    if not !dual_ok then
+      if primal_feasible () then phase2_and_finish () else raise Fallback;
+    (* dual simplex loop *)
+    let max_dual = (2 * m) + 200 in
+    let iters = ref 0 in
+    let continue_dual = ref true in
+    while !continue_dual do
+      if !iters > max_dual then raise Fallback;
+      if !iters >= max_iter then raise (limit 2);
+      if !since_refactor >= refactor_every then begin
+        if not (refactor ()) then raise Fallback;
+        compute_xb ()
+      end;
+      let r = ref (-1) and viol = ref feas_tol and need_up = ref false in
+      for i = 0 to m - 1 do
+        let k = ws.basis.(i) in
+        let below = lbx k -. ws.xb.(i) and above = ws.xb.(i) -. ubx k in
+        if below > !viol then begin
+          viol := below;
+          r := i;
+          need_up := true
+        end;
+        if above > !viol then begin
+          viol := above;
+          r := i;
+          need_up := false
+        end
+      done;
+      if !r < 0 then continue_dual := false
+      else begin
+        let r = !r in
+        btran ();
+        for j = 0 to nt - 1 do
+          if ws.vstat.(j) <> st_basic then ws.dj.(j) <- reduced_cost j
+        done;
+        flops := !flops + (2 * nnz) + nt;
+        pivot_row r;
+        let e = ref (-1) and best = ref infinity in
+        for j = 0 to nt - 1 do
+          let st = ws.vstat.(j) in
+          if st <> st_basic && lbx j < ubx j then begin
+            let a = ws.alpha.(j) in
+            let good =
+              if !need_up then
+                (a < -.piv_tol && (st = st_lo || st = st_fr))
+                || (a > piv_tol && (st = st_up || st = st_fr))
+              else
+                (a > piv_tol && (st = st_lo || st = st_fr))
+                || (a < -.piv_tol && (st = st_up || st = st_fr))
+            in
+            if good then begin
+              let ratio = Float.abs ws.dj.(j) /. Float.abs a in
+              if
+                ratio < !best -. 1e-12
+                || (ratio < !best +. 1e-12
+                   && !e >= 0
+                   && Float.abs a > Float.abs ws.alpha.(!e))
+              then begin
+                if ratio < !best then best := ratio;
+                e := j
+              end
+            end
+          end
+        done;
+        if !e < 0 then
+          (* the violated row cannot be repaired within the nonbasic
+             bounds: primal infeasible *)
+          raise (Stop (Infeasible, None));
+        let e = !e in
+        ftran e;
+        if Float.abs ws.w.(r) < 1e-10 then raise Fallback;
+        let k = ws.basis.(r) in
+        let target = if !need_up then lbx k else ubx k in
+        let dx = (ws.xb.(r) -. target) /. ws.w.(r) in
+        flops := !flops + (2 * m);
+        for i = 0 to m - 1 do
+          if i <> r then ws.xb.(i) <- ws.xb.(i) -. (dx *. ws.w.(i))
+        done;
+        let ve = ws.xval.(e) +. dx in
+        let leave_st = if !need_up then st_lo else st_up in
+        apply_pivot r e ~ve ~leave_st ~leave_val:target;
+        incr dual_pivots;
+        incr iters
+      end
+    done;
+    (* primal feasible again; a (usually pivot-free) primal phase 2
+       verifies optimality and covers residual dual infeasibility *)
+    phase2_and_finish ()
+  in
+  let st, b =
+    try
+      match hint with
+      | Some b -> ( try warm b with Fallback | Stuck _ -> cold ())
+      | None -> cold ()
+    with
+    | Stop (st, b) -> (st, b)
+    | Stuck phase -> (Iter_limit { phase; iterations = total_pivots () }, None)
+  in
+  (st, b, stats ())
+
+(* ---- Model.t entry points -------------------------------------------- *)
+
+let solve_ext ?max_iter ?eps ?basis m =
+  solve_compiled ?max_iter ?eps ?basis (Compiled.of_model m)
 
 let solve ?max_iter ?eps m =
   let st, _, _ = solve_ext ?max_iter ?eps m in

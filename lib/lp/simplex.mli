@@ -1,21 +1,34 @@
-(** Dense two-phase primal simplex.
+(** Sparse revised simplex over a {!Compiled} model.
 
-    Handles general bounds (finite lower bounds are shifted away, finite
-    upper bounds become rows, free variables are split), row equilibration
-    for numeric robustness, Dantzig pricing with a Bland's-rule fallback
-    for anti-cycling.  Integrality markers on variables are ignored — this
-    solves the relaxation; {!Dvs_milp} adds branch and bound on top.
+    The kernel is a bounded-variable revised simplex: every model
+    variable keeps its own [lb, ub] range (branch-and-bound branch
+    decisions are bound changes, which here cost a bound flip or a dual
+    reoptimization, never a new row), the basis inverse is maintained
+    explicitly and refactorized periodically, and all per-iteration
+    state lives in a caller-reusable {!workspace} so the pivot loop
+    allocates nothing.
+
+    Pricing is selectable ({!pricing}): devex-style steepest edge by
+    default, Dantzig, or Bland; the first two fall back to Bland's rule
+    automatically after a stretch of stalled (degenerate) iterations, so
+    cycling cannot happen silently.
+
+    Integrality markers on variables are ignored — this solves the
+    relaxation; {!Dvs_milp} adds branch and bound on top.
 
     Termination trouble is a value, not an exception: hitting the pivot
     budget returns {!Iter_limit} instead of raising [Failure], so callers
     (notably {!Dvs_milp.Solver}) can surface it as a typed outcome.
 
     Re-solves of nearby models (branch-and-bound children differing from
-    the parent by one variable's bounds) can warm start from the parent's
-    {!basis} via {!solve_ext} or {!solve_from_basis}: pricing then pivots
-    the parent's basic columns in first instead of rediscovering the basis
-    from the all-slack start, which cuts phase-1 work sharply on the DVS
-    instances.
+    the parent by variable bounds only) warm start from the parent's
+    {!basis} via {!solve_compiled}, {!solve_ext} or {!solve_from_basis}:
+    the parent's optimal basis stays dual feasible under bound changes,
+    so the warm solve is a dual-simplex reoptimization that typically
+    needs a handful of pivots instead of a primal restart.  If the hint
+    is unusable (dimension mismatch, singular basis, loss of dual
+    feasibility), the kernel falls back to a cold solve — the hint can
+    never affect correctness.
 
     Sized for the paper's instances (hundreds of rows/columns), not for
     industrial LPs. *)
@@ -39,14 +52,34 @@ type status =
           proven; no solution is available *)
 
 type basis
-(** Opaque snapshot of the optimal basis, expressed at the model level
-    (which variables were basic), so it remains meaningful for child
-    models whose column layout differs (e.g. after fixing a variable). *)
+(** Opaque snapshot of a simplex basis: the status (basic / at lower /
+    at upper / free) of every column plus the basic column of every
+    row.  Column layout is stable under bound changes (fixed variables
+    keep their column), so a parent's basis applies verbatim to any
+    child of the same compiled model — and to any model compiling to
+    the same shape. *)
+
+type pricing =
+  | Bland  (** least-index; slow but cycle-proof *)
+  | Dantzig  (** most-negative reduced cost *)
+  | Steepest_edge  (** devex reference-weight approximation (default) *)
 
 type stats = {
-  pivots : int;  (** total pivots across both phases *)
+  pivots : int;  (** total basis changes (primal + dual) *)
   phase1_pivots : int;  (** pivots spent reaching feasibility *)
+  dual_pivots : int;  (** pivots spent in dual reoptimization *)
+  bound_flips : int;  (** ratio tests resolved without a basis change *)
+  refactorizations : int;  (** basis inverse rebuilds *)
+  bland_pivots : int;  (** pivots taken under the Bland fallback *)
+  flops : int;  (** approximate floating-point work in the pivot loop *)
 }
+
+type workspace
+(** Reusable scratch buffers (basis inverse, pricing vectors, column
+    states).  One per worker thread; grown on demand, never shrunk.
+    Not thread-safe — do not share a workspace across domains. *)
+
+val workspace : unit -> workspace
 
 val solve : ?max_iter:int -> ?eps:float -> Model.t -> status
 (** [eps] is the master tolerance (default [1e-7]): reduced-cost threshold
@@ -60,9 +93,26 @@ val solve_ext :
   status * basis option * stats
 (** Like {!solve}, additionally returning the optimal basis (when the
     status is [Optimal]) and pivot statistics.  [basis] warm starts the
-    search from a previous solve's basis: correctness is unaffected (the
-    hint only reorders pricing), but related re-solves converge in far
-    fewer pivots. *)
+    search from a previous solve's basis: correctness is unaffected (an
+    unusable hint falls back to a cold solve), but related re-solves
+    converge in far fewer pivots.  Compiles the model first; callers
+    solving many related instances should compile once and use
+    {!solve_compiled}. *)
+
+val solve_compiled :
+  ?pricing:pricing ->
+  ?max_iter:int ->
+  ?eps:float ->
+  ?basis:basis ->
+  ?ws:workspace ->
+  Compiled.t ->
+  status * basis option * stats
+(** The core entry point: solve a compiled model under its {e current}
+    bounds.  The compiled structure is read-only; only
+    [Compiled.set_bounds] state distinguishes calls.  With [basis], the
+    solve is a dual-simplex reoptimization from that basis.  With [ws],
+    all scratch state is reused across calls (the intended mode for
+    branch and bound: one workspace per worker). *)
 
 val solve_from_basis : ?max_iter:int -> ?eps:float -> basis -> Model.t -> status
 (** [solve_from_basis b m] is [solve m] warm started from basis [b]

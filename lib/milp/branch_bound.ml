@@ -23,7 +23,13 @@ let default_options =
   { max_nodes = 200_000; int_tol = 1e-6; gap_rel = 1e-9; time_limit = None;
     rounding = true; sos1 = []; warm_start = []; log = None }
 
-type outcome = Optimal | Feasible | Infeasible | Unbounded | No_solution
+type outcome =
+  | Optimal
+  | Feasible of Solver.stop_reason
+  | Infeasible
+  | Unbounded
+  | No_solution of Solver.stop_reason
+  | Degraded of Solver.degradation
 
 type result = {
   outcome : outcome;
@@ -43,12 +49,11 @@ let solve ?(options = default_options) model =
   let outcome =
     match r.Solver.outcome with
     | Solver.Optimal -> Optimal
-    | Solver.Feasible _ -> Feasible
+    | Solver.Feasible reason -> Feasible reason
     | Solver.Infeasible -> Infeasible
     | Solver.Unbounded -> Unbounded
-    | Solver.No_solution _ -> No_solution
-    | Solver.Degraded _ -> (
-      match r.Solver.solution with Some _ -> Feasible | None -> No_solution)
+    | Solver.No_solution reason -> No_solution reason
+    | Solver.Degraded d -> Degraded d
   in
   { outcome; solution = r.Solver.solution; bound = r.Solver.bound;
     nodes = r.Solver.stats.Solver.nodes }

@@ -36,10 +36,14 @@ val to_config : options -> Solver.Config.t
 
 type outcome =
   | Optimal  (** proven within the gap *)
-  | Feasible  (** incumbent found, but a limit stopped the proof *)
+  | Feasible of Solver.stop_reason
+      (** incumbent found, but this limit stopped the proof *)
   | Infeasible
   | Unbounded
-  | No_solution  (** limits hit before any incumbent *)
+  | No_solution of Solver.stop_reason
+      (** this limit was hit before any incumbent *)
+  | Degraded of Solver.degradation
+      (** worker exceptions were contained; see {!Solver.outcome} *)
 
 type result = {
   outcome : outcome;
@@ -49,4 +53,10 @@ type result = {
 }
 
 val solve : ?options:options -> Dvs_lp.Model.t -> result
-(** Deprecated: use {!Solver.solve}. *)
+(** Deprecated: use {!Solver.solve} — same search, plus parallel workers,
+    warm starts and cache sharing.  This shim no longer flattens the
+    outcome: limit and degradation detail ({!Solver.stop_reason},
+    {!Solver.degradation}) is surfaced instead of collapsing everything
+    to a bare feasible/no-solution, so callers can distinguish "node
+    budget ran out" from "simplex hit its pivot limit" without migrating
+    yet. *)

@@ -80,37 +80,13 @@ let stats t =
   Mutex.unlock t.mutex;
   s
 
-(* FNV-1a over the model's structure: bounds, integrality, constraint
-   matrix and objective.  Floats are hashed by their bit patterns, so two
-   models fingerprint equal only when they are numerically identical. *)
-let fnv_prime = 0x100000001b3
-
-let combine h x = (h lxor x) * fnv_prime
-
-let combine_float h f = combine h (Int64.to_int (Int64.bits_of_float f))
-
-let combine_expr h e =
-  List.fold_left
-    (fun h (v, c) -> combine_float (combine h v) c)
-    (combine_float h (Expr.const e))
-    (Expr.coeffs e)
-
-let fingerprint m =
-  let h = ref (combine 0x811c9dc5 (Model.num_vars m)) in
-  for v = 0 to Model.num_vars m - 1 do
-    let lb, ub = Model.bounds m v in
-    h := combine_float (combine_float !h lb) ub;
-    h := combine !h (if Model.is_integer m v then 1 else 0)
-  done;
-  List.iter
-    (fun (c : Model.constr) ->
-      let cmp = match c.cmp with Model.Le -> 0 | Ge -> 1 | Eq -> 2 in
-      h := combine_float (combine (combine_expr !h c.expr) cmp) c.rhs)
-    (Model.constraints m);
-  let sense, obj = Model.objective m in
-  h := combine (combine_expr !h obj)
-         (match sense with Model.Minimize -> 0 | Maximize -> 1);
-  !h
+(* The fingerprint is the one computed by Compiled at compilation time
+   (FNV-1a over the flat row-major arrays, exact float bit patterns).
+   Keying off the compiled form means the fingerprint sees exactly what
+   the kernel solves — post row scaling, post slack bounds — so models
+   that compile identically share cache entries even if their Model-level
+   representations differ cosmetically. *)
+let fingerprint m = Compiled.fingerprint (Compiled.of_model m)
 
 (* Cached solutions are shared, so hand each hit its own copy of the
    mutable value array. *)

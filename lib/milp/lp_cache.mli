@@ -17,9 +17,13 @@ val create : ?max_entries:int -> unit -> t
     [max_entries < 1]. *)
 
 val fingerprint : Dvs_lp.Model.t -> int
-(** Structural hash of bounds, integrality, constraints and objective
-    (FNV-1a over exact float bit patterns).  Two models sharing a
-    fingerprint are treated as identical by the cache. *)
+(** [Dvs_lp.Compiled.fingerprint] of the model's compiled form — a
+    structural FNV-1a hash over the flattened bounds, integrality,
+    scaled constraint rows and objective, using exact float bit
+    patterns.  Two models sharing a fingerprint compile to the same
+    arrays and are treated as identical by the cache.  {!Solver} keys
+    its lookups off the compiled model it already holds, so the
+    per-solve cost of this function is paid only by external callers. *)
 
 val find_or_add :
   t ->

@@ -43,11 +43,15 @@ module Config = struct
     cache_depth : int;
     fault : Fault.t option;
     obs : Dvs_obs.t;
+    presolve : bool;
+    pricing : Simplex.pricing;
+    fixings : (Model.var * float) list;
   }
 
   let make ?jobs ?(max_nodes = 200_000) ?time_limit ?(gap_rel = 1e-9)
       ?(int_tol = 1e-6) ?(rounding = true) ?log ?cache ?(cache_depth = 4)
-      ?fault ?(obs = Dvs_obs.disabled) () =
+      ?fault ?(obs = Dvs_obs.disabled) ?(presolve = true)
+      ?(pricing = Simplex.Steepest_edge) () =
     let jobs =
       match jobs with
       | Some j when j >= 1 -> j
@@ -55,7 +59,8 @@ module Config = struct
       | None -> Domain.recommended_domain_count ()
     in
     { jobs; max_nodes; int_tol; gap_rel; time_limit; rounding; sos1 = [];
-      warm_start = []; log; cache; cache_depth; fault; obs }
+      warm_start = []; log; cache; cache_depth; fault; obs; presolve;
+      pricing; fixings = [] }
 
   let default = make ()
 
@@ -66,6 +71,12 @@ module Config = struct
   let with_sos1 sos1 t = { t with sos1 }
 
   let with_warm_start warm_start t = { t with warm_start }
+
+  let with_presolve presolve t = { t with presolve }
+
+  let with_pricing pricing t = { t with pricing }
+
+  let with_fixings fixings t = { t with fixings }
 
   let with_log log t = { t with log = Some log }
 
@@ -171,11 +182,6 @@ type node = {
   basis : Simplex.basis option;
 }
 
-let apply_overrides model overrides =
-  let m = Model.copy model in
-  List.iter (fun (v, lb, ub) -> Model.set_bounds m v ~lb ~ub) overrides;
-  m
-
 (* Effective bounds of [v] at a node: innermost override wins (overrides
    are consed, so the first match is the most recent). *)
 let effective_bounds model overrides v =
@@ -219,7 +225,51 @@ let solve ?(config = Config.default) model =
     match sense with Model.Minimize -> a < b | Maximize -> a > b
   in
   let worst = match sense with Model.Minimize -> infinity | _ -> neg_infinity in
-  let int_vars = Model.integer_vars model in
+  (* Presolve once per solve: the reduced model is what the search
+     actually branches on, and solutions are lifted back to the original
+     variable space at the very end.  A presolve-proven infeasibility
+     yields a trivially infeasible stub whose root relaxation reports
+     Infeasible through the normal path, so no special-casing below. *)
+  let pre =
+    if config.presolve then
+      Some
+        (Presolve.presolve ~fixings:config.fixings ~groups:config.sos1 model)
+    else None
+  in
+  let wm = match pre with Some p -> Presolve.reduced p | None -> model in
+  let map_var v =
+    match pre with
+    | None -> Some v
+    | Some p ->
+      let vm = Presolve.var_map p in
+      if v >= 0 && v < Array.length vm && vm.(v) >= 0 then Some vm.(v)
+      else None
+  in
+  let sos1 =
+    List.filter_map
+      (fun g ->
+        match List.filter_map map_var g with
+        | [] | [ _ ] -> None (* fully decided by presolve *)
+        | g' -> Some g')
+      config.sos1
+  in
+  let warm_start =
+    List.filter_map
+      (fun (v, x) -> Option.map (fun v' -> (v', x)) (map_var v))
+      config.warm_start
+  in
+  (* Lift a reduced-space solution back to original variable indices;
+     the objective value is unchanged (eliminated contributions live in
+     the reduced objective's constant). *)
+  let lift (s : Simplex.solution) =
+    match pre with
+    | None -> s
+    | Some p -> { s with Simplex.values = Presolve.postsolve p s.values }
+  in
+  (* Compile the reduced model once; every relaxation in the tree is a
+     bound-override solve against this shared structure. *)
+  let compiled = Compiled.of_model wm in
+  let int_vars = Model.integer_vars wm in
   let log fmt =
     Format.kasprintf
       (fun s -> match config.log with Some f -> f s | None -> ())
@@ -261,6 +311,35 @@ let solve ?(config = Config.default) model =
   let h_solve =
     Dvs_obs.Metrics.histogram mx ~stability:Volatile "solver.solve_seconds"
   in
+  (* LP-kernel observability: presolve reductions are deterministic per
+     model (Stable); pivot-shape counters depend on which nodes the
+     schedule explores (Volatile). *)
+  let c_pre_rows =
+    Dvs_obs.Metrics.counter mx ~stability:Stable "lp.presolve_rows_removed"
+  in
+  let c_pre_cols =
+    Dvs_obs.Metrics.counter mx ~stability:Stable "lp.presolve_cols_removed"
+  in
+  let c_saved_warm =
+    Dvs_obs.Metrics.counter mx ~stability:Volatile "lp.pivots_saved_warm"
+  in
+  let c_dual_pivots =
+    Dvs_obs.Metrics.counter mx ~stability:Volatile "lp.pivots_dual"
+  in
+  let c_bland_pivots =
+    Dvs_obs.Metrics.counter mx ~stability:Volatile "lp.pivots_bland"
+  in
+  let c_pricing_pivots =
+    Dvs_obs.Metrics.counter mx ~stability:Volatile
+      (match config.pricing with
+      | Simplex.Steepest_edge -> "lp.pivots_steepest_edge"
+      | Simplex.Dantzig -> "lp.pivots_dantzig"
+      | Simplex.Bland -> "lp.pivots_bland_rule")
+  in
+  let c_flips =
+    Dvs_obs.Metrics.counter mx ~stability:Volatile "lp.bound_flips"
+  in
+  let c_flops = Dvs_obs.Metrics.counter mx ~stability:Volatile "lp.flops" in
   let solve_span =
     if obs_on then
       Tr.start tr "solver.solve"
@@ -285,9 +364,23 @@ let solve ?(config = Config.default) model =
     match config.cache with Some c -> c | None -> Lp_cache.create ()
   in
   let cache0 = Lp_cache.stats cache in
-  let fp = Lp_cache.fingerprint model in
+  let fp = Compiled.fingerprint compiled in
   (* ---- shared search state ---- *)
   let n_workers = config.jobs in
+  (* Per-worker LP state: a scratch view of the compiled model (own bound
+     arrays, shared matrix) and a reusable simplex workspace, so the
+     pivot loop allocates nothing per node. *)
+  let scratches = Array.init n_workers (fun _ -> Compiled.scratch compiled) in
+  let workspaces = Array.init n_workers (fun _ -> Simplex.workspace ()) in
+  let a_dual = Atomic.make 0 in
+  let a_flips = Atomic.make 0 in
+  let a_bland = Atomic.make 0 in
+  let a_flops = Atomic.make 0 in
+  let a_saved = Atomic.make 0 in
+  (* Pivot count of the first basis-free solve: the cold-start cost a
+     warm-started node would otherwise pay, used to estimate
+     lp.pivots_saved_warm. *)
+  let baseline_pivots = Atomic.make (-1) in
   let inc_lock = Mutex.create () in
   let incumbent : (Simplex.solution * int list) option ref = ref None in
   let inc_obj = Atomic.make worst in
@@ -347,8 +440,13 @@ let solve ?(config = Config.default) model =
   in
   (* LP solves, with pivot accounting; shallow node relaxations are
      memoized.  Cacheable solves deliberately ignore the basis hint so
-     the cached entry is a pure function of the key (determinism). *)
-  let lp_solve ?basis m =
+     the cached entry is a pure function of the key (determinism).
+
+     A node solve applies its bound overrides to the worker's scratch
+     view of the compiled model, solves in place with the worker's
+     reusable workspace, then restores the touched bounds — no model
+     copy, no per-node allocation beyond the returned solution. *)
+  let lp_solve ?basis ~wid overrides =
     Atomic.incr lp_solves;
     let max_iter =
       match config.fault with
@@ -360,11 +458,32 @@ let solve ?(config = Config.default) model =
         budget
       | None -> None
     in
-    let st, b, (sst : Simplex.stats) = Simplex.solve_ext ?max_iter ?basis m in
+    let sc = scratches.(wid) in
+    let fixings = canonical_fixings overrides in
+    List.iter (fun (v, lb, ub) -> Compiled.set_bounds sc v ~lb ~ub) fixings;
+    let st, b, (sst : Simplex.stats) =
+      Simplex.solve_compiled ~pricing:config.pricing ?max_iter ?basis
+        ~ws:workspaces.(wid) sc
+    in
+    List.iter (fun (v, _, _) -> Compiled.reset_bounds sc v) fixings;
     ignore (Atomic.fetch_and_add lp_pivots sst.Simplex.pivots);
+    ignore (Atomic.fetch_and_add a_dual sst.Simplex.dual_pivots);
+    ignore (Atomic.fetch_and_add a_flips sst.Simplex.bound_flips);
+    ignore (Atomic.fetch_and_add a_bland sst.Simplex.bland_pivots);
+    ignore (Atomic.fetch_and_add a_flops sst.Simplex.flops);
+    (match basis with
+    | None ->
+      ignore
+        (Atomic.compare_and_set baseline_pivots (-1) sst.Simplex.pivots)
+    | Some _ ->
+      let base = Atomic.get baseline_pivots in
+      if base > 0 then
+        ignore
+          (Atomic.fetch_and_add a_saved
+             (Int.max 0 (base - sst.Simplex.pivots))));
     (st, b)
   in
-  let solve_relaxation ~depth ~basis overrides =
+  let solve_relaxation ~depth ~basis ~wid overrides =
     let cacheable = depth <= config.cache_depth in
     let forced_miss =
       (* Only consult (and advance) the injector on lookups that would
@@ -383,25 +502,28 @@ let solve ?(config = Config.default) model =
     if cacheable && not forced_miss then
       Lp_cache.find_or_add cache ~fingerprint:fp
         ~fixings:(canonical_fixings overrides)
-        (fun () -> lp_solve (apply_overrides model overrides))
+        (fun () -> lp_solve ~wid overrides)
     else if cacheable then
       (* Forced miss: same basis-free solve the cache closure would run,
          just never stored. *)
-      lp_solve (apply_overrides model overrides)
-    else lp_solve ?basis (apply_overrides model overrides)
+      lp_solve ~wid overrides
+    else lp_solve ?basis ~wid overrides
   in
   (* Rounding heuristic: SOS1 groups round to their largest member (one
      on, rest off, respecting fixed bounds); remaining integers round to
      the nearest value.  Complete with an LP. *)
   let in_sos1 =
     let tbl = Hashtbl.create 16 in
-    List.iter (fun g -> List.iter (fun v -> Hashtbl.replace tbl v ()) g)
-      config.sos1;
+    List.iter (fun g -> List.iter (fun v -> Hashtbl.replace tbl v ()) g) sos1;
     fun v -> Hashtbl.mem tbl v
   in
-  let rounding_pass path overrides (s : Simplex.solution) =
+  let rounding_pass ~wid path overrides (s : Simplex.solution) =
     if config.rounding && int_vars <> [] then begin
-      let m = apply_overrides model overrides in
+      (* Rounded fixings are consed onto the node's overrides; consing
+         later means innermost, so they win in [effective_bounds] and in
+         [canonical_fixings] inside [lp_solve]. *)
+      let fixes = ref overrides in
+      let bounds_of v = effective_bounds wm !fixes v in
       let ok = ref true in
       List.iter
         (fun group ->
@@ -409,7 +531,7 @@ let solve ?(config = Config.default) model =
           let best = ref None in
           List.iter
             (fun v ->
-              let _, ub = Model.bounds m v in
+              let _, ub = bounds_of v in
               if ub >= 1.0 then
                 match !best with
                 | Some (_, x) when x >= s.values.(v) -> ()
@@ -420,24 +542,24 @@ let solve ?(config = Config.default) model =
           | Some (winner, _) ->
             List.iter
               (fun v ->
-                let lb, ub = Model.bounds m v in
+                let lb, ub = bounds_of v in
                 let x = if v = winner then 1.0 else 0.0 in
                 if x < lb || x > ub then ok := false
-                else Model.set_bounds m v ~lb:x ~ub:x)
+                else fixes := (v, x, x) :: !fixes)
               group)
-        config.sos1;
+        sos1;
       List.iter
         (fun v ->
           if not (in_sos1 v) then begin
-            let lb, ub = Model.bounds m v in
+            let lb, ub = bounds_of v in
             let x = Float.max lb (Float.min ub (Float.round s.values.(v))) in
             if Float.abs (x -. Float.round x) <= config.int_tol then
-              Model.set_bounds m v ~lb:x ~ub:x
+              fixes := (v, x, x) :: !fixes
             else ok := false
           end)
         int_vars;
       if !ok then
-        match lp_solve m with
+        match lp_solve ~wid !fixes with
         | Simplex.Optimal s', _ -> try_incumbent path s'
         | (Simplex.Infeasible | Simplex.Unbounded | Simplex.Iter_limit _), _
           -> ()
@@ -447,7 +569,7 @@ let solve ?(config = Config.default) model =
      fractional integer each step (one flip retry on infeasibility).
      Produces an early incumbent when plain rounding violates a tight
      constraint. *)
-  let dive path overrides basis0 (s0 : Simplex.solution) =
+  let dive ~wid path overrides basis0 (s0 : Simplex.solution) =
     let budget = ref (2 * List.length int_vars) in
     let rec go overrides basis (s : Simplex.solution) =
       if !budget <= 0 then ()
@@ -456,12 +578,12 @@ let solve ?(config = Config.default) model =
         match most_fractional ~int_tol:config.int_tol int_vars s with
         | None -> try_incumbent path s
         | Some v ->
-          let lb, ub = effective_bounds model overrides v in
+          let lb, ub = effective_bounds wm overrides v in
           let x = Float.round s.values.(v) in
           let x = Float.max lb (Float.min ub x) in
           let try_fix x =
             let overrides' = (v, x, x) :: overrides in
-            match lp_solve ?basis (apply_overrides model overrides') with
+            match lp_solve ?basis ~wid overrides' with
             | Simplex.Optimal s', b' -> Some (overrides', b', s')
             | (Simplex.Infeasible | Simplex.Unbounded
               | Simplex.Iter_limit _), _ -> None
@@ -537,7 +659,7 @@ let solve ?(config = Config.default) model =
       (match config.fault with
       | Some f -> Fault.on_node f ~worker:wid
       | None -> ());
-      match solve_relaxation ~depth:n.depth ~basis:n.basis n.overrides with
+      match solve_relaxation ~depth:n.depth ~basis:n.basis ~wid n.overrides with
       | Simplex.Iter_limit _, _ ->
         (* Numerical trouble in this node's relaxation: stop cleanly with
            the incumbent rather than crash the search. *)
@@ -554,14 +676,14 @@ let solve ?(config = Config.default) model =
           try_incumbent n.path { s with values }
         end
         else begin
-          if heuristic_node n then rounding_pass n.path n.overrides s;
+          if heuristic_node n then rounding_pass ~wid n.path n.overrides s;
           if n.depth = 0 && not (Float.is_finite (Atomic.get inc_obj)) then
-            dive n.path n.overrides basis s;
+            dive ~wid n.path n.overrides basis s;
           match most_fractional ~int_tol:config.int_tol int_vars s with
           | None -> try_incumbent n.path s
           | Some v ->
             let x = s.values.(v) in
-            let lb, ub = effective_bounds model n.overrides v in
+            let lb, ub = effective_bounds wm n.overrides v in
             let fl = Float.floor x and ce = Float.ceil x in
             if fl >= lb then
               spawn_child wid n 0 s.objective basis ((v, lb, fl) :: n.overrides);
@@ -634,9 +756,9 @@ let solve ?(config = Config.default) model =
   in
   (* Seed the incumbent from the caller's known-feasible fixing (runs
      sequentially, before the pool starts, so it is deterministic). *)
-  if config.warm_start <> [] then begin
-    let fixings = List.map (fun (v, x) -> (v, x, x)) config.warm_start in
-    match solve_relaxation ~depth:0 ~basis:None fixings with
+  if warm_start <> [] then begin
+    let fixings = List.map (fun (v, x) -> (v, x, x)) warm_start in
+    match solve_relaxation ~depth:0 ~basis:None ~wid:0 fixings with
     | Simplex.Optimal s, _ when is_integral s ->
       let values = Array.copy s.values in
       List.iter (fun v -> values.(v) <- Float.round values.(v)) int_vars;
@@ -708,6 +830,18 @@ let solve ?(config = Config.default) model =
     Mc.add c_cache_hits ~slot:0 stats.cache_hits;
     Mc.add c_cache_misses ~slot:0 stats.cache_misses;
     Mc.add c_cache_evictions ~slot:0 stats.cache_evictions;
+    (match pre with
+    | Some p ->
+      Mc.add c_pre_rows ~slot:0 (Presolve.rows_removed p);
+      Mc.add c_pre_cols ~slot:0 (Presolve.cols_removed p)
+    | None -> ());
+    Mc.add c_saved_warm ~slot:0 (Atomic.get a_saved);
+    Mc.add c_dual_pivots ~slot:0 (Atomic.get a_dual);
+    Mc.add c_bland_pivots ~slot:0 (Atomic.get a_bland);
+    Mc.add c_pricing_pivots ~slot:0
+      (stats.lp_pivots - Atomic.get a_bland - Atomic.get a_dual);
+    Mc.add c_flips ~slot:0 (Atomic.get a_flips);
+    Mc.add c_flops ~slot:0 (Atomic.get a_flops);
     Dvs_obs.Metrics.Histogram.observe h_solve stats.wall_seconds
   end;
   let r =
@@ -720,7 +854,7 @@ let solve ?(config = Config.default) model =
           | Some reason when not (gap_prune bound) -> Feasible reason
           | Some _ | None -> Optimal
       in
-      { outcome; solution = Some s; bound; stats }
+      { outcome; solution = Some (lift s); bound; stats }
     | None ->
       if Atomic.get unbounded then
         { outcome = Unbounded; solution = None; bound; stats }

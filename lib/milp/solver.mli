@@ -58,13 +58,26 @@ module Config : sig
     obs : Dvs_obs.t;
         (** observability bundle the solve reports into; defaults to
             {!Dvs_obs.disabled}, whose hot-path cost is one boolean test *)
+    presolve : bool;
+        (** run the MILP-safe {!Dvs_lp.Presolve} reductions before
+            compiling; default [true].  Solutions are postsolved back to
+            the original variable space, so results are indistinguishable
+            except faster. *)
+    pricing : Dvs_lp.Simplex.pricing;
+        (** simplex pricing rule for every relaxation; default
+            {!Dvs_lp.Simplex.Steepest_edge} *)
+    fixings : (Dvs_lp.Model.var * float) list;
+        (** externally implied variable fixings (e.g.
+            [Dvs_core.Formulation.implied_fixings] from the edge filter),
+            fed to presolve as exact bounds before the first round *)
   }
 
   val make :
     ?jobs:int -> ?max_nodes:int -> ?time_limit:float -> ?gap_rel:float ->
     ?int_tol:float -> ?rounding:bool -> ?log:(string -> unit) ->
     ?cache:Lp_cache.t -> ?cache_depth:int -> ?fault:Fault.t ->
-    ?obs:Dvs_obs.t -> unit -> t
+    ?obs:Dvs_obs.t -> ?presolve:bool -> ?pricing:Dvs_lp.Simplex.pricing ->
+    unit -> t
   (** Raises [Invalid_argument] if [jobs < 1]. *)
 
   val default : t
@@ -75,6 +88,12 @@ module Config : sig
   val with_sos1 : Dvs_lp.Model.var list list -> t -> t
 
   val with_warm_start : (Dvs_lp.Model.var * float) list -> t -> t
+
+  val with_presolve : bool -> t -> t
+
+  val with_pricing : Dvs_lp.Simplex.pricing -> t -> t
+
+  val with_fixings : (Dvs_lp.Model.var * float) list -> t -> t
 
   val with_log : (string -> unit) -> t -> t
 

@@ -13,10 +13,11 @@ let solve_opt m =
     Alcotest.failf "expected optimal, got %s"
       (match o with
       | Branch_bound.Optimal -> "optimal"
-      | Feasible -> "feasible"
+      | Feasible _ -> "feasible"
       | Infeasible -> "infeasible"
       | Unbounded -> "unbounded"
-      | No_solution -> "no_solution")
+      | No_solution _ -> "no_solution"
+      | Degraded _ -> "degraded")
 
 (* 0/1 knapsack: values 60,100,120; weights 10,20,30; cap 50 -> 220. *)
 let test_knapsack () =
@@ -303,6 +304,106 @@ let test_config_validation () =
     (Invalid_argument "Solver.Config.make: jobs must be >= 1") (fun () ->
       ignore (Solver.Config.make ~jobs:0 ()))
 
+(* --- Presolve/postsolve property: reductions never change the answer --- *)
+
+(* DVS-shaped instance from a seed: SOS1 mode groups, a shared budget
+   row, distinct fractional costs (so the optimum is unique and the
+   schedule comparison below is meaningful). *)
+let seeded_dvs_milp seed =
+  let module Rng = Dvs_workloads.Rng in
+  let rng = Rng.create seed in
+  let groups = 3 + Rng.int rng 4 (* 3..6 *)
+  and modes = 2 + Rng.int rng 2 (* 2..3 *) in
+  let m = Model.create () in
+  let k =
+    Array.init groups (fun _ -> Array.init modes (fun _ -> Model.binary m))
+  in
+  let cost =
+    Array.init groups (fun _ ->
+        Array.init modes (fun _ ->
+            1.0 +. (float_of_int (Rng.int rng 100_000) /. 97.0)))
+  in
+  let time =
+    Array.init groups (fun g ->
+        Array.init modes (fun j ->
+            float_of_int (modes - j)
+            +. (float_of_int (Rng.int rng 100) /. 400.0)
+            +. (0.25 *. float_of_int (g mod 3))))
+  in
+  for g = 0 to groups - 1 do
+    Model.add_constraint m
+      (Expr.of_terms (List.init modes (fun j -> (1.0, k.(g).(j)))))
+      Model.Eq 1.0
+  done;
+  let sum_by pick =
+    Array.to_list time
+    |> List.fold_left (fun acc row -> acc +. pick row) 0.0
+  in
+  let tmin = sum_by (Array.fold_left Float.min infinity)
+  and tmax = sum_by (Array.fold_left Float.max neg_infinity) in
+  (* Tight enough that slow modes get excluded, loose enough to stay
+     feasible: presolve's GUB pass has real work on every seed. *)
+  let budget =
+    tmin
+    +. ((tmax -. tmin)
+        *. (0.15 +. (float_of_int (Rng.int rng 60) /. 100.0)))
+  in
+  let all w =
+    Expr.of_terms
+      (List.concat_map
+         (fun g -> List.init modes (fun j -> (w.(g).(j), k.(g).(j))))
+         (List.init groups Fun.id))
+  in
+  Model.add_constraint m (all time) Model.Le budget;
+  Model.set_objective m Model.Minimize (all cost);
+  (m, List.map Array.to_list (Array.to_list k))
+
+let test_presolve_equivalence () =
+  for seed = 1 to 50 do
+    let m, sos1 = seeded_dvs_milp seed in
+    let solve ~presolve ~jobs =
+      let config =
+        Solver.Config.make ~jobs ~presolve () |> Solver.Config.with_sos1 sos1
+      in
+      Solver.solve ~config m
+    in
+    let reference = solve ~presolve:false ~jobs:1 in
+    List.iter
+      (fun (presolve, jobs) ->
+        let r = solve ~presolve ~jobs in
+        if r.Solver.outcome <> reference.Solver.outcome then
+          Alcotest.failf "seed %d presolve=%b jobs=%d: outcome %a vs %a" seed
+            presolve jobs Solver.pp_outcome r.Solver.outcome
+            Solver.pp_outcome reference.Solver.outcome;
+        match (reference.Solver.solution, r.Solver.solution) with
+        | None, None -> ()
+        | Some s0, Some s ->
+          let o0 = s0.Simplex.objective and o = s.Simplex.objective in
+          if Float.abs (o -. o0) > 1e-9 *. Float.max 1.0 (Float.abs o0) then
+            Alcotest.failf "seed %d presolve=%b jobs=%d: obj %.15g vs %.15g"
+              seed presolve jobs o o0;
+          (* Unique optimum by construction: the chosen schedule must be
+             identical, and postsolve must deliver it in the original
+             (unreduced) variable space. *)
+          List.iteri
+            (fun g group ->
+              List.iteri
+                (fun j v ->
+                  let x0 = Float.round s0.Simplex.values.(v)
+                  and x = Float.round s.Simplex.values.(v) in
+                  if x0 <> x then
+                    Alcotest.failf
+                      "seed %d presolve=%b jobs=%d: group %d mode %d \
+                       differs (%g vs %g)"
+                      seed presolve jobs g j x x0)
+                group)
+            sos1
+        | _ ->
+          Alcotest.failf "seed %d presolve=%b jobs=%d: solution presence \
+                          differs" seed presolve jobs)
+      [ (true, 1); (true, 4); (false, 4) ]
+  done
+
 let suite =
   [ Alcotest.test_case "knapsack" `Quick test_knapsack;
     Alcotest.test_case "general integers" `Quick test_general_integers;
@@ -314,6 +415,8 @@ let suite =
     Alcotest.test_case "cache hits on repeat solve" `Quick test_cache_hits;
     Alcotest.test_case "stats accounting" `Quick test_stats_accounting;
     Alcotest.test_case "config validation" `Quick test_config_validation;
+    Alcotest.test_case "presolve/postsolve equivalence over 50 seeds" `Quick
+      test_presolve_equivalence;
     QCheck_alcotest.to_alcotest qcheck_milp_vs_enumeration;
     QCheck_alcotest.to_alcotest qcheck_solution_is_integral;
     QCheck_alcotest.to_alcotest qcheck_parallel_determinism ]
