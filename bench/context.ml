@@ -96,9 +96,11 @@ let pipeline_config =
   Dvs_core.Pipeline.Config.make ~solver:(solver_config ()) ()
 
 (* One MILP run on a workload with caching of profiles and shallow LP
-   relaxations only. *)
-let optimize ?(kind = Xscale3) ?(filter = true) ?jobs ?regulator ?input name
-    ~deadline =
+   relaxations only.  [solver] overrides the shared harness solver
+   config (the sweep-vs-cold experiment isolates each leg's cache and
+   metrics registry this way). *)
+let optimize ?(kind = Xscale3) ?(filter = true) ?jobs ?regulator ?input
+    ?solver name ~deadline =
   let input =
     match input with
     | Some i -> i
@@ -108,13 +110,38 @@ let optimize ?(kind = Xscale3) ?(filter = true) ?jobs ?regulator ?input name
   let regulator =
     match regulator with Some r -> r | None -> default_regulator
   in
+  let solver =
+    match solver with Some s -> s | None -> solver_config ?jobs ()
+  in
   let config =
-    { pipeline_config with
-      Dvs_core.Pipeline.Config.filter;
-      solver = solver_config ?jobs () }
+    { pipeline_config with Dvs_core.Pipeline.Config.filter; solver }
   in
   Dvs_core.Pipeline.optimize_multi ~config
     ~verify_config:(config_of ~regulator kind)
     ~regulator
     ~memory:(memory ~input name)
     [ { Dvs_core.Formulation.profile = p; weight = 1.0; deadline } ]
+
+(* A whole deadline grid in one call, through the parametric sweep
+   engine (shared cut pool, tightest-first incumbent lifting,
+   cross-point basis reuse). *)
+let optimize_sweep ?(kind = Xscale3) ?(filter = true) ?jobs ?regulator ?input
+    ?solver ?instances ?cut_rounds name ~deadlines =
+  let w = Workload.find name in
+  let input =
+    match input with Some i -> i | None -> Workload.default_input w
+  in
+  let p = profile ~kind ~input name in
+  let regulator =
+    match regulator with Some r -> r | None -> default_regulator
+  in
+  let solver =
+    match solver with Some s -> s | None -> solver_config ?jobs ()
+  in
+  let config =
+    { pipeline_config with Dvs_core.Pipeline.Config.filter; solver }
+  in
+  let machine = config_of ~regulator kind in
+  let cfg, _, mem = Workload.load w ~input in
+  Dvs_core.Pipeline.optimize_sweep ~config ~verify_config:machine ~profile:p
+    ?instances ?cut_rounds machine cfg ~memory:mem ~deadlines

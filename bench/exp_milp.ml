@@ -163,6 +163,9 @@ type deadline_cell = {
 
 let deadline_sweep_cache = Hashtbl.create 16
 
+(* The grid runs through the parametric sweep engine: one formulation,
+   per-point RHS deltas, shared cut pool, tightest-first incumbent
+   lifting (the `sweep' experiment quantifies the saving vs cold). *)
 let deadline_sweep name =
   match Hashtbl.find_opt deadline_sweep_cache name with
   | Some r -> r
@@ -172,10 +175,10 @@ let deadline_sweep name =
     (* Fixed per-benchmark baseline: the all-fastest-mode run, the only
        single setting feasible at every deadline. *)
     let base = Dvs_profile.Profile.pinned_energy p ~mode:2 in
+    let sw = Context.optimize_sweep name ~deadlines:ds in
     let cells =
       Array.map
-        (fun d ->
-          let r = Context.optimize name ~deadline:d in
+        (fun (r : Pipeline.result) ->
           match r.Pipeline.verification with
           | Some v ->
             { norm_energy = v.Verify.stats.Dvs_machine.Cpu.energy /. base;
@@ -184,7 +187,7 @@ let deadline_sweep name =
           | None ->
             { norm_energy = Float.nan; solve_s = r.Pipeline.solve_seconds;
               transitions = 0 })
-        ds
+        sw.Pipeline.results
     in
     Hashtbl.replace deadline_sweep_cache name cells;
     cells
@@ -362,6 +365,80 @@ let table6 () =
      attributed to rounding)\n"
     !violations !cells
 
+(* --- sweep engine vs independent cold solves --------------------------- *)
+
+let sweep_compare () =
+  heading "sweep" "parametric sweep engine vs independent cold solves"
+    "Table-4 deadline grid per benchmark, jobs=1; each leg gets a fresh \
+     LP cache and metrics registry, so pivot/node counts are isolated \
+     and deterministic (wall seconds are indicative)";
+  let leg f =
+    let obs = Dvs_obs.metrics_only () in
+    let cache = Dvs_milp.Lp_cache.create ~max_entries:16384 () in
+    let solver =
+      Dvs_milp.Solver.Config.make ~jobs:1 ~max_nodes:4000 ~time_limit:15.0
+        ~cache ~obs ()
+    in
+    let t0 = Unix.gettimeofday () in
+    f solver;
+    let wall = Unix.gettimeofday () -. t0 in
+    let total n =
+      Dvs_obs.Metrics.Counter.value
+        (Dvs_obs.Metrics.counter (Dvs_obs.metrics obs) n)
+    in
+    let solve_s =
+      Dvs_obs.Metrics.Histogram.sum
+        (Dvs_obs.Metrics.histogram (Dvs_obs.metrics obs)
+           "solver.solve_seconds")
+    in
+    (total "solver.lp_pivots", total "solver.nodes", wall, solve_s)
+  in
+  let t =
+    Table.create
+      [ ("benchmark", Table.Left); ("pivots cold", Table.Right);
+        ("pivots swp", Table.Right); ("nodes cold", Table.Right);
+        ("nodes swp", Table.Right); ("t cold", Table.Right);
+        ("t swp", Table.Right) ]
+  in
+  let sum = Array.make 8 0.0 in
+  List.iter
+    (fun name ->
+      (* Warm the profile cache outside both timed legs. *)
+      ignore (Context.default_profile name);
+      let ds = Context.deadlines name in
+      let pc, nc, tc, sc =
+        leg (fun solver ->
+            Array.iter
+              (fun d -> ignore (Context.optimize ~solver name ~deadline:d))
+              ds)
+      in
+      let ps, ns, ts, ss =
+        leg (fun solver ->
+            ignore (Context.optimize_sweep ~solver name ~deadlines:ds))
+      in
+      List.iteri
+        (fun i v -> sum.(i) <- sum.(i) +. v)
+        [ float_of_int pc; float_of_int ps; float_of_int nc;
+          float_of_int ns; tc; ts; sc; ss ];
+      Table.add_row t
+        [ name; string_of_int pc; string_of_int ps; string_of_int nc;
+          string_of_int ns; Table.fmt_float ~digits:3 tc;
+          Table.fmt_float ~digits:3 ts ])
+    Context.all_names;
+  Table.print t;
+  let pct a b = if a > 0.0 then 100.0 *. (1.0 -. (b /. a)) else 0.0 in
+  Printf.printf
+    "totals: pivots %.0f -> %.0f (-%.1f%%), nodes %.0f -> %.0f (-%.1f%%), \
+     wall %.2fs -> %.2fs (-%.1f%%), solver wall %.3fs -> %.3fs (-%.1f%%)\n"
+    sum.(0) sum.(1)
+    (pct sum.(0) sum.(1))
+    sum.(2) sum.(3)
+    (pct sum.(2) sum.(3))
+    sum.(4) sum.(5)
+    (pct sum.(4) sum.(5))
+    sum.(6) sum.(7)
+    (pct sum.(6) sum.(7))
+
 (* --- jobs sweep: parallel solver scaling ------------------------------- *)
 
 let jobs_sweep () =
@@ -419,4 +496,5 @@ let all =
   [ ("table2", table2); ("table4", table4); ("fig16", fig16);
     ("table3", table3_fig14); ("fig14", table3_fig14); ("fig15", fig15);
     ("fig17", fig17); ("fig18", fig18); ("table5", table5);
-    ("fig19", fig19); ("table6", table6); ("jobs", jobs_sweep) ]
+    ("fig19", fig19); ("table6", table6); ("sweep", sweep_compare);
+    ("jobs", jobs_sweep) ]

@@ -7,7 +7,7 @@
      dune exec bench/main.exe -- list    -- experiment ids
      dune exec bench/main.exe -- fig15 table6 ...  -- a subset
 
-   --emit-bench FILE additionally writes a dvs-bench/v1 summary
+   --emit-bench FILE additionally writes a dvs-bench/v2 summary
    (BENCH_milp.json in CI) derived from the shared Context.obs metrics
    registry every solve reported into. *)
 
@@ -32,10 +32,16 @@ let unique_registry =
       end)
     registry
 
+(* Per-experiment wall times, reported under experiment_wall_seconds in
+   the bench summary. *)
+let walls : (string * float) list ref = ref []
+
 let run_one (id, f) =
   let t0 = Unix.gettimeofday () in
   f ();
-  Printf.printf "[%s done in %.1fs]\n%!" id (Unix.gettimeofday () -. t0)
+  let dt = Unix.gettimeofday () -. t0 in
+  walls := (id, dt) :: !walls;
+  Printf.printf "[%s done in %.1fs]\n%!" id dt
 
 let rec split_emit emit acc = function
   | [] -> (emit, List.rev acc)
@@ -48,6 +54,7 @@ let rec split_emit emit acc = function
 let emit_bench file ~experiments ~wall_seconds =
   let j =
     Dvs_obs.Schema.bench_summary
+      ~experiment_walls:(List.rev !walls)
       ~metrics:(Dvs_obs.metrics Context.obs)
       ~experiments ~wall_seconds ()
   in

@@ -466,8 +466,17 @@ let apply_cmd =
 
 (* ---------------- reproduce ---------------- *)
 
+let cold_opt =
+  Arg.(
+    value & flag
+    & info [ "cold" ]
+        ~doc:
+          "Solve each deadline independently instead of through the \
+           parametric sweep engine (shared cut pool, warm incumbent \
+           lifting, cross-point basis reuse).")
+
 let reproduce_cmd =
-  let run w input capacitance levels jobs trace metrics =
+  let run w input capacitance levels jobs cold trace metrics =
     let input = input_of w input in
     let cfg, _, mem = Dvs_workloads.Workload.load w ~input in
     let machine = machine ~capacitance ~levels in
@@ -479,15 +488,34 @@ let reproduce_cmd =
       Dvs_core.Pipeline.Config.make ~solver ()
       |> Dvs_core.Pipeline.Config.with_obs obs
     in
+    let results =
+      if cold then
+        Array.map
+          (fun deadline ->
+            Dvs_core.Pipeline.optimize_multi ~config ~verify_config:machine
+              ~regulator:machine.Dvs_machine.Config.regulator ~memory:mem
+              [ { Dvs_core.Formulation.profile = p; weight = 1.0; deadline } ])
+          deadlines
+      else begin
+        let sw =
+          Dvs_core.Pipeline.optimize_sweep ~config ~verify_config:machine
+            ~profile:p machine cfg ~memory:mem ~deadlines
+        in
+        let st = sw.Dvs_core.Pipeline.sweep in
+        Format.printf
+          "sweep: %d/%d points warm-started, %d cuts applied (%d pool \
+           hits, pool size %d)@."
+          st.Dvs_milp.Sweep.instances_warm_started (Array.length deadlines)
+          st.Dvs_milp.Sweep.cuts_applied st.Dvs_milp.Sweep.cut_pool_hits
+          st.Dvs_milp.Sweep.pool_size;
+        sw.Dvs_core.Pipeline.results
+      end
+    in
     Format.printf "%-12s %-10s %-28s %10s %10s %8s@." "deadline(ms)"
       "rung" "class" "pred(uJ)" "sim(uJ)" "save(%)";
-    Array.iter
-      (fun deadline ->
-        let r =
-          Dvs_core.Pipeline.optimize_multi ~config ~verify_config:machine
-            ~regulator:machine.Dvs_machine.Config.regulator ~memory:mem
-            [ { Dvs_core.Formulation.profile = p; weight = 1.0; deadline } ]
-        in
+    Array.iteri
+      (fun i deadline ->
+        let r = results.(i) in
         let rung =
           match r.Dvs_core.Pipeline.rung with
           | Some rg -> Format.asprintf "%a" Dvs_core.Pipeline.pp_rung rg
@@ -527,6 +555,7 @@ let reproduce_cmd =
           ("workload", Dvs_obs.Json.String w.Dvs_workloads.Workload.name);
           ("input", Dvs_obs.Json.String input);
           ("jobs", Dvs_obs.Json.Int solver.Dvs_milp.Solver.Config.jobs);
+          ("engine", Dvs_obs.Json.String (if cold then "cold" else "sweep"));
           ("deadlines", Dvs_obs.Json.Int (Array.length deadlines));
           ("capacitance", Dvs_obs.Json.Float capacitance) ]
   in
@@ -534,10 +563,11 @@ let reproduce_cmd =
     (Cmd.info "reproduce"
        ~doc:
          "Run the full pipeline across the paper's Table-4 deadline set \
-          for one workload")
+          for one workload (through the parametric sweep engine unless \
+          $(b,--cold))")
     Term.(
       const run $ workload_pos $ input_opt $ capacitance_opt $ levels_opt
-      $ jobs_opt $ trace_out_opt $ metrics_out_opt)
+      $ jobs_opt $ cold_opt $ trace_out_opt $ metrics_out_opt)
 
 (* ---------------- stats ---------------- *)
 
@@ -694,7 +724,7 @@ let bench_diff_cmd =
       & opt (some file) None
       & info [ "baseline" ] ~docv:"FILE"
           ~doc:
-            "Committed dvs-bench/v1 summary to compare against \
+            "Committed dvs-bench/v2 summary to compare against \
              (bench/BENCH_baseline.json in CI).")
   in
   let current_in =
@@ -703,7 +733,7 @@ let bench_diff_cmd =
       & opt (some file) None
       & info [ "current" ] ~docv:"FILE"
           ~doc:
-            "Freshly generated dvs-bench/v1 summary \
+            "Freshly generated dvs-bench/v2 summary \
              ($(b,bench/main.exe --emit-bench)).")
   in
   let max_regression_opt =
@@ -732,7 +762,7 @@ let bench_diff_cmd =
     in
     (match Dvs_obs.Schema.validate_bench j with
     | Ok () -> ()
-    | Error e -> fail "%s: not a dvs-bench/v1 summary: %s" file e);
+    | Error e -> fail "%s: not a dvs-bench/v2 summary: %s" file e);
     j
   in
   let counter file j k =
@@ -744,8 +774,8 @@ let bench_diff_cmd =
     let bj = load baseline and cj = load current in
     (* Deterministic work counters gate the diff; wall-clock numbers are
        printed for context only (CI machines are too noisy to gate on). *)
-    let gated = [ "lp_pivots"; "lp_solves" ] in
-    let informational = [ "nodes"; "solves" ] in
+    let gated = [ "lp_pivots"; "lp_solves"; "bb_nodes" ] in
+    let informational = [ "solves" ] in
     let delta k =
       let b = counter baseline bj k and c = counter current cj k in
       let growth =
@@ -770,15 +800,34 @@ let bench_diff_cmd =
       rows;
     List.iter (fun k -> print_row (delta k) "  (informational)")
       informational;
+    let print_wall k b c =
+      Format.printf "%-12s %12.2f -> %12.2f  %+7.2f%%  (informational)@." k
+        b c
+        (if b > 0.0 then 100.0 *. ((c -. b) /. b) else 0.0)
+    in
     (match
        ( Option.bind (Dvs_obs.Json.member "wall_seconds" bj)
            Dvs_obs.Json.to_float,
          Option.bind (Dvs_obs.Json.member "wall_seconds" cj)
            Dvs_obs.Json.to_float )
      with
-    | Some b, Some c ->
-      Format.printf "%-12s %12.2f -> %12.2f  (informational)@."
-        "wall_seconds" b c
+    | Some b, Some c -> print_wall "wall_seconds" b c
+    | _ -> ());
+    (* Per-experiment wall times where both sides ran the experiment. *)
+    (match
+       ( Dvs_obs.Json.member "experiment_wall_seconds" bj,
+         Dvs_obs.Json.member "experiment_wall_seconds" cj )
+     with
+    | Some (Dvs_obs.Json.Obj bw), Some (Dvs_obs.Json.Obj _ as cw) ->
+      List.iter
+        (fun (e, bv) ->
+          match
+            ( Dvs_obs.Json.to_float bv,
+              Option.bind (Dvs_obs.Json.member e cw) Dvs_obs.Json.to_float )
+          with
+          | Some b, Some c -> print_wall ("wall:" ^ e) b c
+          | _ -> ())
+        bw
     | _ -> ());
     match regressed with
     | [] ->
@@ -788,7 +837,7 @@ let bench_diff_cmd =
       Format.eprintf
         "bench-diff: %d counter(s) regressed beyond %.0f%%; if the \
          growth is intended, regenerate the baseline with `bench/main.exe \
-         -- resilience --emit-bench bench/BENCH_baseline.json'@."
+         -- resilience fig18 --emit-bench bench/BENCH_baseline.json'@."
         (List.length regressed)
         (100.0 *. max_regression);
       exit 1
@@ -796,7 +845,7 @@ let bench_diff_cmd =
   Cmd.v
     (Cmd.info "bench-diff"
        ~doc:
-         "Compare two dvs-bench/v1 summaries; fail on LP work-counter \
+         "Compare two dvs-bench/v2 summaries; fail on LP work-counter \
           regressions")
     Term.(const run $ baseline_in $ current_in $ max_regression_opt)
 

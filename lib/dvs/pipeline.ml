@@ -433,3 +433,191 @@ let optimize ?options ?config machine cfg ~memory ~deadline =
   optimize_multi ?options ?config
     ~regulator:machine.Dvs_machine.Config.regulator ~memory
     [ { Formulation.profile; weight = 1.0; deadline } ]
+
+type sweep_result = {
+  results : result array;
+  sweep : Dvs_milp.Sweep.stats;
+}
+
+let optimize_sweep ?config ?verify_config ?profile ?(instances = 1)
+    ?(cut_rounds = 3) machine cfg ~memory ~deadlines =
+  let config = match config with Some c -> c | None -> Config.default in
+  if Array.length deadlines = 0 then
+    invalid_arg "Pipeline.optimize_sweep: empty deadlines";
+  Array.iter
+    (fun d ->
+      if not (Float.is_finite d && d > 0.0) then
+        invalid_arg "Pipeline.optimize_sweep: deadlines must be positive")
+    deadlines;
+  let obs = Config.obs config in
+  let tr = Dvs_obs.trace obs in
+  let obs_on = Dvs_obs.enabled obs in
+  let module Tr = Dvs_obs.Trace in
+  let regulator = machine.Dvs_machine.Config.regulator in
+  (* Profile and formulate once, at the loosest deadline: deadline-implied
+     mode exclusions derived there stay exact at every tighter point, and
+     each sweep point is only an RHS delta on the shared model. *)
+  let d_loosest = Array.fold_left Float.max neg_infinity deadlines in
+  let profile =
+    match profile with
+    | Some p -> p
+    | None -> Dvs_profile.Profile.collect machine cfg ~memory
+  in
+  let category d = { Formulation.profile; weight = 1.0; deadline = d } in
+  let repr =
+    if config.Config.filter then
+      Some
+        (Filter.representatives ~threshold:config.Config.filter_threshold
+           ~weights:[ 1.0 ] [ profile ])
+    else None
+  in
+  let formulation = Formulation.build ?repr ~regulator [ category d_loosest ] in
+  let independent_edges =
+    match repr with
+    | Some r -> Filter.independent_count r
+    | None -> Array.length formulation.Formulation.repr
+  in
+  let n_modes = Dvs_power.Mode.size formulation.Formulation.modes in
+  let base_solver =
+    config.Config.solver
+    |> Solver.Config.with_sos1
+         (List.map
+            (fun (_, vars) -> Array.to_list vars)
+            formulation.Formulation.kvars)
+    |> Solver.Config.with_warm_start
+         (List.concat_map
+            (fun (_, vars) ->
+              List.init n_modes (fun m ->
+                  (vars.(m), if m = n_modes - 1 then 1.0 else 0.0)))
+            formulation.Formulation.kvars)
+    |> Solver.Config.with_branching Solver.Config.Pseudocost_gub
+  in
+  let deadline_row =
+    match
+      Dvs_lp.Model.constraint_indices formulation.Formulation.model
+        ~name:"deadline"
+    with
+    | [ i ] -> i
+    | rows ->
+        invalid_arg
+          (Printf.sprintf
+             "Pipeline.optimize_sweep: expected one deadline row, found %d"
+             (List.length rows))
+  in
+  let sweep_span =
+    if obs_on then
+      Tr.start tr ~stability:Tr.Stable "pipeline.sweep"
+        ~attrs:[ ("points", Tr.Int (Array.length deadlines)) ]
+    else Tr.start Tr.disabled "pipeline.sweep"
+  in
+  let sw =
+    Dvs_milp.Sweep.run ~config:base_solver ~instances ~cut_rounds
+      ~per_point:(fun _ d cfgp ->
+        (* Per-point implied fixings: exclusions get stronger as the
+           deadline tightens (d is the row RHS, in microseconds). *)
+        Solver.Config.with_fixings
+          (Formulation.implied_fixings formulation [ category (d /. 1e6) ])
+          cfgp)
+      ~model:formulation.Formulation.model ~deadline_row
+      ~deadlines:(Array.map (fun d -> d *. 1e6) deadlines)
+      ()
+  in
+  if obs_on then
+    Tr.finish tr sweep_span
+      ~attrs:
+        [ ("warm_started", Tr.Int sw.Dvs_milp.Sweep.stats.Dvs_milp.Sweep.instances_warm_started);
+          ("cuts_applied", Tr.Int sw.Dvs_milp.Sweep.stats.Dvs_milp.Sweep.cuts_applied) ];
+  let vconfig =
+    match verify_config with
+    | Some c -> c
+    | None -> profile.Dvs_profile.Profile.config
+  in
+  let cfg0 = profile.Dvs_profile.Profile.cfg in
+  let point_result i (p : Dvs_milp.Sweep.point) =
+    let d = deadlines.(i) in
+    let m = p.Dvs_milp.Sweep.result in
+    let accept (s : Dvs_lp.Simplex.solution) =
+      let predicted = s.Dvs_lp.Simplex.objective /. 1e6 in
+      let schedule = Schedule.of_solution formulation s in
+      let v =
+        Verify.run ~obs vconfig cfg0 ~memory ~schedule ~deadline:d
+          ~predicted_energy:predicted
+      in
+      if v.Verify.meets_deadline then
+        Some
+          {
+            categories = [ category d ];
+            formulation;
+            milp = m;
+            predicted_energy = Some predicted;
+            schedule = Some schedule;
+            verification = Some v;
+            solve_seconds = m.Solver.stats.Solver.wall_seconds;
+            independent_edges;
+            rung = Some Milp;
+            descents = [];
+          }
+      else None
+    in
+    let fallback () =
+      (* Anything short of a verified optimum falls back to the classic
+         per-point degradation ladder, full resilience included. *)
+      if obs_on then
+        Tr.event tr ~stability:Tr.Stable "pipeline.sweep_fallback"
+          ~attrs:
+            [ ("point", Tr.Int i);
+              ("outcome",
+               Tr.String (Format.asprintf "%a" Solver.pp_outcome
+                            m.Solver.outcome)) ];
+      optimize_multi ~config ?verify_config ~regulator ~memory [ category d ]
+    in
+    match (m.Solver.outcome, m.Solver.solution) with
+    | (Solver.Infeasible | Solver.Unbounded), _ ->
+        (* Terminal exactly as in the ladder: no rung can manufacture a
+           deadline-feasible schedule. *)
+        {
+          categories = [ category d ]; formulation; milp = m;
+          predicted_energy = None; schedule = None; verification = None;
+          solve_seconds = m.Solver.stats.Solver.wall_seconds;
+          independent_edges; rung = None; descents = [];
+        }
+    | Solver.Optimal, Some s -> (
+        match accept s with Some r -> r | None -> fallback ())
+    | _ -> fallback ()
+  in
+  (* Verification (a full simulator run per point) and any ladder
+     fallbacks are independent across points, and their metrics are
+     order-independent totals — so they always fan out across available
+     cores, even when [instances = 1] keeps the solver-side sweep (whose
+     basis chaining and incumbent lifting are order-sensitive)
+     deterministic. *)
+  let points = sw.Dvs_milp.Sweep.points in
+  let np = Array.length points in
+  let results = Array.make np None in
+  let n_workers =
+    Int.min np (Int.max instances (Domain.recommended_domain_count ()))
+  in
+  if n_workers <= 1 then
+    Array.iteri (fun i p -> results.(i) <- Some (point_result i p)) points
+  else begin
+    let next = Atomic.make 0 in
+    let worker () =
+      let rec drain () =
+        let i = Atomic.fetch_and_add next 1 in
+        if i < np then begin
+          results.(i) <- Some (point_result i points.(i));
+          drain ()
+        end
+      in
+      drain ()
+    in
+    let doms = Array.init (n_workers - 1) (fun _ -> Domain.spawn worker) in
+    worker ();
+    Array.iter Domain.join doms
+  end;
+  let results =
+    Array.map
+      (function Some r -> r | None -> assert false (* every index drained *))
+      results
+  in
+  { results; sweep = sw.Dvs_milp.Sweep.stats }

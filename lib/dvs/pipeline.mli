@@ -172,3 +172,37 @@ val optimize :
   deadline:float -> result
 (** Single input category: profiles, then runs {!optimize_multi} with the
     config's regulator. *)
+
+type sweep_result = {
+  results : result array;  (** one per input deadline, in input order *)
+  sweep : Dvs_milp.Sweep.stats;
+}
+
+val optimize_sweep :
+  ?config:Config.t ->
+  ?verify_config:Dvs_machine.Config.t ->
+  ?profile:Dvs_profile.Profile.t ->
+  ?instances:int ->
+  ?cut_rounds:int ->
+  Dvs_machine.Config.t -> Dvs_ir.Cfg.t -> memory:int array ->
+  deadlines:float array -> sweep_result
+(** [optimize_sweep machine cfg ~memory ~deadlines] runs the paper's
+    deadline-sweep experiment through {!Dvs_milp.Sweep}: the program is
+    profiled ([profile] supplies a pre-collected profile and skips that
+    step) and formulated {e once} (at the loosest deadline, so the
+    deadline-implied mode exclusions baked into the model stay exact
+    everywhere), and each sweep point is an RHS delta on the shared
+    compiled form — with tightest-first incumbent lifting, cross-point
+    basis reuse and a shared cut pool.  Per-point implied fixings are
+    recomputed at each deadline via [Sweep.run]'s [per_point] hook.
+
+    A point whose sweep solve comes back [Optimal] and verifies against
+    its own deadline is accepted at the {!rung.Milp} rung; [Infeasible]
+    and [Unbounded] points are terminal (no schedule), and anything else
+    falls back to the classic {!optimize_multi} degradation ladder for
+    that point alone.  [instances] (default 1) solves that many sweep
+    points concurrently; [cut_rounds] (default 3) bounds each point's
+    root cutting loop.
+
+    Raises [Invalid_argument] if [deadlines] is empty or contains a
+    non-positive or non-finite value. *)

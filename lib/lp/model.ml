@@ -93,6 +93,31 @@ let add_constraint ?name m e cmp rhs =
 
 let constraints m = List.rev m.constrs
 
+let num_constraints m = m.n_constrs
+
+(* [constrs] is stored newest-first, so insertion index [i] lives at
+   reversed position [n_constrs - 1 - i].  Constraint records are
+   immutable and may be shared with copies of this model, so the update
+   rebuilds the spine up to the target instead of mutating in place. *)
+let set_constraint_rhs m i rhs =
+  if i < 0 || i >= m.n_constrs then
+    invalid_arg "Model.set_constraint_rhs: constraint out of range";
+  if Float.is_nan rhs then invalid_arg "Model.set_constraint_rhs: NaN rhs";
+  let pos = m.n_constrs - 1 - i in
+  let rec go k = function
+    | [] -> assert false
+    | c :: rest ->
+      if k = pos then { c with rhs } :: rest else c :: go (k + 1) rest
+  in
+  m.constrs <- go 0 m.constrs
+
+let constraint_indices m ~name =
+  let acc = ref [] in
+  List.iteri
+    (fun i (c : constr) -> if String.equal c.c_name name then acc := i :: !acc)
+    (constraints m);
+  List.rev !acc
+
 let set_objective m sense e =
   if Expr.max_var e >= m.n_vars then
     invalid_arg "Model.set_objective: expression mentions unknown variable";

@@ -45,6 +45,18 @@ val add_constraint : ?name:string -> t -> Expr.t -> cmp -> float -> unit
 val constraints : t -> constr list
 (** In insertion order. *)
 
+val num_constraints : t -> int
+
+val set_constraint_rhs : t -> int -> float -> unit
+(** [set_constraint_rhs m i rhs] replaces the right-hand side of the
+    [i]-th constraint (insertion order).  Constraint records are shared
+    with {!copy}ed models, so the update is copy-on-write: other copies
+    keep the old value.  Raises [Invalid_argument] out of range. *)
+
+val constraint_indices : t -> name:string -> int list
+(** Insertion-order indices of every constraint with the given name
+    (names are not unique: one per category for "deadline" rows). *)
+
 val set_objective : t -> sense -> Expr.t -> unit
 
 val objective : t -> sense * Expr.t

@@ -862,6 +862,204 @@ let solve_compiled ?(pricing = Steepest_edge) ?(max_iter = 100000)
   in
   (st, b, stats ())
 
+(* ---- basis surgery ---------------------------------------------------- *)
+
+(* Append [rows] fresh rows to a basis, each with its own slack basic:
+   exactly the state a dual-simplex warm restart wants after cutting
+   planes are appended to the model (the new slacks start primal
+   infeasible when their cut is violated, and the dual iteration repairs
+   them).  Column layout note: slack columns sit at [n + i], so appending
+   rows at the end leaves every existing column index unchanged. *)
+let extend_basis (b : basis) ~rows =
+  if rows < 0 then invalid_arg "Simplex.extend_basis: negative row count";
+  if rows = 0 then b
+  else begin
+    let nt = b.b_n + b.b_m in
+    let nt' = nt + rows in
+    let b_stat = Bytes.make nt' (Char.chr st_basic) in
+    Bytes.blit b.b_stat 0 b_stat 0 nt;
+    let b_rows =
+      Array.append b.b_rows (Array.init rows (fun i -> nt + i))
+    in
+    let b_sign = Array.append b.b_sign (Array.make rows 0.0) in
+    { b_n = b.b_n; b_m = b.b_m + rows; b_stat; b_rows; b_sign }
+  end
+
+(* ---- tableau extraction (cut separation) ------------------------------ *)
+
+(* A factorized snapshot of a basis against a compiled model's current
+   bounds and rhs.  Not a solving path: built once per separation round
+   (root of the search), so a fresh dense inverse is fine. *)
+type tableau = {
+  t_c : C.t;
+  t_binv : float array;  (* m*m row-major B^-1 *)
+  t_rows : int array;  (* basic column per row *)
+  t_stat : int array;  (* per-column status, nt entries *)
+  t_xval : float array;  (* nonbasic column values, nt entries *)
+  t_xb : float array;  (* basic values per row *)
+}
+
+type col_status = Col_basic | Col_lower | Col_upper | Col_free
+
+let tableau c (b : basis) =
+  let n = c.C.n and m = c.C.m and nt = c.C.nt in
+  if b.b_n <> n || b.b_m <> m then None
+  else if Array.exists (fun k -> k < 0 || k >= nt) b.b_rows then
+    None (* kept artificials: no clean tableau over structural+slack *)
+  else begin
+    let stat = Array.make nt st_lo in
+    for j = 0 to nt - 1 do
+      stat.(j) <- Char.code (Bytes.get b.b_stat j)
+    done;
+    Array.iter (fun k -> stat.(k) <- st_basic) b.b_rows;
+    (* Snap nonbasic columns onto the current bounds, exactly as the warm
+       start does, so the tableau reproduces the vertex the caller's
+       solve finished on. *)
+    let xval = Array.make nt 0.0 in
+    for j = 0 to nt - 1 do
+      if stat.(j) <> st_basic then begin
+        let l = c.C.lb.(j) and u = c.C.ub.(j) in
+        let st =
+          if l = neg_infinity && u = infinity then st_fr
+          else if stat.(j) = st_lo then if l > neg_infinity then st_lo else st_up
+          else if stat.(j) = st_up then if u < infinity then st_up else st_lo
+          else if l > neg_infinity then st_lo
+          else st_up
+        in
+        stat.(j) <- st;
+        xval.(j) <- (if st = st_lo then l else if st = st_up then u else 0.0)
+      end
+    done;
+    (* Dense B and Gauss-Jordan inverse with partial pivoting. *)
+    let fact = Array.make (m * m) 0.0 in
+    let binv = Array.make (m * m) 0.0 in
+    for i = 0 to m - 1 do
+      let k = b.b_rows.(i) in
+      if k < n then
+        for p = c.C.col_ptr.(k) to c.C.col_ptr.(k + 1) - 1 do
+          fact.((c.C.col_row.(p) * m) + i) <- c.C.col_val.(p)
+        done
+      else fact.(((k - n) * m) + i) <- 1.0;
+      binv.((i * m) + i) <- 1.0
+    done;
+    let singular = ref false in
+    (try
+       for col = 0 to m - 1 do
+         let best = ref col
+         and bestv = ref (Float.abs fact.((col * m) + col)) in
+         for r = col + 1 to m - 1 do
+           let v = Float.abs fact.((r * m) + col) in
+           if v > !bestv then begin
+             best := r;
+             bestv := v
+           end
+         done;
+         if !bestv < 1e-11 then begin
+           singular := true;
+           raise Exit
+         end;
+         if !best <> col then begin
+           let oa = col * m and ob = !best * m in
+           for q = 0 to m - 1 do
+             let t = fact.(oa + q) in
+             fact.(oa + q) <- fact.(ob + q);
+             fact.(ob + q) <- t;
+             let t = binv.(oa + q) in
+             binv.(oa + q) <- binv.(ob + q);
+             binv.(ob + q) <- t
+           done
+         end;
+         let off = col * m in
+         let ipiv = 1.0 /. fact.(off + col) in
+         for q = 0 to m - 1 do
+           fact.(off + q) <- fact.(off + q) *. ipiv;
+           binv.(off + q) <- binv.(off + q) *. ipiv
+         done;
+         for r = 0 to m - 1 do
+           if r <> col then begin
+             let f = fact.((r * m) + col) in
+             if f <> 0.0 then begin
+               let offr = r * m in
+               for q = 0 to m - 1 do
+                 fact.(offr + q) <- fact.(offr + q) -. (f *. fact.(off + q));
+                 binv.(offr + q) <- binv.(offr + q) -. (f *. binv.(off + q))
+               done
+             end
+           end
+         done
+       done
+     with Exit -> ());
+    if !singular then None
+    else begin
+      (* xb = B^-1 (rhs - N x_N) *)
+      let rw = Array.copy c.C.rhs in
+      for j = 0 to nt - 1 do
+        if stat.(j) <> st_basic && xval.(j) <> 0.0 then begin
+          let x = xval.(j) in
+          if j < n then
+            for p = c.C.col_ptr.(j) to c.C.col_ptr.(j + 1) - 1 do
+              let r = c.C.col_row.(p) in
+              rw.(r) <- rw.(r) -. (c.C.col_val.(p) *. x)
+            done
+          else rw.(j - n) <- rw.(j - n) -. x
+        end
+      done;
+      let xb = Array.make m 0.0 in
+      for i = 0 to m - 1 do
+        let off = i * m in
+        let s = ref 0.0 in
+        for k = 0 to m - 1 do
+          s := !s +. (binv.(off + k) *. rw.(k))
+        done;
+        xb.(i) <- !s
+      done;
+      Some
+        {
+          t_c = c;
+          t_binv = binv;
+          t_rows = Array.copy b.b_rows;
+          t_stat = stat;
+          t_xval = xval;
+          t_xb = xb;
+        }
+    end
+  end
+
+let tableau_rows t = t.t_c.C.m
+
+let tableau_basic_var t r = t.t_rows.(r)
+
+let tableau_basic_value t r = t.t_xb.(r)
+
+let tableau_col_status t j =
+  match t.t_stat.(j) with
+  | s when s = st_basic -> Col_basic
+  | s when s = st_lo -> Col_lower
+  | s when s = st_up -> Col_upper
+  | _ -> Col_free
+
+let tableau_nonbasic_value t j = t.t_xval.(j)
+
+(* Row [r] of B^-1 [A | I] over every column: entries for nonbasic
+   columns, 0.0 for basic ones.  [alpha] must have length >= nt. *)
+let tableau_row t r alpha =
+  let c = t.t_c in
+  let n = c.C.n and m = c.C.m and nt = c.C.nt in
+  let off = r * m in
+  for j = 0 to nt - 1 do
+    if t.t_stat.(j) <> st_basic then
+      alpha.(j) <-
+        (if j < n then begin
+           let s = ref 0.0 in
+           for p = c.C.col_ptr.(j) to c.C.col_ptr.(j + 1) - 1 do
+             s := !s +. (t.t_binv.(off + c.C.col_row.(p)) *. c.C.col_val.(p))
+           done;
+           !s
+         end
+         else t.t_binv.(off + (j - n)))
+    else alpha.(j) <- 0.0
+  done
+
 (* ---- Model.t entry points -------------------------------------------- *)
 
 let solve_ext ?max_iter ?eps ?basis m =

@@ -118,4 +118,47 @@ val solve_from_basis : ?max_iter:int -> ?eps:float -> basis -> Model.t -> status
 (** [solve_from_basis b m] is [solve m] warm started from basis [b]
     (typically obtained from {!solve_ext} on a closely related model). *)
 
+val extend_basis : basis -> rows:int -> basis
+(** [extend_basis b ~rows] adapts a basis to a model that gained [rows]
+    appended constraint rows (and nothing else): each new row's slack
+    starts basic.  Appended rows leave every existing column index
+    unchanged, so the result warm starts the grown model directly — when
+    the new rows are violated cutting planes, the warm solve is exactly
+    a dual-simplex reoptimization that prices the cuts in. *)
+
+(** {2 Tableau extraction}
+
+    Read-only access to the simplex tableau of a given basis against a
+    compiled model's current bounds and rhs — what Gomory cut separation
+    needs.  Built once per separation round via a fresh dense
+    factorization; not a solving path. *)
+
+type tableau
+
+type col_status = Col_basic | Col_lower | Col_upper | Col_free
+
+val tableau : Compiled.t -> basis -> tableau option
+(** [None] if the basis does not fit the compiled model (dimension
+    mismatch), still contains artificial columns, or is numerically
+    singular. *)
+
+val tableau_rows : tableau -> int
+(** Number of rows [m]; rows are indexed [0 .. m-1] below. *)
+
+val tableau_basic_var : tableau -> int -> int
+(** Column basic in row [r]: structural in [0, n), slack in [n, n+m). *)
+
+val tableau_basic_value : tableau -> int -> float
+(** Current value of row [r]'s basic column. *)
+
+val tableau_col_status : tableau -> int -> col_status
+
+val tableau_nonbasic_value : tableau -> int -> float
+(** Value a nonbasic column is pinned at (its active bound, 0 if free). *)
+
+val tableau_row : tableau -> int -> float array -> unit
+(** [tableau_row t r alpha] fills [alpha] (length >= [n + m]) with row
+    [r] of [B^-1 [A | I]]: the tableau coefficient of every nonbasic
+    column, 0.0 at basic columns. *)
+
 val pp_status : Format.formatter -> status -> unit

@@ -23,13 +23,30 @@ let default_options =
   { max_nodes = 200_000; int_tol = 1e-6; gap_rel = 1e-9; time_limit = None;
     rounding = true; sos1 = []; warm_start = []; log = None }
 
+type stop_reason = Solver.stop_reason =
+  | Node_limit
+  | Time_limit
+  | Iter_limit
+
+type crash = Solver.crash = {
+  worker : int;
+  depth : int;
+  path : int list;
+  message : string;
+}
+
+type degradation = Solver.degradation = {
+  crashes : crash list;
+  stopped : stop_reason option;
+}
+
 type outcome =
   | Optimal
-  | Feasible of Solver.stop_reason
+  | Feasible of stop_reason
   | Infeasible
   | Unbounded
-  | No_solution of Solver.stop_reason
-  | Degraded of Solver.degradation
+  | No_solution of stop_reason
+  | Degraded of degradation
 
 type result = {
   outcome : outcome;

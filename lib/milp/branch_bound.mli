@@ -2,10 +2,13 @@
 
     This is the historical branch-and-bound API, kept as a thin shim so
     existing callers keep compiling: [solve] forwards to {!Solver.solve}
-    with [jobs = 1] and collapses the richer {!Solver.outcome} and
-    {!Solver.stats} back into the old shapes.  New code should use
-    {!Solver} directly — it adds parallel search, basis warm starts, the
-    LP-relaxation cache and per-solve statistics.
+    with [jobs = 1].  The outcome keeps the full {!Solver} detail —
+    {!stop_reason} and {!degradation} are re-exported here with their
+    constructors, so limit and crash information survives the shim —
+    while {!Solver.stats} is collapsed to the single [nodes] count of the
+    old result shape.  New code should use {!Solver} directly — it adds
+    parallel search, basis warm starts, the LP-relaxation cache,
+    pseudocost/GUB branching and per-solve statistics.
 
     Note one semantic refinement inherited from {!Solver}: [time_limit]
     is wall-clock seconds (previously CPU seconds; identical for the
@@ -17,7 +20,8 @@ type options = {
   gap_rel : float;  (** relative optimality gap to stop at; default 1e-9 *)
   time_limit : float option;  (** wall-clock seconds *)
   rounding : bool;
-      (** run the rounding heuristic (root and periodically) *)
+      (** run the rounding heuristic (root and spine, as in
+          {!Solver.Config}) *)
   sos1 : Dvs_lp.Model.var list list;
       (** groups whose binaries sum to 1; guides the rounding heuristic
           (the one-mode-per-edge structure of the DVS formulation) *)
@@ -34,15 +38,36 @@ val to_config : options -> Solver.Config.t
 (** The {!Solver} configuration equivalent to these options (with
     [jobs = 1]); the migration path for callers moving off this shim. *)
 
+type stop_reason = Solver.stop_reason =
+  | Node_limit
+  | Time_limit
+  | Iter_limit  (** the simplex pivot budget ran out inside a relaxation *)
+(** Re-export of {!Solver.stop_reason} with its constructors, so shim
+    callers can pattern-match limits without opening {!Solver}. *)
+
+type crash = Solver.crash = {
+  worker : int;  (** worker id that contained the exception *)
+  depth : int;  (** depth of the node being processed *)
+  path : int list;  (** its branch path (innermost decision first) *)
+  message : string;  (** [Printexc.to_string] of the exception *)
+}
+(** Re-export of {!Solver.crash}. *)
+
+type degradation = Solver.degradation = {
+  crashes : crash list;  (** contained worker crashes, oldest first *)
+  stopped : stop_reason option;  (** a limit additionally hit, if any *)
+}
+(** Re-export of {!Solver.degradation}. *)
+
 type outcome =
   | Optimal  (** proven within the gap *)
-  | Feasible of Solver.stop_reason
+  | Feasible of stop_reason
       (** incumbent found, but this limit stopped the proof *)
   | Infeasible
   | Unbounded
-  | No_solution of Solver.stop_reason
+  | No_solution of stop_reason
       (** this limit was hit before any incumbent *)
-  | Degraded of Solver.degradation
+  | Degraded of degradation
       (** worker exceptions were contained; see {!Solver.outcome} *)
 
 type result = {

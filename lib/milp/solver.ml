@@ -29,6 +29,14 @@
 open Dvs_lp
 
 module Config = struct
+  type branching =
+    | Fractional
+    | Pseudocost_gub
+
+  type node_order =
+    | Best_bound
+    | Depth_first
+
   type t = {
     jobs : int;
     max_nodes : int;
@@ -46,27 +54,37 @@ module Config = struct
     presolve : bool;
     pricing : Simplex.pricing;
     fixings : (Model.var * float) list;
+    branching : branching;
+    node_order : node_order;
+    reliability : int;
   }
 
   let make ?jobs ?(max_nodes = 200_000) ?time_limit ?(gap_rel = 1e-9)
       ?(int_tol = 1e-6) ?(rounding = true) ?log ?cache ?(cache_depth = 4)
       ?fault ?(obs = Dvs_obs.disabled) ?(presolve = true)
-      ?(pricing = Simplex.Steepest_edge) () =
+      ?(pricing = Simplex.Steepest_edge) ?(branching = Fractional)
+      ?(node_order = Best_bound) ?(reliability = 4) () =
     let jobs =
       match jobs with
       | Some j when j >= 1 -> j
       | Some _ -> invalid_arg "Solver.Config.make: jobs must be >= 1"
       | None -> Domain.recommended_domain_count ()
     in
+    if reliability < 0 then
+      invalid_arg "Solver.Config.make: reliability must be >= 0";
     { jobs; max_nodes; int_tol; gap_rel; time_limit; rounding; sos1 = [];
       warm_start = []; log; cache; cache_depth; fault; obs; presolve;
-      pricing; fixings = [] }
+      pricing; fixings = []; branching; node_order; reliability }
 
   let default = make ()
 
   let with_jobs jobs t =
     if jobs < 1 then invalid_arg "Solver.Config.with_jobs: jobs must be >= 1";
     { t with jobs }
+
+  let with_branching branching t = { t with branching }
+
+  let with_node_order node_order t = { t with node_order }
 
   let with_sos1 sos1 t = { t with sos1 }
 
@@ -180,6 +198,9 @@ type node = {
   depth : int;
   path : int list;
   basis : Simplex.basis option;
+  pc : (int * int) option;
+      (* (branch entity, direction 0/1) that created this node, for
+         pseudocost feedback once its relaxation is solved *)
 }
 
 (* Effective bounds of [v] at a node: innermost override wins (overrides
@@ -340,6 +361,9 @@ let solve ?(config = Config.default) model =
     Dvs_obs.Metrics.counter mx ~stability:Volatile "lp.bound_flips"
   in
   let c_flops = Dvs_obs.Metrics.counter mx ~stability:Volatile "lp.flops" in
+  let c_pc_branches =
+    Dvs_obs.Metrics.counter mx ~stability:Volatile "bb.pseudocost_branches"
+  in
   let solve_span =
     if obs_on then
       Tr.start tr "solver.solve"
@@ -446,7 +470,7 @@ let solve ?(config = Config.default) model =
      view of the compiled model, solves in place with the worker's
      reusable workspace, then restores the touched bounds — no model
      copy, no per-node allocation beyond the returned solution. *)
-  let lp_solve ?basis ~wid overrides =
+  let lp_solve ?basis ?iter_cap ~wid overrides =
     Atomic.incr lp_solves;
     let max_iter =
       match config.fault with
@@ -457,6 +481,12 @@ let solve ?(config = Config.default) model =
             ~attrs:[ ("ordinal", Tr.Int ordinal) ];
         budget
       | None -> None
+    in
+    let max_iter =
+      match (max_iter, iter_cap) with
+      | Some a, Some b -> Some (Int.min a b)
+      | Some a, None -> Some a
+      | None, b -> b
     in
     let sc = scratches.(wid) in
     let fixings = canonical_fixings overrides in
@@ -615,17 +645,66 @@ let solve ?(config = Config.default) model =
   let heuristic_node n =
     n.depth = 0 || List.for_all (fun d -> d = 0) n.path
   in
+  (* ---- pseudocost / GUB branching state ---- *)
+  (* Branch entities: one per surviving SOS1 mode group (GUB dichotomy on
+     the member prefix) plus one per integer variable outside any group
+     (classic floor/ceil).  Pseudocosts are kept per entity and
+     direction, shared across workers under one small lock — updates are
+     per-node, never per-pivot. *)
+  let entities =
+    if config.branching <> Config.Pseudocost_gub then [||]
+    else begin
+      let in_group = Hashtbl.create 16 in
+      List.iter
+        (fun g -> List.iter (fun v -> Hashtbl.replace in_group v ()) g)
+        sos1;
+      Array.of_list
+        (List.map (fun g -> `Group (Array.of_list g)) sos1
+        @ List.filter_map
+            (fun v ->
+              if Hashtbl.mem in_group v then None else Some (`Var v))
+            int_vars)
+    end
+  in
+  let n_entities = Array.length entities in
+  let pc_lock = Mutex.create () in
+  let pc_sum = Array.make (2 * n_entities) 0.0 in
+  let pc_cnt = Array.make (2 * n_entities) 0 in
+  let pc_record e dir gain =
+    Mutex.lock pc_lock;
+    pc_sum.((2 * e) + dir) <- pc_sum.((2 * e) + dir) +. gain;
+    pc_cnt.((2 * e) + dir) <- pc_cnt.((2 * e) + dir) + 1;
+    Mutex.unlock pc_lock
+  in
+  (* Snapshot of (avg down-gain, avg up-gain, min observation count). *)
+  let pc_read e =
+    Mutex.lock pc_lock;
+    let sd = pc_sum.(2 * e) and cd = pc_cnt.(2 * e) in
+    let su = pc_sum.((2 * e) + 1) and cu = pc_cnt.((2 * e) + 1) in
+    Mutex.unlock pc_lock;
+    ( (if cd > 0 then sd /. float_of_int cd else 0.0),
+      (if cu > 0 then su /. float_of_int cu else 0.0),
+      Int.min cd cu )
+  in
+  let pseudocost_branches = Atomic.make 0 in
   (* ---- worker pool ---- *)
   let cmp_nodes a b =
-    let c =
+    let bound_cmp () =
       match sense with
       | Model.Minimize -> Float.compare a.bound b.bound
       | Maximize -> Float.compare b.bound a.bound
     in
-    if c <> 0 then c
-    else
-      let c = compare b.depth a.depth in
-      if c <> 0 then c else path_compare a.path b.path
+    let depth_cmp () = compare b.depth a.depth in
+    let c =
+      match config.node_order with
+      | Config.Best_bound ->
+        let c = bound_cmp () in
+        if c <> 0 then c else depth_cmp ()
+      | Config.Depth_first ->
+        let c = depth_cmp () in
+        if c <> 0 then c else bound_cmp ()
+    in
+    if c <> 0 then c else path_compare a.path b.path
   in
   let queues = Array.init n_workers (fun _ -> Work_queue.create ~cmp:cmp_nodes) in
   let worker_nodes = Array.make n_workers 0 in
@@ -633,14 +712,162 @@ let solve ?(config = Config.default) model =
      only, read after join): the lock-free buffer pattern the obs
      registry aggregates at merge time. *)
   let worker_steals = Array.make n_workers 0 in
-  let spawn_child wid n dir bound basis overrides =
+  let spawn_child ?pc wid n dir bound basis overrides =
     Atomic.incr in_flight;
     Work_queue.push queues.(wid)
-      { overrides; bound; depth = n.depth + 1; path = dir :: n.path; basis }
+      { overrides; bound; depth = n.depth + 1; path = dir :: n.path; basis;
+        pc }
   in
   let requeue wid n =
     Atomic.incr in_flight;
     Work_queue.push queues.(wid) n
+  in
+  (* Classic most-fractional variable dichotomy — the default, and the
+     fallback when the entity view finds nothing to branch on. *)
+  let branch_fractional wid n (s : Simplex.solution) basis =
+    match most_fractional ~int_tol:config.int_tol int_vars s with
+    | None -> try_incumbent n.path s
+    | Some v ->
+      let x = s.values.(v) in
+      let lb, ub = effective_bounds wm n.overrides v in
+      let fl = Float.floor x and ce = Float.ceil x in
+      if fl >= lb then
+        spawn_child wid n 0 s.objective basis ((v, lb, fl) :: n.overrides);
+      if ce <= ub then
+        spawn_child wid n 1 s.objective basis ((v, ce, ub) :: n.overrides)
+  in
+  (* GUB dichotomy over mode groups + pseudocost entity selection with
+     reliability initialization: an entity whose pseudocosts rest on
+     fewer than [reliability] observations per direction is probed with
+     two pivot-capped child LPs (the probes also seed its pseudocosts);
+     reliable entities are scored by the product of their average
+     objective degradations.  A group branches by splitting its member
+     prefix at half the fractional mass — children zero one half each,
+     so the one-mode equality row keeps the other half alive. *)
+  let max_probes_per_node = 4 in
+  let branch_pseudocost wid n (s : Simplex.solution) basis =
+    let var_frac v =
+      let x = s.values.(v) in
+      let fr = x -. Float.floor x in
+      Float.min fr (1.0 -. fr)
+    in
+    let frac_of e =
+      match entities.(e) with
+      | `Group vars ->
+        Array.fold_left (fun acc v -> Float.max acc (var_frac v)) 0.0 vars
+      | `Var v -> var_frac v
+    in
+    let candidates = ref [] in
+    for e = n_entities - 1 downto 0 do
+      if frac_of e > config.int_tol then candidates := e :: !candidates
+    done;
+    match !candidates with
+    | [] -> branch_fractional wid n s basis
+    | cands ->
+      (* Down/up child override sets; [None] marks a side already proven
+         infeasible by existing bounds. *)
+      let child_sets e =
+        match entities.(e) with
+        | `Var v ->
+          let x = s.values.(v) in
+          let lb, ub = effective_bounds wm n.overrides v in
+          let fl = Float.floor x and ce = Float.ceil x in
+          ( (if fl >= lb then Some ((v, lb, fl) :: n.overrides) else None),
+            if ce <= ub then Some ((v, ce, ub) :: n.overrides) else None )
+        | `Group vars ->
+          let k = Array.length vars in
+          (* Mass-carrying member span: both children must zero at least
+             one member with positive value, otherwise the current LP
+             point survives into a child and the dive never terminates. *)
+          let first = ref (-1) and last = ref (-1) in
+          let total = ref 0.0 in
+          for i = 0 to k - 1 do
+            let xi = s.values.(vars.(i)) in
+            total := !total +. xi;
+            if xi > config.int_tol then begin
+              if !first < 0 then first := i;
+              last := i
+            end
+          done;
+          if !last <= !first then begin
+            (* All mass on one member (its value fractional): the GUB
+               split cannot separate, so dichotomize that member. *)
+            let v = vars.(Int.max 0 !first) in
+            let x = s.values.(v) in
+            let lb, ub = effective_bounds wm n.overrides v in
+            let fl = Float.floor x and ce = Float.ceil x in
+            ( (if fl >= lb then Some ((v, lb, fl) :: n.overrides) else None),
+              if ce <= ub then Some ((v, ce, ub) :: n.overrides) else None )
+          end
+          else begin
+            (* Mass-balanced split clamped inside the span. *)
+            let split = ref !first in
+            let acc = ref 0.0 in
+            (try
+               for i = !first to !last - 1 do
+                 acc := !acc +. s.values.(vars.(i));
+                 if !acc >= 0.5 *. !total then begin
+                   split := i;
+                   raise Exit
+                 end
+               done;
+               split := !last - 1
+             with Exit -> ());
+            let zero lo hi =
+              let ov = ref (Some n.overrides) in
+              for i = lo to hi do
+                match !ov with
+                | None -> ()
+                | Some o ->
+                  let lb, _ = effective_bounds wm o vars.(i) in
+                  if lb > 0.0 then ov := None
+                  else ov := Some ((vars.(i), 0.0, 0.0) :: o)
+              done;
+              !ov
+            in
+            (zero (!split + 1) (k - 1), zero 0 !split)
+          end
+      in
+      let probes_left = ref max_probes_per_node in
+      let best = ref None in
+      List.iter
+        (fun e ->
+          let down, up = child_sets e in
+          let d_avg, u_avg, cnt = pc_read e in
+          let score =
+            if cnt < config.reliability && !probes_left > 0 then begin
+              decr probes_left;
+              let probe dir = function
+                | None -> 1e12
+                | Some o -> (
+                  match lp_solve ~iter_cap:100 ?basis ~wid o with
+                  | Simplex.Optimal s', _ ->
+                    let g = Float.abs (s'.objective -. s.objective) in
+                    pc_record e dir g;
+                    g
+                  | Simplex.Infeasible, _ -> 1e12
+                  | (Simplex.Unbounded | Simplex.Iter_limit _), _ -> 0.0)
+              in
+              let gd = probe 0 down in
+              let gu = probe 1 up in
+              Float.max gd 1e-6 *. Float.max gu 1e-6
+            end
+            else Float.max d_avg 1e-6 *. Float.max u_avg 1e-6
+          in
+          match !best with
+          | Some (_, _, _, bs) when bs >= score -> ()
+          | _ -> best := Some (e, down, up, score))
+        cands;
+      (match !best with
+      | None -> ()
+      | Some (e, down, up, _) ->
+        Atomic.incr pseudocost_branches;
+        (match down with
+        | Some o -> spawn_child ~pc:(e, 0) wid n 0 s.objective basis o
+        | None -> ());
+        (match up with
+        | Some o -> spawn_child ~pc:(e, 1) wid n 1 s.objective basis o
+        | None -> ()))
   in
   let process wid n =
     if stopping () then requeue wid n
@@ -668,6 +895,12 @@ let solve ?(config = Config.default) model =
       | Simplex.Infeasible, _ -> ()
       | Simplex.Unbounded, _ -> Atomic.set unbounded true
       | Simplex.Optimal s, basis ->
+        (* Pseudocost feedback from the branch that created this node:
+           how much the relaxation degraded relative to the parent. *)
+        (match n.pc with
+        | Some (e, dir) when Float.is_finite n.bound ->
+          pc_record e dir (Float.abs (s.objective -. n.bound))
+        | Some _ | None -> ());
         if gap_prune s.objective then ()
         else if is_integral s then begin
           (* Snap integer values exactly. *)
@@ -679,16 +912,9 @@ let solve ?(config = Config.default) model =
           if heuristic_node n then rounding_pass ~wid n.path n.overrides s;
           if n.depth = 0 && not (Float.is_finite (Atomic.get inc_obj)) then
             dive ~wid n.path n.overrides basis s;
-          match most_fractional ~int_tol:config.int_tol int_vars s with
-          | None -> try_incumbent n.path s
-          | Some v ->
-            let x = s.values.(v) in
-            let lb, ub = effective_bounds wm n.overrides v in
-            let fl = Float.floor x and ce = Float.ceil x in
-            if fl >= lb then
-              spawn_child wid n 0 s.objective basis ((v, lb, fl) :: n.overrides);
-            if ce <= ub then
-              spawn_child wid n 1 s.objective basis ((v, ce, ub) :: n.overrides)
+          match config.branching with
+          | Config.Fractional -> branch_fractional wid n s basis
+          | Config.Pseudocost_gub -> branch_pseudocost wid n s basis
         end
     end
   in
@@ -775,7 +1001,8 @@ let solve ?(config = Config.default) model =
   in
   Atomic.set in_flight 1;
   Work_queue.push queues.(0)
-    { overrides = []; bound = root_bound; depth = 0; path = []; basis = None };
+    { overrides = []; bound = root_bound; depth = 0; path = []; basis = None;
+      pc = None };
   let domains =
     Array.init (n_workers - 1) (fun i -> Domain.spawn (worker (i + 1)))
   in
@@ -842,6 +1069,7 @@ let solve ?(config = Config.default) model =
       (stats.lp_pivots - Atomic.get a_bland - Atomic.get a_dual);
     Mc.add c_flips ~slot:0 (Atomic.get a_flips);
     Mc.add c_flops ~slot:0 (Atomic.get a_flops);
+    Mc.add c_pc_branches ~slot:0 (Atomic.get pseudocost_branches);
     Dvs_obs.Metrics.Histogram.observe h_solve stats.wall_seconds
   end;
   let r =

@@ -33,6 +33,22 @@
 (** Builder-style solver configuration; construct with {!Config.make} and
     refine with the [with_*] combinators. *)
 module Config : sig
+  type branching =
+    | Fractional
+        (** branch on the most fractional integer variable (floor/ceil);
+            the historical default, kept for bit-for-bit reproducibility
+            of existing runs *)
+    | Pseudocost_gub
+        (** branch on SOS1 mode groups (GUB dichotomy splitting the
+            group's fractional mass) and leftover integer variables,
+            scored by pseudocosts with reliability initialization
+            (pivot-capped probe LPs until an entity has
+            [reliability] observations per direction) *)
+
+  type node_order =
+    | Best_bound  (** explore smallest-bound nodes first (default) *)
+    | Depth_first  (** dive: deepest nodes first, bound as tie-break *)
+
   type t = {
     jobs : int;  (** worker domains; default [Domain.recommended_domain_count ()] *)
     max_nodes : int;  (** node budget; default 200_000 *)
@@ -70,6 +86,15 @@ module Config : sig
         (** externally implied variable fixings (e.g.
             [Dvs_core.Formulation.implied_fixings] from the edge filter),
             fed to presolve as exact bounds before the first round *)
+    branching : branching;
+        (** branching rule; default {!Fractional} (see {!branching}) *)
+    node_order : node_order;
+        (** node selection order within each worker queue; default
+            {!Best_bound} *)
+    reliability : int;
+        (** pseudocost reliability threshold: entities with fewer than
+            this many observed gains per direction are probed with a
+            pivot-capped LP before trusting their score; default 4 *)
   }
 
   val make :
@@ -77,8 +102,9 @@ module Config : sig
     ?int_tol:float -> ?rounding:bool -> ?log:(string -> unit) ->
     ?cache:Lp_cache.t -> ?cache_depth:int -> ?fault:Fault.t ->
     ?obs:Dvs_obs.t -> ?presolve:bool -> ?pricing:Dvs_lp.Simplex.pricing ->
+    ?branching:branching -> ?node_order:node_order -> ?reliability:int ->
     unit -> t
-  (** Raises [Invalid_argument] if [jobs < 1]. *)
+  (** Raises [Invalid_argument] if [jobs < 1] or [reliability < 0]. *)
 
   val default : t
   (** [make ()]. *)
@@ -94,6 +120,10 @@ module Config : sig
   val with_pricing : Dvs_lp.Simplex.pricing -> t -> t
 
   val with_fixings : (Dvs_lp.Model.var * float) list -> t -> t
+
+  val with_branching : branching -> t -> t
+
+  val with_node_order : node_order -> t -> t
 
   val with_log : (string -> unit) -> t -> t
 

@@ -1,0 +1,315 @@
+(* Parametric deadline sweep: one compiled model, many RHS values.
+   See sweep.mli for the design. *)
+
+open Dvs_lp
+
+type point = {
+  deadline : float;
+  result : Solver.result;
+  cuts_applied : int;
+  pool_hits : int;
+  warm_started : bool;
+  root_pivots : int;
+}
+
+type stats = {
+  instances_warm_started : int;
+  cuts_separated : int;
+  cuts_applied : int;
+  cut_pool_hits : int;
+  pool_size : int;
+  root_pivots : int;
+}
+
+type t = {
+  points : point array;
+  stats : stats;
+}
+
+let locked lock f =
+  Mutex.lock lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock lock) f
+
+let run ?config ?(instances = 1) ?(cut_rounds = 3) ?(max_cuts_per_round = 16)
+    ?pool ?per_point ~model ~deadline_row ~deadlines () =
+  let config =
+    match config with
+    | Some c -> c
+    | None ->
+        Solver.Config.with_branching Solver.Config.Pseudocost_gub
+          Solver.Config.default
+  in
+  if instances < 1 then invalid_arg "Sweep.run: instances < 1";
+  if cut_rounds < 0 then invalid_arg "Sweep.run: cut_rounds < 0";
+  if max_cuts_per_round < 0 then invalid_arg "Sweep.run: max_cuts_per_round < 0";
+  let np = Array.length deadlines in
+  if np = 0 then invalid_arg "Sweep.run: empty deadlines";
+  Array.iter
+    (fun d ->
+      if not (Float.is_finite d) then
+        invalid_arg "Sweep.run: non-finite deadline")
+    deadlines;
+  if deadline_row < 0 || deadline_row >= Model.num_constraints model then
+    invalid_arg "Sweep.run: deadline_row out of range";
+  let drow = List.nth (Model.constraints model) deadline_row in
+  (match drow.Model.cmp with
+  | Model.Le -> ()
+  | Model.Ge | Model.Eq ->
+      invalid_arg "Sweep.run: deadline row must be a Le constraint");
+  (* Separator inputs read once off the deadline row: its binary
+     positive-weight terms for cover cuts, and the SOS1 groups paired
+     with their row weights for GUB covers. *)
+  let dexpr = drow.Model.expr in
+  let cover_row =
+    Expr.coeffs dexpr
+    |> List.filter_map (fun (v, w) ->
+           if w > 0.0 && Model.is_integer model v then
+             let lo, hi = Model.bounds model v in
+             if lo >= -1e-9 && hi <= 1.0 +. 1e-9 then Some (w, v) else None
+           else None)
+  in
+  let gub_groups =
+    config.Solver.Config.sos1
+    |> List.filter_map (fun g ->
+           let vars = Array.of_list g in
+           if Array.length vars < 2 then None
+           else
+             let ws = Array.map (fun v -> Expr.coeff dexpr v) vars in
+             if
+               Array.for_all (fun w -> w >= 0.0) ws
+               && Array.exists (fun w -> w > 0.0) ws
+             then Some (vars, ws)
+             else None)
+  in
+  let pool = match pool with Some p -> p | None -> Cuts.Pool.create () in
+  let pool_lock = Mutex.create () in
+  (* Tightest deadline first: its optimum stays feasible at every looser
+     point and lifts forward as a warm incumbent.  Ties keep input order. *)
+  let order = Array.init np Fun.id in
+  Array.sort
+    (fun a b ->
+      match Float.compare deadlines.(a) deadlines.(b) with
+      | 0 -> Int.compare a b
+      | c -> c)
+    order;
+  let base_compiled = Compiled.of_model model in
+  let int_vars = Model.integer_vars model in
+  let done_lock = Mutex.create () in
+  (* Best lift source per processing position: the loosest completed
+     tighter point (scanned newest first). *)
+  let completed : Simplex.solution option array = Array.make np None in
+  let results : point option array = Array.make np None in
+  let warm_count = Atomic.make 0 in
+  let separated_count = Atomic.make 0 in
+  let applied_count = Atomic.make 0 in
+  let pool_hit_count = Atomic.make 0 in
+  let root_pivot_count = Atomic.make 0 in
+  let next = Atomic.make 0 in
+  let point_config idx d lift =
+    let cfg =
+      match per_point with None -> config | Some f -> f idx d config
+    in
+    match lift with
+    | None -> (cfg, false)
+    | Some (sol : Simplex.solution) ->
+        let fixings =
+          List.map (fun v -> (v, Float.round sol.Simplex.values.(v))) int_vars
+        in
+        (Solver.Config.with_warm_start fixings cfg, true)
+  in
+  let take_lift k =
+    locked done_lock (fun () ->
+        let rec scan j = if j < 0 then None else
+          match completed.(j) with Some _ as s -> s | None -> scan (j - 1)
+        in
+        scan (k - 1))
+  in
+  let record k idx pt =
+    locked done_lock (fun () ->
+        (match (pt.result.Solver.outcome, pt.result.Solver.solution) with
+        | (Solver.Optimal | Solver.Feasible _ | Solver.Degraded _), Some s ->
+            completed.(k) <- Some s
+        | _ -> ());
+        results.(idx) <- Some pt)
+  in
+  (* The root cutting loop for one point: solve the LP relaxation of the
+     cut-augmented point model, separate violated cuts off its tableau,
+     append, reprice dual-simplex-style via extend_basis, repeat. *)
+  let cut_loop ws c0 chain mp d pooled =
+    let root_pivots = ref 0 in
+    let applied_rev = ref (List.rev pooled) in
+    let n_pooled = List.length pooled in
+    (* Cut-free chained LP first: same compiled form as the previous
+       point modulo set_rhs, so the chained basis makes this a dual
+       reoptimization. *)
+    Compiled.set_rhs c0 deadline_row d;
+    let st0, b0, lstats0 =
+      Simplex.solve_compiled ~pricing:config.Solver.Config.pricing ?basis:!chain
+        ~ws c0
+    in
+    root_pivots := !root_pivots + lstats0.Simplex.pivots;
+    (match b0 with Some _ -> chain := b0 | None -> ());
+    (match st0 with
+    | Simplex.Optimal _ when cut_rounds > 0 ->
+        (* Bring the pooled cuts into the relaxation, then iterate. *)
+        let state =
+          if n_pooled = 0 then
+            match b0 with
+            | Some b -> Some (c0, b, st0)
+            | None -> None
+          else
+            let cp = Compiled.of_model mp in
+            let basis =
+              Option.map (fun b -> Simplex.extend_basis b ~rows:n_pooled) b0
+            in
+            let st, bc, ls =
+              Simplex.solve_compiled ~pricing:config.Solver.Config.pricing
+                ?basis ~ws cp
+            in
+            root_pivots := !root_pivots + ls.Simplex.pivots;
+            match bc with Some b -> Some (cp, b, st) | None -> None
+        in
+        let row_valid_le cp =
+          let m = cp.Compiled.m in
+          let rv = Array.make m infinity in
+          rv.(deadline_row) <- d;
+          let base = Model.num_constraints model in
+          List.iteri
+            (fun i c -> rv.(base + i) <- c.Cuts.valid_le)
+            (List.rev !applied_rev);
+          rv
+        in
+        let rec round r state =
+          match state with
+          | None -> ()
+          | Some (cp, bc, Simplex.Optimal sol) when r < cut_rounds ->
+              let x = sol.Simplex.values in
+              let gom =
+                if max_cuts_per_round = 0 then []
+                else
+                  match Simplex.tableau cp bc with
+                  | None -> []
+                  | Some tab ->
+                      Cuts.gomory ~compiled:cp ~tableau:tab ~x ~deadline:d
+                        ~row_valid_le:(row_valid_le cp) ~bounds_pristine:true
+                        ~max_cuts:max_cuts_per_round
+              in
+              let cov = Cuts.covers ~row:cover_row ~deadline:d ~x in
+              let gub = Cuts.gub_covers ~groups:gub_groups ~deadline:d ~x in
+              let fresh = gom @ cov @ gub in
+              if fresh = [] then ()
+              else begin
+                Atomic.fetch_and_add separated_count (List.length fresh)
+                |> ignore;
+                locked pool_lock (fun () ->
+                    List.iter (fun c -> ignore (Cuts.Pool.add pool c)) fresh);
+                List.iter (Cuts.add_to_model mp) fresh;
+                applied_rev := List.rev_append fresh !applied_rev;
+                let cp' = Compiled.of_model mp in
+                let basis =
+                  Simplex.extend_basis bc ~rows:(List.length fresh)
+                in
+                let st, bc', ls =
+                  Simplex.solve_compiled ~pricing:config.Solver.Config.pricing
+                    ~basis ~ws cp'
+                in
+                root_pivots := !root_pivots + ls.Simplex.pivots;
+                match bc' with
+                | Some b -> round (r + 1) (Some (cp', b, st))
+                | None -> ()
+              end
+          | Some _ -> ()
+        in
+        round 0 state
+    | _ -> ());
+    (List.length !applied_rev, !root_pivots)
+  in
+  let solve_point ws c0 chain k =
+    let idx = order.(k) in
+    let d = deadlines.(idx) in
+    let mp = Model.copy model in
+    Model.set_constraint_rhs mp deadline_row d;
+    let pooled =
+      locked pool_lock (fun () -> Cuts.Pool.applicable pool ~deadline:d)
+    in
+    List.iter (Cuts.add_to_model mp) pooled;
+    let hits = List.length (List.filter (fun c -> c.Cuts.born <> d) pooled) in
+    let n_applied, root_pivots =
+      try cut_loop ws c0 chain mp d pooled
+      with _ -> (List.length pooled, 0)
+    in
+    let lift = take_lift k in
+    let cfg, warm_started = point_config idx d lift in
+    if warm_started then Atomic.incr warm_count;
+    let result = Solver.solve ~config:cfg mp in
+    Atomic.fetch_and_add applied_count n_applied |> ignore;
+    Atomic.fetch_and_add pool_hit_count hits |> ignore;
+    Atomic.fetch_and_add root_pivot_count root_pivots |> ignore;
+    record k idx
+      { deadline = d; result; cuts_applied = n_applied; pool_hits = hits;
+        warm_started; root_pivots }
+  in
+  (* A sweep-level failure on one point must not sink the others: fall
+     back to a plain cold solve of that point, no cuts, no lift. *)
+  let safe_point ws c0 chain k =
+    try solve_point ws c0 chain k
+    with _ ->
+      let idx = order.(k) in
+      let d = deadlines.(idx) in
+      let mp = Model.copy model in
+      Model.set_constraint_rhs mp deadline_row d;
+      let cfg, _ = point_config idx d None in
+      let result = Solver.solve ~config:cfg mp in
+      record k idx
+        { deadline = d; result; cuts_applied = 0; pool_hits = 0;
+          warm_started = false; root_pivots = 0 }
+  in
+  let worker () =
+    let ws = Simplex.workspace () in
+    let c0 = Compiled.scratch base_compiled in
+    let chain = ref None in
+    let rec drain () =
+      let k = Atomic.fetch_and_add next 1 in
+      if k < np then begin
+        safe_point ws c0 chain k;
+        drain ()
+      end
+    in
+    drain ()
+  in
+  let n_workers = Int.min instances np in
+  if n_workers <= 1 then worker ()
+  else begin
+    let doms = Array.init (n_workers - 1) (fun _ -> Domain.spawn worker) in
+    worker ();
+    Array.iter Domain.join doms
+  end;
+  let points =
+    Array.mapi
+      (fun idx -> function
+        | Some p -> p
+        | None ->
+            (* unreachable: every position is drained exactly once *)
+            invalid_arg
+              (Printf.sprintf "Sweep.run: point %d missing a result" idx))
+      results
+  in
+  let stats =
+    {
+      instances_warm_started = Atomic.get warm_count;
+      cuts_separated = Atomic.get separated_count;
+      cuts_applied = Atomic.get applied_count;
+      cut_pool_hits = Atomic.get pool_hit_count;
+      pool_size = Cuts.Pool.size pool;
+      root_pivots = Atomic.get root_pivot_count;
+    }
+  in
+  let mx = Dvs_obs.metrics config.Solver.Config.obs in
+  let module Mc = Dvs_obs.Metrics.Counter in
+  let c name = Dvs_obs.Metrics.counter mx ~stability:Volatile name in
+  Mc.add (c "sweep.points") ~slot:0 np;
+  Mc.add (c "sweep.instances_warm_started") ~slot:0 stats.instances_warm_started;
+  Mc.add (c "cuts.separated") ~slot:0 stats.cuts_separated;
+  Mc.add (c "cuts.applied") ~slot:0 stats.cuts_applied;
+  Mc.add (c "cuts.pool_hits") ~slot:0 stats.cut_pool_hits;
+  { points; stats }

@@ -1,0 +1,99 @@
+(** Parametric deadline-sweep engine: solve one DVS mode-assignment MILP
+    at many deadlines while sharing everything the instances have in
+    common.
+
+    The paper's figure-18 experiment re-solves the same model at a grid
+    of deadlines; solved independently, every point pays full price for
+    a model that differs from its neighbours by a single right-hand
+    side.  This engine compiles the model once and expresses each sweep
+    point as an RHS delta on the shared {!Dvs_lp.Compiled} form:
+
+    - {b Tightest-first ordering with incumbent lifting.}  Points run in
+      ascending deadline order.  A schedule feasible at a tight deadline
+      stays feasible at every looser one, so each completed point's
+      optimum is lifted — as integer-variable fixings — into the warm
+      start of the next, seeding the branch and bound with an incumbent
+      before the first node.
+    - {b Cross-instance basis reuse.}  Each worker keeps the optimal
+      basis of its previous point's root LP; the next point re-solves
+      the same compiled form after {!Dvs_lp.Compiled.set_rhs}, which is
+      exactly a dual-simplex reoptimization from that basis.
+    - {b A shared deduplicated cut pool.}  Each point runs a bounded
+      root cutting loop ({!Cuts.gomory}, {!Cuts.covers},
+      {!Cuts.gub_covers}); separated cuts land in a {!Cuts.Pool.t}
+      tagged with the deadline range they remain valid for, and later
+      points re-apply every applicable pooled cut before solving.
+      Appended cut rows are priced in dual-simplex-style via
+      {!Dvs_lp.Simplex.extend_basis}, not by cold restarts.
+
+    Every cut is a valid inequality for the integer hull at its tagged
+    deadlines and warm incumbents are feasible by construction, so
+    per-point objectives are exactly what independent cold solves
+    produce — the sharing only changes how fast the proof closes.
+
+    Observability (through the config's [obs] bundle, all [Volatile]):
+    [sweep.points], [sweep.instances_warm_started], [cuts.separated],
+    [cuts.applied], [cuts.pool_hits]. *)
+
+open Dvs_lp
+
+type point = {
+  deadline : float;  (** this point's deadline-row RHS, in model units *)
+  result : Solver.result;
+  cuts_applied : int;  (** cut rows appended to this point's model *)
+  pool_hits : int;
+      (** of those, cuts separated at a {e different} sweep point and
+          re-applied here from the pool *)
+  warm_started : bool;
+      (** an incumbent was lifted from a completed tighter point *)
+  root_pivots : int;  (** simplex pivots spent in the root cutting loop *)
+}
+
+type stats = {
+  instances_warm_started : int;  (** points that received a lifted incumbent *)
+  cuts_separated : int;  (** cuts emitted by the separators, pre-dedup *)
+  cuts_applied : int;  (** cut rows appended across all point models *)
+  cut_pool_hits : int;  (** applications of cuts born at another point *)
+  pool_size : int;  (** deduplicated cuts pooled at the end of the sweep *)
+  root_pivots : int;  (** total pivots across all root cutting loops *)
+}
+
+type t = {
+  points : point array;  (** one per input deadline, in {e input} order *)
+  stats : stats;
+}
+
+val run :
+  ?config:Solver.Config.t ->
+  ?instances:int ->
+  ?cut_rounds:int ->
+  ?max_cuts_per_round:int ->
+  ?pool:Cuts.Pool.t ->
+  ?per_point:(int -> float -> Solver.Config.t -> Solver.Config.t) ->
+  model:Model.t ->
+  deadline_row:int ->
+  deadlines:float array ->
+  unit ->
+  t
+(** [run ~model ~deadline_row ~deadlines ()] solves [model] once per
+    deadline, overriding the RHS of constraint [deadline_row] (an
+    insertion-order index, see {!Dvs_lp.Model.constraint_indices}; the
+    row must be a [Le] constraint) with each value of [deadlines].
+
+    [config] is the per-point solver configuration (default:
+    {!Solver.Config.default} with {!Solver.Config.Pseudocost_gub}
+    branching); its [sos1] groups both guide branching and feed the GUB
+    cover separator, and its [cache]/[obs] are shared across points.
+    [instances] (default 1) runs that many sweep points concurrently on
+    separate domains — each point's own solve still uses [config.jobs]
+    workers.  [cut_rounds] (default 3) bounds the root cutting loop per
+    point and [max_cuts_per_round] (default 16) the Gomory cuts kept per
+    round; [cut_rounds = 0] disables separation (pooled cuts from
+    [pool] are still applied).  [pool] shares a cut pool across
+    successive sweeps (default: a private pool per call).  [per_point i
+    d cfg] customizes the configuration of point [i] (input order,
+    deadline [d]) — it runs before incumbent lifting, which replaces
+    [warm_start] whenever a tighter point has completed.
+
+    Raises [Invalid_argument] on an empty or non-finite [deadlines], an
+    out-of-range or non-[Le] [deadline_row], or [instances < 1]. *)

@@ -13,7 +13,7 @@
     one JSON object per line) and {!Metrics.snapshot} for a single
     diffable JSON document ([dvs-metrics/v1], stable key order, caller
     metadata embedded).  {!Schema} documents and validates both, plus
-    the [dvs-bench/v1] summary the bench harness derives from the same
+    the [dvs-bench/v2] summary the bench harness derives from the same
     registry. *)
 
 module Json = Json

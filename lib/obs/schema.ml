@@ -109,11 +109,11 @@ let validate_trace_line j =
     | _, Some _ -> fail "%s: event with dur" what
     | _, None -> Ok ()
 
-(* ---- dvs-bench/v1 ---------------------------------------------------- *)
+(* ---- dvs-bench/v2 ---------------------------------------------------- *)
 
 let validate_bench j =
   let what = "bench summary" in
-  let* () = check_schema_tag what "dvs-bench/v1" j in
+  let* () = check_schema_tag what "dvs-bench/v2" j in
   let* exps = need what j "experiments" in
   let* () =
     match exps with
@@ -127,7 +127,7 @@ let validate_bench j =
         let* v = need what j k in
         need_kind what k is_int v)
       (Ok ())
-      [ "solves"; "nodes"; "lp_solves"; "lp_pivots" ]
+      [ "solves"; "bb_nodes"; "lp_solves"; "lp_pivots" ]
   in
   let* () =
     List.fold_left
@@ -138,6 +138,12 @@ let validate_bench j =
       (Ok ())
       [ "solve_seconds_total"; "wall_seconds"; "nodes_per_second";
         "lp_solves_per_second" ]
+  in
+  let* walls = obj_members what j "experiment_wall_seconds" in
+  let* () =
+    each "experiment wall" walls (fun v ->
+        if is_number v then Ok ()
+        else fail "experiment_wall_seconds entries must be numbers")
   in
   let* cache = need what j "cache" in
   let* () = need_kind what "cache" is_obj cache in
@@ -153,10 +159,11 @@ let validate_bench j =
   let* metrics = need what j "metrics" in
   validate_metrics metrics
 
-let bench_summary ~metrics ~experiments ~wall_seconds () =
+let bench_summary ?(experiment_walls = []) ~metrics ~experiments
+    ~wall_seconds () =
   let total name = Metrics.Counter.value (Metrics.counter metrics name) in
   let solves = total "solver.solves" in
-  let nodes = total "solver.nodes" in
+  let bb_nodes = total "solver.nodes" in
   let lp_solves = total "solver.lp_solves" in
   let lp_pivots = total "solver.lp_pivots" in
   let solve_seconds =
@@ -166,15 +173,18 @@ let bench_summary ~metrics ~experiments ~wall_seconds () =
   let hits = total "lp_cache.hits" in
   let misses = total "lp_cache.misses" in
   Json.Obj
-    [ ("schema", Json.String "dvs-bench/v1");
+    [ ("schema", Json.String "dvs-bench/v2");
       ("experiments", Json.List (List.map (fun e -> Json.String e) experiments));
       ("solves", Json.Int solves);
-      ("nodes", Json.Int nodes);
+      ("bb_nodes", Json.Int bb_nodes);
       ("lp_solves", Json.Int lp_solves);
       ("lp_pivots", Json.Int lp_pivots);
       ("solve_seconds_total", Json.Float solve_seconds);
       ("wall_seconds", Json.Float wall_seconds);
-      ("nodes_per_second", Json.Float (rate nodes));
+      ( "experiment_wall_seconds",
+        Json.Obj
+          (List.map (fun (e, s) -> (e, Json.Float s)) experiment_walls) );
+      ("nodes_per_second", Json.Float (rate bb_nodes));
       ("lp_solves_per_second", Json.Float (rate lp_solves));
       ( "cache",
         Json.Obj

@@ -11,10 +11,13 @@
       (number), [kind] (["span"] or ["event"]), [name], [slot] (int),
       [stability], [dur] (required iff [kind = "span"]), [attrs]
       (object).
-    - {b [dvs-bench/v1]} — the [BENCH_milp.json] summary written by
+    - {b [dvs-bench/v2]} — the [BENCH_milp.json] summary written by
       [bench --emit-bench]: solve/throughput totals derived from the
-      solver's metric names, the experiment ids that ran, and the full
-      metrics snapshot under [metrics].
+      solver's metric names ([bb_nodes] is the branch-and-bound node
+      total), the experiment ids that ran, per-experiment wall times
+      under [experiment_wall_seconds], and the full metrics snapshot
+      under [metrics].  v2 renamed v1's [nodes] to [bb_nodes] and added
+      [experiment_wall_seconds].
 
     Validators check structure, not values: required keys, value kinds,
     and the enumerated strings. *)
@@ -26,11 +29,14 @@ val validate_trace_line : Json.t -> (unit, string) result
 val validate_bench : Json.t -> (unit, string) result
 
 val bench_summary :
+  ?experiment_walls:(string * float) list ->
   metrics:Metrics.t -> experiments:string list -> wall_seconds:float ->
   unit -> Json.t
-(** Builds a [dvs-bench/v1] document from the registry the solver
-    reported into: totals of the [solver.nodes], [solver.lp_solves],
-    [solver.lp_pivots], [solver.solves] and [lp_cache.*] counters, the
-    [solver.solve_seconds] histogram's sum as aggregate solve time, and
-    derived [nodes_per_second] / [lp_solves_per_second] throughput
-    (0 when no solve time was recorded). *)
+(** Builds a [dvs-bench/v2] document from the registry the solver
+    reported into: totals of the [solver.nodes] (as [bb_nodes]),
+    [solver.lp_solves], [solver.lp_pivots], [solver.solves] and
+    [lp_cache.*] counters, the [solver.solve_seconds] histogram's sum as
+    aggregate solve time, and derived [nodes_per_second] /
+    [lp_solves_per_second] throughput (0 when no solve time was
+    recorded).  [experiment_walls] (default empty) records each
+    experiment's own wall time under [experiment_wall_seconds]. *)

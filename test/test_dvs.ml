@@ -258,6 +258,58 @@ let test_multi_category () =
           (run.Cpu.time <= d *. 1.005))
       [ memory (); mem2 ]
 
+(* The deadline-sweep front end must agree point-for-point with the
+   classic single-deadline pipeline: same predicted energy, same
+   verified schedules, with warm lifts flowing tightest-to-loosest. *)
+let test_optimize_sweep_matches_pointwise () =
+  let cfg, _ = Lazy.force compiled in
+  let p = Lazy.force profile_cached in
+  let t_fast = Dvs_profile.Profile.pinned_time p ~mode:2 in
+  let t_slow = Dvs_profile.Profile.pinned_time p ~mode:0 in
+  let deadlines =
+    Array.init 4 (fun i ->
+        let frac = 0.15 +. (0.25 *. float_of_int i) in
+        t_fast +. (frac *. (t_slow -. t_fast)))
+  in
+  let sw =
+    Pipeline.optimize_sweep tiny_config cfg ~memory:(memory ()) ~deadlines
+  in
+  Alcotest.(check int) "one result per deadline" (Array.length deadlines)
+    (Array.length sw.Pipeline.results);
+  Alcotest.(check bool) "later points warm-started" true
+    (sw.Pipeline.sweep.Dvs_milp.Sweep.instances_warm_started
+     >= Array.length deadlines - 1);
+  Array.iteri
+    (fun i r ->
+      let cold = run_pipeline deadlines.(i) in
+      (match (r.Pipeline.predicted_energy, cold.Pipeline.predicted_energy) with
+      | Some es, Some ec ->
+        if Float.abs (es -. ec) > 1e-6 *. Float.max 1.0 (Float.abs ec) then
+          Alcotest.failf "point %d: sweep %.12g vs cold %.12g" i es ec
+      | _ -> Alcotest.failf "point %d: missing energy" i);
+      match r.Pipeline.verification with
+      | None -> Alcotest.failf "point %d: unverified" i
+      | Some v ->
+        Alcotest.(check bool) "meets deadline" true v.Verify.meets_deadline)
+    sw.Pipeline.results
+
+let test_optimize_sweep_infeasible_point () =
+  let cfg, _ = Lazy.force compiled in
+  let p = Lazy.force profile_cached in
+  let t_fast = Dvs_profile.Profile.pinned_time p ~mode:2 in
+  let t_slow = Dvs_profile.Profile.pinned_time p ~mode:0 in
+  let deadlines = [| t_fast *. 0.5; t_slow *. 1.01 |] in
+  let sw =
+    Pipeline.optimize_sweep tiny_config cfg ~memory:(memory ()) ~deadlines
+  in
+  let r0 = sw.Pipeline.results.(0) in
+  Alcotest.(check bool) "tight point infeasible, no schedule" true
+    (r0.Pipeline.schedule = None
+    && r0.Pipeline.milp.Dvs_milp.Solver.outcome = Dvs_milp.Solver.Infeasible);
+  match sw.Pipeline.results.(1).Pipeline.schedule with
+  | None -> Alcotest.fail "loose point should still solve"
+  | Some _ -> ()
+
 let suite =
   [ Alcotest.test_case "profile counts consistent" `Quick
       test_profile_counts_consistent;
@@ -284,6 +336,10 @@ let suite =
     Alcotest.test_case "hsu-kremer vs milp" `Slow
       test_hsu_kremer_meets_deadline_and_loses_to_milp;
     Alcotest.test_case "infeasible deadline" `Quick test_infeasible_deadline;
+    Alcotest.test_case "optimize_sweep matches pointwise" `Slow
+      test_optimize_sweep_matches_pointwise;
+    Alcotest.test_case "optimize_sweep infeasible point" `Quick
+      test_optimize_sweep_infeasible_point;
     Alcotest.test_case "multi-category optimization" `Slow
       test_multi_category ]
 

@@ -275,8 +275,8 @@ let test_bench_summary_roundtrip () =
   let m, _ = sos1_model ~groups:6 ~modes:3 ~budget:20.0 in
   let r = Solver.solve ~config:(Solver.Config.make ~jobs:1 ~obs ()) m in
   let j =
-    Schema.bench_summary ~metrics:(Obs.metrics obs)
-      ~experiments:[ "unit" ] ~wall_seconds:0.5 ()
+    Schema.bench_summary ~experiment_walls:[ ("unit", 0.25) ]
+      ~metrics:(Obs.metrics obs) ~experiments:[ "unit" ] ~wall_seconds:0.5 ()
   in
   (match Schema.validate_bench j with
   | Ok () -> ()
@@ -286,12 +286,17 @@ let test_bench_summary_roundtrip () =
     Alcotest.(check bool) "bench JSON round-trips" true (Json.equal j j')
   | Error e -> Alcotest.failf "bench re-parse failed: %s" e);
   Alcotest.(check (option int))
-    "nodes total matches the solve"
+    "bb_nodes total matches the solve"
     (Some r.Solver.stats.Solver.nodes)
-    (Option.bind (Json.member "nodes" j) Json.to_int);
+    (Option.bind (Json.member "bb_nodes" j) Json.to_int);
   Alcotest.(check (option int))
     "one solve recorded" (Some 1)
-    (Option.bind (Json.member "solves" j) Json.to_int)
+    (Option.bind (Json.member "solves" j) Json.to_int);
+  Alcotest.(check bool)
+    "per-experiment wall recorded" true
+    (Option.bind (Json.member "experiment_wall_seconds" j)
+       (Json.member "unit")
+    <> None)
 
 (* --- pipeline + simulator instrumentation ------------------------------ *)
 
