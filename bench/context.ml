@@ -79,6 +79,38 @@ let default_regulator = scaled_regulator ~paper_capacitance:10e-6
    shallow search prefixes), which this short-circuits. *)
 let lp_cache = Dvs_milp.Lp_cache.create ~max_entries:16384 ()
 
+(* Shared verification sessions, one per (workload, input, mode table,
+   regulator): every experiment that re-verifies schedules of the same
+   compiled binary replays the session's recorded tape instead of paying
+   a fresh cycle-accurate simulation per schedule (DESIGN.md section
+   12).  The regulator is part of the key because transition costs are
+   machine-config state inside the session. *)
+let session_cache :
+    ( string * string * table_kind * Dvs_power.Switch_cost.regulator,
+      Dvs_core.Verify.Session.t )
+    Hashtbl.t =
+  Hashtbl.create 16
+
+(* DVS_BENCH_COLD_VERIFY=1 swaps every session for a cold one (each
+   check re-runs the cycle-accurate simulator) — the pre-summary
+   behavior, kept as a knob so the EXPERIMENTS.md before/after walls
+   stay reproducible from the same binary. *)
+let cold_verify = Sys.getenv_opt "DVS_BENCH_COLD_VERIFY" <> None
+
+let session ?(kind = Xscale3) ~regulator ~input name =
+  let key = (name, input, kind, regulator) in
+  match Hashtbl.find_opt session_cache key with
+  | Some s -> s
+  | None ->
+    let w = Workload.find name in
+    let cfg, _, mem = Workload.load w ~input in
+    let s =
+      Dvs_core.Verify.Session.create ~cold:cold_verify
+        (config_of ~regulator kind) cfg ~memory:mem
+    in
+    Hashtbl.replace session_cache key s;
+    s
+
 (* Shared metrics registry for the whole sweep: every solve the harness
    runs reports into it, and `--emit-bench' derives BENCH_milp.json from
    its totals.  Metrics only — a trace log would saturate its capacity
@@ -118,6 +150,7 @@ let optimize ?(kind = Xscale3) ?(filter = true) ?jobs ?regulator ?input
   in
   Dvs_core.Pipeline.optimize_multi ~config
     ~verify_config:(config_of ~regulator kind)
+    ~session:(session ~kind ~regulator ~input name)
     ~regulator
     ~memory:(memory ~input name)
     [ { Dvs_core.Formulation.profile = p; weight = 1.0; deadline } ]
@@ -144,4 +177,5 @@ let optimize_sweep ?(kind = Xscale3) ?(filter = true) ?jobs ?regulator ?input
   let machine = config_of ~regulator kind in
   let cfg, _, mem = Workload.load w ~input in
   Dvs_core.Pipeline.optimize_sweep ~config ~verify_config:machine ~profile:p
+    ~session:(session ~kind ~regulator ~input name)
     ?instances ?cut_rounds machine cfg ~memory:mem ~deadlines

@@ -92,14 +92,18 @@ let ablation_hoist () =
         let hoisted = Instrument.simplify naive in
         let ideal_run =
           Dvs_machine.Cpu.run
-            ~initial_mode:schedule.Schedule.entry_mode
-            ~edge_modes:(Schedule.edge_modes schedule cfg) config cfg
-            ~memory
+            ~rc:
+              (Dvs_machine.Cpu.Run_config.make
+                 ~initial_mode:schedule.Schedule.entry_mode
+                 ~edge_modes:(Schedule.edge_modes schedule cfg) ())
+            config cfg ~memory
         in
         let hoisted_run =
           Dvs_machine.Cpu.run
-            ~initial_mode:schedule.Schedule.entry_mode config hoisted
-            ~memory
+            ~rc:
+              (Dvs_machine.Cpu.Run_config.make
+                 ~initial_mode:schedule.Schedule.entry_mode ())
+            config hoisted ~memory
         in
         Table.add_row t
           [ name;
@@ -328,7 +332,11 @@ let ablation_runtime () =
       let governor =
         Baselines.weiser_governor ~interval:(d /. 50.0) ()
       in
-      let gov = Dvs_machine.Cpu.run ~initial_mode:1 ~governor config cfg ~memory:mem in
+      let gov =
+        Dvs_machine.Cpu.run
+          ~rc:(Dvs_machine.Cpu.Run_config.make ~initial_mode:1 ~governor ())
+          config cfg ~memory:mem
+      in
       let milp = Context.optimize name ~deadline:d in
       let fmt_time (time : float) =
         Printf.sprintf "%.3fms%s" (time *. 1e3)

@@ -273,8 +273,12 @@ let fig19 () =
     | Some s ->
       let cfg = Context.cfg_of "mpeg" in
       let r =
-        Dvs_machine.Cpu.run ~initial_mode:s.Schedule.entry_mode
-          ~edge_modes:(Schedule.edge_modes s cfg) config cfg
+        Dvs_machine.Cpu.run
+          ~rc:
+            (Dvs_machine.Cpu.Run_config.make
+               ~initial_mode:s.Schedule.entry_mode
+               ~edge_modes:(Schedule.edge_modes s cfg) ())
+          config cfg
           ~memory:(Context.memory ~input "mpeg")
       in
       let t = r.Dvs_machine.Cpu.time in
@@ -492,9 +496,52 @@ let jobs_sweep () =
      — on fewer cores, parity means low parallel overhead)\n"
     (Domain.recommended_domain_count ())
 
+(* --- reproduce: the full Table-4 grid, end to end, timed --------------- *)
+
+(* The paper's headline reproduction as a single timed experiment: every
+   benchmark through the sweep engine over its whole deadline grid, each
+   point verified.  Deliberately bypasses deadline_sweep's memo table so
+   its wall time measures real sweep + verification work; `dvstool
+   bench-diff' gates that wall against the committed baseline whenever
+   both sides ran with summarized verification (sim_summary_hits > 0). *)
+let reproduce () =
+  heading "reproduce" "full pipeline, all benchmarks x Table-4 deadlines"
+    "per-point verification through the shared summary session \
+     (DESIGN.md section 12)";
+  let t =
+    Table.create
+      [ ("benchmark", Table.Left); ("points", Table.Right);
+        ("verified", Table.Right); ("warm", Table.Right);
+        ("solve(s)", Table.Right); ("wall(s)", Table.Right) ]
+  in
+  List.iter
+    (fun name ->
+      ignore (Context.default_profile name);
+      let ds = Context.deadlines name in
+      let t0 = Unix.gettimeofday () in
+      let sw = Context.optimize_sweep name ~deadlines:ds in
+      let wall = Unix.gettimeofday () -. t0 in
+      let verified =
+        Array.fold_left
+          (fun acc (r : Pipeline.result) ->
+            acc + if r.Pipeline.verification <> None then 1 else 0)
+          0 sw.Pipeline.results
+      in
+      let solve =
+        Array.fold_left
+          (fun acc (r : Pipeline.result) -> acc +. r.Pipeline.solve_seconds)
+          0.0 sw.Pipeline.results
+      in
+      Table.add_row t
+        [ name; string_of_int (Array.length ds); string_of_int verified;
+          string_of_int sw.Pipeline.sweep.Dvs_milp.Sweep.instances_warm_started;
+          Table.fmt_float ~digits:3 solve; Table.fmt_float ~digits:3 wall ])
+    Context.all_names;
+  Table.print t
+
 let all =
   [ ("table2", table2); ("table4", table4); ("fig16", fig16);
     ("table3", table3_fig14); ("fig14", table3_fig14); ("fig15", fig15);
     ("fig17", fig17); ("fig18", fig18); ("table5", table5);
     ("fig19", fig19); ("table6", table6); ("sweep", sweep_compare);
-    ("jobs", jobs_sweep) ]
+    ("jobs", jobs_sweep); ("reproduce", reproduce) ]

@@ -63,6 +63,29 @@ let tests () =
                   ~regulator:Dvs_power.Switch_cost.default ~memory:gs_mem
                   [ { Dvs_core.Formulation.profile = gs_profile;
                       weight = 1.0; deadline = gs_deadline } ])));
+      Test.make ~name:"verify-adpcm-cycle-accurate"
+        (let schedule = Dvs_core.Schedule.uniform cfg 1 in
+         let session =
+           Dvs_core.Verify.Session.create ~cold:true machine cfg ~memory:mem
+         in
+         Staged.stage (fun () ->
+             ignore
+               (Dvs_core.Verify.Session.check session ~schedule
+                  ~deadline:1.0 ~predicted_energy:1e-6)));
+      Test.make ~name:"verify-adpcm-summarized"
+        (let schedule = Dvs_core.Schedule.uniform cfg 1 in
+         let session =
+           Dvs_core.Verify.Session.create machine cfg ~memory:mem
+         in
+         (* Warm the summary cache outside the timed region: steady
+            state is what the deadline sweeps see. *)
+         ignore
+           (Dvs_core.Verify.Session.check session ~schedule ~deadline:1.0
+              ~predicted_energy:1e-6);
+         Staged.stage (fun () ->
+             ignore
+               (Dvs_core.Verify.Session.check session ~schedule
+                  ~deadline:1.0 ~predicted_energy:1e-6)));
       Test.make ~name:"simulate-adpcm-ooo"
         (Staged.stage (fun () ->
              ignore (Dvs_machine.Cpu_ooo.run machine cfg ~memory:mem)));

@@ -62,8 +62,10 @@ let () =
   | Some schedule ->
     let r =
       Dvs_machine.Cpu.run
-        ~initial_mode:schedule.Dvs_core.Schedule.entry_mode
-        ~edge_modes:(Dvs_core.Schedule.edge_modes schedule cfg)
+        ~rc:
+          (Dvs_machine.Cpu.Run_config.make
+             ~initial_mode:schedule.Dvs_core.Schedule.entry_mode
+             ~edge_modes:(Dvs_core.Schedule.edge_modes schedule cfg) ())
         machine cfg ~memory
     in
     report "hsu-kremer heuristic" r.Dvs_machine.Cpu.time

@@ -37,8 +37,10 @@ let () =
   let run schedule mem =
     let r =
       Dvs_machine.Cpu.run
-        ~initial_mode:schedule.Dvs_core.Schedule.entry_mode
-        ~edge_modes:(Dvs_core.Schedule.edge_modes schedule cfg)
+        ~rc:
+          (Dvs_machine.Cpu.Run_config.make
+             ~initial_mode:schedule.Dvs_core.Schedule.entry_mode
+             ~edge_modes:(Dvs_core.Schedule.edge_modes schedule cfg) ())
         machine cfg ~memory:mem
     in
     (r.Dvs_machine.Cpu.time, r.Dvs_machine.Cpu.energy)

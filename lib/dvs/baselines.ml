@@ -40,10 +40,12 @@ let hsu_kremer ?fuel config cfg ~memory ~profile ~deadline =
   in
   let meets assignment =
     let s = schedule_of assignment in
-    let r =
-      Dvs_machine.Cpu.run ?fuel ~initial_mode:s.Schedule.entry_mode
-        ~edge_modes:(Schedule.edge_modes s cfg) config cfg ~memory
+    let rc =
+      Dvs_machine.Cpu.Run_config.make ?fuel
+        ~initial_mode:s.Schedule.entry_mode
+        ~edge_modes:(Schedule.edge_modes s cfg) ()
     in
+    let r = Dvs_machine.Cpu.run ~rc config cfg ~memory in
     r.Dvs_machine.Cpu.time <= deadline
   in
   let assignment = Array.make n_blocks fast in

@@ -30,16 +30,18 @@ module Config = struct
     solver : Solver.Config.t;
     verify : bool;
     resilience : Resilience.t;
+    cold_verify : bool;
   }
 
   let make ?(filter = true) ?(filter_threshold = 0.02) ?solver
-      ?(verify = true) ?(resilience = Resilience.default) () =
+      ?(verify = true) ?(resilience = Resilience.default)
+      ?(cold_verify = false) () =
     let solver =
       match solver with
       | Some s -> s
       | None -> Solver.Config.make ()
     in
-    { filter; filter_threshold; solver; verify; resilience }
+    { filter; filter_threshold; solver; verify; resilience; cold_verify }
 
   let default = make ()
 
@@ -54,24 +56,6 @@ module Config = struct
 
   let obs t = t.solver.Solver.Config.obs
 end
-
-(* Deprecated record API, kept so existing callers compile; converted to
-   a Config.t internally. *)
-type options = {
-  filter : bool;
-  filter_threshold : float;
-  milp : Dvs_milp.Branch_bound.options;
-  verify : bool;
-}
-
-let default_options =
-  { filter = true; filter_threshold = 0.02;
-    milp = Dvs_milp.Branch_bound.default_options; verify = true }
-
-let config_of_options (o : options) =
-  { Config.filter = o.filter; filter_threshold = o.filter_threshold;
-    solver = Dvs_milp.Branch_bound.to_config o.milp; verify = o.verify;
-    resilience = Resilience.default }
 
 (* ---- degradation ladder ------------------------------------------------ *)
 
@@ -153,14 +137,9 @@ let classify (r : result) =
       | Solver.Feasible _ | Solver.Degraded _ | Solver.Infeasible
       | Solver.Unbounded | Solver.No_solution _ -> Time_degraded)
 
-let optimize_multi ?options ?config ?verify_config ~regulator ~memory
+let optimize_multi ?config ?verify_config ?session ~regulator ~memory
     categories =
-  let config =
-    match (config, options) with
-    | Some c, _ -> c
-    | None, Some o -> config_of_options o
-    | None, None -> Config.default
-  in
+  let config = match config with Some c -> c | None -> Config.default in
   let obs = Config.obs config in
   let tr = Dvs_obs.trace obs in
   let obs_on = Dvs_obs.enabled obs in
@@ -221,15 +200,35 @@ let optimize_multi ?options ?config ?verify_config ~regulator ~memory
     | Some c -> c
     | None -> profile0.Dvs_profile.Profile.config
   in
+  (* One warm session for the whole call (created at first use unless the
+     caller shares one); successive rung verifications are incremental
+     against each other, so a ladder descent replays only what its
+     schedule change touches. *)
+  let the_session =
+    lazy
+      (match session with
+      | Some s -> s
+      | None ->
+        Verify.Session.create ~cold:config.Config.cold_verify vconfig cfg0
+          ~memory)
+  in
+  let last_report = ref None in
   let verify_run schedule predicted =
     let sp =
       if obs_on then Tr.start tr ~stability:Tr.Stable "pipeline.verify"
       else Tr.start Tr.disabled "pipeline.verify"
     in
+    let s = Lazy.force the_session in
     let v =
-      Verify.run ~obs vconfig cfg0 ~memory ~schedule ~deadline:deadline0
-        ~predicted_energy:predicted
+      match !last_report with
+      | None ->
+        Verify.Session.check ~obs s ~schedule ~deadline:deadline0
+          ~predicted_energy:predicted
+      | Some r ->
+        Verify.Session.check_incremental ~obs s ~against:r ~schedule
+          ~deadline:deadline0 ~predicted_energy:predicted
     in
+    last_report := Some v;
     if obs_on then
       Tr.finish tr sp
         ~attrs:
@@ -428,9 +427,9 @@ let optimize_multi ?options ?config ?verify_config ~regulator ~memory
     milp_rung 0 (solve_attempt base_solver)
   end
 
-let optimize ?options ?config machine cfg ~memory ~deadline =
+let optimize ?config machine cfg ~memory ~deadline =
   let profile = Dvs_profile.Profile.collect machine cfg ~memory in
-  optimize_multi ?options ?config
+  optimize_multi ?config
     ~regulator:machine.Dvs_machine.Config.regulator ~memory
     [ { Formulation.profile; weight = 1.0; deadline } ]
 
@@ -439,7 +438,7 @@ type sweep_result = {
   sweep : Dvs_milp.Sweep.stats;
 }
 
-let optimize_sweep ?config ?verify_config ?profile ?(instances = 1)
+let optimize_sweep ?config ?verify_config ?profile ?session ?(instances = 1)
     ?(cut_rounds = 3) machine cfg ~memory ~deadlines =
   let config = match config with Some c -> c | None -> Config.default in
   if Array.length deadlines = 0 then
@@ -533,16 +532,35 @@ let optimize_sweep ?config ?verify_config ?profile ?(instances = 1)
     | None -> profile.Dvs_profile.Profile.config
   in
   let cfg0 = profile.Dvs_profile.Profile.cfg in
-  let point_result i (p : Dvs_milp.Sweep.point) =
+  (* One summary session shared by every point (and every ladder
+     fallback): the whole 30-point sweep pays for one recorded
+     simulation.  Sessions are domain-safe, so the verification fan-out
+     below shares it freely. *)
+  let session =
+    match session with
+    | Some s -> s
+    | None ->
+      Verify.Session.create ~cold:config.Config.cold_verify vconfig cfg0
+        ~memory
+  in
+  let point_result ~last i (p : Dvs_milp.Sweep.point) =
     let d = deadlines.(i) in
     let m = p.Dvs_milp.Sweep.result in
     let accept (s : Dvs_lp.Simplex.solution) =
       let predicted = s.Dvs_lp.Simplex.objective /. 1e6 in
       let schedule = Schedule.of_solution formulation s in
+      (* Adjacent sweep points differ on few mode-set edges, so chain
+         each worker's verifications incrementally. *)
       let v =
-        Verify.run ~obs vconfig cfg0 ~memory ~schedule ~deadline:d
-          ~predicted_energy:predicted
+        match !last with
+        | None ->
+          Verify.Session.check ~obs session ~schedule ~deadline:d
+            ~predicted_energy:predicted
+        | Some r ->
+          Verify.Session.check_incremental ~obs session ~against:r ~schedule
+            ~deadline:d ~predicted_energy:predicted
       in
+      last := Some v;
       if v.Verify.meets_deadline then
         Some
           {
@@ -569,7 +587,8 @@ let optimize_sweep ?config ?verify_config ?profile ?(instances = 1)
               ("outcome",
                Tr.String (Format.asprintf "%a" Solver.pp_outcome
                             m.Solver.outcome)) ];
-      optimize_multi ~config ?verify_config ~regulator ~memory [ category d ]
+      optimize_multi ~config ?verify_config ~session ~regulator ~memory
+        [ category d ]
     in
     match (m.Solver.outcome, m.Solver.solution) with
     | (Solver.Infeasible | Solver.Unbounded), _ ->
@@ -597,15 +616,20 @@ let optimize_sweep ?config ?verify_config ?profile ?(instances = 1)
   let n_workers =
     Int.min np (Int.max instances (Domain.recommended_domain_count ()))
   in
-  if n_workers <= 1 then
-    Array.iteri (fun i p -> results.(i) <- Some (point_result i p)) points
+  if n_workers <= 1 then begin
+    let last = ref None in
+    Array.iteri
+      (fun i p -> results.(i) <- Some (point_result ~last i p))
+      points
+  end
   else begin
     let next = Atomic.make 0 in
     let worker () =
+      let last = ref None in
       let rec drain () =
         let i = Atomic.fetch_and_add next 1 in
         if i < np then begin
-          results.(i) <- Some (point_result i points.(i));
+          results.(i) <- Some (point_result ~last i points.(i));
           drain ()
         end
       in

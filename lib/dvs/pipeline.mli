@@ -54,12 +54,17 @@ module Config : sig
                         — this flag only controls whether the historic
                         single-shot path attaches a report *)
     resilience : Resilience.t;
+    cold_verify : bool;
+        (** force every verification through the cycle-accurate
+            simulator instead of warm {!Verify.Session} tape replay
+            (default false); the CI [--cold-verify] leg keeps this exact
+            path alive *)
   }
 
   val make :
     ?filter:bool -> ?filter_threshold:float ->
     ?solver:Dvs_milp.Solver.Config.t -> ?verify:bool ->
-    ?resilience:Resilience.t -> unit -> t
+    ?resilience:Resilience.t -> ?cold_verify:bool -> unit -> t
   (** [solver] defaults to [Dvs_milp.Solver.Config.make ()];
       [resilience] to {!Resilience.default}. *)
 
@@ -77,20 +82,6 @@ module Config : sig
 
   val obs : t -> Dvs_obs.t
 end
-
-(** Deprecated record API; use {!Config.make}.  Kept so existing callers
-    compile — converted internally via {!config_of_options}. *)
-type options = {
-  filter : bool;
-  filter_threshold : float;
-  milp : Dvs_milp.Branch_bound.options;
-  verify : bool;
-}
-
-val default_options : options
-(** Deprecated: use {!Config.default}. *)
-
-val config_of_options : options -> Config.t
 
 (** Which strategy of the degradation ladder produced the schedule. *)
 type rung =
@@ -152,9 +143,9 @@ type result = {
 val classify : result -> degradation_class
 
 val optimize_multi :
-  ?options:options ->
   ?config:Config.t ->
   ?verify_config:Dvs_machine.Config.t ->
+  ?session:Verify.Session.t ->
   regulator:Dvs_power.Switch_cost.regulator ->
   memory:int array ->
   Formulation.category list -> result
@@ -162,11 +153,14 @@ val optimize_multi :
     category's).  [verify_config] overrides the machine used for the
     verification run (default: the first profile's config); pass a config
     carrying [regulator] when sweeping transition costs, so the simulator
-    charges the same costs the MILP modeled.  [config] wins over the
-    deprecated [options] when both are given. *)
+    charges the same costs the MILP modeled.  [session] supplies a warm
+    {!Verify.Session} for the (machine, program, memory) triple so
+    repeated calls share the summary cache; without one, a session is
+    created on first verification ([Config.t.cold_verify] makes it
+    cycle-accurate).  Successive rung verifications within one call are
+    incremental against each other. *)
 
 val optimize :
-  ?options:options ->
   ?config:Config.t ->
   Dvs_machine.Config.t -> Dvs_ir.Cfg.t -> memory:int array ->
   deadline:float -> result
@@ -182,6 +176,7 @@ val optimize_sweep :
   ?config:Config.t ->
   ?verify_config:Dvs_machine.Config.t ->
   ?profile:Dvs_profile.Profile.t ->
+  ?session:Verify.Session.t ->
   ?instances:int ->
   ?cut_rounds:int ->
   Dvs_machine.Config.t -> Dvs_ir.Cfg.t -> memory:int array ->
@@ -203,6 +198,12 @@ val optimize_sweep :
     that point alone.  [instances] (default 1) solves that many sweep
     points concurrently; [cut_rounds] (default 3) bounds each point's
     root cutting loop.
+
+    All per-point verifications run through one shared {!Verify.Session}
+    ([session] if given, otherwise created internally — cycle-accurate
+    when [Config.t.cold_verify]), so the whole sweep pays for one
+    recording simulation; within each verification worker, consecutive
+    points re-verify incrementally against each other.
 
     Raises [Invalid_argument] if [deadlines] is empty or contains a
     non-positive or non-finite value. *)

@@ -17,6 +17,18 @@ let edge_modes t cfg e =
   | idx -> Some t.edge_mode.(idx)
   | exception Not_found -> None
 
+let equal a b =
+  a.entry_mode = b.entry_mode && a.edge_mode = b.edge_mode
+
+let diff a b =
+  if Array.length a.edge_mode <> Array.length b.edge_mode then
+    invalid_arg "Schedule.diff: schedules are for different CFGs";
+  let edges = ref [] in
+  for i = Array.length a.edge_mode - 1 downto 0 do
+    if a.edge_mode.(i) <> b.edge_mode.(i) then edges := i :: !edges
+  done;
+  (a.entry_mode <> b.entry_mode, !edges)
+
 let distinct_modes t =
   List.sort_uniq compare (t.entry_mode :: Array.to_list t.edge_mode)
 

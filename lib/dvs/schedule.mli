@@ -14,6 +14,16 @@ val uniform : Dvs_ir.Cfg.t -> int -> t
 val edge_modes : t -> Dvs_ir.Cfg.t -> Dvs_ir.Cfg.edge -> int option
 (** Adapter for {!Dvs_machine.Cpu.run}'s [edge_modes]. *)
 
+val equal : t -> t -> bool
+
+val diff : t -> t -> bool * int list
+(** [diff a b] is [(entry_changed, edges)]: whether the entry modes
+    differ, and the {!Dvs_ir.Cfg.edge_index} list (ascending) where the
+    edge modes differ.  Incremental re-verification
+    ({!Verify.Session.check_incremental}) re-simulates only from the
+    first traversal of a differing edge.  Raises [Invalid_argument] when
+    the schedules have different edge counts. *)
+
 val distinct_modes : t -> int list
 (** Modes that actually appear. *)
 

@@ -5,20 +5,79 @@
     averages; the simulator replays the real thing with mode-sets applied
     on edges.  Agreement (within a small tolerance from cross-block cache
     and overlap interactions) is the evidence that the optimization is
-    sound. *)
+    sound.
+
+    The workhorse is {!Session}: create one per workload and it records
+    the execution once, then re-costs every candidate schedule by tape
+    replay ({!Dvs_machine.Summary}) — bit-identical to the cycle-accurate
+    simulator, held so by the test suite — so a 30-point deadline sweep
+    pays for one simulation, not thirty. *)
+
+val deadline_tolerance : float
+(** Relative slack allowed on the measured completion time: a schedule
+    meets deadline [d] when [time <= d *. (1.0 +. deadline_tolerance)].
+    Currently 0.005 (0.5%), absorbing cross-block cache and miss-overlap
+    interactions the per-block MILP model cannot see.  This constant is
+    the single source of truth — every checker in the repo goes through
+    it. *)
 
 type report = {
   stats : Dvs_machine.Cpu.run_stats;
   deadline : float;
-  meets_deadline : bool;  (** with 0.5% tolerance *)
+  meets_deadline : bool;  (** within {!deadline_tolerance} *)
   predicted_energy : float;  (** joules, from the MILP objective *)
   energy_error : float;  (** |measured - predicted| / predicted *)
+  token : int;
+      (** names the verification's cached segments inside its session
+          (pass the report to {!Session.check_incremental}'s [against]);
+          [0] when the check did not run through a warm session *)
 }
+
+(** A verification session: owns the recorded workload and the summary
+    cache, so repeated checks of different schedules share work.  Safe
+    to share across domains. *)
+module Session : sig
+  type t
+
+  val create :
+    ?fuel:int ->
+    ?cold:bool ->
+    ?obs:Dvs_obs.t ->
+    Dvs_machine.Config.t -> Dvs_ir.Cfg.t -> memory:int array -> t
+  (** Record the workload once (a cycle-accurate {!Dvs_machine.Cpu.run};
+      [obs] instruments that recording run only).  [cold] (default
+      [false]) disables summarization entirely: every subsequent check
+      re-runs the cycle-accurate simulator — the exact path CI keeps
+      alive via [--cold-verify].  A cold session skips the recording
+      run. *)
+
+  val check :
+    ?obs:Dvs_obs.t ->
+    t -> schedule:Schedule.t -> deadline:float -> predicted_energy:float ->
+    report
+  (** Verify one schedule.  [obs] receives the simulator's instruments
+      for this check (replayed or cycle-accurate). *)
+
+  val check_incremental :
+    ?obs:Dvs_obs.t ->
+    t -> against:report -> schedule:Schedule.t -> deadline:float ->
+    predicted_energy:float -> report
+  (** Like {!check}, but splice against [against]'s cached segments:
+      only the region from the first mode-set edge on which the two
+      schedules differ is re-simulated ({!Schedule.diff}).  Results are
+      bit-identical to {!check}; falls back to a full replay (or, cold,
+      a full simulation) when [against]'s segments are no longer
+      cached. *)
+
+  val cold : t -> bool
+end
 
 val run :
   ?fuel:int ->
   ?obs:Dvs_obs.t ->
   Dvs_machine.Config.t -> Dvs_ir.Cfg.t -> memory:int array ->
   schedule:Schedule.t -> deadline:float -> predicted_energy:float -> report
-(** [obs] is handed to {!Dvs_machine.Cpu.run}, so the verification run's
-    simulator events and counters land in the caller's registry. *)
+(** One-shot cycle-accurate verification; [obs] is handed to
+    {!Dvs_machine.Cpu.run}.  Deprecated: every repeated caller should
+    hold a {!Session} — this shim re-simulates from scratch on each
+    call. *)

@@ -25,6 +25,46 @@ type governor = {
   gov_decide : busy_fraction:float -> current_mode:int -> int;
 }
 
+type observer =
+  Cfg.label -> via:Cfg.label option -> time:float -> energy:float -> unit
+
+module Run_config = struct
+  type t = {
+    fuel : int;
+    initial_mode : int option;
+    edge_modes : (Cfg.edge -> int option) option;
+    governor : governor option;
+    observer : observer option;
+    obs : Dvs_obs.t;
+    recorder : Tape.recorder option;
+  }
+
+  let make ?(fuel = 50_000_000) ?initial_mode ?edge_modes ?governor
+      ?observer ?(obs = Dvs_obs.disabled) ?recorder () =
+    if fuel <= 0 then
+      invalid_arg "Cpu.Run_config.make: fuel must be positive";
+    { fuel; initial_mode; edge_modes; governor; observer; obs; recorder }
+
+  let default = make ()
+
+  let with_fuel fuel t =
+    if fuel <= 0 then
+      invalid_arg "Cpu.Run_config.with_fuel: fuel must be positive";
+    { t with fuel }
+
+  let with_initial_mode m t = { t with initial_mode = Some m }
+
+  let with_edge_modes f t = { t with edge_modes = Some f }
+
+  let with_governor g t = { t with governor = Some g }
+
+  let with_observer f t = { t with observer = Some f }
+
+  let with_obs obs t = { t with obs }
+
+  let with_recorder r t = { t with recorder = Some r }
+end
+
 let max_reg_of_cfg g =
   Array.fold_left
     (fun acc b ->
@@ -36,8 +76,17 @@ let max_reg_of_cfg g =
       | Cfg.Jump _ | Cfg.Halt -> acc)
     (-1) (Cfg.blocks g)
 
-let run ?(fuel = 50_000_000) ?initial_mode ?edge_modes ?governor ?observer
-    ?(obs = Dvs_obs.disabled) (cfg : Config.t) g ~memory =
+let run ?(rc = Run_config.default) (cfg : Config.t) g ~memory =
+  let { Run_config.fuel; initial_mode; edge_modes; governor; observer; obs;
+        recorder } =
+    rc
+  in
+  (match (recorder, governor) with
+  | Some _, Some _ ->
+    (* A tape must stay schedule-independent; governor decisions are a
+       runtime policy the replayer cannot reproduce. *)
+    invalid_arg "Cpu.run: recorder and governor cannot be combined"
+  | _ -> ());
   let table = cfg.mode_table in
   let n_modes = Dvs_power.Mode.size table in
   let initial_mode =
@@ -60,8 +109,25 @@ let run ?(fuel = 50_000_000) ?initial_mode ?edge_modes ?governor ?observer
   let regs = Array.make (max_reg_of_cfg g + 1) 0 in
   let mem = Array.copy memory in
   let pending = Array.make (Array.length regs) neg_infinity in
-  (* Mutable machine state. *)
+  (* Mutable machine state.  Time and energy are accumulated {e block
+     locally} ([dtime]/[denergy], committed at block boundaries and at
+     absolute events): summing each block's charges from 0.0 is what
+     lets {!Summary} replay a memoized per-block delta bit-identically —
+     float addition is not associative, so the exact path and the replay
+     path must share one accumulation grouping. *)
   let time = ref 0.0 and energy = ref 0.0 in
+  let dtime = ref 0.0 and denergy = ref 0.0 in
+  let commit () =
+    if !dtime <> 0.0 then begin
+      time := !time +. !dtime;
+      dtime := 0.0
+    end;
+    if !denergy <> 0.0 then begin
+      energy := !energy +. !denergy;
+      denergy := 0.0
+    end
+  in
+  let now () = !time +. !dtime in
   let mode = ref initial_mode in
   let voltage = ref (Dvs_power.Mode.get table initial_mode).voltage in
   let freq = ref (Dvs_power.Mode.get table initial_mode).frequency in
@@ -72,32 +138,56 @@ let run ?(fuel = 50_000_000) ?initial_mode ?edge_modes ?governor ?observer
   let cache_hit_cycles = ref 0 in
   let busy_end = ref neg_infinity and miss_busy = ref 0.0 in
   let stall = ref 0.0 in
-  let in_flight () = !busy_end > !time in
+  let in_flight () = !busy_end > now () in
   (* Charge [c] synchronous cycles of kind [`Compute] or [`Mem_hit]. *)
   let charge kind c =
     (match kind with
-    | `Mem_hit -> cache_hit_cycles := !cache_hit_cycles + c
+    | `Mem_hit ->
+      cache_hit_cycles := !cache_hit_cycles + c;
+      (match recorder with
+      | Some r -> Tape.record r (Tape.op_hit c)
+      | None -> ())
     | `Compute ->
       if in_flight () then overlap_cycles := !overlap_cycles + c
-      else dependent_cycles := !dependent_cycles + c);
-    time := !time +. (float_of_int c /. !freq);
-    energy := !energy +. (float_of_int c *. cfg.active_energy_coeff *. !voltage *. !voltage)
+      else dependent_cycles := !dependent_cycles + c;
+      (match recorder with
+      | Some r -> Tape.record r (Tape.op_compute c)
+      | None -> ()));
+    dtime := !dtime +. (float_of_int c /. !freq);
+    denergy :=
+      !denergy
+      +. (float_of_int c *. cfg.active_energy_coeff *. !voltage *. !voltage)
   in
   let wait_for r =
-    if pending.(r) > !time then begin
-      stall := !stall +. (pending.(r) -. !time);
-      time := pending.(r)
+    if pending.(r) <> neg_infinity then begin
+      (match recorder with
+      | Some rc -> Tape.record rc (Tape.op_wait r)
+      | None -> ());
+      if pending.(r) > now () then begin
+        commit ();
+        stall := !stall +. (pending.(r) -. !time);
+        time := pending.(r)
+      end
+    end
+  in
+  let clear_pending rd =
+    if pending.(rd) <> neg_infinity then begin
+      (match recorder with
+      | Some rc -> Tape.record rc (Tape.op_clear rd)
+      | None -> ());
+      pending.(rd) <- neg_infinity
     end
   in
   let issue_miss () =
-    let completion = !time +. cfg.dram_latency in
-    if !time >= !busy_end then begin
+    let anow = now () in
+    let completion = anow +. cfg.dram_latency in
+    if anow >= !busy_end then begin
       miss_busy := !miss_busy +. cfg.dram_latency;
       (* A fresh miss-overlap window opens (extensions of a live window
          are not re-announced, so the event count is the window count). *)
       if obs_on then
         Tr.event tr ~stability:Tr.Stable "sim.miss_window"
-          ~attrs:[ ("t", Tr.Float !time) ]
+          ~attrs:[ ("t", Tr.Float anow) ]
     end
     else if completion > !busy_end then
       miss_busy := !miss_busy +. (completion -. !busy_end);
@@ -107,6 +197,7 @@ let run ?(fuel = 50_000_000) ?initial_mode ?edge_modes ?governor ?observer
   let set_mode m =
     if m < 0 || m >= n_modes then invalid_arg "Cpu.run: mode out of range";
     if m <> !mode then begin
+      commit ();
       let cur = Dvs_power.Mode.get table !mode in
       let nxt = Dvs_power.Mode.get table m in
       let dt = Dvs_power.Switch_cost.time cfg.regulator cur.voltage nxt.voltage in
@@ -132,22 +223,23 @@ let run ?(fuel = 50_000_000) ?initial_mode ?edge_modes ?governor ?observer
   in
   let exec (i : Instr.t) =
     incr dyn;
+    (match recorder with Some r -> Tape.instr r | None -> ());
     match i with
     | Instr.Li (rd, v) ->
       charge `Compute (Instr.latency i);
       regs.(rd) <- v;
-      pending.(rd) <- neg_infinity
+      clear_pending rd
     | Instr.Mov (rd, rs) ->
       wait_for rs;
       charge `Compute (Instr.latency i);
       regs.(rd) <- regs.(rs);
-      pending.(rd) <- neg_infinity
+      clear_pending rd
     | Instr.Binop (op, rd, rs1, rs2) ->
       wait_for rs1;
       wait_for rs2;
       charge `Compute (Instr.latency i);
       regs.(rd) <- Instr.eval_binop op regs.(rs1) regs.(rs2);
-      pending.(rd) <- neg_infinity
+      clear_pending rd
     | Instr.Load (rd, rs, off) ->
       wait_for rs;
       let a = regs.(rs) + off in
@@ -156,11 +248,14 @@ let run ?(fuel = 50_000_000) ?initial_mode ?edge_modes ?governor ?observer
       if outcome.Hierarchy.dram then begin
         (* One issue cycle; the lookup overlaps the DRAM transaction. *)
         charge `Mem_hit 1;
+        (match recorder with
+        | Some r -> Tape.record r (Tape.op_miss_load rd)
+        | None -> ());
         pending.(rd) <- issue_miss ()
       end
       else begin
         charge `Mem_hit (1 + outcome.Hierarchy.cycles);
-        pending.(rd) <- neg_infinity
+        clear_pending rd
       end;
       regs.(rd) <- mem.(a)
     | Instr.Store (rv, rs, off) ->
@@ -171,12 +266,19 @@ let run ?(fuel = 50_000_000) ?initial_mode ?edge_modes ?governor ?observer
       let outcome = Hierarchy.access hier ~word_addr:a in
       if outcome.Hierarchy.dram then begin
         charge `Mem_hit 1;
+        (match recorder with
+        | Some r -> Tape.record r Tape.op_miss_store
+        | None -> ());
         ignore (issue_miss ())
       end
       else charge `Mem_hit (1 + outcome.Hierarchy.cycles);
       mem.(a) <- regs.(rv)
     | Instr.Nop -> charge `Compute 1
-    | Instr.Modeset m -> set_mode m
+    | Instr.Modeset m ->
+      (match recorder with
+      | Some r -> Tape.record r (Tape.op_modeset m)
+      | None -> ());
+      set_mode m
   in
   let notify label via =
     match observer with
@@ -223,11 +325,15 @@ let run ?(fuel = 50_000_000) ?initial_mode ?edge_modes ?governor ?observer
       | Some m -> set_mode m
       | None -> ())
     | None -> ());
+    (match recorder with
+    | Some r -> Tape.enter_block r ~label ~via
+    | None -> ());
     notify label via;
     let b = Cfg.block g label in
     Array.iter exec b.Cfg.body;
     match b.Cfg.term with
     | Cfg.Halt ->
+      commit ();
       (* Drain outstanding memory traffic. *)
       if !busy_end > !time then begin
         stall := !stall +. (!busy_end -. !time);
@@ -235,10 +341,12 @@ let run ?(fuel = 50_000_000) ?initial_mode ?edge_modes ?governor ?observer
       end
     | Cfg.Jump l ->
       charge `Compute 1;
+      commit ();
       step l (Some label) (budget - 1)
     | Cfg.Branch (r, taken, fallthrough) ->
       wait_for r;
       charge `Compute 1;
+      commit ();
       let dst = if regs.(r) <> 0 then taken else fallthrough in
       step dst (Some label) (budget - 1)
   in

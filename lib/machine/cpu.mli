@@ -15,6 +15,12 @@
       the regulator's transition time and energy, or nothing when the mode
       is unchanged ("silent" mode-sets, Section 4.2).
 
+    Time and energy accumulate {e block-locally} and commit at block
+    boundaries and absolute events (stalls, mode transitions, halt).
+    The grouping is observable through float non-associativity and is
+    deliberately shared with {!Summary}'s tape replayer, which is held
+    bit-identical to this simulator by the test suite.
+
     Architectural state must match {!Dvs_ir.Interp} exactly; tests enforce
     this. *)
 
@@ -54,24 +60,70 @@ type governor = {
     by construction — which is precisely what the compile-time approach
     is being compared against. *)
 
-val run :
-  ?fuel:int ->
-  ?initial_mode:int ->
-  ?edge_modes:(Dvs_ir.Cfg.edge -> int option) ->
-  ?governor:governor ->
-  ?observer:
-    (Dvs_ir.Cfg.label -> via:Dvs_ir.Cfg.label option -> time:float ->
-     energy:float -> unit) ->
-  ?obs:Dvs_obs.t ->
-  Config.t -> Dvs_ir.Cfg.t -> memory:int array -> run_stats
-(** [fuel] bounds executed blocks (default 50 million).  [initial_mode]
-    defaults to the fastest mode.  [edge_modes] attaches compile-time DVS
-    decisions to edges; [governor] makes decisions at run time instead
-    (don't combine them).  [observer] fires at each block entry (after
-    any edge mode-set cost), with the incoming block in [via].
+type observer =
+  Dvs_ir.Cfg.label -> via:Dvs_ir.Cfg.label option -> time:float ->
+  energy:float -> unit
+(** Fires at each block entry (after any edge mode-set cost), with the
+    incoming block in [via]. *)
 
-    [obs] (default {!Dvs_obs.disabled}) records a [sim.run] span,
-    [sim.mode_transition] and [sim.miss_window] trace events, the
-    overlap / dependent / cache-hit cycle counters and time / energy /
-    stall gauges.  The simulator is single-threaded and reads no wall
-    clock, so everything it emits is marked stable. *)
+(** How to run: fuel, schedule hooks, policies and instrumentation,
+    gathered into one value (mirrors [Solver.Config]).  Build with
+    {!Run_config.make} or refine {!Run_config.default} with the
+    value-first [with_*] combinators. *)
+module Run_config : sig
+  type t = private {
+    fuel : int;  (** bound on executed blocks *)
+    initial_mode : int option;  (** default: the fastest mode *)
+    edge_modes : (Dvs_ir.Cfg.edge -> int option) option;
+        (** compile-time DVS decisions attached to edges *)
+    governor : governor option;
+        (** runtime policy instead — don't combine with [edge_modes] *)
+    observer : observer option;
+    obs : Dvs_obs.t;  (** default {!Dvs_obs.disabled} *)
+    recorder : Tape.recorder option;
+        (** record an execution tape for {!Summary}; incompatible with
+            [governor] *)
+  }
+
+  val make :
+    ?fuel:int ->
+    ?initial_mode:int ->
+    ?edge_modes:(Dvs_ir.Cfg.edge -> int option) ->
+    ?governor:governor ->
+    ?observer:observer ->
+    ?obs:Dvs_obs.t ->
+    ?recorder:Tape.recorder ->
+    unit -> t
+  (** [fuel] defaults to 50 million blocks.  Raises [Invalid_argument]
+      when [fuel <= 0]. *)
+
+  val default : t
+
+  val with_fuel : int -> t -> t
+
+  val with_initial_mode : int -> t -> t
+
+  val with_edge_modes : (Dvs_ir.Cfg.edge -> int option) -> t -> t
+
+  val with_governor : governor -> t -> t
+
+  val with_observer : observer -> t -> t
+
+  val with_obs : Dvs_obs.t -> t -> t
+
+  val with_recorder : Tape.recorder -> t -> t
+end
+
+val run : ?rc:Run_config.t -> Config.t -> Dvs_ir.Cfg.t -> memory:int array
+  -> run_stats
+(** Simulate [g] to [Halt] under [rc] (default {!Run_config.default}).
+
+    [rc.obs] records a [sim.run] span, [sim.mode_transition] and
+    [sim.miss_window] trace events, the overlap / dependent / cache-hit
+    cycle counters and time / energy / stall gauges.  The simulator is
+    single-threaded and reads no wall clock, so everything it emits is
+    marked stable.
+
+    Raises {!Out_of_fuel} when the block budget runs out, and
+    [Invalid_argument] when a recorder is combined with a governor (a
+    tape must stay schedule-independent). *)

@@ -22,8 +22,16 @@ let window_push w completion =
   w.slots.(w.head) <- completion;
   w.head <- (w.head + 1) mod Array.length w.slots
 
-let run ?(fuel = 50_000_000) ?(window = 64) ?(issue_width = 4) ?initial_mode
-    ?edge_modes (cfg : Config.t) g ~memory =
+let run ?(rc = Cpu.Run_config.default) ?(window = 64) ?(issue_width = 4)
+    (cfg : Config.t) g ~memory =
+  let { Cpu.Run_config.fuel; initial_mode; edge_modes; governor; recorder;
+        _ } =
+    rc
+  in
+  if governor <> None then
+    invalid_arg "Cpu_ooo.run: governors are not modeled";
+  if recorder <> None then
+    invalid_arg "Cpu_ooo.run: tape recording is not supported";
   if window < 1 then invalid_arg "Cpu_ooo.run: window must be >= 1";
   if issue_width < 1 then invalid_arg "Cpu_ooo.run: issue width must be >= 1";
   let table = cfg.Config.mode_table in

@@ -25,11 +25,12 @@
     being full. *)
 
 val run :
-  ?fuel:int ->
+  ?rc:Cpu.Run_config.t ->
   ?window:int ->
   ?issue_width:int ->
-  ?initial_mode:int ->
-  ?edge_modes:(Dvs_ir.Cfg.edge -> int option) ->
   Config.t -> Dvs_ir.Cfg.t -> memory:int array -> Cpu.run_stats
-(** Defaults follow the paper's Table 2: [window = 64] (RUU size),
-    [issue_width = 4]. *)
+(** Model geometry defaults follow the paper's Table 2: [window = 64]
+    (RUU size), [issue_width = 4].  Of [rc] only [fuel], [initial_mode]
+    and [edge_modes] apply; a [governor] or [recorder] raises
+    [Invalid_argument] (runtime policies and tape replay are in-order
+    model features), and [observer]/[obs] are accepted but unused. *)

@@ -1,0 +1,180 @@
+(* Execution tape: schedule-independent record of one simulated run.
+   See tape.mli for the model; Summary replays these ops. *)
+
+open Dvs_ir
+
+(* ---- op encoding ------------------------------------------------------ *)
+
+let tag_compute = 0
+
+let tag_hit = 1
+
+let tag_wait = 2
+
+let tag_clear = 3
+
+let tag_miss_load = 4
+
+let tag_miss_store = 5
+
+let tag_modeset = 6
+
+let enc tag payload = (payload lsl 3) lor tag
+
+let op_compute c = enc tag_compute c
+
+let op_hit c = enc tag_hit c
+
+let op_wait r = enc tag_wait r
+
+let op_clear r = enc tag_clear r
+
+let op_miss_load rd = enc tag_miss_load rd
+
+let op_miss_store = enc tag_miss_store 0
+
+let op_modeset m = enc tag_modeset m
+
+let op_tag op = op land 7
+
+let op_payload op = op lsr 3
+
+(* ---- variants --------------------------------------------------------- *)
+
+type variant = {
+  label : Cfg.label;
+  ops : int array;
+  dyn : int;
+  summarizable : bool;
+}
+
+(* Growable int buffer (no Buffer for ints in the stdlib). *)
+module Ibuf = struct
+  type t = { mutable data : int array; mutable len : int }
+
+  let create n = { data = Array.make (Int.max n 16) 0; len = 0 }
+
+  let clear b = b.len <- 0
+
+  let push b v =
+    if b.len = Array.length b.data then begin
+      let data = Array.make (2 * b.len) 0 in
+      Array.blit b.data 0 data 0 b.len;
+      b.data <- data
+    end;
+    b.data.(b.len) <- v;
+    b.len <- b.len + 1
+
+  let contents b = Array.sub b.data 0 b.len
+end
+
+type recorder = {
+  cfg : Cfg.t;
+  (* variant hash-consing: (label, ops) -> variant index *)
+  intern : (Cfg.label * int array, int) Hashtbl.t;
+  mutable vars : variant list;  (* newest first *)
+  mutable n_vars : int;
+  seq : Ibuf.t;
+  edge_of : Ibuf.t;
+  cur : Ibuf.t;  (* ops of the block being recorded *)
+  mutable cur_label : Cfg.label;
+  mutable cur_dyn : int;
+  mutable in_block : bool;
+}
+
+let recorder cfg =
+  { cfg; intern = Hashtbl.create 256; vars = []; n_vars = 0;
+    seq = Ibuf.create 4096; edge_of = Ibuf.create 4096;
+    cur = Ibuf.create 64; cur_label = 0; cur_dyn = 0; in_block = false }
+
+let flush_block r =
+  if r.in_block then begin
+    let ops = Ibuf.contents r.cur in
+    let key = (r.cur_label, ops) in
+    let id =
+      match Hashtbl.find_opt r.intern key with
+      | Some id -> id
+      | None ->
+        let summarizable =
+          Array.for_all
+            (fun op ->
+              let t = op_tag op in
+              t <> tag_miss_load && t <> tag_miss_store && t <> tag_modeset)
+            ops
+        in
+        let v = { label = r.cur_label; ops; dyn = r.cur_dyn; summarizable } in
+        let id = r.n_vars in
+        r.vars <- v :: r.vars;
+        r.n_vars <- id + 1;
+        Hashtbl.add r.intern key id;
+        id
+    in
+    Ibuf.push r.seq id;
+    Ibuf.clear r.cur;
+    r.cur_dyn <- 0;
+    r.in_block <- false
+  end
+
+let enter_block r ~label ~via =
+  flush_block r;
+  let e =
+    match via with
+    | None -> -1
+    | Some src -> (
+      match Cfg.edge_index r.cfg { Cfg.src; dst = label } with
+      | idx -> idx
+      | exception Not_found -> -1)
+  in
+  Ibuf.push r.edge_of e;
+  r.cur_label <- label;
+  r.in_block <- true
+
+let record r op = Ibuf.push r.cur op
+
+let instr r = r.cur_dyn <- r.cur_dyn + 1
+
+type t = {
+  variants : variant array;
+  seq : int array;
+  edge_of : int array;
+  first_edge_pos : int array;
+  n_edges : int;
+  n_regs : int;
+  dyn_instrs : int;
+  l1 : Cache.stats;
+  l2 : Cache.stats;
+  registers : int array;
+  memory : int array;
+}
+
+let create r ~dyn_instrs ~l1 ~l2 ~registers ~memory =
+  flush_block r;
+  let seq = Ibuf.contents r.seq in
+  if Array.length seq = 0 then
+    invalid_arg "Tape.create: empty recording";
+  let variants = Array.of_list (List.rev r.vars) in
+  let edge_of = Ibuf.contents r.edge_of in
+  let n_edges = Array.length (Cfg.edges r.cfg) in
+  let first_edge_pos = Array.make n_edges max_int in
+  Array.iteri
+    (fun pos e ->
+      if e >= 0 && first_edge_pos.(e) = max_int then
+        first_edge_pos.(e) <- pos)
+    edge_of;
+  { variants; seq; edge_of; first_edge_pos; n_edges;
+    n_regs = Array.length registers; dyn_instrs; l1; l2;
+    registers = Array.copy registers; memory = Array.copy memory }
+
+let positions t = Array.length t.seq
+
+let first_divergence t ~entry_changed ~edges =
+  if entry_changed then Some 0
+  else
+    let p =
+      List.fold_left
+        (fun acc e ->
+          if e >= 0 && e < t.n_edges then Int.min acc t.first_edge_pos.(e)
+          else acc)
+        max_int edges
+    in
+    if p = max_int then None else Some p

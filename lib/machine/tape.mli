@@ -1,0 +1,139 @@
+(** Execution tape: the schedule-independent record of one simulated run.
+
+    Assumption 1 (DESIGN.md section 2, cross-checked by the test suite)
+    says the {e architectural} behavior of a program — block path, branch
+    directions, address stream, cache hit/miss outcomes, final registers
+    and memory — does not depend on the DVS schedule; modes only scale
+    time and energy.  A tape captures exactly that invariant part once,
+    as a compact op stream per dynamic basic block, so any candidate
+    schedule can be re-costed by replaying arithmetic on the tape instead
+    of re-interpreting every instruction ({!Summary}).
+
+    Ops mirror the cost-bearing calls inside {!Cpu.run} one-for-one
+    (each [charge], stall check, pending clear, miss issue and mode-set
+    in program order), which is what makes tape replay {e bit-identical}
+    to the cycle-accurate simulator: both accumulate the same floats in
+    the same order.
+
+    Dynamic blocks are hash-consed into {e variants} (a block label plus
+    one observed op sequence; the same label yields different variants
+    when its cache outcomes differ), so the replayer can memoize
+    per-(variant, mode) cost summaries. *)
+
+open Dvs_ir
+
+(** {2 Op encoding}
+
+    Ops are tagged ints: [(payload lsl 3) lor tag].  Payloads are cycle
+    counts, register numbers or mode indices, all small and
+    non-negative. *)
+
+val op_compute : int -> int
+(** [charge `Compute c]. *)
+
+val op_hit : int -> int
+(** [charge `Mem_hit c]. *)
+
+val op_wait : int -> int
+(** [wait_for r], recorded only when register [r] had a pending miss
+    completion at record time (a schedule-independent fact). *)
+
+val op_clear : int -> int
+(** [pending.(r) <- neg_infinity], recorded only when it actually
+    cleared something. *)
+
+val op_miss_load : int -> int
+(** [pending.(rd) <- issue_miss ()]. *)
+
+val op_miss_store : int
+(** [ignore (issue_miss ())]. *)
+
+val op_modeset : int -> int
+(** A [Modeset m] instruction (edge mode-sets are {e not} on the tape;
+    the replayer applies them from the schedule under test). *)
+
+val op_tag : int -> int
+
+val op_payload : int -> int
+
+val tag_compute : int
+
+val tag_hit : int
+
+val tag_wait : int
+
+val tag_clear : int
+
+val tag_miss_load : int
+
+val tag_miss_store : int
+
+val tag_modeset : int
+
+(** {2 Variants} *)
+
+type variant = {
+  label : Cfg.label;  (** the static block this variant came from *)
+  ops : int array;  (** cost ops, program order, terminator included *)
+  dyn : int;  (** instructions executed in the block *)
+  summarizable : bool;
+      (** no miss and no [Modeset] op: the block's cost delta depends
+          only on the entering mode whenever no miss is in flight at
+          entry *)
+}
+
+(** {2 Recording} *)
+
+type recorder
+(** Attach to a run via {!Cpu.Run_config.make}'s [recorder]; single
+    use. *)
+
+val recorder : Cfg.t -> recorder
+
+val enter_block : recorder -> label:Cfg.label -> via:Cfg.label option -> unit
+
+val record : recorder -> int -> unit
+(** Append one op to the current block. *)
+
+val instr : recorder -> unit
+(** Count one executed instruction in the current block. *)
+
+type t = {
+  variants : variant array;
+  seq : int array;  (** variant index per dynamic block position *)
+  edge_of : int array;
+      (** incoming {!Cfg.edge_index} per position; [-1] at entry *)
+  first_edge_pos : int array;
+      (** per edge index, the first position entered through that edge
+          ([max_int] when the edge was never traversed) *)
+  n_edges : int;
+  n_regs : int;
+  dyn_instrs : int;
+  l1 : Cache.stats;
+  l2 : Cache.stats;
+  registers : int array;  (** final architectural registers *)
+  memory : int array;  (** final memory image *)
+}
+
+val create :
+  recorder ->
+  dyn_instrs:int ->
+  l1:Cache.stats ->
+  l2:Cache.stats ->
+  registers:int array ->
+  memory:int array -> t
+(** Seal the recording, taking the schedule-independent final state
+    (registers, memory, cache stats, instruction count) from the
+    recording run's stats.  Raises [Invalid_argument] if the recorder
+    saw no blocks. *)
+
+val positions : t -> int
+(** Dynamic blocks on the tape. *)
+
+val first_divergence :
+  t -> entry_changed:bool -> edges:int list -> int option
+(** The first tape position whose cost could differ between two
+    schedules that differ exactly on [edges] (by {!Cfg.edge_index}) and,
+    when [entry_changed], on the entry mode.  [None] means no traversed
+    edge differs — the two schedules cost identically on this tape.
+    Position [0] when the entry mode changed. *)

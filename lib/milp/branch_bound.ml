@@ -4,25 +4,6 @@
 
 open Dvs_lp
 
-type options = {
-  max_nodes : int;
-  int_tol : float;
-  gap_rel : float;
-  time_limit : float option;
-  rounding : bool;
-  sos1 : Model.var list list;
-      (** groups constrained to sum to 1 (one binary on per group); lets
-          the rounding heuristic round group-consistently *)
-  warm_start : (Model.var * float) list;
-      (** variable fixings known to admit a feasible completion; solved
-          once up front to seed the incumbent *)
-  log : (string -> unit) option;
-}
-
-let default_options =
-  { max_nodes = 200_000; int_tol = 1e-6; gap_rel = 1e-9; time_limit = None;
-    rounding = true; sos1 = []; warm_start = []; log = None }
-
 type stop_reason = Solver.stop_reason =
   | Node_limit
   | Time_limit
@@ -55,14 +36,13 @@ type result = {
   nodes : int;
 }
 
-let to_config (o : options) =
-  Solver.Config.make ~jobs:1 ~max_nodes:o.max_nodes ?time_limit:o.time_limit
-    ~gap_rel:o.gap_rel ~int_tol:o.int_tol ~rounding:o.rounding ?log:o.log ()
-  |> Solver.Config.with_sos1 o.sos1
-  |> Solver.Config.with_warm_start o.warm_start
-
-let solve ?(options = default_options) model =
-  let r = Solver.solve ~config:(to_config options) model in
+let solve ?config model =
+  let config =
+    match config with
+    | Some c -> c
+    | None -> Solver.Config.make ~jobs:1 ()
+  in
+  let r = Solver.solve ~config model in
   let outcome =
     match r.Solver.outcome with
     | Solver.Optimal -> Optimal

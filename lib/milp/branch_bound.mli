@@ -2,7 +2,8 @@
 
     This is the historical branch-and-bound API, kept as a thin shim so
     existing callers keep compiling: [solve] forwards to {!Solver.solve}
-    with [jobs = 1].  The outcome keeps the full {!Solver} detail —
+    (sequentially, [jobs = 1], unless the caller's [config] says
+    otherwise).  The outcome keeps the full {!Solver} detail —
     {!stop_reason} and {!degradation} are re-exported here with their
     constructors, so limit and crash information survives the shim —
     while {!Solver.stats} is collapsed to the single [nodes] count of the
@@ -10,33 +11,8 @@
     parallel search, basis warm starts, the LP-relaxation cache,
     pseudocost/GUB branching and per-solve statistics.
 
-    Note one semantic refinement inherited from {!Solver}: [time_limit]
-    is wall-clock seconds (previously CPU seconds; identical for the
-    sequential searches this shim runs). *)
-
-type options = {
-  max_nodes : int;  (** node budget; default 200_000 *)
-  int_tol : float;  (** integrality tolerance; default 1e-6 *)
-  gap_rel : float;  (** relative optimality gap to stop at; default 1e-9 *)
-  time_limit : float option;  (** wall-clock seconds *)
-  rounding : bool;
-      (** run the rounding heuristic (root and spine, as in
-          {!Solver.Config}) *)
-  sos1 : Dvs_lp.Model.var list list;
-      (** groups whose binaries sum to 1; guides the rounding heuristic
-          (the one-mode-per-edge structure of the DVS formulation) *)
-  warm_start : (Dvs_lp.Model.var * float) list;
-      (** variable fixings known to admit a feasible completion, solved
-          once to seed the incumbent (e.g. every edge at the fastest
-          mode) *)
-  log : (string -> unit) option;
-}
-
-val default_options : options
-
-val to_config : options -> Solver.Config.t
-(** The {!Solver} configuration equivalent to these options (with
-    [jobs = 1]); the migration path for callers moving off this shim. *)
+    The PR 1 [options] record and its converters are gone; configure
+    with {!Solver.Config.make} and the [with_*] builders. *)
 
 type stop_reason = Solver.stop_reason =
   | Node_limit
@@ -77,11 +53,7 @@ type result = {
   nodes : int;  (** nodes explored *)
 }
 
-val solve : ?options:options -> Dvs_lp.Model.t -> result
-(** Deprecated: use {!Solver.solve} — same search, plus parallel workers,
-    warm starts and cache sharing.  This shim no longer flattens the
-    outcome: limit and degradation detail ({!Solver.stop_reason},
-    {!Solver.degradation}) is surfaced instead of collapsing everything
-    to a bare feasible/no-solution, so callers can distinguish "node
-    budget ran out" from "simplex hit its pivot limit" without migrating
-    yet. *)
+val solve : ?config:Solver.Config.t -> Dvs_lp.Model.t -> result
+(** Deprecated: use {!Solver.solve} — same search and configuration,
+    richer statistics.  [config] defaults to
+    [Solver.Config.make ~jobs:1 ()], the historic sequential search. *)

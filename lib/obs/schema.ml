@@ -186,6 +186,11 @@ let bench_summary ?(experiment_walls = []) ~metrics ~experiments
           (List.map (fun (e, s) -> (e, Json.Float s)) experiment_walls) );
       ("nodes_per_second", Json.Float (rate bb_nodes));
       ("lp_solves_per_second", Json.Float (rate lp_solves));
+      (* Summarized-verification activity: wall-time gates on the
+         `reproduce' experiment only engage when both summaries ran with
+         warm sessions (> 0 here); absent from older baselines, so the
+         validator treats it as optional. *)
+      ("sim_summary_hits", Json.Int (total "sim.summary_hits"));
       ( "cache",
         Json.Obj
           [ ("hits", Json.Int hits);

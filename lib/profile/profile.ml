@@ -63,7 +63,8 @@ let collect ?fuel config cfg ~memory =
             prev_block := Some label
           end
         in
-        let r = Cpu.run ?fuel ~initial_mode:m ~observer config cfg ~memory in
+        let rc = Cpu.Run_config.make ?fuel ~initial_mode:m ~observer () in
+        let r = Cpu.run ~rc config cfg ~memory in
         (* Attribute the tail (last block entry to end of run). *)
         (match !last with
         | Some (j, t0, e0) ->

@@ -103,8 +103,8 @@ let mid_deadline () =
 let run_pipeline ?(filter = true) deadline =
   let cfg, _ = Lazy.force compiled in
   let p = Lazy.force profile_cached in
-  let options = { Pipeline.default_options with filter } in
-  Pipeline.optimize_multi ~options
+  let config = Pipeline.Config.make ~filter () in
+  Pipeline.optimize_multi ~config
     ~regulator:tiny_config.Config.regulator ~memory:(memory ())
     [ { Formulation.profile = p; weight = 1.0; deadline } ]
   |> fun r ->
@@ -206,9 +206,11 @@ let test_hsu_kremer_meets_deadline_and_loses_to_milp () =
   | None -> Alcotest.fail "heuristic found nothing"
   | Some s ->
     let r =
-      Cpu.run ~initial_mode:s.Schedule.entry_mode
-        ~edge_modes:(Schedule.edge_modes s cfg) tiny_config cfg
-        ~memory:(memory ())
+      Cpu.run
+        ~rc:
+          (Cpu.Run_config.make ~initial_mode:s.Schedule.entry_mode
+             ~edge_modes:(Schedule.edge_modes s cfg) ())
+        tiny_config cfg ~memory:(memory ())
     in
     Alcotest.(check bool) "meets deadline" true (r.Cpu.time <= deadline);
     let milp = run_pipeline deadline in
@@ -250,9 +252,11 @@ let test_multi_category () =
     List.iter
       (fun mem ->
         let run =
-          Cpu.run ~initial_mode:s.Schedule.entry_mode
-            ~edge_modes:(Schedule.edge_modes s cfg) tiny_config cfg
-            ~memory:mem
+          Cpu.run
+            ~rc:
+              (Cpu.Run_config.make ~initial_mode:s.Schedule.entry_mode
+                 ~edge_modes:(Schedule.edge_modes s cfg) ())
+            tiny_config cfg ~memory:mem
         in
         Alcotest.(check bool) "deadline on each input" true
           (run.Cpu.time <= d *. 1.005))
@@ -391,9 +395,12 @@ let qcheck_pipeline_end_to_end =
       let deadline = t_fast +. (frac *. (t_slow -. t_fast)) in
       let r =
         Pipeline.optimize_multi
-          ~options:{ Pipeline.default_options with
-                     milp = { Dvs_milp.Branch_bound.default_options with
-                              max_nodes = 1500; time_limit = Some 8.0 } }
+          ~config:
+            (Pipeline.Config.make
+               ~solver:
+                 (Dvs_milp.Solver.Config.make ~jobs:1 ~max_nodes:1500
+                    ~time_limit:8.0 ())
+               ())
           ~regulator:machine.Config.regulator ~memory:mem
           [ { Formulation.profile = p; weight = 1.0; deadline } ]
       in

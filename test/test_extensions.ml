@@ -210,8 +210,10 @@ let test_instrument_matches_edge_annotation () =
   let schedule, memory, _ = schedule_for_test () in
   let annotated =
     Dvs_machine.Cpu.run
-      ~initial_mode:schedule.Dvs_core.Schedule.entry_mode
-      ~edge_modes:(Dvs_core.Schedule.edge_modes schedule sched_cfg)
+      ~rc:
+        (Dvs_machine.Cpu.Run_config.make
+           ~initial_mode:schedule.Dvs_core.Schedule.entry_mode
+           ~edge_modes:(Dvs_core.Schedule.edge_modes schedule sched_cfg) ())
       machine sched_cfg ~memory
   in
   let inst =
@@ -219,7 +221,9 @@ let test_instrument_matches_edge_annotation () =
   in
   let materialized =
     Dvs_machine.Cpu.run
-      ~initial_mode:schedule.Dvs_core.Schedule.entry_mode
+      ~rc:
+        (Dvs_machine.Cpu.Run_config.make
+           ~initial_mode:schedule.Dvs_core.Schedule.entry_mode ())
       machine inst ~memory
   in
   (* Same dynamic mode transitions; energy within a small slack (split
@@ -265,7 +269,9 @@ let test_simplify_hoists_loop_modeset () =
     (Dvs_core.Instrument.static_modesets inst);
   (* And it must execute exactly one dynamic non-silent transition from
      the power-on mode. *)
-  let r = Dvs_machine.Cpu.run ~initial_mode:2 machine inst ~memory:[||] in
+  let r = Dvs_machine.Cpu.run
+      ~rc:(Dvs_machine.Cpu.Run_config.make ~initial_mode:2 ())
+      machine inst ~memory:[||] in
   Alcotest.(check int) "one dynamic transition" 1
     r.Dvs_machine.Cpu.mode_transitions
 
@@ -292,7 +298,7 @@ let test_block_based_no_better_than_edges () =
   let profile = Dvs_profile.Profile.collect machine sched_cfg ~memory in
   let optimize repr =
     Dvs_core.Pipeline.optimize_multi
-      ~options:{ Dvs_core.Pipeline.default_options with filter = false }
+      ~config:(Dvs_core.Pipeline.Config.make ~filter:false ())
       ~regulator:machine.Dvs_machine.Config.regulator ~memory
       [ { Dvs_core.Formulation.profile; weight = 1.0; deadline } ]
     |> fun r -> (repr, r)
@@ -375,12 +381,15 @@ let test_instrument_splits_conflicting_edges () =
      branch outcomes (r0 = 1 takes A->C; make a variant taking A->B). *)
   let check_same g_mod =
     let annotated =
-      Dvs_machine.Cpu.run ~initial_mode:1
-        ~edge_modes:(Dvs_core.Schedule.edge_modes schedule g_mod) machine
-        g_mod ~memory:[||]
+      Dvs_machine.Cpu.run
+        ~rc:
+          (Dvs_machine.Cpu.Run_config.make ~initial_mode:1
+             ~edge_modes:(Dvs_core.Schedule.edge_modes schedule g_mod) ())
+        machine g_mod ~memory:[||]
     in
     let materialized =
-      Dvs_machine.Cpu.run ~initial_mode:1 machine
+      Dvs_machine.Cpu.run
+        ~rc:(Dvs_machine.Cpu.Run_config.make ~initial_mode:1 ()) machine
         (Dvs_core.Instrument.simplify
            (Dvs_core.Instrument.apply schedule g_mod))
         ~memory:[||]
@@ -411,9 +420,12 @@ let test_all_workloads_verify () =
       let ds = Dvs_workloads.Deadlines.of_profile p in
       let r =
         Dvs_core.Pipeline.optimize_multi
-          ~options:{ Dvs_core.Pipeline.default_options with
-                     milp = { Dvs_milp.Branch_bound.default_options with
-                              max_nodes = 2000; time_limit = Some 10.0 } }
+          ~config:
+            (Dvs_core.Pipeline.Config.make
+               ~solver:
+                 (Dvs_milp.Solver.Config.make ~jobs:1 ~max_nodes:2000
+                    ~time_limit:10.0 ())
+               ())
           ~regulator:config.Dvs_machine.Config.regulator ~memory:mem
           [ { Dvs_core.Formulation.profile = p; weight = 1.0;
               deadline = ds.(3) } ]
@@ -464,7 +476,9 @@ let test_instrument_entry_loop_target () =
   (* Seed r0 = 5 through memory-free registers: instead run with r0
      defaulting to 0 -> loop doesn't execute; still fine for the
      transition count check. *)
-  let r = Dvs_machine.Cpu.run ~initial_mode:2 machine inst ~memory:[||] in
+  let r = Dvs_machine.Cpu.run
+      ~rc:(Dvs_machine.Cpu.Run_config.make ~initial_mode:2 ())
+      machine inst ~memory:[||] in
   Alcotest.(check int) "exactly one dynamic transition" 1
     r.Dvs_machine.Cpu.mode_transitions;
   (* The old entry block itself must not contain the entry mode-set. *)

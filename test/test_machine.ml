@@ -95,8 +95,8 @@ let alu_cfg n =
 let test_pure_compute_time_scales_with_frequency () =
   let cfg = small_config () in
   let g = alu_cfg 1000 in
-  let fast = Cpu.run ~initial_mode:2 cfg g ~memory:[||] in
-  let slow = Cpu.run ~initial_mode:0 cfg g ~memory:[||] in
+  let fast = Cpu.run ~rc:(Cpu.Run_config.make ~initial_mode:2 ()) cfg g ~memory:[||] in
+  let slow = Cpu.run ~rc:(Cpu.Run_config.make ~initial_mode:0 ()) cfg g ~memory:[||] in
   (* 1000 cycles at 800MHz vs 200MHz: exactly 4x. *)
   check_float ~eps:1e-12 "4x slower" (4.0 *. fast.Cpu.time) slow.Cpu.time;
   check_float ~eps:1e-15 "fast time" (1000.0 /. 800e6) fast.Cpu.time
@@ -104,8 +104,8 @@ let test_pure_compute_time_scales_with_frequency () =
 let test_energy_scales_with_v_squared () =
   let cfg = small_config () in
   let g = alu_cfg 1000 in
-  let fast = Cpu.run ~initial_mode:2 cfg g ~memory:[||] in
-  let slow = Cpu.run ~initial_mode:0 cfg g ~memory:[||] in
+  let fast = Cpu.run ~rc:(Cpu.Run_config.make ~initial_mode:2 ()) cfg g ~memory:[||] in
+  let slow = Cpu.run ~rc:(Cpu.Run_config.make ~initial_mode:0 ()) cfg g ~memory:[||] in
   let ratio = slow.Cpu.energy /. fast.Cpu.energy in
   check_float ~eps:1e-9 "v^2 ratio" ((0.7 /. 1.65) ** 2.0) ratio
 
@@ -131,7 +131,7 @@ let miss_then_use_cfg =
 let test_miss_gates_dependent_use () =
   let dram = 1e-6 in
   let cfg = small_config ~dram_latency:dram () in
-  let r = Cpu.run ~initial_mode:2 cfg miss_then_use_cfg ~memory:(Array.make 16 7) in
+  let r = Cpu.run ~rc:(Cpu.Run_config.make ~initial_mode:2 ()) cfg miss_then_use_cfg ~memory:(Array.make 16 7) in
   (* Cycles: li(1) + issue(1) + add(1) = 3 at 800MHz, plus the gated miss
      wait (dram minus nothing overlapped after issue). *)
   Alcotest.(check bool) "stall nearly dram" true
@@ -156,7 +156,7 @@ let test_overlap_hides_compute () =
   Cfg.Builder.push b l (Instr.Binop (Instr.Add, 4, 2, 2));
   Cfg.Builder.set_term b l Cfg.Halt;
   let g = Cfg.Builder.finish b ~entry:l in
-  let r = Cpu.run ~initial_mode:2 cfg g ~memory:(Array.make 16 1) in
+  let r = Cpu.run ~rc:(Cpu.Run_config.make ~initial_mode:2 ()) cfg g ~memory:(Array.make 16 1) in
   Alcotest.(check int) "overlap cycles" 100 r.Cpu.overlap_cycles;
   (* The 100 overlapped cycles don't add to the wall time beyond the
      miss; time = li + issue + dram + final add. *)
@@ -222,7 +222,7 @@ let test_edge_modes_applied () =
   let edge_modes (e : Cfg.edge) =
     if e.Cfg.src = l1 && e.Cfg.dst = l2 then Some 0 else None
   in
-  let r = Cpu.run ~edge_modes cfg g ~memory:[||] in
+  let r = Cpu.run ~rc:(Cpu.Run_config.make ~edge_modes ()) cfg g ~memory:[||] in
   Alcotest.(check int) "one transition" 1 r.Cpu.mode_transitions;
   (* li at 800 + jump at 800 + transition + li at 200. *)
   check_float ~eps:1e-15 "time"
@@ -240,7 +240,7 @@ let test_observer_sequence () =
   let g = Cfg.Builder.finish b ~entry:l1 in
   let events = ref [] in
   let observer label ~via ~time:_ ~energy:_ = events := (label, via) :: !events in
-  ignore (Cpu.run ~observer cfg g ~memory:[||]);
+  ignore (Cpu.run ~rc:(Cpu.Run_config.make ~observer ()) cfg g ~memory:[||]);
   Alcotest.(check bool) "events" true
     (List.rev !events = [ (l1, None); (l2, Some l1) ])
 
@@ -285,8 +285,8 @@ let test_memory_bound_insensitive_to_frequency () =
   let g, layout = Dvs_lang.Lower.compile_string src in
   let mem = Array.make layout.Dvs_lang.Lower.memory_words 1 in
   let cfg = small_config ~dram_latency:2e-6 () in
-  let fast = Cpu.run ~initial_mode:2 cfg g ~memory:mem in
-  let slow = Cpu.run ~initial_mode:0 cfg g ~memory:mem in
+  let fast = Cpu.run ~rc:(Cpu.Run_config.make ~initial_mode:2 ()) cfg g ~memory:mem in
+  let slow = Cpu.run ~rc:(Cpu.Run_config.make ~initial_mode:0 ()) cfg g ~memory:mem in
   let ratio = slow.Cpu.time /. fast.Cpu.time in
   Alcotest.(check bool) "ratio < 4" true (ratio < 3.0);
   Alcotest.(check bool) "misses happened" true (fast.Cpu.l2.Cache.misses > 100)
@@ -377,8 +377,8 @@ let test_schedule_parity_across_cores () =
     let idx = Cfg.edge_index g e in
     Some (if idx >= Array.length edges / 2 then 0 else 2)
   in
-  let io = Cpu.run ~initial_mode:2 ~edge_modes cfg g ~memory:mem in
-  let ooo = Cpu_ooo.run ~initial_mode:2 ~edge_modes cfg g ~memory:mem in
+  let io = Cpu.run ~rc:(Cpu.Run_config.make ~initial_mode:2 ~edge_modes ()) cfg g ~memory:mem in
+  let ooo = Cpu_ooo.run ~rc:(Cpu.Run_config.make ~initial_mode:2 ~edge_modes ()) cfg g ~memory:mem in
   Alcotest.(check bool) "same memory" true (io.Cpu.memory = ooo.Cpu.memory);
   Alcotest.(check int) "same transitions" io.Cpu.mode_transitions
     ooo.Cpu.mode_transitions;

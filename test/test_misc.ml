@@ -69,11 +69,17 @@ let test_governor_ramps_up_when_busy () =
   let machine = Dvs_workloads.Workload.eval_config () in
   let governor = Dvs_core.Baselines.weiser_governor ~interval:5e-6 () in
   let r =
-    Dvs_machine.Cpu.run ~initial_mode:0 ~governor machine cfg ~memory:[||]
+    Dvs_machine.Cpu.run
+      ~rc:(Dvs_machine.Cpu.Run_config.make ~initial_mode:0 ~governor ())
+      machine cfg ~memory:[||]
   in
   Alcotest.(check int) "climbed two steps" 2 r.Dvs_machine.Cpu.mode_transitions;
   (* Compare with pinned slow: governor must be faster. *)
-  let slow = Dvs_machine.Cpu.run ~initial_mode:0 machine cfg ~memory:[||] in
+  let slow =
+    Dvs_machine.Cpu.run
+      ~rc:(Dvs_machine.Cpu.Run_config.make ~initial_mode:0 ())
+      machine cfg ~memory:[||]
+  in
   Alcotest.(check bool) "faster than all-slow" true
     (r.Dvs_machine.Cpu.time < slow.Dvs_machine.Cpu.time)
 
@@ -95,7 +101,11 @@ let test_governor_steps_down_when_stalled () =
       ~dram_latency:2e-6 ()
   in
   let governor = Dvs_core.Baselines.weiser_governor ~interval:2e-4 () in
-  let r = Dvs_machine.Cpu.run ~initial_mode:2 ~governor machine cfg ~memory:mem in
+  let r =
+    Dvs_machine.Cpu.run
+      ~rc:(Dvs_machine.Cpu.Run_config.make ~initial_mode:2 ~governor ())
+      machine cfg ~memory:mem
+  in
   Alcotest.(check bool) "stepped down" true
     (r.Dvs_machine.Cpu.mode_transitions >= 1)
 

@@ -1,0 +1,333 @@
+(* Summarized-verification suite: Verify.Session's tape replay and
+   incremental splicing must be *bit-identical* to the cycle-accurate
+   simulator — not approximately equal.  The whole point of the summary
+   layer is that a deadline sweep can replay one recorded execution per
+   candidate schedule; these tests are the license for that, checking
+   structural equality of the full run_stats record (floats compared by
+   bits, architectural state included) across random programs, random
+   schedules, chained incremental mutations, parallel sweeps at jobs=1
+   and jobs=4, and solver crash injection. *)
+
+module Cpu = Dvs_machine.Cpu
+module Config = Dvs_machine.Config
+module Schedule = Dvs_core.Schedule
+module Verify = Dvs_core.Verify
+module Pipeline = Dvs_core.Pipeline
+module Formulation = Dvs_core.Formulation
+
+let jobs_list =
+  match Sys.getenv_opt "DVS_FAULT_JOBS" with
+  | Some s -> [ int_of_string (String.trim s) ]
+  | None -> [ 1; 4 ]
+
+(* Small multi-mode machine with real cache misses: L1/L2 tiny enough
+   that the generated array walks miss, so the tape carries the full op
+   vocabulary (compute, hit, wait, clear, both miss kinds). *)
+let machine =
+  Config.default
+    ~l1d:{ Config.size_bytes = 512; assoc = 2; block_bytes = 16;
+           latency_cycles = 1 }
+    ~l2:{ Config.size_bytes = 2048; assoc = 2; block_bytes = 16;
+          latency_cycles = 4 }
+    ~dram_latency:8e-7
+    ~regulator:(Dvs_power.Switch_cost.regulator ~capacitance:0.05e-6 ())
+    ()
+
+let n_modes = Dvs_power.Mode.size machine.Config.mode_table
+
+(* Seed-parameterized program in the same family as test_dvs's random
+   pipeline programs: loops, arrays, data-dependent branches. *)
+let program ~seed =
+  let rng = Random.State.make [| 0x50f7; seed |] in
+  let arr = 64 + Random.State.int rng 192 in
+  let outer = 2 + Random.State.int rng 4 in
+  let inner = 8 + Random.State.int rng 24 in
+  let stride = 1 + Random.State.int rng 12 in
+  let branch_mod = 2 + Random.State.int rng 3 in
+  let src =
+    Printf.sprintf
+      "int a[%d]; int s; int i; int j;\n\
+       for (i = 0; i < %d; i = i + 1) {\n\
+       \  for (j = 0; j < %d; j = j + 1) {\n\
+       \    s = s + a[(j * %d) %% %d];\n\
+       \    if (s %% %d == 0) { s = s + j; } else { s = s - 1; }\n\
+       \  }\n\
+       \  a[i %% %d] = s;\n\
+       }"
+      arr outer inner stride arr branch_mod arr
+  in
+  let cfg, layout = Dvs_lang.Lower.compile_string src in
+  let mem =
+    Array.init layout.Dvs_lang.Lower.memory_words (fun i -> (i * 7) mod 97)
+  in
+  (cfg, mem)
+
+let random_schedule rng cfg =
+  { Schedule.entry_mode = Random.State.int rng n_modes;
+    edge_mode =
+      Array.init
+        (Array.length (Dvs_ir.Cfg.edges cfg))
+        (fun _ -> Random.State.int rng n_modes) }
+
+(* The ground truth a session must match: a fresh cycle-accurate run of
+   the schedule. *)
+let direct cfg mem s =
+  Cpu.run
+    ~rc:
+      (Cpu.Run_config.make ~initial_mode:s.Schedule.entry_mode
+         ~edge_modes:(Schedule.edge_modes s cfg) ())
+    machine cfg ~memory:mem
+
+let bits = Int64.bits_of_float
+
+let check_stats what (expected : Cpu.run_stats) (actual : Cpu.run_stats) =
+  (* Bit-exact on the floats the acceptance criteria name... *)
+  List.iter
+    (fun (field, e, a) ->
+      if bits e <> bits a then
+        Alcotest.failf "%s: %s differs: %.17g vs %.17g" what field e a)
+    [ ("time", expected.Cpu.time, actual.Cpu.time);
+      ("energy", expected.Cpu.energy, actual.Cpu.energy);
+      ("stall_time", expected.Cpu.stall_time, actual.Cpu.stall_time);
+      ("transition_time", expected.Cpu.transition_time,
+       actual.Cpu.transition_time);
+      ("transition_energy", expected.Cpu.transition_energy,
+       actual.Cpu.transition_energy);
+      ("miss_busy_time", expected.Cpu.miss_busy_time,
+       actual.Cpu.miss_busy_time) ];
+  List.iter
+    (fun (field, e, a) ->
+      if e <> a then Alcotest.failf "%s: %s differs: %d vs %d" what field e a)
+    [ ("dyn_instrs", expected.Cpu.dyn_instrs, actual.Cpu.dyn_instrs);
+      ("mode_transitions", expected.Cpu.mode_transitions,
+       actual.Cpu.mode_transitions);
+      ("overlap_cycles", expected.Cpu.overlap_cycles,
+       actual.Cpu.overlap_cycles);
+      ("dependent_cycles", expected.Cpu.dependent_cycles,
+       actual.Cpu.dependent_cycles);
+      ("cache_hit_cycles", expected.Cpu.cache_hit_cycles,
+       actual.Cpu.cache_hit_cycles) ];
+  (* ...and structural equality on everything, architectural state
+     included (assumption 1 made checkable). *)
+  if expected <> actual then
+    Alcotest.failf "%s: run_stats records differ structurally" what
+
+(* --- Session.check vs cycle-accurate, 25 seeds ------------------------- *)
+
+let test_session_matches () =
+  for seed = 0 to 24 do
+    let cfg, mem = program ~seed in
+    let session = Verify.Session.create machine cfg ~memory:mem in
+    let rng = Random.State.make [| 0xab1e; seed |] in
+    for trial = 0 to 2 do
+      let s = random_schedule rng cfg in
+      let v =
+        Verify.Session.check session ~schedule:s ~deadline:1.0
+          ~predicted_energy:1e-6
+      in
+      check_stats
+        (Printf.sprintf "seed %d trial %d" seed trial)
+        (direct cfg mem s) v.Verify.stats;
+      if v.Verify.token = 0 then
+        Alcotest.failf "seed %d trial %d: warm check returned token 0" seed
+          trial
+    done
+  done
+
+(* --- check_incremental splicing, chained mutations, 25 seeds ----------- *)
+
+let mutate rng s =
+  let n = Array.length s.Schedule.edge_mode in
+  let edge_mode = Array.copy s.Schedule.edge_mode in
+  let kind = Random.State.int rng 4 in
+  if kind = 3 || n = 0 then
+    (* Entry-mode change: divergence from position 0. *)
+    { Schedule.entry_mode = (s.Schedule.entry_mode + 1) mod n_modes;
+      edge_mode }
+  else begin
+    (* Flip 1-3 edges, biased toward late edge indices so the splice
+       actually reuses a prefix. *)
+    let flips = 1 + Random.State.int rng 3 in
+    for _ = 1 to flips do
+      let i =
+        if Random.State.bool rng then n - 1 - Random.State.int rng (max 1 (n / 2))
+        else Random.State.int rng n
+      in
+      edge_mode.(i) <- Random.State.int rng n_modes
+    done;
+    { s with Schedule.edge_mode }
+  end
+
+let test_incremental_matches () =
+  for seed = 0 to 24 do
+    let cfg, mem = program ~seed in
+    let session = Verify.Session.create machine cfg ~memory:mem in
+    let rng = Random.State.make [| 0x1ac3; seed |] in
+    let s0 = random_schedule rng cfg in
+    let v0 =
+      Verify.Session.check session ~schedule:s0 ~deadline:1.0
+        ~predicted_energy:1e-6
+    in
+    check_stats (Printf.sprintf "seed %d base" seed) (direct cfg mem s0)
+      v0.Verify.stats;
+    let s = ref s0 and prev = ref v0 in
+    for step = 0 to 4 do
+      (* Step 2 re-checks the identical schedule: the zero-divergence
+         path must still produce exact stats and a fresh token. *)
+      let s' = if step = 2 then !s else mutate rng !s in
+      let v =
+        Verify.Session.check_incremental session ~against:!prev ~schedule:s'
+          ~deadline:1.0 ~predicted_energy:1e-6
+      in
+      check_stats
+        (Printf.sprintf "seed %d step %d" seed step)
+        (direct cfg mem s') v.Verify.stats;
+      if v.Verify.token = 0 || v.Verify.token = !prev.Verify.token then
+        Alcotest.failf "seed %d step %d: bad token %d" seed step
+          v.Verify.token;
+      s := s';
+      prev := v
+    done
+  done
+
+(* --- cold vs warm across an entire sweep, jobs=1 and jobs=4 ------------ *)
+
+let sweep_program = lazy (program ~seed:7)
+
+let sweep_deadlines p ~points =
+  let t_fast = Dvs_profile.Profile.pinned_time p ~mode:(n_modes - 1) in
+  let t_slow = Dvs_profile.Profile.pinned_time p ~mode:0 in
+  Array.init points (fun i ->
+      let frac = 0.15 +. (0.75 *. float_of_int i /. float_of_int (points - 1)) in
+      t_fast +. (frac *. (t_slow -. t_fast)))
+
+let test_sweep_cold_vs_warm () =
+  let cfg, mem = Lazy.force sweep_program in
+  let p = Dvs_profile.Profile.collect machine cfg ~memory:mem in
+  let deadlines = sweep_deadlines p ~points:4 in
+  List.iter
+    (fun jobs ->
+      let run ~cold_verify =
+        let config =
+          Pipeline.Config.make
+            ~solver:
+              (Dvs_milp.Solver.Config.make ~jobs ~max_nodes:1500
+                 ~time_limit:8.0 ())
+            ~cold_verify ()
+        in
+        Pipeline.optimize_sweep ~config ~verify_config:machine ~profile:p
+          machine cfg ~memory:mem ~deadlines
+      in
+      let cold = run ~cold_verify:true and warm = run ~cold_verify:false in
+      Array.iteri
+        (fun i (c : Pipeline.result) ->
+          let w = warm.Pipeline.results.(i) in
+          match (c.Pipeline.verification, w.Pipeline.verification) with
+          | None, None -> ()
+          | Some vc, Some vw ->
+            check_stats
+              (Printf.sprintf "jobs %d point %d" jobs i)
+              vc.Verify.stats vw.Verify.stats;
+            Alcotest.(check bool)
+              "meets_deadline agrees" vc.Verify.meets_deadline
+              vw.Verify.meets_deadline;
+            if bits vc.Verify.energy_error <> bits vw.Verify.energy_error
+            then
+              Alcotest.failf "jobs %d point %d: energy_error differs" jobs i
+          | _ ->
+            Alcotest.failf "jobs %d point %d: verification presence differs"
+              jobs i)
+        cold.Pipeline.results)
+    jobs_list
+
+(* A warm session shared across the whole grid must agree with itself
+   cold: same session, checks in sweep order, every report equal to a
+   fresh cycle-accurate run. *)
+let test_session_reuse_across_grid () =
+  let cfg, mem = Lazy.force sweep_program in
+  let session = Verify.Session.create machine cfg ~memory:mem in
+  let rng = Random.State.make [| 0x9f1d |] in
+  let prev = ref None in
+  for i = 0 to 9 do
+    let s = random_schedule rng cfg in
+    let v =
+      match !prev with
+      | None ->
+        Verify.Session.check session ~schedule:s ~deadline:1.0
+          ~predicted_energy:1e-6
+      | Some p ->
+        Verify.Session.check_incremental session ~against:p ~schedule:s
+          ~deadline:1.0 ~predicted_energy:1e-6
+    in
+    check_stats (Printf.sprintf "grid point %d" i) (direct cfg mem s)
+      v.Verify.stats;
+    prev := Some v
+  done
+
+(* --- exactness survives solver crash injection ------------------------- *)
+
+let test_fault_injection_exact () =
+  let cfg, mem = Lazy.force sweep_program in
+  let p = Dvs_profile.Profile.collect machine cfg ~memory:mem in
+  let deadline = (sweep_deadlines p ~points:4).(2) in
+  List.iter
+    (fun jobs ->
+      let config =
+        Pipeline.Config.make
+          ~solver:
+            (Dvs_milp.Solver.Config.make ~jobs ~max_nodes:1500
+               ~time_limit:8.0 ()
+            |> Dvs_milp.Solver.Config.with_fault
+                 (Dvs_milp.Fault.make ~crash_every:3 ()))
+          ()
+      in
+      let r =
+        Pipeline.optimize_multi ~config ~verify_config:machine
+          ~regulator:machine.Config.regulator ~memory:mem
+          [ { Formulation.profile = p; weight = 1.0; deadline } ]
+      in
+      match (r.Pipeline.schedule, r.Pipeline.verification) with
+      | Some s, Some v ->
+        check_stats
+          (Printf.sprintf "fault jobs %d" jobs)
+          (direct cfg mem s) v.Verify.stats
+      | _ ->
+        (* Crash containment may legitimately end with no incumbent;
+           only a produced schedule must verify exactly. *)
+        ())
+    jobs_list
+
+(* --- deadline tolerance is the single source of truth ------------------ *)
+
+let test_deadline_tolerance () =
+  let cfg, mem = Lazy.force sweep_program in
+  let session = Verify.Session.create machine cfg ~memory:mem in
+  let s = Schedule.uniform cfg 0 in
+  let v =
+    Verify.Session.check session ~schedule:s ~deadline:1.0
+      ~predicted_energy:1e-6
+  in
+  let t = v.Verify.stats.Cpu.time in
+  let at d =
+    (Verify.Session.check session ~schedule:s ~deadline:d
+       ~predicted_energy:1e-6)
+      .Verify.meets_deadline
+  in
+  Alcotest.(check bool) "inside tolerance" true
+    (at (t /. (1.0 +. (Verify.deadline_tolerance /. 2.0))));
+  Alcotest.(check bool) "outside tolerance" false
+    (at (t /. (1.0 +. (2.0 *. Verify.deadline_tolerance))))
+
+let suite =
+  [ Alcotest.test_case "session matches cycle-accurate (25 seeds)" `Slow
+      test_session_matches;
+    Alcotest.test_case "incremental splice matches (25 seeds)" `Slow
+      test_incremental_matches;
+    Alcotest.test_case "cold vs warm sweep equality (jobs 1/4)" `Slow
+      test_sweep_cold_vs_warm;
+    Alcotest.test_case "session reuse across a grid" `Quick
+      test_session_reuse_across_grid;
+    Alcotest.test_case "crash injection stays exact (jobs 1/4)" `Slow
+      test_fault_injection_exact;
+    Alcotest.test_case "deadline tolerance boundary" `Quick
+      test_deadline_tolerance ]
