@@ -54,12 +54,13 @@ let baseline_energy name ~deadline =
     let cfg = p.Dvs_profile.Profile.cfg in
     let schedule = Schedule.uniform cfg mode in
     let regulator = Context.default_regulator in
+    let input =
+      Dvs_workloads.Workload.(default_input (find name))
+    in
+    let session = Context.session ~regulator ~input name in
     let v =
-      Verify.run
-        (Context.config_of ~regulator Context.Xscale3)
-        cfg
-        ~memory:(Context.default_memory name)
-        ~schedule ~deadline ~predicted_energy:e_model
+      Verify.Session.check session ~schedule ~deadline
+        ~predicted_energy:e_model
     in
     Some v.Verify.stats.Dvs_machine.Cpu.energy
 

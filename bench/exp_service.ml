@@ -1,0 +1,117 @@
+(* Service experiment: dvsd under closed-loop load.
+
+   Three legs against real daemons on temp sockets (the engine keeps its
+   own private metrics registry, so nothing here pollutes the shared
+   Context.obs solver counters the bench summary is derived from):
+
+   - clean: warm 2-worker daemon, seeded Poisson traffic — the latency
+     and savings reference point;
+   - chaos: same daemon, every request carrying seeded fault triggers
+     (worker crashes, pivot exhaustion, poisoned requests) — measures
+     the savings the degradation ladder gives back under faults, and
+     that containment holds (the daemon answers everything);
+   - overload: 1 worker behind a depth-2 queue, 12 impatient clients,
+     no retries — measures admission-control shedding and the latency
+     of what *is* admitted.
+
+   Two numbers feed the gated bench summary via shared-registry gauges:
+   service.p99_seconds (clean-leg client-observed p99, informational in
+   bench-diff — CI hosts are noisy) and service.shed_rate (overload-leg
+   shed fraction, gated with an absolute tolerance: admission control
+   regressing to buffering-without-bound shows up as a shed-rate
+   collapse). *)
+
+module P = Dvs_service.Protocol
+module Engine = Dvs_service.Engine
+module Daemon = Dvs_service.Daemon
+module Loadgen = Dvs_service.Loadgen
+module Metrics = Dvs_obs.Metrics
+
+let heading id title note =
+  Printf.printf "\n=== %s: %s ===\n%s\n" id title note
+
+let wl = "ghostscript"
+
+let sock name =
+  Filename.concat
+    (Filename.get_temp_dir_name ())
+    (Printf.sprintf "dvsd-bench-%s-%d.sock" name (Unix.getpid ()))
+
+let with_daemon ~config name f =
+  let socket = sock name in
+  (try Unix.unlink socket with Unix.Unix_error _ -> ());
+  let d = Daemon.start ~engine_config:config ~socket () in
+  let runner = Thread.create Daemon.run d in
+  Fun.protect
+    ~finally:(fun () ->
+      Daemon.stop d;
+      Thread.join runner)
+    (fun () ->
+      Engine.warm (Daemon.engine d) [ (wl, None) ];
+      f ~socket)
+
+let leg ~socket spec =
+  let s = Loadgen.run ~socket spec in
+  Format.printf "%a@." Loadgen.pp s;
+  s
+
+let pct = function
+  | Some v -> Printf.sprintf "%.1f%%" v
+  | None -> "-"
+
+let run () =
+  heading "service"
+    "dvsd under load: latency, shedding, savings retention"
+    "closed-loop seeded traffic against live daemons; chaos leg injects \
+     crashes / pivot exhaustion / poisoned requests per request; \
+     overload leg starves a depth-2 queue (see lib/service/)";
+  Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
+  let clean, chaos =
+    with_daemon ~config:(Engine.Config.make ~workers:2 ()) "main"
+      (fun ~socket ->
+        let clean =
+          leg ~socket
+            (Loadgen.leg ~clients:4 ~workloads:[ (wl, None) ] ~seed:42
+               ~name:"clean" ~requests:40 ~rate_hz:200.0 ())
+        in
+        let chaos =
+          leg ~socket
+            (Loadgen.leg ~clients:4 ~workloads:[ (wl, None) ] ~seed:43
+               ~chaos:
+                 (P.chaos ~crash_rate:0.5 ~exhaust_rate:0.2
+                    ~poison_rate:0.1 ~seed:7 ())
+               ~name:"chaos" ~requests:30 ~rate_hz:200.0 ())
+        in
+        (clean, chaos))
+  in
+  let overload =
+    with_daemon
+      ~config:
+        (Engine.Config.make ~workers:1 ~queue_depth:2 ~batch_max:1
+           ~default_budget_s:0.5 ())
+      "overload"
+      (fun ~socket ->
+        leg ~socket
+          (Loadgen.leg ~clients:12 ~retries:0 ~workloads:[ (wl, None) ]
+             ~seed:44 ~name:"overload" ~requests:120 ~rate_hz:2000.0 ()))
+  in
+  Format.printf
+    "savings retention: clean %s -> chaos %s -> overload %s (served \
+     requests only)@."
+    (pct clean.Loadgen.savings_mean_pct)
+    (pct chaos.Loadgen.savings_mean_pct)
+    (pct overload.Loadgen.savings_mean_pct);
+  Format.printf "chaos leg answered %d/%d (contained failures: %d)@."
+    chaos.Loadgen.sent 30
+    (Loadgen.class_count chaos P.Failed);
+  (* The two numbers the bench summary carries (Schema.bench_summary
+     reads these gauges off the shared registry). *)
+  let m = Dvs_obs.metrics Context.obs in
+  Metrics.Gauge.set
+    (Metrics.gauge m "service.p99_seconds")
+    (clean.Loadgen.p99_ms /. 1e3);
+  Metrics.Gauge.set
+    (Metrics.gauge m "service.shed_rate")
+    overload.Loadgen.shed_rate
+
+let all = [ ("service", run) ]

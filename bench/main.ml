@@ -18,6 +18,7 @@ let registry =
   @ Exp_milp.all
   @ Exp_extensions.all
   @ Exp_faults.all
+  @ Exp_service.all
   @ [ ("micro", Micro.run) ]
 
 (* Deduplicate ids that alias the same experiment (table3/fig14). *)

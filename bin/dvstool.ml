@@ -297,17 +297,14 @@ let strict_opt =
            the verified MILP optimum (exit 3 = time-limit-degraded, 4 = \
            worker-crash-degraded, 5 = verify-reject-degraded).")
 
-(* Exit codes, one per failure class (see README):
-   0 ok (degraded results still exit 0 unless --strict), 1 infeasible or
-   unbounded, 2 no schedule from any rung, 3/4/5 degraded under --strict. *)
+(* Exit codes come from the one table shared with the service client
+   commands (see README and lib/service/protocol.mli): 0 ok (degraded
+   results still exit 0 unless --strict), 1 infeasible or unbounded, 2
+   no schedule from any rung, 3/4/5/6 degraded under --strict, 7/8/9
+   service failures (always nonzero). *)
 let exit_code ~strict cls =
-  match (cls : Dvs_core.Pipeline.degradation_class) with
-  | Dvs_core.Pipeline.Full -> 0
-  | Dvs_core.Pipeline.Problem_infeasible -> 1
-  | Dvs_core.Pipeline.No_schedule -> 2
-  | Dvs_core.Pipeline.Time_degraded -> if strict then 3 else 0
-  | Dvs_core.Pipeline.Crash_degraded -> if strict then 4 else 0
-  | Dvs_core.Pipeline.Verify_degraded -> if strict then 5 else 0
+  Dvs_service.Protocol.exit_code ~strict
+    (Dvs_service.Protocol.class_of_pipeline cls)
 
 let optimize_cmd =
   let run w input capacitance levels frac no_filter save jobs strict trace
@@ -718,20 +715,76 @@ let stats_cmd =
         else Format.printf "  %-28s %8d@." name !c)
       (List.rev !order)
   in
-  let run metrics trace check =
-    if metrics = None && trace = None then begin
-      Format.eprintf "nothing to do: pass --metrics FILE and/or --trace FILE@.";
+  let show_service file check =
+    let j =
+      match Dvs_obs.Json.of_string (read_file file) with
+      | Ok j -> j
+      | Error e -> fail "%s: not JSON: %s" file e
+    in
+    (match Dvs_obs.Schema.validate_service j with
+    | Ok () -> ()
+    | Error e ->
+      if check then fail "%s: schema violation: %s" file e
+      else Format.eprintf "warning: %s: %s@." file e);
+    let open Dvs_obs.Json in
+    let str k = Option.bind (member k j) to_string_opt in
+    let num ?(in_ = j) k = Option.bind (member k in_) to_float in
+    let int k = Option.bind (member k j) to_int in
+    Format.printf "leg %s: %d requests in %.2fs@."
+      (Option.value ~default:"?" (str "leg"))
+      (Option.value ~default:0 (int "requests"))
+      (Option.value ~default:Float.nan (num "wall_seconds"));
+    (match member "latency_ms" j with
+    | Some lat ->
+      Format.printf
+        "latency ms: mean %.1f  p50 %.1f  p90 %.1f  p99 %.1f@."
+        (Option.value ~default:Float.nan (num ~in_:lat "mean"))
+        (Option.value ~default:Float.nan (num ~in_:lat "p50"))
+        (Option.value ~default:Float.nan (num ~in_:lat "p90"))
+        (Option.value ~default:Float.nan (num ~in_:lat "p99"))
+    | None -> ());
+    Format.printf "shed rate %.3f, batched %.0f%%, %d retries@."
+      (Option.value ~default:Float.nan (num "shed_rate"))
+      (100.0 *. Option.value ~default:Float.nan (num "batched_fraction"))
+      (Option.value ~default:0 (int "retries"));
+    (match num "savings_pct_mean" with
+    | Some v when Float.is_nan v |> not ->
+      Format.printf "mean savings %.1f%%@." v
+    | _ -> ());
+    match member "classes" j with
+    | Some (Obj kvs) ->
+      List.iter
+        (fun (k, v) ->
+          match to_int v with
+          | Some n when n > 0 -> Format.printf "  %-18s %d@." k n
+          | _ -> ())
+        kvs
+    | _ -> ()
+  in
+  let run metrics trace service check =
+    if metrics = None && trace = None && service = None then begin
+      Format.eprintf
+        "nothing to do: pass --metrics, --trace and/or --service FILE@.";
       exit 2
     end;
     Option.iter (fun f -> show_metrics f check) metrics;
-    Option.iter (fun f -> show_trace f check) trace
+    Option.iter (fun f -> show_trace f check) trace;
+    Option.iter (fun f -> show_service f check) service
+  in
+  let service_in =
+    Arg.(
+      value
+      & opt (some file) None
+      & info [ "service" ] ~docv:"FILE"
+          ~doc:"dvs-service/v1 loadgen report to pretty-print.")
   in
   Cmd.v
     (Cmd.info "stats"
        ~doc:
          "Pretty-print (and with $(b,--check) validate) metrics / trace \
-          files written by $(b,--metrics) / $(b,--trace)")
-    Term.(const run $ metrics_in $ trace_in $ check)
+          / service-report files written by $(b,--metrics) / \
+          $(b,--trace) / $(b,loadgen --report)")
+    Term.(const run $ metrics_in $ trace_in $ service_in $ check)
 
 (* ---------------- bench-diff ---------------- *)
 
@@ -763,6 +816,16 @@ let bench_diff_cmd =
             "Allowed fractional growth of each work counter before the \
              diff fails (default 0.10 = 10%).")
   in
+  let shed_tolerance_opt =
+    Arg.(
+      value
+      & opt float 0.25
+      & info [ "shed-tolerance" ] ~docv:"ABS"
+          ~doc:
+            "Allowed absolute drift of the service experiment's overload \
+             shed rate before the diff fails (default 0.25); only \
+             checked when both summaries carry a service section.")
+  in
   let read_file file =
     let ic = open_in file in
     let s = really_input_string ic (in_channel_length ic) in
@@ -788,7 +851,7 @@ let bench_diff_cmd =
     | Some n -> n
     | None -> fail "%s: missing integer field %s" file k
   in
-  let run baseline current max_regression =
+  let run baseline current max_regression shed_tolerance =
     let bj = load baseline and cj = load current in
     (* Deterministic work counters gate the diff; wall-clock numbers are
        printed for context only (CI machines are too noisy to gate on). *)
@@ -869,27 +932,444 @@ let bench_diff_cmd =
           | _ -> ())
         bw
     | _ -> ());
-    match (regressed, !wall_regressed) with
-    | [], false ->
+    (* Service columns (PR 7): present only when both summaries ran the
+       `service' experiment.  The clean-leg p99 is wall-clock and stays
+       informational; the overload-leg shed rate is a stable property of
+       admission control (bounded queue vs 12 impatient clients), so it
+       is gated — with an *absolute* tolerance, because a shed-rate
+       collapse means the bounded queue stopped shedding, which is the
+       regression that matters. *)
+    let service_field j k =
+      Option.bind (Dvs_obs.Json.member "service" j) (fun s ->
+          Option.bind (Dvs_obs.Json.member k s) Dvs_obs.Json.to_float)
+    in
+    let shed_regressed = ref false in
+    (match
+       (service_field bj "p99_seconds", service_field cj "p99_seconds")
+     with
+    | Some b, Some c -> print_wall "service:p99" b c
+    | _ -> ());
+    (match (service_field bj "shed_rate", service_field cj "shed_rate") with
+    | Some b, Some c ->
+      let drift = Float.abs (c -. b) in
+      if drift > shed_tolerance then shed_regressed := true;
+      Format.printf "%-12s %12.3f -> %12.3f  drift %.3f%s@."
+        "service:shed" b c drift
+        (if drift > shed_tolerance then "  REGRESSION"
+         else
+           Printf.sprintf "  (gated, tolerance %.2f)" shed_tolerance)
+    | _ -> ());
+    match (regressed, !wall_regressed, !shed_regressed) with
+    | [], false, false ->
       Format.printf "bench-diff: ok (max allowed regression %.0f%%)@."
         (100.0 *. max_regression)
     | _ ->
       Format.eprintf
-        "bench-diff: %d counter(s)%s regressed beyond %.0f%%; if the \
-         growth is intended, regenerate the baseline with `bench/main.exe \
-         -- resilience fig18 reproduce --emit-bench \
+        "bench-diff: %d counter(s)%s%s regressed; if the growth is \
+         intended, regenerate the baseline with `bench/main.exe -- \
+         resilience fig18 reproduce service --emit-bench \
          bench/BENCH_baseline.json'@."
         (List.length regressed)
         (if !wall_regressed then " + the reproduce wall" else "")
-        (100.0 *. max_regression);
+        (if !shed_regressed then " + the service shed rate" else "");
       exit 1
   in
   Cmd.v
     (Cmd.info "bench-diff"
        ~doc:
          "Compare two dvs-bench/v2 summaries; fail on LP work-counter \
-          regressions")
-    Term.(const run $ baseline_in $ current_in $ max_regression_opt)
+          (and service shed-rate) regressions")
+    Term.(
+      const run $ baseline_in $ current_in $ max_regression_opt
+      $ shed_tolerance_opt)
+
+(* ---------------- service: serve / request / loadgen ---------------- *)
+
+let socket_opt =
+  Arg.(
+    value
+    & opt string "/tmp/dvsd.sock"
+    & info [ "socket" ] ~docv:"PATH"
+        ~doc:"Unix-domain socket the daemon listens on.")
+
+(* "name" or "name:input" *)
+let parse_workload_spec s =
+  match String.index_opt s ':' with
+  | Some i ->
+    (String.sub s 0 i, Some (String.sub s (i + 1) (String.length s - i - 1)))
+  | None -> (s, None)
+
+let serve_cmd =
+  let workers =
+    Arg.(
+      value & opt int 2
+      & info [ "workers" ] ~docv:"N" ~doc:"Worker domains serving requests.")
+  in
+  let queue_depth =
+    Arg.(
+      value & opt int 64
+      & info [ "queue-depth" ] ~docv:"N"
+          ~doc:
+            "Admission-queue bound; a submit against a full queue is shed \
+             with a typed overloaded rejection instead of buffered.")
+  in
+  let budget =
+    Arg.(
+      value & opt float 2.0
+      & info [ "budget" ] ~docv:"SECONDS"
+          ~doc:
+            "Default wall-clock budget for requests that carry none; \
+             queueing time is charged against it and the remainder picks \
+             the degradation-ladder entry.")
+  in
+  let batch_max =
+    Arg.(
+      value & opt int 8
+      & info [ "batch-max" ] ~docv:"N"
+          ~doc:"Near-duplicate requests solved as one sweep (1 disables).")
+  in
+  let max_nodes =
+    Arg.(
+      value & opt int 4000
+      & info [ "max-nodes" ] ~docv:"N"
+          ~doc:"MILP node budget per solve.")
+  in
+  let warm =
+    Arg.(
+      value
+      & opt_all string []
+      & info [ "warm" ] ~docv:"WORKLOAD[:INPUT]"
+          ~doc:
+            "Pre-build warm state (compile, profile, verification \
+             session) before accepting traffic; repeatable.")
+  in
+  let run socket workers queue_depth budget batch_max max_nodes capacitance
+      levels warm =
+    Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
+    let engine_config =
+      try
+        Dvs_service.Engine.Config.make ~workers ~queue_depth
+          ~default_budget_s:budget ~batch_max ~max_nodes ~capacitance
+          ?levels ()
+      with Invalid_argument msg ->
+        Format.eprintf "error: %s@." msg;
+        exit 9
+    in
+    match Dvs_service.Daemon.start ~engine_config ~socket () with
+    | exception Failure msg ->
+      Format.eprintf "error: %s@." msg;
+      exit 9
+    | d ->
+      (match List.map parse_workload_spec warm with
+      | [] -> ()
+      | pairs -> (
+        match Dvs_service.Engine.warm (Dvs_service.Daemon.engine d) pairs with
+        | () -> Format.eprintf "warmed %d workload(s)@." (List.length pairs)
+        | exception Not_found ->
+          Format.eprintf "error: unknown workload in --warm@.";
+          Dvs_service.Daemon.stop d;
+          exit 9));
+      let on_signal _ = Dvs_service.Daemon.stop d in
+      Sys.set_signal Sys.sigint (Sys.Signal_handle on_signal);
+      Sys.set_signal Sys.sigterm (Sys.Signal_handle on_signal);
+      Format.eprintf "dvsd listening on %s (%d workers, queue %d)@." socket
+        workers queue_depth;
+      Dvs_service.Daemon.run d;
+      Format.eprintf "dvsd stopped@."
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Run the long-lived solve service on a Unix-domain socket \
+          (bounded admission queue, per-request budgets, near-duplicate \
+          batching, idempotent retries)")
+    Term.(
+      const run $ socket_opt $ workers $ queue_depth $ budget $ batch_max
+      $ max_nodes $ capacitance_opt $ levels_opt $ warm)
+
+let request_cmd =
+  let budget =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "budget" ] ~docv:"SECONDS"
+          ~doc:"Wall-clock budget for this request (server default when \
+                absent).")
+  in
+  let mode =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "mode" ] ~docv:"M"
+          ~doc:"Ask for a pinned simulation at mode M instead of an \
+                optimization.")
+  in
+  let id =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "id" ] ~docv:"ID"
+          ~doc:
+            "Idempotency key: retries under the same id are served the \
+             memoized reply instead of re-solving (default: fresh \
+             per-invocation id).")
+  in
+  let retries =
+    Arg.(
+      value & opt int 5
+      & info [ "retries" ] ~docv:"N"
+          ~doc:"Retries (exponential backoff) when the daemon sheds the \
+                request as overloaded.")
+  in
+  let shutdown =
+    Arg.(
+      value & flag
+      & info [ "shutdown" ]
+          ~doc:"Ask the daemon to drain and exit (no workload needed).")
+  in
+  let run socket w input frac budget mode id retries strict shutdown =
+    Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
+    let module P = Dvs_service.Protocol in
+    let body =
+      match (shutdown, w, mode) with
+      | true, _, _ -> P.Shutdown
+      | false, None, _ ->
+        Format.eprintf "error: a WORKLOAD is required unless --shutdown@.";
+        exit 9
+      | false, Some w, Some m ->
+        P.Simulate
+          { workload = w.Dvs_workloads.Workload.name; input; mode = m }
+      | false, Some w, None ->
+        P.Optimize
+          { workload = w.Dvs_workloads.Workload.name; input;
+            deadline_frac = frac; budget_s = budget; chaos = None }
+    in
+    let id =
+      match id with
+      | Some s -> s
+      | None ->
+        Printf.sprintf "cli-%d-%07.0f" (Unix.getpid ())
+          (Float.rem (Unix.gettimeofday () *. 1e3) 1e7)
+    in
+    let c =
+      match Dvs_service.Client.connect ~socket with
+      | c -> c
+      | exception Unix.Unix_error (e, _, _) ->
+        Format.eprintf "error: cannot reach dvsd at %s: %s@." socket
+          (Unix.error_message e);
+        exit 9
+    in
+    let reply, used =
+      try Dvs_service.Client.request ~retries c { P.id; body }
+      with
+      | Failure msg ->
+        Format.eprintf "error: %s@." msg;
+        exit 9
+      | P.Closed ->
+        Format.eprintf "error: daemon closed the connection@.";
+        exit 9
+    in
+    Dvs_service.Client.close c;
+    let cls = P.class_of_reply reply in
+    Format.printf "class: %s (queued %.1f ms, served %.1f ms%s%s)@."
+      (P.class_name cls) reply.P.queue_ms reply.P.service_ms
+      (if reply.P.batched > 1 then
+         Printf.sprintf ", batch of %d" reply.P.batched
+       else "")
+      (if used > 0 then Printf.sprintf ", %d retries" used else "");
+    (match reply.P.body with
+    | P.Scheduled s ->
+      (match s.P.rung with
+      | Some rung -> Format.printf "schedule source: %s@." rung
+      | None -> ());
+      Format.printf "deadline: %.3f ms@." s.P.deadline_ms;
+      (match (s.P.measured_ms, s.P.measured_uj) with
+      | Some ms, Some uj ->
+        Format.printf "verified: %.3f ms, %.1f uJ, deadline %s@." ms uj
+          (match s.P.meets_deadline with
+          | Some true -> "met"
+          | Some false -> "MISSED"
+          | None -> "unchecked")
+      | _ -> ());
+      Option.iter
+        (fun pct ->
+          Format.printf "savings vs best single mode: %.1f%%@." pct)
+        s.P.savings_pct
+    | P.Rejected_overloaded { queue_len; queue_cap } ->
+      Format.eprintf "rejected: queue full (%d/%d)@." queue_len queue_cap
+    | P.Rejected_budget { budget_s; waited_s } ->
+      Format.eprintf "rejected: budget %.3fs drained (waited %.3fs)@."
+        budget_s waited_s
+    | P.Failed_reply msg -> Format.eprintf "failed: %s@." msg
+    | P.Bye -> Format.printf "daemon draining@."
+    | P.Sweep_points _ | P.Pong | P.Stats_reply _ -> ());
+    exit (P.exit_code ~strict cls)
+  in
+  Cmd.v
+    (Cmd.info "request"
+       ~doc:
+         "Send one optimize (or $(b,--mode) simulate, or \
+          $(b,--shutdown)) request to a running $(b,dvstool serve) \
+          daemon; exits through the shared exit-code table")
+    Term.(
+      const run $ socket_opt
+      $ Arg.(
+          value
+          & pos 0 (some workload_arg) None
+          & info [] ~docv:"WORKLOAD"
+              ~doc:"Benchmark name (optional with $(b,--shutdown)).")
+      $ input_opt $ deadline_frac_opt $ budget $ mode $ id $ retries
+      $ strict_opt $ shutdown)
+
+let loadgen_cmd =
+  let leg_name =
+    Arg.(
+      value & opt string "leg"
+      & info [ "name" ] ~docv:"NAME" ~doc:"Leg name stamped into the \
+                                           report and request ids.")
+  in
+  let requests =
+    Arg.(
+      value & opt int 50
+      & info [ "requests" ] ~docv:"N" ~doc:"Requests to send.")
+  in
+  let rate =
+    Arg.(
+      value & opt float 20.0
+      & info [ "rate" ] ~docv:"HZ"
+          ~doc:"Mean arrival rate (Poisson process).")
+  in
+  let clients =
+    Arg.(
+      value & opt int 4
+      & info [ "clients" ] ~docv:"N" ~doc:"Concurrent client connections.")
+  in
+  let workloads =
+    Arg.(
+      value
+      & opt (list string) [ "adpcm" ]
+      & info [ "workloads" ] ~docv:"W[:I],..."
+          ~doc:"Workloads cycled through by the request stream.")
+  in
+  let fracs =
+    Arg.(
+      value
+      & opt (list float) [ 0.3; 0.5; 0.7 ]
+      & info [ "fracs" ] ~docv:"F,..."
+          ~doc:"Deadline fractions sampled per request.")
+  in
+  let budget =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "budget" ] ~docv:"SECONDS" ~doc:"Per-request budget.")
+  in
+  let chaos_crash =
+    Arg.(
+      value & opt float 0.0
+      & info [ "chaos-crash" ] ~docv:"P"
+          ~doc:"Per-request probability of an injected solver-worker \
+                crash.")
+  in
+  let chaos_exhaust =
+    Arg.(
+      value & opt float 0.0
+      & info [ "chaos-exhaust" ] ~docv:"P"
+          ~doc:"Per-request probability of exhausted LP pivot budgets.")
+  in
+  let chaos_poison =
+    Arg.(
+      value & opt float 0.0
+      & info [ "chaos-poison" ] ~docv:"P"
+          ~doc:"Per-request probability of a poisoned request (raises \
+                inside the service worker; tests containment).")
+  in
+  let chaos_seed =
+    Arg.(
+      value & opt int 1
+      & info [ "chaos-seed" ] ~docv:"K"
+          ~doc:"Chaos seed: triggers are a pure function of (seed, \
+                request id).")
+  in
+  let seed =
+    Arg.(
+      value & opt int 42
+      & info [ "seed" ] ~docv:"K" ~doc:"Traffic seed (ids, fractions, \
+                                        arrivals).")
+  in
+  let report =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "report" ] ~docv:"FILE"
+          ~doc:"Write the dvs-service/v1 leg report to FILE (inspect \
+                with $(b,dvstool stats --service)).")
+  in
+  let max_shed =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "max-shed-rate" ] ~docv:"FRAC"
+          ~doc:"Exit 1 when the shed rate exceeds FRAC (CI gate).")
+  in
+  let run socket name requests rate clients workloads fracs budget
+      chaos_crash chaos_exhaust chaos_poison chaos_seed seed report
+      max_shed =
+    Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
+    let module P = Dvs_service.Protocol in
+    let module L = Dvs_service.Loadgen in
+    let chaos =
+      if chaos_crash = 0.0 && chaos_exhaust = 0.0 && chaos_poison = 0.0
+      then None
+      else
+        Some
+          (P.chaos ~crash_rate:chaos_crash ~exhaust_rate:chaos_exhaust
+             ~poison_rate:chaos_poison ~seed:chaos_seed ())
+    in
+    let leg =
+      try
+        L.leg ~clients
+          ~workloads:(List.map parse_workload_spec workloads)
+          ~fracs ?budget_s:budget ?chaos ~seed ~name ~requests
+          ~rate_hz:rate ()
+      with Invalid_argument msg ->
+        Format.eprintf "error: %s@." msg;
+        exit 9
+    in
+    let stats =
+      try L.run ~socket leg
+      with Unix.Unix_error (e, _, _) ->
+        Format.eprintf "error: cannot reach dvsd at %s: %s@." socket
+          (Unix.error_message e);
+        exit 9
+    in
+    Format.printf "%a@." L.pp stats;
+    (match report with
+    | Some file ->
+      let oc = open_out file in
+      Dvs_obs.Json.to_channel oc (L.to_json stats);
+      output_char oc '\n';
+      close_out oc;
+      Format.eprintf "report written to %s@." file
+    | None -> ());
+    match max_shed with
+    | Some cap when stats.L.shed_rate > cap ->
+      Format.eprintf "error: shed rate %.3f exceeds --max-shed-rate %.3f@."
+        stats.L.shed_rate cap;
+      exit 1
+    | _ -> ()
+  in
+  Cmd.v
+    (Cmd.info "loadgen"
+       ~doc:
+         "Drive a running daemon with seeded closed-loop traffic \
+          (optionally chaos-injected) and report latency percentiles, \
+          shed rate and savings under load")
+    Term.(
+      const run $ socket_opt $ leg_name $ requests $ rate $ clients
+      $ workloads
+      $ fracs $ budget $ chaos_crash $ chaos_exhaust $ chaos_poison
+      $ chaos_seed $ seed $ report $ max_shed)
 
 (* ---------------- analyze ---------------- *)
 
@@ -1056,5 +1536,6 @@ let () =
           (Cmd.info "dvstool" ~version:"1.0"
              ~doc:"Compile-time DVS toolkit (PLDI'03 reproduction)")
           [ list_cmd; simulate_cmd; profile_cmd; optimize_cmd; apply_cmd;
-            reproduce_cmd; stats_cmd; bench_diff_cmd; analyze_cmd;
-            compile_cmd; paths_cmd; loops_cmd ]))
+            reproduce_cmd; stats_cmd; bench_diff_cmd; serve_cmd;
+            request_cmd; loadgen_cmd; analyze_cmd; compile_cmd; paths_cmd;
+            loops_cmd ]))

@@ -3,24 +3,41 @@ module Solver = Dvs_milp.Solver
 (* Resilience policy for the degradation ladder: how hard to retry the
    MILP before falling back to cheaper, always-available schedules. *)
 module Resilience = struct
+  type entry = From_milp | From_rounded_lp | From_single_mode
+
   type t = {
     ladder : bool;
     max_retries : int;
     retry_budget_factor : float;
+    entry : entry;
   }
 
   let make ?(ladder = true) ?(max_retries = 2) ?(retry_budget_factor = 0.5)
-      () =
+      ?(entry = From_milp) () =
     if max_retries < 0 then
       invalid_arg "Pipeline.Resilience.make: max_retries must be >= 0";
     if not (retry_budget_factor > 0.0 && retry_budget_factor <= 1.0) then
       invalid_arg
         "Pipeline.Resilience.make: retry_budget_factor must be in (0, 1]";
-    { ladder; max_retries; retry_budget_factor }
+    { ladder; max_retries; retry_budget_factor; entry }
 
   let default = make ()
 
   let off = make ~ladder:false ~max_retries:0 ()
+
+  (* Map a shrinking wall-clock budget onto ladder entry points: a
+     request that has burned most of its budget queueing should not pay
+     for a MILP attempt it can no longer afford.  Thresholds are
+     fractions of the original budget, so the policy scales with the
+     caller's patience rather than with absolute solve times. *)
+  let for_budget ~budget ~remaining t =
+    if not (budget > 0.0) then
+      invalid_arg "Pipeline.Resilience.for_budget: budget must be > 0";
+    let r = remaining /. budget in
+    if r >= 0.5 then { t with entry = From_milp }
+    else if r >= 0.2 then { t with entry = From_milp; max_retries = 0 }
+    else if r >= 0.05 then { t with entry = From_rounded_lp }
+    else { t with entry = From_single_mode }
 end
 
 module Config = struct
@@ -424,7 +441,32 @@ let optimize_multi ?config ?verify_config ?session ~regulator ~memory
         reject (milp_cause m)
           (Format.asprintf "%a" Solver.pp_outcome m.Solver.outcome)
     in
-    milp_rung 0 (solve_attempt base_solver)
+    (* A placeholder result for ladders entered below the MILP rung (the
+       caller's budget ruled the solve out): no solution, a trivial
+       bound, zeroed stats — downstream consumers see an honest
+       "time limit before any incumbent" outcome. *)
+    let skipped_milp () =
+      { Solver.outcome = Solver.No_solution Solver.Time_limit;
+        solution = None;
+        bound = Float.neg_infinity;
+        stats =
+          { Solver.nodes = 0; lp_solves = 0; lp_pivots = 0; cache_hits = 0;
+            cache_misses = 0; cache_evictions = 0; steals = 0;
+            wall_seconds = 0.0; cpu_seconds = 0.0; workers = 0;
+            worker_nodes = [||] } }
+    in
+    match res.Resilience.entry with
+    | Resilience.From_milp -> milp_rung 0 (solve_attempt base_solver)
+    | Resilience.From_rounded_lp ->
+      note Milp Limit_hit
+        "skipped: caller budget too small for a MILP attempt";
+      rounded_rung (skipped_milp ())
+    | Resilience.From_single_mode ->
+      note Milp Limit_hit
+        "skipped: caller budget too small for a MILP attempt";
+      note Rounded_lp Limit_hit
+        "skipped: caller budget too small for an LP attempt";
+      baseline_rung (skipped_milp ())
   end
 
 let optimize ?config machine cfg ~memory ~deadline =

@@ -16,6 +16,12 @@
 
 (** Retry/fallback policy for the degradation ladder. *)
 module Resilience : sig
+  (** Where the ladder starts.  Entering below {!From_milp} records the
+      skipped rungs as [Limit_hit] descents, so the result still names
+      why the cheaper strategy answered (a caller-imposed budget, not a
+      solver failure at that rung). *)
+  type entry = From_milp | From_rounded_lp | From_single_mode
+
   type t = {
     ladder : bool;
         (** walk the degradation ladder (default true); when false the
@@ -25,19 +31,30 @@ module Resilience : sig
     retry_budget_factor : float;
         (** node budget multiplier per retry, in (0, 1] (default 0.5):
             retry [k] runs with [max_nodes *. factor^k] *)
+    entry : entry;
+        (** first rung attempted (default {!From_milp}); the [dvsd]
+            service lowers it as a request's wall-clock budget drains
+            ({!for_budget}) *)
   }
 
   val make :
     ?ladder:bool -> ?max_retries:int -> ?retry_budget_factor:float ->
-    unit -> t
+    ?entry:entry -> unit -> t
   (** Raises [Invalid_argument] when [max_retries < 0] or
       [retry_budget_factor] is outside (0, 1]. *)
 
   val default : t
-  (** [make ()]: ladder on, 2 retries, factor 0.5. *)
+  (** [make ()]: ladder on, 2 retries, factor 0.5, entry {!From_milp}. *)
 
   val off : t
   (** Ladder disabled — historic single-shot pipeline. *)
+
+  val for_budget : budget:float -> remaining:float -> t -> t
+  (** Budget-to-ladder mapping: with [remaining/budget >= 0.5] the
+      policy is unchanged; [>= 0.2] keeps the MILP but drops the cold
+      retries; [>= 0.05] enters at the rounded-LP rung; anything less
+      goes straight to the single-mode baseline.  Raises
+      [Invalid_argument] when [budget <= 0]. *)
 end
 
 (** Builder-style pipeline configuration; construct with {!Config.make}.

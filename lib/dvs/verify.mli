@@ -78,6 +78,11 @@ val run :
   Dvs_machine.Config.t -> Dvs_ir.Cfg.t -> memory:int array ->
   schedule:Schedule.t -> deadline:float -> predicted_energy:float -> report
 (** One-shot cycle-accurate verification; [obs] is handed to
-    {!Dvs_machine.Cpu.run}.  Deprecated: every repeated caller should
-    hold a {!Session} — this shim re-simulates from scratch on each
-    call. *)
+    {!Dvs_machine.Cpu.run}.
+
+    @deprecated Compatibility shim only — it re-simulates from scratch
+    on every call, and nothing in the repo calls it anymore.  Hold a
+    {!Session} instead: create one per (machine, program, memory)
+    triple, then {!Session.check} each candidate schedule.  A cold
+    session ({!Session.create}[ ~cold:true]) reproduces this function's
+    exact cycle-accurate path. *)

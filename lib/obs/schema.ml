@@ -159,6 +159,43 @@ let validate_bench j =
   let* metrics = need what j "metrics" in
   validate_metrics metrics
 
+(* ---- dvs-service/v1 -------------------------------------------------- *)
+
+let validate_service j =
+  let what = "service report" in
+  let* () = check_schema_tag what "dvs-service/v1" j in
+  let* leg = need what j "leg" in
+  let* () = need_kind what "leg" is_string leg in
+  let* requests = need what j "requests" in
+  let* () = need_kind what "requests" is_int requests in
+  let* classes = obj_members what j "classes" in
+  let* () =
+    each "class count" classes (fun v ->
+        if is_int v then Ok () else fail "class counts must be integers")
+  in
+  let* latency = need what j "latency_ms" in
+  let* () = need_kind what "latency_ms" is_obj latency in
+  let* () =
+    List.fold_left
+      (fun acc k ->
+        let* () = acc in
+        let* v = need what latency k in
+        need_kind what ("latency_ms." ^ k) is_number v)
+      (Ok ())
+      [ "mean"; "p50"; "p90"; "p99" ]
+  in
+  let* () =
+    List.fold_left
+      (fun acc k ->
+        let* () = acc in
+        let* v = need what j k in
+        need_kind what k is_number v)
+      (Ok ())
+      [ "shed_rate"; "batched_fraction"; "savings_pct_mean"; "wall_seconds" ]
+  in
+  let* retries = need what j "retries" in
+  need_kind what "retries" is_int retries
+
 let bench_summary ?(experiment_walls = []) ~metrics ~experiments
     ~wall_seconds () =
   let total name = Metrics.Counter.value (Metrics.counter metrics name) in
@@ -191,6 +228,15 @@ let bench_summary ?(experiment_walls = []) ~metrics ~experiments
          warm sessions (> 0 here); absent from older baselines, so the
          validator treats it as optional. *)
       ("sim_summary_hits", Json.Int (total "sim.summary_hits"));
+      (* Service-experiment gauges (PR 7): set by `bench service' into
+         the shared registry; omitted (never null) when the experiment
+         did not run, so older baselines stay diffable. *)
+      ( "service",
+        let g name = Metrics.Gauge.value (Metrics.gauge metrics name) in
+        let opt k v = if Float.is_nan v then [] else [ (k, Json.Float v) ] in
+        Json.Obj
+          (opt "p99_seconds" (g "service.p99_seconds")
+          @ opt "shed_rate" (g "service.shed_rate")) );
       ( "cache",
         Json.Obj
           [ ("hits", Json.Int hits);

@@ -19,14 +19,24 @@
       under [metrics].  v2 renamed v1's [nodes] to [bb_nodes] and added
       [experiment_wall_seconds].
 
+    - {b [dvs-service/v1]} — a [dvstool loadgen] leg report: [leg],
+      [requests], per-class reply counts under [classes], a
+      [latency_ms] object ([mean]/[p50]/[p90]/[p99]), [shed_rate],
+      [batched_fraction], [retries], [savings_pct_mean] (null when no
+      request was scheduled) and [wall_seconds].
+
     Validators check structure, not values: required keys, value kinds,
-    and the enumerated strings. *)
+    and the enumerated strings.  All validators are permissive about
+    extra keys, so optional additions (e.g. the bench summary's
+    [service] section) need no version bump. *)
 
 val validate_metrics : Json.t -> (unit, string) result
 
 val validate_trace_line : Json.t -> (unit, string) result
 
 val validate_bench : Json.t -> (unit, string) result
+
+val validate_service : Json.t -> (unit, string) result
 
 val bench_summary :
   ?experiment_walls:(string * float) list ->

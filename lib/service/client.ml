@@ -1,0 +1,43 @@
+module P = Protocol
+
+type t = { fd : Unix.file_descr; cmu : Mutex.t }
+
+let connect ~socket =
+  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  (match Unix.connect fd (Unix.ADDR_UNIX socket) with
+  | () -> ()
+  | exception e ->
+    (try Unix.close fd with _ -> ());
+    raise e);
+  { fd; cmu = Mutex.create () }
+
+let close t = try Unix.close t.fd with Unix.Unix_error _ -> ()
+
+let rpc t req =
+  Mutex.lock t.cmu;
+  match
+    P.write_frame t.fd (P.request_to_json req);
+    P.read_frame t.fd
+  with
+  | exception e ->
+    Mutex.unlock t.cmu;
+    raise e
+  | Error msg ->
+    Mutex.unlock t.cmu;
+    failwith ("undecodable reply frame: " ^ msg)
+  | Ok json -> (
+    Mutex.unlock t.cmu;
+    match P.reply_of_json json with
+    | Ok reply -> reply
+    | Error msg -> failwith ("undecodable reply: " ^ msg))
+
+let request ?(retries = 5) ?(backoff_s = 0.05) t req =
+  let rec go attempt =
+    let reply = rpc t req in
+    match reply.P.body with
+    | P.Rejected_overloaded _ when attempt < retries ->
+      Thread.delay (backoff_s *. (2.0 ** float_of_int attempt));
+      go (attempt + 1)
+    | _ -> (reply, attempt)
+  in
+  go 0

@@ -1,0 +1,29 @@
+(** Synchronous [dvsd] client: one connection, one outstanding request
+    at a time (calls are serialized internally, so a [t] may be shared
+    across threads — each caller blocks for its own round trip).
+
+    {!request} is the resilient entry point: an [Overloaded] rejection
+    is retried with exponential backoff {e under the same request id},
+    so a retry that lands after the original was finally served is
+    answered from the daemon's reply cache instead of re-running the
+    solve. *)
+
+type t
+
+val connect : socket:string -> t
+(** Raises [Unix.Unix_error] when nothing listens on [socket]. *)
+
+val close : t -> unit
+
+val rpc : t -> Protocol.request -> Protocol.reply
+(** One round trip, no retries.  Raises [Protocol.Closed] when the
+    daemon hangs up, [Failure] on an undecodable reply. *)
+
+val request :
+  ?retries:int -> ?backoff_s:float -> t -> Protocol.request ->
+  Protocol.reply * int
+(** Like {!rpc}, but an [Overloaded] reply is retried up to [retries]
+    times (default 5), sleeping [backoff_s *. 2.{^k}] (default base
+    50 ms) before attempt [k].  Returns the final reply and the number
+    of retries used; the last reply may still be [Overloaded] when the
+    daemon never found room. *)

@@ -1,0 +1,121 @@
+module P = Protocol
+
+type t = {
+  engine : Engine.t;
+  socket_path : string;
+  listen_fd : Unix.file_descr;
+  dmu : Mutex.t;
+  mutable running : bool;
+}
+
+let engine t = t.engine
+
+let socket t = t.socket_path
+
+(* A socket file that answers a connect belongs to a live daemon —
+   refuse to steal it.  One that refuses the connect is a leftover from
+   a crash (nothing unlinked it): reclaim the path. *)
+let claim_socket path =
+  match Unix.stat path with
+  | exception Unix.Unix_error (Unix.ENOENT, _, _) -> ()
+  | _ -> (
+    let probe = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+    match Unix.connect probe (Unix.ADDR_UNIX path) with
+    | () ->
+      Unix.close probe;
+      failwith (path ^ ": a daemon is already listening on this socket")
+    | exception Unix.Unix_error ((Unix.ECONNREFUSED | Unix.ENOENT), _, _) ->
+      (try Unix.close probe with _ -> ());
+      (try Unix.unlink path with Unix.Unix_error _ -> ())
+    | exception e ->
+      (try Unix.close probe with _ -> ());
+      raise e)
+
+let start ?(engine_config = Engine.Config.default) ~socket () =
+  claim_socket socket;
+  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  (match Unix.bind fd (Unix.ADDR_UNIX socket) with
+  | () -> ()
+  | exception e ->
+    (try Unix.close fd with _ -> ());
+    raise e);
+  Unix.listen fd 64;
+  { engine = Engine.create engine_config; socket_path = socket;
+    listen_fd = fd; dmu = Mutex.create (); running = true }
+
+let stop t =
+  Mutex.lock t.dmu;
+  let was_running = t.running in
+  t.running <- false;
+  Mutex.unlock t.dmu;
+  if was_running then begin
+    (try Unix.close t.listen_fd with Unix.Unix_error _ -> ());
+    Engine.stop t.engine;
+    (try Unix.unlink t.socket_path with Unix.Unix_error _ -> ())
+  end
+
+let alive t =
+  Mutex.lock t.dmu;
+  let r = t.running in
+  Mutex.unlock t.dmu;
+  r
+
+let bad_frame_reply msg =
+  { P.id = ""; queue_ms = 0.0; service_ms = 0.0; batched = 1;
+    body = P.Failed_reply msg }
+
+let handle_conn t fd =
+  let wmu = Mutex.create () in
+  let write reply =
+    Mutex.lock wmu;
+    (try P.write_frame fd (P.reply_to_json reply) with _ -> ());
+    Mutex.unlock wmu
+  in
+  let rec loop () =
+    match P.read_frame fd with
+    | exception P.Closed -> ()
+    | exception _ -> ()
+    | Error msg ->
+      (* The frame itself was well-delimited, only its payload was
+         unusable — keep the connection. *)
+      write (bad_frame_reply ("bad frame: " ^ msg));
+      loop ()
+    | Ok json -> (
+      match P.request_of_json json with
+      | Error msg ->
+        write (bad_frame_reply ("bad request: " ^ msg));
+        loop ()
+      | Ok req ->
+        let h = Engine.submit t.engine req in
+        (match req.P.body with
+        | P.Shutdown ->
+          write (Engine.await h);
+          stop t
+          (* stop reading: the peer got its Bye *)
+        | _ ->
+          ignore (Thread.create (fun () -> write (Engine.await h)) ());
+          loop ()))
+  in
+  (try loop () with _ -> ());
+  try Unix.close fd with _ -> ()
+
+(* Poll rather than block in [accept]: closing a descriptor does not
+   wake a thread already blocked on it, so a blocking accept would leave
+   {!stop} unable to terminate the loop.  The 200 ms poll bounds
+   shutdown latency instead. *)
+let run t =
+  let rec loop () =
+    if alive t then
+      match Unix.select [ t.listen_fd ] [] [] 0.2 with
+      | [], _, _ -> loop ()
+      | _ -> (
+        match Unix.accept t.listen_fd with
+        | conn_fd, _ ->
+          ignore (Thread.create (fun () -> handle_conn t conn_fd) ());
+          loop ()
+        | exception Unix.Unix_error _ -> loop ()
+        | exception Invalid_argument _ -> ())
+      | exception Unix.Unix_error _ -> if alive t then loop ()
+      | exception Invalid_argument _ -> ()  (* listener closed under us *)
+  in
+  loop ()

@@ -1,0 +1,32 @@
+(** [dvsd]: the Unix-domain-socket front end over {!Engine}.
+
+    One listening socket, one lightweight thread per connection, one
+    thread per in-flight request (so a slow solve never blocks the
+    connection's reader), replies serialized per connection.  A client
+    may pipeline requests on one connection; replies come back in
+    completion order, matched by request id.
+
+    Startup refuses to race another daemon: if the socket path exists
+    and something answers a connect, {!start} raises; if nothing
+    answers (a stale socket left by a crash), the stale file is
+    unlinked and rebound.  Shutdown (the protocol request, or {!stop})
+    closes the listener, drains the engine and unlinks the socket, so a
+    clean exit never leaks either. *)
+
+type t
+
+val start : ?engine_config:Engine.Config.t -> socket:string -> unit -> t
+(** Bind and listen; workers start immediately.  Raises [Failure] when a
+    live daemon already answers on [socket]. *)
+
+val engine : t -> Engine.t
+
+val socket : t -> string
+
+val run : t -> unit
+(** Blocking accept loop; returns after {!stop} (called directly or
+    triggered by a protocol [Shutdown] request). *)
+
+val stop : t -> unit
+(** Close the listener, drain and join the engine, unlink the socket.
+    Idempotent; safe to call from a connection thread. *)

@@ -1,0 +1,414 @@
+module Json = Dvs_obs.Json
+
+let max_frame = 1 lsl 20
+
+(* ---- chaos ----------------------------------------------------------- *)
+
+type chaos = {
+  crash_rate : float;
+  exhaust_rate : float;
+  poison_rate : float;
+  chaos_seed : int;
+}
+
+let chaos ?(crash_rate = 0.0) ?(exhaust_rate = 0.0) ?(poison_rate = 0.0)
+    ?(seed = 1) () =
+  List.iter
+    (fun (name, r) ->
+      if not (r >= 0.0 && r <= 1.0) then
+        invalid_arg
+          (Printf.sprintf "Protocol.chaos: %s must be in [0, 1]" name))
+    [ ("crash_rate", crash_rate); ("exhaust_rate", exhaust_rate);
+      ("poison_rate", poison_rate) ];
+  { crash_rate; exhaust_rate; poison_rate; chaos_seed = seed }
+
+(* ---- requests -------------------------------------------------------- *)
+
+type request_body =
+  | Optimize of {
+      workload : string;
+      input : string option;
+      deadline_frac : float;
+      budget_s : float option;
+      chaos : chaos option;
+    }
+  | Sweep of {
+      workload : string;
+      input : string option;
+      fracs : float list;
+      budget_s : float option;
+      chaos : chaos option;
+    }
+  | Simulate of { workload : string; input : string option; mode : int }
+  | Ping
+  | Stats
+  | Shutdown
+
+type request = { id : string; body : request_body }
+
+(* ---- classification -------------------------------------------------- *)
+
+type outcome_class =
+  | Full
+  | Time_degraded
+  | Crash_degraded
+  | Verify_degraded
+  | Budget_degraded
+  | Infeasible
+  | No_schedule
+  | Overloaded
+  | Budget_exhausted
+  | Failed
+
+let class_name = function
+  | Full -> "full"
+  | Time_degraded -> "time_degraded"
+  | Crash_degraded -> "crash_degraded"
+  | Verify_degraded -> "verify_degraded"
+  | Budget_degraded -> "budget_degraded"
+  | Infeasible -> "infeasible"
+  | No_schedule -> "no_schedule"
+  | Overloaded -> "overloaded"
+  | Budget_exhausted -> "budget_exhausted"
+  | Failed -> "failed"
+
+let all_classes =
+  [ Full; Time_degraded; Crash_degraded; Verify_degraded; Budget_degraded;
+    Infeasible; No_schedule; Overloaded; Budget_exhausted; Failed ]
+
+let class_of_name s =
+  List.find_opt (fun c -> class_name c = s) all_classes
+
+let class_of_pipeline = function
+  | Dvs_core.Pipeline.Full -> Full
+  | Dvs_core.Pipeline.Time_degraded -> Time_degraded
+  | Dvs_core.Pipeline.Crash_degraded -> Crash_degraded
+  | Dvs_core.Pipeline.Verify_degraded -> Verify_degraded
+  | Dvs_core.Pipeline.Problem_infeasible -> Infeasible
+  | Dvs_core.Pipeline.No_schedule -> No_schedule
+
+(* The PR 2 table (0/1/2, strict 3/4/5) extended with the service
+   classes: 6 = strict budget-degraded (a schedule was delivered, just
+   from a cheaper rung), and the hard failures 7/8/9 that never map to
+   success because no schedule was delivered at all. *)
+let exit_code ~strict = function
+  | Full -> 0
+  | Infeasible -> 1
+  | No_schedule -> 2
+  | Time_degraded -> if strict then 3 else 0
+  | Crash_degraded -> if strict then 4 else 0
+  | Verify_degraded -> if strict then 5 else 0
+  | Budget_degraded -> if strict then 6 else 0
+  | Overloaded -> 7
+  | Budget_exhausted -> 8
+  | Failed -> 9
+
+(* Severity order for summarizing a sweep reply by its worst point. *)
+let class_rank = function
+  | Full -> 0
+  | Time_degraded -> 1
+  | Verify_degraded -> 2
+  | Crash_degraded -> 3
+  | Budget_degraded -> 4
+  | Infeasible -> 5
+  | No_schedule -> 6
+  | Budget_exhausted -> 7
+  | Overloaded -> 8
+  | Failed -> 9
+
+(* ---- replies --------------------------------------------------------- *)
+
+type sched_summary = {
+  cls : outcome_class;
+  rung : string option;
+  deadline_ms : float;
+  predicted_uj : float option;
+  measured_uj : float option;
+  measured_ms : float option;
+  meets_deadline : bool option;
+  savings_pct : float option;
+}
+
+type reply_body =
+  | Scheduled of sched_summary
+  | Sweep_points of sched_summary list
+  | Rejected_overloaded of { queue_len : int; queue_cap : int }
+  | Rejected_budget of { budget_s : float; waited_s : float }
+  | Failed_reply of string
+  | Pong
+  | Stats_reply of Json.t
+  | Bye
+
+type reply = {
+  id : string;
+  queue_ms : float;
+  service_ms : float;
+  batched : int;
+  body : reply_body;
+}
+
+let class_of_reply r =
+  match r.body with
+  | Scheduled s -> s.cls
+  | Sweep_points ps ->
+    List.fold_left
+      (fun worst (p : sched_summary) ->
+        if class_rank p.cls > class_rank worst then p.cls else worst)
+      Full ps
+  | Rejected_overloaded _ -> Overloaded
+  | Rejected_budget _ -> Budget_exhausted
+  | Failed_reply _ -> Failed
+  | Pong | Stats_reply _ | Bye -> Full
+
+(* ---- JSON ------------------------------------------------------------ *)
+
+let opt k enc = function None -> [] | Some v -> [ (k, enc v) ]
+
+let chaos_to_json c =
+  Json.Obj
+    [ ("crash_rate", Json.Float c.crash_rate);
+      ("exhaust_rate", Json.Float c.exhaust_rate);
+      ("poison_rate", Json.Float c.poison_rate);
+      ("seed", Json.Int c.chaos_seed) ]
+
+let chaos_of_json j =
+  let f k d = Option.value ~default:d (Option.bind (Json.member k j) Json.to_float) in
+  let seed = Option.value ~default:1 (Option.bind (Json.member "seed" j) Json.to_int) in
+  match
+    chaos ~crash_rate:(f "crash_rate" 0.0) ~exhaust_rate:(f "exhaust_rate" 0.0)
+      ~poison_rate:(f "poison_rate" 0.0) ~seed ()
+  with
+  | c -> Ok c
+  | exception Invalid_argument m -> Error m
+
+let request_to_json ({ id; body } : request) =
+  let base op rest = Json.Obj (("id", Json.String id) :: ("op", Json.String op) :: rest) in
+  match body with
+  | Optimize { workload; input; deadline_frac; budget_s; chaos } ->
+    base "optimize"
+      ([ ("workload", Json.String workload) ]
+      @ opt "input" (fun s -> Json.String s) input
+      @ [ ("deadline_frac", Json.Float deadline_frac) ]
+      @ opt "budget_s" (fun b -> Json.Float b) budget_s
+      @ opt "chaos" chaos_to_json chaos)
+  | Sweep { workload; input; fracs; budget_s; chaos } ->
+    base "sweep"
+      ([ ("workload", Json.String workload) ]
+      @ opt "input" (fun s -> Json.String s) input
+      @ [ ("fracs", Json.List (List.map (fun f -> Json.Float f) fracs)) ]
+      @ opt "budget_s" (fun b -> Json.Float b) budget_s
+      @ opt "chaos" chaos_to_json chaos)
+  | Simulate { workload; input; mode } ->
+    base "simulate"
+      ([ ("workload", Json.String workload) ]
+      @ opt "input" (fun s -> Json.String s) input
+      @ [ ("mode", Json.Int mode) ])
+  | Ping -> base "ping" []
+  | Stats -> base "stats" []
+  | Shutdown -> base "shutdown" []
+
+let ( let* ) = Result.bind
+
+let need_string j k =
+  match Option.bind (Json.member k j) Json.to_string_opt with
+  | Some s -> Ok s
+  | None -> Error (Printf.sprintf "missing string field %S" k)
+
+let opt_string j k = Option.bind (Json.member k j) Json.to_string_opt
+
+let request_of_json j =
+  let* id = need_string j "id" in
+  let* op = need_string j "op" in
+  let budget_s = Option.bind (Json.member "budget_s" j) Json.to_float in
+  let* chaos =
+    match Json.member "chaos" j with
+    | None -> Ok None
+    | Some cj -> Result.map Option.some (chaos_of_json cj)
+  in
+  let input = opt_string j "input" in
+  match op with
+  | "optimize" ->
+    let* workload = need_string j "workload" in
+    (match Option.bind (Json.member "deadline_frac" j) Json.to_float with
+    | Some f when f >= 0.0 && f <= 1.0 ->
+      Ok { id; body = Optimize { workload; input; deadline_frac = f; budget_s; chaos } }
+    | Some _ -> Error "deadline_frac must be in [0, 1]"
+    | None -> Error "missing number field \"deadline_frac\"")
+  | "sweep" ->
+    let* workload = need_string j "workload" in
+    (match Option.bind (Json.member "fracs" j) Json.to_list with
+    | Some l ->
+      let fracs = List.filter_map Json.to_float l in
+      if List.length fracs <> List.length l || fracs = [] then
+        Error "fracs must be a non-empty list of numbers"
+      else if List.exists (fun f -> f < 0.0 || f > 1.0) fracs then
+        Error "fracs must lie in [0, 1]"
+      else Ok { id; body = Sweep { workload; input; fracs; budget_s; chaos } }
+    | None -> Error "missing list field \"fracs\"")
+  | "simulate" ->
+    let* workload = need_string j "workload" in
+    (match Option.bind (Json.member "mode" j) Json.to_int with
+    | Some mode when mode >= 0 ->
+      Ok { id; body = Simulate { workload; input; mode } }
+    | Some _ -> Error "mode must be >= 0"
+    | None -> Error "missing integer field \"mode\"")
+  | "ping" -> Ok { id; body = Ping }
+  | "stats" -> Ok { id; body = Stats }
+  | "shutdown" -> Ok { id; body = Shutdown }
+  | op -> Error (Printf.sprintf "unknown op %S" op)
+
+let summary_to_json (s : sched_summary) =
+  Json.Obj
+    ([ ("class", Json.String (class_name s.cls)) ]
+    @ opt "rung" (fun r -> Json.String r) s.rung
+    @ [ ("deadline_ms", Json.Float s.deadline_ms) ]
+    @ opt "predicted_uj" (fun v -> Json.Float v) s.predicted_uj
+    @ opt "measured_uj" (fun v -> Json.Float v) s.measured_uj
+    @ opt "measured_ms" (fun v -> Json.Float v) s.measured_ms
+    @ opt "meets_deadline" (fun b -> Json.Bool b) s.meets_deadline
+    @ opt "savings_pct" (fun v -> Json.Float v) s.savings_pct)
+
+let summary_of_json j =
+  let* cls_s = need_string j "class" in
+  let* cls =
+    match class_of_name cls_s with
+    | Some c -> Ok c
+    | None -> Error (Printf.sprintf "unknown class %S" cls_s)
+  in
+  match Option.bind (Json.member "deadline_ms" j) Json.to_float with
+  | None -> Error "missing number field \"deadline_ms\""
+  | Some deadline_ms ->
+    let f k = Option.bind (Json.member k j) Json.to_float in
+    let b k =
+      match Json.member k j with Some (Json.Bool v) -> Some v | _ -> None
+    in
+    Ok
+      { cls; rung = opt_string j "rung"; deadline_ms;
+        predicted_uj = f "predicted_uj"; measured_uj = f "measured_uj";
+        measured_ms = f "measured_ms"; meets_deadline = b "meets_deadline";
+        savings_pct = f "savings_pct" }
+
+let reply_to_json (r : reply) =
+  let base status rest =
+    Json.Obj
+      (("id", Json.String r.id)
+      :: ("status", Json.String status)
+      :: ("queue_ms", Json.Float r.queue_ms)
+      :: ("service_ms", Json.Float r.service_ms)
+      :: ("batched", Json.Int r.batched)
+      :: rest)
+  in
+  match r.body with
+  | Scheduled s -> base "scheduled" [ ("summary", summary_to_json s) ]
+  | Sweep_points ps ->
+    base "sweep" [ ("points", Json.List (List.map summary_to_json ps)) ]
+  | Rejected_overloaded { queue_len; queue_cap } ->
+    base "rejected"
+      [ ("class", Json.String (class_name Overloaded));
+        ("queue_len", Json.Int queue_len); ("queue_cap", Json.Int queue_cap) ]
+  | Rejected_budget { budget_s; waited_s } ->
+    base "rejected"
+      [ ("class", Json.String (class_name Budget_exhausted));
+        ("budget_s", Json.Float budget_s); ("waited_s", Json.Float waited_s) ]
+  | Failed_reply msg -> base "error" [ ("message", Json.String msg) ]
+  | Pong -> base "pong" []
+  | Stats_reply m -> base "stats" [ ("metrics", m) ]
+  | Bye -> base "bye" []
+
+let reply_of_json j =
+  let* id = need_string j "id" in
+  let* status = need_string j "status" in
+  let f k d = Option.value ~default:d (Option.bind (Json.member k j) Json.to_float) in
+  let i k d = Option.value ~default:d (Option.bind (Json.member k j) Json.to_int) in
+  let queue_ms = f "queue_ms" 0.0
+  and service_ms = f "service_ms" 0.0
+  and batched = i "batched" 1 in
+  let* body =
+    match status with
+    | "scheduled" -> (
+      match Json.member "summary" j with
+      | Some s -> Result.map (fun s -> Scheduled s) (summary_of_json s)
+      | None -> Error "scheduled reply without summary")
+    | "sweep" -> (
+      match Option.bind (Json.member "points" j) Json.to_list with
+      | Some l ->
+        List.fold_left
+          (fun acc p ->
+            let* acc = acc in
+            let* s = summary_of_json p in
+            Ok (s :: acc))
+          (Ok []) l
+        |> Result.map (fun ps -> Sweep_points (List.rev ps))
+      | None -> Error "sweep reply without points")
+    | "rejected" -> (
+      let* cls_s = need_string j "class" in
+      match class_of_name cls_s with
+      | Some Overloaded ->
+        Ok (Rejected_overloaded { queue_len = i "queue_len" 0; queue_cap = i "queue_cap" 0 })
+      | Some Budget_exhausted ->
+        Ok (Rejected_budget { budget_s = f "budget_s" 0.0; waited_s = f "waited_s" 0.0 })
+      | _ -> Error (Printf.sprintf "unknown rejection class %S" cls_s))
+    | "error" ->
+      let* m = need_string j "message" in
+      Ok (Failed_reply m)
+    | "pong" -> Ok Pong
+    | "stats" -> (
+      match Json.member "metrics" j with
+      | Some m -> Ok (Stats_reply m)
+      | None -> Error "stats reply without metrics")
+    | "bye" -> Ok Bye
+    | s -> Error (Printf.sprintf "unknown status %S" s)
+  in
+  Ok { id; queue_ms; service_ms; batched; body }
+
+(* ---- framing --------------------------------------------------------- *)
+
+exception Closed
+
+let really_write fd bytes =
+  let len = Bytes.length bytes in
+  let rec go ofs =
+    if ofs < len then
+      let n = Unix.write fd bytes ofs (len - ofs) in
+      go (ofs + n)
+  in
+  go 0
+
+let really_read fd len =
+  let buf = Bytes.create len in
+  let rec go ofs =
+    if ofs < len then begin
+      let n = Unix.read fd buf ofs (len - ofs) in
+      if n = 0 then raise Closed;
+      go (ofs + n)
+    end
+  in
+  go 0;
+  buf
+
+let write_frame fd json =
+  let payload = Bytes.of_string (Json.to_string json) in
+  let len = Bytes.length payload in
+  if len > max_frame then
+    invalid_arg "Protocol.write_frame: frame exceeds max_frame";
+  let header = Bytes.create 4 in
+  Bytes.set_uint8 header 0 ((len lsr 24) land 0xff);
+  Bytes.set_uint8 header 1 ((len lsr 16) land 0xff);
+  Bytes.set_uint8 header 2 ((len lsr 8) land 0xff);
+  Bytes.set_uint8 header 3 (len land 0xff);
+  really_write fd header;
+  really_write fd payload
+
+let read_frame fd =
+  let header = really_read fd 4 in
+  let len =
+    (Bytes.get_uint8 header 0 lsl 24)
+    lor (Bytes.get_uint8 header 1 lsl 16)
+    lor (Bytes.get_uint8 header 2 lsl 8)
+    lor Bytes.get_uint8 header 3
+  in
+  if len > max_frame then
+    Error (Printf.sprintf "frame of %d bytes exceeds the %d-byte limit" len max_frame)
+  else
+    let payload = really_read fd len in
+    Json.of_string (Bytes.to_string payload)

@@ -1,0 +1,161 @@
+(** The [dvsd] wire protocol: length-prefixed JSON frames over a Unix
+    domain socket, encoded with {!Dvs_obs.Json} (no external JSON
+    dependency).
+
+    {b Framing.}  Every message is a 4-byte big-endian payload length
+    followed by that many bytes of UTF-8 JSON.  Frames above
+    {!max_frame} bytes are rejected before allocation, so a corrupt
+    length prefix cannot make the daemon allocate unboundedly.
+
+    {b Idempotency.}  Every work request carries a caller-chosen [id].
+    The daemon memoizes final replies by id (bounded LRU-ish cache), so
+    a client that times out and retries the same id is served the cached
+    reply instead of re-running the solve — retries are safe by
+    construction.  [Overloaded] rejections are {e not} cached: they
+    describe a transient queue state the retry is supposed to escape.
+
+    {b Classification.}  {!outcome_class} extends the PR 2 degradation
+    classes with the service failure classes ([Budget_degraded],
+    [Overloaded], [Budget_exhausted], [Failed]); {!exit_code} is the
+    single exit-code table shared by [dvstool optimize] and the service
+    client commands. *)
+
+val max_frame : int
+(** Maximum accepted frame payload, in bytes (1 MiB). *)
+
+(** Per-request chaos spec: drives the {!Dvs_milp.Fault} triggers (and a
+    service-level poison) deterministically from [(seed, request id)],
+    so a replay of the same request set fires the same faults at any
+    worker count. *)
+type chaos = {
+  crash_rate : float;  (** P(inject a worker crash on node 1) *)
+  exhaust_rate : float;  (** P(exhaust every LP pivot budget) *)
+  poison_rate : float;
+      (** P(raise inside the service worker itself — exercises the
+          daemon's crash containment, not the solver's) *)
+  chaos_seed : int;
+}
+
+val chaos : ?crash_rate:float -> ?exhaust_rate:float -> ?poison_rate:float ->
+  ?seed:int -> unit -> chaos
+(** All rates default to 0; raises [Invalid_argument] on a rate outside
+    [0, 1]. *)
+
+type request_body =
+  | Optimize of {
+      workload : string;
+      input : string option;  (** default input when [None] *)
+      deadline_frac : float;
+          (** deadline position in the feasible range, 0 = fastest-mode
+              time, 1 = slowest-mode time *)
+      budget_s : float option;  (** wall-clock budget; server default
+                                    when [None] *)
+      chaos : chaos option;
+    }
+  | Sweep of {
+      workload : string;
+      input : string option;
+      fracs : float list;  (** deadline positions, each in [0, 1] *)
+      budget_s : float option;
+      chaos : chaos option;
+    }
+  | Simulate of {
+      workload : string;
+      input : string option;
+      mode : int;  (** pinned DVS mode *)
+    }
+  | Ping
+  | Stats  (** reply carries a [dvs-metrics/v1] snapshot *)
+  | Shutdown
+
+type request = { id : string; body : request_body }
+
+(** One flat classification for replies, exit codes and metrics: the
+    PR 2 pipeline classes plus the service failure classes. *)
+type outcome_class =
+  | Full
+  | Time_degraded
+  | Crash_degraded
+  | Verify_degraded
+  | Budget_degraded
+      (** the schedule came from a cheaper rung because the request's
+          wall-clock budget forced an early ladder descent *)
+  | Infeasible
+  | No_schedule
+  | Overloaded  (** admission control shed the request *)
+  | Budget_exhausted
+      (** the budget drained (queueing) before any rung could run *)
+  | Failed  (** contained service-worker crash, or a bad request *)
+
+val all_classes : outcome_class list
+(** Every class once, declaration order — for exhaustive reports. *)
+
+val class_name : outcome_class -> string
+
+val class_of_name : string -> outcome_class option
+
+val class_of_pipeline : Dvs_core.Pipeline.degradation_class -> outcome_class
+
+val exit_code : strict:bool -> outcome_class -> int
+(** The exit-code table ([dvstool optimize] / [dvstool request]):
+    0 ok (degraded results still exit 0 unless [strict]), 1 infeasible,
+    2 no schedule, and under [strict] 3 time-, 4 crash-, 5 verify-,
+    6 budget-degraded.  The hard service failures are never 0:
+    7 overloaded, 8 budget-exhausted, 9 failed. *)
+
+type sched_summary = {
+  cls : outcome_class;
+  rung : string option;  (** accepted ladder rung, human-readable *)
+  deadline_ms : float;
+  predicted_uj : float option;
+  measured_uj : float option;
+  measured_ms : float option;
+  meets_deadline : bool option;
+  savings_pct : float option;
+      (** measured savings vs the best-single-mode baseline *)
+}
+
+type reply_body =
+  | Scheduled of sched_summary
+  | Sweep_points of sched_summary list
+  | Rejected_overloaded of { queue_len : int; queue_cap : int }
+  | Rejected_budget of { budget_s : float; waited_s : float }
+  | Failed_reply of string
+  | Pong
+  | Stats_reply of Dvs_obs.Json.t
+  | Bye
+
+type reply = {
+  id : string;
+  queue_ms : float;  (** admission-to-dequeue wait *)
+  service_ms : float;  (** dequeue-to-reply processing *)
+  batched : int;  (** size of the batch this request was served in *)
+  body : reply_body;
+}
+
+val class_of_reply : reply -> outcome_class
+(** [Sweep_points] reports its worst point; [Pong]/[Stats_reply]/[Bye]
+    are [Full]. *)
+
+(** {2 JSON encoding} *)
+
+val request_to_json : request -> Dvs_obs.Json.t
+
+val request_of_json : Dvs_obs.Json.t -> (request, string) result
+
+val reply_to_json : reply -> Dvs_obs.Json.t
+
+val reply_of_json : Dvs_obs.Json.t -> (reply, string) result
+
+(** {2 Framing} *)
+
+exception Closed
+(** Raised by {!read_frame} on EOF. *)
+
+val write_frame : Unix.file_descr -> Dvs_obs.Json.t -> unit
+(** Not thread-safe per descriptor: callers serialize writes. *)
+
+val read_frame : Unix.file_descr -> (Dvs_obs.Json.t, string) result
+(** Blocks for a full frame.  Raises {!Closed} on clean EOF at a frame
+    boundary; returns [Error] on oversized frames or JSON that does not
+    parse. *)
