@@ -21,6 +21,26 @@ let mode_table = function
 let config_of ?regulator kind =
   Workload.eval_config ~mode_table:(mode_table kind) ?regulator ()
 
+(* Shared metrics registry for the whole sweep: every solve the harness
+   runs reports into it, and `--emit-bench' derives BENCH_milp.json from
+   its totals.  Metrics only — a trace log would saturate its capacity
+   over hundreds of solves.  Defined up here so the store can report its
+   hit/miss counters into the same registry. *)
+let obs = Dvs_obs.metrics_only ()
+
+(* The content-addressed experiment store (DESIGN.md section 14): every
+   profile collection, MILP solve and deadline sweep the harness runs is
+   keyed by its fingerprinted inputs and persisted, so a second bench
+   run recomputes only what a change actually invalidated.  DVS_STORE
+   selects the root (default `_store', gitignored); "off"/"0"/"" runs
+   everything live. *)
+let store =
+  match Sys.getenv_opt Dvs_store.Store.env_var with
+  | Some ("off" | "0" | "") -> None
+  | Some root -> Some (Dvs_store.Store.open_ ~obs ~root ())
+  | None ->
+    Some (Dvs_store.Store.open_ ~obs ~root:Dvs_store.Store.default_root ())
+
 let profile_cache : (string * string * table_kind, Dvs_profile.Profile.t) Hashtbl.t =
   Hashtbl.create 32
 
@@ -30,7 +50,10 @@ let profile ?(kind = Xscale3) ~input name =
   | None ->
     let w = Workload.find name in
     let cfg, _, mem = Workload.load w ~input in
-    let p = Dvs_profile.Profile.collect (config_of kind) cfg ~memory:mem in
+    let p =
+      Dvs_store.Exec.profile ?store ~source:(name ^ ":" ^ input)
+        (config_of kind) cfg ~memory:mem
+    in
     Hashtbl.replace profile_cache (name, input, kind) p;
     p
 
@@ -111,12 +134,6 @@ let session ?(kind = Xscale3) ~regulator ~input name =
     Hashtbl.replace session_cache key s;
     s
 
-(* Shared metrics registry for the whole sweep: every solve the harness
-   runs reports into it, and `--emit-bench' derives BENCH_milp.json from
-   its totals.  Metrics only — a trace log would saturate its capacity
-   over hundreds of solves. *)
-let obs = Dvs_obs.metrics_only ()
-
 (* MILP configuration used throughout the harness: bounded so no single
    cell can hang the run; jobs=1 keeps table cells comparable with the
    paper's single-core CPLEX times (the `jobs' experiment sweeps it). *)
@@ -148,9 +165,9 @@ let optimize ?(kind = Xscale3) ?(filter = true) ?jobs ?regulator ?input
   let config =
     { pipeline_config with Dvs_core.Pipeline.Config.filter; solver }
   in
-  Dvs_core.Pipeline.optimize_multi ~config
+  Dvs_store.Exec.optimize_multi ?store ~config
     ~verify_config:(config_of ~regulator kind)
-    ~session:(session ~kind ~regulator ~input name)
+    ~session:(fun () -> session ~kind ~regulator ~input name)
     ~regulator
     ~memory:(memory ~input name)
     [ { Dvs_core.Formulation.profile = p; weight = 1.0; deadline } ]
@@ -176,6 +193,7 @@ let optimize_sweep ?(kind = Xscale3) ?(filter = true) ?jobs ?regulator ?input
   in
   let machine = config_of ~regulator kind in
   let cfg, _, mem = Workload.load w ~input in
-  Dvs_core.Pipeline.optimize_sweep ~config ~verify_config:machine ~profile:p
-    ~session:(session ~kind ~regulator ~input name)
+  Dvs_store.Exec.optimize_sweep ?store ~config ~verify_config:machine
+    ~profile:p
+    ~session:(fun () -> session ~kind ~regulator ~input name)
     ?instances ?cut_rounds machine cfg ~memory:mem ~deadlines

@@ -288,6 +288,17 @@ let jobs_opt =
           "Worker domains for the MILP search (default: the recommended \
            domain count of this machine).")
 
+let store_opt =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "store" ] ~docv:"DIR"
+        ~doc:
+          "Consult (and fill) the content-addressed experiment store \
+           rooted at DIR: profile simulations and solves whose inputs \
+           are unchanged are rehydrated from disk instead of re-run \
+           (see $(b,dvstool store)).")
+
 let strict_opt =
   Arg.(
     value & flag
@@ -307,24 +318,33 @@ let exit_code ~strict cls =
     (Dvs_service.Protocol.class_of_pipeline cls)
 
 let optimize_cmd =
-  let run w input capacitance levels frac no_filter save jobs strict trace
-      metrics =
+  let run w input capacitance levels frac no_filter save jobs strict
+      store_root trace metrics =
     let input = input_of w input in
     let cfg, _, mem = Dvs_workloads.Workload.load w ~input in
     let machine = machine ~capacitance ~levels in
-    let p = Dvs_profile.Profile.collect machine cfg ~memory:mem in
+    let obs = obs_for ~trace ~metrics in
+    let store =
+      Option.map
+        (fun root -> Dvs_store.Store.open_ ~obs ~root ())
+        store_root
+    in
+    let p =
+      Dvs_store.Exec.profile ?store
+        ~source:(w.Dvs_workloads.Workload.name ^ ":" ^ input) machine cfg
+        ~memory:mem
+    in
     let n = Dvs_power.Mode.size machine.Dvs_machine.Config.mode_table in
     let t_fast = Dvs_profile.Profile.pinned_time p ~mode:(n - 1) in
     let t_slow = Dvs_profile.Profile.pinned_time p ~mode:0 in
     let deadline = t_fast +. (frac *. (t_slow -. t_fast)) in
-    let obs = obs_for ~trace ~metrics in
     let solver = Dvs_milp.Solver.Config.make ?jobs () in
     let config =
       Dvs_core.Pipeline.Config.make ~filter:(not no_filter) ~solver ()
       |> Dvs_core.Pipeline.Config.with_obs obs
     in
     let r =
-      Dvs_core.Pipeline.optimize_multi ~config ~verify_config:machine
+      Dvs_store.Exec.optimize_multi ?store ~config ~verify_config:machine
         ~regulator:machine.Dvs_machine.Config.regulator ~memory:mem
         [ { Dvs_core.Formulation.profile = p; weight = 1.0; deadline } ]
     in
@@ -415,7 +435,7 @@ let optimize_cmd =
     Term.(
       const run $ workload_pos $ input_opt $ capacitance_opt $ levels_opt
       $ deadline_frac_opt $ no_filter_opt $ save_opt $ jobs_opt
-      $ strict_opt $ trace_out_opt $ metrics_out_opt)
+      $ strict_opt $ store_opt $ trace_out_opt $ metrics_out_opt)
 
 (* ---------------- apply ---------------- *)
 
@@ -488,13 +508,23 @@ let cold_verify_opt =
            exact fallback path alive).")
 
 let reproduce_cmd =
-  let run w input capacitance levels jobs cold cold_verify trace metrics =
+  let run w input capacitance levels jobs cold cold_verify store_root trace
+      metrics =
     let input = input_of w input in
     let cfg, _, mem = Dvs_workloads.Workload.load w ~input in
     let machine = machine ~capacitance ~levels in
-    let p = Dvs_profile.Profile.collect machine cfg ~memory:mem in
-    let deadlines = Dvs_workloads.Deadlines.of_profile p in
     let obs = obs_for ~trace ~metrics in
+    let store =
+      Option.map
+        (fun root -> Dvs_store.Store.open_ ~obs ~root ())
+        store_root
+    in
+    let p =
+      Dvs_store.Exec.profile ?store
+        ~source:(w.Dvs_workloads.Workload.name ^ ":" ^ input) machine cfg
+        ~memory:mem
+    in
+    let deadlines = Dvs_workloads.Deadlines.of_profile p in
     let solver = Dvs_milp.Solver.Config.make ?jobs () in
     let config =
       Dvs_core.Pipeline.Config.make ~solver ~cold_verify ()
@@ -504,13 +534,14 @@ let reproduce_cmd =
       if cold then
         Array.map
           (fun deadline ->
-            Dvs_core.Pipeline.optimize_multi ~config ~verify_config:machine
+            Dvs_store.Exec.optimize_multi ?store ~config
+              ~verify_config:machine
               ~regulator:machine.Dvs_machine.Config.regulator ~memory:mem
               [ { Dvs_core.Formulation.profile = p; weight = 1.0; deadline } ])
           deadlines
       else begin
         let sw =
-          Dvs_core.Pipeline.optimize_sweep ~config ~verify_config:machine
+          Dvs_store.Exec.optimize_sweep ?store ~config ~verify_config:machine
             ~profile:p machine cfg ~memory:mem ~deadlines
         in
         let st = sw.Dvs_core.Pipeline.sweep in
@@ -581,7 +612,7 @@ let reproduce_cmd =
           $(b,--cold))")
     Term.(
       const run $ workload_pos $ input_opt $ capacitance_opt $ levels_opt
-      $ jobs_opt $ cold_opt $ cold_verify_opt $ trace_out_opt
+      $ jobs_opt $ cold_opt $ cold_verify_opt $ store_opt $ trace_out_opt
       $ metrics_out_opt)
 
 (* ---------------- stats ---------------- *)
@@ -761,15 +792,53 @@ let stats_cmd =
         kvs
     | _ -> ()
   in
-  let run metrics trace service check =
-    if metrics = None && trace = None && service = None then begin
+  let show_store file check =
+    let j =
+      match Dvs_obs.Json.of_string (read_file file) with
+      | Ok j -> j
+      | Error e -> fail "%s: not JSON: %s" file e
+    in
+    (match Dvs_obs.Schema.validate_store j with
+    | Ok () -> ()
+    | Error e ->
+      if check then fail "%s: schema violation: %s" file e
+      else Format.eprintf "warning: %s: %s@." file e);
+    let open Dvs_obs.Json in
+    let str k =
+      Option.value ~default:"?" (Option.bind (member k j) to_string_opt)
+    in
+    let payload = member "payload" j in
+    (* The envelope's checksum is FNV-1a over the rendered payload, the
+       same function the store itself applies on every read. *)
+    let computed =
+      Option.map (fun p -> Dvs_store.Key.hash_hex (to_string p)) payload
+    in
+    let checksum_ok = computed = Some (str "checksum") in
+    Format.printf "store entry: kind %s, epoch %d@." (str "kind")
+      (Option.value ~default:0 (Option.bind (member "epoch" j) to_int));
+    Format.printf "  key       %s@." (str "key");
+    Format.printf "  checksum  %s (%s)@." (str "checksum")
+      (if checksum_ok then "ok" else "MISMATCH");
+    (match payload with
+    | Some (Obj kvs) ->
+      Format.printf "  payload   %d members: %s@." (List.length kvs)
+        (String.concat ", " (List.map fst kvs))
+    | _ -> ());
+    if check && not checksum_ok then
+      fail "%s: payload checksum mismatch" file
+  in
+  let run metrics trace service store check =
+    if metrics = None && trace = None && service = None && store = None
+    then begin
       Format.eprintf
-        "nothing to do: pass --metrics, --trace and/or --service FILE@.";
+        "nothing to do: pass --metrics, --trace, --service and/or \
+         --store FILE@.";
       exit 2
     end;
     Option.iter (fun f -> show_metrics f check) metrics;
     Option.iter (fun f -> show_trace f check) trace;
-    Option.iter (fun f -> show_service f check) service
+    Option.iter (fun f -> show_service f check) service;
+    Option.iter (fun f -> show_store f check) store
   in
   let service_in =
     Arg.(
@@ -778,13 +847,23 @@ let stats_cmd =
       & info [ "service" ] ~docv:"FILE"
           ~doc:"dvs-service/v1 loadgen report to pretty-print.")
   in
+  let store_in =
+    Arg.(
+      value
+      & opt (some file) None
+      & info [ "store" ] ~docv:"FILE"
+          ~doc:
+            "dvs-store/v1 experiment-store entry to pretty-print; \
+             $(b,--check) also recomputes its payload checksum.")
+  in
   Cmd.v
     (Cmd.info "stats"
        ~doc:
          "Pretty-print (and with $(b,--check) validate) metrics / trace \
-          / service-report files written by $(b,--metrics) / \
-          $(b,--trace) / $(b,loadgen --report)")
-    Term.(const run $ metrics_in $ trace_in $ service_in $ check)
+          / service-report / store-entry files written by \
+          $(b,--metrics) / $(b,--trace) / $(b,loadgen --report) / the \
+          experiment store")
+    Term.(const run $ metrics_in $ trace_in $ service_in $ store_in $ check)
 
 (* ---------------- bench-diff ---------------- *)
 
@@ -851,8 +930,36 @@ let bench_diff_cmd =
     | Some n -> n
     | None -> fail "%s: missing integer field %s" file k
   in
-  let run baseline current max_regression shed_tolerance =
+  let run baseline current max_regression shed_tolerance same_stable =
     let bj = load baseline and cj = load current in
+    (* A summary pair that did not run the same experiments compares
+       apples to oranges: every counter diff below is suspect.  Warn
+       loudly (one line per missing experiment) instead of silently
+       skipping the rows that cannot be compared. *)
+    let experiments file j =
+      match Dvs_obs.Json.member "experiments" j with
+      | Some (Dvs_obs.Json.List xs) ->
+        List.filter_map Dvs_obs.Json.to_string_opt xs
+      | _ -> fail "%s: missing experiments list" file
+    in
+    let bex = experiments baseline bj and cex = experiments current cj in
+    List.iter
+      (fun e ->
+        if not (List.mem e cex) then
+          Format.eprintf
+            "warning: experiment %S ran in the baseline but not in the \
+             current summary; its work is missing from every counter \
+             below@."
+            e)
+      bex;
+    List.iter
+      (fun e ->
+        if not (List.mem e bex) then
+          Format.eprintf
+            "warning: experiment %S ran in the current summary but not \
+             in the baseline; its work inflates every counter below@."
+            e)
+      cex;
     (* Deterministic work counters gate the diff; wall-clock numbers are
        printed for context only (CI machines are too noisy to gate on). *)
     let gated = [ "lp_pivots"; "lp_solves"; "bb_nodes" ] in
@@ -895,17 +1002,34 @@ let bench_diff_cmd =
     | Some b, Some c -> print_wall "wall_seconds" b c
     | _ -> ());
     (* The `reproduce' experiment's wall time graduates from
-       informational to gated when both summaries ran it with
-       summarized verification active (sim_summary_hits > 0): tape
-       replay makes its runtime deterministic enough to hold to the
-       same budget as the work counters, and it is the row that guards
-       the summary layer's raison d'etre. *)
+       informational to gated when both summaries ran it with either
+       acceleration layer active — summarized verification
+       (sim_summary_hits > 0) or the experiment store (store hits > 0).
+       Tape replay / store rehydration make its runtime deterministic
+       enough to hold to the same budget as the work counters, and it
+       is the row that guards those layers' raison d'etre.  (A warm
+       store run never creates a session at all, so its
+       sim_summary_hits is 0: the store clause is what keeps the gate
+       engaged there.) *)
     let summary_hits j =
       Option.value ~default:0
         (Option.bind (Dvs_obs.Json.member "sim_summary_hits" j)
            Dvs_obs.Json.to_int)
     in
-    let gate_wall = summary_hits bj > 0 && summary_hits cj > 0 in
+    let store_hits j =
+      match Dvs_obs.Json.member "store" j with
+      | Some s ->
+        List.fold_left
+          (fun acc k ->
+            acc
+            + Option.value ~default:0
+                (Option.bind (Dvs_obs.Json.member k s) Dvs_obs.Json.to_int))
+          0
+          [ "sim_hits"; "solve_hits"; "sweep_hits" ]
+      | None -> 0
+    in
+    let warm j = summary_hits j > 0 || store_hits j > 0 in
+    let gate_wall = warm bj && warm cj in
     let wall_regressed = ref false in
     (* Per-experiment wall times where both sides ran the experiment. *)
     (match
@@ -959,29 +1083,174 @@ let bench_diff_cmd =
          else
            Printf.sprintf "  (gated, tolerance %.2f)" shed_tolerance)
     | _ -> ());
-    match (regressed, !wall_regressed, !shed_regressed) with
-    | [], false, false ->
+    (* --same-stable: the cold-vs-warm store equivalence gate.  A store
+       hit replays the cold run's captured stable counters, so the two
+       summaries' deterministic metric subsets must be bit-identical —
+       any drift means the store rehydrated something the live pipeline
+       would not have produced. *)
+    let stable_diff =
+      if not same_stable then []
+      else begin
+        let subset file j =
+          match Dvs_obs.Json.member "metrics" j with
+          | Some m -> Dvs_obs.Metrics.stable_subset m
+          | None -> fail "%s: missing metrics section" file
+        in
+        let bs = subset baseline bj and cs = subset current cj in
+        if Dvs_obs.Json.to_string bs = Dvs_obs.Json.to_string cs then begin
+          Format.printf "stable metrics: bit-identical@.";
+          []
+        end
+        else begin
+          (* Name the differing instruments so the failure is
+             actionable from the CI log alone. *)
+          let members section j =
+            match Dvs_obs.Json.member section j with
+            | Some (Dvs_obs.Json.Obj kvs) -> kvs
+            | _ -> []
+          in
+          let names =
+            List.concat_map
+              (fun section ->
+                let b = members section bs and c = members section cs in
+                List.filter_map
+                  (fun name ->
+                    if List.assoc_opt name b = List.assoc_opt name c then
+                      None
+                    else Some (section ^ "." ^ name))
+                  (List.sort_uniq compare
+                     (List.map fst b @ List.map fst c)))
+              [ "counters"; "gauges"; "histograms" ]
+          in
+          let names = if names = [] then [ "(structure)" ] else names in
+          List.iter
+            (fun n -> Format.printf "stable metrics differ: %s@." n)
+            names;
+          names
+        end
+      end
+    in
+    match (regressed, !wall_regressed, !shed_regressed, stable_diff) with
+    | [], false, false, [] ->
       Format.printf "bench-diff: ok (max allowed regression %.0f%%)@."
         (100.0 *. max_regression)
     | _ ->
       Format.eprintf
-        "bench-diff: %d counter(s)%s%s regressed; if the growth is \
+        "bench-diff: %d counter(s)%s%s%s regressed; if the growth is \
          intended, regenerate the baseline with `bench/main.exe -- \
          resilience fig18 reproduce service --emit-bench \
          bench/BENCH_baseline.json'@."
         (List.length regressed)
         (if !wall_regressed then " + the reproduce wall" else "")
-        (if !shed_regressed then " + the service shed rate" else "");
+        (if !shed_regressed then " + the service shed rate" else "")
+        (if stable_diff <> [] then " + the stable metrics subset" else "");
       exit 1
+  in
+  let same_stable_opt =
+    Arg.(
+      value & flag
+      & info [ "same-stable" ]
+          ~doc:
+            "Additionally require the two summaries' stable metrics \
+             subsets ($(b,Metrics.stable_subset): wall-clock stripped, \
+             volatile instruments dropped) to be bit-identical — the \
+             cold-vs-warm experiment-store equivalence gate.")
   in
   Cmd.v
     (Cmd.info "bench-diff"
        ~doc:
          "Compare two dvs-bench/v2 summaries; fail on LP work-counter \
-          (and service shed-rate) regressions")
+          (and service shed-rate) regressions, and with \
+          $(b,--same-stable) on any stable-metric drift")
     Term.(
       const run $ baseline_in $ current_in $ max_regression_opt
-      $ shed_tolerance_opt)
+      $ shed_tolerance_opt $ same_stable_opt)
+
+(* ---------------- store: stats / gc / verify ---------------- *)
+
+let store_cmd =
+  let root_opt =
+    Arg.(
+      value
+      & opt string Dvs_store.Store.default_root
+      & info [ "root" ] ~docv:"DIR"
+          ~doc:"Experiment-store root directory (default $(b,_store)).")
+  in
+  let stats_c =
+    let run root =
+      let s = Dvs_store.Store.open_ ~root () in
+      let d = Dvs_store.Store.disk_stats s in
+      Format.printf "%s: %d entries, %d bytes (epoch %d)@." root
+        d.Dvs_store.Store.entries d.Dvs_store.Store.bytes
+        (Dvs_store.Store.epoch s);
+      List.iter
+        (fun (kind, n) -> Format.printf "  %-8s %d@." kind n)
+        d.Dvs_store.Store.by_kind
+    in
+    Cmd.v
+      (Cmd.info "stats" ~doc:"Entry and byte counts of the on-disk store")
+      Term.(const run $ root_opt)
+  in
+  let gc_c =
+    let max_entries_opt =
+      Arg.(
+        value
+        & opt (some int) None
+        & info [ "max-entries" ] ~docv:"N"
+            ~doc:"LRU entry bound to enforce (default 4096).")
+    in
+    let max_bytes_opt =
+      Arg.(
+        value
+        & opt (some int) None
+        & info [ "max-bytes" ] ~docv:"N"
+            ~doc:"LRU byte bound to enforce (default 256 MiB).")
+    in
+    let run root max_entries max_bytes =
+      let s =
+        Dvs_store.Store.open_ ?max_entries ?max_bytes ~root ()
+      in
+      let r = Dvs_store.Store.gc s in
+      Format.printf
+        "gc %s: scanned %d, kept %d (dropped %d stale, %d corrupt, %d \
+         over the LRU bound)@."
+        root r.Dvs_store.Store.gc_scanned r.Dvs_store.Store.gc_kept
+        r.Dvs_store.Store.gc_stale r.Dvs_store.Store.gc_corrupt
+        r.Dvs_store.Store.gc_evicted
+    in
+    Cmd.v
+      (Cmd.info "gc"
+         ~doc:
+           "Drop stale and corrupt entries, then enforce the LRU bounds")
+      Term.(const run $ root_opt $ max_entries_opt $ max_bytes_opt)
+  in
+  let verify_c =
+    let run root =
+      let s = Dvs_store.Store.open_ ~root () in
+      let r = Dvs_store.Store.verify s in
+      Format.printf "verify %s: %d checked, %d ok, %d stale, %d corrupt@."
+        root r.Dvs_store.Store.vr_checked r.Dvs_store.Store.vr_ok
+        r.Dvs_store.Store.vr_stale
+        (List.length r.Dvs_store.Store.vr_corrupt);
+      List.iter
+        (fun (file, reason) -> Format.printf "  %s: %s@." file reason)
+        r.Dvs_store.Store.vr_corrupt;
+      if r.Dvs_store.Store.vr_corrupt <> [] then exit 1
+    in
+    Cmd.v
+      (Cmd.info "verify"
+         ~doc:
+           "Read-only integrity scan: parse and checksum every entry, \
+            touching nothing; exit 1 if any entry is corrupt")
+      Term.(const run $ root_opt)
+  in
+  Cmd.group
+    (Cmd.info "store"
+       ~doc:
+         "Inspect and maintain the content-addressed experiment store \
+          (see $(b,reproduce --store), $(b,serve --store) and the \
+          $(b,DVS_STORE) variable read by the bench harness)")
+    [ stats_c; gc_c; verify_c ]
 
 (* ---------------- service: serve / request / loadgen ---------------- *)
 
@@ -1044,13 +1313,13 @@ let serve_cmd =
              session) before accepting traffic; repeatable.")
   in
   let run socket workers queue_depth budget batch_max max_nodes capacitance
-      levels warm =
+      levels store_root warm =
     Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
     let engine_config =
       try
         Dvs_service.Engine.Config.make ~workers ~queue_depth
           ~default_budget_s:budget ~batch_max ~max_nodes ~capacitance
-          ?levels ()
+          ?levels ?store_root ()
       with Invalid_argument msg ->
         Format.eprintf "error: %s@." msg;
         exit 9
@@ -1085,7 +1354,7 @@ let serve_cmd =
           batching, idempotent retries)")
     Term.(
       const run $ socket_opt $ workers $ queue_depth $ budget $ batch_max
-      $ max_nodes $ capacitance_opt $ levels_opt $ warm)
+      $ max_nodes $ capacitance_opt $ levels_opt $ store_opt $ warm)
 
 let request_cmd =
   let budget =
@@ -1536,6 +1805,6 @@ let () =
           (Cmd.info "dvstool" ~version:"1.0"
              ~doc:"Compile-time DVS toolkit (PLDI'03 reproduction)")
           [ list_cmd; simulate_cmd; profile_cmd; optimize_cmd; apply_cmd;
-            reproduce_cmd; stats_cmd; bench_diff_cmd; serve_cmd;
+            reproduce_cmd; stats_cmd; bench_diff_cmd; store_cmd; serve_cmd;
             request_cmd; loadgen_cmd; analyze_cmd; compile_cmd; paths_cmd;
             loops_cmd ]))

@@ -154,19 +154,13 @@ let classify (r : result) =
       | Solver.Feasible _ | Solver.Degraded _ | Solver.Infeasible
       | Solver.Unbounded | Solver.No_solution _ -> Time_degraded)
 
-let optimize_multi ?config ?verify_config ?session ~regulator ~memory
-    categories =
+type prepared = {
+  prep_formulation : Formulation.t;
+  prep_independent_edges : int;
+}
+
+let prepare ?config ~regulator categories =
   let config = match config with Some c -> c | None -> Config.default in
-  let obs = Config.obs config in
-  let tr = Dvs_obs.trace obs in
-  let obs_on = Dvs_obs.enabled obs in
-  let module Tr = Dvs_obs.Trace in
-  let pipe_span =
-    if obs_on then
-      Tr.start tr ~stability:Tr.Stable "pipeline.optimize"
-        ~attrs:[ ("categories", Tr.Int (List.length categories)) ]
-    else Tr.start Tr.disabled "pipeline.optimize"
-  in
   let profiles =
     List.map (fun (c : Formulation.category) -> c.Formulation.profile)
       categories
@@ -187,6 +181,26 @@ let optimize_multi ?config ?verify_config ?session ~regulator ~memory
     match repr with
     | Some r -> Filter.independent_count r
     | None -> Array.length formulation.Formulation.repr
+  in
+  { prep_formulation = formulation;
+    prep_independent_edges = independent_edges }
+
+let optimize_multi ?config ?verify_config ?session ~regulator ~memory
+    categories =
+  let config = match config with Some c -> c | None -> Config.default in
+  let obs = Config.obs config in
+  let tr = Dvs_obs.trace obs in
+  let obs_on = Dvs_obs.enabled obs in
+  let module Tr = Dvs_obs.Trace in
+  let pipe_span =
+    if obs_on then
+      Tr.start tr ~stability:Tr.Stable "pipeline.optimize"
+        ~attrs:[ ("categories", Tr.Int (List.length categories)) ]
+    else Tr.start Tr.disabled "pipeline.optimize"
+  in
+  let { prep_formulation = formulation;
+        prep_independent_edges = independent_edges } =
+    prepare ~config ~regulator categories
   in
   let n_modes = Dvs_power.Mode.size formulation.Formulation.modes in
   let base_solver =
@@ -505,18 +519,9 @@ let optimize_sweep ?config ?verify_config ?profile ?session ?(instances = 1)
     | None -> Dvs_profile.Profile.collect machine cfg ~memory
   in
   let category d = { Formulation.profile; weight = 1.0; deadline = d } in
-  let repr =
-    if config.Config.filter then
-      Some
-        (Filter.representatives ~threshold:config.Config.filter_threshold
-           ~weights:[ 1.0 ] [ profile ])
-    else None
-  in
-  let formulation = Formulation.build ?repr ~regulator [ category d_loosest ] in
-  let independent_edges =
-    match repr with
-    | Some r -> Filter.independent_count r
-    | None -> Array.length formulation.Formulation.repr
+  let { prep_formulation = formulation;
+        prep_independent_edges = independent_edges } =
+    prepare ~config ~regulator [ category d_loosest ]
   in
   let n_modes = Dvs_power.Mode.size formulation.Formulation.modes in
   let base_solver =

@@ -8,7 +8,7 @@
     full MILP, then bounded cold retries without the warm start, then
     argmax rounding of the bare LP relaxation, then the
     single-best-frequency baseline.  Every rung is post-checked with
-    {!Verify.run} (deadline met in simulation), degraded rungs are
+    {!Verify.Session.check} (deadline met in simulation), degraded rungs are
     additionally rejected when they cost more energy than the
     single-mode baseline, and the result names the accepted rung plus
     every rejection on the way down ({!result.rung},
@@ -158,6 +158,23 @@ type result = {
 }
 
 val classify : result -> degradation_class
+
+type prepared = {
+  prep_formulation : Formulation.t;
+  prep_independent_edges : int;
+}
+(** The deterministic model-building prefix of {!optimize_multi}:
+    filtering and formulation, no solving.  Exposed so the experiment
+    store ([Dvs_store]) can rebuild a cached result's formulation
+    without paying for a solve or a simulation. *)
+
+val prepare :
+  ?config:Config.t ->
+  regulator:Dvs_power.Switch_cost.regulator ->
+  Formulation.category list ->
+  prepared
+(** Apply the config's edge filter and build the MILP formulation for
+    [categories] — exactly the model {!optimize_multi} would solve. *)
 
 val optimize_multi :
   ?config:Config.t ->

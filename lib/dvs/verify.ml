@@ -92,7 +92,3 @@ module Session = struct
       make_report r.Dvs_machine.Summary.stats ~deadline ~predicted_energy
         ~token:r.Dvs_machine.Summary.token
 end
-
-let run ?fuel ?obs config cfg ~memory ~schedule ~deadline ~predicted_energy =
-  let stats = simulate ?fuel ?obs config cfg ~memory ~schedule in
-  make_report stats ~deadline ~predicted_energy ~token:0

@@ -71,18 +71,3 @@ module Session : sig
 
   val cold : t -> bool
 end
-
-val run :
-  ?fuel:int ->
-  ?obs:Dvs_obs.t ->
-  Dvs_machine.Config.t -> Dvs_ir.Cfg.t -> memory:int array ->
-  schedule:Schedule.t -> deadline:float -> predicted_energy:float -> report
-(** One-shot cycle-accurate verification; [obs] is handed to
-    {!Dvs_machine.Cpu.run}.
-
-    @deprecated Compatibility shim only — it re-simulates from scratch
-    on every call, and nothing in the repo calls it anymore.  Hold a
-    {!Session} instead: create one per (machine, program, memory)
-    triple, then {!Session.check} each candidate schedule.  A cold
-    session ({!Session.create}[ ~cold:true]) reproduces this function's
-    exact cycle-accurate path. *)

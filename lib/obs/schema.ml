@@ -196,15 +196,47 @@ let validate_service j =
   let* retries = need what j "retries" in
   need_kind what "retries" is_int retries
 
+(* ---- dvs-store/v1 ---------------------------------------------------- *)
+
+let validate_store j =
+  let what = "store entry" in
+  let* () = check_schema_tag what "dvs-store/v1" j in
+  let* key = need what j "key" in
+  let* () = need_kind what "key" is_string key in
+  let* kind = need what j "kind" in
+  let* () =
+    match kind with
+    | Json.String ("sim" | "solve" | "sweep") -> Ok ()
+    | Json.String s -> fail "%s: unknown kind %S" what s
+    | _ -> fail "%s: kind must be a string" what
+  in
+  let* epoch = need what j "epoch" in
+  let* () = need_kind what "epoch" is_int epoch in
+  let* checksum = need what j "checksum" in
+  let* () = need_kind what "checksum" is_string checksum in
+  let* payload = need what j "payload" in
+  need_kind what "payload" is_obj payload
+
 let bench_summary ?(experiment_walls = []) ~metrics ~experiments
     ~wall_seconds () =
-  let total name = Metrics.Counter.value (Metrics.counter metrics name) in
+  (* Every instrument this summary reads is volatile (work counts, wall
+     clock).  The lookups say so explicitly because find-or-register
+     would otherwise *register* absent ones under the Stable default —
+     and a run that skipped the solver entirely (a fully warm
+     experiment-store run) would then carry stable zeros a live run
+     classifies volatile, breaking stable-subset equality. *)
+  let total name =
+    Metrics.Counter.value
+      (Metrics.counter metrics ~stability:Metrics.Volatile name)
+  in
   let solves = total "solver.solves" in
   let bb_nodes = total "solver.nodes" in
   let lp_solves = total "solver.lp_solves" in
   let lp_pivots = total "solver.lp_pivots" in
   let solve_seconds =
-    Metrics.Histogram.sum (Metrics.histogram metrics "solver.solve_seconds")
+    Metrics.Histogram.sum
+      (Metrics.histogram metrics ~stability:Metrics.Volatile
+         "solver.solve_seconds")
   in
   let rate n = if solve_seconds > 0.0 then float_of_int n /. solve_seconds else 0.0 in
   let hits = total "lp_cache.hits" in
@@ -232,11 +264,29 @@ let bench_summary ?(experiment_walls = []) ~metrics ~experiments
          the shared registry; omitted (never null) when the experiment
          did not run, so older baselines stay diffable. *)
       ( "service",
-        let g name = Metrics.Gauge.value (Metrics.gauge metrics name) in
+        let g name =
+          Metrics.Gauge.value
+            (Metrics.gauge metrics ~stability:Metrics.Volatile name)
+        in
         let opt k v = if Float.is_nan v then [] else [ (k, Json.Float v) ] in
         Json.Obj
           (opt "p99_seconds" (g "service.p99_seconds")
           @ opt "shed_rate" (g "service.shed_rate")) );
+      (* Experiment-store activity (PR 8): all zeros when no store was
+         active, so older baselines stay diffable.  A warm run shows
+         hits with the volatile work counters near zero — the store's
+         whole point. *)
+      ( "store",
+        Json.Obj
+          [ ("sim_hits", Json.Int (total "store.sim_hits"));
+            ("sim_misses", Json.Int (total "store.sim_misses"));
+            ("solve_hits", Json.Int (total "store.solve_hits"));
+            ("solve_misses", Json.Int (total "store.solve_misses"));
+            ("sweep_hits", Json.Int (total "store.sweep_hits"));
+            ("sweep_misses", Json.Int (total "store.sweep_misses"));
+            ("stale", Json.Int (total "store.stale"));
+            ("corrupt", Json.Int (total "store.corrupt"));
+            ("evictions", Json.Int (total "store.evictions")) ] );
       ( "cache",
         Json.Obj
           [ ("hits", Json.Int hits);

@@ -25,6 +25,11 @@
       [batched_fraction], [retries], [savings_pct_mean] (null when no
       request was scheduled) and [wall_seconds].
 
+    - {b [dvs-store/v1]} — one experiment-store entry ([Dvs_store]):
+      keys [schema], [key] (the full canonical cache key), [kind]
+      (["sim"], ["solve"] or ["sweep"]), [epoch] (int), [checksum]
+      (FNV-1a of the rendered payload) and [payload] (object).
+
     Validators check structure, not values: required keys, value kinds,
     and the enumerated strings.  All validators are permissive about
     extra keys, so optional additions (e.g. the bench summary's
@@ -38,6 +43,8 @@ val validate_bench : Json.t -> (unit, string) result
 
 val validate_service : Json.t -> (unit, string) result
 
+val validate_store : Json.t -> (unit, string) result
+
 val bench_summary :
   ?experiment_walls:(string * float) list ->
   metrics:Metrics.t -> experiments:string list -> wall_seconds:float ->
@@ -49,4 +56,9 @@ val bench_summary :
     aggregate solve time, and derived [nodes_per_second] /
     [lp_solves_per_second] throughput (0 when no solve time was
     recorded).  [experiment_walls] (default empty) records each
-    experiment's own wall time under [experiment_wall_seconds]. *)
+    experiment's own wall time under [experiment_wall_seconds].
+
+    The [store] section totals the experiment store's volatile
+    [store.*] counters (hits and misses per artifact kind, plus
+    stale/corrupt/eviction counts) — all zero when no store was
+    active. *)

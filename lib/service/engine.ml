@@ -21,13 +21,14 @@ module Config = struct
     max_nodes : int;
     capacitance : float;
     levels : int option;
+    store_root : string option;
     obs : Dvs_obs.t;
   }
 
   let make ?(workers = 2) ?(queue_depth = 64) ?(default_budget_s = 2.0)
       ?(batch_max = 8) ?(batch_window = 0.05) ?(reply_cache = 1024)
       ?(solver_jobs = 1) ?(max_nodes = 4000) ?(capacitance = 0.4e-6) ?levels
-      ?(obs = Dvs_obs.disabled) () =
+      ?store_root ?(obs = Dvs_obs.disabled) () =
     if workers < 1 then invalid_arg "Engine.Config: workers must be >= 1";
     if queue_depth < 1 then
       invalid_arg "Engine.Config: queue_depth must be >= 1";
@@ -37,7 +38,8 @@ module Config = struct
     if solver_jobs < 1 then
       invalid_arg "Engine.Config: solver_jobs must be >= 1";
     { workers; queue_depth; default_budget_s; batch_max; batch_window;
-      reply_cache; solver_jobs; max_nodes; capacitance; levels; obs }
+      reply_cache; solver_jobs; max_nodes; capacitance; levels; store_root;
+      obs }
 
   let default = make ()
 end
@@ -98,6 +100,7 @@ type job = {
 type t = {
   cfg : Config.t;
   obs : Dvs_obs.t;
+  store : Dvs_store.Store.t option;
   lp_cache : Dvs_milp.Lp_cache.t;
   mu : Mutex.t;  (* guards queue, inflight, replies, flags *)
   nonempty : Condition.t;
@@ -166,7 +169,14 @@ let model_for t ~workload ~input =
       match
         let machine = machine_config t.cfg in
         let prog, _, mem = Workload.load w ~input in
-        let profile = Dvs_profile.Profile.collect machine prog ~memory:mem in
+        (* Profiling is one pinned simulation per mode — the expensive
+           part of warming a model.  With a store configured, a daemon
+           restart rehydrates it from disk instead (DESIGN.md section
+           14). *)
+        let profile =
+          Dvs_store.Exec.profile ?store:t.store
+            ~source:(workload ^ ":" ^ input) machine prog ~memory:mem
+        in
         let session = Verify.Session.create machine prog ~memory:mem in
         let n = Dvs_power.Mode.size machine.Dvs_machine.Config.mode_table in
         let t_fast = Dvs_profile.Profile.pinned_time profile ~mode:(n - 1) in
@@ -628,8 +638,13 @@ let create (cfg : Config.t) =
   in
   let m = Dvs_obs.metrics obs in
   let counter name = Metrics.counter m ~stability:Metrics.Volatile name in
+  let store =
+    Option.map
+      (fun root -> Dvs_store.Store.open_ ~obs ~root ())
+      cfg.Config.store_root
+  in
   let t =
-    { cfg; obs;
+    { cfg; obs; store;
       lp_cache = Dvs_milp.Lp_cache.create ~max_entries:16384 ();
       mu = Mutex.create (); nonempty = Condition.create ();
       queue = Queue.create (); stopping = false; draining = false;

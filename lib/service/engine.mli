@@ -57,6 +57,11 @@ module Config : sig
     capacitance : float;  (** regulator capacitance; default 0.4e-6 *)
     levels : int option;
         (** evenly spaced voltage levels instead of XScale-3 *)
+    store_root : string option;
+        (** experiment-store root: warm-model profiling consults the
+            content-addressed store there, so a restarted daemon
+            rehydrates its models from disk instead of re-simulating;
+            [None] (the default) profiles live *)
     obs : Dvs_obs.t;
         (** service metrics report here; an enabled private registry is
             created when this is {!Dvs_obs.disabled} *)
@@ -66,7 +71,7 @@ module Config : sig
     ?workers:int -> ?queue_depth:int -> ?default_budget_s:float ->
     ?batch_max:int -> ?batch_window:float -> ?reply_cache:int ->
     ?solver_jobs:int -> ?max_nodes:int -> ?capacitance:float ->
-    ?levels:int -> ?obs:Dvs_obs.t -> unit -> t
+    ?levels:int -> ?store_root:string -> ?obs:Dvs_obs.t -> unit -> t
   (** Raises [Invalid_argument] on non-positive [workers], [queue_depth],
       [batch_max], [default_budget_s] or [solver_jobs]. *)
 

@@ -1,0 +1,139 @@
+module Json = Dvs_obs.Json
+module Metrics = Dvs_obs.Metrics
+
+type t = {
+  counters : (string * int) list;
+  gauges : (string * float) list;
+}
+
+let by_name (a, _) (b, _) = String.compare a b
+
+let state obs =
+  let m = Dvs_obs.metrics obs in
+  if not (Metrics.enabled m) then { counters = []; gauges = [] }
+  else
+    let snap = Metrics.snapshot m in
+    let counters =
+      match Json.member "counters" snap with
+      | Some (Json.Obj counters) ->
+        List.filter_map
+          (fun (name, v) ->
+            match (Json.member "stability" v, Json.member "total" v) with
+            | Some (Json.String "stable"), Some (Json.Int total) ->
+              Some (name, total)
+            | _ -> None)
+          counters
+        |> List.sort by_name
+      | _ -> []
+    in
+    let gauges =
+      match Json.member "gauges" snap with
+      | Some (Json.Obj gauges) ->
+        List.filter_map
+          (fun (name, v) ->
+            match (Json.member "stability" v, Json.member "value" v) with
+            | Some (Json.String "stable"), Some value ->
+              (* Non-finite gauge values print as null. *)
+              let f =
+                match value with
+                | Json.Float f -> f
+                | Json.Int n -> float_of_int n
+                | _ -> Float.nan
+              in
+              Some (name, f)
+            | _ -> None)
+          gauges
+        |> List.sort by_name
+      | _ -> []
+    in
+    { counters; gauges }
+
+let same_bits a b = Int64.equal (Int64.bits_of_float a) (Int64.bits_of_float b)
+
+let diff ~before ~after =
+  let base = Hashtbl.create 32 in
+  List.iter (fun (n, v) -> Hashtbl.replace base n v) before.counters;
+  let counters =
+    List.filter_map
+      (fun (n, v) ->
+        match Hashtbl.find_opt base n with
+        (* A zero delta still matters when the computation *registered*
+           the counter: the cold snapshot carries it at 0, so the warm
+           one must too. *)
+        | None -> Some (n, v)
+        | Some v0 -> if v > v0 then Some (n, v - v0) else None)
+      after.counters
+  in
+  let gbase = Hashtbl.create 8 in
+  List.iter (fun (n, v) -> Hashtbl.replace gbase n v) before.gauges;
+  let gauges =
+    List.filter
+      (fun (n, v) ->
+        match Hashtbl.find_opt gbase n with
+        | Some v0 -> not (same_bits v v0)
+        | None -> true)
+      after.gauges
+  in
+  { counters; gauges }
+
+let replay obs t =
+  let m = Dvs_obs.metrics obs in
+  List.iter
+    (fun (name, d) ->
+      Metrics.Counter.add
+        (Metrics.counter m ~stability:Metrics.Stable name)
+        ~slot:0 d)
+    t.counters;
+  List.iter
+    (fun (name, v) ->
+      Metrics.Gauge.set (Metrics.gauge m ~stability:Metrics.Stable name) v)
+    t.gauges
+
+(* Gauge values travel as "%h" strings: JSON floats cannot round-trip
+   every bit pattern (or non-finite values) and the replayed gauge must
+   be bit-identical to the live one. *)
+let to_json t =
+  Json.Obj
+    [ ( "counters",
+        Json.Obj (List.map (fun (n, v) -> (n, Json.Int v)) t.counters) );
+      ( "gauges",
+        Json.Obj
+          (List.map
+             (fun (n, v) -> (n, Json.String (Printf.sprintf "%h" v)))
+             t.gauges) ) ]
+
+let of_json j =
+  let counters_of = function
+    | Json.Obj kvs ->
+      let rec go acc = function
+        | [] -> Ok (List.rev acc)
+        | (n, Json.Int v) :: rest -> go ((n, v) :: acc) rest
+        | (n, _) :: _ ->
+          Error (Printf.sprintf "counter %S: delta must be an integer" n)
+      in
+      go [] kvs
+    | _ -> Error "counters: expected an object"
+  in
+  let gauges_of = function
+    | Json.Obj kvs ->
+      let rec go acc = function
+        | [] -> Ok (List.rev acc)
+        | (n, Json.String s) :: rest -> (
+          match float_of_string_opt s with
+          | Some v -> go ((n, v) :: acc) rest
+          | None ->
+            Error (Printf.sprintf "gauge %S: unparseable value %S" n s))
+        | (n, _) :: _ ->
+          Error (Printf.sprintf "gauge %S: value must be a string" n)
+      in
+      go [] kvs
+    | _ -> Error "gauges: expected an object"
+  in
+  match j with
+  | Json.Obj _ ->
+    (match (Json.member "counters" j, Json.member "gauges" j) with
+    | Some c, Some g ->
+      Result.bind (counters_of c) (fun counters ->
+          Result.map (fun gauges -> { counters; gauges }) (gauges_of g))
+    | _ -> Error "capture: missing counters/gauges")
+  | _ -> Error "capture: expected an object"

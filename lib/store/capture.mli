@@ -1,0 +1,43 @@
+(** Capture and replay of stable instrument deltas.
+
+    A store hit must leave the metrics registry exactly as the original
+    computation would have ([Stable] instruments are deterministic
+    functions of the inputs, and the bench summary is diffed on them) —
+    so each solve/sweep entry carries the stable-counter deltas and
+    stable-gauge writes observed while the artifact was first computed,
+    and a hit replays them instead of redoing the work.  Volatile
+    instruments (wall clock, scheduling-dependent work counts, the
+    [store.*] counters themselves) are deliberately excluded: a warm
+    run is {e supposed} to report less volatile work.  (No stable
+    histogram exists in the codebase; adding one would need a bucket
+    capture here.) *)
+
+type t = {
+  counters : (string * int) list;
+      (** stable counter names with their deltas, name-sorted; zero
+          deltas are kept only for counters the computation itself
+          registered (so a replay reproduces the registration, and with
+          it the cold run's snapshot shape) *)
+  gauges : (string * float) list;
+      (** stable gauges (re)written by the computation, with their final
+          values, name-sorted *)
+}
+
+val state : Dvs_obs.t -> t
+(** Totals of every [Stable] counter and values of every [Stable] gauge
+    currently in the registry. *)
+
+val diff : before:t -> after:t -> t
+(** Per-counter [after - before], keeping positive deltas and
+    newly registered counters (even at zero); gauges from [after] that
+    are new or bit-different since [before] (gauges are last-write-wins,
+    so the final value is the capture). *)
+
+val replay : Dvs_obs.t -> t -> unit
+(** Re-apply a captured delta (registering absent instruments as
+    [Stable]): counters are bumped by their deltas, gauges set to their
+    captured values. *)
+
+val to_json : t -> Dvs_obs.Json.t
+
+val of_json : Dvs_obs.Json.t -> (t, string) result

@@ -1,0 +1,549 @@
+module Json = Dvs_obs.Json
+module Cpu = Dvs_machine.Cpu
+module Cache = Dvs_machine.Cache
+module Profile = Dvs_profile.Profile
+module Schedule = Dvs_core.Schedule
+module Verify = Dvs_core.Verify
+module Pipeline = Dvs_core.Pipeline
+module Formulation = Dvs_core.Formulation
+module Solver = Dvs_milp.Solver
+module Sweep = Dvs_milp.Sweep
+module Simplex = Dvs_lp.Simplex
+module Mode = Dvs_power.Mode
+module Switch_cost = Dvs_power.Switch_cost
+
+(* ---- primitives ------------------------------------------------------- *)
+
+(* Hex-float strings round-trip every bit pattern, including infinities
+   (the LP bound of an infeasible instance) — Json.Float would print
+   those as null. *)
+let jf f = Json.String (Printf.sprintf "%h" f)
+
+let jopt f = function None -> Json.Null | Some v -> f v
+
+let jints a = Json.List (Array.to_list a |> List.map (fun n -> Json.Int n))
+
+let jfloats a = Json.List (Array.to_list a |> List.map jf)
+
+exception Decode of string
+
+let fail fmt = Printf.ksprintf (fun s -> raise (Decode s)) fmt
+
+let wrap f j = match f j with v -> Ok v | exception Decode e -> Error e
+
+let mem what k j =
+  match Json.member k j with
+  | Some v -> v
+  | None -> fail "%s: missing %S" what k
+
+let dint what = function
+  | Json.Int n -> n
+  | _ -> fail "%s: expected an integer" what
+
+let dbool what = function
+  | Json.Bool b -> b
+  | _ -> fail "%s: expected a bool" what
+
+let dstr what = function
+  | Json.String s -> s
+  | _ -> fail "%s: expected a string" what
+
+let dflo what = function
+  | Json.String s -> (
+    try float_of_string s with Failure _ -> fail "%s: bad float" what)
+  | Json.Int n -> float_of_int n
+  | Json.Float f -> f
+  | _ -> fail "%s: expected a float" what
+
+let dlist what = function
+  | Json.List l -> l
+  | _ -> fail "%s: expected a list" what
+
+let dopt f = function Json.Null -> None | j -> Some (f j)
+
+let dints what j = dlist what j |> List.map (dint what) |> Array.of_list
+
+let dfloats what j = dlist what j |> List.map (dflo what) |> Array.of_list
+
+(* ---- simulator artifacts ---------------------------------------------- *)
+
+let cache_stats_to_json (s : Cache.stats) =
+  Json.Obj
+    [ ("accesses", Json.Int s.Cache.accesses);
+      ("hits", Json.Int s.Cache.hits);
+      ("misses", Json.Int s.Cache.misses) ]
+
+let cache_stats_of what j =
+  { Cache.accesses = dint what (mem what "accesses" j);
+    hits = dint what (mem what "hits" j);
+    misses = dint what (mem what "misses" j) }
+
+let run_stats_to_json (r : Cpu.run_stats) =
+  Json.Obj
+    [ ("time", jf r.Cpu.time);
+      ("energy", jf r.Cpu.energy);
+      ("dyn_instrs", Json.Int r.Cpu.dyn_instrs);
+      ("mode_transitions", Json.Int r.Cpu.mode_transitions);
+      ("transition_time", jf r.Cpu.transition_time);
+      ("transition_energy", jf r.Cpu.transition_energy);
+      ("l1", cache_stats_to_json r.Cpu.l1);
+      ("l2", cache_stats_to_json r.Cpu.l2);
+      ("overlap_cycles", Json.Int r.Cpu.overlap_cycles);
+      ("dependent_cycles", Json.Int r.Cpu.dependent_cycles);
+      ("cache_hit_cycles", Json.Int r.Cpu.cache_hit_cycles);
+      ("miss_busy_time", jf r.Cpu.miss_busy_time);
+      ("stall_time", jf r.Cpu.stall_time);
+      ("registers", jints r.Cpu.registers);
+      ("memory", jints r.Cpu.memory) ]
+
+let run_stats_of what j =
+  { Cpu.time = dflo what (mem what "time" j);
+    energy = dflo what (mem what "energy" j);
+    dyn_instrs = dint what (mem what "dyn_instrs" j);
+    mode_transitions = dint what (mem what "mode_transitions" j);
+    transition_time = dflo what (mem what "transition_time" j);
+    transition_energy = dflo what (mem what "transition_energy" j);
+    l1 = cache_stats_of what (mem what "l1" j);
+    l2 = cache_stats_of what (mem what "l2" j);
+    overlap_cycles = dint what (mem what "overlap_cycles" j);
+    dependent_cycles = dint what (mem what "dependent_cycles" j);
+    cache_hit_cycles = dint what (mem what "cache_hit_cycles" j);
+    miss_busy_time = dflo what (mem what "miss_busy_time" j);
+    stall_time = dflo what (mem what "stall_time" j);
+    registers = dints what (mem what "registers" j);
+    memory = dints what (mem what "memory" j) }
+
+let run_stats_of_json j = wrap (run_stats_of "run_stats") j
+
+let path_to_json (p : Profile.path) =
+  Json.Obj
+    [ ("pred", jopt (fun l -> Json.Int l) p.Profile.pred);
+      ("node", Json.Int p.Profile.node);
+      ("succ", Json.Int p.Profile.succ) ]
+
+let path_of what j =
+  { Profile.pred = dopt (dint what) (mem what "pred" j);
+    node = dint what (mem what "node" j);
+    succ = dint what (mem what "succ" j) }
+
+let profile_to_json (p : Profile.t) =
+  Json.Obj
+    [ ("exec_count", jints p.Profile.exec_count);
+      ("edge_count", jints p.Profile.edge_count);
+      ("entry_count", Json.Int p.Profile.entry_count);
+      ( "paths",
+        Json.List
+          (List.map
+             (fun (path, n) ->
+               Json.Obj
+                 [ ("path", path_to_json path); ("count", Json.Int n) ])
+             p.Profile.paths) );
+      ( "total_time",
+        Json.List (Array.to_list p.Profile.total_time |> List.map jfloats) );
+      ( "total_energy",
+        Json.List (Array.to_list p.Profile.total_energy |> List.map jfloats)
+      );
+      ( "runs",
+        Json.List
+          (Array.to_list p.Profile.runs |> List.map run_stats_to_json) ) ]
+
+let profile_of_json ~cfg ~config j =
+  let what = "profile" in
+  wrap
+    (fun j ->
+      { Profile.cfg;
+        config;
+        exec_count = dints what (mem what "exec_count" j);
+        edge_count = dints what (mem what "edge_count" j);
+        entry_count = dint what (mem what "entry_count" j);
+        paths =
+          dlist what (mem what "paths" j)
+          |> List.map (fun pj ->
+                 ( path_of what (mem what "path" pj),
+                   dint what (mem what "count" pj) ));
+        total_time =
+          dlist what (mem what "total_time" j)
+          |> List.map (dfloats what)
+          |> Array.of_list;
+        total_energy =
+          dlist what (mem what "total_energy" j)
+          |> List.map (dfloats what)
+          |> Array.of_list;
+        runs =
+          dlist what (mem what "runs" j)
+          |> List.map (run_stats_of what)
+          |> Array.of_list })
+    j
+
+(* The profile's own JSON rendering is canonical (sorted construction,
+   bit-exact floats), so its hash is a faithful content fingerprint. *)
+let profile_fingerprint p = Key.hash_hex (Json.to_string (profile_to_json p))
+
+(* ---- schedules, verification ------------------------------------------ *)
+
+let schedule_to_json (s : Schedule.t) =
+  Json.Obj
+    [ ("edge_mode", jints s.Schedule.edge_mode);
+      ("entry_mode", Json.Int s.Schedule.entry_mode) ]
+
+let schedule_of what j =
+  { Schedule.edge_mode = dints what (mem what "edge_mode" j);
+    entry_mode = dint what (mem what "entry_mode" j) }
+
+let report_to_json (v : Verify.report) =
+  Json.Obj
+    [ ("stats", run_stats_to_json v.Verify.stats);
+      ("deadline", jf v.Verify.deadline);
+      ("meets_deadline", Json.Bool v.Verify.meets_deadline);
+      ("predicted_energy", jf v.Verify.predicted_energy);
+      ("energy_error", jf v.Verify.energy_error) ]
+
+let report_of what j =
+  { Verify.stats = run_stats_of what (mem what "stats" j);
+    deadline = dflo what (mem what "deadline" j);
+    meets_deadline = dbool what (mem what "meets_deadline" j);
+    predicted_energy = dflo what (mem what "predicted_energy" j);
+    energy_error = dflo what (mem what "energy_error" j);
+    (* 0 = "not from a warm session": a rehydrated report must not be
+       offered to Session.check_incremental as a splice base. *)
+    token = 0 }
+
+(* ---- solver ----------------------------------------------------------- *)
+
+let stop_to_string = function
+  | Solver.Node_limit -> "node_limit"
+  | Solver.Time_limit -> "time_limit"
+  | Solver.Iter_limit -> "iter_limit"
+
+let stop_of what = function
+  | "node_limit" -> Solver.Node_limit
+  | "time_limit" -> Solver.Time_limit
+  | "iter_limit" -> Solver.Iter_limit
+  | s -> fail "%s: unknown stop reason %S" what s
+
+let crash_to_json (c : Solver.crash) =
+  Json.Obj
+    [ ("worker", Json.Int c.Solver.worker);
+      ("depth", Json.Int c.Solver.depth);
+      ( "path",
+        Json.List (List.map (fun n -> Json.Int n) c.Solver.path) );
+      ("message", Json.String c.Solver.message) ]
+
+let crash_of what j =
+  { Solver.worker = dint what (mem what "worker" j);
+    depth = dint what (mem what "depth" j);
+    path = dlist what (mem what "path" j) |> List.map (dint what);
+    message = dstr what (mem what "message" j) }
+
+let outcome_to_json = function
+  | Solver.Optimal -> Json.Obj [ ("tag", Json.String "optimal") ]
+  | Solver.Infeasible -> Json.Obj [ ("tag", Json.String "infeasible") ]
+  | Solver.Unbounded -> Json.Obj [ ("tag", Json.String "unbounded") ]
+  | Solver.Feasible r ->
+    Json.Obj
+      [ ("tag", Json.String "feasible");
+        ("stop", Json.String (stop_to_string r)) ]
+  | Solver.No_solution r ->
+    Json.Obj
+      [ ("tag", Json.String "no_solution");
+        ("stop", Json.String (stop_to_string r)) ]
+  | Solver.Degraded d ->
+    Json.Obj
+      [ ("tag", Json.String "degraded");
+        ("crashes", Json.List (List.map crash_to_json d.Solver.crashes));
+        ( "stopped",
+          jopt (fun r -> Json.String (stop_to_string r)) d.Solver.stopped )
+      ]
+
+let outcome_of what j =
+  match dstr what (mem what "tag" j) with
+  | "optimal" -> Solver.Optimal
+  | "infeasible" -> Solver.Infeasible
+  | "unbounded" -> Solver.Unbounded
+  | "feasible" -> Solver.Feasible (stop_of what (dstr what (mem what "stop" j)))
+  | "no_solution" ->
+    Solver.No_solution (stop_of what (dstr what (mem what "stop" j)))
+  | "degraded" ->
+    Solver.Degraded
+      { Solver.crashes =
+          dlist what (mem what "crashes" j) |> List.map (crash_of what);
+        stopped =
+          dopt (fun s -> stop_of what (dstr what s)) (mem what "stopped" j) }
+  | tag -> fail "%s: unknown outcome tag %S" what tag
+
+let solver_stats_to_json (s : Solver.stats) =
+  Json.Obj
+    [ ("nodes", Json.Int s.Solver.nodes);
+      ("lp_solves", Json.Int s.Solver.lp_solves);
+      ("lp_pivots", Json.Int s.Solver.lp_pivots);
+      ("cache_hits", Json.Int s.Solver.cache_hits);
+      ("cache_misses", Json.Int s.Solver.cache_misses);
+      ("cache_evictions", Json.Int s.Solver.cache_evictions);
+      ("steals", Json.Int s.Solver.steals);
+      ("wall_seconds", jf s.Solver.wall_seconds);
+      ("cpu_seconds", jf s.Solver.cpu_seconds);
+      ("workers", Json.Int s.Solver.workers);
+      ("worker_nodes", jints s.Solver.worker_nodes) ]
+
+let solver_stats_of what j =
+  { Solver.nodes = dint what (mem what "nodes" j);
+    lp_solves = dint what (mem what "lp_solves" j);
+    lp_pivots = dint what (mem what "lp_pivots" j);
+    cache_hits = dint what (mem what "cache_hits" j);
+    cache_misses = dint what (mem what "cache_misses" j);
+    cache_evictions = dint what (mem what "cache_evictions" j);
+    steals = dint what (mem what "steals" j);
+    wall_seconds = dflo what (mem what "wall_seconds" j);
+    cpu_seconds = dflo what (mem what "cpu_seconds" j);
+    workers = dint what (mem what "workers" j);
+    worker_nodes = dints what (mem what "worker_nodes" j) }
+
+let solution_to_json (s : Simplex.solution) =
+  Json.Obj
+    [ ("objective", jf s.Simplex.objective);
+      ("values", jfloats s.Simplex.values) ]
+
+let solution_of what j =
+  { Simplex.objective = dflo what (mem what "objective" j);
+    values = dfloats what (mem what "values" j) }
+
+(* ---- pipeline essence ------------------------------------------------- *)
+
+let rung_to_json = function
+  | Pipeline.Milp -> Json.Obj [ ("tag", Json.String "milp") ]
+  | Pipeline.Milp_retry n ->
+    Json.Obj [ ("tag", Json.String "milp_retry"); ("n", Json.Int n) ]
+  | Pipeline.Rounded_lp -> Json.Obj [ ("tag", Json.String "rounded_lp") ]
+  | Pipeline.Single_mode -> Json.Obj [ ("tag", Json.String "single_mode") ]
+
+let rung_of what j =
+  match dstr what (mem what "tag" j) with
+  | "milp" -> Pipeline.Milp
+  | "milp_retry" -> Pipeline.Milp_retry (dint what (mem what "n" j))
+  | "rounded_lp" -> Pipeline.Rounded_lp
+  | "single_mode" -> Pipeline.Single_mode
+  | tag -> fail "%s: unknown rung %S" what tag
+
+let cause_to_string = function
+  | Pipeline.Limit_hit -> "limit_hit"
+  | Pipeline.Worker_crash -> "worker_crash"
+  | Pipeline.Numeric -> "numeric"
+  | Pipeline.Verify_reject -> "verify_reject"
+
+let cause_of what = function
+  | "limit_hit" -> Pipeline.Limit_hit
+  | "worker_crash" -> Pipeline.Worker_crash
+  | "numeric" -> Pipeline.Numeric
+  | "verify_reject" -> Pipeline.Verify_reject
+  | s -> fail "%s: unknown cause %S" what s
+
+let descent_to_json (d : Pipeline.descent) =
+  Json.Obj
+    [ ("rung_failed", rung_to_json d.Pipeline.rung_failed);
+      ("cause", Json.String (cause_to_string d.Pipeline.cause));
+      ("detail", Json.String d.Pipeline.detail) ]
+
+let descent_of what j =
+  { Pipeline.rung_failed = rung_of what (mem what "rung_failed" j);
+    cause = cause_of what (dstr what (mem what "cause" j));
+    detail = dstr what (mem what "detail" j) }
+
+type solve_essence = {
+  e_outcome : Solver.outcome;
+  e_solution : Simplex.solution option;
+  e_bound : float;
+  e_stats : Solver.stats;
+  e_predicted_energy : float option;
+  e_schedule : Schedule.t option;
+  e_verification : Verify.report option;
+  e_solve_seconds : float;
+  e_rung : Pipeline.rung option;
+  e_descents : Pipeline.descent list;
+}
+
+let essence_of_result (r : Pipeline.result) =
+  { e_outcome = r.Pipeline.milp.Solver.outcome;
+    e_solution = r.Pipeline.milp.Solver.solution;
+    e_bound = r.Pipeline.milp.Solver.bound;
+    e_stats = r.Pipeline.milp.Solver.stats;
+    e_predicted_energy = r.Pipeline.predicted_energy;
+    e_schedule = r.Pipeline.schedule;
+    e_verification = r.Pipeline.verification;
+    e_solve_seconds = r.Pipeline.solve_seconds;
+    e_rung = r.Pipeline.rung;
+    e_descents = r.Pipeline.descents }
+
+let result_of_essence ~categories ~formulation ~independent_edges e =
+  { Pipeline.categories;
+    formulation;
+    milp =
+      { Solver.outcome = e.e_outcome;
+        solution = e.e_solution;
+        bound = e.e_bound;
+        stats = e.e_stats };
+    predicted_energy = e.e_predicted_energy;
+    schedule = e.e_schedule;
+    verification = e.e_verification;
+    solve_seconds = e.e_solve_seconds;
+    independent_edges;
+    rung = e.e_rung;
+    descents = e.e_descents }
+
+let essence_to_json e =
+  Json.Obj
+    [ ("outcome", outcome_to_json e.e_outcome);
+      ("solution", jopt solution_to_json e.e_solution);
+      ("bound", jf e.e_bound);
+      ("stats", solver_stats_to_json e.e_stats);
+      ("predicted_energy", jopt jf e.e_predicted_energy);
+      ("schedule", jopt schedule_to_json e.e_schedule);
+      ("verification", jopt report_to_json e.e_verification);
+      ("solve_seconds", jf e.e_solve_seconds);
+      ("rung", jopt rung_to_json e.e_rung);
+      ("descents", Json.List (List.map descent_to_json e.e_descents)) ]
+
+let essence_of what j =
+  { e_outcome = outcome_of what (mem what "outcome" j);
+    e_solution = dopt (solution_of what) (mem what "solution" j);
+    e_bound = dflo what (mem what "bound" j);
+    e_stats = solver_stats_of what (mem what "stats" j);
+    e_predicted_energy = dopt (dflo what) (mem what "predicted_energy" j);
+    e_schedule = dopt (schedule_of what) (mem what "schedule" j);
+    e_verification = dopt (report_of what) (mem what "verification" j);
+    e_solve_seconds = dflo what (mem what "solve_seconds" j);
+    e_rung = dopt (rung_of what) (mem what "rung" j);
+    e_descents =
+      dlist what (mem what "descents" j) |> List.map (descent_of what) }
+
+let essence_of_json j = wrap (essence_of "solve") j
+
+type sweep_essence = {
+  se_points : solve_essence array;
+  se_stats : Sweep.stats;
+}
+
+let sweep_stats_to_json (s : Sweep.stats) =
+  Json.Obj
+    [ ("instances_warm_started", Json.Int s.Sweep.instances_warm_started);
+      ("cuts_separated", Json.Int s.Sweep.cuts_separated);
+      ("cuts_applied", Json.Int s.Sweep.cuts_applied);
+      ("cut_pool_hits", Json.Int s.Sweep.cut_pool_hits);
+      ("pool_size", Json.Int s.Sweep.pool_size);
+      ("root_pivots", Json.Int s.Sweep.root_pivots) ]
+
+let sweep_stats_of what j =
+  { Sweep.instances_warm_started =
+      dint what (mem what "instances_warm_started" j);
+    cuts_separated = dint what (mem what "cuts_separated" j);
+    cuts_applied = dint what (mem what "cuts_applied" j);
+    cut_pool_hits = dint what (mem what "cut_pool_hits" j);
+    pool_size = dint what (mem what "pool_size" j);
+    root_pivots = dint what (mem what "root_pivots" j) }
+
+let sweep_to_json s =
+  Json.Obj
+    [ ( "points",
+        Json.List (Array.to_list s.se_points |> List.map essence_to_json) );
+      ("stats", sweep_stats_to_json s.se_stats) ]
+
+let sweep_of_json j =
+  let what = "sweep" in
+  wrap
+    (fun j ->
+      { se_points =
+          dlist what (mem what "points" j)
+          |> List.map (essence_of what)
+          |> Array.of_list;
+        se_stats = sweep_stats_of what (mem what "stats" j) })
+    j
+
+(* ---- key components --------------------------------------------------- *)
+
+let memory_fingerprint mem =
+  let b = Buffer.create (Array.length mem * 4) in
+  Array.iter
+    (fun w ->
+      Buffer.add_string b (string_of_int w);
+      Buffer.add_char b ',')
+    mem;
+  Key.hash_hex (Buffer.contents b)
+
+let geometry_component (g : Dvs_machine.Config.cache_geometry) =
+  Key.L
+    [ Key.I g.Dvs_machine.Config.size_bytes;
+      Key.I g.Dvs_machine.Config.assoc;
+      Key.I g.Dvs_machine.Config.block_bytes;
+      Key.I g.Dvs_machine.Config.latency_cycles ]
+
+let mode_table_component table =
+  Key.L
+    (List.map
+       (fun (m : Mode.t) ->
+         Key.L [ Key.F m.Mode.voltage; Key.F m.Mode.frequency ])
+       (Mode.to_list table))
+
+let regulator_component (r : Switch_cost.regulator) =
+  Key.L
+    [ Key.F r.Switch_cost.capacitance;
+      Key.F r.Switch_cost.efficiency;
+      Key.F r.Switch_cost.i_max ]
+
+let machine_components ~prefix (c : Dvs_machine.Config.t) =
+  let p n = prefix ^ n in
+  [ (p "l1d", geometry_component c.Dvs_machine.Config.l1d);
+    (p "l2", geometry_component c.Dvs_machine.Config.l2);
+    (p "dram_latency", Key.F c.Dvs_machine.Config.dram_latency);
+    (p "word_bytes", Key.I c.Dvs_machine.Config.word_bytes);
+    (p "mode_table", mode_table_component c.Dvs_machine.Config.mode_table);
+    (p "regulator", regulator_component c.Dvs_machine.Config.regulator);
+    ( p "active_energy_coeff",
+      Key.F c.Dvs_machine.Config.active_energy_coeff ) ]
+
+let bool_component b = Key.I (if b then 1 else 0)
+
+let solver_components (c : Solver.Config.t) =
+  [ ("solver.jobs", Key.I c.Solver.Config.jobs);
+    ("solver.max_nodes", Key.I c.Solver.Config.max_nodes);
+    ("solver.int_tol", Key.F c.Solver.Config.int_tol);
+    ("solver.gap_rel", Key.F c.Solver.Config.gap_rel);
+    ( "solver.time_limit",
+      match c.Solver.Config.time_limit with
+      | None -> Key.L []
+      | Some t -> Key.L [ Key.F t ] );
+    ("solver.rounding", bool_component c.Solver.Config.rounding);
+    ("solver.cache_depth", Key.I c.Solver.Config.cache_depth);
+    ("solver.presolve", bool_component c.Solver.Config.presolve);
+    ( "solver.pricing",
+      Key.S
+        (match c.Solver.Config.pricing with
+        | Simplex.Bland -> "bland"
+        | Simplex.Dantzig -> "dantzig"
+        | Simplex.Steepest_edge -> "steepest_edge") );
+    ( "solver.branching",
+      Key.S
+        (match c.Solver.Config.branching with
+        | Solver.Config.Fractional -> "fractional"
+        | Solver.Config.Pseudocost_gub -> "pseudocost_gub") );
+    ( "solver.node_order",
+      Key.S
+        (match c.Solver.Config.node_order with
+        | Solver.Config.Best_bound -> "best_bound"
+        | Solver.Config.Depth_first -> "depth_first") );
+    ("solver.reliability", Key.I c.Solver.Config.reliability) ]
+
+let pipeline_components (c : Pipeline.Config.t) =
+  let r = c.Pipeline.Config.resilience in
+  [ ("pipe.filter", bool_component c.Pipeline.Config.filter);
+    ("pipe.filter_threshold", Key.F c.Pipeline.Config.filter_threshold);
+    ("pipe.verify", bool_component c.Pipeline.Config.verify);
+    ("pipe.cold_verify", bool_component c.Pipeline.Config.cold_verify);
+    ("pipe.ladder", bool_component r.Pipeline.Resilience.ladder);
+    ("pipe.max_retries", Key.I r.Pipeline.Resilience.max_retries);
+    ( "pipe.retry_budget_factor",
+      Key.F r.Pipeline.Resilience.retry_budget_factor );
+    ( "pipe.entry",
+      Key.S
+        (match r.Pipeline.Resilience.entry with
+        | Pipeline.Resilience.From_milp -> "milp"
+        | Pipeline.Resilience.From_rounded_lp -> "rounded_lp"
+        | Pipeline.Resilience.From_single_mode -> "single_mode") ) ]

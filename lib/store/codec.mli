@@ -1,0 +1,94 @@
+(** JSON codecs for the stored artifact classes, plus the fingerprint
+    helpers {!Exec} composes cache keys from.
+
+    Floats are rendered as hexadecimal float strings ([%h]) so every
+    value — including non-finite bounds — round-trips bit-exactly
+    (the plain JSON [Float] printer maps non-finite values to [null]).
+    Decoders are total: any shape mismatch is an [Error], never an
+    exception, so a damaged payload downgrades to a store miss. *)
+
+(** {2 Simulator artifacts} *)
+
+val run_stats_to_json : Dvs_machine.Cpu.run_stats -> Dvs_obs.Json.t
+
+val run_stats_of_json :
+  Dvs_obs.Json.t -> (Dvs_machine.Cpu.run_stats, string) result
+
+val profile_to_json : Dvs_profile.Profile.t -> Dvs_obs.Json.t
+(** The measured data only — [cfg] and [config] are part of the cache
+    key, so {!profile_of_json} takes them back from the caller. *)
+
+val profile_of_json :
+  cfg:Dvs_ir.Cfg.t ->
+  config:Dvs_machine.Config.t ->
+  Dvs_obs.Json.t ->
+  (Dvs_profile.Profile.t, string) result
+
+val profile_fingerprint : Dvs_profile.Profile.t -> string
+(** Content hash of the measured data (bit-exact on floats): the
+    identity of a profile inside solve/sweep keys, independent of how
+    the caller names its workload. *)
+
+(** {2 Solve artifacts} *)
+
+type solve_essence = {
+  e_outcome : Dvs_milp.Solver.outcome;
+  e_solution : Dvs_lp.Simplex.solution option;
+  e_bound : float;
+  e_stats : Dvs_milp.Solver.stats;
+  e_predicted_energy : float option;
+  e_schedule : Dvs_core.Schedule.t option;
+  e_verification : Dvs_core.Verify.report option;
+  e_solve_seconds : float;
+  e_rung : Dvs_core.Pipeline.rung option;
+  e_descents : Dvs_core.Pipeline.descent list;
+}
+(** Everything a {!Dvs_core.Pipeline.result} carries except the
+    formulation and categories, which are cheap to rebuild and are
+    pinned by the cache key. *)
+
+val essence_of_result : Dvs_core.Pipeline.result -> solve_essence
+
+val result_of_essence :
+  categories:Dvs_core.Formulation.category list ->
+  formulation:Dvs_core.Formulation.t ->
+  independent_edges:int ->
+  solve_essence ->
+  Dvs_core.Pipeline.result
+
+val essence_to_json : solve_essence -> Dvs_obs.Json.t
+
+val essence_of_json : Dvs_obs.Json.t -> (solve_essence, string) result
+
+type sweep_essence = {
+  se_points : solve_essence array;
+  se_stats : Dvs_milp.Sweep.stats;
+}
+
+val sweep_to_json : sweep_essence -> Dvs_obs.Json.t
+
+val sweep_of_json : Dvs_obs.Json.t -> (sweep_essence, string) result
+
+(** {2 Key components} *)
+
+val memory_fingerprint : int array -> string
+(** Content hash of a memory image (the workload input data). *)
+
+val regulator_component : Dvs_power.Switch_cost.regulator -> Key.component
+
+val machine_components :
+  prefix:string -> Dvs_machine.Config.t -> (string * Key.component) list
+(** Cache geometry, DRAM latency, mode table, regulator, energy
+    coefficient — every machine parameter the simulator reads. *)
+
+val solver_components :
+  Dvs_milp.Solver.Config.t -> (string * Key.component) list
+(** The solver parameters that shape the result: jobs, budgets,
+    tolerances, heuristic and branching choices.  Operational fields
+    (log, cache, obs, fault) are excluded — {!Exec} refuses to cache
+    fault-injected solves outright. *)
+
+val pipeline_components :
+  Dvs_core.Pipeline.Config.t -> (string * Key.component) list
+(** Filter, verification and resilience settings (the nested solver
+    config is {e not} included — compose with {!solver_components}). *)
