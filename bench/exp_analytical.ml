@@ -241,8 +241,77 @@ let table1 () =
     Context.analytical_names;
   Table.print t
 
+(* --- Liyao: hull-mix kernel beside the closed-form backends ---------- *)
+
+(* The Li-Yao-Yuan kernel run over the whole program as one region whose
+   operating points are the 7-level table's (total time, energy) pairs:
+   the optimal continuous mixture of discrete levels.  It brackets the
+   other backends — at or above the two-voltage continuous optimum (the
+   hull's vertices sit on the alpha-power curve, not below it) and at or
+   above the full discrete optimizer only when the latter's phase split
+   pays; where all three agree the instance is voltage-insensitive. *)
+let liyao () =
+  heading "Liyao" "hull-mix kernel vs closed-form backends"
+    "E in V^2 cyc; hull mix = Liyao kernel over the 7-level (time, \
+     energy) operating points, whole program as one region; discrete = \
+     full phase-split optimizer at 7 levels";
+  let t =
+    Table.create
+      [ ("benchmark", Table.Left); ("deadline", Table.Right);
+        ("1-volt", Table.Right); ("2-volt", Table.Right);
+        ("hull mix", Table.Right); ("discrete", Table.Right) ]
+  in
+  let fmt = function Some e -> Printf.sprintf "%.4g" e | None -> "-" in
+  List.iter
+    (fun name ->
+      let prof = Context.default_profile name in
+      let params = Dvs_profile.Categorize.of_profile prof ~deadline:1.0 in
+      let f_of m = (m : Dvs_power.Mode.t).frequency in
+      let t_fast =
+        Params.total_time params (f_of (Dvs_power.Mode.max_mode levels7))
+      in
+      let t_slow =
+        Params.total_time params (f_of (Dvs_power.Mode.min_mode levels7))
+      in
+      let ds = Dvs_workloads.Deadlines.of_times ~t_fast ~t_slow in
+      let charged =
+        Params.charged_overlap_cycles params +. params.Params.n_dependent
+      in
+      let points =
+        Array.of_list
+          (List.map
+             (fun (m : Dvs_power.Mode.t) ->
+               ( Params.total_time params m.frequency,
+                 charged *. m.voltage *. m.voltage ))
+             (Dvs_power.Mode.to_list levels7))
+      in
+      Array.iteri
+        (fun i d ->
+          let p = Dvs_profile.Categorize.of_profile prof ~deadline:d in
+          let one =
+            Option.map
+              (fun s -> s.Continuous.energy)
+              (Continuous.single_frequency p)
+          in
+          let two =
+            Option.map (fun s -> s.Continuous.energy) (Continuous.optimize p)
+          in
+          let hull = Liyao.bound [| { Liyao.points; deadline = Some d } |] in
+          let disc =
+            Option.map
+              (fun s -> s.Discrete.energy)
+              (Discrete.optimize p levels7)
+          in
+          Table.add_row t
+            [ name; Printf.sprintf "D%d" (i + 1); fmt one; fmt two; fmt hull;
+              fmt disc ])
+        ds;
+      Table.add_rule t)
+    Context.analytical_names;
+  Table.print t
+
 let all =
   [ ("fig2", fig2); ("fig3", fig3); ("fig4", fig4); ("fig5", fig5);
     ("fig6", fig6); ("fig7", fig7); ("fig8", fig8); ("fig9", fig9);
     ("fig10", fig10); ("fig11", fig11); ("table7", table7);
-    ("table1", table1) ]
+    ("table1", table1); ("liyao", liyao) ]

@@ -26,6 +26,7 @@ let rung_tag = function
   | Pipeline.Milp -> "milp"
   | Pipeline.Milp_retry k -> Printf.sprintf "retry%d" k
   | Pipeline.Rounded_lp -> "lp"
+  | Pipeline.Continuous_rounded -> "continuous"
   | Pipeline.Single_mode -> "single"
 
 let run_with ?fault name ~deadline =

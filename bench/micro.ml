@@ -44,6 +44,19 @@ let tests () =
   let gs_deadline =
     (Dvs_workloads.Deadlines.of_profile gs_profile).(2)
   in
+  let gs_categories =
+    [ { Dvs_core.Formulation.profile = gs_profile; weight = 1.0;
+        deadline = gs_deadline } ]
+  in
+  let gs_formulation =
+    Dvs_core.Formulation.build ~regulator:Dvs_power.Switch_cost.default
+      gs_categories
+  in
+  let gs_relax =
+    Dvs_core.Relaxation.prepare gs_formulation
+      ~regulator:Dvs_power.Switch_cost.default gs_categories
+  in
+  let gs_deadlines_us = [| gs_deadline *. 1e6 |] in
   let params =
     Dvs_analytical.Params.make ~n_overlap:4e6 ~n_dependent:5.8e6
       ~n_cache:3e5 ~t_invariant:3e-3 ~t_deadline:5e-3
@@ -98,6 +111,20 @@ let tests () =
              for i = 0 to 63 do
                ignore (Dvs_machine.Cache.access cache (i * 4096))
              done));
+      (* The continuous-bound pair: the Liyao kernel answers the same
+         root-bounding question one simplex solve of the full relaxation
+         does — the gap between these two rows is what sweep pre-pruning
+         saves per certified grid point. *)
+      Test.make ~name:"continuous-bound-ghostscript"
+        (Staged.stage (fun () ->
+             ignore
+               (Dvs_core.Relaxation.bound gs_relax
+                  ~deadlines_us:gs_deadlines_us)));
+      Test.make ~name:"root-lp-ghostscript"
+        (Staged.stage (fun () ->
+             ignore
+               (Dvs_lp.Simplex.solve
+                  gs_formulation.Dvs_core.Formulation.model)));
       Test.make ~name:"analytical-discrete-optimize"
         (Staged.stage (fun () ->
              ignore (Dvs_analytical.Discrete.optimize params table7)));

@@ -317,9 +317,18 @@ let exit_code ~strict cls =
   Dvs_service.Protocol.exit_code ~strict
     (Dvs_service.Protocol.class_of_pipeline cls)
 
+let no_continuous_bound_opt =
+  Arg.(
+    value & flag
+    & info [ "no-continuous-bound" ]
+        ~doc:
+          "Ablation: skip the exact continuous-schedule relaxation — no \
+           root dual bound, no rounded incumbent seed, no sweep \
+           pre-pruning, no continuous-rounded ladder rung.")
+
 let optimize_cmd =
   let run w input capacitance levels frac no_filter save jobs strict
-      store_root trace metrics =
+      no_continuous_bound store_root trace metrics =
     let input = input_of w input in
     let cfg, _, mem = Dvs_workloads.Workload.load w ~input in
     let machine = machine ~capacitance ~levels in
@@ -340,7 +349,8 @@ let optimize_cmd =
     let deadline = t_fast +. (frac *. (t_slow -. t_fast)) in
     let solver = Dvs_milp.Solver.Config.make ?jobs () in
     let config =
-      Dvs_core.Pipeline.Config.make ~filter:(not no_filter) ~solver ()
+      Dvs_core.Pipeline.Config.make ~filter:(not no_filter) ~solver
+        ~continuous_bound:(not no_continuous_bound) ()
       |> Dvs_core.Pipeline.Config.with_obs obs
     in
     let r =
@@ -366,6 +376,9 @@ let optimize_cmd =
       r.Dvs_core.Pipeline.formulation.Dvs_core.Formulation.n_binaries;
     Format.printf "solver: %a@." Dvs_milp.Solver.pp_stats
       milp.Dvs_milp.Solver.stats;
+    (match r.Dvs_core.Pipeline.continuous_bound with
+    | Some b -> Format.printf "continuous bound: %.1f uJ@." (b *. 1e6)
+    | None -> ());
     List.iter
       (fun d ->
         Format.printf "ladder: %a@." Dvs_core.Pipeline.pp_descent d)
@@ -435,7 +448,8 @@ let optimize_cmd =
     Term.(
       const run $ workload_pos $ input_opt $ capacitance_opt $ levels_opt
       $ deadline_frac_opt $ no_filter_opt $ save_opt $ jobs_opt
-      $ strict_opt $ store_opt $ trace_out_opt $ metrics_out_opt)
+      $ strict_opt $ no_continuous_bound_opt $ store_opt $ trace_out_opt
+      $ metrics_out_opt)
 
 (* ---------------- apply ---------------- *)
 
@@ -508,8 +522,8 @@ let cold_verify_opt =
            exact fallback path alive).")
 
 let reproduce_cmd =
-  let run w input capacitance levels jobs cold cold_verify store_root trace
-      metrics =
+  let run w input capacitance levels jobs cold cold_verify
+      no_continuous_bound store_root trace metrics =
     let input = input_of w input in
     let cfg, _, mem = Dvs_workloads.Workload.load w ~input in
     let machine = machine ~capacitance ~levels in
@@ -524,10 +538,11 @@ let reproduce_cmd =
         ~source:(w.Dvs_workloads.Workload.name ^ ":" ^ input) machine cfg
         ~memory:mem
     in
-    let deadlines = Dvs_workloads.Deadlines.of_profile p in
+    let deadlines = Dvs_workloads.Deadlines.sweep_of_profile p in
     let solver = Dvs_milp.Solver.Config.make ?jobs () in
     let config =
-      Dvs_core.Pipeline.Config.make ~solver ~cold_verify ()
+      Dvs_core.Pipeline.Config.make ~solver ~cold_verify
+        ~continuous_bound:(not no_continuous_bound) ()
       |> Dvs_core.Pipeline.Config.with_obs obs
     in
     let results =
@@ -546,9 +561,10 @@ let reproduce_cmd =
         in
         let st = sw.Dvs_core.Pipeline.sweep in
         Format.printf
-          "sweep: %d/%d points warm-started, %d cuts applied (%d pool \
-           hits, pool size %d)@."
+          "sweep: %d/%d points warm-started, %d pruned by continuous \
+           bound, %d cuts applied (%d pool hits, pool size %d)@."
           st.Dvs_milp.Sweep.instances_warm_started (Array.length deadlines)
+          st.Dvs_milp.Sweep.points_pruned_by_bound
           st.Dvs_milp.Sweep.cuts_applied st.Dvs_milp.Sweep.cut_pool_hits
           st.Dvs_milp.Sweep.pool_size;
         sw.Dvs_core.Pipeline.results
@@ -601,6 +617,8 @@ let reproduce_cmd =
           ("engine", Dvs_obs.Json.String (if cold then "cold" else "sweep"));
           ( "verify",
             Dvs_obs.Json.String (if cold_verify then "cold" else "summary") );
+          ( "continuous_bound",
+            Dvs_obs.Json.Bool (not no_continuous_bound) );
           ("deadlines", Dvs_obs.Json.Int (Array.length deadlines));
           ("capacitance", Dvs_obs.Json.Float capacitance) ]
   in
@@ -612,8 +630,8 @@ let reproduce_cmd =
           $(b,--cold))")
     Term.(
       const run $ workload_pos $ input_opt $ capacitance_opt $ levels_opt
-      $ jobs_opt $ cold_opt $ cold_verify_opt $ store_opt $ trace_out_opt
-      $ metrics_out_opt)
+      $ jobs_opt $ cold_opt $ cold_verify_opt $ no_continuous_bound_opt
+      $ store_opt $ trace_out_opt $ metrics_out_opt)
 
 (* ---------------- stats ---------------- *)
 
@@ -1083,6 +1101,39 @@ let bench_diff_cmd =
          else
            Printf.sprintf "  (gated, tolerance %.2f)" shed_tolerance)
     | _ -> ());
+    (* Continuous-bound pre-pruning (PR 9): when the baseline shows the
+       sweep pruning points off the exact continuous certificate, the
+       current run must still prune at least one — a silent fall to zero
+       means the bound engine stopped certifying and every point went
+       back to paying for a full solve.  Only checked when both
+       summaries carry the field (so pre-PR 9 baselines stay diffable)
+       and the current run did live sweep work: a warm run that answered
+       its sweeps from the store honestly reports zero pruned points —
+       volatile counters are not replayed — and that is a store hit, not
+       a dead engine. *)
+    let pruned_regressed = ref false in
+    let sweep_store_hits j =
+      match Dvs_obs.Json.member "store" j with
+      | Some s ->
+        Option.value ~default:0
+          (Option.bind (Dvs_obs.Json.member "sweep_hits" s) Dvs_obs.Json.to_int)
+      | None -> 0
+    in
+    (match
+       ( Option.bind (Dvs_obs.Json.member "points_pruned_by_bound" bj)
+           Dvs_obs.Json.to_int,
+         Option.bind (Dvs_obs.Json.member "points_pruned_by_bound" cj)
+           Dvs_obs.Json.to_int )
+     with
+    | Some b, Some c ->
+      let live = sweep_store_hits cj = 0 in
+      if b > 0 && c = 0 && live then pruned_regressed := true;
+      Format.printf "%-12s %12d -> %12d%s@." "pruned" b c
+        (if b > 0 && c = 0 && live then "  REGRESSION (pruning engine dead)"
+         else if not live then "  (not gated: sweeps replayed from store)"
+         else if b > 0 then "  (gated: must stay > 0)"
+         else "  (informational)")
+    | _ -> ());
     (* --same-stable: the cold-vs-warm store equivalence gate.  A store
        hit replays the cold run's captured stable counters, so the two
        summaries' deterministic metric subsets must be bit-identical —
@@ -1130,19 +1181,23 @@ let bench_diff_cmd =
         end
       end
     in
-    match (regressed, !wall_regressed, !shed_regressed, stable_diff) with
-    | [], false, false, [] ->
+    match
+      (regressed, !wall_regressed, !shed_regressed, !pruned_regressed,
+       stable_diff)
+    with
+    | [], false, false, false, [] ->
       Format.printf "bench-diff: ok (max allowed regression %.0f%%)@."
         (100.0 *. max_regression)
     | _ ->
       Format.eprintf
-        "bench-diff: %d counter(s)%s%s%s regressed; if the growth is \
+        "bench-diff: %d counter(s)%s%s%s%s regressed; if the growth is \
          intended, regenerate the baseline with `bench/main.exe -- \
          resilience fig18 reproduce service --emit-bench \
          bench/BENCH_baseline.json'@."
         (List.length regressed)
         (if !wall_regressed then " + the reproduce wall" else "")
         (if !shed_regressed then " + the service shed rate" else "")
+        (if !pruned_regressed then " + the sweep pre-pruning count" else "")
         (if stable_diff <> [] then " + the stable metrics subset" else "");
       exit 1
   in

@@ -1,0 +1,184 @@
+(* Li-Yao-Yuan continuous-voltage kernel in resource-allocation form:
+   per-region lower convex envelopes + a greedy over a polymatroid of
+   prefix-deadline slacks.  See liyao.mli for the model and the
+   exactness argument. *)
+
+type region = {
+  points : (float * float) array;
+  deadline : float option;
+}
+
+type allocation = {
+  time : float;
+  energy : float;
+  lo : int;
+  hi : int;
+  frac : float;
+}
+
+type schedule = {
+  allocations : allocation array;
+  energy : float;
+}
+
+(* Lower convex envelope of a region's points, restricted to its Pareto
+   frontier (strictly increasing time, strictly decreasing energy): time
+   beyond the cheapest point is never useful, and a dominated point is
+   never on the envelope.  Returns hull vertices as original indices. *)
+let hull_of points =
+  let n = Array.length points in
+  if n = 0 then invalid_arg "Liyao.solve: region with no points";
+  Array.iter
+    (fun (t, e) ->
+      if not (Float.is_finite t && Float.is_finite e) then
+        invalid_arg "Liyao.solve: non-finite point")
+    points;
+  let idx = Array.init n Fun.id in
+  Array.sort
+    (fun a b ->
+      let (ta, ea) = points.(a) and (tb, eb) = points.(b) in
+      match Float.compare ta tb with
+      | 0 -> ( match Float.compare ea eb with 0 -> compare a b | c -> c)
+      | c -> c)
+    idx;
+  (* Pareto sweep: keep a point only if it is strictly cheaper than
+     everything faster than it. *)
+  let pareto = ref [] in
+  let best_e = ref infinity in
+  Array.iter
+    (fun i ->
+      let _, e = points.(i) in
+      if e < !best_e then begin
+        pareto := i :: !pareto;
+        best_e := e
+      end)
+    idx;
+  let pts = Array.of_list (List.rev !pareto) in
+  (* Monotone-chain lower hull over (time, energy). *)
+  let cross o a b =
+    let (ot, oe) = points.(o) and (at, ae) = points.(a) and (bt, be) = points.(b) in
+    ((at -. ot) *. (be -. oe)) -. ((ae -. oe) *. (bt -. ot))
+  in
+  let hull = Array.make (Array.length pts) 0 in
+  let top = ref 0 in
+  Array.iter
+    (fun i ->
+      while
+        !top >= 2 && cross hull.(!top - 2) hull.(!top - 1) i <= 0.0
+      do
+        decr top
+      done;
+      hull.(!top) <- i;
+      incr top)
+    pts;
+  Array.sub hull 0 !top
+
+type segment = {
+  seg_region : int;
+  seg_index : int;  (* position along the region's hull *)
+  rate : float;  (* energy saved per unit of extra time; > 0 *)
+  width : float;  (* segment time span; > 0 *)
+}
+
+let solve regions =
+  let nr = Array.length regions in
+  if nr = 0 then invalid_arg "Liyao.solve: no regions";
+  let hulls = Array.map (fun r -> hull_of r.points) regions in
+  (* Start everything at its fastest envelope vertex and check the prefix
+     deadlines there: the minimum-time schedule is feasible iff anything
+     is. *)
+  let feasible = ref true in
+  let running = ref 0.0 in
+  let slack = Array.make nr infinity in
+  Array.iteri
+    (fun i r ->
+      let t0, _ = r.points.(hulls.(i).(0)) in
+      running := !running +. t0;
+      match r.deadline with
+      | Some d ->
+        if !running > d then feasible := false;
+        slack.(i) <- d -. !running
+      | None -> ())
+    regions;
+  if not !feasible then None
+  else begin
+    (* Every hull segment, steepest energy descent first; ties resolve
+       by (region, segment) so the schedule is deterministic.  Within a
+       region convexity already orders segments by decreasing rate, so
+       the sort consumes each hull left to right. *)
+    let segments = ref [] in
+    Array.iteri
+      (fun i h ->
+        for j = 0 to Array.length h - 2 do
+          let tl, el = regions.(i).points.(h.(j)) in
+          let th, eh = regions.(i).points.(h.(j + 1)) in
+          segments :=
+            { seg_region = i; seg_index = j; rate = (el -. eh) /. (th -. tl);
+              width = th -. tl }
+            :: !segments
+        done)
+      hulls;
+    let segments =
+      List.sort
+        (fun a b ->
+          match Float.compare b.rate a.rate with
+          | 0 -> compare (a.seg_region, a.seg_index) (b.seg_region, b.seg_index)
+          | c -> c)
+        !segments
+    in
+    (* Greedy: grant each segment the most time its suffix slacks allow.
+       Exact because the feasible set is a polymatroid (see .mli).  The
+       per-segment O(nr) suffix scan is what makes the whole kernel
+       O(n^2). *)
+    let takes = Array.map (fun h -> Array.make (Array.length h) 0.0) hulls in
+    List.iter
+      (fun s ->
+        let avail = ref infinity in
+        for r = s.seg_region to nr - 1 do
+          if slack.(r) < !avail then avail := slack.(r)
+        done;
+        let take = Float.min s.width (Float.max 0.0 !avail) in
+        if take > 0.0 then begin
+          takes.(s.seg_region).(s.seg_index) <- take;
+          for r = s.seg_region to nr - 1 do
+            if Float.is_finite slack.(r) then slack.(r) <- slack.(r) -. take
+          done
+        end)
+      segments;
+    (* Assemble per-region allocations by walking each hull past its
+       consumed segments.  A region has full segments, then at most one
+       partial (slack never increases, so once a take falls short every
+       later segment of that region gets zero). *)
+    let allocations =
+      Array.mapi
+        (fun i h ->
+          let pts = regions.(i).points in
+          let t = ref (fst pts.(h.(0))) in
+          let e = ref (snd pts.(h.(0))) in
+          let pos = ref (h.(0), h.(0), 0.0) in
+          Array.iteri
+            (fun j take ->
+              if take > 0.0 then begin
+                let tl, el = pts.(h.(j)) in
+                let th, eh = pts.(h.(j + 1)) in
+                let w = th -. tl in
+                t := !t +. take;
+                e := !e +. ((eh -. el) /. w *. take);
+                pos :=
+                  if take >= w then (h.(j + 1), h.(j + 1), 0.0)
+                  else (h.(j), h.(j + 1), take /. w)
+              end)
+            takes.(i);
+          let lo, hi, frac = !pos in
+          { time = !t; energy = !e; lo; hi; frac })
+        hulls
+    in
+    let energy =
+      Array.fold_left
+        (fun acc (a : allocation) -> acc +. a.energy)
+        0.0 allocations
+    in
+    Some { allocations; energy }
+  end
+
+let bound regions = Option.map (fun s -> s.energy) (solve regions)

@@ -1,0 +1,76 @@
+(** Exact continuous-voltage schedules over a sequence of regions with
+    per-region (prefix) deadlines — the Li-Yao-Yuan O(n^2) kernel
+    ("An O(n^2) Algorithm for Computing Optimal Continuous Voltage
+    Schedules"), generalized from an analytic power law to arbitrary
+    per-region (time, energy) operating points.
+
+    The classic algorithm peels critical intervals: find the time window
+    whose required average speed is highest, run it at that speed, then
+    recurse on the residue.  This module solves the same problem in its
+    resource-allocation form, which is what makes the answer a {e valid
+    lower bound} for the MILP the DVS pipeline actually solves:
+
+    - region [i] may run at any point on the {e lower convex envelope} of
+      its observed [(time, energy)] operating points (one per discrete
+      mode — the continuous relaxation of the mode choice; any discrete
+      mode, and any timesharing of modes, sits on or above the envelope);
+    - a region list carries prefix deadlines: the total time of regions
+      [0..r] must not exceed [deadline r] (a single global deadline is
+      the special case where only the last region carries one);
+    - minimize total energy.
+
+    The feasible time vectors form a polymatroid (the prefix-slack set
+    function [S -> min-slack over suffixes meeting S] is submodular), so
+    a greedy allocation — grant time to hull segments in order of
+    steepest energy descent per unit time, each up to its remaining
+    suffix slack — is exact (Federgruen-Groenevelt).  Each of the O(n)
+    hull segments costs an O(n) slack scan: O(n^2) total, matching the
+    paper's bound and effectively free next to one simplex solve.
+
+    Because every discrete schedule (including mode transitions, whose
+    time and energy costs are nonnegative) is pointwise above the
+    envelope and consumes at least its block times, [solve]'s energy is a
+    provable lower bound on the discrete optimum for the same regions and
+    deadlines.  Units are the caller's own; they only need to be
+    consistent across points and deadlines. *)
+
+type region = {
+  points : (float * float) array;
+      (** observed [(time, energy)] operating points, one per mode (order
+          and duplicates are irrelevant; the kernel takes the lower
+          convex envelope) *)
+  deadline : float option;
+      (** prefix deadline: total time of regions [0..this one] must not
+          exceed it; [None] = unconstrained prefix *)
+}
+
+type allocation = {
+  time : float;  (** continuous time granted to the region *)
+  energy : float;  (** envelope energy at that time *)
+  lo : int;
+      (** original index (into [points]) of the faster endpoint of the
+          active envelope segment — the snap target for feasible
+          rounding (less time than [time], never more) *)
+  hi : int;
+      (** original index of the slower endpoint; [lo = hi] when the
+          allocation sits exactly on a vertex *)
+  frac : float;
+      (** position inside the segment: [time = t_lo +. frac *. (t_hi -.
+          t_lo)]; [0.] on a vertex *)
+}
+
+type schedule = {
+  allocations : allocation array;  (** one per region, same order *)
+  energy : float;  (** total: the exact continuous optimum *)
+}
+
+val solve : region array -> schedule option
+(** Exact minimum-energy continuous schedule, or [None] when even the
+    fastest point of every region overruns some prefix deadline (then
+    the discrete instance is infeasible too).  Raises [Invalid_argument]
+    on an empty region array, a region with no points, or non-finite
+    point coordinates. *)
+
+val bound : region array -> float option
+(** [Option.map (fun s -> s.energy) (solve rs)] — the lower bound
+    alone. *)

@@ -48,17 +48,19 @@ module Config = struct
     verify : bool;
     resilience : Resilience.t;
     cold_verify : bool;
+    continuous_bound : bool;
   }
 
   let make ?(filter = true) ?(filter_threshold = 0.02) ?solver
       ?(verify = true) ?(resilience = Resilience.default)
-      ?(cold_verify = false) () =
+      ?(cold_verify = false) ?(continuous_bound = true) () =
     let solver =
       match solver with
       | Some s -> s
       | None -> Solver.Config.make ()
     in
-    { filter; filter_threshold; solver; verify; resilience; cold_verify }
+    { filter; filter_threshold; solver; verify; resilience; cold_verify;
+      continuous_bound }
 
   let default = make ()
 
@@ -80,12 +82,15 @@ type rung =
   | Milp
   | Milp_retry of int
   | Rounded_lp
+  | Continuous_rounded
   | Single_mode
 
 let pp_rung ppf = function
   | Milp -> Format.pp_print_string ppf "full MILP"
   | Milp_retry n -> Format.fprintf ppf "MILP cold retry %d" n
   | Rounded_lp -> Format.pp_print_string ppf "rounded LP relaxation"
+  | Continuous_rounded ->
+    Format.pp_print_string ppf "rounded continuous schedule"
   | Single_mode ->
     Format.pp_print_string ppf "single-best-frequency baseline"
 
@@ -131,6 +136,7 @@ type result = {
   independent_edges : int;
   rung : rung option;
   descents : descent list;
+  continuous_bound : float option;
 }
 
 let classify (r : result) =
@@ -203,23 +209,63 @@ let optimize_multi ?config ?verify_config ?session ~regulator ~memory
     prepare ~config ~regulator categories
   in
   let n_modes = Dvs_power.Mode.size formulation.Formulation.modes in
+  (* Exact continuous relaxation of the instance: its optimum is a root
+     dual bound, and its discrete rounding — when deadline-admissible —
+     a better incumbent seed than the all-fastest schedule. *)
+  let deadlines_us =
+    Array.of_list
+      (List.map
+         (fun (c : Formulation.category) -> c.Formulation.deadline *. 1e6)
+         categories)
+  in
+  let relax =
+    if config.Config.continuous_bound then
+      Some (Relaxation.prepare formulation ~regulator categories)
+    else None
+  in
+  let cont_bound =
+    match relax with
+    | Some rx -> Relaxation.bound rx ~deadlines_us
+    | None -> None
+  in
+  let rounded =
+    match relax with
+    | Some rx -> Relaxation.round rx ~deadlines_us
+    | None -> None
+  in
+  let mx = Dvs_obs.metrics obs in
+  let module Mc = Dvs_obs.Metrics.Counter in
+  (* Deterministic (a pure function of the instance), hence Stable. *)
+  let c_rounding =
+    Dvs_obs.Metrics.counter mx ~stability:Stable "bb.rounding_incumbents"
+  in
+  (match rounded with
+  | Some _ -> if obs_on then Mc.incr c_rounding ~slot:0
+  | None -> ());
   let base_solver =
     config.Config.solver
     |> Solver.Config.with_sos1
          (List.map
             (fun (_, vars) -> Array.to_list vars)
             formulation.Formulation.kvars)
-    (* Every edge at the fastest mode is feasible whenever the instance
-       is: seed the incumbent with it. *)
+    (* Seed the incumbent: the rounded continuous schedule when it was
+       admitted, else every edge at the fastest mode (feasible whenever
+       the instance is). *)
     |> Solver.Config.with_warm_start
-         (List.concat_map
-            (fun (_, vars) ->
-              List.init n_modes (fun m ->
-                  (vars.(m), if m = n_modes - 1 then 1.0 else 0.0)))
-            formulation.Formulation.kvars)
+         (match rounded with
+         | Some r -> r.Relaxation.fixings
+         | None ->
+           List.concat_map
+             (fun (_, vars) ->
+               List.init n_modes (fun m ->
+                   (vars.(m), if m = n_modes - 1 then 1.0 else 0.0)))
+             formulation.Formulation.kvars)
     (* Deadline-implied mode exclusions feed the MILP presolve. *)
     |> Solver.Config.with_fixings
          (Formulation.implied_fixings formulation categories)
+    |> match cont_bound with
+       | Some b -> Solver.Config.with_root_bound b
+       | None -> Fun.id
   in
   let res = config.Config.resilience in
   let cat0 = List.hd categories in
@@ -288,7 +334,8 @@ let optimize_multi ?config ?verify_config ?session ~regulator ~memory
     let r =
       { categories; formulation; milp; predicted_energy = predicted;
         schedule; verification; solve_seconds = !solve_seconds;
-        independent_edges; rung; descents = List.rev !descents }
+        independent_edges; rung; descents = List.rev !descents;
+        continuous_bound = Option.map (fun b -> b /. 1e6) cont_bound }
     in
     if obs_on then begin
       let rung_name =
@@ -363,6 +410,36 @@ let optimize_multi ?config ?verify_config ?session ~regulator ~memory
         note Single_mode Verify_reject "no single mode meets the deadline";
         finish milp0 None None None None
     in
+    (* The rounded continuous schedule sits between the rounded LP and
+       the single-frequency floor: already admitted against the exact
+       deadline row at rounding time, it only needs the simulator's and
+       the floor's blessing.  Absent (feature off, or rounding was
+       inadmissible) it steps straight down. *)
+    let continuous_rung milp0 =
+      match rounded with
+      | None when not config.Config.continuous_bound -> baseline_rung milp0
+      | None ->
+        note Continuous_rounded Verify_reject
+          "continuous rounding infeasible or missed the deadline";
+        baseline_rung milp0
+      | Some (r : Relaxation.rounded) ->
+        let predicted = r.Relaxation.objective /. 1e6 in
+        let v = verify_run r.Relaxation.schedule predicted in
+        if not v.Verify.meets_deadline then begin
+          note Continuous_rounded Verify_reject
+            "continuous-rounded schedule missed the deadline in simulation";
+          baseline_rung milp0
+        end
+        else if floor_exceeded v then begin
+          note Continuous_rounded Verify_reject
+            "continuous-rounded schedule costs more than the single-mode \
+             baseline";
+          baseline_rung milp0
+        end
+        else
+          finish milp0 (Some Continuous_rounded)
+            (Some r.Relaxation.schedule) (Some predicted) (Some v)
+    in
     let rounded_rung milp0 =
       match Dvs_lp.Simplex.solve formulation.Formulation.model with
       | Dvs_lp.Simplex.Optimal s ->
@@ -377,12 +454,12 @@ let optimize_multi ?config ?verify_config ?session ~regulator ~memory
         if not v.Verify.meets_deadline then begin
           note Rounded_lp Verify_reject
             "rounded-LP schedule missed the deadline in simulation";
-          baseline_rung milp0
+          continuous_rung milp0
         end
         else if floor_exceeded v then begin
           note Rounded_lp Verify_reject
             "rounded-LP schedule costs more than the single-mode baseline";
-          baseline_rung milp0
+          continuous_rung milp0
         end
         else
           finish milp0 (Some Rounded_lp) (Some schedule) (Some predicted)
@@ -390,7 +467,7 @@ let optimize_multi ?config ?verify_config ?session ~regulator ~memory
       | Dvs_lp.Simplex.Infeasible | Dvs_lp.Simplex.Unbounded
       | Dvs_lp.Simplex.Iter_limit _ ->
         note Rounded_lp Numeric "LP relaxation did not solve";
-        baseline_rung milp0
+        continuous_rung milp0
     in
     let milp_cause (m : Solver.result) =
       match m.Solver.outcome with
@@ -425,7 +502,8 @@ let optimize_multi ?config ?verify_config ?session ~regulator ~memory
              cannot replay the failure). *)
           let sc =
             { base_solver with
-              Solver.Config.warm_start = []; cache = None;
+              Solver.Config.warm_start = []; warm_solution = None;
+              root_bound = None; cache = None;
               max_nodes = retry_budget (attempt + 1) }
           in
           milp_rung (attempt + 1) (solve_attempt sc)
@@ -556,6 +634,40 @@ let optimize_sweep ?config ?verify_config ?profile ?session ?(instances = 1)
         ~attrs:[ ("points", Tr.Int (Array.length deadlines)) ]
     else Tr.start Tr.disabled "pipeline.sweep"
   in
+  (* One prepared relaxation serves every grid point: [Relaxation.bound]
+     is a pure function of (instance, deadline), so the sweep's
+     pre-pruning callback is thread-safe by construction. *)
+  let relax =
+    if config.Config.continuous_bound then
+      Some (Relaxation.prepare formulation ~regulator [ category d_loosest ])
+    else None
+  in
+  let point_bound =
+    Option.map
+      (fun rx _ d_us -> Relaxation.bound rx ~deadlines_us:[| d_us |])
+      relax
+  in
+  (* Per-point primal rounding: at lax deadlines the lift from a much
+     tighter point is a poor incumbent, while the rounded continuous
+     schedule is near-optimal — the sweep materializes whichever has the
+     better known objective. *)
+  let point_seed =
+    Option.map
+      (fun rx _ d_us ->
+        Option.map
+          (fun (r : Relaxation.rounded) ->
+            (r.Relaxation.fixings, r.Relaxation.objective))
+          (Relaxation.round rx ~deadlines_us:[| d_us |]))
+      relax
+  in
+  let bound_at d =
+    match relax with
+    | Some rx ->
+      Option.map
+        (fun b -> b /. 1e6)
+        (Relaxation.bound rx ~deadlines_us:[| d *. 1e6 |])
+    | None -> None
+  in
   let sw =
     Dvs_milp.Sweep.run ~config:base_solver ~instances ~cut_rounds
       ~per_point:(fun _ d cfgp ->
@@ -564,6 +676,7 @@ let optimize_sweep ?config ?verify_config ?profile ?session ?(instances = 1)
         Solver.Config.with_fixings
           (Formulation.implied_fixings formulation [ category (d /. 1e6) ])
           cfgp)
+      ?point_bound ?point_seed
       ~model:formulation.Formulation.model ~deadline_row
       ~deadlines:(Array.map (fun d -> d *. 1e6) deadlines)
       ()
@@ -572,7 +685,11 @@ let optimize_sweep ?config ?verify_config ?profile ?session ?(instances = 1)
     Tr.finish tr sweep_span
       ~attrs:
         [ ("warm_started", Tr.Int sw.Dvs_milp.Sweep.stats.Dvs_milp.Sweep.instances_warm_started);
-          ("cuts_applied", Tr.Int sw.Dvs_milp.Sweep.stats.Dvs_milp.Sweep.cuts_applied) ];
+          ("cuts_applied", Tr.Int sw.Dvs_milp.Sweep.stats.Dvs_milp.Sweep.cuts_applied);
+          ( "points_pruned",
+            Tr.Int
+              sw.Dvs_milp.Sweep.stats.Dvs_milp.Sweep.points_pruned_by_bound
+          ) ];
   let vconfig =
     match verify_config with
     | Some c -> c
@@ -621,6 +738,7 @@ let optimize_sweep ?config ?verify_config ?profile ?session ?(instances = 1)
             independent_edges;
             rung = Some Milp;
             descents = [];
+            continuous_bound = bound_at d;
           }
       else None
     in
@@ -646,6 +764,7 @@ let optimize_sweep ?config ?verify_config ?profile ?session ?(instances = 1)
           predicted_energy = None; schedule = None; verification = None;
           solve_seconds = m.Solver.stats.Solver.wall_seconds;
           independent_edges; rung = None; descents = [];
+          continuous_bound = bound_at d;
         }
     | Solver.Optimal, Some s -> (
         match accept s with Some r -> r | None -> fallback ())

@@ -6,7 +6,8 @@
     suspect MILP solve, it walks a ladder of progressively cheaper
     strategies until one produces a schedule that passes re-simulation —
     full MILP, then bounded cold retries without the warm start, then
-    argmax rounding of the bare LP relaxation, then the
+    argmax rounding of the bare LP relaxation, then the rounded
+    continuous schedule ({!Relaxation.round}), then the
     single-best-frequency baseline.  Every rung is post-checked with
     {!Verify.Session.check} (deadline met in simulation), degraded rungs are
     additionally rejected when they cost more energy than the
@@ -76,12 +77,20 @@ module Config : sig
             simulator instead of warm {!Verify.Session} tape replay
             (default false); the CI [--cold-verify] leg keeps this exact
             path alive *)
+    continuous_bound : bool;
+        (** run the exact continuous relaxation ({!Relaxation}) before
+            solving (default true): its optimum becomes the MILP's root
+            dual bound and the sweep's pre-pruning certificate, its
+            rounding the incumbent seed and the
+            {!rung.Continuous_rounded} ladder rung; [false] is the
+            ablation switch ([--no-continuous-bound]) *)
   }
 
   val make :
     ?filter:bool -> ?filter_threshold:float ->
     ?solver:Dvs_milp.Solver.Config.t -> ?verify:bool ->
-    ?resilience:Resilience.t -> ?cold_verify:bool -> unit -> t
+    ?resilience:Resilience.t -> ?cold_verify:bool ->
+    ?continuous_bound:bool -> unit -> t
   (** [solver] defaults to [Dvs_milp.Solver.Config.make ()];
       [resilience] to {!Resilience.default}. *)
 
@@ -109,6 +118,10 @@ type rung =
   | Rounded_lp
       (** argmax rounding of the bare LP relaxation (the one-binary-per
           SOS1-group structure makes fractional argmax a valid schedule) *)
+  | Continuous_rounded
+      (** {!Relaxation.round}: the exact continuous optimum snapped onto
+          adjacent discrete modes — a deadline-admitted schedule that
+          needs no LP at all, sitting just above the single-mode floor *)
   | Single_mode  (** {!Baselines.best_single_mode} pinned everywhere *)
 
 val pp_rung : Format.formatter -> rung -> unit
@@ -155,6 +168,10 @@ type result = {
   independent_edges : int;  (** after filtering, incl. the virtual edge *)
   rung : rung option;  (** accepted rung; [None] iff [schedule] is [None] *)
   descents : descent list;  (** rejections on the way down, in order *)
+  continuous_bound : float option;
+      (** exact continuous-relaxation lower bound on the optimal energy,
+          in joules; [None] when the feature is off or the relaxation is
+          infeasible *)
 }
 
 val classify : result -> degradation_class

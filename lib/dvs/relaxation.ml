@@ -1,0 +1,253 @@
+(* Formulation -> Liyao lowering.  See relaxation.mli for the validity
+   argument; the group curves here accumulate exactly the same
+   coefficient expressions Formulation.build puts into the objective and
+   deadline rows, so "on the curve" and "in the model" agree. *)
+
+open Dvs_ir
+
+let us = 1e6
+let uj = 1e6
+
+type group = {
+  grp : int;  (* representative edge id *)
+  times : float array;  (* per mode, microseconds *)
+  energies : float array;  (* per mode, weighted microjoules *)
+}
+
+type cat = {
+  weight : float;
+  groups : group array;
+  transitions : (int * int * float) array;
+      (* (repr in, repr out, count) over the category's profiled paths *)
+}
+
+type t = {
+  form : Formulation.t;
+  cats : cat array;
+  ce : float;  (* regulator energy coefficient, microjoules per volt^2 *)
+  ct : float;  (* regulator time coefficient, microseconds per volt *)
+  n_modes : int;
+}
+
+let prepare (form : Formulation.t) ~regulator categories =
+  let modes = form.Formulation.modes in
+  let n_modes = Dvs_power.Mode.size modes in
+  let edges = Cfg.edges form.Formulation.cfg in
+  let dst_of id =
+    if id = form.Formulation.virtual_edge then Cfg.entry form.Formulation.cfg
+    else edges.(id).Cfg.dst
+  in
+  let cats =
+    List.map
+      (fun (c : Formulation.category) ->
+        let p = c.Formulation.profile in
+        let w = c.Formulation.weight in
+        let acc = Hashtbl.create 64 in
+        let add id count =
+          if count > 0 then begin
+            let r = form.Formulation.repr.(id) in
+            let times, energies =
+              match Hashtbl.find_opt acc r with
+              | Some g -> g
+              | None ->
+                let g = (Array.make n_modes 0.0, Array.make n_modes 0.0) in
+                Hashtbl.add acc r g;
+                g
+            in
+            let j = dst_of id in
+            let cnt = float_of_int count in
+            for m = 0 to n_modes - 1 do
+              times.(m) <-
+                times.(m)
+                +. (cnt *. (Dvs_profile.Profile.block_time p ~mode:m j *. us));
+              energies.(m) <-
+                energies.(m)
+                +. (w *. cnt
+                   *. (Dvs_profile.Profile.block_energy p ~mode:m j *. uj))
+            done
+          end
+        in
+        Array.iteri (fun id count -> add id count) p.Dvs_profile.Profile.edge_count;
+        add form.Formulation.virtual_edge p.Dvs_profile.Profile.entry_count;
+        let groups =
+          Hashtbl.fold
+            (fun grp (times, energies) l -> { grp; times; energies } :: l)
+            acc []
+          |> List.sort (fun a b -> compare a.grp b.grp)
+          |> Array.of_list
+        in
+        let trans = Hashtbl.create 16 in
+        List.iter
+          (fun ((path : Dvs_profile.Profile.path), count) ->
+            let in_id =
+              match path.Dvs_profile.Profile.pred with
+              | None -> form.Formulation.virtual_edge
+              | Some h ->
+                Cfg.edge_index form.Formulation.cfg
+                  { Cfg.src = h; dst = path.Dvs_profile.Profile.node }
+            in
+            let ri = form.Formulation.repr.(in_id) in
+            let ro =
+              form.Formulation.repr.(Cfg.edge_index form.Formulation.cfg
+                                       { Cfg.src = path.Dvs_profile.Profile.node;
+                                         dst = path.Dvs_profile.Profile.succ })
+            in
+            if ri <> ro then
+              let prev =
+                Option.value ~default:0.0 (Hashtbl.find_opt trans (ri, ro))
+              in
+              Hashtbl.replace trans (ri, ro) (prev +. float_of_int count))
+          p.Dvs_profile.Profile.paths;
+        let transitions =
+          Hashtbl.fold (fun (ri, ro) c l -> (ri, ro, c) :: l) trans []
+          |> List.sort compare |> Array.of_list
+        in
+        { weight = w; groups; transitions })
+      categories
+    |> Array.of_list
+  in
+  { form; cats;
+    ce = Dvs_power.Switch_cost.energy_coeff regulator *. uj;
+    ct = Dvs_power.Switch_cost.time_coeff regulator *. us;
+    n_modes }
+
+let check_deadlines t deadlines_us =
+  if Array.length deadlines_us <> Array.length t.cats then
+    invalid_arg "Relaxation: one deadline per category expected"
+
+(* One single-deadline kernel instance per category: regions are the
+   category's groups, only the last carries the (prefix = total)
+   deadline. *)
+let cat_regions c ~deadline_us =
+  let n = Array.length c.groups in
+  Array.mapi
+    (fun i g ->
+      { Dvs_analytical.Liyao.points =
+          Array.init (Array.length g.times) (fun m ->
+              (g.times.(m), g.energies.(m)));
+        deadline = (if i = n - 1 then Some deadline_us else None) })
+    c.groups
+
+let bound t ~deadlines_us =
+  check_deadlines t deadlines_us;
+  let total = ref 0.0 in
+  let feasible = ref true in
+  Array.iteri
+    (fun k c ->
+      if !feasible && Array.length c.groups > 0 then
+        match
+          Dvs_analytical.Liyao.bound (cat_regions c ~deadline_us:deadlines_us.(k))
+        with
+        | Some e -> total := !total +. e
+        | None -> feasible := false)
+    t.cats;
+  if !feasible then Some !total else None
+
+type rounded = {
+  fixings : (Dvs_lp.Model.var * float) list;
+  schedule : Schedule.t;
+  objective : float;
+}
+
+let round t ~deadlines_us =
+  check_deadlines t deadlines_us;
+  let fastest = t.n_modes - 1 in
+  (* Per-group snapped mode: the faster endpoint of each category's
+     active envelope segment, fastest across categories (block times are
+     nonincreasing in the mode index, so the max index is the safe
+     one). *)
+  let chosen = Hashtbl.create 64 in
+  let feasible = ref true in
+  Array.iteri
+    (fun k c ->
+      if !feasible && Array.length c.groups > 0 then
+        match
+          Dvs_analytical.Liyao.solve (cat_regions c ~deadline_us:deadlines_us.(k))
+        with
+        | None -> feasible := false
+        | Some s ->
+          Array.iteri
+            (fun i (a : Dvs_analytical.Liyao.allocation) ->
+              let g = c.groups.(i).grp in
+              let m = a.Dvs_analytical.Liyao.lo in
+              let prev =
+                Option.value ~default:0 (Hashtbl.find_opt chosen g)
+              in
+              Hashtbl.replace chosen g (Int.max prev m))
+            s.Dvs_analytical.Liyao.allocations)
+    t.cats;
+  if not !feasible then None
+  else begin
+    let per_group g =
+      Option.value ~default:fastest (Hashtbl.find_opt chosen g)
+    in
+    let voltage m =
+      (Dvs_power.Mode.get t.form.Formulation.modes m).Dvs_power.Mode.voltage
+    in
+    (* Transition-inclusive admission check, mirroring the model's
+       deadline rows (block terms + ct * |dv| per transition count). *)
+    let admit mode_of =
+      let objective = ref 0.0 in
+      let ok = ref true in
+      Array.iteri
+        (fun k c ->
+          let time = ref 0.0 in
+          Array.iter
+            (fun g ->
+              let m = mode_of g.grp in
+              time := !time +. g.times.(m);
+              objective := !objective +. g.energies.(m))
+            c.groups;
+          Array.iter
+            (fun (ri, ro, cnt) ->
+              let vi = voltage (mode_of ri) and vo = voltage (mode_of ro) in
+              time := !time +. (cnt *. t.ct *. Float.abs (vi -. vo));
+              objective :=
+                !objective
+                +. (c.weight *. cnt *. t.ce
+                   *. Float.abs ((vi *. vi) -. (vo *. vo))))
+            c.transitions;
+          if !time > deadlines_us.(k) then ok := false)
+        t.cats;
+      if !ok then Some !objective else None
+    in
+    (* Per-group snapping first — the better energy — then the
+       transition-free flatten: a uniform schedule at the fastest snapped
+       mode runs no block slower than the snap did, so it inherits the
+       snap's block-time feasibility and pays no transition time at all.
+       Real programs cross group boundaries often enough that the snap's
+       transition bill regularly overruns the deadline; the flatten keeps
+       a continuous-informed seed alive there. *)
+    let uniform =
+      let m = Hashtbl.fold (fun _ m acc -> Int.max m acc) chosen 0 in
+      fun _ -> m
+    in
+    let pick =
+      match admit per_group with
+      | Some objective -> Some (per_group, objective)
+      | None -> (
+        match admit uniform with
+        | Some objective -> Some (uniform, objective)
+        | None -> None)
+    in
+    match pick with
+    | None -> None
+    | Some (mode_of, objective) ->
+      let fixings =
+        List.concat_map
+          (fun (g, vars) ->
+            let m = mode_of g in
+            List.init (Array.length vars) (fun i ->
+                (vars.(i), if i = m then 1.0 else 0.0)))
+          t.form.Formulation.kvars
+        |> List.sort compare
+      in
+      let schedule =
+        { Schedule.edge_mode =
+            Array.init t.form.Formulation.n_real_edges (fun id ->
+                mode_of t.form.Formulation.repr.(id));
+          entry_mode =
+            mode_of t.form.Formulation.repr.(t.form.Formulation.virtual_edge) }
+      in
+      Some { fixings; schedule; objective }
+  end

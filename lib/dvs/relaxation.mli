@@ -1,0 +1,66 @@
+(** Continuous-schedule relaxation of a MILP instance: the bridge between
+    {!Formulation} and the exact {!Dvs_analytical.Liyao} kernel.
+
+    [prepare] lowers a formulation onto the kernel's region form, one
+    region per representative edge group and category: the group's
+    per-mode operating points are its total block time and weighted block
+    energy summed over every edge the representative stands for — the
+    exact coefficients of the MILP's deadline row and objective, in the
+    model's own units (microseconds / microjoules).  Mode-transition
+    terms are dropped from the relaxation; both their energy and time
+    contributions are nonnegative, so the bound stays valid and the
+    relaxed deadline is no tighter than the real one.
+
+    Because each category's deadline must hold on its own in any feasible
+    MILP assignment, the multi-category bound is the sum of per-category
+    kernel optima — each category solving its own single-deadline
+    instance over the shared groups.
+
+    [round] snaps the continuous schedule back onto the discrete mode
+    set: each group takes the {e faster} endpoint of its active envelope
+    segment (time rounds down, so block-time feasibility is preserved),
+    the fastest candidate across categories wins, and the result is
+    admitted only if its transition-inclusive time — recomputed exactly
+    as the MILP's deadline row would — still meets every category
+    deadline.  When the per-group snap's transition bill overruns a
+    deadline (common on real programs, whose hot paths cross group
+    boundaries constantly), the rounding flattens to a uniform schedule
+    at the fastest snapped mode — transition-free and blockwise no
+    slower than the snap, so it inherits the snap's block-time
+    feasibility.  The rounded schedule seeds the branch-and-bound
+    incumbent and serves as the degradation ladder's
+    better-than-single-frequency floor rung. *)
+
+type t
+
+val prepare :
+  Formulation.t -> regulator:Dvs_power.Switch_cost.regulator ->
+  Formulation.category list -> t
+(** Precompute the per-category group curves and transition lists.  The
+    categories must be the ones the formulation was built from (same
+    order); their deadlines are ignored here — [bound] and [round] take
+    deadlines explicitly so one prepared instance serves a whole sweep. *)
+
+val bound : t -> deadlines_us:float array -> float option
+(** Exact continuous lower bound on the MILP objective, in model units
+    (weighted microjoules), for one deadline per category (microseconds,
+    aligned with the category list given to [prepare]).  [None] when
+    even the all-fastest assignment overruns a deadline — then the MILP
+    itself is infeasible.  Raises [Invalid_argument] on a deadline-count
+    mismatch. *)
+
+type rounded = {
+  fixings : (Dvs_lp.Model.var * float) list;
+      (** every mode binary fixed 0/1 — a complete integral assignment
+          for {!Dvs_milp.Solver.Config.with_warm_start} *)
+  schedule : Schedule.t;  (** the same assignment as mode-set edges *)
+  objective : float;
+      (** its exact model objective (weighted microjoules), transition
+          energy included *)
+}
+
+val round : t -> deadlines_us:float array -> rounded option
+(** Snap the continuous optimum to discrete modes as described above.
+    [None] when the continuous problem is infeasible or the snapped
+    schedule's transition-inclusive time misses a deadline (callers then
+    fall back to the all-fastest warm start). *)

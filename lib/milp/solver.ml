@@ -46,6 +46,8 @@ module Config = struct
     rounding : bool;
     sos1 : Model.var list list;
     warm_start : (Model.var * float) list;
+    warm_solution : Simplex.solution option;
+    root_bound : float option;
     log : (string -> unit) option;
     cache : Lp_cache.t option;
     cache_depth : int;
@@ -73,8 +75,9 @@ module Config = struct
     if reliability < 0 then
       invalid_arg "Solver.Config.make: reliability must be >= 0";
     { jobs; max_nodes; int_tol; gap_rel; time_limit; rounding; sos1 = [];
-      warm_start = []; log; cache; cache_depth; fault; obs; presolve;
-      pricing; fixings = []; branching; node_order; reliability }
+      warm_start = []; warm_solution = None; root_bound = None; log; cache;
+      cache_depth; fault; obs; presolve; pricing; fixings = []; branching;
+      node_order; reliability }
 
   let default = make ()
 
@@ -89,6 +92,13 @@ module Config = struct
   let with_sos1 sos1 t = { t with sos1 }
 
   let with_warm_start warm_start t = { t with warm_start }
+
+  let with_warm_solution s t = { t with warm_solution = Some s }
+
+  let with_root_bound b t =
+    if not (Float.is_finite b) then
+      invalid_arg "Solver.Config.with_root_bound: bound must be finite";
+    { t with root_bound = Some b }
 
   let with_presolve presolve t = { t with presolve }
 
@@ -364,6 +374,13 @@ let solve ?(config = Config.default) model =
   let c_pc_branches =
     Dvs_obs.Metrics.counter mx ~stability:Volatile "bb.pseudocost_branches"
   in
+  (* Root dual bounds from the continuous relaxation are a pure function
+     of the caller's config, so the counter replays stably from the
+     experiment store. *)
+  let c_root_bound =
+    Dvs_obs.Metrics.counter mx ~stability:Stable
+      "bb.root_bound_from_continuous"
+  in
   let solve_span =
     if obs_on then
       Tr.start tr "solver.solve"
@@ -425,11 +442,30 @@ let solve ?(config = Config.default) model =
   in
   let request_stop r = ignore (Atomic.compare_and_set stop None (Some r)) in
   let stopping () = Atomic.get stop <> None || Atomic.get unbounded in
+  (* A caller-provided known-feasible solution (original variable space)
+     seeds the incumbent objective without any LP solve; it is returned
+     verbatim unless the search finds something strictly better, so a
+     caller chaining solves (the sweep's incumbent lifting) gets
+     bit-identical solutions whether or not the search was pruned away
+     entirely. *)
+  let seed_solution = config.warm_solution in
+  (match seed_solution with
+  | Some s ->
+    Atomic.set inc_obj s.Simplex.objective;
+    (* Runs before the pool starts: stable across job counts. *)
+    if obs_on then
+      Tr.event tr ~stability:Tr.Stable "solver.warm_solution"
+        ~attrs:[ ("objective", Tr.Float s.Simplex.objective) ]
+  | None -> ());
   let try_incumbent path (s : Simplex.solution) =
     Mutex.lock inc_lock;
     let take =
       match !incumbent with
-      | None -> true
+      | None ->
+        (* The seed occupies inc_obj without a solution object: only a
+           strict improvement may displace it. *)
+        (not (Float.is_finite (Atomic.get inc_obj)))
+        || better s.objective (Atomic.get inc_obj)
       | Some (_, p0) ->
         better s.objective (Atomic.get inc_obj)
         || (s.objective = Atomic.get inc_obj && path_compare path p0 < 0)
@@ -588,11 +624,12 @@ let solve ?(config = Config.default) model =
             else ok := false
           end)
         int_vars;
-      if !ok then
+      if !ok then begin
         match lp_solve ~wid !fixes with
         | Simplex.Optimal s', _ -> try_incumbent path s'
         | (Simplex.Infeasible | Simplex.Unbounded | Simplex.Iter_limit _), _
           -> ()
+      end
     end
   in
   (* Diving heuristic: walk down from a relaxation by fixing the most
@@ -997,7 +1034,14 @@ let solve ?(config = Config.default) model =
       | Simplex.Iter_limit _), _ -> ()
   end;
   let root_bound =
-    match sense with Model.Minimize -> neg_infinity | _ -> infinity
+    match config.root_bound with
+    | Some b ->
+      (* A caller-proven dual bound (the continuous relaxation) tightens
+         the root: with a seeding incumbent inside the gap the whole
+         tree is fathomed before a single LP solve. *)
+      if obs_on then Mc.incr c_root_bound ~slot:0;
+      b
+    | None -> ( match sense with Model.Minimize -> neg_infinity | _ -> infinity)
   in
   Atomic.set in_flight 1;
   Work_queue.push queues.(0)
@@ -1015,7 +1059,10 @@ let solve ?(config = Config.default) model =
     Array.to_list queues |> List.concat_map Work_queue.drain
   in
   let inc_objective () =
-    match !incumbent with Some (s, _) -> s.Simplex.objective | None -> worst
+    match !incumbent with
+    | Some (s, _) -> s.Simplex.objective
+    | None -> (
+      match seed_solution with Some s -> s.Simplex.objective | None -> worst)
   in
   (* Open bounds: undrained nodes plus the bounds of crashed nodes, whose
      subtrees were lost unexplored. *)
@@ -1073,8 +1120,8 @@ let solve ?(config = Config.default) model =
     Dvs_obs.Metrics.Histogram.observe h_solve stats.wall_seconds
   end;
   let r =
-    match !incumbent with
-    | Some (s, _) ->
+    match (!incumbent, seed_solution) with
+    | Some (s, _), _ ->
       let outcome =
         if crashes <> [] then Degraded { crashes; stopped }
         else
@@ -1083,7 +1130,18 @@ let solve ?(config = Config.default) model =
           | Some _ | None -> Optimal
       in
       { outcome; solution = Some (lift s); bound; stats }
-    | None ->
+    | None, Some s when not (Atomic.get unbounded) ->
+      (* The search never beat the caller's seed: return it verbatim (it
+         lives in the original variable space, so no lift). *)
+      let outcome =
+        if crashes <> [] then Degraded { crashes; stopped }
+        else
+          match stopped with
+          | Some reason when not (gap_prune bound) -> Feasible reason
+          | Some _ | None -> Optimal
+      in
+      { outcome; solution = Some s; bound; stats }
+    | None, _ ->
       if Atomic.get unbounded then
         { outcome = Unbounded; solution = None; bound; stats }
       else if crashes <> [] then

@@ -63,6 +63,16 @@ module Config : sig
         (** variable fixings known to admit a feasible completion, solved
             once to seed the incumbent (e.g. every edge at the fastest
             mode) *)
+    warm_solution : Dvs_lp.Simplex.solution option;
+        (** a complete known-feasible integral solution, in the original
+            variable space; seeds the incumbent objective without any LP
+            solve and is returned verbatim unless the search strictly
+            beats it *)
+    root_bound : float option;
+        (** caller-proven dual bound on the optimum (e.g. the continuous
+            relaxation); replaces the infinite root bound, so a
+            within-gap [warm_solution] fathoms the whole tree at zero
+            nodes *)
     log : (string -> unit) option;
     cache : Lp_cache.t option;
         (** share an LP-relaxation cache across solves; a private one is
@@ -114,6 +124,11 @@ module Config : sig
   val with_sos1 : Dvs_lp.Model.var list list -> t -> t
 
   val with_warm_start : (Dvs_lp.Model.var * float) list -> t -> t
+
+  val with_warm_solution : Dvs_lp.Simplex.solution -> t -> t
+
+  val with_root_bound : float -> t -> t
+  (** Raises [Invalid_argument] when the bound is not finite. *)
 
   val with_presolve : bool -> t -> t
 

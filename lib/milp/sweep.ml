@@ -10,6 +10,7 @@ type point = {
   pool_hits : int;
   warm_started : bool;
   root_pivots : int;
+  pruned_by_bound : bool;
 }
 
 type stats = {
@@ -19,6 +20,7 @@ type stats = {
   cut_pool_hits : int;
   pool_size : int;
   root_pivots : int;
+  points_pruned_by_bound : int;
 }
 
 type t = {
@@ -31,7 +33,8 @@ let locked lock f =
   Fun.protect ~finally:(fun () -> Mutex.unlock lock) f
 
 let run ?config ?(instances = 1) ?(cut_rounds = 3) ?(max_cuts_per_round = 16)
-    ?pool ?per_point ~model ~deadline_row ~deadlines () =
+    ?pool ?per_point ?point_bound ?point_seed ~model ~deadline_row ~deadlines
+    () =
   let config =
     match config with
     | Some c -> c
@@ -93,13 +96,14 @@ let run ?config ?(instances = 1) ?(cut_rounds = 3) ?(max_cuts_per_round = 16)
       | c -> c)
     order;
   let base_compiled = Compiled.of_model model in
-  let int_vars = Model.integer_vars model in
+  let sense = fst (Model.objective model) in
   let done_lock = Mutex.create () in
   (* Best lift source per processing position: the loosest completed
      tighter point (scanned newest first). *)
   let completed : Simplex.solution option array = Array.make np None in
   let results : point option array = Array.make np None in
   let warm_count = Atomic.make 0 in
+  let pruned_count = Atomic.make 0 in
   let separated_count = Atomic.make 0 in
   let applied_count = Atomic.make 0 in
   let pool_hit_count = Atomic.make 0 in
@@ -109,11 +113,39 @@ let run ?config ?(instances = 1) ?(cut_rounds = 3) ?(max_cuts_per_round = 16)
     let cfg =
       match per_point with None -> config | Some f -> f idx d config
     in
+    let seed = match point_seed with None -> None | Some f -> f idx d in
     match lift with
-    | None -> (cfg, false)
+    | None -> (
+        (* Cold point: a caller-supplied rounded seed beats the config's
+           generic warm fixing (typically all-fastest) as the incumbent
+           materialized before the search starts. *)
+        match seed with
+        | Some (fixings, _) ->
+            (Solver.Config.with_warm_start fixings cfg, false)
+        | None -> (cfg, false))
     | Some (sol : Simplex.solution) ->
+        (* Seed the lifted incumbent as a solution object — no LP solve,
+           and the seed survives bit-exactly unless the search strictly
+           beats it, so pruned and unpruned sweeps agree bit-for-bit.
+
+           The config's warm fixing is dropped: the lift is the optimum
+           of a tighter point, never worse than a generic fixing, so
+           materializing one would spend an LP solve on an incumbent that
+           cannot displace the seed.  A caller seed is kept only when its
+           known objective strictly beats the lift beyond the optimality
+           slack — in particular never at a point the pre-pruning
+           certificate could fire on, which keeps pruned and unpruned
+           sweeps bit-identical. *)
+        let cfg = Solver.Config.with_warm_solution sol cfg in
+        let obj = sol.Simplex.objective in
+        let slack =
+          config.Solver.Config.gap_rel *. Float.max 1.0 (Float.abs obj)
+        in
         let fixings =
-          List.map (fun v -> (v, Float.round sol.Simplex.values.(v))) int_vars
+          match (seed, sense) with
+          | Some (fx, sobj), Model.Minimize when sobj < obj -. slack -> fx
+          | Some (fx, sobj), Model.Maximize when sobj > obj +. slack -> fx
+          | _ -> []
         in
         (Solver.Config.with_warm_start fixings cfg, true)
   in
@@ -227,27 +259,69 @@ let run ?config ?(instances = 1) ?(cut_rounds = 3) ?(max_cuts_per_round = 16)
   let solve_point ws c0 chain k =
     let idx = order.(k) in
     let d = deadlines.(idx) in
-    let mp = Model.copy model in
-    Model.set_constraint_rhs mp deadline_row d;
-    let pooled =
-      locked pool_lock (fun () -> Cuts.Pool.applicable pool ~deadline:d)
-    in
-    List.iter (Cuts.add_to_model mp) pooled;
-    let hits = List.length (List.filter (fun c -> c.Cuts.born <> d) pooled) in
-    let n_applied, root_pivots =
-      try cut_loop ws c0 chain mp d pooled
-      with _ -> (List.length pooled, 0)
-    in
     let lift = take_lift k in
-    let cfg, warm_started = point_config idx d lift in
-    if warm_started then Atomic.incr warm_count;
-    let result = Solver.solve ~config:cfg mp in
-    Atomic.fetch_and_add applied_count n_applied |> ignore;
-    Atomic.fetch_and_add pool_hit_count hits |> ignore;
-    Atomic.fetch_and_add root_pivot_count root_pivots |> ignore;
-    record k idx
-      { deadline = d; result; cuts_applied = n_applied; pool_hits = hits;
-        warm_started; root_pivots }
+    (* Pre-prune: a caller-proven dual bound that already certifies the
+       lifted incumbent optimal within the gap makes the whole point a
+       no-op — no cuts, no LP solves, no nodes.  The returned solution is
+       the lifted object itself, bit-identical to what a full solve would
+       keep: the search could only re-find within-gap solutions, which
+       never displace a seeding incumbent. *)
+    let prune_cert =
+      match (lift, point_bound) with
+      | Some (sol : Simplex.solution), Some f -> (
+          match f idx d with
+          | Some cb ->
+              let obj = sol.Simplex.objective in
+              let slack =
+                config.Solver.Config.gap_rel *. Float.max 1.0 (Float.abs obj)
+              in
+              let certifies =
+                match sense with
+                | Model.Minimize -> cb >= obj -. slack
+                | Model.Maximize -> cb <= obj +. slack
+              in
+              if certifies then Some cb else None
+          | None -> None)
+      | _ -> None
+    in
+    match (prune_cert, lift) with
+    | Some cb, Some sol ->
+        Atomic.incr warm_count;
+        Atomic.incr pruned_count;
+        let result =
+          { Solver.outcome = Solver.Optimal; solution = Some sol; bound = cb;
+            stats =
+              { Solver.nodes = 0; lp_solves = 0; lp_pivots = 0; cache_hits = 0;
+                cache_misses = 0; cache_evictions = 0; steals = 0;
+                wall_seconds = 0.0; cpu_seconds = 0.0; workers = 0;
+                worker_nodes = [||] } }
+        in
+        record k idx
+          { deadline = d; result; cuts_applied = 0; pool_hits = 0;
+            warm_started = true; root_pivots = 0; pruned_by_bound = true }
+    | _ ->
+        let mp = Model.copy model in
+        Model.set_constraint_rhs mp deadline_row d;
+        let pooled =
+          locked pool_lock (fun () -> Cuts.Pool.applicable pool ~deadline:d)
+        in
+        List.iter (Cuts.add_to_model mp) pooled;
+        let hits =
+          List.length (List.filter (fun c -> c.Cuts.born <> d) pooled)
+        in
+        let n_applied, root_pivots =
+          try cut_loop ws c0 chain mp d pooled
+          with _ -> (List.length pooled, 0)
+        in
+        let cfg, warm_started = point_config idx d lift in
+        if warm_started then Atomic.incr warm_count;
+        let result = Solver.solve ~config:cfg mp in
+        Atomic.fetch_and_add applied_count n_applied |> ignore;
+        Atomic.fetch_and_add pool_hit_count hits |> ignore;
+        Atomic.fetch_and_add root_pivot_count root_pivots |> ignore;
+        record k idx
+          { deadline = d; result; cuts_applied = n_applied; pool_hits = hits;
+            warm_started; root_pivots; pruned_by_bound = false }
   in
   (* A sweep-level failure on one point must not sink the others: fall
      back to a plain cold solve of that point, no cuts, no lift. *)
@@ -262,7 +336,7 @@ let run ?config ?(instances = 1) ?(cut_rounds = 3) ?(max_cuts_per_round = 16)
       let result = Solver.solve ~config:cfg mp in
       record k idx
         { deadline = d; result; cuts_applied = 0; pool_hits = 0;
-          warm_started = false; root_pivots = 0 }
+          warm_started = false; root_pivots = 0; pruned_by_bound = false }
   in
   let worker () =
     let ws = Simplex.workspace () in
@@ -302,6 +376,7 @@ let run ?config ?(instances = 1) ?(cut_rounds = 3) ?(max_cuts_per_round = 16)
       cut_pool_hits = Atomic.get pool_hit_count;
       pool_size = Cuts.Pool.size pool;
       root_pivots = Atomic.get root_pivot_count;
+      points_pruned_by_bound = Atomic.get pruned_count;
     }
   in
   let mx = Dvs_obs.metrics config.Solver.Config.obs in
@@ -309,6 +384,10 @@ let run ?config ?(instances = 1) ?(cut_rounds = 3) ?(max_cuts_per_round = 16)
   let c name = Dvs_obs.Metrics.counter mx ~stability:Volatile name in
   Mc.add (c "sweep.points") ~slot:0 np;
   Mc.add (c "sweep.instances_warm_started") ~slot:0 stats.instances_warm_started;
+  (* Volatile like the warm-start counter: at instances > 1 the lift a
+     point sees depends on scheduling, so the pruned tally may differ
+     across job counts (results never do). *)
+  Mc.add (c "sweep.points_pruned_by_bound") ~slot:0 stats.points_pruned_by_bound;
   Mc.add (c "cuts.separated") ~slot:0 stats.cuts_separated;
   Mc.add (c "cuts.applied") ~slot:0 stats.cuts_applied;
   Mc.add (c "cuts.pool_hits") ~slot:0 stats.cut_pool_hits;

@@ -11,9 +11,23 @@
     - {b Tightest-first ordering with incumbent lifting.}  Points run in
       ascending deadline order.  A schedule feasible at a tight deadline
       stays feasible at every looser one, so each completed point's
-      optimum is lifted — as integer-variable fixings — into the warm
-      start of the next, seeding the branch and bound with an incumbent
-      before the first node.
+      optimum is lifted — as a seeding
+      {!Solver.Config.with_warm_solution} — into the next point's
+      configuration, giving the branch and bound an incumbent before the
+      first LP solve.  A caller-supplied [point_seed] (the rounded
+      continuous schedule) replaces the lift as warm fixings whenever
+      its known objective strictly beats it — at lax deadlines the
+      tight-point lift is a poor incumbent and the rounding is
+      near-optimal.
+    - {b Dual-bound pre-pruning.}  When the caller supplies
+      [point_bound] (e.g. the exact continuous-schedule relaxation of
+      {!Dvs_core.Relaxation}) and its bound already certifies the lifted
+      incumbent optimal within [config.gap_rel], the point is answered
+      from the lift directly: zero cuts, zero LP solves, zero nodes.
+      The pruned point's solution is the lifted object itself — the
+      bits a full solve would return, since a seeded incumbent is only
+      displaced by a {e strict} improvement and the certificate rules
+      one out.
     - {b Cross-instance basis reuse.}  Each worker keeps the optimal
       basis of its previous point's root LP; the next point re-solves
       the same compiled form after {!Dvs_lp.Compiled.set_rhs}, which is
@@ -32,8 +46,9 @@
     produce — the sharing only changes how fast the proof closes.
 
     Observability (through the config's [obs] bundle, all [Volatile]):
-    [sweep.points], [sweep.instances_warm_started], [cuts.separated],
-    [cuts.applied], [cuts.pool_hits]. *)
+    [sweep.points], [sweep.instances_warm_started],
+    [sweep.points_pruned_by_bound], [cuts.separated], [cuts.applied],
+    [cuts.pool_hits]. *)
 
 open Dvs_lp
 
@@ -47,6 +62,9 @@ type point = {
   warm_started : bool;
       (** an incumbent was lifted from a completed tighter point *)
   root_pivots : int;  (** simplex pivots spent in the root cutting loop *)
+  pruned_by_bound : bool;
+      (** answered from the lifted incumbent under a certifying
+          [point_bound]; the solve was skipped entirely *)
 }
 
 type stats = {
@@ -56,6 +74,8 @@ type stats = {
   cut_pool_hits : int;  (** applications of cuts born at another point *)
   pool_size : int;  (** deduplicated cuts pooled at the end of the sweep *)
   root_pivots : int;  (** total pivots across all root cutting loops *)
+  points_pruned_by_bound : int;
+      (** points answered from a lift under a certifying [point_bound] *)
 }
 
 type t = {
@@ -70,6 +90,8 @@ val run :
   ?max_cuts_per_round:int ->
   ?pool:Cuts.Pool.t ->
   ?per_point:(int -> float -> Solver.Config.t -> Solver.Config.t) ->
+  ?point_bound:(int -> float -> float option) ->
+  ?point_seed:(int -> float -> ((Model.var * float) list * float) option) ->
   model:Model.t ->
   deadline_row:int ->
   deadlines:float array ->
@@ -92,8 +114,29 @@ val run :
     [pool] are still applied).  [pool] shares a cut pool across
     successive sweeps (default: a private pool per call).  [per_point i
     d cfg] customizes the configuration of point [i] (input order,
-    deadline [d]) — it runs before incumbent lifting, which replaces
-    [warm_start] whenever a tighter point has completed.
+    deadline [d]) — it runs before incumbent lifting, which sets
+    [warm_solution] whenever a tighter point has completed.
+
+    [point_bound i d] returns a proven dual bound on point [i]'s optimum
+    (model objective units; [None] when unavailable).  It must be valid
+    — for the DVS formulation, the exact continuous relaxation is — and
+    is consulted only when a lifted incumbent exists; a certifying bound
+    prunes the point as described above.  The callback may run from
+    several domains concurrently when [instances > 1], so it must be
+    thread-safe (a pure function of its arguments is).
+
+    [point_seed i d] returns known-feasible warm fixings for point [i]
+    plus their exact objective (e.g. the rounded continuous schedule of
+    {!Dvs_core.Relaxation.round} at deadline [d]).  On a cold point the
+    fixings replace [config.warm_start] as the materialized incumbent;
+    on a lifted point they are materialized {e in addition to} the seed
+    only when their objective strictly beats the lift beyond the
+    [config.gap_rel] slack — so a certifiable point never gains an
+    extra solve and pruned/unpruned sweeps stay bit-identical.  When a
+    lift exists, the configured [warm_start] fixing itself is dropped:
+    a lifted optimum is never worse than a generic feasibility fixing,
+    so materializing one cannot improve the incumbent.  Same
+    thread-safety contract as [point_bound].
 
     Raises [Invalid_argument] on an empty or non-finite [deadlines], an
     out-of-range or non-[Le] [deadline_row], or [instances < 1]. *)

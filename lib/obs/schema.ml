@@ -260,6 +260,12 @@ let bench_summary ?(experiment_walls = []) ~metrics ~experiments
          warm sessions (> 0 here); absent from older baselines, so the
          validator treats it as optional. *)
       ("sim_summary_hits", Json.Int (total "sim.summary_hits"));
+      (* Continuous-bound pre-pruning (PR 9): sweep points answered from
+         the lifted incumbent under the exact continuous certificate.
+         Optional in the validator, so pre-PR 9 baselines stay
+         diffable. *)
+      ( "points_pruned_by_bound",
+        Json.Int (total "sweep.points_pruned_by_bound") );
       (* Service-experiment gauges (PR 7): set by `bench service' into
          the shared registry; omitted (never null) when the experiment
          did not run, so older baselines stay diffable. *)

@@ -314,6 +314,8 @@ let rung_to_json = function
   | Pipeline.Milp_retry n ->
     Json.Obj [ ("tag", Json.String "milp_retry"); ("n", Json.Int n) ]
   | Pipeline.Rounded_lp -> Json.Obj [ ("tag", Json.String "rounded_lp") ]
+  | Pipeline.Continuous_rounded ->
+    Json.Obj [ ("tag", Json.String "continuous_rounded") ]
   | Pipeline.Single_mode -> Json.Obj [ ("tag", Json.String "single_mode") ]
 
 let rung_of what j =
@@ -321,6 +323,7 @@ let rung_of what j =
   | "milp" -> Pipeline.Milp
   | "milp_retry" -> Pipeline.Milp_retry (dint what (mem what "n" j))
   | "rounded_lp" -> Pipeline.Rounded_lp
+  | "continuous_rounded" -> Pipeline.Continuous_rounded
   | "single_mode" -> Pipeline.Single_mode
   | tag -> fail "%s: unknown rung %S" what tag
 
@@ -359,6 +362,7 @@ type solve_essence = {
   e_solve_seconds : float;
   e_rung : Pipeline.rung option;
   e_descents : Pipeline.descent list;
+  e_continuous_bound : float option;
 }
 
 let essence_of_result (r : Pipeline.result) =
@@ -371,7 +375,8 @@ let essence_of_result (r : Pipeline.result) =
     e_verification = r.Pipeline.verification;
     e_solve_seconds = r.Pipeline.solve_seconds;
     e_rung = r.Pipeline.rung;
-    e_descents = r.Pipeline.descents }
+    e_descents = r.Pipeline.descents;
+    e_continuous_bound = r.Pipeline.continuous_bound }
 
 let result_of_essence ~categories ~formulation ~independent_edges e =
   { Pipeline.categories;
@@ -387,7 +392,8 @@ let result_of_essence ~categories ~formulation ~independent_edges e =
     solve_seconds = e.e_solve_seconds;
     independent_edges;
     rung = e.e_rung;
-    descents = e.e_descents }
+    descents = e.e_descents;
+    continuous_bound = e.e_continuous_bound }
 
 let essence_to_json e =
   Json.Obj
@@ -400,7 +406,8 @@ let essence_to_json e =
       ("verification", jopt report_to_json e.e_verification);
       ("solve_seconds", jf e.e_solve_seconds);
       ("rung", jopt rung_to_json e.e_rung);
-      ("descents", Json.List (List.map descent_to_json e.e_descents)) ]
+      ("descents", Json.List (List.map descent_to_json e.e_descents));
+      ("continuous_bound", jopt jf e.e_continuous_bound) ]
 
 let essence_of what j =
   { e_outcome = outcome_of what (mem what "outcome" j);
@@ -413,7 +420,8 @@ let essence_of what j =
     e_solve_seconds = dflo what (mem what "solve_seconds" j);
     e_rung = dopt (rung_of what) (mem what "rung" j);
     e_descents =
-      dlist what (mem what "descents" j) |> List.map (descent_of what) }
+      dlist what (mem what "descents" j) |> List.map (descent_of what);
+    e_continuous_bound = dopt (dflo what) (mem what "continuous_bound" j) }
 
 let essence_of_json j = wrap (essence_of "solve") j
 
@@ -429,7 +437,8 @@ let sweep_stats_to_json (s : Sweep.stats) =
       ("cuts_applied", Json.Int s.Sweep.cuts_applied);
       ("cut_pool_hits", Json.Int s.Sweep.cut_pool_hits);
       ("pool_size", Json.Int s.Sweep.pool_size);
-      ("root_pivots", Json.Int s.Sweep.root_pivots) ]
+      ("root_pivots", Json.Int s.Sweep.root_pivots);
+      ("points_pruned_by_bound", Json.Int s.Sweep.points_pruned_by_bound) ]
 
 let sweep_stats_of what j =
   { Sweep.instances_warm_started =
@@ -438,7 +447,9 @@ let sweep_stats_of what j =
     cuts_applied = dint what (mem what "cuts_applied" j);
     cut_pool_hits = dint what (mem what "cut_pool_hits" j);
     pool_size = dint what (mem what "pool_size" j);
-    root_pivots = dint what (mem what "root_pivots" j) }
+    root_pivots = dint what (mem what "root_pivots" j);
+    points_pruned_by_bound =
+      dint what (mem what "points_pruned_by_bound" j) }
 
 let sweep_to_json s =
   Json.Obj
@@ -537,6 +548,8 @@ let pipeline_components (c : Pipeline.Config.t) =
     ("pipe.filter_threshold", Key.F c.Pipeline.Config.filter_threshold);
     ("pipe.verify", bool_component c.Pipeline.Config.verify);
     ("pipe.cold_verify", bool_component c.Pipeline.Config.cold_verify);
+    ( "pipe.continuous_bound",
+      bool_component c.Pipeline.Config.continuous_bound );
     ("pipe.ladder", bool_component r.Pipeline.Resilience.ladder);
     ("pipe.max_retries", Key.I r.Pipeline.Resilience.max_retries);
     ( "pipe.retry_budget_factor",

@@ -42,6 +42,7 @@ type solve_essence = {
   e_solve_seconds : float;
   e_rung : Dvs_core.Pipeline.rung option;
   e_descents : Dvs_core.Pipeline.descent list;
+  e_continuous_bound : float option;
 }
 (** Everything a {!Dvs_core.Pipeline.result} carries except the
     formulation and categories, which are cheap to rebuild and are

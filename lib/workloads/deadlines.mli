@@ -17,3 +17,18 @@ val of_times : t_fast:float -> t_slow:float -> float array
 
 val of_profile : Dvs_profile.Profile.t -> float array
 (** From the pinned fastest/slowest run times of a profile. *)
+
+val saturation_fractions : float array
+(** [[| 1.02; 1.1 |]] — two probes past the all-slowest knee, where the
+    savings plateau: the first clears the slowest span with margin (the
+    plateau schedule becomes strictly feasible), the second witnesses
+    the plateau.  On plateau points the exact continuous bound meets the
+    discrete optimum, so the sweep's pre-pruning certificate can answer
+    them without an LP solve. *)
+
+val saturated : t_fast:float -> t_slow:float -> float array -> float array
+(** Append the saturation probes to a deadline grid. *)
+
+val sweep_of_profile : Dvs_profile.Profile.t -> float array
+(** The Table-4 grid of {!of_profile} plus the saturation probes — the
+    grid the sweep experiments run. *)

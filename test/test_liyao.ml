@@ -1,0 +1,392 @@
+(* Continuous-bound engine suite: the Liyao kernel's optimum must lower-
+   bound every discrete schedule of the same regions (25 seeds), the
+   Relaxation rounding must hand the pipeline a deadline-feasible
+   schedule under cycle-accurate verification, and sweep pre-pruning must
+   be a pure accelerator — answers bit-identical to the unpruned sweep at
+   any job count. *)
+
+module Solver = Dvs_milp.Solver
+module Sweep = Dvs_milp.Sweep
+module Model = Dvs_lp.Model
+module Expr = Dvs_lp.Expr
+module Simplex = Dvs_lp.Simplex
+module Liyao = Dvs_analytical.Liyao
+open Dvs_core
+
+let jobs_list =
+  match Sys.getenv_opt "DVS_FAULT_JOBS" with
+  | Some s -> [ int_of_string (String.trim s) ]
+  | None -> [ 1; 4 ]
+
+let check_float ?(eps = 1e-6) what expected actual =
+  if Float.abs (expected -. actual) > eps then
+    Alcotest.failf "%s: expected %.9g, got %.9g" what expected actual
+
+(* --- Bound validity: kernel <= brute-forced discrete optimum ----------- *)
+
+(* Random region instances: a few regions, a handful of operating points
+   each, a prefix deadline mid-list and a global one on the last region.
+   The discrete reference enumerates every point combination. *)
+let random_regions rng ~regions ~points =
+  let mk_points () =
+    Array.init points (fun _ ->
+        let t = 0.5 +. Random.State.float rng 4.0 in
+        let e = 0.5 +. Random.State.float rng 9.0 in
+        (t, e))
+  in
+  let pts = Array.init regions (fun _ -> mk_points ()) in
+  let min_t i =
+    Array.fold_left (fun acc (t, _) -> Float.min acc t) infinity pts.(i)
+  and max_t i =
+    Array.fold_left (fun acc (t, _) -> Float.max acc t) neg_infinity pts.(i)
+  in
+  let prefix_min r =
+    let s = ref 0.0 in
+    for i = 0 to r do s := !s +. min_t i done;
+    !s
+  and prefix_max r =
+    let s = ref 0.0 in
+    for i = 0 to r do s := !s +. max_t i done;
+    !s
+  in
+  let pick r =
+    let lo = prefix_min r and hi = prefix_max r in
+    lo +. Random.State.float rng (Float.max 1e-9 (hi -. lo))
+  in
+  let mid = regions / 2 in
+  Array.init regions (fun i ->
+      let deadline =
+        if i = regions - 1 then Some (pick i)
+        else if i = mid && Random.State.bool rng then Some (pick i)
+        else None
+      in
+      { Liyao.points = pts.(i); deadline })
+
+(* Minimum total energy over every per-region point choice that meets
+   all prefix deadlines; None when no combination does. *)
+let brute_force (rs : Liyao.region array) =
+  let n = Array.length rs in
+  let best = ref None in
+  let rec go i t e =
+    if i = n then
+      match !best with
+      | Some b when b <= e -> ()
+      | _ -> best := Some e
+    else
+      Array.iter
+        (fun (ti, ei) ->
+          let t' = t +. ti in
+          let ok =
+            match rs.(i).Liyao.deadline with
+            | Some d -> t' <= d +. 1e-9
+            | None -> true
+          in
+          if ok then go (i + 1) t' (e +. ei))
+        rs.(i).Liyao.points
+  in
+  go 0 0.0 0.0;
+  !best
+
+let test_bound_below_discrete () =
+  for seed = 0 to 24 do
+    let rng = Random.State.make [| 0x11a0; seed |] in
+    let rs = random_regions rng ~regions:4 ~points:4 in
+    let what = Printf.sprintf "seed %d" seed in
+    match (Liyao.bound rs, brute_force rs) with
+    | Some b, Some disc ->
+      if b > disc +. 1e-9 then
+        Alcotest.failf "%s: continuous bound %.12g above discrete optimum \
+                        %.12g" what b disc
+    | None, Some disc ->
+      Alcotest.failf "%s: kernel infeasible but discrete optimum %.9g \
+                      exists" what disc
+    | _, None ->
+      (* No discrete combination fits; nothing to bound.  (The kernel may
+         still report a continuous optimum: the envelope reaches times no
+         single point attains.) *)
+      ()
+  done
+
+(* The kernel on a single region with a loose deadline must return the
+   min-energy vertex exactly — the anchor the sweep's loose-end pruning
+   relies on. *)
+let test_bound_tight_when_loose () =
+  for seed = 0 to 24 do
+    let rng = Random.State.make [| 0x1005e; seed |] in
+    let rs = random_regions rng ~regions:3 ~points:4 in
+    let loose =
+      Array.map
+        (fun (r : Liyao.region) -> { r with Liyao.deadline = None })
+        rs
+    in
+    Array.iteri
+      (fun i (r : Liyao.region) ->
+        if i = Array.length loose - 1 then
+          loose.(i) <- { r with Liyao.deadline = Some 1e9 })
+      loose;
+    let expect =
+      Array.fold_left
+        (fun acc (r : Liyao.region) ->
+          acc
+          +. Array.fold_left (fun m (_, e) -> Float.min m e) infinity
+               r.Liyao.points)
+        0.0 rs
+    in
+    match Liyao.bound loose with
+    | Some b ->
+      check_float ~eps:1e-9
+        (Printf.sprintf "seed %d loose bound = sum of min energies" seed)
+        expect b
+    | None -> Alcotest.fail "loose instance reported infeasible"
+  done
+
+(* --- Rounded primal feasibility under cycle-accurate verification ------ *)
+
+let test_src =
+  "int a[512]; int s; int i; int j;\n\
+   s = 0;\n\
+   for (i = 0; i < 512; i = i + 1) { s = s + a[i]; }\n\
+   for (i = 0; i < 50; i = i + 1) {\n\
+   \  for (j = 0; j < 10; j = j + 1) { s = s + i * j; }\n\
+   }"
+
+let tiny_config =
+  Dvs_machine.Config.default
+    ~l1d:{ Dvs_machine.Config.size_bytes = 128; assoc = 2; block_bytes = 16;
+           latency_cycles = 1 }
+    ~l2:{ Dvs_machine.Config.size_bytes = 512; assoc = 2; block_bytes = 16;
+          latency_cycles = 4 }
+    ~dram_latency:1e-6 ()
+
+let compiled = lazy (Dvs_lang.Lower.compile_string test_src)
+
+let memory () =
+  let _, layout = Lazy.force compiled in
+  Array.init layout.Dvs_lang.Lower.memory_words (fun i -> i mod 17)
+
+let profile_cached =
+  lazy
+    (let cfg, _ = Lazy.force compiled in
+     Dvs_profile.Profile.collect tiny_config cfg ~memory:(memory ()))
+
+let verify_session =
+  lazy
+    (let cfg, _ = Lazy.force compiled in
+     Verify.Session.create tiny_config cfg ~memory:(memory ()))
+
+let deadline_span () =
+  let p = Lazy.force profile_cached in
+  let n = Dvs_power.Mode.size tiny_config.Dvs_machine.Config.mode_table in
+  let t_fast = Dvs_profile.Profile.pinned_time p ~mode:(n - 1) in
+  let t_slow = Dvs_profile.Profile.pinned_time p ~mode:0 in
+  (t_fast, t_slow)
+
+let test_rounded_schedule_verifies () =
+  let p = Lazy.force profile_cached in
+  let regulator = tiny_config.Dvs_machine.Config.regulator in
+  let t_fast, t_slow = deadline_span () in
+  let admitted = ref 0 in
+  List.iter
+    (fun frac ->
+      let deadline = t_fast +. (frac *. (t_slow -. t_fast)) in
+      let categories =
+        [ { Formulation.profile = p; weight = 1.0; deadline } ]
+      in
+      let f = Formulation.build ~regulator categories in
+      let rx = Relaxation.prepare f ~regulator categories in
+      let deadlines_us = [| deadline *. 1e6 |] in
+      let what = Printf.sprintf "deadline fraction %.2f" frac in
+      (match Relaxation.bound rx ~deadlines_us with
+      | Some _ -> ()
+      | None -> Alcotest.failf "%s: continuous relaxation infeasible" what);
+      match Relaxation.round rx ~deadlines_us with
+      | None ->
+        (* Rounding may legitimately miss a tight deadline; the pipeline
+           then falls back.  It must not miss every deadline. *)
+        ()
+      | Some (r : Relaxation.rounded) ->
+        incr admitted;
+        let predicted = r.Relaxation.objective /. 1e6 in
+        let v =
+          Verify.Session.check (Lazy.force verify_session)
+            ~schedule:r.Relaxation.schedule ~deadline
+            ~predicted_energy:predicted
+        in
+        Alcotest.(check bool)
+          (what ^ ": rounded schedule meets the deadline in simulation")
+          true v.Verify.meets_deadline)
+    [ 0.15; 0.3; 0.5; 0.7; 0.9 ];
+  if !admitted = 0 then
+    Alcotest.fail
+      "rounding admitted no deadline at all — the incumbent seed is dead"
+
+(* --- Sweep pre-pruning is a pure accelerator --------------------------- *)
+
+(* A valid continuous bound for the synthetic SOS1-under-deadline model:
+   each group is a kernel region over its (time, cost) mode points, the
+   sweep deadline on the last region. *)
+let synthetic_point_bound ~time ~cost d =
+  let groups = Array.length time in
+  let rs =
+    Array.init groups (fun g ->
+        { Liyao.points =
+            Array.init (Array.length time.(g)) (fun j ->
+                (time.(g).(j), cost.(g).(j)));
+          deadline = (if g = groups - 1 then Some d else None) })
+  in
+  Liyao.bound rs
+
+(* The model of test_sweep, rebuilt here so the cost matrix is in hand
+   for the bound. *)
+let pruning_model ~seed ~groups ~modes =
+  let rng = Random.State.make [| 0x5eed; seed |] in
+  let m = Model.create () in
+  let k =
+    Array.init groups (fun _ -> Array.init modes (fun _ -> Model.binary m))
+  in
+  let noise () = Random.State.float rng 0.01 in
+  let cost =
+    Array.init groups (fun g ->
+        Array.init modes (fun j ->
+            float_of_int (((g * 7) + (j * 3)) mod 11) +. 1.0 +. noise ()))
+  in
+  let time =
+    Array.init groups (fun g ->
+        Array.init modes (fun j ->
+            float_of_int (modes - j)
+            +. (0.25 *. float_of_int (g mod 3))
+            +. noise ()))
+  in
+  for g = 0 to groups - 1 do
+    Model.add_constraint m
+      (Expr.of_terms (List.init modes (fun j -> (1.0, k.(g).(j)))))
+      Model.Eq 1.0
+  done;
+  let all w =
+    Expr.of_terms
+      (List.concat_map
+         (fun g -> List.init modes (fun j -> (w.(g).(j), k.(g).(j))))
+         (List.init groups Fun.id))
+  in
+  let t_max =
+    Array.fold_left
+      (fun acc row -> acc +. Array.fold_left Float.max neg_infinity row)
+      0.0 time
+  in
+  Model.add_constraint m ~name:"deadline" (all time) Model.Le t_max;
+  Model.set_objective m Model.Minimize (all cost);
+  (m, k, groups, time, cost)
+
+let deadline_grid ~time ~points =
+  let t_min =
+    Array.fold_left
+      (fun acc row -> acc +. Array.fold_left Float.min infinity row)
+      0.0 time
+  and t_max =
+    Array.fold_left
+      (fun acc row -> acc +. Array.fold_left Float.max neg_infinity row)
+      0.0 time
+  in
+  let lo = t_min *. 1.02 and hi = t_max *. 0.92 in
+  Array.init points (fun i ->
+      lo +. ((hi -. lo) *. float_of_int i /. float_of_int (max 1 (points - 1))))
+
+let rounded_schedule what (r : Solver.result) k =
+  match r.Solver.solution with
+  | None -> Alcotest.failf "%s: no solution to round" what
+  | Some s ->
+    Array.map
+      (fun group ->
+        Array.map
+          (fun v -> int_of_float (Float.round s.Simplex.values.(v)))
+          group)
+      k
+
+let objective_exn what (r : Solver.result) =
+  match r.Solver.solution with
+  | Some s -> s.Simplex.objective
+  | None ->
+    Alcotest.failf "%s: no solution (outcome %a)" what Solver.pp_outcome
+      r.Solver.outcome
+
+let test_sweep_pruning_identical () =
+  List.iter
+    (fun jobs ->
+      let total_pruned = ref 0 in
+      for seed = 0 to 24 do
+        let m, k, deadline_row, time, cost =
+          pruning_model ~seed ~groups:4 ~modes:3
+        in
+        (* The grid ends past the all-slowest span: there the point's
+           optimum is the unconstrained one, the hull bound meets it
+           exactly (zero integrality gap), and the certificate can
+           fire. *)
+        let t_max =
+          Array.fold_left
+            (fun acc row ->
+              acc +. Array.fold_left Float.max neg_infinity row)
+            0.0 time
+        in
+        let deadlines =
+          Array.append
+            (deadline_grid ~time ~points:4)
+            [| t_max *. 1.02; t_max *. 1.2 |]
+        in
+        let cfg =
+          Solver.Config.make ~jobs ()
+          |> Solver.Config.with_sos1
+               (Array.to_list (Array.map Array.to_list k))
+        in
+        let plain =
+          Sweep.run ~config:cfg ~model:m ~deadline_row ~deadlines ()
+        in
+        let pruned =
+          Sweep.run ~config:cfg
+            ~point_bound:(fun _ d -> synthetic_point_bound ~time ~cost d)
+            ~model:m ~deadline_row ~deadlines ()
+        in
+        total_pruned :=
+          !total_pruned + pruned.Sweep.stats.Sweep.points_pruned_by_bound;
+        Alcotest.(check int)
+          "unpruned sweep reports no pruning" 0
+          plain.Sweep.stats.Sweep.points_pruned_by_bound;
+        Array.iteri
+          (fun i (p : Sweep.point) ->
+            let q = pruned.Sweep.points.(i) in
+            let what =
+              Printf.sprintf "seed %d jobs %d point %d" seed jobs i
+            in
+            check_float ~eps:0.0 (what ^ " (objective)")
+              (objective_exn what p.Sweep.result)
+              (objective_exn what q.Sweep.result);
+            if
+              rounded_schedule what p.Sweep.result k
+              <> rounded_schedule what q.Sweep.result k
+            then Alcotest.failf "%s: schedules differ" what;
+            if q.Sweep.pruned_by_bound then begin
+              match q.Sweep.result.Solver.outcome with
+              | Solver.Optimal -> ()
+              | o ->
+                Alcotest.failf "%s: pruned point not optimal (%a)" what
+                  Solver.pp_outcome o
+            end)
+          plain.Sweep.points
+      done;
+      if !total_pruned = 0 then
+        Alcotest.failf
+          "jobs=%d: no point was ever pruned across 25 seeds — the \
+           certificate never fires"
+          jobs)
+    jobs_list
+
+let suite =
+  [
+    Alcotest.test_case "kernel bounds brute-forced discrete optimum (25 \
+                        seeds)" `Quick test_bound_below_discrete;
+    Alcotest.test_case "loose-deadline bound is exact" `Quick
+      test_bound_tight_when_loose;
+    Alcotest.test_case "rounded schedule verifies under Session" `Quick
+      test_rounded_schedule_verifies;
+    Alcotest.test_case "sweep pruning bit-identical to unpruned (25 seeds)"
+      `Slow test_sweep_pruning_identical;
+  ]

@@ -348,8 +348,12 @@ let test_pipeline_ladder_events () =
       ~fault:(Fault.make ~exhaust_pivots_every:1 ())
       ()
   in
+  (* The continuous-bound engine is ablated here: its rounded seed would
+     ride out pivot exhaustion inside the MILP rung and the ladder would
+     have no rejections to trace. *)
   let config =
-    Pipeline.Config.make ~solver () |> Pipeline.Config.with_obs obs
+    Pipeline.Config.make ~solver ~continuous_bound:false ()
+    |> Pipeline.Config.with_obs obs
   in
   let p = Lazy.force profile_cached in
   let r =

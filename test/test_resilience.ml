@@ -200,9 +200,9 @@ let mid_deadline () =
   let t_slow = Dvs_profile.Profile.pinned_time p ~mode:0 in
   t_fast +. (0.5 *. (t_slow -. t_fast))
 
-let run_pipeline solver deadline =
+let run_pipeline ?(continuous_bound = true) solver deadline =
   let p = Lazy.force profile_cached in
-  let config = Pipeline.Config.make ~solver () in
+  let config = Pipeline.Config.make ~solver ~continuous_bound () in
   Pipeline.optimize_multi ~config
     ~regulator:tiny_config.Dvs_machine.Config.regulator ~memory:(memory ())
     [ { Formulation.profile = p; weight = 1.0; deadline } ]
@@ -229,8 +229,11 @@ let baseline_measured deadline =
     Some v.Verify.stats.Dvs_machine.Cpu.energy
 
 (* Exhausting every simplex pivot budget makes branch and bound useless;
-   the ladder must fall past the MILP rungs and still hand back a
-   verified schedule. *)
+   with the continuous-bound engine ablated, the ladder must fall past
+   the MILP rungs and still hand back a verified schedule.  (With the
+   engine on, the rounded continuous seed survives pivot exhaustion as a
+   ready-made incumbent, so the pipeline need not descend at all — the
+   second half checks that stronger outcome.) *)
 let test_ladder_pivot_exhaustion () =
   List.iter
     (fun jobs ->
@@ -239,7 +242,9 @@ let test_ladder_pivot_exhaustion () =
           ~fault:(Fault.make ~exhaust_pivots_every:1 ())
           ()
       in
-      let r = run_pipeline solver (mid_deadline ()) in
+      let r =
+        run_pipeline ~continuous_bound:false solver (mid_deadline ())
+      in
       (match r.Pipeline.rung with
       | Some (Pipeline.Rounded_lp | Pipeline.Single_mode) -> ()
       | Some rung ->
@@ -248,11 +253,19 @@ let test_ladder_pivot_exhaustion () =
       | None -> Alcotest.failf "jobs=%d: ladder produced no schedule" jobs);
       Alcotest.(check bool)
         "descents recorded" true (r.Pipeline.descents <> []);
-      match r.Pipeline.verification with
+      (match r.Pipeline.verification with
       | Some v ->
         Alcotest.(check bool)
           "fallback schedule meets the deadline" true v.Verify.meets_deadline
-      | None -> Alcotest.fail "fallback rung was not verified")
+      | None -> Alcotest.fail "fallback rung was not verified");
+      (* Same fault with the engine on: the seeded incumbent must keep a
+         verified schedule alive, whatever rung answers. *)
+      let seeded = run_pipeline solver (mid_deadline ()) in
+      match seeded.Pipeline.verification with
+      | Some v ->
+        Alcotest.(check bool)
+          "seeded schedule meets the deadline" true v.Verify.meets_deadline
+      | None -> Alcotest.failf "jobs=%d: seeded run was not verified" jobs)
     jobs_list
 
 (* Acceptance scenario of the issue: a worker crash forced mid-search
