@@ -125,6 +125,21 @@ let tests () =
              ignore
                (Dvs_lp.Simplex.solve
                   gs_formulation.Dvs_core.Formulation.model)));
+      (* The basis-backend pair: the same root relaxation of the largest
+         Figure-18 instance solved pivot-for-pivot identically by both
+         backends — every pivot runs one FTRAN, one BTRAN and one
+         pivot-row price, so the gap between these two rows is exactly
+         the dense-inverse vs sparse-LU+eta linear-algebra cost. *)
+      Test.make ~name:"lp-basis-lu-ghostscript"
+        (Staged.stage (fun () ->
+             ignore
+               (Dvs_lp.Simplex.solve ~backend:Dvs_lp.Simplex.Lu
+                  gs_formulation.Dvs_core.Formulation.model)));
+      Test.make ~name:"lp-basis-dense-ghostscript"
+        (Staged.stage (fun () ->
+             ignore
+               (Dvs_lp.Simplex.solve ~backend:Dvs_lp.Simplex.Dense
+                  gs_formulation.Dvs_core.Formulation.model)));
       Test.make ~name:"analytical-discrete-optimize"
         (Staged.stage (fun () ->
              ignore (Dvs_analytical.Discrete.optimize params table7)));

@@ -326,9 +326,26 @@ let no_continuous_bound_opt =
            root dual bound, no rounded incumbent seed, no sweep \
            pre-pruning, no continuous-rounded ladder rung.")
 
+let lp_basis_opt =
+  Arg.(
+    value
+    & opt (enum [ ("lu", Dvs_lp.Simplex.Lu); ("dense", Dvs_lp.Simplex.Dense) ])
+        Dvs_lp.Simplex.Lu
+    & info [ "lp-basis" ] ~docv:"BACKEND"
+        ~doc:
+          "Simplex basis backend: $(b,lu) (sparse LU factorization + \
+           eta-file updates, the default) or $(b,dense) (explicit dense \
+           inverse — the correctness oracle and ablation leg).  Both \
+           backends find the same schedules; only the linear-algebra \
+           cost differs.")
+
+let lp_basis_name = function
+  | Dvs_lp.Simplex.Lu -> "lu"
+  | Dvs_lp.Simplex.Dense -> "dense"
+
 let optimize_cmd =
   let run w input capacitance levels frac no_filter save jobs strict
-      no_continuous_bound store_root trace metrics =
+      no_continuous_bound lp_basis store_root trace metrics =
     let input = input_of w input in
     let cfg, _, mem = Dvs_workloads.Workload.load w ~input in
     let machine = machine ~capacitance ~levels in
@@ -347,7 +364,7 @@ let optimize_cmd =
     let t_fast = Dvs_profile.Profile.pinned_time p ~mode:(n - 1) in
     let t_slow = Dvs_profile.Profile.pinned_time p ~mode:0 in
     let deadline = t_fast +. (frac *. (t_slow -. t_fast)) in
-    let solver = Dvs_milp.Solver.Config.make ?jobs () in
+    let solver = Dvs_milp.Solver.Config.make ?jobs ~basis:lp_basis () in
     let config =
       Dvs_core.Pipeline.Config.make ~filter:(not no_filter) ~solver
         ~continuous_bound:(not no_continuous_bound) ()
@@ -365,6 +382,7 @@ let optimize_cmd =
           ("workload", Dvs_obs.Json.String w.Dvs_workloads.Workload.name);
           ("input", Dvs_obs.Json.String input);
           ("jobs", Dvs_obs.Json.Int solver.Dvs_milp.Solver.Config.jobs);
+          ("lp_basis", Dvs_obs.Json.String (lp_basis_name lp_basis));
           ("deadline", Dvs_obs.Json.Float deadline);
           ("deadline_frac", Dvs_obs.Json.Float frac);
           ("capacitance", Dvs_obs.Json.Float capacitance) ];
@@ -448,8 +466,8 @@ let optimize_cmd =
     Term.(
       const run $ workload_pos $ input_opt $ capacitance_opt $ levels_opt
       $ deadline_frac_opt $ no_filter_opt $ save_opt $ jobs_opt
-      $ strict_opt $ no_continuous_bound_opt $ store_opt $ trace_out_opt
-      $ metrics_out_opt)
+      $ strict_opt $ no_continuous_bound_opt $ lp_basis_opt $ store_opt
+      $ trace_out_opt $ metrics_out_opt)
 
 (* ---------------- apply ---------------- *)
 
@@ -523,7 +541,7 @@ let cold_verify_opt =
 
 let reproduce_cmd =
   let run w input capacitance levels jobs cold cold_verify
-      no_continuous_bound store_root trace metrics =
+      no_continuous_bound lp_basis store_root trace metrics =
     let input = input_of w input in
     let cfg, _, mem = Dvs_workloads.Workload.load w ~input in
     let machine = machine ~capacitance ~levels in
@@ -539,7 +557,7 @@ let reproduce_cmd =
         ~memory:mem
     in
     let deadlines = Dvs_workloads.Deadlines.sweep_of_profile p in
-    let solver = Dvs_milp.Solver.Config.make ?jobs () in
+    let solver = Dvs_milp.Solver.Config.make ?jobs ~basis:lp_basis () in
     let config =
       Dvs_core.Pipeline.Config.make ~solver ~cold_verify
         ~continuous_bound:(not no_continuous_bound) ()
@@ -619,6 +637,7 @@ let reproduce_cmd =
             Dvs_obs.Json.String (if cold_verify then "cold" else "summary") );
           ( "continuous_bound",
             Dvs_obs.Json.Bool (not no_continuous_bound) );
+          ("lp_basis", Dvs_obs.Json.String (lp_basis_name lp_basis));
           ("deadlines", Dvs_obs.Json.Int (Array.length deadlines));
           ("capacitance", Dvs_obs.Json.Float capacitance) ]
   in
@@ -631,7 +650,7 @@ let reproduce_cmd =
     Term.(
       const run $ workload_pos $ input_opt $ capacitance_opt $ levels_opt
       $ jobs_opt $ cold_opt $ cold_verify_opt $ no_continuous_bound_opt
-      $ store_opt $ trace_out_opt $ metrics_out_opt)
+      $ lp_basis_opt $ store_opt $ trace_out_opt $ metrics_out_opt)
 
 (* ---------------- stats ---------------- *)
 
@@ -980,7 +999,7 @@ let bench_diff_cmd =
       cex;
     (* Deterministic work counters gate the diff; wall-clock numbers are
        printed for context only (CI machines are too noisy to gate on). *)
-    let gated = [ "lp_pivots"; "lp_solves"; "bb_nodes" ] in
+    let gated = [ "lp_pivots"; "lp_solves"; "lp_flops"; "bb_nodes" ] in
     let informational = [ "solves" ] in
     let delta k =
       let b = counter baseline bj k and c = counter current cj k in

@@ -6,11 +6,33 @@
      [nt, nt + m)  artificials, one per row, existing only where the
                    cold start needs them (coefficient [art_sign]).
 
-   The basis inverse is kept as a dense row-major m*m matrix, updated
-   by elementary row operations on each pivot and refactorized (full
-   Gauss-Jordan with partial pivoting) every [refactor_every] pivots
-   and at phase boundaries.  Everything the iteration touches lives in
-   a reusable workspace, so the pivot loop performs no allocation. *)
+   The basis representation is selectable ([basis_kind]):
+
+   - [Lu] (default): a sparse LU factorization of the basis ({!Lu}:
+     Markowitz ordering, threshold partial pivoting) plus a
+     product-form eta file — one eta per pivot, capturing the FTRAN
+     column B^-1 A_e so the factorization itself is never touched
+     between refactorizations.  FTRAN applies the LU triangular solves
+     then the etas in pivot order; BTRAN applies the transposed etas in
+     reverse order then the transposed LU solves.  All four triangular
+     passes run in scatter form and skip exactly-zero components, which
+     is where right-hand-side hypersparsity (unit vectors, slack
+     columns, short structural columns) pays off.
+
+   - [Dense]: the historical kernel — B^-1 as a dense row-major m*m
+     matrix updated by elementary row operations per pivot and rebuilt
+     by full Gauss-Jordan with partial pivoting.  Kept as the
+     correctness oracle and ablation leg.
+
+   Refactorization is policy-driven ([refactor_policy]): a fixed pivot
+   count, or (the LU default) whenever the eta file outgrows the
+   factorization by a configured factor.  Both backends share the
+   pricing/ratio-test/phase machinery and the final dense
+   factorization in [finish] — so when the two backends walk the same
+   pivot sequence (they do, apart from exact floating-point ties),
+   their reported solutions are bit-identical, not merely close.
+   Everything the iteration touches lives in a reusable workspace, so
+   the pivot loop performs no allocation beyond eta-file growth. *)
 
 module C = Compiled
 
@@ -43,6 +65,16 @@ type basis = {
 
 type pricing = Bland | Dantzig | Steepest_edge
 
+type basis_kind = Lu | Dense
+
+type refactor_policy =
+  | Pivots of int
+  | Eta_fill of { max_pivots : int; growth : float }
+
+let default_refactor = function
+  | Lu -> Eta_fill { max_pivots = 256; growth = 2.0 }
+  | Dense -> Pivots 128
+
 type stats = {
   pivots : int;
   phase1_pivots : int;
@@ -51,6 +83,11 @@ type stats = {
   refactorizations : int;
   bland_pivots : int;
   flops : int;
+  lu_refactorizations : int;
+  lu_fill_in_nnz : int;
+  lu_eta_nnz : int;
+  ftran_sparse_hits : int;
+  btran_sparse_hits : int;
 }
 
 let pp_status ppf = function
@@ -78,7 +115,39 @@ type workspace = {
   mutable alpha : float array;  (* pivot row *)
   mutable refw : float array;  (* devex reference weights *)
   mutable cost : float array;  (* current-phase costs *)
+  (* LU backend state *)
+  mutable lu : Lu.t option;  (* current factorization *)
+  mutable lutmp : float array;  (* permuted solve scratch, cap_m *)
+  mutable rho : float array;  (* BTRAN-of-unit-vector scratch, cap_m *)
+  mutable bptr : int array;  (* basis assembly: column pointers, cap_m+1 *)
+  mutable brow : int array;
+  mutable bval : float array;
+  (* Product-form eta file: eta k pivots on row eta_row.(k) with pivot
+     element eta_piv.(k); off-pivot nonzeros of B^-1 A_e live in
+     eta_idx/eta_val.(eta_ptr.(k) .. eta_ptr.(k+1) - 1). *)
+  mutable eta_n : int;
+  mutable eta_row : int array;
+  mutable eta_piv : float array;
+  mutable eta_ptr : int array;
+  mutable eta_idx : int array;
+  mutable eta_val : float array;
 }
+
+let grow_int a used need =
+  if Array.length a >= need then a
+  else begin
+    let b = Array.make (max need ((2 * Array.length a) + 8)) 0 in
+    Array.blit a 0 b 0 used;
+    b
+  end
+
+let grow_flt a used need =
+  if Array.length a >= need then a
+  else begin
+    let b = Array.make (max need ((2 * Array.length a) + 8)) 0.0 in
+    Array.blit a 0 b 0 used;
+    b
+  end
 
 let workspace () =
   {
@@ -98,6 +167,18 @@ let workspace () =
     alpha = [||];
     refw = [||];
     cost = [||];
+    lu = None;
+    lutmp = [||];
+    rho = [||];
+    bptr = [||];
+    brow = [||];
+    bval = [||];
+    eta_n = 0;
+    eta_row = [||];
+    eta_piv = [||];
+    eta_ptr = [| 0 |];
+    eta_idx = [||];
+    eta_val = [||];
   }
 
 let ensure ws m ncols =
@@ -110,7 +191,10 @@ let ensure ws m ncols =
     ws.w <- Array.make m 0.0;
     ws.rw <- Array.make m 0.0;
     ws.basis <- Array.make m 0;
-    ws.art_sign <- Array.make m 0.0
+    ws.art_sign <- Array.make m 0.0;
+    ws.lutmp <- Array.make m 0.0;
+    ws.rho <- Array.make m 0.0;
+    ws.bptr <- Array.make (m + 1) 0
   end;
   if ws.cap_c < ncols then begin
     ws.cap_c <- ncols;
@@ -122,8 +206,6 @@ let ensure ws m ncols =
     ws.cost <- Array.make ncols 0.0
   end;
   ws
-
-let refactor_every = 128
 
 exception Stop of status * basis option
 
@@ -137,12 +219,15 @@ exception Stuck of int
    cold solve that gets stuck reports {!Iter_limit}. *)
 
 let solve_compiled ?(pricing = Steepest_edge) ?(max_iter = 100000)
-    ?(eps = 1e-7) ?basis:hint ?ws c =
+    ?(eps = 1e-7) ?(backend = Lu) ?refactor ?basis:hint ?ws c =
   let n = c.C.n and m = c.C.m and nt = c.C.nt in
   let ncols = nt + m in
-  let nnz = C.nnz c in
   let ws = ensure (match ws with Some w -> w | None -> workspace ()) m ncols in
   let binv = ws.binv and fact = ws.fact in
+  let use_lu = backend = Lu in
+  let policy =
+    match refactor with Some p -> p | None -> default_refactor backend
+  in
   let feas_tol = eps *. 0.01 in
   let piv_tol = 1e-9 in
   let rtol = 1e-9 in
@@ -164,7 +249,14 @@ let solve_compiled ?(pricing = Steepest_edge) ?(max_iter = 100000)
   and refacts = ref 0
   and blands = ref 0
   and flops = ref 0
-  and since_refactor = ref 0 in
+  and since_refactor = ref 0
+  and lu_refacts = ref 0
+  and fill_nnz = ref 0
+  and eta_total = ref 0
+  and fhits = ref 0
+  and bhits = ref 0
+  and cur_lu_nnz = ref 0
+  and cur_eta_nnz = ref 0 in
   let total_pivots () = !primal_pivots + !dual_pivots in
   let stats () =
     {
@@ -175,14 +267,21 @@ let solve_compiled ?(pricing = Steepest_edge) ?(max_iter = 100000)
       refactorizations = !refacts;
       bland_pivots = !blands;
       flops = !flops;
+      lu_refactorizations = !lu_refacts;
+      lu_fill_in_nnz = !fill_nnz;
+      lu_eta_nnz = !eta_total;
+      ftran_sparse_hits = !fhits;
+      btran_sparse_hits = !bhits;
     }
   in
   let limit phase = Stop (Iter_limit { phase; iterations = total_pivots () }, None) in
   (* ---- linear-algebra primitives ------------------------------------ *)
-  let refactor () =
+  (* Flop charging is "honest" on both backends: 2 per entry actually
+     multiplied-and-accumulated (no dense m^2/m^3 formulas), so the
+     counter is comparable across backends and measures real work. *)
+  let dense_refactor () =
     incr refacts;
     since_refactor := 0;
-    flops := !flops + (m * m * m);
     Array.fill fact 0 (m * m) 0.0;
     for i = 0 to m - 1 do
       let k = ws.basis.(i) in
@@ -226,6 +325,7 @@ let solve_compiled ?(pricing = Steepest_edge) ?(max_iter = 100000)
          end;
          let off = col * m in
          let ipiv = 1.0 /. fact.(off + col) in
+         flops := !flops + (4 * m);
          for q = 0 to m - 1 do
            fact.(off + q) <- fact.(off + q) *. ipiv;
            binv.(off + q) <- binv.(off + q) *. ipiv
@@ -235,6 +335,7 @@ let solve_compiled ?(pricing = Steepest_edge) ?(max_iter = 100000)
              let f = fact.((r * m) + col) in
              if f <> 0.0 then begin
                let offr = r * m in
+               flops := !flops + (4 * m);
                for q = 0 to m - 1 do
                  fact.(offr + q) <- fact.(offr + q) -. (f *. fact.(off + q));
                  binv.(offr + q) <- binv.(offr + q) -. (f *. binv.(off + q))
@@ -246,20 +347,173 @@ let solve_compiled ?(pricing = Steepest_edge) ?(max_iter = 100000)
      with Exit -> ());
     !ok
   in
-  let compute_xb () =
-    flops := !flops + (m * m) + (2 * (nnz + m));
+  (* ---- LU backend: factorization + product-form eta file ------------- *)
+  let eta_reset () =
+    ws.eta_n <- 0;
+    if Array.length ws.eta_ptr = 0 then ws.eta_ptr <- Array.make 8 0;
+    ws.eta_ptr.(0) <- 0;
+    cur_eta_nnz := 0
+  in
+  (* Record ws.w (= B^-1 A_e) as the eta of a pivot on row [r]. *)
+  let eta_append r =
+    let k = ws.eta_n in
+    ws.eta_row <- grow_int ws.eta_row k (k + 1);
+    ws.eta_piv <- grow_flt ws.eta_piv k (k + 1);
+    ws.eta_ptr <- grow_int ws.eta_ptr (k + 1) (k + 2);
+    let base = ws.eta_ptr.(k) in
+    let cnt = ref 0 in
+    for i = 0 to m - 1 do
+      if i <> r && ws.w.(i) <> 0.0 then incr cnt
+    done;
+    ws.eta_idx <- grow_int ws.eta_idx base (base + !cnt);
+    ws.eta_val <- grow_flt ws.eta_val base (base + !cnt);
+    let pos = ref base in
+    for i = 0 to m - 1 do
+      if i <> r && ws.w.(i) <> 0.0 then begin
+        ws.eta_idx.(!pos) <- i;
+        ws.eta_val.(!pos) <- ws.w.(i);
+        incr pos
+      end
+    done;
+    ws.eta_row.(k) <- r;
+    ws.eta_piv.(k) <- ws.w.(r);
+    ws.eta_ptr.(k + 1) <- !pos;
+    ws.eta_n <- k + 1;
+    cur_eta_nnz := !cur_eta_nnz + !cnt + 1;
+    eta_total := !eta_total + !cnt + 1
+  in
+  (* FTRAN tail: apply E_1^-1 .. E_k^-1 in pivot order.  An eta whose
+     pivot component is exactly zero is a no-op (skip). *)
+  let eta_ftran v =
+    for k = 0 to ws.eta_n - 1 do
+      let r = ws.eta_row.(k) in
+      let xr = v.(r) in
+      if xr = 0.0 then incr fhits
+      else begin
+        let xr = xr /. ws.eta_piv.(k) in
+        v.(r) <- xr;
+        let b = ws.eta_ptr.(k) and e = ws.eta_ptr.(k + 1) in
+        flops := !flops + 1 + (2 * (e - b));
+        for p = b to e - 1 do
+          let i = ws.eta_idx.(p) in
+          v.(i) <- v.(i) -. (ws.eta_val.(p) *. xr)
+        done
+      end
+    done
+  in
+  (* BTRAN head: apply E_k^-T .. E_1^-T (reverse order); each transposed
+     eta only rewrites its pivot component. *)
+  let eta_btran v =
+    for k = ws.eta_n - 1 downto 0 do
+      let r = ws.eta_row.(k) in
+      let b = ws.eta_ptr.(k) and e = ws.eta_ptr.(k + 1) in
+      let s = ref v.(r) in
+      for p = b to e - 1 do
+        s := !s -. (ws.eta_val.(p) *. v.(ws.eta_idx.(p)))
+      done;
+      flops := !flops + 1 + (2 * (e - b));
+      v.(r) <- !s /. ws.eta_piv.(k)
+    done
+  in
+  (* v := B^-1 v (factorization then etas); v := B^-T v (etas then
+     transposed factorization). *)
+  let lu_apply_ftran v =
+    (match ws.lu with
+    | Some lu ->
+      let fl, sk = Lu.ftran lu ~x:v ~tmp:ws.lutmp in
+      flops := !flops + fl;
+      fhits := !fhits + sk
+    | None -> assert false);
+    eta_ftran v
+  in
+  let lu_apply_btran v =
+    eta_btran v;
+    match ws.lu with
+    | Some lu ->
+      let fl, sk = Lu.btran lu ~x:v ~tmp:ws.lutmp in
+      flops := !flops + fl;
+      bhits := !bhits + sk
+    | None -> assert false
+  in
+  let lu_refactor () =
+    (* Assemble the basis columns (basis position i = column i of B) in
+       CSC form, reusing the workspace assembly buffers. *)
+    let len = ref 0 in
+    ws.bptr <- grow_int ws.bptr 0 (m + 1);
+    ws.bptr.(0) <- 0;
+    for i = 0 to m - 1 do
+      let k = ws.basis.(i) in
+      let need = if k < n then c.C.col_ptr.(k + 1) - c.C.col_ptr.(k) else 1 in
+      ws.brow <- grow_int ws.brow !len (!len + need);
+      ws.bval <- grow_flt ws.bval !len (!len + need);
+      if k < n then
+        for p = c.C.col_ptr.(k) to c.C.col_ptr.(k + 1) - 1 do
+          ws.brow.(!len) <- c.C.col_row.(p);
+          ws.bval.(!len) <- c.C.col_val.(p);
+          incr len
+        done
+      else if k < nt then begin
+        ws.brow.(!len) <- k - n;
+        ws.bval.(!len) <- 1.0;
+        incr len
+      end
+      else begin
+        ws.brow.(!len) <- k - nt;
+        ws.bval.(!len) <- ws.art_sign.(k - nt);
+        incr len
+      end;
+      ws.bptr.(i + 1) <- !len
+    done;
+    match Lu.factor ~m ~ptr:ws.bptr ~row:ws.brow ~vals:ws.bval () with
+    | None -> false
+    | Some lu ->
+      ws.lu <- Some lu;
+      incr refacts;
+      incr lu_refacts;
+      since_refactor := 0;
+      eta_reset ();
+      cur_lu_nnz := Lu.nnz lu;
+      fill_nnz := !fill_nnz + max 0 (Lu.nnz lu - !len);
+      flops := !flops + Lu.flops lu;
+      true
+  in
+  let refactor () = if use_lu then lu_refactor () else dense_refactor () in
+  let need_refactor () =
+    match policy with
+    | Pivots k -> !since_refactor >= k
+    | Eta_fill { max_pivots; growth } ->
+      !since_refactor >= max_pivots
+      || (use_lu
+         && !since_refactor > 0
+         && float_of_int !cur_eta_nnz > growth *. float_of_int (!cur_lu_nnz + m)
+         )
+  in
+  (* ---- backend-dispatched kernel operations --------------------------- *)
+  let load_residual () =
+    (* ws.rw := rhs - N x_N, charged at the entries actually touched *)
     Array.blit c.C.rhs 0 ws.rw 0 m;
+    let t = ref 0 in
     for j = 0 to nt - 1 do
       if ws.vstat.(j) <> st_basic && ws.xval.(j) <> 0.0 then begin
         let x = ws.xval.(j) in
-        if j < n then
+        if j < n then begin
+          t := !t + (2 * (c.C.col_ptr.(j + 1) - c.C.col_ptr.(j)));
           for p = c.C.col_ptr.(j) to c.C.col_ptr.(j + 1) - 1 do
             let r = c.C.col_row.(p) in
             ws.rw.(r) <- ws.rw.(r) -. (c.C.col_val.(p) *. x)
           done
-        else ws.rw.(j - n) <- ws.rw.(j - n) -. x
+        end
+        else begin
+          t := !t + 2;
+          ws.rw.(j - n) <- ws.rw.(j - n) -. x
+        end
       end
     done;
+    flops := !flops + !t
+  in
+  let dense_compute_xb () =
+    load_residual ();
+    flops := !flops + (2 * m * m);
     for i = 0 to m - 1 do
       let off = i * m in
       let s = ref 0.0 in
@@ -269,32 +523,60 @@ let solve_compiled ?(pricing = Steepest_edge) ?(max_iter = 100000)
       ws.xb.(i) <- !s
     done
   in
+  let compute_xb () =
+    if use_lu then begin
+      load_residual ();
+      lu_apply_ftran ws.rw;
+      Array.blit ws.rw 0 ws.xb 0 m
+    end
+    else dense_compute_xb ()
+  in
   let btran () =
-    flops := !flops + (2 * m * m);
-    Array.fill ws.y 0 m 0.0;
-    for i = 0 to m - 1 do
-      let cb = ws.cost.(ws.basis.(i)) in
-      if cb <> 0.0 then begin
-        let off = i * m in
-        for k = 0 to m - 1 do
-          ws.y.(k) <- ws.y.(k) +. (cb *. binv.(off + k))
-        done
-      end
-    done
+    if use_lu then begin
+      for i = 0 to m - 1 do
+        ws.y.(i) <- ws.cost.(ws.basis.(i))
+      done;
+      lu_apply_btran ws.y
+    end
+    else begin
+      Array.fill ws.y 0 m 0.0;
+      for i = 0 to m - 1 do
+        let cb = ws.cost.(ws.basis.(i)) in
+        if cb <> 0.0 then begin
+          let off = i * m in
+          flops := !flops + (2 * m);
+          for k = 0 to m - 1 do
+            ws.y.(k) <- ws.y.(k) +. (cb *. binv.(off + k))
+          done
+        end
+      done
+    end
   in
   let reduced_cost j =
     if j < n then begin
       let s = ref ws.cost.(j) in
+      flops := !flops + (2 * (c.C.col_ptr.(j + 1) - c.C.col_ptr.(j)));
       for p = c.C.col_ptr.(j) to c.C.col_ptr.(j + 1) - 1 do
         s := !s -. (c.C.col_val.(p) *. ws.y.(c.C.col_row.(p)))
       done;
       !s
     end
-    else ws.cost.(j) -. ws.y.(j - n)
+    else begin
+      flops := !flops + 1;
+      ws.cost.(j) -. ws.y.(j - n)
+    end
   in
   let ftran e =
     Array.fill ws.w 0 m 0.0;
-    if e < n then begin
+    if use_lu then begin
+      if e < n then
+        for p = c.C.col_ptr.(e) to c.C.col_ptr.(e + 1) - 1 do
+          ws.w.(c.C.col_row.(p)) <- c.C.col_val.(p)
+        done
+      else ws.w.(e - n) <- 1.0;
+      lu_apply_ftran ws.w
+    end
+    else if e < n then begin
       flops := !flops + (2 * m * (c.C.col_ptr.(e + 1) - c.C.col_ptr.(e)));
       for p = c.C.col_ptr.(e) to c.C.col_ptr.(e + 1) - 1 do
         let r = c.C.col_row.(p) and v = c.C.col_val.(p) in
@@ -311,25 +593,59 @@ let solve_compiled ?(pricing = Steepest_edge) ?(max_iter = 100000)
       done
     end
   in
-  (* Pivot row r of B^-1 N into ws.alpha (nonbasic columns only). *)
+  (* Pivot row r of B^-1 N into ws.alpha (nonbasic columns only).  The
+     dense backend reads row r of the explicit inverse; the LU backend
+     computes rho = B^-T e_r (one hypersparse BTRAN) and prices the
+     nonbasic columns against it. *)
   let pivot_row r =
-    flops := !flops + (2 * (nnz + m));
-    let off = r * m in
-    for j = 0 to nt - 1 do
-      if ws.vstat.(j) <> st_basic then
-        ws.alpha.(j) <-
-          (if j < n then begin
-             let s = ref 0.0 in
-             for p = c.C.col_ptr.(j) to c.C.col_ptr.(j + 1) - 1 do
-               s := !s +. (binv.(off + c.C.col_row.(p)) *. c.C.col_val.(p))
-             done;
-             !s
-           end
-           else binv.(off + (j - n)))
-      else ws.alpha.(j) <- 0.0
-    done
+    let t = ref 0 in
+    if use_lu then begin
+      Array.fill ws.rho 0 m 0.0;
+      ws.rho.(r) <- 1.0;
+      lu_apply_btran ws.rho;
+      for j = 0 to nt - 1 do
+        if ws.vstat.(j) <> st_basic then
+          ws.alpha.(j) <-
+            (if j < n then begin
+               let s = ref 0.0 in
+               t := !t + (2 * (c.C.col_ptr.(j + 1) - c.C.col_ptr.(j)));
+               for p = c.C.col_ptr.(j) to c.C.col_ptr.(j + 1) - 1 do
+                 s := !s +. (ws.rho.(c.C.col_row.(p)) *. c.C.col_val.(p))
+               done;
+               !s
+             end
+             else begin
+               incr t;
+               ws.rho.(j - n)
+             end)
+        else ws.alpha.(j) <- 0.0
+      done
+    end
+    else begin
+      let off = r * m in
+      for j = 0 to nt - 1 do
+        if ws.vstat.(j) <> st_basic then
+          ws.alpha.(j) <-
+            (if j < n then begin
+               let s = ref 0.0 in
+               t := !t + (2 * (c.C.col_ptr.(j + 1) - c.C.col_ptr.(j)));
+               for p = c.C.col_ptr.(j) to c.C.col_ptr.(j + 1) - 1 do
+                 s := !s +. (binv.(off + c.C.col_row.(p)) *. c.C.col_val.(p))
+               done;
+               !s
+             end
+             else begin
+               incr t;
+               binv.(off + (j - n))
+             end)
+        else ws.alpha.(j) <- 0.0
+      done
+    end;
+    flops := !flops + !t
   in
-  (* Replace row r's basic column with e (ws.w must hold B^-1 A_e). *)
+  (* Replace row r's basic column with e (ws.w must hold B^-1 A_e).
+     Dense: elementary row operations on the explicit inverse.
+     LU: append one eta; the factorization is untouched. *)
   let apply_pivot r e ~ve ~leave_st ~leave_val =
     let k = ws.basis.(r) in
     ws.vstat.(k) <- leave_st;
@@ -337,23 +653,27 @@ let solve_compiled ?(pricing = Steepest_edge) ?(max_iter = 100000)
     ws.basis.(r) <- e;
     ws.vstat.(e) <- st_basic;
     ws.xb.(r) <- ve;
-    flops := !flops + (2 * m * m);
-    let offr = r * m in
-    let ipiv = 1.0 /. ws.w.(r) in
-    for q = 0 to m - 1 do
-      binv.(offr + q) <- binv.(offr + q) *. ipiv
-    done;
-    for i = 0 to m - 1 do
-      if i <> r then begin
-        let f = ws.w.(i) in
-        if f <> 0.0 then begin
-          let offi = i * m in
-          for q = 0 to m - 1 do
-            binv.(offi + q) <- binv.(offi + q) -. (f *. binv.(offr + q))
-          done
+    if use_lu then eta_append r
+    else begin
+      let offr = r * m in
+      let ipiv = 1.0 /. ws.w.(r) in
+      flops := !flops + (2 * m);
+      for q = 0 to m - 1 do
+        binv.(offr + q) <- binv.(offr + q) *. ipiv
+      done;
+      for i = 0 to m - 1 do
+        if i <> r then begin
+          let f = ws.w.(i) in
+          if f <> 0.0 then begin
+            let offi = i * m in
+            flops := !flops + (2 * m);
+            for q = 0 to m - 1 do
+              binv.(offi + q) <- binv.(offi + q) -. (f *. binv.(offr + q))
+            done
+          end
         end
-      end
-    done;
+      done
+    end;
     incr since_refactor
   in
   let devex_update r e =
@@ -389,7 +709,6 @@ let solve_compiled ?(pricing = Steepest_edge) ?(max_iter = 100000)
     !s
   in
   let choose_entering ~bland =
-    flops := !flops + (2 * nnz) + nt;
     let best = ref (-1) and best_score = ref 0.0 in
     (try
        for j = 0 to nt - 1 do
@@ -430,7 +749,7 @@ let solve_compiled ?(pricing = Steepest_edge) ?(max_iter = 100000)
     let last_z = ref infinity in
     let finished = ref None in
     while !finished = None do
-      if !since_refactor >= refactor_every then begin
+      if need_refactor () then begin
         if not (refactor ()) then raise (Stuck phase);
         compute_xb ()
       end;
@@ -574,9 +893,12 @@ let solve_compiled ?(pricing = Steepest_edge) ?(max_iter = 100000)
     done
   in
   let finish () =
+    (* Both backends finish on the shared dense factorization: when the
+       pivot sequences agree, the reported values and objective are
+       bit-identical across backends, not merely within tolerance. *)
     if m > 0 then begin
-      if not (refactor ()) then raise (Stuck 2);
-      compute_xb ()
+      if not (dense_refactor ()) then raise (Stuck 2);
+      dense_compute_xb ()
     end;
     let values = Array.make n 0.0 in
     for j = 0 to n - 1 do
@@ -676,6 +998,9 @@ let solve_compiled ?(pricing = Steepest_edge) ?(max_iter = 100000)
         (if ws.basis.(i) >= nt then ws.art_sign.(i) else 1.0)
     done;
     since_refactor := 0;
+    (* The LU backend factors the initial (diagonal) basis explicitly;
+       a diagonal of +-1 entries cannot be singular. *)
+    if use_lu && not (lu_refactor ()) then raise (Stuck 1);
     if !need_art then begin
       Array.fill ws.cost 0 ncols 0.0;
       for i = 0 to m - 1 do
@@ -771,7 +1096,7 @@ let solve_compiled ?(pricing = Steepest_edge) ?(max_iter = 100000)
     while !continue_dual do
       if !iters > max_dual then raise Fallback;
       if !iters >= max_iter then raise (limit 2);
-      if !since_refactor >= refactor_every then begin
+      if need_refactor () then begin
         if not (refactor ()) then raise Fallback;
         compute_xb ()
       end;
@@ -797,7 +1122,6 @@ let solve_compiled ?(pricing = Steepest_edge) ?(max_iter = 100000)
         for j = 0 to nt - 1 do
           if ws.vstat.(j) <> st_basic then ws.dj.(j) <- reduced_cost j
         done;
-        flops := !flops + (2 * nnz) + nt;
         pivot_row r;
         let e = ref (-1) and best = ref infinity in
         for j = 0 to nt - 1 do
@@ -1062,13 +1386,14 @@ let tableau_row t r alpha =
 
 (* ---- Model.t entry points -------------------------------------------- *)
 
-let solve_ext ?max_iter ?eps ?basis m =
-  solve_compiled ?max_iter ?eps ?basis (Compiled.of_model m)
+let solve_ext ?max_iter ?eps ?backend ?refactor ?basis m =
+  solve_compiled ?max_iter ?eps ?backend ?refactor ?basis
+    (Compiled.of_model m)
 
-let solve ?max_iter ?eps m =
-  let st, _, _ = solve_ext ?max_iter ?eps m in
+let solve ?max_iter ?eps ?backend m =
+  let st, _, _ = solve_ext ?max_iter ?eps ?backend m in
   st
 
-let solve_from_basis ?max_iter ?eps basis m =
-  let st, _, _ = solve_ext ?max_iter ?eps ~basis m in
+let solve_from_basis ?max_iter ?eps ?backend basis m =
+  let st, _, _ = solve_ext ?max_iter ?eps ?backend ~basis m in
   st

@@ -3,10 +3,22 @@
     The kernel is a bounded-variable revised simplex: every model
     variable keeps its own [lb, ub] range (branch-and-bound branch
     decisions are bound changes, which here cost a bound flip or a dual
-    reoptimization, never a new row), the basis inverse is maintained
-    explicitly and refactorized periodically, and all per-iteration
-    state lives in a caller-reusable {!workspace} so the pivot loop
-    allocates nothing.
+    reoptimization, never a new row), the basis representation is
+    maintained incrementally and refactorized by policy
+    ({!refactor_policy}), and all per-iteration state lives in a
+    caller-reusable {!workspace} so the pivot loop allocates nothing
+    beyond eta-file growth.
+
+    Two interchangeable basis backends ({!basis_kind}) carry the solve:
+    the default {!Lu} keeps a sparse LU factorization of the basis
+    (Markowitz pivot ordering with threshold partial pivoting, see
+    {!Lu.factor}) plus a product-form eta file — one eta per pivot —
+    with FTRAN/BTRAN as hypersparse scatter-form triangular solves;
+    {!Dense} keeps the historical explicit dense inverse and survives
+    as the correctness oracle and ablation leg.  Both backends share
+    every pricing/ratio/phase decision and finish on the same dense
+    factorization, so identical pivot sequences yield bit-identical
+    solutions.
 
     Pricing is selectable ({!pricing}): devex-style steepest edge by
     default, Dantzig, or Bland; the first two fall back to Bland's rule
@@ -64,14 +76,45 @@ type pricing =
   | Dantzig  (** most-negative reduced cost *)
   | Steepest_edge  (** devex reference-weight approximation (default) *)
 
+type basis_kind =
+  | Lu
+      (** sparse LU factorization + product-form eta file (default) *)
+  | Dense  (** explicit dense inverse; correctness oracle / ablation *)
+
+type refactor_policy =
+  | Pivots of int
+      (** refactorize after this many pivots (the historical behavior;
+          the dense default is [Pivots 128]) *)
+  | Eta_fill of { max_pivots : int; growth : float }
+      (** refactorize when the eta file holds more than
+          [growth * (factor nnz + m)] entries, or after [max_pivots]
+          pivots, whichever comes first.  The LU default is
+          [Eta_fill { max_pivots = 256; growth = 2.0 }]; on the dense
+          backend (which has no eta file) only [max_pivots] applies. *)
+
+val default_refactor : basis_kind -> refactor_policy
+(** The refactorization policy each backend uses when none is given. *)
+
 type stats = {
   pivots : int;  (** total basis changes (primal + dual) *)
   phase1_pivots : int;  (** pivots spent reaching feasibility *)
   dual_pivots : int;  (** pivots spent in dual reoptimization *)
   bound_flips : int;  (** ratio tests resolved without a basis change *)
-  refactorizations : int;  (** basis inverse rebuilds *)
+  refactorizations : int;  (** basis rebuilds, either backend *)
   bland_pivots : int;  (** pivots taken under the Bland fallback *)
-  flops : int;  (** approximate floating-point work in the pivot loop *)
+  flops : int;
+      (** floating-point work actually performed (2 per entry touched
+          on either backend — no dense m^2/m^3 formulas), comparable
+          across backends *)
+  lu_refactorizations : int;  (** sparse LU factorizations built *)
+  lu_fill_in_nnz : int;
+      (** total factor entries beyond the basis nnz, summed over LU
+          refactorizations *)
+  lu_eta_nnz : int;  (** total eta-file entries appended *)
+  ftran_sparse_hits : int;
+      (** FTRAN solve steps skipped because the running component was
+          exactly zero (hypersparsity wins; LU backend only) *)
+  btran_sparse_hits : int;  (** same, for BTRAN *)
 }
 
 type workspace
@@ -81,7 +124,8 @@ type workspace
 
 val workspace : unit -> workspace
 
-val solve : ?max_iter:int -> ?eps:float -> Model.t -> status
+val solve :
+  ?max_iter:int -> ?eps:float -> ?backend:basis_kind -> Model.t -> status
 (** [eps] is the master tolerance (default [1e-7]): reduced-cost threshold
     and (scaled) feasibility threshold.  [max_iter] bounds pivots per phase
     (default 100000); Bland's rule engages after 200 stalled iterations,
@@ -89,7 +133,12 @@ val solve : ?max_iter:int -> ?eps:float -> Model.t -> status
     looping. *)
 
 val solve_ext :
-  ?max_iter:int -> ?eps:float -> ?basis:basis -> Model.t ->
+  ?max_iter:int ->
+  ?eps:float ->
+  ?backend:basis_kind ->
+  ?refactor:refactor_policy ->
+  ?basis:basis ->
+  Model.t ->
   status * basis option * stats
 (** Like {!solve}, additionally returning the optimal basis (when the
     status is [Optimal]) and pivot statistics.  [basis] warm starts the
@@ -103,6 +152,8 @@ val solve_compiled :
   ?pricing:pricing ->
   ?max_iter:int ->
   ?eps:float ->
+  ?backend:basis_kind ->
+  ?refactor:refactor_policy ->
   ?basis:basis ->
   ?ws:workspace ->
   Compiled.t ->
@@ -112,9 +163,18 @@ val solve_compiled :
     [Compiled.set_bounds] state distinguishes calls.  With [basis], the
     solve is a dual-simplex reoptimization from that basis.  With [ws],
     all scratch state is reused across calls (the intended mode for
-    branch and bound: one workspace per worker). *)
+    branch and bound: one workspace per worker).  [backend] selects the
+    basis representation (default {!Lu}) and [refactor] overrides that
+    backend's {!default_refactor} policy; neither affects which vertex
+    is found, only how the linear algebra behind it is carried. *)
 
-val solve_from_basis : ?max_iter:int -> ?eps:float -> basis -> Model.t -> status
+val solve_from_basis :
+  ?max_iter:int ->
+  ?eps:float ->
+  ?backend:basis_kind ->
+  basis ->
+  Model.t ->
+  status
 (** [solve_from_basis b m] is [solve m] warm started from basis [b]
     (typically obtained from {!solve_ext} on a closely related model). *)
 

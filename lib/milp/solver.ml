@@ -55,6 +55,8 @@ module Config = struct
     obs : Dvs_obs.t;
     presolve : bool;
     pricing : Simplex.pricing;
+    basis : Simplex.basis_kind;
+    refactor : Simplex.refactor_policy option;
     fixings : (Model.var * float) list;
     branching : branching;
     node_order : node_order;
@@ -64,8 +66,9 @@ module Config = struct
   let make ?jobs ?(max_nodes = 200_000) ?time_limit ?(gap_rel = 1e-9)
       ?(int_tol = 1e-6) ?(rounding = true) ?log ?cache ?(cache_depth = 4)
       ?fault ?(obs = Dvs_obs.disabled) ?(presolve = true)
-      ?(pricing = Simplex.Steepest_edge) ?(branching = Fractional)
-      ?(node_order = Best_bound) ?(reliability = 4) () =
+      ?(pricing = Simplex.Steepest_edge) ?(basis = Simplex.Lu) ?refactor
+      ?(branching = Fractional) ?(node_order = Best_bound) ?(reliability = 4)
+      () =
     let jobs =
       match jobs with
       | Some j when j >= 1 -> j
@@ -74,10 +77,17 @@ module Config = struct
     in
     if reliability < 0 then
       invalid_arg "Solver.Config.make: reliability must be >= 0";
+    (match refactor with
+    | Some (Simplex.Pivots k) when k < 1 ->
+      invalid_arg "Solver.Config.make: refactor pivot trigger must be >= 1"
+    | Some (Simplex.Eta_fill { max_pivots; growth })
+      when max_pivots < 1 || not (Float.is_finite growth) || growth <= 0.0 ->
+      invalid_arg "Solver.Config.make: refactor eta trigger must be positive"
+    | _ -> ());
     { jobs; max_nodes; int_tol; gap_rel; time_limit; rounding; sos1 = [];
       warm_start = []; warm_solution = None; root_bound = None; log; cache;
-      cache_depth; fault; obs; presolve; pricing; fixings = []; branching;
-      node_order; reliability }
+      cache_depth; fault; obs; presolve; pricing; basis; refactor;
+      fixings = []; branching; node_order; reliability }
 
   let default = make ()
 
@@ -103,6 +113,10 @@ module Config = struct
   let with_presolve presolve t = { t with presolve }
 
   let with_pricing pricing t = { t with pricing }
+
+  let with_basis basis t = { t with basis }
+
+  let with_refactor refactor t = { t with refactor = Some refactor }
 
   let with_fixings fixings t = { t with fixings }
 
@@ -371,6 +385,22 @@ let solve ?(config = Config.default) model =
     Dvs_obs.Metrics.counter mx ~stability:Volatile "lp.bound_flips"
   in
   let c_flops = Dvs_obs.Metrics.counter mx ~stability:Volatile "lp.flops" in
+  (* LU-backend audit trail: how often the basis was refactorized, how
+     much fill the factorizations carried, how large the eta files grew,
+     and how much solve work hypersparsity skipped outright. *)
+  let c_lu_refacts =
+    Dvs_obs.Metrics.counter mx ~stability:Volatile "lu.refactorizations"
+  in
+  let c_lu_fill =
+    Dvs_obs.Metrics.counter mx ~stability:Volatile "lu.fill_in_nnz"
+  in
+  let c_lu_eta = Dvs_obs.Metrics.counter mx ~stability:Volatile "lu.eta_nnz" in
+  let c_lu_fhits =
+    Dvs_obs.Metrics.counter mx ~stability:Volatile "lu.ftran_sparse_hits"
+  in
+  let c_lu_bhits =
+    Dvs_obs.Metrics.counter mx ~stability:Volatile "lu.btran_sparse_hits"
+  in
   let c_pc_branches =
     Dvs_obs.Metrics.counter mx ~stability:Volatile "bb.pseudocost_branches"
   in
@@ -418,6 +448,11 @@ let solve ?(config = Config.default) model =
   let a_bland = Atomic.make 0 in
   let a_flops = Atomic.make 0 in
   let a_saved = Atomic.make 0 in
+  let a_lu_refacts = Atomic.make 0 in
+  let a_lu_fill = Atomic.make 0 in
+  let a_lu_eta = Atomic.make 0 in
+  let a_lu_fhits = Atomic.make 0 in
+  let a_lu_bhits = Atomic.make 0 in
   (* Pivot count of the first basis-free solve: the cold-start cost a
      warm-started node would otherwise pay, used to estimate
      lp.pivots_saved_warm. *)
@@ -528,8 +563,8 @@ let solve ?(config = Config.default) model =
     let fixings = canonical_fixings overrides in
     List.iter (fun (v, lb, ub) -> Compiled.set_bounds sc v ~lb ~ub) fixings;
     let st, b, (sst : Simplex.stats) =
-      Simplex.solve_compiled ~pricing:config.pricing ?max_iter ?basis
-        ~ws:workspaces.(wid) sc
+      Simplex.solve_compiled ~pricing:config.pricing ~backend:config.basis
+        ?refactor:config.refactor ?max_iter ?basis ~ws:workspaces.(wid) sc
     in
     List.iter (fun (v, _, _) -> Compiled.reset_bounds sc v) fixings;
     ignore (Atomic.fetch_and_add lp_pivots sst.Simplex.pivots);
@@ -537,6 +572,11 @@ let solve ?(config = Config.default) model =
     ignore (Atomic.fetch_and_add a_flips sst.Simplex.bound_flips);
     ignore (Atomic.fetch_and_add a_bland sst.Simplex.bland_pivots);
     ignore (Atomic.fetch_and_add a_flops sst.Simplex.flops);
+    ignore (Atomic.fetch_and_add a_lu_refacts sst.Simplex.lu_refactorizations);
+    ignore (Atomic.fetch_and_add a_lu_fill sst.Simplex.lu_fill_in_nnz);
+    ignore (Atomic.fetch_and_add a_lu_eta sst.Simplex.lu_eta_nnz);
+    ignore (Atomic.fetch_and_add a_lu_fhits sst.Simplex.ftran_sparse_hits);
+    ignore (Atomic.fetch_and_add a_lu_bhits sst.Simplex.btran_sparse_hits);
     (match basis with
     | None ->
       ignore
@@ -1116,6 +1156,11 @@ let solve ?(config = Config.default) model =
       (stats.lp_pivots - Atomic.get a_bland - Atomic.get a_dual);
     Mc.add c_flips ~slot:0 (Atomic.get a_flips);
     Mc.add c_flops ~slot:0 (Atomic.get a_flops);
+    Mc.add c_lu_refacts ~slot:0 (Atomic.get a_lu_refacts);
+    Mc.add c_lu_fill ~slot:0 (Atomic.get a_lu_fill);
+    Mc.add c_lu_eta ~slot:0 (Atomic.get a_lu_eta);
+    Mc.add c_lu_fhits ~slot:0 (Atomic.get a_lu_fhits);
+    Mc.add c_lu_bhits ~slot:0 (Atomic.get a_lu_bhits);
     Mc.add c_pc_branches ~slot:0 (Atomic.get pseudocost_branches);
     Dvs_obs.Metrics.Histogram.observe h_solve stats.wall_seconds
   end;

@@ -92,6 +92,17 @@ module Config : sig
     pricing : Dvs_lp.Simplex.pricing;
         (** simplex pricing rule for every relaxation; default
             {!Dvs_lp.Simplex.Steepest_edge} *)
+    basis : Dvs_lp.Simplex.basis_kind;
+        (** simplex basis backend for every relaxation; default
+            {!Dvs_lp.Simplex.Lu} (sparse LU + eta file).
+            {!Dvs_lp.Simplex.Dense} keeps the explicit dense inverse —
+            the correctness oracle and CI ablation leg.  Either backend
+            finds the same vertex; only the linear-algebra cost
+            differs. *)
+    refactor : Dvs_lp.Simplex.refactor_policy option;
+        (** basis refactorization trigger override; [None] (default)
+            uses {!Dvs_lp.Simplex.default_refactor} for the selected
+            backend *)
     fixings : (Dvs_lp.Model.var * float) list;
         (** externally implied variable fixings (e.g.
             [Dvs_core.Formulation.implied_fixings] from the edge filter),
@@ -112,9 +123,12 @@ module Config : sig
     ?int_tol:float -> ?rounding:bool -> ?log:(string -> unit) ->
     ?cache:Lp_cache.t -> ?cache_depth:int -> ?fault:Fault.t ->
     ?obs:Dvs_obs.t -> ?presolve:bool -> ?pricing:Dvs_lp.Simplex.pricing ->
+    ?basis:Dvs_lp.Simplex.basis_kind ->
+    ?refactor:Dvs_lp.Simplex.refactor_policy ->
     ?branching:branching -> ?node_order:node_order -> ?reliability:int ->
     unit -> t
-  (** Raises [Invalid_argument] if [jobs < 1] or [reliability < 0]. *)
+  (** Raises [Invalid_argument] if [jobs < 1], [reliability < 0], or the
+      [refactor] policy has a non-positive trigger. *)
 
   val default : t
   (** [make ()]. *)
@@ -133,6 +147,10 @@ module Config : sig
   val with_presolve : bool -> t -> t
 
   val with_pricing : Dvs_lp.Simplex.pricing -> t -> t
+
+  val with_basis : Dvs_lp.Simplex.basis_kind -> t -> t
+
+  val with_refactor : Dvs_lp.Simplex.refactor_policy -> t -> t
 
   val with_fixings : (Dvs_lp.Model.var * float) list -> t -> t
 

@@ -176,8 +176,9 @@ let run ?config ?(instances = 1) ?(cut_rounds = 3) ?(max_cuts_per_round = 16)
        reoptimization. *)
     Compiled.set_rhs c0 deadline_row d;
     let st0, b0, lstats0 =
-      Simplex.solve_compiled ~pricing:config.Solver.Config.pricing ?basis:!chain
-        ~ws c0
+      Simplex.solve_compiled ~pricing:config.Solver.Config.pricing
+        ~backend:config.Solver.Config.basis
+        ?refactor:config.Solver.Config.refactor ?basis:!chain ~ws c0
     in
     root_pivots := !root_pivots + lstats0.Simplex.pivots;
     (match b0 with Some _ -> chain := b0 | None -> ());
@@ -196,7 +197,8 @@ let run ?config ?(instances = 1) ?(cut_rounds = 3) ?(max_cuts_per_round = 16)
             in
             let st, bc, ls =
               Simplex.solve_compiled ~pricing:config.Solver.Config.pricing
-                ?basis ~ws cp
+                ~backend:config.Solver.Config.basis
+                ?refactor:config.Solver.Config.refactor ?basis ~ws cp
             in
             root_pivots := !root_pivots + ls.Simplex.pivots;
             match bc with Some b -> Some (cp, b, st) | None -> None
@@ -243,7 +245,8 @@ let run ?config ?(instances = 1) ?(cut_rounds = 3) ?(max_cuts_per_round = 16)
                 in
                 let st, bc', ls =
                   Simplex.solve_compiled ~pricing:config.Solver.Config.pricing
-                    ~basis ~ws cp'
+                    ~backend:config.Solver.Config.basis
+                    ?refactor:config.Solver.Config.refactor ~basis ~ws cp'
                 in
                 root_pivots := !root_pivots + ls.Simplex.pivots;
                 match bc' with

@@ -127,7 +127,7 @@ let validate_bench j =
         let* v = need what j k in
         need_kind what k is_int v)
       (Ok ())
-      [ "solves"; "bb_nodes"; "lp_solves"; "lp_pivots" ]
+      [ "solves"; "bb_nodes"; "lp_solves"; "lp_pivots"; "lp_flops" ]
   in
   let* () =
     List.fold_left
@@ -233,6 +233,7 @@ let bench_summary ?(experiment_walls = []) ~metrics ~experiments
   let bb_nodes = total "solver.nodes" in
   let lp_solves = total "solver.lp_solves" in
   let lp_pivots = total "solver.lp_pivots" in
+  let lp_flops = total "lp.flops" in
   let solve_seconds =
     Metrics.Histogram.sum
       (Metrics.histogram metrics ~stability:Metrics.Volatile
@@ -248,6 +249,22 @@ let bench_summary ?(experiment_walls = []) ~metrics ~experiments
       ("bb_nodes", Json.Int bb_nodes);
       ("lp_solves", Json.Int lp_solves);
       ("lp_pivots", Json.Int lp_pivots);
+      (* Linear-algebra work actually performed inside the simplex kernel
+         (PR 10): floating-point operations charged per entry touched, so
+         the sparse-LU backend's savings over the dense inverse are
+         visible even when pivot counts are bit-identical. *)
+      ("lp_flops", Json.Int lp_flops);
+      (* Sparse-LU basis activity (PR 10): all zeros under the dense
+         ablation backend; optional in the validator so pre-PR 10
+         baselines stay diffable. *)
+      ( "lu",
+        Json.Obj
+          [ ("refactorizations", Json.Int (total "lu.refactorizations"));
+            ("fill_in_nnz", Json.Int (total "lu.fill_in_nnz"));
+            ("eta_nnz", Json.Int (total "lu.eta_nnz"));
+            ("ftran_sparse_hits", Json.Int (total "lu.ftran_sparse_hits"));
+            ("btran_sparse_hits", Json.Int (total "lu.btran_sparse_hits"))
+          ] );
       ("solve_seconds_total", Json.Float solve_seconds);
       ("wall_seconds", Json.Float wall_seconds);
       ( "experiment_wall_seconds",

@@ -540,6 +540,17 @@ let solver_components (c : Solver.Config.t) =
         (match c.Solver.Config.node_order with
         | Solver.Config.Best_bound -> "best_bound"
         | Solver.Config.Depth_first -> "depth_first") );
+    ( "solver.basis",
+      Key.S
+        (match c.Solver.Config.basis with
+        | Simplex.Lu -> "lu"
+        | Simplex.Dense -> "dense") );
+    ( "solver.refactor",
+      match c.Solver.Config.refactor with
+      | None -> Key.L []
+      | Some (Simplex.Pivots k) -> Key.L [ Key.S "pivots"; Key.I k ]
+      | Some (Simplex.Eta_fill { max_pivots; growth }) ->
+        Key.L [ Key.S "eta_fill"; Key.I max_pivots; Key.F growth ] );
     ("solver.reliability", Key.I c.Solver.Config.reliability) ]
 
 let pipeline_components (c : Pipeline.Config.t) =
